@@ -1,0 +1,35 @@
+//! E1 — basic collector copy cost is linear in live data (Fig. 4/12).
+//!
+//! A mutator keeps a complete pair-tree of depth `d` live while churning;
+//! every collection copies the whole tree. We sweep `d` and time complete
+//! runs; the per-collection copy work (printed once) grows as `2^d`, and
+//! run time with it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ps_bench::{compile_ast, copy_work, live_tree_churn, run_stats};
+use scavenger::Collector;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_basic_copy");
+    group.sample_size(10);
+    println!("\nE1: live tree of depth d, basic collector, fixed churn");
+    println!("{:>6} {:>12} {:>14} {:>17}", "depth", "collections", "copied words", "words/collection");
+    for depth in [3u32, 5, 7, 9] {
+        let program = live_tree_churn(depth, 120);
+        // Budget: the live tree plus a little churn headroom, so the first
+        // collection happens soon after the tree is built at every depth.
+        let budget = (2usize << depth) + 96;
+        let compiled = compile_ast(&program, Collector::Basic, budget);
+        let stats = run_stats(&compiled);
+        let copied = copy_work(&stats);
+        let per = (copied as u64).checked_div(stats.collections).unwrap_or(0);
+        println!("{depth:>6} {:>12} {copied:>14} {per:>17}", stats.collections);
+        group.bench_with_input(BenchmarkId::new("run", depth), &depth, |b, _| {
+            b.iter(|| run_stats(&compiled))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

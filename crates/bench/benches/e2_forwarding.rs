@@ -1,0 +1,35 @@
+//! E2 — forwarding pointers preserve sharing (§7, Fig. 9).
+//!
+//! A live DAG of depth `d` has `d` cells but `2^d` paths. The basic
+//! collector copies along paths (exponential); the forwarding collector
+//! copies each cell once (linear). The printed table shows the crossover;
+//! the timed runs show it in wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ps_bench::{compile_ast, copy_work, live_dag_churn, run_stats};
+use scavenger::Collector;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_forwarding");
+    group.sample_size(10);
+    println!("\nE2: live DAG of depth d — copy work per collector");
+    println!("{:>6} {:>16} {:>18}", "depth", "basic (words)", "forwarding (words)");
+    for depth in [4u32, 8, 12] {
+        let program = live_dag_churn(depth, 80);
+        let basic = compile_ast(&program, Collector::Basic, 128);
+        let fwd = compile_ast(&program, Collector::Forwarding, 128);
+        let bw = copy_work(&run_stats(&basic));
+        let fw = copy_work(&run_stats(&fwd));
+        println!("{depth:>6} {bw:>16} {fw:>18}");
+        group.bench_with_input(BenchmarkId::new("basic", depth), &depth, |b, _| {
+            b.iter(|| run_stats(&basic))
+        });
+        group.bench_with_input(BenchmarkId::new("forwarding", depth), &depth, |b, _| {
+            b.iter(|| run_stats(&fwd))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

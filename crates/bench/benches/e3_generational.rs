@@ -1,0 +1,36 @@
+//! E3 — minor collections do not copy the old generation (§8, Fig. 11).
+//!
+//! A long-lived tree plus heavy churn: the basic collector re-copies the
+//! tree at every collection; the generational collector promotes it once
+//! and then only sweeps the young region. We print collector-performed
+//! allocation (copies + promotions + continuation records) as the
+//! live-data size grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ps_bench::{compile_ast, gc_alloc_overhead, live_tree_churn, run_stats};
+use scavenger::Collector;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_generational");
+    group.sample_size(10);
+    println!("\nE3: long-lived tree of depth d + churn — collector allocation");
+    println!("{:>6} {:>16} {:>20}", "depth", "basic (words)", "generational (words)");
+    for depth in [4u32, 6, 8] {
+        let program = live_tree_churn(depth, 200);
+        let b_work = gc_alloc_overhead(&program, Collector::Basic, 160);
+        let g_work = gc_alloc_overhead(&program, Collector::Generational, 160);
+        println!("{depth:>6} {b_work:>16} {g_work:>20}");
+        let basic = compile_ast(&program, Collector::Basic, 160);
+        let gener = compile_ast(&program, Collector::Generational, 160);
+        group.bench_with_input(BenchmarkId::new("basic", depth), &depth, |b, _| {
+            b.iter(|| run_stats(&basic))
+        });
+        group.bench_with_input(BenchmarkId::new("generational", depth), &depth, |b, _| {
+            b.iter(|| run_stats(&gener))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

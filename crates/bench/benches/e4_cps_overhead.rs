@@ -1,0 +1,60 @@
+//! E4 — the cost of running the collector *inside* the language (§6.1).
+//!
+//! §6.1: the CPS'd copy allocates its continuation stack in a temporary
+//! region r₃, "bounded by the size of the to region … although this memory
+//! overhead is a considerable shortcoming". We (a) print the measured
+//! r₃-peak versus to-space size per collection, and (b) time the
+//! in-language collection against the untyped meta-level collector on an
+//! equivalent heap — the trusted-GC baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ps_bench::{compile_ast, live_tree_churn, run_stats};
+use scavenger::collectors::meta;
+use scavenger::gc_lang::memory::{GrowthPolicy, MemConfig, Memory};
+use scavenger::Collector;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_cps_overhead");
+    group.sample_size(10);
+    println!("\nE4a: continuation region r3 vs to-space, per collection (basic collector)");
+    println!("{:>6} {:>14} {:>16} {:>8}", "depth", "to-space (w)", "cont region (w)", "ratio");
+    for depth in [4u32, 6, 8] {
+        let program = live_tree_churn(depth, 120);
+        let compiled = compile_ast(&program, Collector::Basic, 1 << (depth + 3));
+        let stats = run_stats(&compiled);
+        for ev in stats.reclaim_events.iter().take(1) {
+            // The dropped regions of a basic collection are the from-space
+            // and the continuation region; the larger dropped region is the
+            // from-space, the smaller the continuation stack.
+            let mut dropped: Vec<usize> = ev.dropped.iter().map(|(_, w, _)| *w).collect();
+            dropped.sort_unstable();
+            let cont = dropped.first().copied().unwrap_or(0);
+            let kept = ev.kept_words.max(1);
+            println!("{depth:>6} {kept:>14} {cont:>16} {:>8.2}", cont as f64 / kept as f64);
+        }
+        group.bench_with_input(BenchmarkId::new("in-language", depth), &depth, |b, _| {
+            b.iter(|| run_stats(&compiled))
+        });
+        // Meta-level baseline on an equivalent heap.
+        group.bench_with_input(BenchmarkId::new("meta", depth), &depth, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut m = Memory::new(MemConfig {
+                        region_budget: 1 << 24,
+                        growth: GrowthPolicy::Fixed,
+                        track_types: false,
+                    });
+                    let r = m.alloc_region();
+                    let root = meta::synth_tree(&mut m, r, depth).expect("tree");
+                    (m, root)
+                },
+                |(mut m, root)| meta::collect(&mut m, &[root]).expect("collect"),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

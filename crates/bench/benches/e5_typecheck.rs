@@ -1,0 +1,44 @@
+//! E5 — "GC as a library, certified by the typechecker" (§1, §2.2).
+//!
+//! The cost of certification: typechecking each collector image, and
+//! typechecking whole translated programs as the mutator grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ps_bench::{compile_ast, live_tree_churn};
+use scavenger::gc_lang::tyck::Checker;
+use scavenger::Collector;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_typecheck");
+    group.sample_size(10);
+    for collector in [Collector::Basic, Collector::Forwarding, Collector::Generational] {
+        let image = collector.image();
+        let program = scavenger::gc_lang::machine::Program {
+            dialect: match collector {
+                Collector::Basic => scavenger::gc_lang::syntax::Dialect::Basic,
+                Collector::Forwarding => scavenger::gc_lang::syntax::Dialect::Forwarding,
+                Collector::Generational => scavenger::gc_lang::syntax::Dialect::Generational,
+            },
+            code: image.code,
+            main: scavenger::gc_lang::syntax::Term::Halt(scavenger::gc_lang::syntax::Value::Int(0)),
+        };
+        group.bench_function(BenchmarkId::new("collector", collector.to_string()), |b| {
+            b.iter(|| Checker::check_program(&program).expect("certified"))
+        });
+    }
+    for depth in [3u32, 6, 9] {
+        let compiled = compile_ast(&live_tree_churn(depth, 10), Collector::Basic, 1 << 20);
+        println!(
+            "E5: translated program at depth {depth}: {} λGC term nodes",
+            compiled.program.main.size()
+                + compiled.program.code.iter().map(|d| d.body.size()).sum::<usize>()
+        );
+        group.bench_with_input(BenchmarkId::new("whole-program", depth), &depth, |b, _| {
+            b.iter(|| Checker::check_program(&compiled.program).expect("typechecks"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E6 — `only` deallocation cost is proportional to the number of regions
+//! (§4.1: "a more expensive deallocation operation… in our case we have
+//! very few regions…, so it is a good tradeoff"; §6.4: "the cost is
+//! proportional to the number of regions… an insignificant runtime
+//! penalty").
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use scavenger::gc_lang::memory::{GrowthPolicy, MemConfig, Memory};
+use scavenger::gc_lang::syntax::Value;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_only_cost");
+    for regions in [1usize, 4, 16, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("only", regions), &regions, |b, &n| {
+            b.iter_batched(
+                || {
+                    let mut m = Memory::new(MemConfig {
+                        region_budget: 1 << 20,
+                        growth: GrowthPolicy::Fixed,
+                        track_types: false,
+                    });
+                    let mut keep = None;
+                    for i in 0..n {
+                        let r = m.alloc_region();
+                        m.put(r, Value::Int(i as i64)).expect("put");
+                        keep = Some(r);
+                    }
+                    (m, keep.expect("at least one region"))
+                },
+                |(mut m, keep)| m.only(&[keep]),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E7 — tag normalization (Prop. 6.1): reduction of well-kinded tags is
+//! strongly normalizing; how much does the collector's per-typecase tag
+//! work cost as tags grow?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scavenger::gc_lang::tags;
+use scavenger::gc_lang::syntax::Tag;
+
+/// A balanced product tag of the given depth.
+fn product_tag(depth: u32) -> Tag {
+    if depth == 0 {
+        Tag::Int
+    } else {
+        Tag::prod(product_tag(depth - 1), product_tag(depth - 1))
+    }
+}
+
+/// A redex-heavy tag: `id (id (… (id τ)))`.
+fn redex_chain(n: u32, inner: Tag) -> Tag {
+    let mut t = inner;
+    for _ in 0..n {
+        t = Tag::app(Tag::id_fn(), t);
+    }
+    t
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_tag_normalize");
+    for depth in [4u32, 8, 12] {
+        let tag = product_tag(depth);
+        println!("E7: product tag depth {depth}: size {}", tags::tag_size(&tag));
+        group.bench_with_input(BenchmarkId::new("normal-form", depth), &depth, |b, _| {
+            b.iter(|| tags::normalize(&tag))
+        });
+    }
+    for n in [8u32, 64, 512] {
+        let tag = redex_chain(n, product_tag(4));
+        group.bench_with_input(BenchmarkId::new("redex-chain", n), &n, |b, _| {
+            b.iter(|| {
+                let mut steps = 0;
+                tags::normalize_counted(&tag, &mut steps);
+                assert_eq!(steps, n as u64);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E8 — the §2.2.1 ablation: the asymmetric `S_{T,F}` Typerec accumulates
+//! (types grow with every collection) while the symmetric `M` keeps types
+//! constant-size. The printed series is the paper's motivating argument;
+//! the timed comparison shows the compounding cost of carrying the tower.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scavenger::gc_lang::ablation::{m_growth, s_growth};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_s_vs_m");
+    println!("\nE8: type size after k collections");
+    println!("{:>6} {:>14} {:>14}", "k", "asymmetric S", "symmetric M");
+    for k in [1usize, 4, 16, 64] {
+        let s = s_growth(k);
+        let m = m_growth(k);
+        println!("{k:>6} {:>14} {:>14}", s.last().unwrap(), m.last().unwrap());
+        group.bench_with_input(BenchmarkId::new("s_growth", k), &k, |b, &k| {
+            b.iter(|| s_growth(k))
+        });
+        group.bench_with_input(BenchmarkId::new("m_growth", k), &k, |b, &k| {
+            b.iter(|| m_growth(k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,349 @@
+//! CPS conversion (the first phase of §3's pipeline).
+//!
+//! The conversion stays *inside* the source language: a CPS'd program is
+//! again a well-typed source program in which every function takes a pair
+//! `(argument, continuation)` and "returns" only by invoking the
+//! continuation; the answer type is `int`. This gives a free correctness
+//! oracle — the reference evaluator must produce the same result before and
+//! after conversion — before closure conversion leaves the source language.
+//!
+//! Types translate as
+//!
+//! ```text
+//! ⟦int⟧   = int
+//! ⟦τ × σ⟧ = ⟦τ⟧ × ⟦σ⟧
+//! ⟦τ → σ⟧ = (⟦τ⟧ × (⟦σ⟧ → int)) → int
+//! ```
+//!
+//! The implementation is one-pass with meta-continuations (in the style of
+//! Danvy–Filinski, paper ref. 7), so no administrative β-redexes are produced;
+//! `if0` reifies a join-point continuation to avoid duplicating contexts.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ps_ir::symbol::gensym;
+use ps_ir::Symbol;
+
+use ps_lambda::syntax::{Expr, FunDef, SrcProgram, SrcTy};
+use ps_lambda::typecheck;
+
+/// An error raised during CPS conversion (only on ill-typed input).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CpsError(pub String);
+
+impl fmt::Display for CpsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CPS conversion error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CpsError {}
+
+type CResult<T> = Result<T, CpsError>;
+
+/// The CPS type translation `⟦τ⟧`.
+pub fn cps_ty(ty: &SrcTy) -> SrcTy {
+    match ty {
+        SrcTy::Int => SrcTy::Int,
+        SrcTy::Prod(a, b) => SrcTy::prod(cps_ty(a), cps_ty(b)),
+        SrcTy::Arrow(a, b) => SrcTy::arrow(
+            SrcTy::prod(cps_ty(a), SrcTy::arrow(cps_ty(b), SrcTy::Int)),
+            SrcTy::Int,
+        ),
+    }
+}
+
+/// The meta-continuation: receives the CPS *value* for the converted
+/// expression and that expression's **source** type.
+type MetaK<'a> = &'a mut dyn FnMut(Expr, &SrcTy) -> CResult<Expr>;
+
+fn infer_src(env: &HashMap<Symbol, SrcTy>, e: &Expr) -> CResult<SrcTy> {
+    typecheck::infer(env, e).map_err(|te| CpsError(te.0))
+}
+
+/// Converts one expression. `env` maps variables to their **source**
+/// types (used only to compute result types of lambdas and branches).
+fn cps_exp(env: &HashMap<Symbol, SrcTy>, e: &Expr, k: MetaK) -> CResult<Expr> {
+    match e {
+        Expr::Int(n) => k(Expr::Int(*n), &SrcTy::Int),
+        Expr::Var(x) => {
+            let ty = env
+                .get(x)
+                .cloned()
+                .ok_or_else(|| CpsError(format!("unbound variable {x}")))?;
+            k(Expr::Var(*x), &ty)
+        }
+        Expr::Bin(op, a, b) => {
+            let op = *op;
+            cps_exp(env, a, &mut |va, _| {
+                cps_exp(env, b, &mut |vb, _| {
+                    let x = gensym("prim");
+                    let body = k(Expr::Var(x), &SrcTy::Int)?;
+                    Ok(Expr::let_(x, Expr::Bin(op, va.clone().into(), vb.into()), body))
+                })
+            })
+        }
+        Expr::Pair(a, b) => {
+            cps_exp(env, a, &mut |va, ta| {
+                let ta = ta.clone();
+                cps_exp(env, b, &mut |vb, tb| {
+                    let x = gensym("pair");
+                    let ty = SrcTy::prod(ta.clone(), tb.clone());
+                    let body = k(Expr::Var(x), &ty)?;
+                    Ok(Expr::let_(x, Expr::pair(va.clone(), vb), body))
+                })
+            })
+        }
+        Expr::Proj(i, a) => {
+            let i = *i;
+            cps_exp(env, a, &mut |va, ta| {
+                let comp = match ta {
+                    SrcTy::Prod(x, y) => {
+                        if i == 1 {
+                            (**x).clone()
+                        } else {
+                            (**y).clone()
+                        }
+                    }
+                    other => return Err(CpsError(format!("projection of non-pair type {other}"))),
+                };
+                let x = gensym("proj");
+                let body = k(Expr::Var(x), &comp)?;
+                Ok(Expr::let_(x, Expr::Proj(i, va.into()), body))
+            })
+        }
+        Expr::If0(c, t, f) => {
+            // Infer the (common) branch type in the source world.
+            let branch_ty = infer_src(env, t)?;
+            cps_exp(env, c, &mut |vc, _| {
+                let jk = gensym("join");
+                let xj = gensym("jv");
+                // The join continuation carries a CPS-world value.
+                let jk_body = k(Expr::Var(xj), &branch_ty)?;
+                let jk_lam = Expr::Lam {
+                    param: xj,
+                    param_ty: cps_ty(&branch_ty),
+                    body: jk_body.into(),
+                };
+                let call_join = |v: Expr| Expr::app(Expr::Var(jk), v);
+                let then_e = cps_exp(env, t, &mut |v, _| Ok(call_join(v)))?;
+                let else_e = cps_exp(env, f, &mut |v, _| Ok(call_join(v)))?;
+                Ok(Expr::let_(
+                    jk,
+                    jk_lam,
+                    Expr::If0(vc.into(), then_e.into(), else_e.into()),
+                ))
+            })
+        }
+        Expr::Lam { param, param_ty, body } => {
+            let mut env2 = env.clone();
+            env2.insert(*param, param_ty.clone());
+            let ret_ty = infer_src(&env2, body)?;
+            let p = gensym("clo");
+            let kv = gensym("k");
+            let inner = cps_exp(&env2, body, &mut |v, _| Ok(Expr::app(Expr::Var(kv), v)))?;
+            let cps_lam = Expr::Lam {
+                param: p,
+                param_ty: SrcTy::prod(
+                    cps_ty(param_ty),
+                    SrcTy::arrow(cps_ty(&ret_ty), SrcTy::Int),
+                ),
+                body: Expr::let_(
+                    *param,
+                    Expr::Proj(1, Expr::Var(p).into()),
+                    Expr::let_(kv, Expr::Proj(2, Expr::Var(p).into()), inner),
+                )
+                .into(),
+            };
+            let src_ty = SrcTy::arrow(param_ty.clone(), ret_ty);
+            k(cps_lam, &src_ty)
+        }
+        Expr::App(f, a) => {
+            cps_exp(env, f, &mut |vf, tf| {
+                let (dom, cod) = match tf {
+                    SrcTy::Arrow(d, c) => ((**d).clone(), (**c).clone()),
+                    other => {
+                        return Err(CpsError(format!("application of non-function type {other}")))
+                    }
+                };
+                let _ = dom;
+                cps_exp(env, a, &mut |va, _| {
+                    let r = gensym("ret");
+                    let body = k(Expr::Var(r), &cod)?;
+                    let cont = Expr::Lam {
+                        param: r,
+                        param_ty: cps_ty(&cod),
+                        body: body.into(),
+                    };
+                    Ok(Expr::app(vf.clone(), Expr::pair(va, cont)))
+                })
+            })
+        }
+        Expr::Let { x, rhs, body } => {
+            cps_exp(env, rhs, &mut |v, trhs| {
+                let mut env2 = env.clone();
+                env2.insert(*x, trhs.clone());
+                let inner = cps_exp(&env2, body, k)?;
+                Ok(Expr::let_(*x, v, inner))
+            })
+        }
+    }
+}
+
+/// CPS-converts a whole program.
+///
+/// Every definition `fun f (x : τ) : σ = e` becomes
+/// `fun f (p : ⟦τ⟧ × (⟦σ⟧ → int)) : int = …`; the main expression is run
+/// with the identity continuation.
+///
+/// # Errors
+///
+/// Fails only on ill-typed input (run
+/// [`ps_lambda::typecheck::check_program`] first for a better message).
+pub fn cps_program(p: &SrcProgram) -> CResult<SrcProgram> {
+    let top = typecheck::top_env(p);
+    let mut defs = Vec::with_capacity(p.defs.len());
+    for d in &p.defs {
+        let mut env = top.clone();
+        env.insert(d.param, d.param_ty.clone());
+        let pk = gensym("parg");
+        let kv = gensym("k");
+        let inner = cps_exp(&env, &d.body, &mut |v, _| Ok(Expr::app(Expr::Var(kv), v)))?;
+        let body = Expr::let_(
+            d.param,
+            Expr::Proj(1, Expr::Var(pk).into()),
+            Expr::let_(kv, Expr::Proj(2, Expr::Var(pk).into()), inner),
+        );
+        defs.push(FunDef {
+            name: d.name,
+            param: pk,
+            param_ty: SrcTy::prod(
+                cps_ty(&d.param_ty),
+                SrcTy::arrow(cps_ty(&d.ret_ty), SrcTy::Int),
+            ),
+            ret_ty: SrcTy::Int,
+            body,
+        });
+    }
+    // The CPS'd top-level environment gives functions their new types, but
+    // conversion of the main expression needs the *source* environment for
+    // type computation — original `top` — while emitted code refers to the
+    // CPS'd functions. These coincide because conversion only consults the
+    // environment for source types and emits names verbatim.
+    let main = cps_exp(&top, &p.main, &mut |v, _| Ok(v))?;
+    Ok(SrcProgram { defs, main })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps_lambda::eval::run_program;
+    use ps_lambda::parse::parse_program;
+
+    /// Source and CPS'd program must agree, and the CPS'd program must
+    /// still typecheck.
+    fn roundtrip(src: &str) -> i64 {
+        let p = parse_program(src).unwrap();
+        typecheck::check_program(&p).unwrap();
+        let expected = run_program(&p, 1_000_000).unwrap();
+        let q = cps_program(&p).unwrap();
+        typecheck::check_program(&q)
+            .unwrap_or_else(|e| panic!("CPS output ill-typed: {e}\n{q:?}"));
+        let got = run_program(&q, 10_000_000).unwrap();
+        assert_eq!(got, expected, "CPS changed the result for {src}");
+        got
+    }
+
+    #[test]
+    fn literals_and_arithmetic() {
+        assert_eq!(roundtrip("1 + 2 * 3"), 7);
+    }
+
+    #[test]
+    fn pairs() {
+        assert_eq!(roundtrip("fst (1, 2) + snd (3, 4)"), 5);
+    }
+
+    #[test]
+    fn conditionals() {
+        assert_eq!(roundtrip("if0 0 then 10 else 20"), 10);
+        assert_eq!(roundtrip("if0 1 then 10 else 20"), 20);
+        assert_eq!(roundtrip("if0 2 - 2 then 1 + 1 else 9"), 2);
+    }
+
+    #[test]
+    fn lets() {
+        assert_eq!(roundtrip("let x = 4 in let y = x * x in y - x"), 12);
+    }
+
+    #[test]
+    fn lambdas() {
+        assert_eq!(roundtrip("(fn (x : int) => x + 1) 41"), 42);
+        assert_eq!(roundtrip("let y = 10 in (fn (x : int) => x + y) 5"), 15);
+    }
+
+    #[test]
+    fn recursion() {
+        assert_eq!(
+            roundtrip("fun fact (n : int) : int = if0 n then 1 else n * fact (n - 1)\n fact 6"),
+            720
+        );
+    }
+
+    #[test]
+    fn mutual_recursion() {
+        assert_eq!(
+            roundtrip(
+                "fun even (n : int) : int = if0 n then 1 else odd (n - 1)\n\
+                 fun odd (n : int) : int = if0 n then 0 else even (n - 1)\n\
+                 even 9"
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn higher_order() {
+        assert_eq!(
+            roundtrip(
+                "fun twice (f : int -> int) : int -> int = fn (x : int) => f (f x)\n\
+                 (twice (fn (y : int) => y * 2)) 5"
+            ),
+            20
+        );
+    }
+
+    #[test]
+    fn functions_in_pairs() {
+        assert_eq!(
+            roundtrip(
+                "fun applyp (p : (int -> int) * int) : int = (fst p) (snd p)\n\
+                 applyp ((fn (x : int) => x + 1), 41)"
+            ),
+            42
+        );
+    }
+
+    #[test]
+    fn cps_types_translate() {
+        let t = SrcTy::arrow(SrcTy::Int, SrcTy::Int);
+        // (int × (int → int)) → int
+        match cps_ty(&t) {
+            SrcTy::Arrow(dom, cod) => {
+                assert_eq!(*cod, SrcTy::Int);
+                assert!(matches!(&*dom, SrcTy::Prod(..)));
+            }
+            other => panic!("bad CPS type {other}"),
+        }
+    }
+
+    #[test]
+    fn cps_functions_return_int() {
+        let p = parse_program("fun id (x : int * int) : int * int = x\n fst (id (1, 2))").unwrap();
+        let q = cps_program(&p).unwrap();
+        for d in &q.defs {
+            assert_eq!(d.ret_ty, SrcTy::Int, "CPS'd functions answer int");
+        }
+    }
+}

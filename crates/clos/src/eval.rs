@@ -1,0 +1,259 @@
+//! An evaluator for λCLOS.
+//!
+//! λCLOS is CPS, so evaluation is a flat loop: each step either extends the
+//! environment or tail-calls a top-level function with a single argument
+//! value. The evaluator is the mid-pipeline oracle: CPS + closure
+//! conversion must preserve the source program's result, and the λGC
+//! translation must preserve this evaluator's.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use ps_ir::Symbol;
+
+use crate::syntax::{CExp, CProgram, CVal};
+
+/// A λCLOS runtime value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RtVal {
+    Int(i64),
+    Pair(Rc<RtVal>, Rc<RtVal>),
+    /// An existential package (the witness is erased at runtime except for
+    /// debugging).
+    Pack(Rc<RtVal>),
+    /// A top-level function, by index.
+    Fun(usize),
+}
+
+impl RtVal {
+    fn as_int(&self) -> Result<i64, ClosEvalError> {
+        match self {
+            RtVal::Int(n) => Ok(*n),
+            other => Err(ClosEvalError(format!("expected integer, got {other:?}"))),
+        }
+    }
+}
+
+/// A λCLOS evaluation error (impossible for typechecked programs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClosEvalError(pub String);
+
+impl fmt::Display for ClosEvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "λCLOS evaluation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ClosEvalError {}
+
+type EResult<T> = Result<T, ClosEvalError>;
+
+fn eval_val(
+    p: &CProgram,
+    env: &HashMap<Symbol, RtVal>,
+    v: &CVal,
+) -> EResult<RtVal> {
+    match v {
+        CVal::Int(n) => Ok(RtVal::Int(*n)),
+        CVal::Var(x) => env
+            .get(x)
+            .cloned()
+            .ok_or_else(|| ClosEvalError(format!("unbound variable {x}"))),
+        CVal::FnName(f) => p
+            .funs
+            .iter()
+            .position(|d| d.name == *f)
+            .map(RtVal::Fun)
+            .ok_or_else(|| ClosEvalError(format!("unknown function {f}"))),
+        CVal::Pair(a, b) => Ok(RtVal::Pair(
+            Rc::new(eval_val(p, env, a)?),
+            Rc::new(eval_val(p, env, b)?),
+        )),
+        CVal::Pack { val, .. } => Ok(RtVal::Pack(Rc::new(eval_val(p, env, val)?))),
+    }
+}
+
+/// Runs a λCLOS program to its halt value.
+///
+/// # Errors
+///
+/// Fails on runtime type confusion (impossible after
+/// [`crate::tyck::check_program`]) or fuel exhaustion.
+pub fn run_program(p: &CProgram, fuel: u64) -> EResult<i64> {
+    let mut env: HashMap<Symbol, RtVal> = HashMap::new();
+    let mut exp: CExp = p.main.clone();
+    let mut steps = 0u64;
+    loop {
+        steps += 1;
+        if steps > fuel {
+            return Err(ClosEvalError("out of fuel".to_string()));
+        }
+        exp = match exp {
+            CExp::Let { x, v, body } => {
+                let rv = eval_val(p, &env, &v)?;
+                env.insert(x, rv);
+                (*body).clone()
+            }
+            CExp::LetProj { x, i, v, body } => {
+                match eval_val(p, &env, &v)? {
+                    RtVal::Pair(a, b) => {
+                        env.insert(x, if i == 1 { (*a).clone() } else { (*b).clone() });
+                    }
+                    other => {
+                        return Err(ClosEvalError(format!("projection of non-pair {other:?}")))
+                    }
+                }
+                (*body).clone()
+            }
+            CExp::LetPrim { x, op, a, b, body } => {
+                let a = eval_val(p, &env, &a)?.as_int()?;
+                let b = eval_val(p, &env, &b)?.as_int()?;
+                env.insert(x, RtVal::Int(op.apply(a, b)));
+                (*body).clone()
+            }
+            CExp::App(f, a) => {
+                let fv = eval_val(p, &env, &f)?;
+                let av = eval_val(p, &env, &a)?;
+                match fv {
+                    RtVal::Fun(i) => {
+                        let def = &p.funs[i];
+                        env = HashMap::new();
+                        env.insert(def.param, av);
+                        def.body.clone()
+                    }
+                    other => {
+                        return Err(ClosEvalError(format!(
+                            "application of non-function {other:?}"
+                        )))
+                    }
+                }
+            }
+            CExp::Open { pkg, x, body, .. } => {
+                match eval_val(p, &env, &pkg)? {
+                    RtVal::Pack(inner) => {
+                        env.insert(x, (*inner).clone());
+                    }
+                    other => return Err(ClosEvalError(format!("open of non-package {other:?}"))),
+                }
+                (*body).clone()
+            }
+            CExp::Halt(v) => return eval_val(p, &env, &v)?.as_int(),
+            CExp::If0 { v, zero, nonzero } => {
+                if eval_val(p, &env, &v)?.as_int()? == 0 {
+                    (*zero).clone()
+                } else {
+                    (*nonzero).clone()
+                }
+            }
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{BinOp, CFun, CTy};
+
+    fn s(x: &str) -> Symbol {
+        Symbol::intern(x)
+    }
+
+    #[test]
+    fn halt_value() {
+        let p = CProgram {
+            funs: vec![],
+            main: CExp::Halt(CVal::Int(7)),
+        };
+        assert_eq!(run_program(&p, 100).unwrap(), 7);
+    }
+
+    #[test]
+    fn let_proj_prim() {
+        let p = CProgram {
+            funs: vec![],
+            main: CExp::let_(
+                s("p"),
+                CVal::pair(CVal::Int(2), CVal::Int(3)),
+                CExp::let_proj(
+                    s("a"),
+                    1,
+                    CVal::Var(s("p")),
+                    CExp::let_proj(
+                        s("b"),
+                        2,
+                        CVal::Var(s("p")),
+                        CExp::LetPrim {
+                            x: s("c"),
+                            op: BinOp::Mul,
+                            a: CVal::Var(s("a")),
+                            b: CVal::Var(s("b")),
+                            body: Rc::new(CExp::Halt(CVal::Var(s("c")))),
+                        },
+                    ),
+                ),
+            ),
+        };
+        assert_eq!(run_program(&p, 100).unwrap(), 6);
+    }
+
+    #[test]
+    fn tail_calls_do_not_grow() {
+        // A countdown loop via a recursive top-level function.
+        let f = CFun {
+            name: s("count"),
+            param: s("n"),
+            param_ty: CTy::Int,
+            body: CExp::If0 {
+                v: CVal::Var(s("n")),
+                zero: Rc::new(CExp::Halt(CVal::Int(0))),
+                nonzero: Rc::new(CExp::LetPrim {
+                    x: s("m"),
+                    op: BinOp::Sub,
+                    a: CVal::Var(s("n")),
+                    b: CVal::Int(1),
+                    body: Rc::new(CExp::App(CVal::FnName(s("count")), CVal::Var(s("m")))),
+                }),
+            },
+        };
+        let p = CProgram {
+            funs: vec![f],
+            main: CExp::App(CVal::FnName(s("count")), CVal::Int(10_000)),
+        };
+        assert_eq!(run_program(&p, 1_000_000).unwrap(), 0);
+    }
+
+    #[test]
+    fn packages_erase_to_payload() {
+        let p = CProgram {
+            funs: vec![],
+            main: CExp::Open {
+                pkg: CVal::Pack {
+                    tvar: s("t"),
+                    witness: CTy::Int,
+                    val: Rc::new(CVal::Int(5)),
+                    body_ty: CTy::Var(s("t")),
+                },
+                tvar: s("u"),
+                x: s("x"),
+                body: Rc::new(CExp::Halt(CVal::Var(s("x")))),
+            },
+        };
+        assert_eq!(run_program(&p, 100).unwrap(), 5);
+    }
+
+    #[test]
+    fn fuel_limits() {
+        let f = CFun {
+            name: s("spin"),
+            param: s("n"),
+            param_ty: CTy::Int,
+            body: CExp::App(CVal::FnName(s("spin")), CVal::Var(s("n"))),
+        };
+        let p = CProgram {
+            funs: vec![f],
+            main: CExp::App(CVal::FnName(s("spin")), CVal::Int(0)),
+        };
+        assert!(run_program(&p, 100).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! Pretty-printing of λCLOS programs in the paper's §3 notation.
+//!
+//! Used by diagnostics and by the `certify` example's sibling displays; the
+//! rendering mirrors the grammar of §3:
+//!
+//! ```text
+//! letrec f = λ(x : τ).e … in e
+//! ```
+
+use ps_ir::Doc;
+
+use crate::syntax::{CExp, CFun, CProgram, CTy, CVal};
+
+/// Renders a λCLOS type.
+pub fn ty(t: &CTy) -> Doc {
+    Doc::text(t.to_string())
+}
+
+/// Renders a λCLOS value.
+pub fn value(v: &CVal) -> Doc {
+    match v {
+        CVal::Int(n) => Doc::text(n.to_string()),
+        CVal::Var(x) => Doc::text(x.to_string()),
+        CVal::FnName(f) => Doc::text(f.to_string()),
+        CVal::Pair(a, b) => Doc::text("(")
+            .append(value(a))
+            .append(Doc::text(", "))
+            .append(value(b))
+            .append(Doc::text(")")),
+        CVal::Pack { tvar, witness, val, body_ty } => Doc::text(format!("⟨{tvar} = "))
+            .append(ty(witness))
+            .append(Doc::text(", "))
+            .append(value(val))
+            .append(Doc::text(" : "))
+            .append(ty(body_ty))
+            .append(Doc::text("⟩")),
+    }
+}
+
+/// Renders a λCLOS term.
+pub fn exp(e: &CExp) -> Doc {
+    match e {
+        CExp::Let { x, v, body } => Doc::text(format!("let {x} = "))
+            .append(value(v))
+            .append(Doc::text(" in"))
+            .append(Doc::hardline())
+            .append(exp(body)),
+        CExp::LetProj { x, i, v, body } => Doc::text(format!("let {x} = π{i} "))
+            .append(value(v))
+            .append(Doc::text(" in"))
+            .append(Doc::hardline())
+            .append(exp(body)),
+        CExp::LetPrim { x, op, a, b, body } => Doc::text(format!("let {x} = "))
+            .append(value(a))
+            .append(Doc::text(format!(" {op} ")))
+            .append(value(b))
+            .append(Doc::text(" in"))
+            .append(Doc::hardline())
+            .append(exp(body)),
+        CExp::App(f, a) => value(f)
+            .append(Doc::text("("))
+            .append(value(a))
+            .append(Doc::text(")")),
+        CExp::Open { pkg, tvar, x, body } => Doc::text("open ")
+            .append(value(pkg))
+            .append(Doc::text(format!(" as ⟨{tvar}, {x}⟩ in")))
+            .append(Doc::hardline())
+            .append(exp(body)),
+        CExp::Halt(v) => Doc::text("halt ").append(value(v)),
+        CExp::If0 { v, zero, nonzero } => Doc::text("if0 ")
+            .append(value(v))
+            .append(Doc::text(" then"))
+            .append(Doc::hardline().append(exp(zero)).nest(2))
+            .append(Doc::hardline())
+            .append(Doc::text("else"))
+            .append(Doc::hardline().append(exp(nonzero)).nest(2)),
+    }
+}
+
+/// Renders a function definition.
+pub fn fun(f: &CFun) -> Doc {
+    Doc::text(format!("{} = λ({} : ", f.name, f.param))
+        .append(ty(&f.param_ty))
+        .append(Doc::text(")."))
+        .append(Doc::hardline().append(exp(&f.body)).nest(2))
+}
+
+/// Renders a whole program, `letrec`-style.
+pub fn program(p: &CProgram) -> String {
+    let mut doc = Doc::text("letrec");
+    for f in &p.funs {
+        doc = doc.append(Doc::hardline().append(fun(f)).nest(2));
+    }
+    doc = doc
+        .append(Doc::hardline())
+        .append(Doc::text("in"))
+        .append(Doc::hardline().append(exp(&p.main)).nest(2));
+    doc.render(100)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cc, cps};
+    use ps_lambda::parse::parse_program;
+
+    #[test]
+    fn values_render() {
+        assert_eq!(value(&CVal::Int(3)).render(80), "3");
+        assert_eq!(
+            value(&CVal::pair(CVal::Int(1), CVal::Int(2))).render(80),
+            "(1, 2)"
+        );
+    }
+
+    #[test]
+    fn whole_pipeline_output_renders() {
+        let p = parse_program("fun inc (x : int) : int = x + 1\n inc 41").unwrap();
+        let cps = cps::cps_program(&p).unwrap();
+        let clos = cc::cc_program(&cps).unwrap();
+        let text = program(&clos);
+        assert!(text.starts_with("letrec"));
+        assert!(text.contains("λ("), "{text}");
+        assert!(text.contains("halt"), "{text}");
+        // Every top-level function appears.
+        for f in &clos.funs {
+            assert!(text.contains(&f.name.to_string()), "{}", f.name);
+        }
+    }
+
+    #[test]
+    fn packages_render_with_witness() {
+        let t = ps_ir::Symbol::intern("t");
+        let v = CVal::Pack {
+            tvar: t,
+            witness: CTy::Int,
+            val: std::rc::Rc::new(CVal::Int(1)),
+            body_ty: CTy::Var(t),
+        };
+        let s = value(&v).render(80);
+        assert!(s.contains("⟨t = Int"), "{s}");
+    }
+}

@@ -1,0 +1,341 @@
+//! Abstract syntax of λCLOS (§3 of the paper).
+//!
+//! λCLOS is the language after CPS conversion and closure conversion:
+//! functions never return (`τ → 0`), all code is closed and lives in a
+//! `letrec` of top-level definitions, and closures are existential packages
+//! `⟨t = τ₁, v : τ₂⟩ : ∃t.τ₂`.
+//!
+//! As in the rest of the workspace, integer primitives and `if0` are
+//! carried along as documented extensions; they add no type constructors.
+
+use std::fmt;
+use std::rc::Rc;
+
+use ps_ir::Symbol;
+
+pub use ps_lambda::syntax::BinOp;
+
+/// A λCLOS type `τ ::= Int | t | τ₁ × τ₂ | τ → 0 | ∃t.τ`.
+///
+/// This is exactly the λGC *tag* grammar (minus tag functions) — the
+/// translation of Fig. 3 sends these types to λGC tags unchanged.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CTy {
+    Int,
+    /// A type variable bound by an existential.
+    Var(Symbol),
+    Prod(Rc<CTy>, Rc<CTy>),
+    /// `τ → 0` — a (unary) function that never returns.
+    Arrow(Rc<CTy>),
+    /// `∃t.τ`.
+    Exist(Symbol, Rc<CTy>),
+}
+
+impl CTy {
+    /// Convenience constructor for `τ₁ × τ₂`.
+    pub fn prod(a: CTy, b: CTy) -> CTy {
+        CTy::Prod(Rc::new(a), Rc::new(b))
+    }
+
+    /// Convenience constructor for `τ → 0`.
+    pub fn arrow(a: CTy) -> CTy {
+        CTy::Arrow(Rc::new(a))
+    }
+
+    /// Convenience constructor for `∃t.τ`.
+    pub fn exist(t: Symbol, body: CTy) -> CTy {
+        CTy::Exist(t, Rc::new(body))
+    }
+
+    /// The standard closure type `∃t.((t × τ) → 0) × t` produced by typed
+    /// closure conversion (§3, following Minamide–Morrisett–Harper).
+    pub fn closure(arg: CTy) -> CTy {
+        let t = ps_ir::symbol::gensym("tenv");
+        CTy::exist(
+            t,
+            CTy::prod(
+                CTy::arrow(CTy::prod(CTy::Var(t), arg)),
+                CTy::Var(t),
+            ),
+        )
+    }
+
+    /// Capture-avoiding substitution of `tau` for variable `t`.
+    pub fn subst(&self, t: Symbol, tau: &CTy) -> CTy {
+        match self {
+            CTy::Int => CTy::Int,
+            CTy::Var(x) => {
+                if *x == t {
+                    tau.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            CTy::Prod(a, b) => CTy::prod(a.subst(t, tau), b.subst(t, tau)),
+            CTy::Arrow(a) => CTy::arrow(a.subst(t, tau)),
+            CTy::Exist(x, body) => {
+                if *x == t {
+                    self.clone()
+                } else if free_in(*x, tau) {
+                    let fresh = x.fresh();
+                    let renamed = body.subst(*x, &CTy::Var(fresh));
+                    CTy::exist(fresh, renamed.subst(t, tau))
+                } else {
+                    CTy::exist(*x, body.subst(t, tau))
+                }
+            }
+        }
+    }
+}
+
+fn free_in(t: Symbol, tau: &CTy) -> bool {
+    match tau {
+        CTy::Int => false,
+        CTy::Var(x) => *x == t,
+        CTy::Prod(a, b) => free_in(t, a) || free_in(t, b),
+        CTy::Arrow(a) => free_in(t, a),
+        CTy::Exist(x, body) => *x != t && free_in(t, body),
+    }
+}
+
+/// α-equivalence of λCLOS types.
+pub fn cty_alpha_eq(a: &CTy, b: &CTy) -> bool {
+    fn go(a: &CTy, b: &CTy, env: &mut Vec<(Symbol, Symbol)>) -> bool {
+        match (a, b) {
+            (CTy::Int, CTy::Int) => true,
+            (CTy::Var(x), CTy::Var(y)) => {
+                for &(p, q) in env.iter().rev() {
+                    if p == *x || q == *y {
+                        return p == *x && q == *y;
+                    }
+                }
+                x == y
+            }
+            (CTy::Prod(a1, a2), CTy::Prod(b1, b2)) => go(a1, b1, env) && go(a2, b2, env),
+            (CTy::Arrow(x), CTy::Arrow(y)) => go(x, y, env),
+            (CTy::Exist(x, bx), CTy::Exist(y, by)) => {
+                env.push((*x, *y));
+                let r = go(bx, by, env);
+                env.pop();
+                r
+            }
+            _ => false,
+        }
+    }
+    go(a, b, &mut Vec::new())
+}
+
+impl fmt::Display for CTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CTy::Int => write!(f, "Int"),
+            CTy::Var(t) => write!(f, "{t}"),
+            CTy::Prod(a, b) => write!(f, "({a} × {b})"),
+            CTy::Arrow(a) => write!(f, "({a} → 0)"),
+            CTy::Exist(t, body) => write!(f, "∃{t}.{body}"),
+        }
+    }
+}
+
+/// A λCLOS value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CVal {
+    Int(i64),
+    Var(Symbol),
+    /// A top-level function name `f`.
+    FnName(Symbol),
+    Pair(Rc<CVal>, Rc<CVal>),
+    /// `⟨t = τ₁, v : τ₂⟩ : ∃t.τ₂` — `body_ty` is the `τ₂` (with `tvar`
+    /// free).
+    Pack {
+        tvar: Symbol,
+        witness: CTy,
+        val: Rc<CVal>,
+        body_ty: CTy,
+    },
+}
+
+impl CVal {
+    /// Convenience constructor for pairs.
+    pub fn pair(a: CVal, b: CVal) -> CVal {
+        CVal::Pair(Rc::new(a), Rc::new(b))
+    }
+}
+
+/// A λCLOS term.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CExp {
+    /// `let x = v in e`.
+    Let {
+        x: Symbol,
+        v: CVal,
+        body: Rc<CExp>,
+    },
+    /// `let x = πᵢ v in e`.
+    LetProj {
+        x: Symbol,
+        i: u8,
+        v: CVal,
+        body: Rc<CExp>,
+    },
+    /// `let x = v₁ ⊕ v₂ in e` (extension).
+    LetPrim {
+        x: Symbol,
+        op: BinOp,
+        a: CVal,
+        b: CVal,
+        body: Rc<CExp>,
+    },
+    /// `v₁(v₂)`.
+    App(CVal, CVal),
+    /// `open v as ⟨t, x⟩ in e`.
+    Open {
+        pkg: CVal,
+        tvar: Symbol,
+        x: Symbol,
+        body: Rc<CExp>,
+    },
+    /// `halt v` with `v : Int`.
+    Halt(CVal),
+    /// `if0 v e₁ e₂` (extension).
+    If0 {
+        v: CVal,
+        zero: Rc<CExp>,
+        nonzero: Rc<CExp>,
+    },
+}
+
+impl CExp {
+    /// Convenience constructor for `let`.
+    pub fn let_(x: Symbol, v: CVal, body: CExp) -> CExp {
+        CExp::Let {
+            x,
+            v,
+            body: Rc::new(body),
+        }
+    }
+
+    /// Convenience constructor for `let x = πᵢ v`.
+    pub fn let_proj(x: Symbol, i: u8, v: CVal, body: CExp) -> CExp {
+        CExp::LetProj {
+            x,
+            i,
+            v,
+            body: Rc::new(body),
+        }
+    }
+
+    /// Size in AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            CExp::App(..) | CExp::Halt(_) => 1,
+            CExp::Let { body, .. }
+            | CExp::LetProj { body, .. }
+            | CExp::LetPrim { body, .. }
+            | CExp::Open { body, .. } => 1 + body.size(),
+            CExp::If0 { zero, nonzero, .. } => 1 + zero.size() + nonzero.size(),
+        }
+    }
+}
+
+/// A top-level λCLOS function `f = λ(x : τ).e`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CFun {
+    pub name: Symbol,
+    pub param: Symbol,
+    pub param_ty: CTy,
+    pub body: CExp,
+}
+
+impl CFun {
+    /// The function's type `τ → 0`.
+    pub fn ty(&self) -> CTy {
+        CTy::arrow(self.param_ty.clone())
+    }
+}
+
+/// A λCLOS program: `letrec f̄ = λ(x̄:τ̄).ē in e`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CProgram {
+    pub funs: Vec<CFun>,
+    pub main: CExp,
+}
+
+impl CProgram {
+    /// Total AST size.
+    pub fn size(&self) -> usize {
+        self.funs.iter().map(|f| 1 + f.body.size()).sum::<usize>() + self.main.size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: &str) -> Symbol {
+        Symbol::intern(x)
+    }
+
+    #[test]
+    fn substitution_in_types() {
+        let t = s("t");
+        let ty = CTy::prod(CTy::Var(t), CTy::Int);
+        assert_eq!(ty.subst(t, &CTy::Int), CTy::prod(CTy::Int, CTy::Int));
+    }
+
+    #[test]
+    fn substitution_respects_binders() {
+        let t = s("t");
+        let ty = CTy::exist(t, CTy::Var(t));
+        assert_eq!(ty.subst(t, &CTy::Int), ty);
+    }
+
+    #[test]
+    fn substitution_avoids_capture() {
+        let t = s("t");
+        let u = s("u");
+        let ty = CTy::exist(u, CTy::Var(t));
+        let out = ty.subst(t, &CTy::Var(u));
+        match out {
+            CTy::Exist(b, body) => {
+                assert_ne!(b, u);
+                assert_eq!(*body, CTy::Var(u));
+            }
+            _ => panic!("expected existential"),
+        }
+    }
+
+    #[test]
+    fn alpha_equivalence() {
+        let a = CTy::exist(s("a"), CTy::Var(s("a")));
+        let b = CTy::exist(s("b"), CTy::Var(s("b")));
+        assert!(cty_alpha_eq(&a, &b));
+        assert!(!cty_alpha_eq(&a, &CTy::exist(s("c"), CTy::Int)));
+    }
+
+    #[test]
+    fn closure_type_shape() {
+        match CTy::closure(CTy::Int) {
+            CTy::Exist(t, body) => match &*body {
+                CTy::Prod(code, env) => {
+                    assert_eq!(**env, CTy::Var(t));
+                    assert!(matches!(**code, CTy::Arrow(_)));
+                }
+                _ => panic!("expected product"),
+            },
+            _ => panic!("expected existential"),
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CTy::prod(CTy::Int, CTy::Int).to_string(), "(Int × Int)");
+        assert_eq!(CTy::arrow(CTy::Int).to_string(), "(Int → 0)");
+    }
+
+    #[test]
+    fn sizes() {
+        let e = CExp::let_(s("x"), CVal::Int(1), CExp::Halt(CVal::Var(s("x"))));
+        assert_eq!(e.size(), 2);
+    }
+}

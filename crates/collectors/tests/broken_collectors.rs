@@ -1,0 +1,247 @@
+//! The paper's software-engineering claim, §2: "a type-safe GC must make
+//! explicit the contract between the collector and the mutator and it must
+//! make sure that it is always respected. Without typechecking, such rules
+//! can prove difficult to implement correctly and bugs can be very
+//! difficult to find."
+//!
+//! This suite injects classic garbage-collector bugs into the certified
+//! collectors and shows that the λGC typechecker rejects every one of them
+//! — each would be a silent heap corruption in an untyped collector.
+
+use std::rc::Rc;
+
+use ps_collectors::{basic, forwarding, generational};
+use ps_gc_lang::machine::Program;
+use ps_gc_lang::syntax::{CodeDef, Dialect, Op, Region, Term, Value};
+use ps_gc_lang::tyck::Checker;
+use ps_ir::Symbol;
+
+fn s(x: &str) -> Symbol {
+    Symbol::intern(x)
+}
+
+fn check(dialect: Dialect, code: Vec<CodeDef>) -> Result<(), ps_gc_lang::error::LangError> {
+    Checker::check_program(&Program {
+        dialect,
+        code,
+        main: Term::Halt(Value::Int(0)),
+    })
+}
+
+/// Rewrites every `Region::Var(from)` to `Region::Var(to)` inside a term —
+/// the "wrong region" class of bugs.
+fn swap_regions(e: &Term, from: Symbol, to: Symbol) -> Term {
+    ps_gc_lang::subst::Subst::one_rgn(from, Region::Var(to)).term(e)
+}
+
+/// Finds a block by name.
+fn block_mut<'a>(code: &'a mut [CodeDef], name: &str) -> &'a mut CodeDef {
+    code.iter_mut()
+        .find(|d| d.name == s(name))
+        .unwrap_or_else(|| panic!("no block {name}"))
+}
+
+// ===== basic collector ====================================================
+
+#[test]
+fn sanity_unmodified_collectors_certify() {
+    check(Dialect::Basic, basic::collector().code).unwrap();
+    check(Dialect::Forwarding, forwarding::collector().code).unwrap();
+    check(Dialect::Generational, generational::collector().code).unwrap();
+}
+
+/// Bug: the collector "copies" a pair by returning the from-space pointer
+/// instead of allocating in to-space (`put[r1]` instead of `put[r2]` in
+/// `copypair2`). After `only {r2}` the mutator would chase a dangling
+/// pointer.
+#[test]
+fn allocating_copies_in_from_space_is_rejected() {
+    let mut image = basic::collector();
+    let block = block_mut(&mut image.code, "copypair2");
+    block.body = swap_regions(&block.body, s("r2"), s("r1"));
+    let err = check(Dialect::Basic, image.code).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("type error") || msg.contains("ill-formed"), "{msg}");
+}
+
+/// Bug: `gcend` frees the *to*-space and keeps the from-space
+/// (`only {r1}` instead of `only {r2}`) — the freshly copied data would be
+/// reclaimed.
+#[test]
+fn freeing_the_wrong_region_is_rejected() {
+    let mut image = basic::collector();
+    let block = block_mut(&mut image.code, "gcend");
+    // Replace `only {r2} in f[][r2](y)` with `only {r1} in f[][r1](y)`.
+    block.body = swap_regions(&block.body, s("r2"), s("r1"));
+    let err = check(Dialect::Basic, image.code).unwrap_err();
+    // y : M_{r2}(t1) does not survive the restriction to {r1}.
+    assert!(err.to_string().contains("unbound variable y"), "{err}");
+}
+
+/// Bug: `gcend` forgets to free anything (drops the `only`) — not unsound,
+/// but then the mutator resumes with the from-space alive; the type system
+/// ACCEPTS this (it is safe, just leaky), which is exactly the paper's
+/// point that safety, not completeness of reclamation, is what is
+/// certified.
+#[test]
+fn leaky_collector_is_safe_and_accepted() {
+    let mut image = basic::collector();
+    let block = block_mut(&mut image.code, "gcend");
+    block.body = Term::app(
+        Value::Var(s("f")),
+        [],
+        [Region::Var(s("r2"))],
+        [Value::Var(s("y"))],
+    );
+    check(Dialect::Basic, image.code).unwrap();
+}
+
+/// Bug: copy's pair arm copies the first component *twice* and never the
+/// second (a classic transposition). The second component of the new pair
+/// would have the wrong type whenever t1 ≠ t2.
+#[test]
+fn copying_the_wrong_field_is_rejected() {
+    let mut image = basic::collector();
+    let block = block_mut(&mut image.code, "copy");
+    // In copy's body, the pair arm projects π2 for the continuation env and
+    // π1 for the recursive call; make both π1.
+    fn fix_proj(e: &Term) -> Term {
+        match e {
+            Term::Let { x, op: Op::Proj(2, v), body } if *x == Symbol::intern("x2src") => {
+                Term::Let {
+                    x: *x,
+                    op: Op::Proj(1, v.clone()),
+                    body: Rc::new(fix_proj(body)),
+                }
+            }
+            Term::Let { x, op, body } => Term::Let {
+                x: *x,
+                op: op.clone(),
+                body: Rc::new(fix_proj(body)),
+            },
+            Term::Typecase { tag, int_arm, arrow_arm, prod_arm, exist_arm } => Term::Typecase {
+                tag: tag.clone(),
+                int_arm: int_arm.clone(),
+                arrow_arm: arrow_arm.clone(),
+                prod_arm: (prod_arm.0, prod_arm.1, Rc::new(fix_proj(&prod_arm.2))),
+                exist_arm: exist_arm.clone(),
+            },
+            other => other.clone(),
+        }
+    }
+    block.body = fix_proj(&block.body);
+    let err = check(Dialect::Basic, image.code).unwrap_err();
+    assert!(err.to_string().contains("type error"), "{err}");
+}
+
+/// Bug: the collector skips copying entirely in the pair arm and hands the
+/// from-space pointer to the continuation (the continuation expects
+/// `M_{r2}(t)`).
+#[test]
+fn returning_from_space_pointers_is_rejected() {
+    let mut image = basic::collector();
+    let block = block_mut(&mut image.code, "copy");
+    // Rewrite the prod arm to just invoke k with x.
+    if let Term::Typecase { tag, int_arm, arrow_arm, prod_arm, exist_arm } = &block.body {
+        block.body = Term::Typecase {
+            tag: tag.clone(),
+            int_arm: int_arm.clone(),
+            arrow_arm: arrow_arm.clone(),
+            prod_arm: (prod_arm.0, prod_arm.1, int_arm.clone()),
+            exist_arm: exist_arm.clone(),
+        };
+    } else {
+        panic!("copy body is a typecase");
+    }
+    let err = check(Dialect::Basic, image.code).unwrap_err();
+    assert!(err.to_string().contains("type error"), "{err}");
+}
+
+// ===== forwarding collector ==============================================
+
+/// Bug: installing the forwarding pointer as `inl` (a live object) instead
+/// of `inr` — every later visitor would treat the forwarding pointer as
+/// data.
+#[test]
+fn forwarding_with_the_wrong_tag_bit_is_rejected() {
+    let mut image = forwarding::collector();
+    let block = block_mut(&mut image.code, "fwdpair2");
+    fn inr_to_inl(e: &Term) -> Term {
+        match e {
+            Term::Set { dst, src: Value::Inr(v), body } => Term::Set {
+                dst: dst.clone(),
+                src: Value::Inl(v.clone()),
+                body: body.clone(),
+            },
+            Term::Let { x, op, body } => Term::Let {
+                x: *x,
+                op: op.clone(),
+                body: Rc::new(inr_to_inl(body)),
+            },
+            other => other.clone(),
+        }
+    }
+    block.body = inr_to_inl(&block.body);
+    let err = check(Dialect::Forwarding, image.code).unwrap_err();
+    assert!(err.to_string().contains("type error"), "{err}");
+}
+
+/// Bug: forwarding to a from-space address (`set x := inr x` self-loop).
+#[test]
+fn forwarding_to_from_space_is_rejected() {
+    let mut image = forwarding::collector();
+    let block = block_mut(&mut image.code, "fwdpair2");
+    fn self_forward(e: &Term) -> Term {
+        match e {
+            Term::Set { dst, body, .. } => Term::Set {
+                dst: dst.clone(),
+                src: Value::inr(dst.clone()),
+                body: body.clone(),
+            },
+            Term::Let { x, op, body } => Term::Let {
+                x: *x,
+                op: op.clone(),
+                body: Rc::new(self_forward(body)),
+            },
+            other => other.clone(),
+        }
+    }
+    block.body = self_forward(&block.body);
+    let err = check(Dialect::Forwarding, image.code).unwrap_err();
+    assert!(err.to_string().contains("type error"), "{err}");
+}
+
+/// Bug: using a forwarding-dialect construct in the basic calculus — the
+/// dialects are distinct languages (§7 extends λGC).
+#[test]
+fn dialect_violations_are_rejected() {
+    let image = forwarding::collector();
+    let err = check(Dialect::Basic, image.code).unwrap_err();
+    assert!(err.to_string().contains("dialect"), "{err}");
+}
+
+// ===== generational collector ============================================
+
+/// Bug: the minor collector promotes young objects back into the *young*
+/// region (put[ry] instead of put[ro] in gpair2) — the "promoted" object
+/// would die with the young region it was supposed to escape, and the
+/// result type M_{ro,ro}(t) would be a lie.
+#[test]
+fn promoting_into_the_young_region_is_rejected() {
+    let mut image = generational::collector();
+    let block = block_mut(&mut image.code, "gpair2");
+    block.body = swap_regions(&block.body, s("ro"), s("ry"));
+    let err = check(Dialect::Generational, image.code).unwrap_err();
+    assert!(err.to_string().contains("type error"), "{err}");
+}
+
+/// Bug: gcend frees the old region and keeps the young one — all promoted
+/// data would dangle.
+#[test]
+fn generational_freeing_old_region_is_rejected() {
+    let mut image = generational::collector();
+    let block = block_mut(&mut image.code, "gcend");
+    block.body = swap_regions(&block.body, s("ro"), s("ry"));
+    let err = check(Dialect::Generational, image.code).unwrap_err();
+    assert!(err.to_string().contains("unbound variable y"), "{err}");
+}

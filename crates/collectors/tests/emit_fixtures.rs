@@ -1,0 +1,54 @@
+//! Keeps the textual collector listings in `gc-lang/tests/fixtures/` in
+//! sync with the builders. The fixtures serve two purposes: they are the
+//! human-readable "figures" of this repository (compare with the paper's
+//! Figs. 9/11/12), and they feed gc-lang's parser round-trip tests without
+//! a dependency cycle.
+//!
+//! Run with `PS_EMIT_FIXTURES=1` to regenerate.
+
+use std::path::PathBuf;
+
+use ps_collectors::{basic, forwarding, generational};
+use ps_gc_lang::pretty;
+
+fn listing(code: &[ps_gc_lang::syntax::CodeDef]) -> String {
+    let mut out = String::new();
+    for def in code {
+        out.push_str(&pretty::code_def_to_string(def));
+        out.push_str("\n\n");
+    }
+    out
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../gc-lang/tests/fixtures")
+        .join(format!("{name}.gc"))
+}
+
+#[test]
+fn fixtures_are_in_sync() {
+    for (name, code) in [
+        ("basic", basic::collector().code),
+        ("forwarding", forwarding::collector().code),
+        ("generational", generational::collector().code),
+    ] {
+        let expected = listing(&code);
+        let path = fixture_path(name);
+        if std::env::var("PS_EMIT_FIXTURES").is_ok() {
+            std::fs::write(&path, &expected).expect("write fixture");
+            continue;
+        }
+        let actual = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing fixture {}: {e}\nregenerate with PS_EMIT_FIXTURES=1 cargo test -p ps-collectors --test emit_fixtures",
+                path.display()
+            )
+        });
+        assert_eq!(
+            actual, expected,
+            "stale fixture {}; regenerate with PS_EMIT_FIXTURES=1",
+            path.display()
+        );
+    }
+}

@@ -1,0 +1,386 @@
+//! # scavenger — *Principled Scavenging* as a library
+//!
+//! A full reproduction of Monnier, Saha & Shao, *Principled Scavenging*
+//! (PLDI 2001): provably type-safe stop-and-copy garbage collection built
+//! from a region calculus plus intensional type analysis.
+//!
+//! The headline idea: instead of trusting the collector, *write it inside a
+//! type-safe language* (λGC) whose hard-wired Typerec `Mρ(τ)` states the
+//! mutator–collector contract, and let an ordinary typechecker certify it.
+//! This crate compiles a small ML-like source language down to λGC, links
+//! it with one of three certified collectors, and runs the result on the
+//! paper's own operational semantics:
+//!
+//! | collector | paper | what it shows |
+//! |---|---|---|
+//! | [`Collector::Basic`] | Figs. 4/12 | the core contract `copy : M_{r₁}(t) → M_{r₂}(t)` |
+//! | [`Collector::Forwarding`] | Fig. 9, §7 | efficient forwarding pointers via the `widen` cast; sharing preserved |
+//! | [`Collector::Generational`] | Fig. 11, §8 | minor collections that never touch the old generation |
+//!
+//! # Examples
+//!
+//! ```
+//! use scavenger::{Collector, Pipeline};
+//!
+//! # fn main() -> Result<(), scavenger::PipelineError> {
+//! let program = Pipeline::new(Collector::Basic)
+//!     .region_budget(96) // tiny: force many collections
+//!     .compile("fun fact (n : int) : int = if0 n then 1 else n * fact (n - 1)\n fact 10")?;
+//! program.typecheck()?; // certifies mutator AND collector together
+//! let run = program.run(10_000_000)?;
+//! assert_eq!(run.result, 3_628_800);
+//! assert!(run.stats.collections > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt;
+
+pub use ps_clos as clos;
+pub use ps_collectors as collectors;
+pub use ps_gc_lang as gc_lang;
+pub use ps_ir as ir;
+pub use ps_lambda as lambda;
+pub use ps_trans as trans;
+
+use ps_collectors::CollectorImage;
+use ps_gc_lang::machine::{Machine, Outcome, Program, Stats};
+use ps_gc_lang::memory::{GrowthPolicy, MemConfig};
+use ps_gc_lang::tyck::Checker;
+
+/// Which certified collector to link against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Collector {
+    /// The basic stop-and-copy collector of Fig. 12 (no sharing
+    /// preservation: DAGs are copied as trees).
+    Basic,
+    /// The forwarding-pointer collector of Fig. 9 (§7).
+    Forwarding,
+    /// The generational collector of Fig. 11 (§8), minor collections.
+    Generational,
+}
+
+impl Collector {
+    /// The collector's λGC code image.
+    pub fn image(self) -> CollectorImage {
+        match self {
+            Collector::Basic => ps_collectors::basic::collector(),
+            Collector::Forwarding => ps_collectors::forwarding::collector(),
+            Collector::Generational => ps_collectors::generational::collector(),
+        }
+    }
+}
+
+impl fmt::Display for Collector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Collector::Basic => write!(f, "basic"),
+            Collector::Forwarding => write!(f, "forwarding"),
+            Collector::Generational => write!(f, "generational"),
+        }
+    }
+}
+
+/// An error from any stage of the pipeline.
+#[derive(Clone, Debug)]
+pub enum PipelineError {
+    /// Source lexing/parsing failed.
+    Parse(ps_lambda::parse::ParseError),
+    /// The source program is ill-typed.
+    SourceType(ps_lambda::typecheck::TypeError),
+    /// CPS conversion failed (ill-typed input).
+    Cps(ps_clos::cps::CpsError),
+    /// Closure conversion failed (CPS invariant violated).
+    Cc(ps_clos::cc::CcError),
+    /// The λCLOS intermediate program is ill-typed (a compiler bug).
+    ClosType(ps_clos::tyck::ClosTypeError),
+    /// Translation to λGC failed.
+    Trans(ps_trans::TransError),
+    /// The final λGC program is ill-typed (a compiler or collector bug).
+    GcType(ps_gc_lang::error::LangError),
+    /// The machine got stuck or hit a memory fault.
+    Runtime(ps_gc_lang::error::LangError),
+    /// The machine ran out of fuel.
+    OutOfFuel,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Parse(e) => write!(f, "{e}"),
+            PipelineError::SourceType(e) => write!(f, "{e}"),
+            PipelineError::Cps(e) => write!(f, "{e}"),
+            PipelineError::Cc(e) => write!(f, "{e}"),
+            PipelineError::ClosType(e) => write!(f, "{e}"),
+            PipelineError::Trans(e) => write!(f, "{e}"),
+            PipelineError::GcType(e) => write!(f, "λGC {e}"),
+            PipelineError::Runtime(e) => write!(f, "runtime {e}"),
+            PipelineError::OutOfFuel => write!(f, "machine ran out of fuel"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// The compilation pipeline: source → CPS → λCLOS → λGC, linked with a
+/// certified collector.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    collector: Collector,
+    config: MemConfig,
+    check_stages: bool,
+}
+
+impl Pipeline {
+    /// A pipeline for the given collector with default memory settings.
+    pub fn new(collector: Collector) -> Pipeline {
+        Pipeline {
+            collector,
+            config: MemConfig::default(),
+            check_stages: true,
+        }
+    }
+
+    /// Sets the base region budget in words (how much mutator allocation
+    /// fits before `ifgc` triggers a collection).
+    pub fn region_budget(mut self, words: usize) -> Pipeline {
+        self.config.region_budget = words;
+        self
+    }
+
+    /// Sets the budget growth policy.
+    pub fn growth(mut self, policy: GrowthPolicy) -> Pipeline {
+        self.config.growth = policy;
+        self
+    }
+
+    /// Maintains the memory typing `Ψ` while running, enabling
+    /// [`gc_lang::wf::check_state`] (slower; off by default).
+    pub fn track_types(mut self, on: bool) -> Pipeline {
+        self.config.track_types = on;
+        self
+    }
+
+    /// Skips the per-stage intermediate typechecks during [`Self::compile`]
+    /// (they are cheap; only benchmarks turn them off).
+    pub fn check_stages(mut self, on: bool) -> Pipeline {
+        self.check_stages = on;
+        self
+    }
+
+    /// The memory configuration this pipeline loads machines with.
+    pub fn config(&self) -> MemConfig {
+        self.config
+    }
+
+    /// Compiles a source program all the way to a λGC program linked with
+    /// the collector.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first stage error; with `check_stages` on (the default),
+    /// every intermediate program is typechecked, so miscompilation
+    /// surfaces as a [`PipelineError::ClosType`]/[`PipelineError::GcType`]
+    /// here rather than at run time.
+    pub fn compile(&self, source: &str) -> Result<Compiled, PipelineError> {
+        let src = ps_lambda::parse::parse_program(source).map_err(PipelineError::Parse)?;
+        ps_lambda::typecheck::check_program(&src).map_err(PipelineError::SourceType)?;
+        let cps = ps_clos::cps::cps_program(&src).map_err(PipelineError::Cps)?;
+        if self.check_stages {
+            ps_lambda::typecheck::check_program(&cps).map_err(PipelineError::SourceType)?;
+        }
+        let clos = ps_clos::cc::cc_program(&cps).map_err(PipelineError::Cc)?;
+        if self.check_stages {
+            ps_clos::tyck::check_program(&clos).map_err(PipelineError::ClosType)?;
+        }
+        let image = self.collector.image();
+        let program = match self.collector {
+            Collector::Basic => ps_trans::basic::translate(&clos, &image),
+            Collector::Forwarding => ps_trans::forwarding::translate(&clos, &image),
+            Collector::Generational => ps_trans::generational::translate(&clos, &image),
+        }
+        .map_err(PipelineError::Trans)?;
+        Ok(Compiled {
+            collector: self.collector,
+            config: self.config,
+            source: src,
+            clos,
+            program,
+        })
+    }
+}
+
+/// A compiled program with its intermediate forms.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    collector: Collector,
+    config: MemConfig,
+    /// The parsed source program.
+    pub source: ps_lambda::syntax::SrcProgram,
+    /// The λCLOS intermediate program.
+    pub clos: ps_clos::syntax::CProgram,
+    /// The final λGC program (collector + translated mutator).
+    pub program: Program,
+}
+
+/// The outcome of running a compiled program.
+#[derive(Clone, Debug)]
+pub struct Run {
+    /// The integer the program halted with.
+    pub result: i64,
+    /// Machine statistics (collections, words reclaimed, …).
+    pub stats: Stats,
+}
+
+impl Compiled {
+    /// Which collector this program is linked with.
+    pub fn collector(&self) -> Collector {
+        self.collector
+    }
+
+    /// Typechecks the *whole* λGC program — mutator and collector together
+    /// — under the paper's static semantics. This is the certification
+    /// step: no part of memory management remains in the trusted base.
+    ///
+    /// # Errors
+    ///
+    /// Returns the λGC type error, naming the offending code block.
+    pub fn typecheck(&self) -> Result<(), PipelineError> {
+        Checker::check_program(&self.program).map_err(PipelineError::GcType)
+    }
+
+    /// Creates a machine loaded with this program.
+    pub fn machine(&self) -> Machine {
+        Machine::load(&self.program, self.config)
+    }
+
+    /// Creates a machine with an explicit memory configuration.
+    pub fn machine_with(&self, config: MemConfig) -> Machine {
+        Machine::load(&self.program, config)
+    }
+
+    /// Runs the program to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Runtime`] on a stuck state (impossible for
+    /// typechecked programs, per progress) or [`PipelineError::OutOfFuel`].
+    pub fn run(&self, fuel: u64) -> Result<Run, PipelineError> {
+        let mut m = self.machine();
+        match m.run(fuel).map_err(PipelineError::Runtime)? {
+            Outcome::Halted(result) => Ok(Run {
+                result,
+                stats: m.stats().clone(),
+            }),
+            Outcome::OutOfFuel => Err(PipelineError::OutOfFuel),
+        }
+    }
+
+    /// Evaluates the *source* program with the reference evaluator — the
+    /// observational oracle the compiled program must agree with.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluator errors (fuel exhaustion on divergent programs).
+    pub fn reference_result(&self, fuel: u64) -> Result<i64, PipelineError> {
+        ps_lambda::eval::run_program(&self.source, fuel).map_err(|e| {
+            PipelineError::Runtime(ps_gc_lang::error::LangError::new(
+                ps_gc_lang::error::ErrorKind::Stuck,
+                e.0,
+            ))
+        })
+    }
+}
+
+impl Compiled {
+    /// Assembles a `Compiled` from externally built parts — used by the
+    /// benchmark harness, whose workloads are constructed as source ASTs
+    /// (deep live structure needs types of matching depth, which no
+    /// hand-written concrete syntax would enumerate).
+    pub fn from_parts(
+        collector: Collector,
+        config: MemConfig,
+        source: ps_lambda::syntax::SrcProgram,
+        clos: ps_clos::syntax::CProgram,
+        program: Program,
+    ) -> Compiled {
+        Compiled {
+            collector,
+            config,
+            source,
+            clos,
+            program,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIB: &str = "fun fib (n : int) : int = if0 n then 0 else if0 n - 1 then 1 else fib (n - 1) + fib (n - 2)\n fib 12";
+
+    #[test]
+    fn all_collectors_agree_with_the_oracle() {
+        for collector in [Collector::Basic, Collector::Forwarding, Collector::Generational] {
+            let compiled = Pipeline::new(collector)
+                .region_budget(128)
+                .compile(FIB)
+                .unwrap();
+            compiled.typecheck().unwrap();
+            let run = compiled.run(100_000_000).unwrap();
+            assert_eq!(run.result, compiled.reference_result(10_000_000).unwrap());
+            assert!(run.stats.collections > 0, "{collector}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        assert!(matches!(
+            Pipeline::new(Collector::Basic).compile("fun ("),
+            Err(PipelineError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn type_errors_surface() {
+        assert!(matches!(
+            Pipeline::new(Collector::Basic).compile("(1, 2) + 3"),
+            Err(PipelineError::SourceType(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_fuel_is_distinguished() {
+        let compiled = Pipeline::new(Collector::Basic)
+            .compile("fun loop (n : int) : int = loop n\n loop 0")
+            .unwrap();
+        assert!(matches!(compiled.run(1_000), Err(PipelineError::OutOfFuel)));
+    }
+
+    #[test]
+    fn budget_controls_collection_count() {
+        let small = Pipeline::new(Collector::Basic)
+            .region_budget(64)
+            .compile(FIB)
+            .unwrap()
+            .run(100_000_000)
+            .unwrap();
+        let big = Pipeline::new(Collector::Basic)
+            .region_budget(1 << 24)
+            .compile(FIB)
+            .unwrap()
+            .run(100_000_000)
+            .unwrap();
+        assert!(small.stats.collections > big.stats.collections);
+        assert_eq!(big.stats.collections, 0);
+        assert_eq!(small.result, big.result);
+    }
+
+    #[test]
+    fn collector_display() {
+        assert_eq!(Collector::Basic.to_string(), "basic");
+        assert_eq!(Collector::Forwarding.to_string(), "forwarding");
+        assert_eq!(Collector::Generational.to_string(), "generational");
+    }
+}

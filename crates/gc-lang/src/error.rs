@@ -1,0 +1,143 @@
+//! Error types shared by the λGC kind checker, typechecker and machine.
+
+use std::fmt;
+
+/// What went wrong.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// A tag failed to kind-check (`Θ ⊢ τ : κ`).
+    Kinding,
+    /// A type was ill-formed (`∆; Θ; Φ ⊢ σ`).
+    TypeFormation,
+    /// A value, operation or term failed to typecheck (Fig. 6/8/10).
+    Typing,
+    /// The machine reached a stuck state (a progress violation, Prop. 6.5).
+    Stuck,
+    /// A memory access failed (dangling address, missing region).
+    Memory,
+    /// A construct was used outside its dialect (e.g. `widen` in λGC).
+    Dialect,
+    /// A machine-state well-formedness check failed (Fig. 7).
+    WellFormedness,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorKind::Kinding => "kinding error",
+            ErrorKind::TypeFormation => "ill-formed type",
+            ErrorKind::Typing => "type error",
+            ErrorKind::Stuck => "stuck machine state",
+            ErrorKind::Memory => "memory error",
+            ErrorKind::Dialect => "dialect violation",
+            ErrorKind::WellFormedness => "ill-formed machine state",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An error raised by any λGC judgement or by the machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LangError {
+    kind: ErrorKind,
+    msg: String,
+    /// Innermost-first trail of contexts (e.g. the code block being checked).
+    context: Vec<String>,
+}
+
+impl LangError {
+    /// Creates a new error.
+    pub fn new(kind: ErrorKind, msg: impl Into<String>) -> LangError {
+        LangError {
+            kind,
+            msg: msg.into(),
+            context: Vec::new(),
+        }
+    }
+
+    /// The category of this error.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// The human-readable message (without context trail).
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+
+    /// Adds a context frame (innermost first).
+    pub fn in_context(mut self, ctx: impl Into<String>) -> LangError {
+        self.context.push(ctx.into());
+        self
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.msg)?;
+        for c in &self.context {
+            write!(f, "\n  in {c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Result alias for λGC judgements.
+pub type Result<T> = std::result::Result<T, LangError>;
+
+/// Shorthand constructors.
+pub(crate) fn kind_err(msg: impl Into<String>) -> LangError {
+    LangError::new(ErrorKind::Kinding, msg)
+}
+pub(crate) fn type_err(msg: impl Into<String>) -> LangError {
+    LangError::new(ErrorKind::Typing, msg)
+}
+pub(crate) fn form_err(msg: impl Into<String>) -> LangError {
+    LangError::new(ErrorKind::TypeFormation, msg)
+}
+pub(crate) fn stuck_err(msg: impl Into<String>) -> LangError {
+    LangError::new(ErrorKind::Stuck, msg)
+}
+pub(crate) fn mem_err(msg: impl Into<String>) -> LangError {
+    LangError::new(ErrorKind::Memory, msg)
+}
+pub(crate) fn dialect_err(msg: impl Into<String>) -> LangError {
+    LangError::new(ErrorKind::Dialect, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = LangError::new(ErrorKind::Typing, "expected int");
+        assert_eq!(e.to_string(), "type error: expected int");
+    }
+
+    #[test]
+    fn context_frames_render_in_order() {
+        let e = LangError::new(ErrorKind::Stuck, "boom")
+            .in_context("copy")
+            .in_context("gc");
+        let s = e.to_string();
+        assert!(s.contains("in copy"));
+        assert!(s.contains("in gc"));
+        assert!(s.find("copy").unwrap() < s.find("gc").unwrap());
+    }
+
+    #[test]
+    fn accessors() {
+        let e = LangError::new(ErrorKind::Memory, "dangling");
+        assert_eq!(e.kind(), ErrorKind::Memory);
+        assert_eq!(e.message(), "dangling");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<LangError>();
+    }
+}

@@ -1,0 +1,59 @@
+//! # ps-gc-lang — the λGC family of calculi
+//!
+//! This crate implements the target language of *Principled Scavenging*
+//! (Monnier, Saha, Shao; PLDI 2001) and its two extensions:
+//!
+//! * **λGC** (§4–6): a closed CPS language with regions (`let region`,
+//!   `put`/`get`, `only`) and intensional type analysis (`typecase` over a
+//!   tag language), plus the hard-wired Typerec `Mρ(τ)` that states the
+//!   mutator–collector contract.
+//! * **λGCforw** (§7): sums, tag bits, `set` and the `widen` cast, enabling
+//!   efficient forwarding pointers.
+//! * **λGCgen** (§8): region existentials and `ifreg`, enabling
+//!   generational collection.
+//!
+//! The pieces:
+//!
+//! * [`syntax`] — ASTs (Fig. 2 + extensions) with a [`syntax::Dialect`]
+//!   marker selecting the calculus;
+//! * [`tags`] — tag kinding and normalization (Props. 6.1/6.2);
+//! * [`moper`] — the `M`/`C`/`M_gen` operators and type equality;
+//! * [`subst`] — capture-avoiding simultaneous substitution;
+//! * [`tyck`] — the static semantics (Figs. 6, 8, 10);
+//! * [`memory`]/[`machine`] — the allocation semantics (Fig. 5) on real
+//!   region-backed stores, with statistics;
+//! * [`wf`] — machine-state well-formedness (`⊢ (M,e)`, Fig. 7), the
+//!   engine behind the preservation/progress property tests;
+//! * [`pretty`] — rendering in the paper's notation;
+//! * [`ablation`] — the measurable version of §2.2.1's S-vs-M argument.
+//!
+//! # Examples
+//!
+//! Run a tiny λGC program:
+//!
+//! ```
+//! use ps_gc_lang::machine::{Machine, Outcome, Program};
+//! use ps_gc_lang::memory::MemConfig;
+//! use ps_gc_lang::syntax::{Dialect, Term, Value};
+//!
+//! let program = Program {
+//!     dialect: Dialect::Basic,
+//!     code: vec![],
+//!     main: Term::Halt(Value::Int(42)),
+//! };
+//! let mut m = Machine::load(&program, MemConfig::default());
+//! assert_eq!(m.run(10).unwrap(), Outcome::Halted(42));
+//! ```
+
+pub mod ablation;
+pub mod error;
+pub mod machine;
+pub mod memory;
+pub mod moper;
+pub mod parse;
+pub mod pretty;
+pub mod subst;
+pub mod syntax;
+pub mod tags;
+pub mod tyck;
+pub mod wf;

@@ -1,0 +1,1029 @@
+//! The λGC abstract machine: the operational semantics of Fig. 5, extended
+//! with the λGCforw rules of §7 and the λGCgen rules of §8.
+//!
+//! A machine state is a pair `(M, e)` of a memory and a closed term. The
+//! machine implements every reduction rule of the paper literally; the only
+//! additions are the integer primitives (`if0`, arithmetic) documented in
+//! [`crate::syntax`].
+//!
+//! One figure-5 typo is corrected: the published rule for
+//! `ifleft x = (inr v) eₗ eᵣ` steps to `eₗ[inr v/x]`, which contradicts the
+//! typing rule of Fig. 8 and the use in Fig. 9; we step to `eᵣ[inr v/x]`.
+
+use std::collections::HashSet;
+
+use crate::error::{stuck_err, LangError, Result};
+use crate::memory::{MemConfig, Memory, ReclaimReport};
+use crate::subst::Subst;
+use crate::syntax::{Dialect, Op, Region, RegionName, Tag, Term, Ty, Value};
+use crate::tags;
+
+/// A closed λGC program: code blocks to install in `cd` plus the main term.
+///
+/// The main term refers to code via `Value::Addr(CD, i)` where `i` is the
+/// index of the block in `code`.
+#[derive(Clone, Debug)]
+pub struct Program {
+    pub dialect: Dialect,
+    pub code: Vec<crate::syntax::CodeDef>,
+    pub main: Term,
+}
+
+/// Statistics collected while running.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Stats {
+    /// Machine steps taken.
+    pub steps: u64,
+    /// Number of `put` allocations.
+    pub allocations: u64,
+    /// Words allocated by `put`.
+    pub words_allocated: u64,
+    /// Regions created by `let region`.
+    pub regions_created: u64,
+    /// `only` executions that actually dropped data (i.e. collections).
+    pub collections: u64,
+    /// Words reclaimed by `only`.
+    pub words_reclaimed: u64,
+    /// Peak total words in data regions.
+    pub peak_data_words: usize,
+    /// `typecase` dispatches taken.
+    pub typecase_dispatches: u64,
+    /// `ifgc` checks that came back "full".
+    pub gc_triggers: u64,
+    /// `set` writes (forwarding-pointer installs).
+    pub forwarding_installs: u64,
+    /// Reports from each `only` that dropped something.
+    pub reclaim_events: Vec<ReclaimReport>,
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} steps, {} allocations ({} words), {} collections ({} words reclaimed), peak {} live words",
+            self.steps,
+            self.allocations,
+            self.words_allocated,
+            self.collections,
+            self.words_reclaimed,
+            self.peak_data_words
+        )
+    }
+}
+
+/// The result of running a machine to completion (or out of fuel).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// `halt v` was reached with the given integer.
+    Halted(i64),
+    /// Fuel ran out before halting.
+    OutOfFuel,
+}
+
+/// One machine step's result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The machine took a step.
+    Continue,
+    /// `halt v` was reached.
+    Halted(i64),
+}
+
+/// A λGC machine state `(M, e)` plus bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    mem: Memory,
+    term: Term,
+    dialect: Dialect,
+    stats: Stats,
+    halted: Option<i64>,
+}
+
+impl Machine {
+    /// Loads a program: installs its code blocks in `cd` and sets the main
+    /// term as the current redex.
+    pub fn load(program: &Program, config: MemConfig) -> Machine {
+        let mut mem = Memory::new(config);
+        for def in &program.code {
+            let ty = def.ty();
+            mem.install_code(Value::Code(std::rc::Rc::new(def.clone())), ty);
+        }
+        Machine {
+            mem,
+            term: program.main.clone(),
+            dialect: program.dialect,
+            stats: Stats::default(),
+            halted: None,
+        }
+    }
+
+    /// The current memory.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// The current term.
+    pub fn term(&self) -> &Term {
+        &self.term
+    }
+
+    /// The dialect this machine runs.
+    pub fn dialect(&self) -> Dialect {
+        self.dialect
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The halt value, if the machine has halted.
+    pub fn halted(&self) -> Option<i64> {
+        self.halted
+    }
+
+    /// Runs until `halt`, an error, or `fuel` steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns a stuck-state error if no reduction rule applies — a progress
+    /// violation for well-typed programs (Prop. 6.5).
+    pub fn run(&mut self, fuel: u64) -> Result<Outcome> {
+        for _ in 0..fuel {
+            match self.step()? {
+                StepOutcome::Continue => {}
+                StepOutcome::Halted(n) => return Ok(Outcome::Halted(n)),
+            }
+        }
+        Ok(Outcome::OutOfFuel)
+    }
+
+    /// Takes one machine step.
+    ///
+    /// # Errors
+    ///
+    /// Returns a stuck-state or memory error if no rule applies.
+    pub fn step(&mut self) -> Result<StepOutcome> {
+        if let Some(n) = self.halted {
+            return Ok(StepOutcome::Halted(n));
+        }
+        self.stats.steps += 1;
+        let term = std::mem::replace(&mut self.term, Term::Halt(Value::Int(0)));
+        let next = self.step_term(term)?;
+        match next {
+            Some(t) => {
+                self.term = t;
+                self.stats.peak_data_words = self.stats.peak_data_words.max(self.mem.data_words());
+                Ok(StepOutcome::Continue)
+            }
+            None => {
+                let n = self.halted.expect("halt recorded");
+                Ok(StepOutcome::Halted(n))
+            }
+        }
+    }
+
+    fn stuck(&self, msg: String) -> LangError {
+        stuck_err(msg).in_context(format!("dialect {}", self.dialect))
+    }
+
+    fn step_term(&mut self, term: Term) -> Result<Option<Term>> {
+        match term {
+            Term::App { f, tags: ts, regions, args } => {
+                self.step_app(f, ts, regions, args).map(Some)
+            }
+            Term::Let { x, op, body } => {
+                let v = self.eval_op(op)?;
+                Ok(Some(Subst::one_val(x, v).term(&body)))
+            }
+            Term::Halt(v) => match v {
+                Value::Int(n) => {
+                    self.halted = Some(n);
+                    Ok(None)
+                }
+                other => Err(self.stuck(format!("halt on non-integer value {other:?}"))),
+            },
+            Term::IfGc { rho, full, cont } => {
+                let nu = self.expect_name(&rho)?;
+                if self.mem.is_full(nu)? {
+                    self.stats.gc_triggers += 1;
+                    Ok(Some((*full).clone()))
+                } else {
+                    Ok(Some((*cont).clone()))
+                }
+            }
+            Term::OpenTag { pkg, tvar, x, body } => match pkg {
+                Value::PackTag { tvar: _, tag, val, .. } => {
+                    // Fig. 5 normalizes the witness tag before substituting.
+                    let nf = tags::normalize(&tag);
+                    let sub = Subst::new().with_tag(tvar, nf).with_val(x, (*val).clone());
+                    Ok(Some(sub.term(&body)))
+                }
+                other => Err(self.stuck(format!("open(tag) on non-package {other:?}"))),
+            },
+            Term::OpenAlpha { pkg, avar, x, body } => match pkg {
+                Value::PackAlpha { witness, val, .. } => {
+                    let sub = Subst::new()
+                        .with_alpha(avar, witness)
+                        .with_val(x, (*val).clone());
+                    Ok(Some(sub.term(&body)))
+                }
+                other => Err(self.stuck(format!("open(α) on non-package {other:?}"))),
+            },
+            Term::OpenRgn { pkg, rvar, x, body } => match pkg {
+                Value::PackRgn { witness, val, .. } => {
+                    let nu = self.expect_name(&witness)?;
+                    let sub = Subst::new()
+                        .with_rgn(rvar, Region::Name(nu))
+                        .with_val(x, (*val).clone());
+                    Ok(Some(sub.term(&body)))
+                }
+                other => Err(self.stuck(format!("open(region) on non-package {other:?}"))),
+            },
+            Term::LetRegion { rvar, body } => {
+                let nu = self.mem.alloc_region();
+                self.stats.regions_created += 1;
+                Ok(Some(Subst::one_rgn(rvar, Region::Name(nu)).term(&body)))
+            }
+            Term::Only { regions, body } => {
+                let mut keep = Vec::with_capacity(regions.len());
+                for r in &regions {
+                    keep.push(self.expect_name(r)?);
+                }
+                let report = self.mem.only(&keep);
+                if !report.dropped.is_empty() {
+                    self.stats.collections += 1;
+                    self.stats.words_reclaimed += report.words_reclaimed() as u64;
+                    self.stats.reclaim_events.push(report);
+                }
+                Ok(Some((*body).clone()))
+            }
+            Term::Typecase { tag, int_arm, arrow_arm, prod_arm, exist_arm } => {
+                self.stats.typecase_dispatches += 1;
+                let nf = tags::normalize(&tag);
+                match nf {
+                    Tag::Int => Ok(Some((*int_arm).clone())),
+                    Tag::Arrow(_) => Ok(Some((*arrow_arm).clone())),
+                    Tag::Prod(a, b) => {
+                        let (t1, t2, body) = prod_arm;
+                        let sub = Subst::new()
+                            .with_tag(t1, (*a).clone())
+                            .with_tag(t2, (*b).clone());
+                        Ok(Some(sub.term(&body)))
+                    }
+                    Tag::Exist(t, body_tag) => {
+                        let (te, body) = exist_arm;
+                        let lam = Tag::Lam(t, body_tag);
+                        Ok(Some(Subst::one_tag(te, lam).term(&body)))
+                    }
+                    other => Err(self.stuck(format!("typecase on non-constructor tag {other:?}"))),
+                }
+            }
+            Term::IfLeft { x, scrut, left, right } => match scrut {
+                v @ Value::Inl(_) => Ok(Some(Subst::one_val(x, v).term(&left))),
+                v @ Value::Inr(_) => Ok(Some(Subst::one_val(x, v).term(&right))),
+                other => Err(self.stuck(format!("ifleft on non-sum value {other:?}"))),
+            },
+            Term::Set { dst, src, body } => match dst {
+                Value::Addr(nu, loc) => {
+                    self.mem.set(nu, loc, src)?;
+                    self.stats.forwarding_installs += 1;
+                    Ok(Some((*body).clone()))
+                }
+                other => Err(self.stuck(format!("set on non-address {other:?}"))),
+            },
+            Term::Widen { x, from, to, tag, v, body } => {
+                // Operationally a no-op: `widen` is the cast whose soundness
+                // §7.1 establishes; only the (observer) memory typing Ψ is
+                // rewritten by the T operator of Appendix C.
+                if self.mem.config().track_types {
+                    let from = self.expect_name(&from)?;
+                    let to = self.expect_name(&to)?;
+                    self.widen_psi(&v, &tags::normalize(&tag), from, to)?;
+                }
+                Ok(Some(Subst::one_val(x, v).term(&body)))
+            }
+            Term::IfReg { r1, r2, eq, ne } => {
+                let n1 = self.expect_name(&r1)?;
+                let n2 = self.expect_name(&r2)?;
+                if n1 == n2 {
+                    Ok(Some((*eq).clone()))
+                } else {
+                    Ok(Some((*ne).clone()))
+                }
+            }
+            Term::If0 { scrut, zero, nonzero } => match scrut {
+                Value::Int(0) => Ok(Some((*zero).clone())),
+                Value::Int(_) => Ok(Some((*nonzero).clone())),
+                other => Err(self.stuck(format!("if0 on non-integer {other:?}"))),
+            },
+        }
+    }
+
+    fn step_app(
+        &mut self,
+        f: Value,
+        ts: Vec<Tag>,
+        regions: Vec<Region>,
+        args: Vec<Value>,
+    ) -> Result<Term> {
+        match f {
+            Value::Addr(nu, loc) => {
+                let code = match self.mem.get(nu, loc)? {
+                    Value::Code(def) => def.clone(),
+                    other => {
+                        return Err(self.stuck(format!("application of non-code value {other:?}")))
+                    }
+                };
+                if code.tvars.len() != ts.len()
+                    || code.rvars.len() != regions.len()
+                    || code.params.len() != args.len()
+                {
+                    return Err(self.stuck(format!(
+                        "arity mismatch calling {}: expected [{}][{}]({}), got [{}][{}]({})",
+                        code.name,
+                        code.tvars.len(),
+                        code.rvars.len(),
+                        code.params.len(),
+                        ts.len(),
+                        regions.len(),
+                        args.len()
+                    )));
+                }
+                // Fig. 5's first rule normalizes the tag arguments before the
+                // β step.
+                let mut sub = Subst::new();
+                for ((t, _), tau) in code.tvars.iter().zip(ts.iter()) {
+                    sub = sub.with_tag(*t, tags::normalize(tau));
+                }
+                for (r, rho) in code.rvars.iter().zip(regions.iter()) {
+                    sub = sub.with_rgn(*r, *rho);
+                }
+                for ((x, _), v) in code.params.iter().zip(args.iter()) {
+                    sub = sub.with_val(*x, v.clone());
+                }
+                Ok(sub.term(&code.body))
+            }
+            Value::TagApp(inner, rec_tags, rec_rgns) => {
+                // (vJ~τ;~ρK)[~τ][~ρ](~v) ⇒ v[~τ][~ρ](~v). The recorded tags
+                // and regions are authoritative; the supplied ones must
+                // agree (checked statically).
+                let _ = regions;
+                Ok(Term::App {
+                    f: (*inner).clone(),
+                    tags: rec_tags.iter().cloned().collect(),
+                    regions: rec_rgns.iter().copied().collect(),
+                    args,
+                })
+            }
+            other => Err(self.stuck(format!("application of non-code value {other:?}"))),
+        }
+    }
+
+    fn eval_op(&mut self, op: Op) -> Result<Value> {
+        match op {
+            Op::Val(v) => Ok(v),
+            Op::Proj(i, v) => match v {
+                Value::Pair(a, b) => Ok(if i == 1 { (*a).clone() } else { (*b).clone() }),
+                other => Err(self.stuck(format!("projection π{i} of non-pair {other:?}"))),
+            },
+            Op::Put(rho, v) => {
+                let nu = self.expect_name(&rho)?;
+                let words = crate::memory::value_words(&v);
+                let loc = self.mem.put(nu, v)?;
+                self.stats.allocations += 1;
+                self.stats.words_allocated += words as u64;
+                Ok(Value::Addr(nu, loc))
+            }
+            Op::Get(v) => match v {
+                Value::Addr(nu, loc) => Ok(self.mem.get(nu, loc)?.clone()),
+                other => Err(self.stuck(format!("get of non-address {other:?}"))),
+            },
+            Op::Strip(v) => match v {
+                Value::Inl(x) | Value::Inr(x) => Ok((*x).clone()),
+                other => Err(self.stuck(format!("strip of untagged value {other:?}"))),
+            },
+            Op::Prim(p, a, b) => match (a, b) {
+                (Value::Int(x), Value::Int(y)) => Ok(Value::Int(p.apply(x, y))),
+                (a, b) => Err(self.stuck(format!("primitive {p} on non-integers {a:?}, {b:?}"))),
+            },
+        }
+    }
+
+    fn expect_name(&self, rho: &Region) -> Result<RegionName> {
+        match rho {
+            Region::Name(nu) => Ok(*nu),
+            Region::Var(r) => Err(self.stuck(format!("unsubstituted region variable {r}"))),
+        }
+    }
+
+    /// Rewrites `Ψ` for a `widen` by walking the live graph from `v` guided
+    /// by the tag, applying the `T` operator of Appendix C: every reachable
+    /// entry of the from-region changes from its `M`-form to the
+    /// corresponding `C`-form. Unreached entries of the from-region are
+    /// dropped from `Ψ` (they are garbage; Def. 7.1's `M̄ ⊆ M`).
+    fn widen_psi(&mut self, v: &Value, tag: &Tag, from: RegionName, to: RegionName) -> Result<()> {
+        let mut visited: HashSet<(RegionName, u32)> = HashSet::new();
+        self.widen_visit(v, tag, from, to, &mut visited)?;
+        // Drop unreached from-region entries.
+        if let Some(entries) = self.mem.psi_region(from) {
+            let dead: Vec<u32> = entries
+                .keys()
+                .copied()
+                .filter(|loc| !visited.contains(&(from, *loc)))
+                .collect();
+            for loc in dead {
+                self.mem.remove_psi_entry(from, loc);
+            }
+        }
+        Ok(())
+    }
+
+    fn widen_visit(
+        &mut self,
+        v: &Value,
+        tag: &Tag,
+        from: RegionName,
+        to: RegionName,
+        visited: &mut HashSet<(RegionName, u32)>,
+    ) -> Result<()> {
+        match tag {
+            Tag::Int | Tag::Arrow(_) | Tag::AnyArrow(_) => Ok(()),
+            Tag::Prod(t1, t2) => {
+                let (nu, loc) = match v {
+                    Value::Addr(nu, loc) => (*nu, *loc),
+                    other => {
+                        return Err(stuck_err(format!(
+                            "widen walk: expected address for product tag, got {other:?}"
+                        )))
+                    }
+                };
+                if !visited.insert((nu, loc)) {
+                    return Ok(());
+                }
+                let c_ty = self.c_stored_ty(tag, from, to);
+                self.mem.rewrite_psi_entry(nu, loc, c_ty);
+                let stored = self.mem.get(nu, loc)?.clone();
+                match stored {
+                    Value::Inl(inner) => match &*inner {
+                        Value::Pair(a, b) => {
+                            self.widen_visit(a, t1, from, to, visited)?;
+                            self.widen_visit(b, t2, from, to, visited)
+                        }
+                        other => Err(stuck_err(format!(
+                            "widen walk: expected pair under inl, got {other:?}"
+                        ))),
+                    },
+                    other => Err(stuck_err(format!(
+                        "widen walk: expected inl-tagged object, got {other:?}"
+                    ))),
+                }
+            }
+            Tag::Exist(t, body) => {
+                let (nu, loc) = match v {
+                    Value::Addr(nu, loc) => (*nu, *loc),
+                    other => {
+                        return Err(stuck_err(format!(
+                            "widen walk: expected address for existential tag, got {other:?}"
+                        )))
+                    }
+                };
+                if !visited.insert((nu, loc)) {
+                    return Ok(());
+                }
+                let c_ty = self.c_stored_ty(tag, from, to);
+                self.mem.rewrite_psi_entry(nu, loc, c_ty);
+                let stored = self.mem.get(nu, loc)?.clone();
+                match stored {
+                    Value::Inl(inner) => match &*inner {
+                        Value::PackTag { tvar, kind, tag: witness, val, .. } => {
+                            // §7.1's cast is "consistently applied over the
+                            // whole heap": the stored package's (erasable)
+                            // type annotation switches from the mutator view
+                            // M to the collector view C together with Ψ —
+                            // the step Lemma C.8's existential case performs
+                            // implicitly.
+                            let new_body = Ty::c(
+                                Region::Name(from),
+                                Region::Name(to),
+                                Subst::one_tag(*t, Tag::Var(*tvar)).tag(body),
+                            );
+                            let recast = Value::Inl(std::rc::Rc::new(Value::PackTag {
+                                tvar: *tvar,
+                                kind: *kind,
+                                tag: witness.clone(),
+                                val: val.clone(),
+                                body_ty: new_body,
+                            }));
+                            self.mem.set(nu, loc, recast)?;
+                            let child_tag =
+                                tags::normalize(&Subst::one_tag(*t, witness.clone()).tag(body));
+                            self.widen_visit(val, &child_tag, from, to, visited)
+                        }
+                        other => Err(stuck_err(format!(
+                            "widen walk: expected package under inl, got {other:?}"
+                        ))),
+                    },
+                    other => Err(stuck_err(format!(
+                        "widen walk: expected inl-tagged object, got {other:?}"
+                    ))),
+                }
+            }
+            other => Err(stuck_err(format!(
+                "widen walk: open tag {other:?} at runtime"
+            ))),
+        }
+    }
+
+    /// The stored-value part (i.e. without the outer `at`) of
+    /// `C_{from,to}(τ)` for a heap object.
+    fn c_stored_ty(&self, tag: &Tag, from: RegionName, to: RegionName) -> Ty {
+        let c = Ty::c(Region::Name(from), Region::Name(to), tag.clone());
+        match crate::moper::normalize_ty(&c, Dialect::Forwarding) {
+            Ty::At(inner, _) => (*inner).clone(),
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::GrowthPolicy;
+    use crate::syntax::{CodeDef, Kind, Op, PrimOp};
+    use ps_ir::Symbol;
+
+    fn s(x: &str) -> Symbol {
+        Symbol::intern(x)
+    }
+
+    fn config() -> MemConfig {
+        MemConfig {
+            region_budget: 16,
+            growth: GrowthPolicy::Fixed,
+            track_types: false,
+        }
+    }
+
+    fn run_main(main: Term) -> i64 {
+        run_program(Program {
+            dialect: Dialect::Basic,
+            code: vec![],
+            main,
+        })
+    }
+
+    fn run_program(p: Program) -> i64 {
+        let mut m = Machine::load(&p, config());
+        match m.run(100_000).unwrap() {
+            Outcome::Halted(n) => n,
+            Outcome::OutOfFuel => panic!("out of fuel"),
+        }
+    }
+
+    #[test]
+    fn halt_returns_value() {
+        assert_eq!(run_main(Term::Halt(Value::Int(42))), 42);
+    }
+
+    #[test]
+    fn let_val_substitutes() {
+        let x = s("x");
+        let e = Term::let_(x, Op::Val(Value::Int(7)), Term::Halt(Value::Var(x)));
+        assert_eq!(run_main(e), 7);
+    }
+
+    #[test]
+    fn projections() {
+        let x = s("x");
+        let e = Term::let_(
+            x,
+            Op::Proj(2, Value::pair(Value::Int(1), Value::Int(2))),
+            Term::Halt(Value::Var(x)),
+        );
+        assert_eq!(run_main(e), 2);
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let r = s("r");
+        let a = s("a");
+        let b = s("b");
+        let c = s("c");
+        let e = Term::LetRegion {
+            rvar: r,
+            body: std::rc::Rc::new(Term::let_(
+                a,
+                Op::Put(Region::Var(r), Value::pair(Value::Int(3), Value::Int(4))),
+                Term::let_(
+                    b,
+                    Op::Get(Value::Var(a)),
+                    Term::let_(c, Op::Proj(1, Value::Var(b)), Term::Halt(Value::Var(c))),
+                ),
+            )),
+        };
+        assert_eq!(run_main(e), 3);
+    }
+
+    #[test]
+    fn prim_and_if0() {
+        let x = s("x");
+        let e = Term::let_(
+            x,
+            Op::Prim(PrimOp::Sub, Value::Int(5), Value::Int(5)),
+            Term::If0 {
+                scrut: Value::Var(x),
+                zero: std::rc::Rc::new(Term::Halt(Value::Int(1))),
+                nonzero: std::rc::Rc::new(Term::Halt(Value::Int(0))),
+            },
+        );
+        assert_eq!(run_main(e), 1);
+    }
+
+    #[test]
+    fn code_application() {
+        let x = s("x");
+        let r = s("r");
+        let double = CodeDef {
+            name: s("double"),
+            tvars: vec![],
+            rvars: vec![r],
+            params: vec![(x, Ty::Int)],
+            body: Term::let_(
+                s("y"),
+                Op::Prim(PrimOp::Add, Value::Var(x), Value::Var(x)),
+                Term::Halt(Value::Var(s("y"))),
+            ),
+        };
+        let main = Term::LetRegion {
+            rvar: s("r0"),
+            body: std::rc::Rc::new(Term::app(
+                Value::Addr(crate::syntax::CD, 0),
+                [],
+                [Region::Var(s("r0"))],
+                [Value::Int(21)],
+            )),
+        };
+        let p = Program {
+            dialect: Dialect::Basic,
+            code: vec![double],
+            main,
+        };
+        assert_eq!(run_program(p), 42);
+    }
+
+    #[test]
+    fn typecase_dispatch() {
+        let t1 = s("t1");
+        let t2 = s("t2");
+        let te = s("te");
+        let mk = |tag: Tag| Term::Typecase {
+            tag,
+            int_arm: std::rc::Rc::new(Term::Halt(Value::Int(0))),
+            arrow_arm: std::rc::Rc::new(Term::Halt(Value::Int(1))),
+            prod_arm: (t1, t2, std::rc::Rc::new(Term::Halt(Value::Int(2)))),
+            exist_arm: (te, std::rc::Rc::new(Term::Halt(Value::Int(3)))),
+        };
+        assert_eq!(run_main(mk(Tag::Int)), 0);
+        assert_eq!(run_main(mk(Tag::arrow([Tag::Int]))), 1);
+        assert_eq!(run_main(mk(Tag::prod(Tag::Int, Tag::Int))), 2);
+        assert_eq!(run_main(mk(Tag::exist(s("u"), Tag::Int))), 3);
+        // A β-redex tag is normalized before dispatch.
+        assert_eq!(run_main(mk(Tag::app(Tag::id_fn(), Tag::Int))), 0);
+    }
+
+    #[test]
+    fn typecase_refines_components() {
+        let t1 = s("t1");
+        let t2 = s("t2");
+        let te = s("te");
+        // Dispatch on Int×(Int→0), then typecase on the second component.
+        let inner = Term::Typecase {
+            tag: Tag::Var(t2),
+            int_arm: std::rc::Rc::new(Term::Halt(Value::Int(10))),
+            arrow_arm: std::rc::Rc::new(Term::Halt(Value::Int(11))),
+            prod_arm: (s("u1"), s("u2"), std::rc::Rc::new(Term::Halt(Value::Int(12)))),
+            exist_arm: (s("ue"), std::rc::Rc::new(Term::Halt(Value::Int(13)))),
+        };
+        let e = Term::Typecase {
+            tag: Tag::prod(Tag::Int, Tag::arrow([Tag::Int])),
+            int_arm: std::rc::Rc::new(Term::Halt(Value::Int(0))),
+            arrow_arm: std::rc::Rc::new(Term::Halt(Value::Int(1))),
+            prod_arm: (t1, t2, std::rc::Rc::new(inner)),
+            exist_arm: (te, std::rc::Rc::new(Term::Halt(Value::Int(3)))),
+        };
+        assert_eq!(run_main(e), 11);
+    }
+
+    #[test]
+    fn exist_arm_receives_tag_function() {
+        // typecase ∃t.(t × Int) binds te := λt.(t × Int); applying te to Int
+        // and typecasing again must dispatch to the product arm.
+        let te = s("te");
+        let inner = Term::Typecase {
+            tag: Tag::app(Tag::Var(te), Tag::Int),
+            int_arm: std::rc::Rc::new(Term::Halt(Value::Int(0))),
+            arrow_arm: std::rc::Rc::new(Term::Halt(Value::Int(1))),
+            prod_arm: (s("p1"), s("p2"), std::rc::Rc::new(Term::Halt(Value::Int(2)))),
+            exist_arm: (s("pe"), std::rc::Rc::new(Term::Halt(Value::Int(3)))),
+        };
+        let e = Term::Typecase {
+            tag: Tag::exist(s("u"), Tag::prod(Tag::Var(s("u")), Tag::Int)),
+            int_arm: std::rc::Rc::new(Term::Halt(Value::Int(0))),
+            arrow_arm: std::rc::Rc::new(Term::Halt(Value::Int(1))),
+            prod_arm: (s("q1"), s("q2"), std::rc::Rc::new(Term::Halt(Value::Int(2)))),
+            exist_arm: (te, std::rc::Rc::new(inner)),
+        };
+        assert_eq!(run_main(e), 2);
+    }
+
+    #[test]
+    fn open_tag_package() {
+        let t = s("t");
+        let x = s("x");
+        let pkg = Value::PackTag {
+            tvar: t,
+            kind: Kind::Omega,
+            tag: Tag::Int,
+            val: std::rc::Rc::new(Value::Int(9)),
+            body_ty: Ty::Int,
+        };
+        let e = Term::OpenTag {
+            pkg,
+            tvar: t,
+            x,
+            body: std::rc::Rc::new(Term::Halt(Value::Var(x))),
+        };
+        assert_eq!(run_main(e), 9);
+    }
+
+    #[test]
+    fn only_reclaims_and_counts() {
+        let r1 = s("r1");
+        let r2 = s("r2");
+        let a = s("a");
+        let e = Term::LetRegion {
+            rvar: r1,
+            body: std::rc::Rc::new(Term::let_(
+                a,
+                Op::Put(Region::Var(r1), Value::Int(5)),
+                Term::LetRegion {
+                    rvar: r2,
+                    body: std::rc::Rc::new(Term::Only {
+                        regions: vec![Region::Var(r2)],
+                        body: std::rc::Rc::new(Term::Halt(Value::Int(0))),
+                    }),
+                },
+            )),
+        };
+        let p = Program { dialect: Dialect::Basic, code: vec![], main: e };
+        let mut m = Machine::load(&p, config());
+        assert_eq!(m.run(1000).unwrap(), Outcome::Halted(0));
+        assert_eq!(m.stats().collections, 1);
+        assert_eq!(m.stats().words_reclaimed, 1);
+        assert_eq!(m.stats().regions_created, 2);
+    }
+
+    #[test]
+    fn get_after_only_is_a_dynamic_error() {
+        // An ill-typed term: keep an address into a reclaimed region.
+        let r1 = s("r1");
+        let a = s("a");
+        let b = s("b");
+        let e = Term::LetRegion {
+            rvar: r1,
+            body: std::rc::Rc::new(Term::let_(
+                a,
+                Op::Put(Region::Var(r1), Value::Int(5)),
+                Term::Only {
+                    regions: vec![],
+                    body: std::rc::Rc::new(Term::let_(
+                        b,
+                        Op::Get(Value::Var(a)),
+                        Term::Halt(Value::Var(b)),
+                    )),
+                },
+            )),
+        };
+        let p = Program { dialect: Dialect::Basic, code: vec![], main: e };
+        let mut m = Machine::load(&p, config());
+        assert!(m.run(1000).is_err());
+    }
+
+    #[test]
+    fn ifgc_triggers_on_full_region() {
+        let r = s("r");
+        let mut body = Term::IfGc {
+            rho: Region::Var(r),
+            full: std::rc::Rc::new(Term::Halt(Value::Int(1))),
+            cont: std::rc::Rc::new(Term::Halt(Value::Int(0))),
+        };
+        // Fill the region past its budget first.
+        for i in 0..20 {
+            body = Term::let_(s(&format!("fill{i}")), Op::Put(Region::Var(r), Value::Int(0)), body);
+        }
+        let e = Term::LetRegion { rvar: r, body: std::rc::Rc::new(body) };
+        assert_eq!(run_main(e), 1);
+    }
+
+    #[test]
+    fn ifleft_branches() {
+        let x = s("x");
+        let y = s("y");
+        let mk = |v: Value| Term::IfLeft {
+            x,
+            scrut: v,
+            left: std::rc::Rc::new(Term::let_(
+                y,
+                Op::Strip(Value::Var(x)),
+                Term::Halt(Value::Var(y)),
+            )),
+            right: std::rc::Rc::new(Term::let_(
+                y,
+                Op::Strip(Value::Var(x)),
+                Term::Halt(Value::Var(y)),
+            )),
+        };
+        let pl = Program {
+            dialect: Dialect::Forwarding,
+            code: vec![],
+            main: mk(Value::inl(Value::Int(1))),
+        };
+        let pr = Program {
+            dialect: Dialect::Forwarding,
+            code: vec![],
+            main: mk(Value::inr(Value::Int(2))),
+        };
+        assert_eq!(run_program(pl), 1);
+        assert_eq!(run_program(pr), 2);
+    }
+
+    #[test]
+    fn set_overwrites_heap() {
+        let r = s("r");
+        let a = s("a");
+        let b = s("b");
+        let c = s("c");
+        let e = Term::LetRegion {
+            rvar: r,
+            body: std::rc::Rc::new(Term::let_(
+                a,
+                Op::Put(Region::Var(r), Value::inl(Value::Int(1))),
+                Term::Set {
+                    dst: Value::Var(a),
+                    src: Value::inr(Value::Int(2)),
+                    body: std::rc::Rc::new(Term::let_(
+                        b,
+                        Op::Get(Value::Var(a)),
+                        Term::let_(c, Op::Strip(Value::Var(b)), Term::Halt(Value::Var(c))),
+                    )),
+                },
+            )),
+        };
+        let p = Program { dialect: Dialect::Forwarding, code: vec![], main: e };
+        assert_eq!(run_program(p), 2);
+    }
+
+    #[test]
+    fn ifreg_compares_names() {
+        let r1 = s("r1");
+        let r2 = s("r2");
+        let e = Term::LetRegion {
+            rvar: r1,
+            body: std::rc::Rc::new(Term::LetRegion {
+                rvar: r2,
+                body: std::rc::Rc::new(Term::IfReg {
+                    r1: Region::Var(r1),
+                    r2: Region::Var(r2),
+                    eq: std::rc::Rc::new(Term::Halt(Value::Int(1))),
+                    ne: std::rc::Rc::new(Term::IfReg {
+                        r1: Region::Var(r1),
+                        r2: Region::Var(r1),
+                        eq: std::rc::Rc::new(Term::Halt(Value::Int(2))),
+                        ne: std::rc::Rc::new(Term::Halt(Value::Int(3))),
+                    }),
+                }),
+            }),
+        };
+        let p = Program { dialect: Dialect::Generational, code: vec![], main: e };
+        assert_eq!(run_program(p), 2);
+    }
+
+    #[test]
+    fn open_region_package() {
+        let r0 = s("r0");
+        let r = s("r");
+        let x = s("x");
+        let y = s("y");
+        let a = s("a");
+        let e = Term::LetRegion {
+            rvar: r0,
+            body: std::rc::Rc::new(Term::let_(
+                a,
+                Op::Put(Region::Var(r0), Value::Int(8)),
+                Term::OpenRgn {
+                    pkg: Value::PackRgn {
+                        rvar: r,
+                        bound: std::rc::Rc::from(vec![Region::Var(r0)]),
+                        witness: Region::Var(r0),
+                        val: std::rc::Rc::new(Value::Var(a)),
+                        body_ty: Ty::Int,
+                    },
+                    rvar: r,
+                    x,
+                    body: std::rc::Rc::new(Term::let_(
+                        y,
+                        Op::Get(Value::Var(x)),
+                        Term::Halt(Value::Var(y)),
+                    )),
+                },
+            )),
+        };
+        let p = Program { dialect: Dialect::Generational, code: vec![], main: e };
+        assert_eq!(run_program(p), 8);
+    }
+
+    #[test]
+    fn widen_is_operationally_a_nop() {
+        let x = s("x");
+        let e = Term::Widen {
+            x,
+            from: Region::cd(), // irrelevant: not tracking types
+            to: Region::cd(),
+            tag: Tag::Int,
+            v: Value::Int(5),
+            body: std::rc::Rc::new(Term::Halt(Value::Var(x))),
+        };
+        let p = Program { dialect: Dialect::Forwarding, code: vec![], main: e };
+        assert_eq!(run_program(p), 5);
+    }
+
+    #[test]
+    fn stuck_states_are_reported() {
+        assert!(Machine::load(
+            &Program {
+                dialect: Dialect::Basic,
+                code: vec![],
+                main: Term::Halt(Value::pair(Value::Int(1), Value::Int(2))),
+            },
+            config()
+        )
+        .run(10)
+        .is_err());
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_not_an_error() {
+        // An infinite loop via self-application.
+        let f = CodeDef {
+            name: s("loop"),
+            tvars: vec![],
+            rvars: vec![],
+            params: vec![],
+            body: Term::app(Value::Addr(crate::syntax::CD, 0), [], [], []),
+        };
+        let p = Program {
+            dialect: Dialect::Basic,
+            code: vec![f],
+            main: Term::app(Value::Addr(crate::syntax::CD, 0), [], [], []),
+        };
+        let mut m = Machine::load(&p, config());
+        assert_eq!(m.run(100).unwrap(), Outcome::OutOfFuel);
+        assert_eq!(m.stats().steps, 100);
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+    use crate::syntax::{Term, Value};
+
+    #[test]
+    fn stats_display_is_informative() {
+        let p = Program {
+            dialect: Dialect::Basic,
+            code: vec![],
+            main: Term::Halt(Value::Int(1)),
+        };
+        let mut m = Machine::load(&p, MemConfig::default());
+        m.run(10).unwrap();
+        let text = m.stats().to_string();
+        assert!(text.contains("steps"));
+        assert!(text.contains("collections"));
+    }
+
+    #[test]
+    fn halted_machine_stays_halted() {
+        let p = Program {
+            dialect: Dialect::Basic,
+            code: vec![],
+            main: Term::Halt(Value::Int(7)),
+        };
+        let mut m = Machine::load(&p, MemConfig::default());
+        assert_eq!(m.run(10).unwrap(), Outcome::Halted(7));
+        assert_eq!(m.halted(), Some(7));
+        // Further steps are no-ops reporting the same halt value.
+        assert_eq!(m.step().unwrap(), StepOutcome::Halted(7));
+        assert_eq!(m.run(5).unwrap(), Outcome::Halted(7));
+    }
+}

@@ -1,0 +1,588 @@
+//! Region-based memory: the `M` and `Ψ` of Fig. 5/7.
+//!
+//! A memory is a map from region names `ν` to regions; a region is an arena
+//! of slots addressed by offset `ℓ`. The distinguished code region `cd`
+//! holds only code blocks and can never be reclaimed (§4.3/§6.2).
+//!
+//! Each data region carries a *word budget*; `ifgc ρ` tests fullness against
+//! it (the paper's "if ρ is full" condition). Budgets follow a configurable
+//! growth policy so that a collection into a fresh region always has room
+//! for the live data (a heap-growth policy the paper leaves implicit).
+//!
+//! When [`MemConfig::track_types`] is on, the memory also maintains the
+//! memory type `Ψ` (Fig. 7) incrementally: every `put` records the inferred
+//! type of the stored value, `only` restricts `Ψ`, and `widen` (handled by
+//! the machine) rewrites the live entries of the from-region with the `T`
+//! operator of Appendix C. `Ψ` is observer machinery for the
+//! well-formedness checks; it does not affect evaluation.
+
+use std::collections::BTreeMap;
+
+use crate::error::{mem_err, Result};
+use crate::syntax::{RegionName, Ty, Value, CD};
+
+/// How budgets for freshly allocated regions are chosen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GrowthPolicy {
+    /// Every region gets [`MemConfig::region_budget`] words.
+    Fixed,
+    /// A new region gets `max(region_budget, 2 × words(largest live data
+    /// region))` — the classic two-space doubling policy, guaranteeing the
+    /// to-space of a collection can hold all live data.
+    Adaptive,
+}
+
+/// Memory configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MemConfig {
+    /// Base budget for fresh regions, in words.
+    pub region_budget: usize,
+    /// Budget growth policy.
+    pub growth: GrowthPolicy,
+    /// Maintain `Ψ` incrementally (needed for machine-state
+    /// well-formedness checking; costs time, so benchmarks turn it off).
+    pub track_types: bool,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            region_budget: 256,
+            growth: GrowthPolicy::Adaptive,
+            track_types: false,
+        }
+    }
+}
+
+/// One region `R = {ℓ₁ ↦ v₁, …}`.
+#[derive(Clone, Debug, Default)]
+pub struct RegionData {
+    slots: Vec<Value>,
+    words: usize,
+    budget: usize,
+}
+
+impl RegionData {
+    /// Number of words allocated in this region.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// This region's word budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Number of objects in this region.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Is the region empty?
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterates over `(offset, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Value)> {
+        self.slots.iter().enumerate().map(|(i, v)| (i as u32, v))
+    }
+}
+
+/// The size in words of a stored value.
+///
+/// Ints, addresses and code pointers occupy one word; pairs are unboxed
+/// aggregates; existential packages carry one extra word for the runtime
+/// tag; `inl`/`inr` cost nothing extra (§7: the forwarding discriminator is
+/// a single stolen bit, which the paper contrasts with the extra word of
+/// Wang–Appel-style paired forwarding).
+pub fn value_words(v: &Value) -> usize {
+    match v {
+        Value::Int(_) | Value::Addr(..) | Value::Var(_) | Value::Code(_) | Value::TagApp(..) => 1,
+        Value::Pair(a, b) => value_words(a) + value_words(b),
+        Value::PackTag { val, .. } => 1 + value_words(val),
+        Value::PackAlpha { val, .. } | Value::PackRgn { val, .. } => value_words(val),
+        Value::Inl(x) | Value::Inr(x) => value_words(x),
+    }
+}
+
+/// The result of an `only ∆` reclamation, recorded for statistics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReclaimReport {
+    /// `(region, words, objects)` for each dropped region.
+    pub dropped: Vec<(RegionName, usize, usize)>,
+    /// Total live words kept (data regions only).
+    pub kept_words: usize,
+}
+
+impl ReclaimReport {
+    /// Total words reclaimed.
+    pub fn words_reclaimed(&self) -> usize {
+        self.dropped.iter().map(|(_, w, _)| *w).sum()
+    }
+}
+
+/// A λGC memory: regions plus (optionally) the memory type `Ψ`.
+///
+/// # Examples
+///
+/// ```
+/// use ps_gc_lang::memory::{MemConfig, Memory};
+/// use ps_gc_lang::syntax::Value;
+///
+/// let mut mem = Memory::new(MemConfig::default());
+/// let nu = mem.alloc_region();
+/// let loc = mem.put(nu, Value::pair(Value::Int(1), Value::Int(2))).unwrap();
+/// assert_eq!(mem.get(nu, loc).unwrap(), &Value::pair(Value::Int(1), Value::Int(2)));
+/// let report = mem.only(&[]); // reclaim everything but cd
+/// assert_eq!(report.words_reclaimed(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Memory {
+    regions: BTreeMap<RegionName, RegionData>,
+    psi: BTreeMap<RegionName, BTreeMap<u32, Ty>>,
+    next_region: u32,
+    config: MemConfig,
+}
+
+impl Memory {
+    /// Creates an empty memory containing only the code region.
+    pub fn new(config: MemConfig) -> Memory {
+        let mut regions = BTreeMap::new();
+        regions.insert(
+            CD,
+            RegionData {
+                slots: Vec::new(),
+                words: 0,
+                budget: usize::MAX,
+            },
+        );
+        let mut psi = BTreeMap::new();
+        psi.insert(CD, BTreeMap::new());
+        Memory {
+            regions,
+            psi,
+            next_region: 1,
+            config,
+        }
+    }
+
+    /// The configuration this memory was created with.
+    pub fn config(&self) -> &MemConfig {
+        &self.config
+    }
+
+    /// Installs a code block in `cd`, returning its offset.
+    ///
+    /// Only used at load time (§4.3: functions are placed into `cd` when
+    /// translating code and never directly appear in λGC terms).
+    pub fn install_code(&mut self, code: Value, ty: Ty) -> u32 {
+        let cd = self.regions.get_mut(&CD).expect("cd exists");
+        let loc = cd.slots.len() as u32;
+        cd.words += value_words(&code);
+        cd.slots.push(code);
+        self.psi.get_mut(&CD).expect("cd psi").insert(loc, ty);
+        loc
+    }
+
+    /// Allocates a fresh region and returns its name.
+    pub fn alloc_region(&mut self) -> RegionName {
+        let budget = match self.config.growth {
+            GrowthPolicy::Fixed => self.config.region_budget,
+            GrowthPolicy::Adaptive => {
+                let max_live = self
+                    .regions
+                    .iter()
+                    .filter(|(n, _)| !n.is_cd())
+                    .map(|(_, r)| r.words)
+                    .max()
+                    .unwrap_or(0);
+                self.config.region_budget.max(max_live * 2)
+            }
+        };
+        let name = RegionName(self.next_region);
+        self.next_region += 1;
+        self.regions.insert(
+            name,
+            RegionData {
+                slots: Vec::new(),
+                words: 0,
+                budget,
+            },
+        );
+        if self.config.track_types {
+            self.psi.insert(name, BTreeMap::new());
+        }
+        name
+    }
+
+    /// Stores `v` in region `nu` and returns the new offset.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the region does not exist or is the code region.
+    pub fn put(&mut self, nu: RegionName, v: Value) -> Result<u32> {
+        if nu.is_cd() {
+            return Err(mem_err("cannot put into the code region"));
+        }
+        let inferred = if self.config.track_types {
+            Some(self.infer_stored_ty(&v)?)
+        } else {
+            None
+        };
+        let region = self
+            .regions
+            .get_mut(&nu)
+            .ok_or_else(|| mem_err(format!("put into missing region {nu}")))?;
+        let loc = region.slots.len() as u32;
+        region.words += value_words(&v);
+        region.slots.push(v);
+        if let Some(ty) = inferred {
+            self.psi.entry(nu).or_default().insert(loc, ty);
+        }
+        Ok(loc)
+    }
+
+    /// Reads the value at `ν.ℓ`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dangling addresses (reclaimed region or bad offset).
+    pub fn get(&self, nu: RegionName, loc: u32) -> Result<&Value> {
+        self.regions
+            .get(&nu)
+            .ok_or_else(|| mem_err(format!("get from reclaimed region {nu}")))?
+            .slots
+            .get(loc as usize)
+            .ok_or_else(|| mem_err(format!("get from bad offset {nu}.{loc}")))
+    }
+
+    /// Overwrites the slot at `ν.ℓ` (the `set` of λGCforw). The memory type
+    /// entry is unchanged: the region type `Υ` assigns a fixed type to every
+    /// location, and `set` is only used at sum type.
+    pub fn set(&mut self, nu: RegionName, loc: u32, v: Value) -> Result<()> {
+        let region = self
+            .regions
+            .get_mut(&nu)
+            .ok_or_else(|| mem_err(format!("set into missing region {nu}")))?;
+        let slot = region
+            .slots
+            .get_mut(loc as usize)
+            .ok_or_else(|| mem_err(format!("set at bad offset {nu}.{loc}")))?;
+        *slot = v;
+        Ok(())
+    }
+
+    /// Is region `nu` full (words ≥ budget)? The code region is never full.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the region does not exist.
+    pub fn is_full(&self, nu: RegionName) -> Result<bool> {
+        let r = self
+            .regions
+            .get(&nu)
+            .ok_or_else(|| mem_err(format!("ifgc on missing region {nu}")))?;
+        Ok(!nu.is_cd() && r.words >= r.budget)
+    }
+
+    /// Implements `only ∆`: reclaims every data region not in `keep`
+    /// (`cd` is always kept). Returns a report of what was dropped.
+    pub fn only(&mut self, keep: &[RegionName]) -> ReclaimReport {
+        let mut report = ReclaimReport::default();
+        let names: Vec<RegionName> = self.regions.keys().copied().collect();
+        for nu in names {
+            if nu.is_cd() || keep.contains(&nu) {
+                if !nu.is_cd() {
+                    report.kept_words += self.regions[&nu].words;
+                }
+                continue;
+            }
+            let dropped = self.regions.remove(&nu).expect("region exists");
+            self.psi.remove(&nu);
+            report.dropped.push((nu, dropped.words, dropped.slots.len()));
+        }
+        report
+    }
+
+    /// Live region names (including `cd`).
+    pub fn region_names(&self) -> impl Iterator<Item = RegionName> + '_ {
+        self.regions.keys().copied()
+    }
+
+    /// Does region `nu` exist?
+    pub fn has_region(&self, nu: RegionName) -> bool {
+        self.regions.contains_key(&nu)
+    }
+
+    /// Access a region's data.
+    pub fn region(&self, nu: RegionName) -> Option<&RegionData> {
+        self.regions.get(&nu)
+    }
+
+    /// Total words in data regions.
+    pub fn data_words(&self) -> usize {
+        self.regions
+            .iter()
+            .filter(|(n, _)| !n.is_cd())
+            .map(|(_, r)| r.words)
+            .sum()
+    }
+
+    // ----- Ψ maintenance (observer machinery) ---------------------------
+
+    /// The `Ψ` entry at `ν.ℓ`, if tracked.
+    pub fn psi_entry(&self, nu: RegionName, loc: u32) -> Option<&Ty> {
+        self.psi.get(&nu)?.get(&loc)
+    }
+
+    /// All `Ψ` entries of a region, if tracked.
+    pub fn psi_region(&self, nu: RegionName) -> Option<&BTreeMap<u32, Ty>> {
+        self.psi.get(&nu)
+    }
+
+    /// Overwrites the `Ψ` entry at `ν.ℓ` (used by the machine's `widen`
+    /// handler to apply the `T` operator of Appendix C).
+    pub fn rewrite_psi_entry(&mut self, nu: RegionName, loc: u32, ty: Ty) {
+        self.psi.entry(nu).or_default().insert(loc, ty);
+    }
+
+    /// Removes a `Ψ` entry (dead garbage discarded by `widen`, Def. 7.1's
+    /// `M̄ ⊆ M`).
+    pub fn remove_psi_entry(&mut self, nu: RegionName, loc: u32) {
+        if let Some(m) = self.psi.get_mut(&nu) {
+            m.remove(&loc);
+        }
+    }
+
+    /// Infers the type of a storable value from its structure, its
+    /// annotations, and `Ψ` (for embedded addresses).
+    ///
+    /// This is syntax-directed: packages carry their body types, code blocks
+    /// their signatures, and addresses are looked up in `Ψ`. The
+    /// well-formedness checker re-validates all of this against the real
+    /// typing rules; inference only *names* the type.
+    ///
+    /// # Errors
+    ///
+    /// Fails on open values or addresses missing from `Ψ`.
+    pub fn infer_stored_ty(&self, v: &Value) -> Result<Ty> {
+        match v {
+            Value::Int(_) => Ok(Ty::Int),
+            Value::Var(x) => Err(mem_err(format!("open value (free variable {x}) in store"))),
+            Value::Addr(nu, loc) => {
+                let ty = self
+                    .psi_entry(*nu, *loc)
+                    .ok_or_else(|| mem_err(format!("no Ψ entry for {nu}.{loc}")))?;
+                Ok(ty.clone().at(crate::syntax::Region::Name(*nu)))
+            }
+            Value::Pair(a, b) => Ok(Ty::prod(self.infer_stored_ty(a)?, self.infer_stored_ty(b)?)),
+            Value::PackTag { tvar, kind, body_ty, .. } => Ok(Ty::ExistTag {
+                tvar: *tvar,
+                kind: *kind,
+                body: std::rc::Rc::new(body_ty.clone()),
+            }),
+            Value::PackAlpha { avar, regions, body_ty, .. } => Ok(Ty::ExistAlpha {
+                avar: *avar,
+                regions: regions.clone(),
+                body: std::rc::Rc::new(body_ty.clone()),
+            }),
+            Value::PackRgn { rvar, bound, body_ty, .. } => Ok(Ty::ExistRgn {
+                rvar: *rvar,
+                bound: bound.clone(),
+                body: std::rc::Rc::new(body_ty.clone()),
+            }),
+            Value::TagApp(f, tags, regions) => {
+                let fty = self.infer_stored_ty(f)?;
+                match fty {
+                    Ty::At(inner, rho) => match &*inner {
+                        Ty::Code { tvars, rvars, args } => {
+                            if tvars.len() != tags.len() || rvars.len() != regions.len() {
+                                return Err(mem_err("translucent application arity mismatch"));
+                            }
+                            let mut sub = crate::subst::Subst::new();
+                            for ((t, _), tau) in tvars.iter().zip(tags.iter()) {
+                                sub = sub.with_tag(*t, tau.clone());
+                            }
+                            for (r, nu) in rvars.iter().zip(regions.iter()) {
+                                sub = sub.with_rgn(*r, *nu);
+                            }
+                            Ok(Ty::Trans {
+                                tags: tags.clone(),
+                                regions: regions.clone(),
+                                args: args.iter().map(|a| sub.ty(a)).collect(),
+                                rho,
+                            })
+                        }
+                        _ => Err(mem_err("tag application of non-code value")),
+                    },
+                    _ => Err(mem_err("tag application of non-address value")),
+                }
+            }
+            Value::Code(def) => Ok(def.ty()),
+            Value::Inl(x) => Ok(Ty::Left(std::rc::Rc::new(self.infer_stored_ty(x)?))),
+            Value::Inr(x) => Ok(Ty::Right(std::rc::Rc::new(self.infer_stored_ty(x)?))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::Region;
+
+    fn mem() -> Memory {
+        Memory::new(MemConfig {
+            region_budget: 8,
+            growth: GrowthPolicy::Fixed,
+            track_types: true,
+        })
+    }
+
+    #[test]
+    fn new_memory_has_only_cd() {
+        let m = mem();
+        let names: Vec<_> = m.region_names().collect();
+        assert_eq!(names, vec![CD]);
+    }
+
+    #[test]
+    fn alloc_put_get_roundtrip() {
+        let mut m = mem();
+        let r = m.alloc_region();
+        let loc = m.put(r, Value::pair(Value::Int(1), Value::Int(2))).unwrap();
+        assert_eq!(
+            m.get(r, loc).unwrap(),
+            &Value::pair(Value::Int(1), Value::Int(2))
+        );
+    }
+
+    #[test]
+    fn words_accounting() {
+        let mut m = mem();
+        let r = m.alloc_region();
+        m.put(r, Value::pair(Value::Int(1), Value::Int(2))).unwrap();
+        assert_eq!(m.region(r).unwrap().words(), 2);
+        m.put(r, Value::Int(3)).unwrap();
+        assert_eq!(m.region(r).unwrap().words(), 3);
+    }
+
+    #[test]
+    fn value_words_of_packages_and_sums() {
+        let v = Value::PackTag {
+            tvar: ps_ir::Symbol::intern("t"),
+            kind: crate::syntax::Kind::Omega,
+            tag: crate::syntax::Tag::Int,
+            val: std::rc::Rc::new(Value::Int(1)),
+            body_ty: Ty::Int,
+        };
+        assert_eq!(value_words(&v), 2, "one word for the runtime tag");
+        assert_eq!(value_words(&Value::inl(Value::pair(Value::Int(1), Value::Int(2)))), 2);
+    }
+
+    #[test]
+    fn fullness_against_budget() {
+        let mut m = mem();
+        let r = m.alloc_region();
+        assert!(!m.is_full(r).unwrap());
+        for i in 0..8 {
+            m.put(r, Value::Int(i)).unwrap();
+        }
+        assert!(m.is_full(r).unwrap());
+        assert!(!m.is_full(CD).unwrap(), "cd is never full");
+    }
+
+    #[test]
+    fn adaptive_budget_doubles() {
+        let mut m = Memory::new(MemConfig {
+            region_budget: 4,
+            growth: GrowthPolicy::Adaptive,
+            track_types: false,
+        });
+        let r1 = m.alloc_region();
+        assert_eq!(m.region(r1).unwrap().budget(), 4);
+        for i in 0..10 {
+            m.put(r1, Value::Int(i)).unwrap();
+        }
+        let r2 = m.alloc_region();
+        assert_eq!(m.region(r2).unwrap().budget(), 20);
+    }
+
+    #[test]
+    fn only_reclaims_unlisted() {
+        let mut m = mem();
+        let r1 = m.alloc_region();
+        let r2 = m.alloc_region();
+        m.put(r1, Value::Int(1)).unwrap();
+        m.put(r2, Value::Int(2)).unwrap();
+        let report = m.only(&[r2]);
+        assert!(!m.has_region(r1));
+        assert!(m.has_region(r2));
+        assert!(m.has_region(CD), "cd is always kept");
+        assert_eq!(report.words_reclaimed(), 1);
+        assert_eq!(report.kept_words, 1);
+        assert_eq!(report.dropped, vec![(r1, 1, 1)]);
+    }
+
+    #[test]
+    fn get_from_reclaimed_region_fails() {
+        let mut m = mem();
+        let r1 = m.alloc_region();
+        let loc = m.put(r1, Value::Int(1)).unwrap();
+        m.only(&[]);
+        assert!(m.get(r1, loc).is_err());
+    }
+
+    #[test]
+    fn put_into_cd_fails() {
+        let mut m = mem();
+        assert!(m.put(CD, Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut m = mem();
+        let r = m.alloc_region();
+        let loc = m.put(r, Value::inl(Value::Int(1))).unwrap();
+        m.set(r, loc, Value::inr(Value::Int(2))).unwrap();
+        assert_eq!(m.get(r, loc).unwrap(), &Value::inr(Value::Int(2)));
+    }
+
+    #[test]
+    fn psi_tracks_puts() {
+        let mut m = mem();
+        let r = m.alloc_region();
+        let loc = m.put(r, Value::pair(Value::Int(1), Value::Int(2))).unwrap();
+        assert_eq!(m.psi_entry(r, loc), Some(&Ty::prod(Ty::Int, Ty::Int)));
+    }
+
+    #[test]
+    fn psi_follows_addresses() {
+        let mut m = mem();
+        let r = m.alloc_region();
+        let inner = m.put(r, Value::Int(7)).unwrap();
+        let loc = m
+            .put(r, Value::pair(Value::Addr(r, inner), Value::Int(0)))
+            .unwrap();
+        assert_eq!(
+            m.psi_entry(r, loc),
+            Some(&Ty::prod(Ty::Int.at(Region::Name(r)), Ty::Int))
+        );
+    }
+
+    #[test]
+    fn infer_rejects_open_values() {
+        let m = mem();
+        assert!(m
+            .infer_stored_ty(&Value::Var(ps_ir::Symbol::intern("x")))
+            .is_err());
+    }
+
+    #[test]
+    fn data_words_excludes_cd() {
+        let mut m = mem();
+        let r = m.alloc_region();
+        m.put(r, Value::Int(1)).unwrap();
+        assert_eq!(m.data_words(), 1);
+    }
+}

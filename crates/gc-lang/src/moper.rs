@@ -1,0 +1,627 @@
+//! The hard-wired Typerec operators and type normalization.
+//!
+//! `Mρ(τ)` (§4.2) maps a tag to the type of its runtime representation with
+//! every object confined to region `ρ`; it is "a Typerec that has been
+//! hard-wired into the language" (§6.3). The forwarding dialect replaces it
+//! with the mutator-view `M` and collector-view `Cρ,ρ′` of §7; the
+//! generational dialect uses the two-index `Mρy,ρo` of §8.
+//!
+//! [`normalize_ty`] expands these operators wherever the underlying tag has
+//! reduced to a constructor, and leaves them stuck on neutral tags (`Mρ(t)`
+//! cannot reduce until `t` is instantiated — the crux of §2.2.1).
+//! [`ty_eq`] compares types by normalizing and then testing α-equivalence.
+//!
+//! Binder names introduced by expansion contain `!`, which no surface syntax
+//! can produce, so fixed names are safe (substitution still renames them if
+//! a capture would otherwise occur).
+
+use std::rc::Rc;
+
+use ps_ir::Symbol;
+
+use crate::syntax::{Dialect, Kind, Region, Tag, Ty};
+use crate::tags;
+
+fn r_m() -> Symbol {
+    Symbol::intern("r!m")
+}
+fn ry_m() -> Symbol {
+    Symbol::intern("ry!m")
+}
+fn ro_m() -> Symbol {
+    Symbol::intern("ro!m")
+}
+fn t_m() -> Symbol {
+    Symbol::intern("t!m")
+}
+
+/// Expands one layer of `Mρ(τ)` for the given dialect, assuming `tag` is
+/// already in normal form. Returns `None` when the tag is neutral (variable
+/// or neutral application), i.e. the operator is stuck.
+fn expand_m(dialect: Dialect, rho: Region, tag: &Tag) -> Option<Ty> {
+    match tag {
+        Tag::Int => Some(Ty::Int),
+        // `AnyArrow` is handled (canonicalized) by `normalize_ty` directly.
+        Tag::AnyArrow(_) => None,
+        Tag::Arrow(args) => Some(code_rep(dialect, args)),
+        Tag::Prod(a, b) => {
+            let inner = Ty::prod(
+                Ty::M(rho, a.clone()),
+                Ty::M(rho, b.clone()),
+            );
+            Some(match dialect {
+                // Mρ(τ₁×τ₂) ⇒ (Mρ(τ₁) × Mρ(τ₂)) at ρ
+                Dialect::Basic => inner.at(rho),
+                // §7: the mutator must provide the forwarding tag bit.
+                Dialect::Forwarding => Ty::Left(Rc::new(inner)).at(rho),
+                // §8: ∃r ∈ {ρy,ρo}.((M_{r,ρo}(τ₁) × M_{r,ρo}(τ₂)) at r) —
+                // handled by expand_mgen; plain M is not part of λGCgen.
+                Dialect::Generational => inner.at(rho),
+            })
+        }
+        Tag::Exist(t, body) => {
+            let inner = Ty::ExistTag {
+                tvar: *t,
+                kind: Kind::Omega,
+                body: Rc::new(Ty::M(rho, body.clone())),
+            };
+            Some(match dialect {
+                Dialect::Basic | Dialect::Generational => inner.at(rho),
+                Dialect::Forwarding => Ty::Left(Rc::new(inner)).at(rho),
+            })
+        }
+        Tag::Var(_) | Tag::App(..) => None,
+        // Ill-kinded at Ω; leave stuck (the kind checker rejects it first).
+        Tag::Lam(..) => None,
+    }
+}
+
+/// The code-type representation `∀[][r](M_r(~τ)) → 0 at cd`
+/// (or the two-region variant in the generational dialect).
+fn code_rep(dialect: Dialect, args: &[Tag]) -> Ty {
+    match dialect {
+        Dialect::Basic | Dialect::Forwarding => {
+            let r = r_m();
+            Ty::Code {
+                tvars: Rc::from(vec![]),
+                rvars: Rc::from(vec![r]),
+                args: args
+                    .iter()
+                    .map(|a| Ty::M(Region::Var(r), Rc::new(a.clone())))
+                    .collect(),
+            }
+            .at(Region::cd())
+        }
+        Dialect::Generational => {
+            let ry = ry_m();
+            let ro = ro_m();
+            Ty::Code {
+                tvars: Rc::from(vec![]),
+                rvars: Rc::from(vec![ry, ro]),
+                args: args
+                    .iter()
+                    .map(|a| Ty::MGen(Region::Var(ry), Region::Var(ro), Rc::new(a.clone())))
+                    .collect(),
+            }
+            .at(Region::cd())
+        }
+    }
+}
+
+/// Expands one layer of `Cρ,ρ′(τ)` (§7), assuming normal-form `tag`.
+fn expand_c(from: Region, to: Region, tag: &Tag) -> Option<Ty> {
+    match tag {
+        Tag::Int => Some(Ty::Int),
+        Tag::AnyArrow(_) => None,
+        // Cρ,ρ′(τ→0) ⇒ Mρ(τ→0): code is shared, not forwarded.
+        Tag::Arrow(args) => Some(code_rep(Dialect::Forwarding, args)),
+        Tag::Prod(a, b) => {
+            let left = Ty::prod(
+                Ty::C(from, to, a.clone()),
+                Ty::C(from, to, b.clone()),
+            );
+            let right = Ty::M(to, Rc::new(tag.clone()));
+            Some(Ty::sum(left, right).at(from))
+        }
+        Tag::Exist(t, body) => {
+            let left = Ty::ExistTag {
+                tvar: *t,
+                kind: Kind::Omega,
+                body: Rc::new(Ty::C(from, to, body.clone())),
+            };
+            let right = Ty::M(to, Rc::new(tag.clone()));
+            Some(Ty::sum(left, right).at(from))
+        }
+        Tag::Var(_) | Tag::App(..) | Tag::Lam(..) => None,
+    }
+}
+
+/// Expands one layer of `Mρy,ρo(τ)` (§8), assuming normal-form `tag`.
+fn expand_mgen(young: Region, old: Region, tag: &Tag) -> Option<Ty> {
+    match tag {
+        Tag::Int => Some(Ty::Int),
+        Tag::AnyArrow(_) => None,
+        Tag::Arrow(args) => Some(code_rep(Dialect::Generational, args)),
+        Tag::Prod(a, b) => {
+            let r = r_m();
+            // By using the set {r, ρo} for the children we make sure that if
+            // r is the old generation, pointers underneath cannot point back
+            // to the new generation (§8).
+            let body = Ty::prod(
+                Ty::MGen(Region::Var(r), old, a.clone()),
+                Ty::MGen(Region::Var(r), old, b.clone()),
+            );
+            Some(Ty::ExistRgn {
+                rvar: r,
+                bound: region_set(&[young, old]),
+                body: Rc::new(body),
+            })
+        }
+        Tag::Exist(t, body) => {
+            let r = r_m();
+            let inner = Ty::ExistTag {
+                tvar: *t,
+                kind: Kind::Omega,
+                body: Rc::new(Ty::MGen(Region::Var(r), old, body.clone())),
+            };
+            Some(Ty::ExistRgn {
+                rvar: r,
+                bound: region_set(&[young, old]),
+                body: Rc::new(inner),
+            })
+        }
+        Tag::Var(_) | Tag::App(..) | Tag::Lam(..) => None,
+    }
+}
+
+/// Deduplicated region set, preserving first-occurrence order.
+pub fn region_set(rs: &[Region]) -> Rc<[Region]> {
+    let mut out: Vec<Region> = Vec::with_capacity(rs.len());
+    for r in rs {
+        if !out.contains(r) {
+            out.push(*r);
+        }
+    }
+    out.into()
+}
+
+/// Deeply normalizes a type: normalizes embedded tags and expands the
+/// M/C/M_gen operators wherever their tag argument is a constructor.
+pub fn normalize_ty(sigma: &Ty, dialect: Dialect) -> Ty {
+    match sigma {
+        Ty::Int | Ty::Alpha(_) => sigma.clone(),
+        Ty::Prod(a, b) => Ty::Prod(
+            Rc::new(normalize_ty(a, dialect)),
+            Rc::new(normalize_ty(b, dialect)),
+        ),
+        Ty::Sum(a, b) => Ty::Sum(
+            Rc::new(normalize_ty(a, dialect)),
+            Rc::new(normalize_ty(b, dialect)),
+        ),
+        Ty::Left(a) => Ty::Left(Rc::new(normalize_ty(a, dialect))),
+        Ty::Right(a) => Ty::Right(Rc::new(normalize_ty(a, dialect))),
+        Ty::Code { tvars, rvars, args } => Ty::Code {
+            tvars: tvars.clone(),
+            rvars: rvars.clone(),
+            args: args.iter().map(|a| normalize_ty(a, dialect)).collect(),
+        },
+        Ty::ExistTag { tvar, kind, body } => Ty::ExistTag {
+            tvar: *tvar,
+            kind: *kind,
+            body: Rc::new(normalize_ty(body, dialect)),
+        },
+        Ty::At(inner, rho) => Ty::At(Rc::new(normalize_ty(inner, dialect)), *rho),
+        Ty::M(rho, tag) => {
+            let nf = tags::normalize(tag);
+            // paper: `AnyArrow` canonicalizes to `M_cd` — the M-image of any
+            // arrow lives at cd and is independent of the region index, so
+            // making that independence syntactic lets Fig. 4's `λ ⇒ x` arm
+            // typecheck (see the `Tag::AnyArrow` docs).
+            if let Tag::AnyArrow(_) = nf {
+                return Ty::M(Region::cd(), Rc::new(nf));
+            }
+            match expand_m(dialect, *rho, &nf) {
+                Some(t) => normalize_ty(&t, dialect),
+                None => Ty::M(*rho, Rc::new(nf)),
+            }
+        }
+        Ty::C(from, to, tag) => {
+            let nf = tags::normalize(tag);
+            if let Tag::AnyArrow(_) = nf {
+                return Ty::M(Region::cd(), Rc::new(nf));
+            }
+            match expand_c(*from, *to, &nf) {
+                Some(t) => normalize_ty(&t, dialect),
+                None => Ty::C(*from, *to, Rc::new(nf)),
+            }
+        }
+        Ty::MGen(y, o, tag) => {
+            let nf = tags::normalize(tag);
+            if let Tag::AnyArrow(_) = nf {
+                return Ty::M(Region::cd(), Rc::new(nf));
+            }
+            match expand_mgen(*y, *o, &nf) {
+                Some(t) => normalize_ty(&t, dialect),
+                None => Ty::MGen(*y, *o, Rc::new(nf)),
+            }
+        }
+        Ty::ExistAlpha { avar, regions, body } => Ty::ExistAlpha {
+            avar: *avar,
+            regions: region_set(regions),
+            body: Rc::new(normalize_ty(body, dialect)),
+        },
+        Ty::Trans { tags: ts, regions, args, rho } => Ty::Trans {
+            tags: ts.iter().map(tags::normalize).collect(),
+            regions: regions.clone(),
+            args: args.iter().map(|a| normalize_ty(a, dialect)).collect(),
+            rho: *rho,
+        },
+        Ty::ExistRgn { rvar, bound, body } => Ty::ExistRgn {
+            rvar: *rvar,
+            bound: region_set(bound),
+            body: Rc::new(normalize_ty(body, dialect)),
+        },
+    }
+}
+
+/// Environment of corresponding binders for α-comparison.
+#[derive(Default)]
+struct AlphaEnv {
+    tags: Vec<(Symbol, Symbol)>,
+    rgns: Vec<(Symbol, Symbol)>,
+    alphas: Vec<(Symbol, Symbol)>,
+}
+
+fn pair_eq(x: Symbol, y: Symbol, env: &[(Symbol, Symbol)]) -> bool {
+    for &(a, b) in env.iter().rev() {
+        if a == x || b == y {
+            return a == x && b == y;
+        }
+    }
+    x == y
+}
+
+fn region_eq(a: &Region, b: &Region, env: &AlphaEnv) -> bool {
+    match (a, b) {
+        (Region::Var(x), Region::Var(y)) => pair_eq(*x, *y, &env.rgns),
+        (Region::Name(x), Region::Name(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Compares two region sets as sets under the α-environment.
+fn region_set_eq(a: &[Region], b: &[Region], env: &AlphaEnv) -> bool {
+    a.iter().all(|x| b.iter().any(|y| region_eq(x, y, env)))
+        && b.iter().all(|y| a.iter().any(|x| region_eq(x, y, env)))
+}
+
+fn tag_alpha_eq(a: &Tag, b: &Tag, env: &mut AlphaEnv) -> bool {
+    match (a, b) {
+        (Tag::Var(x), Tag::Var(y)) | (Tag::AnyArrow(x), Tag::AnyArrow(y)) => {
+            pair_eq(*x, *y, &env.tags)
+        }
+        (Tag::Int, Tag::Int) => true,
+        (Tag::Prod(a1, a2), Tag::Prod(b1, b2)) | (Tag::App(a1, a2), Tag::App(b1, b2)) => {
+            tag_alpha_eq(a1, b1, env) && tag_alpha_eq(a2, b2, env)
+        }
+        (Tag::Arrow(xs), Tag::Arrow(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys.iter()).all(|(x, y)| tag_alpha_eq(x, y, env))
+        }
+        (Tag::Exist(x, bx), Tag::Exist(y, by)) | (Tag::Lam(x, bx), Tag::Lam(y, by)) => {
+            env.tags.push((*x, *y));
+            let r = tag_alpha_eq(bx, by, env);
+            env.tags.pop();
+            r
+        }
+        _ => false,
+    }
+}
+
+fn ty_alpha_eq(a: &Ty, b: &Ty, env: &mut AlphaEnv) -> bool {
+    match (a, b) {
+        (Ty::Int, Ty::Int) => true,
+        (Ty::Prod(a1, a2), Ty::Prod(b1, b2)) | (Ty::Sum(a1, a2), Ty::Sum(b1, b2)) => {
+            ty_alpha_eq(a1, b1, env) && ty_alpha_eq(a2, b2, env)
+        }
+        (Ty::Left(x), Ty::Left(y)) | (Ty::Right(x), Ty::Right(y)) => ty_alpha_eq(x, y, env),
+        (
+            Ty::Code { tvars: tv1, rvars: rv1, args: a1 },
+            Ty::Code { tvars: tv2, rvars: rv2, args: a2 },
+        ) => {
+            if tv1.len() != tv2.len() || rv1.len() != rv2.len() || a1.len() != a2.len() {
+                return false;
+            }
+            if tv1.iter().zip(tv2.iter()).any(|((_, k1), (_, k2))| k1 != k2) {
+                return false;
+            }
+            let nt = tv1.len();
+            let nr = rv1.len();
+            for ((t1, _), (t2, _)) in tv1.iter().zip(tv2.iter()) {
+                env.tags.push((*t1, *t2));
+            }
+            for (r1, r2) in rv1.iter().zip(rv2.iter()) {
+                env.rgns.push((*r1, *r2));
+            }
+            let r = a1.iter().zip(a2.iter()).all(|(x, y)| ty_alpha_eq(x, y, env));
+            env.tags.truncate(env.tags.len() - nt);
+            env.rgns.truncate(env.rgns.len() - nr);
+            r
+        }
+        (
+            Ty::ExistTag { tvar: t1, kind: k1, body: b1 },
+            Ty::ExistTag { tvar: t2, kind: k2, body: b2 },
+        ) => {
+            if k1 != k2 {
+                return false;
+            }
+            env.tags.push((*t1, *t2));
+            let r = ty_alpha_eq(b1, b2, env);
+            env.tags.pop();
+            r
+        }
+        (Ty::At(x, rx), Ty::At(y, ry)) => region_eq(rx, ry, env) && ty_alpha_eq(x, y, env),
+        (Ty::M(r1, t1), Ty::M(r2, t2)) => region_eq(r1, r2, env) && tag_alpha_eq(t1, t2, env),
+        (Ty::C(f1, o1, t1), Ty::C(f2, o2, t2)) => {
+            region_eq(f1, f2, env) && region_eq(o1, o2, env) && tag_alpha_eq(t1, t2, env)
+        }
+        (Ty::MGen(y1, o1, t1), Ty::MGen(y2, o2, t2)) => {
+            region_eq(y1, y2, env) && region_eq(o1, o2, env) && tag_alpha_eq(t1, t2, env)
+        }
+        (Ty::Alpha(x), Ty::Alpha(y)) => pair_eq(*x, *y, &env.alphas),
+        (
+            Ty::ExistAlpha { avar: a1, regions: d1, body: b1 },
+            Ty::ExistAlpha { avar: a2, regions: d2, body: b2 },
+        ) => {
+            if !region_set_eq(d1, d2, env) {
+                return false;
+            }
+            env.alphas.push((*a1, *a2));
+            let r = ty_alpha_eq(b1, b2, env);
+            env.alphas.pop();
+            r
+        }
+        (
+            Ty::Trans { tags: ts1, regions: rs1, args: a1, rho: rho1 },
+            Ty::Trans { tags: ts2, regions: rs2, args: a2, rho: rho2 },
+        ) => {
+            ts1.len() == ts2.len()
+                && rs1.len() == rs2.len()
+                && a1.len() == a2.len()
+                && region_eq(rho1, rho2, env)
+                && ts1.iter().zip(ts2.iter()).all(|(x, y)| tag_alpha_eq(x, y, env))
+                && rs1.iter().zip(rs2.iter()).all(|(x, y)| region_eq(x, y, env))
+                && a1.iter().zip(a2.iter()).all(|(x, y)| ty_alpha_eq(x, y, env))
+        }
+        (
+            Ty::ExistRgn { rvar: r1, bound: d1, body: b1 },
+            Ty::ExistRgn { rvar: r2, bound: d2, body: b2 },
+        ) => {
+            if !region_set_eq(d1, d2, env) {
+                return false;
+            }
+            env.rgns.push((*r1, *r2));
+            let r = ty_alpha_eq(b1, b2, env);
+            env.rgns.pop();
+            r
+        }
+        _ => false,
+    }
+}
+
+/// α-equivalence of types (no normalization).
+pub fn alpha_eq_ty(a: &Ty, b: &Ty) -> bool {
+    ty_alpha_eq(a, b, &mut AlphaEnv::default())
+}
+
+/// Type equality: normalize, then compare up to α.
+pub fn ty_eq(a: &Ty, b: &Ty, dialect: Dialect) -> bool {
+    if a == b {
+        return true;
+    }
+    alpha_eq_ty(&normalize_ty(a, dialect), &normalize_ty(b, dialect))
+}
+
+/// The size of a type (number of constructors).
+pub fn ty_size(sigma: &Ty) -> usize {
+    match sigma {
+        Ty::Int | Ty::Alpha(_) => 1,
+        Ty::Prod(a, b) | Ty::Sum(a, b) => 1 + ty_size(a) + ty_size(b),
+        Ty::Left(a) | Ty::Right(a) | Ty::At(a, _) => 1 + ty_size(a),
+        Ty::Code { args, .. } => 1 + args.iter().map(ty_size).sum::<usize>(),
+        Ty::ExistTag { body, .. } | Ty::ExistAlpha { body, .. } | Ty::ExistRgn { body, .. } => {
+            1 + ty_size(body)
+        }
+        Ty::M(_, t) => 1 + tags::tag_size(t),
+        Ty::C(_, _, t) | Ty::MGen(_, _, t) => 1 + tags::tag_size(t),
+        Ty::Trans { tags: ts, args, .. } => {
+            1 + ts.iter().map(tags::tag_size).sum::<usize>()
+                + args.iter().map(ty_size).sum::<usize>()
+        }
+    }
+}
+
+/// Fresh-binder helper exposed for the typechecker's expansion of
+/// `M`-operator results: returns the fixed tag binder used in expansions.
+pub fn m_tag_binder() -> Symbol {
+    t_m()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: &str) -> Symbol {
+        Symbol::intern(x)
+    }
+
+    #[test]
+    fn m_int_is_int() {
+        let t = Ty::m(Region::cd(), Tag::Int);
+        assert_eq!(normalize_ty(&t, Dialect::Basic), Ty::Int);
+    }
+
+    #[test]
+    fn m_pair_expands_to_at() {
+        let rho = Region::Var(s("r1"));
+        let t = Ty::m(rho, Tag::prod(Tag::Int, Tag::Int));
+        match normalize_ty(&t, Dialect::Basic) {
+            Ty::At(inner, r) => {
+                assert_eq!(r, rho);
+                assert_eq!(*inner, Ty::prod(Ty::Int, Ty::Int));
+            }
+            other => panic!("expected at-type, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn m_arrow_lives_at_cd() {
+        let rho = Region::Var(s("r1"));
+        let t = Ty::m(rho, Tag::arrow([Tag::Int]));
+        match normalize_ty(&t, Dialect::Basic) {
+            Ty::At(inner, r) => {
+                assert!(r.is_cd());
+                assert!(matches!(*inner, Ty::Code { .. }));
+            }
+            other => panic!("expected code at cd, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn m_is_rho_independent_on_arrows() {
+        let a = Ty::m(Region::Var(s("r1")), Tag::arrow([Tag::Int]));
+        let b = Ty::m(Region::Var(s("r2")), Tag::arrow([Tag::Int]));
+        assert!(ty_eq(&a, &b, Dialect::Basic));
+    }
+
+    #[test]
+    fn m_stuck_on_variables() {
+        let t = Ty::m(Region::cd(), Tag::Var(s("t")));
+        assert_eq!(normalize_ty(&t, Dialect::Basic), t);
+        // §2.2.1: Mρ(t) with different ρ must NOT be equal.
+        let a = Ty::m(Region::Var(s("r1")), Tag::Var(s("t")));
+        let b = Ty::m(Region::Var(s("r2")), Tag::Var(s("t")));
+        assert!(!ty_eq(&a, &b, Dialect::Basic));
+    }
+
+    #[test]
+    fn anyarrow_is_rho_independent() {
+        let a = Ty::m(Region::Var(s("r1")), Tag::AnyArrow(s("t")));
+        let b = Ty::m(Region::Var(s("r2")), Tag::AnyArrow(s("t")));
+        assert!(ty_eq(&a, &b, Dialect::Basic));
+        // ... and across M and C in the forwarding dialect.
+        let c = Ty::c(Region::Var(s("r1")), Region::Var(s("r2")), Tag::AnyArrow(s("t")));
+        assert!(ty_eq(&a, &c, Dialect::Forwarding));
+    }
+
+    #[test]
+    fn forwarding_m_adds_left() {
+        let rho = Region::Var(s("r1"));
+        let t = Ty::m(rho, Tag::prod(Tag::Int, Tag::Int));
+        match normalize_ty(&t, Dialect::Forwarding) {
+            Ty::At(inner, _) => assert!(matches!(*inner, Ty::Left(_))),
+            other => panic!("expected left at ρ, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn c_pair_is_a_sum() {
+        let from = Region::Var(s("r1"));
+        let to = Region::Var(s("r2"));
+        let t = Ty::c(from, to, Tag::prod(Tag::Int, Tag::Int));
+        match normalize_ty(&t, Dialect::Forwarding) {
+            Ty::At(inner, r) => {
+                assert_eq!(r, from);
+                match &*inner {
+                    Ty::Sum(l, rgt) => {
+                        assert_eq!(**l, Ty::prod(Ty::Int, Ty::Int));
+                        // right component is M_{to}(τ₁×τ₂), itself expanded.
+                        assert!(matches!(**rgt, Ty::At(..)));
+                    }
+                    other => panic!("expected sum, got {other:?}"),
+                }
+            }
+            other => panic!("expected at-type, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn c_arrow_is_m_arrow() {
+        let from = Region::Var(s("r1"));
+        let to = Region::Var(s("r2"));
+        let c = Ty::c(from, to, Tag::arrow([Tag::Int]));
+        let m = Ty::m(from, Tag::arrow([Tag::Int]));
+        assert!(ty_eq(&c, &m, Dialect::Forwarding));
+    }
+
+    #[test]
+    fn mgen_pair_is_region_existential() {
+        let y = Region::Var(s("ry"));
+        let o = Region::Var(s("ro"));
+        let t = Ty::mgen(y, o, Tag::prod(Tag::Int, Tag::Int));
+        match normalize_ty(&t, Dialect::Generational) {
+            Ty::ExistRgn { bound, .. } => {
+                assert_eq!(bound.len(), 2);
+            }
+            other => panic!("expected region existential, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mgen_collapsed_indices_singleton_bound() {
+        let o = Region::Var(s("ro"));
+        let t = Ty::mgen(o, o, Tag::prod(Tag::Int, Tag::Int));
+        match normalize_ty(&t, Dialect::Generational) {
+            Ty::ExistRgn { bound, .. } => assert_eq!(bound.len(), 1),
+            other => panic!("expected region existential, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ty_eq_alpha_renames_binders() {
+        let a = Ty::exist_tag(s("u"), Kind::Omega, Ty::m(Region::cd(), Tag::Var(s("u"))));
+        let b = Ty::exist_tag(s("v"), Kind::Omega, Ty::m(Region::cd(), Tag::Var(s("v"))));
+        assert!(ty_eq(&a, &b, Dialect::Basic));
+    }
+
+    #[test]
+    fn ty_eq_region_sets_as_sets() {
+        let r1 = Region::Var(s("ra"));
+        let r2 = Region::Var(s("rb"));
+        let a = Ty::exist_rgn(s("r"), [r1, r2], Ty::Int);
+        let b = Ty::exist_rgn(s("r"), [r2, r1], Ty::Int);
+        assert!(ty_eq(&a, &b, Dialect::Generational));
+        let c = Ty::exist_rgn(s("r"), [r1], Ty::Int);
+        assert!(!ty_eq(&a, &c, Dialect::Generational));
+    }
+
+    #[test]
+    fn m_exist_expands_under_binder() {
+        let rho = Region::Var(s("r1"));
+        let u = s("u");
+        let t = Ty::m(rho, Tag::exist(u, Tag::prod(Tag::Var(u), Tag::Int)));
+        match normalize_ty(&t, Dialect::Basic) {
+            Ty::At(inner, _) => match &*inner {
+                Ty::ExistTag { body, .. } => {
+                    // Body is M_ρ(u × Int), expanded one more level with the
+                    // stuck M_ρ(u) inside.
+                    assert!(matches!(**body, Ty::At(..)));
+                }
+                other => panic!("expected ∃t, got {other:?}"),
+            },
+            other => panic!("expected at, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn normalization_reduces_tag_redexes_first() {
+        let rho = Region::cd();
+        let t = Ty::m(rho, Tag::app(Tag::id_fn(), Tag::Int));
+        assert_eq!(normalize_ty(&t, Dialect::Basic), Ty::Int);
+    }
+
+    #[test]
+    fn ty_size_counts() {
+        assert_eq!(ty_size(&Ty::Int), 1);
+        assert_eq!(ty_size(&Ty::prod(Ty::Int, Ty::Int)), 3);
+    }
+}

@@ -1,0 +1,999 @@
+//! Capture-avoiding substitution for λGC.
+//!
+//! λGC has four variable namespaces that can be substituted:
+//!
+//! * tag variables `t` (bound by `∃t.τ`, `λt.τ`, code blocks, `typecase`
+//!   arms and `open`),
+//! * region variables `r` (bound by `let region`, code blocks, region
+//!   existentials and `open`),
+//! * type variables `α` (bound by `∃α:∆.σ` and `open`),
+//! * value variables `x` (bound by `let`, `open`, `ifleft`, `widen` and code
+//!   parameters).
+//!
+//! A single [`Subst`] carries all four maps so one traversal implements the
+//! simultaneous substitutions of Fig. 5 (e.g.
+//! `e[~ρ, ~τ, ~v / ~r, ~t, ~x]` for code application). Binders are renamed
+//! on the fly when they would capture a free variable of a substitution
+//! range.
+//!
+//! Tags never mention regions (they are the *region-free* half of the
+//! type/tag split of §2.2.2), so region substitution does not descend into
+//! tags.
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use ps_ir::Symbol;
+
+use crate::syntax::{CodeDef, Op, Region, Tag, Term, Ty, Value};
+
+/// A simultaneous substitution over the four λGC namespaces.
+#[derive(Clone, Debug, Default)]
+pub struct Subst {
+    tags: HashMap<Symbol, Tag>,
+    rgns: HashMap<Symbol, Region>,
+    alphas: HashMap<Symbol, Ty>,
+    vals: HashMap<Symbol, Value>,
+    /// Free tag variables of all ranges (for capture checks).
+    range_tvars: HashSet<Symbol>,
+    /// Free region variables of all ranges.
+    range_rvars: HashSet<Symbol>,
+    /// Free α variables of all ranges.
+    range_avars: HashSet<Symbol>,
+}
+
+impl Subst {
+    /// The empty substitution.
+    pub fn new() -> Subst {
+        Subst::default()
+    }
+
+    /// Is this the identity substitution?
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty() && self.rgns.is_empty() && self.alphas.is_empty() && self.vals.is_empty()
+    }
+
+    /// Extends with `t ↦ τ`.
+    pub fn with_tag(mut self, t: Symbol, tau: Tag) -> Subst {
+        free_tag_vars(&tau, &mut self.range_tvars);
+        self.tags.insert(t, tau);
+        self
+    }
+
+    /// Extends with `r ↦ ρ`.
+    pub fn with_rgn(mut self, r: Symbol, rho: Region) -> Subst {
+        if let Region::Var(v) = rho {
+            self.range_rvars.insert(v);
+        }
+        self.rgns.insert(r, rho);
+        self
+    }
+
+    /// Extends with `α ↦ σ`.
+    ///
+    /// Free *region* variables of the witness are deliberately **not**
+    /// protected from capture: Fig. 12's continuation type
+    /// `∀⟦t̄⟧[r₁,r₂,r₃](…, αc) → 0` names its translucent region binders
+    /// after the very regions `αc` is confined to, so that instantiating
+    /// `αc` rebinds the environment's regions at the application site.
+    /// Renaming the binders (ordinary capture avoidance) would break that
+    /// pun — see the `paper:` note on the Trans formation rule in
+    /// [`crate::tyck`].
+    pub fn with_alpha(mut self, a: Symbol, sigma: Ty) -> Subst {
+        let mut dropped_rvars = HashSet::new();
+        ty_free_vars(&sigma, &mut self.range_tvars, &mut dropped_rvars, &mut self.range_avars);
+        self.alphas.insert(a, sigma);
+        self
+    }
+
+    /// Extends with `x ↦ v`.
+    ///
+    /// As with [`Self::with_alpha`], free region variables in the value's
+    /// type annotations are not protected from capture (at runtime they are
+    /// concrete region names anyway, which cannot be captured).
+    pub fn with_val(mut self, x: Symbol, v: Value) -> Subst {
+        // Values may mention tags (in packages); collect them so binders in
+        // terms get renamed when needed.
+        let mut dropped_rvars = HashSet::new();
+        value_free_vars(&v, &mut self.range_tvars, &mut dropped_rvars, &mut self.range_avars);
+        self.vals.insert(x, v);
+        self
+    }
+
+    /// Convenience: the single-tag substitution `[τ/t]`.
+    pub fn one_tag(t: Symbol, tau: Tag) -> Subst {
+        Subst::new().with_tag(t, tau)
+    }
+
+    /// Convenience: the single-region substitution `[ρ/r]`.
+    pub fn one_rgn(r: Symbol, rho: Region) -> Subst {
+        Subst::new().with_rgn(r, rho)
+    }
+
+    /// Convenience: the single-α substitution `[σ/α]`.
+    pub fn one_alpha(a: Symbol, sigma: Ty) -> Subst {
+        Subst::new().with_alpha(a, sigma)
+    }
+
+    /// Convenience: the single-value substitution `[v/x]`.
+    pub fn one_val(x: Symbol, v: Value) -> Subst {
+        Subst::new().with_val(x, v)
+    }
+
+    // ----- binder entry -------------------------------------------------
+
+    /// Prepares to descend under a tag binder `t`: removes `t` from the
+    /// domain and, if `t` would capture a range variable, renames it.
+    /// Returns the adjusted substitution and the (possibly fresh) binder.
+    fn enter_tag_binder(&self, t: Symbol) -> (Subst, Symbol) {
+        let mut sub = self.clone();
+        sub.tags.remove(&t);
+        if sub.range_tvars.contains(&t) {
+            let fresh = t.fresh();
+            sub = sub.with_tag(t, Tag::Var(fresh));
+            (sub, fresh)
+        } else {
+            (sub, t)
+        }
+    }
+
+    /// Like [`Self::enter_tag_binder`] for region binders.
+    fn enter_rgn_binder(&self, r: Symbol) -> (Subst, Symbol) {
+        let mut sub = self.clone();
+        sub.rgns.remove(&r);
+        if sub.range_rvars.contains(&r) {
+            let fresh = r.fresh();
+            sub = sub.with_rgn(r, Region::Var(fresh));
+            (sub, fresh)
+        } else {
+            (sub, r)
+        }
+    }
+
+    /// Like [`Self::enter_tag_binder`] for α binders.
+    fn enter_alpha_binder(&self, a: Symbol) -> (Subst, Symbol) {
+        let mut sub = self.clone();
+        sub.alphas.remove(&a);
+        if sub.range_avars.contains(&a) {
+            let fresh = a.fresh();
+            sub = sub.with_alpha(a, Ty::Alpha(fresh));
+            (sub, fresh)
+        } else {
+            (sub, a)
+        }
+    }
+
+    /// Value binders never capture (ranges are values whose value variables
+    /// are not tracked — runtime substitution ranges are closed), but we
+    /// still remove the binder from the domain to respect shadowing.
+    fn enter_val_binder(&self, x: Symbol) -> Subst {
+        let mut sub = self.clone();
+        sub.vals.remove(&x);
+        sub
+    }
+
+    // ----- application --------------------------------------------------
+
+    /// Applies the substitution to a region.
+    pub fn region(&self, rho: &Region) -> Region {
+        match rho {
+            Region::Var(r) => self.rgns.get(r).copied().unwrap_or(*rho),
+            Region::Name(_) => *rho,
+        }
+    }
+
+    /// Applies the substitution to a tag.
+    pub fn tag(&self, tau: &Tag) -> Tag {
+        if self.tags.is_empty() {
+            return tau.clone();
+        }
+        match tau {
+            Tag::Var(t) => self.tags.get(t).cloned().unwrap_or_else(|| tau.clone()),
+            Tag::AnyArrow(t) => match self.tags.get(t) {
+                // An `AnyArrow(t)` refinement follows `t` under renaming;
+                // substituting a concrete arrow for `t` collapses it.
+                Some(Tag::Var(t2)) => Tag::AnyArrow(*t2),
+                Some(concrete @ Tag::Arrow(_)) => concrete.clone(),
+                Some(Tag::AnyArrow(t2)) => Tag::AnyArrow(*t2),
+                Some(other) => other.clone(),
+                None => tau.clone(),
+            },
+            Tag::Int => Tag::Int,
+            Tag::Prod(a, b) => Tag::Prod(Rc::new(self.tag(a)), Rc::new(self.tag(b))),
+            Tag::Arrow(args) => Tag::Arrow(args.iter().map(|a| self.tag(a)).collect()),
+            Tag::Exist(t, body) => {
+                let (sub, t2) = self.enter_tag_binder(*t);
+                Tag::Exist(t2, Rc::new(sub.tag(body)))
+            }
+            Tag::Lam(t, body) => {
+                let (sub, t2) = self.enter_tag_binder(*t);
+                Tag::Lam(t2, Rc::new(sub.tag(body)))
+            }
+            Tag::App(f, a) => Tag::App(Rc::new(self.tag(f)), Rc::new(self.tag(a))),
+        }
+    }
+
+    /// Applies the substitution to a type.
+    pub fn ty(&self, sigma: &Ty) -> Ty {
+        if self.is_empty() {
+            return sigma.clone();
+        }
+        match sigma {
+            Ty::Int => Ty::Int,
+            Ty::Prod(a, b) => Ty::Prod(Rc::new(self.ty(a)), Rc::new(self.ty(b))),
+            Ty::Code { tvars, rvars, args } => {
+                let mut sub = self.clone();
+                let mut tvs = Vec::with_capacity(tvars.len());
+                for (t, k) in tvars.iter() {
+                    let (s2, t2) = sub.enter_tag_binder(*t);
+                    sub = s2;
+                    tvs.push((t2, *k));
+                }
+                let mut rvs = Vec::with_capacity(rvars.len());
+                for r in rvars.iter() {
+                    let (s2, r2) = sub.enter_rgn_binder(*r);
+                    sub = s2;
+                    rvs.push(r2);
+                }
+                Ty::Code {
+                    tvars: tvs.into(),
+                    rvars: rvs.into(),
+                    args: args.iter().map(|a| sub.ty(a)).collect(),
+                }
+            }
+            Ty::ExistTag { tvar, kind, body } => {
+                let (sub, t2) = self.enter_tag_binder(*tvar);
+                Ty::ExistTag {
+                    tvar: t2,
+                    kind: *kind,
+                    body: Rc::new(sub.ty(body)),
+                }
+            }
+            Ty::At(inner, rho) => Ty::At(Rc::new(self.ty(inner)), self.region(rho)),
+            Ty::M(rho, tag) => Ty::M(self.region(rho), Rc::new(self.tag(tag))),
+            Ty::C(from, to, tag) => {
+                Ty::C(self.region(from), self.region(to), Rc::new(self.tag(tag)))
+            }
+            Ty::MGen(y, o, tag) => {
+                Ty::MGen(self.region(y), self.region(o), Rc::new(self.tag(tag)))
+            }
+            Ty::Alpha(a) => self.alphas.get(a).cloned().unwrap_or_else(|| sigma.clone()),
+            Ty::ExistAlpha { avar, regions, body } => {
+                let regions = regions.iter().map(|r| self.region(r)).collect();
+                let (sub, a2) = self.enter_alpha_binder(*avar);
+                Ty::ExistAlpha {
+                    avar: a2,
+                    regions,
+                    body: Rc::new(sub.ty(body)),
+                }
+            }
+            Ty::Trans { tags, regions, args, rho } => Ty::Trans {
+                tags: tags.iter().map(|t| self.tag(t)).collect(),
+                regions: regions.iter().map(|r| self.region(r)).collect(),
+                args: args.iter().map(|a| self.ty(a)).collect(),
+                rho: self.region(rho),
+            },
+            Ty::Left(t) => Ty::Left(Rc::new(self.ty(t))),
+            Ty::Right(t) => Ty::Right(Rc::new(self.ty(t))),
+            Ty::Sum(a, b) => Ty::Sum(Rc::new(self.ty(a)), Rc::new(self.ty(b))),
+            Ty::ExistRgn { rvar, bound, body } => {
+                let bound = bound.iter().map(|r| self.region(r)).collect();
+                let (sub, r2) = self.enter_rgn_binder(*rvar);
+                Ty::ExistRgn {
+                    rvar: r2,
+                    bound,
+                    body: Rc::new(sub.ty(body)),
+                }
+            }
+        }
+    }
+
+    /// Applies the substitution to a value.
+    pub fn value(&self, v: &Value) -> Value {
+        if self.is_empty() {
+            return v.clone();
+        }
+        match v {
+            Value::Int(_) | Value::Addr(..) => v.clone(),
+            Value::Var(x) => self.vals.get(x).cloned().unwrap_or_else(|| v.clone()),
+            Value::Pair(a, b) => Value::Pair(Rc::new(self.value(a)), Rc::new(self.value(b))),
+            Value::PackTag { tvar, kind, tag, val, body_ty } => {
+                let tag = self.tag(tag);
+                let val = Rc::new(self.value(val));
+                let (sub, t2) = self.enter_tag_binder(*tvar);
+                Value::PackTag {
+                    tvar: t2,
+                    kind: *kind,
+                    tag,
+                    val,
+                    body_ty: sub.ty(body_ty),
+                }
+            }
+            Value::PackAlpha { avar, regions, witness, val, body_ty } => {
+                let regions: Rc<[Region]> = regions.iter().map(|r| self.region(r)).collect();
+                let witness = self.ty(witness);
+                let val = Rc::new(self.value(val));
+                let (sub, a2) = self.enter_alpha_binder(*avar);
+                Value::PackAlpha {
+                    avar: a2,
+                    regions,
+                    witness,
+                    val,
+                    body_ty: sub.ty(body_ty),
+                }
+            }
+            Value::PackRgn { rvar, bound, witness, val, body_ty } => {
+                let bound: Rc<[Region]> = bound.iter().map(|r| self.region(r)).collect();
+                let witness = self.region(witness);
+                let val = Rc::new(self.value(val));
+                let (sub, r2) = self.enter_rgn_binder(*rvar);
+                Value::PackRgn {
+                    rvar: r2,
+                    bound,
+                    witness,
+                    val,
+                    body_ty: sub.ty(body_ty),
+                }
+            }
+            Value::TagApp(f, tags, regions) => Value::TagApp(
+                Rc::new(self.value(f)),
+                tags.iter().map(|t| self.tag(t)).collect(),
+                regions.iter().map(|r| self.region(r)).collect(),
+            ),
+            Value::Code(def) => Value::Code(Rc::new(self.code_def(def))),
+            Value::Inl(x) => Value::Inl(Rc::new(self.value(x))),
+            Value::Inr(x) => Value::Inr(Rc::new(self.value(x))),
+        }
+    }
+
+    /// Applies the substitution to a code definition (respecting its own
+    /// binders).
+    pub fn code_def(&self, def: &CodeDef) -> CodeDef {
+        let mut sub = self.clone();
+        let mut tvs = Vec::with_capacity(def.tvars.len());
+        for (t, k) in &def.tvars {
+            let (s2, t2) = sub.enter_tag_binder(*t);
+            sub = s2;
+            tvs.push((t2, *k));
+        }
+        let mut rvs = Vec::with_capacity(def.rvars.len());
+        for r in &def.rvars {
+            let (s2, r2) = sub.enter_rgn_binder(*r);
+            sub = s2;
+            rvs.push(r2);
+        }
+        let mut params = Vec::with_capacity(def.params.len());
+        for (x, t) in &def.params {
+            params.push((*x, sub.ty(t)));
+        }
+        for (x, _) in &def.params {
+            sub = sub.enter_val_binder(*x);
+        }
+        CodeDef {
+            name: def.name,
+            tvars: tvs,
+            rvars: rvs,
+            params,
+            body: sub.term(&def.body),
+        }
+    }
+
+    /// Applies the substitution to an operation.
+    pub fn op(&self, op: &Op) -> Op {
+        match op {
+            Op::Val(v) => Op::Val(self.value(v)),
+            Op::Proj(i, v) => Op::Proj(*i, self.value(v)),
+            Op::Put(rho, v) => Op::Put(self.region(rho), self.value(v)),
+            Op::Get(v) => Op::Get(self.value(v)),
+            Op::Strip(v) => Op::Strip(self.value(v)),
+            Op::Prim(p, a, b) => Op::Prim(*p, self.value(a), self.value(b)),
+        }
+    }
+
+    /// Applies the substitution to a term.
+    pub fn term(&self, e: &Term) -> Term {
+        if self.is_empty() {
+            return e.clone();
+        }
+        match e {
+            Term::App { f, tags, regions, args } => Term::App {
+                f: self.value(f),
+                tags: tags.iter().map(|t| self.tag(t)).collect(),
+                regions: regions.iter().map(|r| self.region(r)).collect(),
+                args: args.iter().map(|v| self.value(v)).collect(),
+            },
+            Term::Let { .. } => {
+                // Let chains are the program spine and can be thousands of
+                // bindings deep (tree literals, CPS sequences); walk them
+                // iteratively to keep stack use constant.
+                let mut bindings: Vec<(Symbol, Op)> = Vec::new();
+                let mut sub = self.clone();
+                let mut cur = e;
+                while let Term::Let { x, op, body } = cur {
+                    bindings.push((*x, sub.op(op)));
+                    sub.vals.remove(x);
+                    cur = body;
+                }
+                let mut out = sub.term(cur);
+                for (x, op) in bindings.into_iter().rev() {
+                    out = Term::Let { x, op, body: Rc::new(out) };
+                }
+                out
+            }
+            Term::Halt(v) => Term::Halt(self.value(v)),
+            Term::IfGc { rho, full, cont } => Term::IfGc {
+                rho: self.region(rho),
+                full: Rc::new(self.term(full)),
+                cont: Rc::new(self.term(cont)),
+            },
+            Term::OpenTag { pkg, tvar, x, body } => {
+                let pkg = self.value(pkg);
+                let (sub, t2) = self.enter_tag_binder(*tvar);
+                let sub = sub.enter_val_binder(*x);
+                Term::OpenTag {
+                    pkg,
+                    tvar: t2,
+                    x: *x,
+                    body: Rc::new(sub.term(body)),
+                }
+            }
+            Term::OpenAlpha { pkg, avar, x, body } => {
+                let pkg = self.value(pkg);
+                let (sub, a2) = self.enter_alpha_binder(*avar);
+                let sub = sub.enter_val_binder(*x);
+                Term::OpenAlpha {
+                    pkg,
+                    avar: a2,
+                    x: *x,
+                    body: Rc::new(sub.term(body)),
+                }
+            }
+            Term::OpenRgn { pkg, rvar, x, body } => {
+                let pkg = self.value(pkg);
+                let (sub, r2) = self.enter_rgn_binder(*rvar);
+                let sub = sub.enter_val_binder(*x);
+                Term::OpenRgn {
+                    pkg,
+                    rvar: r2,
+                    x: *x,
+                    body: Rc::new(sub.term(body)),
+                }
+            }
+            Term::LetRegion { rvar, body } => {
+                let (sub, r2) = self.enter_rgn_binder(*rvar);
+                Term::LetRegion {
+                    rvar: r2,
+                    body: Rc::new(sub.term(body)),
+                }
+            }
+            Term::Only { regions, body } => Term::Only {
+                regions: regions.iter().map(|r| self.region(r)).collect(),
+                body: Rc::new(self.term(body)),
+            },
+            Term::Typecase { tag, int_arm, arrow_arm, prod_arm, exist_arm } => {
+                let tag = self.tag(tag);
+                let int_arm = Rc::new(self.term(int_arm));
+                let arrow_arm = Rc::new(self.term(arrow_arm));
+                let (t1, t2, pe) = prod_arm;
+                let (s1, t1b) = self.enter_tag_binder(*t1);
+                let (s2, t2b) = s1.enter_tag_binder(*t2);
+                let prod_arm = (t1b, t2b, Rc::new(s2.term(pe)));
+                let (te, ee) = exist_arm;
+                let (s3, teb) = self.enter_tag_binder(*te);
+                let exist_arm = (teb, Rc::new(s3.term(ee)));
+                Term::Typecase { tag, int_arm, arrow_arm, prod_arm, exist_arm }
+            }
+            Term::IfLeft { x, scrut, left, right } => {
+                let scrut = self.value(scrut);
+                let sub = self.enter_val_binder(*x);
+                Term::IfLeft {
+                    x: *x,
+                    scrut,
+                    left: Rc::new(sub.term(left)),
+                    right: Rc::new(sub.term(right)),
+                }
+            }
+            Term::Set { dst, src, body } => Term::Set {
+                dst: self.value(dst),
+                src: self.value(src),
+                body: Rc::new(self.term(body)),
+            },
+            Term::Widen { x, from, to, tag, v, body } => {
+                let from = self.region(from);
+                let to = self.region(to);
+                let tag = self.tag(tag);
+                let v = self.value(v);
+                let sub = self.enter_val_binder(*x);
+                Term::Widen {
+                    x: *x,
+                    from,
+                    to,
+                    tag,
+                    v,
+                    body: Rc::new(sub.term(body)),
+                }
+            }
+            Term::IfReg { r1, r2, eq, ne } => Term::IfReg {
+                r1: self.region(r1),
+                r2: self.region(r2),
+                eq: Rc::new(self.term(eq)),
+                ne: Rc::new(self.term(ne)),
+            },
+            Term::If0 { scrut, zero, nonzero } => Term::If0 {
+                scrut: self.value(scrut),
+                zero: Rc::new(self.term(zero)),
+                nonzero: Rc::new(self.term(nonzero)),
+            },
+        }
+    }
+}
+
+// ----- free variables ----------------------------------------------------
+
+/// Collects the free tag variables of a tag into `out`.
+pub fn free_tag_vars(tau: &Tag, out: &mut HashSet<Symbol>) {
+    fn go(tau: &Tag, bound: &mut Vec<Symbol>, out: &mut HashSet<Symbol>) {
+        match tau {
+            Tag::Var(t) | Tag::AnyArrow(t) => {
+                if !bound.contains(t) {
+                    out.insert(*t);
+                }
+            }
+            Tag::Int => {}
+            Tag::Prod(a, b) | Tag::App(a, b) => {
+                go(a, bound, out);
+                go(b, bound, out);
+            }
+            Tag::Arrow(args) => args.iter().for_each(|a| go(a, bound, out)),
+            Tag::Exist(t, body) | Tag::Lam(t, body) => {
+                bound.push(*t);
+                go(body, bound, out);
+                bound.pop();
+            }
+        }
+    }
+    go(tau, &mut Vec::new(), out);
+}
+
+/// Collects the free tag, region, and α variables of a type.
+pub fn ty_free_vars(
+    sigma: &Ty,
+    tvars: &mut HashSet<Symbol>,
+    rvars: &mut HashSet<Symbol>,
+    avars: &mut HashSet<Symbol>,
+) {
+    struct Bound {
+        t: Vec<Symbol>,
+        r: Vec<Symbol>,
+        a: Vec<Symbol>,
+    }
+    fn go_tag(tau: &Tag, b: &mut Bound, tvars: &mut HashSet<Symbol>) {
+        let mut fv = HashSet::new();
+        free_tag_vars(tau, &mut fv);
+        for t in fv {
+            if !b.t.contains(&t) {
+                tvars.insert(t);
+            }
+        }
+    }
+    fn go_rgn(rho: &Region, b: &mut Bound, rvars: &mut HashSet<Symbol>) {
+        if let Region::Var(r) = rho {
+            if !b.r.contains(r) {
+                rvars.insert(*r);
+            }
+        }
+    }
+    fn go(
+        sigma: &Ty,
+        b: &mut Bound,
+        tvars: &mut HashSet<Symbol>,
+        rvars: &mut HashSet<Symbol>,
+        avars: &mut HashSet<Symbol>,
+    ) {
+        match sigma {
+            Ty::Int => {}
+            Ty::Prod(x, y) | Ty::Sum(x, y) => {
+                go(x, b, tvars, rvars, avars);
+                go(y, b, tvars, rvars, avars);
+            }
+            Ty::Left(x) | Ty::Right(x) => go(x, b, tvars, rvars, avars),
+            Ty::Code { tvars: tv, rvars: rv, args } => {
+                let nt = tv.len();
+                let nr = rv.len();
+                b.t.extend(tv.iter().map(|(t, _)| *t));
+                b.r.extend(rv.iter().copied());
+                for a in args.iter() {
+                    go(a, b, tvars, rvars, avars);
+                }
+                b.t.truncate(b.t.len() - nt);
+                b.r.truncate(b.r.len() - nr);
+            }
+            Ty::ExistTag { tvar, body, .. } => {
+                b.t.push(*tvar);
+                go(body, b, tvars, rvars, avars);
+                b.t.pop();
+            }
+            Ty::At(inner, rho) => {
+                go(inner, b, tvars, rvars, avars);
+                go_rgn(rho, b, rvars);
+            }
+            Ty::M(rho, tag) => {
+                go_rgn(rho, b, rvars);
+                go_tag(tag, b, tvars);
+            }
+            Ty::C(r1, r2, tag) | Ty::MGen(r1, r2, tag) => {
+                go_rgn(r1, b, rvars);
+                go_rgn(r2, b, rvars);
+                go_tag(tag, b, tvars);
+            }
+            Ty::Alpha(a) => {
+                if !b.a.contains(a) {
+                    avars.insert(*a);
+                }
+            }
+            Ty::ExistAlpha { avar, regions, body } => {
+                for r in regions.iter() {
+                    go_rgn(r, b, rvars);
+                }
+                b.a.push(*avar);
+                go(body, b, tvars, rvars, avars);
+                b.a.pop();
+            }
+            Ty::Trans { tags, regions, args, rho } => {
+                for t in tags.iter() {
+                    go_tag(t, b, tvars);
+                }
+                go_rgn(rho, b, rvars);
+                for r in regions.iter() {
+                    go_rgn(r, b, rvars);
+                }
+                for a in args.iter() {
+                    go(a, b, tvars, rvars, avars);
+                }
+            }
+            Ty::ExistRgn { rvar, bound, body } => {
+                for r in bound.iter() {
+                    go_rgn(r, b, rvars);
+                }
+                b.r.push(*rvar);
+                go(body, b, tvars, rvars, avars);
+                b.r.pop();
+            }
+        }
+    }
+    let mut b = Bound { t: Vec::new(), r: Vec::new(), a: Vec::new() };
+    go(sigma, &mut b, tvars, rvars, avars);
+}
+
+/// Collects the free tag/region/α variables mentioned inside a value (in its
+/// type annotations and embedded tags).
+pub fn value_free_vars(
+    v: &Value,
+    tvars: &mut HashSet<Symbol>,
+    rvars: &mut HashSet<Symbol>,
+    avars: &mut HashSet<Symbol>,
+) {
+    match v {
+        Value::Int(_) | Value::Var(_) | Value::Addr(..) => {}
+        Value::Pair(a, b) => {
+            value_free_vars(a, tvars, rvars, avars);
+            value_free_vars(b, tvars, rvars, avars);
+        }
+        Value::PackTag { tvar, tag, val, body_ty, .. } => {
+            free_tag_vars(tag, tvars);
+            value_free_vars(val, tvars, rvars, avars);
+            let mut bt = HashSet::new();
+            let mut br = HashSet::new();
+            let mut ba = HashSet::new();
+            ty_free_vars(body_ty, &mut bt, &mut br, &mut ba);
+            bt.remove(tvar);
+            tvars.extend(bt);
+            rvars.extend(br);
+            avars.extend(ba);
+        }
+        Value::PackAlpha { avar, regions, witness, val, body_ty } => {
+            for r in regions.iter() {
+                if let Region::Var(r) = r {
+                    rvars.insert(*r);
+                }
+            }
+            ty_free_vars(witness, tvars, rvars, avars);
+            value_free_vars(val, tvars, rvars, avars);
+            let mut bt = HashSet::new();
+            let mut br = HashSet::new();
+            let mut ba = HashSet::new();
+            ty_free_vars(body_ty, &mut bt, &mut br, &mut ba);
+            ba.remove(avar);
+            tvars.extend(bt);
+            rvars.extend(br);
+            avars.extend(ba);
+        }
+        Value::PackRgn { rvar, bound, witness, val, body_ty } => {
+            for r in bound.iter() {
+                if let Region::Var(r) = r {
+                    rvars.insert(*r);
+                }
+            }
+            if let Region::Var(r) = witness {
+                rvars.insert(*r);
+            }
+            value_free_vars(val, tvars, rvars, avars);
+            let mut bt = HashSet::new();
+            let mut br = HashSet::new();
+            let mut ba = HashSet::new();
+            ty_free_vars(body_ty, &mut bt, &mut br, &mut ba);
+            br.remove(rvar);
+            tvars.extend(bt);
+            rvars.extend(br);
+            avars.extend(ba);
+        }
+        Value::TagApp(f, tags, regions) => {
+            value_free_vars(f, tvars, rvars, avars);
+            for t in tags.iter() {
+                free_tag_vars(t, tvars);
+            }
+            for r in regions.iter() {
+                if let Region::Var(r) = r {
+                    rvars.insert(*r);
+                }
+            }
+        }
+        // Code blocks are closed by the typing rules; nothing escapes.
+        Value::Code(_) => {}
+        Value::Inl(x) | Value::Inr(x) => value_free_vars(x, tvars, rvars, avars),
+    }
+}
+
+/// Collects every region (variable or name) mentioned free in a type.
+/// Used for the `Γ|∆′` restriction of the `only` rule (§6.4).
+pub fn ty_regions(sigma: &Ty) -> HashSet<Region> {
+    fn go(sigma: &Ty, bound: &mut Vec<Symbol>, out: &mut HashSet<Region>) {
+        let add = |rho: &Region, bound: &Vec<Symbol>, out: &mut HashSet<Region>| match rho {
+            Region::Var(r) => {
+                if !bound.contains(r) {
+                    out.insert(*rho);
+                }
+            }
+            Region::Name(_) => {
+                out.insert(*rho);
+            }
+        };
+        match sigma {
+            Ty::Int | Ty::Alpha(_) => {}
+            Ty::Prod(a, b) | Ty::Sum(a, b) => {
+                go(a, bound, out);
+                go(b, bound, out);
+            }
+            Ty::Left(a) | Ty::Right(a) => go(a, bound, out),
+            Ty::Code { rvars, args, .. } => {
+                let n = rvars.len();
+                bound.extend(rvars.iter().copied());
+                for a in args.iter() {
+                    go(a, bound, out);
+                }
+                bound.truncate(bound.len() - n);
+            }
+            Ty::ExistTag { body, .. } => go(body, bound, out),
+            Ty::At(inner, rho) => {
+                go(inner, bound, out);
+                add(rho, bound, out);
+            }
+            Ty::M(rho, _) => add(rho, bound, out),
+            Ty::C(a, b, _) | Ty::MGen(a, b, _) => {
+                add(a, bound, out);
+                add(b, bound, out);
+            }
+            Ty::ExistAlpha { regions, body, .. } => {
+                for r in regions.iter() {
+                    add(r, bound, out);
+                }
+                go(body, bound, out);
+            }
+            Ty::Trans { regions, args, rho, .. } => {
+                add(rho, bound, out);
+                for r in regions.iter() {
+                    add(r, bound, out);
+                }
+                for a in args.iter() {
+                    go(a, bound, out);
+                }
+            }
+            Ty::ExistRgn { rvar, bound: bd, body } => {
+                for r in bd.iter() {
+                    add(r, bound, out);
+                }
+                bound.push(*rvar);
+                go(body, bound, out);
+                bound.pop();
+            }
+        }
+    }
+    let mut out = HashSet::new();
+    go(sigma, &mut Vec::new(), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::Kind;
+
+    fn s(x: &str) -> Symbol {
+        Symbol::intern(x)
+    }
+
+    #[test]
+    fn tag_substitution_basic() {
+        let t = s("t");
+        let tau = Tag::prod(Tag::Var(t), Tag::Int);
+        let out = Subst::one_tag(t, Tag::Int).tag(&tau);
+        assert_eq!(out, Tag::prod(Tag::Int, Tag::Int));
+    }
+
+    #[test]
+    fn tag_substitution_respects_shadowing() {
+        let t = s("t");
+        let tau = Tag::lam(t, Tag::Var(t));
+        let out = Subst::one_tag(t, Tag::Int).tag(&tau);
+        // The bound t must not be replaced.
+        match out {
+            Tag::Lam(b, body) => assert_eq!(*body, Tag::Var(b)),
+            _ => panic!("expected lambda"),
+        }
+    }
+
+    #[test]
+    fn tag_substitution_avoids_capture() {
+        let t = s("t");
+        let u = s("u");
+        // λu. t   with  [u/t]  must not produce λu.u.
+        let tau = Tag::lam(u, Tag::Var(t));
+        let out = Subst::one_tag(t, Tag::Var(u)).tag(&tau);
+        match out {
+            Tag::Lam(b, body) => {
+                assert_ne!(b, u, "binder must be renamed");
+                assert_eq!(*body, Tag::Var(u));
+            }
+            _ => panic!("expected lambda"),
+        }
+    }
+
+    #[test]
+    fn region_substitution_in_types() {
+        let r = s("r");
+        let sigma = Ty::Int.at(Region::Var(r));
+        let out = Subst::one_rgn(r, Region::cd()).ty(&sigma);
+        assert_eq!(out, Ty::Int.at(Region::cd()));
+    }
+
+    #[test]
+    fn region_substitution_stops_at_binders() {
+        let r = s("r");
+        let sigma = Ty::Code {
+            tvars: Rc::from(vec![]),
+            rvars: Rc::from(vec![r]),
+            args: Rc::from(vec![Ty::Int.at(Region::Var(r))]),
+        };
+        let out = Subst::one_rgn(r, Region::cd()).ty(&sigma);
+        assert_eq!(out, sigma, "bound region variables are untouched");
+    }
+
+    #[test]
+    fn alpha_substitution() {
+        let a = s("alpha");
+        let sigma = Ty::prod(Ty::Alpha(a), Ty::Int);
+        let out = Subst::one_alpha(a, Ty::Int).ty(&sigma);
+        assert_eq!(out, Ty::prod(Ty::Int, Ty::Int));
+    }
+
+    #[test]
+    fn value_substitution_in_terms() {
+        let x = s("x");
+        let e = Term::Halt(Value::Var(x));
+        let out = Subst::one_val(x, Value::Int(7)).term(&e);
+        assert_eq!(out, Term::Halt(Value::Int(7)));
+    }
+
+    #[test]
+    fn value_substitution_respects_let_shadowing() {
+        let x = s("x");
+        let e = Term::let_(x, Op::Val(Value::Int(1)), Term::Halt(Value::Var(x)));
+        let out = Subst::one_val(x, Value::Int(7)).term(&e);
+        // Inner x is rebound; the halt must still see the let-bound x.
+        match out {
+            Term::Let { body, .. } => assert_eq!(*body, Term::Halt(Value::Var(x))),
+            _ => panic!("expected let"),
+        }
+    }
+
+    #[test]
+    fn m_type_substitutes_both_parts() {
+        let r = s("r");
+        let t = s("t");
+        let sigma = Ty::m(Region::Var(r), Tag::Var(t));
+        let out = Subst::new()
+            .with_rgn(r, Region::Name(crate::syntax::RegionName(4)))
+            .with_tag(t, Tag::Int)
+            .ty(&sigma);
+        assert_eq!(out, Ty::m(Region::Name(crate::syntax::RegionName(4)), Tag::Int));
+    }
+
+    #[test]
+    fn anyarrow_collapses_to_concrete_arrow() {
+        let t = s("t");
+        let arrow = Tag::arrow([Tag::Int]);
+        let out = Subst::one_tag(t, arrow.clone()).tag(&Tag::AnyArrow(t));
+        assert_eq!(out, arrow);
+    }
+
+    #[test]
+    fn free_tag_vars_of_exist() {
+        let t = s("t");
+        let u = s("u");
+        let tau = Tag::exist(t, Tag::prod(Tag::Var(t), Tag::Var(u)));
+        let mut fv = HashSet::new();
+        free_tag_vars(&tau, &mut fv);
+        assert!(fv.contains(&u));
+        assert!(!fv.contains(&t));
+    }
+
+    #[test]
+    fn ty_regions_finds_names_and_vars() {
+        let r = s("r");
+        let sigma = Ty::prod(
+            Ty::Int.at(Region::Var(r)),
+            Ty::Int.at(Region::Name(crate::syntax::RegionName(2))),
+        );
+        let rs = ty_regions(&sigma);
+        assert!(rs.contains(&Region::Var(r)));
+        assert!(rs.contains(&Region::Name(crate::syntax::RegionName(2))));
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn ty_regions_skips_bound() {
+        let r = s("r");
+        let sigma = Ty::exist_rgn(r, [Region::cd()], Ty::Int.at(Region::Var(r)));
+        let rs = ty_regions(&sigma);
+        assert!(rs.contains(&Region::cd()));
+        assert!(!rs.contains(&Region::Var(r)));
+    }
+
+    #[test]
+    fn typecase_substitution_enters_arms() {
+        let t = s("t");
+        let t1 = s("t1");
+        let t2 = s("t2");
+        let te = s("te");
+        let e = Term::Typecase {
+            tag: Tag::Var(t),
+            int_arm: Rc::new(Term::Halt(Value::Int(0))),
+            arrow_arm: Rc::new(Term::Halt(Value::Int(1))),
+            prod_arm: (t1, t2, Rc::new(Term::Halt(Value::Int(2)))),
+            exist_arm: (te, Rc::new(Term::Halt(Value::Int(3)))),
+        };
+        let out = Subst::one_tag(t, Tag::Int).term(&e);
+        match out {
+            Term::Typecase { tag, .. } => assert_eq!(tag, Tag::Int),
+            _ => panic!("expected typecase"),
+        }
+    }
+
+    #[test]
+    fn pack_tag_value_substitution() {
+        let t = s("t");
+        let x = s("x");
+        let v = Value::PackTag {
+            tvar: t,
+            kind: Kind::Omega,
+            tag: Tag::Int,
+            val: Rc::new(Value::Var(x)),
+            body_ty: Ty::m(Region::cd(), Tag::Var(t)),
+        };
+        let out = Subst::one_val(x, Value::Int(9)).value(&v);
+        match out {
+            Value::PackTag { val, .. } => assert_eq!(*val, Value::Int(9)),
+            _ => panic!("expected package"),
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! Machine-state well-formedness: `⊢ (M, e)` (Fig. 7, Definitions 6.3 and
+//! 7.1).
+//!
+//! A state is well formed when some memory typing `Ψ` types the store
+//! (`⊢ M : Ψ`) and the current term (`Ψ; Dom(Ψ); ·; ·; · ⊢ e`). The
+//! machine maintains a candidate `Ψ` incrementally (see
+//! [`crate::memory::Memory`]); this module *re-validates* it against the
+//! real typing rules — which is exactly what the paper's type-preservation
+//! proofs (Props. 6.4, 7.2, 8.1) guarantee must succeed after every step.
+//!
+//! For λGCforw, Definition 7.1 weakens `⊢ M : Ψ` to a *sufficient subset*
+//! `M̄ ⊆ M`: after a `widen`, dead objects may be ill-typed. We realize
+//! this by checking only slots that still have `Ψ` entries (the machine's
+//! `widen` handler drops entries for unreachable from-region objects), and
+//! optionally only the slots reachable from the current term.
+
+use std::collections::HashSet;
+
+use crate::error::{ErrorKind, LangError, Result};
+use crate::machine::Machine;
+use crate::syntax::{Dialect, Op, RegionName, Term, Value};
+use crate::tyck::{Checker, Ctx};
+
+/// Options for the state checker.
+#[derive(Clone, Copy, Debug)]
+#[derive(Default)]
+pub struct WfOptions {
+    /// Re-typecheck the bodies of code blocks in `cd`. Checking a whole
+    /// program once at load time makes this redundant per step, so
+    /// per-step preservation tests usually turn it off.
+    pub check_code_bodies: bool,
+    /// Check only store slots reachable from the current term (always safe;
+    /// required for λGCforw after a `widen` per Def. 7.1).
+    pub reachable_only: bool,
+}
+
+
+/// Checks `⊢ (M, e)` for the machine's current state.
+///
+/// # Examples
+///
+/// ```
+/// use ps_gc_lang::machine::{Machine, Program};
+/// use ps_gc_lang::memory::MemConfig;
+/// use ps_gc_lang::syntax::{Dialect, Term, Value};
+/// use ps_gc_lang::wf::{check_state, WfOptions};
+///
+/// let program = Program {
+///     dialect: Dialect::Basic,
+///     code: vec![],
+///     main: Term::Halt(Value::Int(0)),
+/// };
+/// let config = MemConfig { track_types: true, ..MemConfig::default() };
+/// let machine = Machine::load(&program, config);
+/// check_state(&machine, WfOptions::default()).unwrap();
+/// ```
+///
+/// # Errors
+///
+/// Returns a well-formedness error describing the first slot or the term
+/// judgement that failed. The machine must have been created with
+/// `track_types: true`.
+pub fn check_state(machine: &Machine, opts: WfOptions) -> Result<()> {
+    if !machine.memory().config().track_types {
+        return Err(LangError::new(
+            ErrorKind::WellFormedness,
+            "machine was not created with track_types; Ψ is unavailable",
+        ));
+    }
+    let dialect = machine.dialect();
+    let checker = Checker::from_memory(dialect, machine.memory());
+    let mut ctx = Ctx::empty();
+    ctx.delta = checker.psi_domain();
+
+    // Which slots to validate.
+    let reachable = if opts.reachable_only || dialect == Dialect::Forwarding {
+        Some(reachable_slots(machine))
+    } else {
+        None
+    };
+
+    // ⊢ M : Ψ — every (selected) stored value checks against its Ψ entry.
+    for nu in machine.memory().region_names() {
+        if nu.is_cd() && !opts.check_code_bodies {
+            continue;
+        }
+        let region = machine.memory().region(nu).expect("live region");
+        for (loc, stored) in region.iter() {
+            if let Some(set) = &reachable {
+                if !set.contains(&(nu, loc)) {
+                    continue;
+                }
+            }
+            let Some(entry) = machine.memory().psi_entry(nu, loc) else {
+                // No Ψ entry: dead garbage discarded by widen (Def. 7.1) —
+                // but only the forwarding dialect may have such slots.
+                if dialect == Dialect::Forwarding {
+                    continue;
+                }
+                return Err(LangError::new(
+                    ErrorKind::WellFormedness,
+                    format!("slot {nu}.{loc} has no Ψ entry"),
+                ));
+            };
+            checker
+                .check_value(&ctx, stored, entry)
+                .map_err(|e| e.in_context(format!("store slot {nu}.{loc}")))?;
+        }
+    }
+
+    // Ψ; Dom(Ψ); ·; ·; · ⊢ e.
+    checker
+        .check_term(&ctx, machine.term())
+        .map_err(|e| e.in_context("current term"))
+}
+
+/// Computes the set of store slots reachable from the current term.
+fn reachable_slots(machine: &Machine) -> HashSet<(RegionName, u32)> {
+    let mut roots: Vec<(RegionName, u32)> = Vec::new();
+    collect_term_addrs(machine.term(), &mut roots);
+    let mut seen: HashSet<(RegionName, u32)> = HashSet::new();
+    let mut work = roots;
+    while let Some((nu, loc)) = work.pop() {
+        if !seen.insert((nu, loc)) {
+            continue;
+        }
+        if let Some(region) = machine.memory().region(nu) {
+            if let Some((_, v)) = region.iter().find(|(l, _)| *l == loc) {
+                collect_value_addrs(v, &mut work);
+            }
+        }
+    }
+    seen
+}
+
+fn collect_value_addrs(v: &Value, out: &mut Vec<(RegionName, u32)>) {
+    match v {
+        Value::Int(_) | Value::Var(_) => {}
+        Value::Addr(nu, loc) => out.push((*nu, *loc)),
+        Value::Pair(a, b) => {
+            collect_value_addrs(a, out);
+            collect_value_addrs(b, out);
+        }
+        Value::PackTag { val, .. }
+        | Value::PackAlpha { val, .. }
+        | Value::PackRgn { val, .. }
+        | Value::Inl(val)
+        | Value::Inr(val) => collect_value_addrs(val, out),
+        Value::TagApp(f, _, _) => collect_value_addrs(f, out),
+        Value::Code(def) => collect_term_addrs(&def.body, out),
+    }
+}
+
+fn collect_op_addrs(op: &Op, out: &mut Vec<(RegionName, u32)>) {
+    match op {
+        Op::Val(v) | Op::Proj(_, v) | Op::Put(_, v) | Op::Get(v) | Op::Strip(v) => {
+            collect_value_addrs(v, out)
+        }
+        Op::Prim(_, a, b) => {
+            collect_value_addrs(a, out);
+            collect_value_addrs(b, out);
+        }
+    }
+}
+
+fn collect_term_addrs(e: &Term, out: &mut Vec<(RegionName, u32)>) {
+    match e {
+        Term::App { f, args, .. } => {
+            collect_value_addrs(f, out);
+            for a in args {
+                collect_value_addrs(a, out);
+            }
+        }
+        Term::Let { .. } => {
+            let mut cur = e;
+            while let Term::Let { op, body, .. } = cur {
+                collect_op_addrs(op, out);
+                cur = body;
+            }
+            collect_term_addrs(cur, out);
+        }
+        Term::Halt(v) => collect_value_addrs(v, out),
+        Term::IfGc { full, cont, .. } => {
+            collect_term_addrs(full, out);
+            collect_term_addrs(cont, out);
+        }
+        Term::OpenTag { pkg, body, .. }
+        | Term::OpenAlpha { pkg, body, .. }
+        | Term::OpenRgn { pkg, body, .. } => {
+            collect_value_addrs(pkg, out);
+            collect_term_addrs(body, out);
+        }
+        Term::LetRegion { body, .. } | Term::Only { body, .. } => collect_term_addrs(body, out),
+        Term::Typecase { int_arm, arrow_arm, prod_arm, exist_arm, .. } => {
+            collect_term_addrs(int_arm, out);
+            collect_term_addrs(arrow_arm, out);
+            collect_term_addrs(&prod_arm.2, out);
+            collect_term_addrs(&exist_arm.1, out);
+        }
+        Term::IfLeft { scrut, left, right, .. } => {
+            collect_value_addrs(scrut, out);
+            collect_term_addrs(left, out);
+            collect_term_addrs(right, out);
+        }
+        Term::Set { dst, src, body } => {
+            collect_value_addrs(dst, out);
+            collect_value_addrs(src, out);
+            collect_term_addrs(body, out);
+        }
+        Term::Widen { v, body, .. } => {
+            collect_value_addrs(v, out);
+            collect_term_addrs(body, out);
+        }
+        Term::IfReg { eq, ne, .. } => {
+            collect_term_addrs(eq, out);
+            collect_term_addrs(ne, out);
+        }
+        Term::If0 { scrut, zero, nonzero } => {
+            collect_value_addrs(scrut, out);
+            collect_term_addrs(zero, out);
+            collect_term_addrs(nonzero, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Machine, Outcome, Program, StepOutcome};
+    use crate::memory::{GrowthPolicy, MemConfig};
+    use crate::syntax::{Region, Term, Value};
+    use ps_ir::Symbol;
+
+    fn s(x: &str) -> Symbol {
+        Symbol::intern(x)
+    }
+
+    fn tracked_config() -> MemConfig {
+        MemConfig {
+            region_budget: 64,
+            growth: GrowthPolicy::Fixed,
+            track_types: true,
+        }
+    }
+
+    /// Steps a machine to completion, checking well-formedness at every
+    /// step — a miniature of the preservation property tests.
+    fn run_checked(p: Program) -> i64 {
+        let mut m = Machine::load(&p, tracked_config());
+        check_state(&m, WfOptions::default()).expect("initial state well formed");
+        for _ in 0..10_000 {
+            match m.step().expect("progress") {
+                StepOutcome::Halted(n) => return n,
+                StepOutcome::Continue => {
+                    check_state(&m, WfOptions::default()).expect("preservation");
+                }
+            }
+        }
+        panic!("out of fuel");
+    }
+
+    #[test]
+    fn preservation_through_alloc_and_reclaim() {
+        let r1 = s("wr1");
+        let r2 = s("wr2");
+        let a = s("wa");
+        let b = s("wb");
+        let c = s("wc");
+        let e = Term::LetRegion {
+            rvar: r1,
+            body: std::rc::Rc::new(Term::let_(
+                a,
+                Op::Put(Region::Var(r1), Value::pair(Value::Int(1), Value::Int(2))),
+                Term::LetRegion {
+                    rvar: r2,
+                    body: std::rc::Rc::new(Term::let_(
+                        b,
+                        Op::Get(Value::Var(a)),
+                        Term::let_(
+                            c,
+                            Op::Proj(2, Value::Var(b)),
+                            Term::Only {
+                                regions: vec![Region::Var(r2)],
+                                body: std::rc::Rc::new(Term::Halt(Value::Var(c))),
+                            },
+                        ),
+                    )),
+                },
+            )),
+        };
+        let p = Program { dialect: Dialect::Basic, code: vec![], main: e };
+        assert_eq!(run_checked(p), 2);
+    }
+
+    #[test]
+    fn ill_formed_state_detected() {
+        // Manufacture a program whose term holds an address into a region
+        // that gets reclaimed: after `only`, the state is ill formed.
+        let r1 = s("xr1");
+        let a = s("xa");
+        let e = Term::LetRegion {
+            rvar: r1,
+            body: std::rc::Rc::new(Term::let_(
+                a,
+                Op::Put(Region::Var(r1), Value::Int(5)),
+                Term::Only {
+                    regions: vec![],
+                    body: std::rc::Rc::new(Term::let_(
+                        s("xb"),
+                        Op::Get(Value::Var(a)),
+                        Term::Halt(Value::Var(s("xb"))),
+                    )),
+                },
+            )),
+        };
+        let p = Program { dialect: Dialect::Basic, code: vec![], main: e };
+        let mut m = Machine::load(&p, tracked_config());
+        // let region; put; only — after the only, the get references a
+        // dangling address and the state must be flagged.
+        m.step().unwrap();
+        m.step().unwrap();
+        m.step().unwrap();
+        assert!(check_state(&m, WfOptions::default()).is_err());
+    }
+
+    #[test]
+    fn untracked_machine_is_rejected() {
+        let p = Program {
+            dialect: Dialect::Basic,
+            code: vec![],
+            main: Term::Halt(Value::Int(0)),
+        };
+        let m = Machine::load(
+            &p,
+            MemConfig { track_types: false, ..tracked_config() },
+        );
+        assert!(check_state(&m, WfOptions::default()).is_err());
+    }
+
+    #[test]
+    fn preservation_through_forwarding_set_and_widen() {
+        // Manually drive the forwarding primitives: allocate an object in
+        // mutator view, widen it, forward it, and re-check at each step.
+        let r1 = s("fr1");
+        let r2 = s("fr2");
+        let w0 = s("fw0");
+        let w = s("fw");
+        let y = s("fy");
+        let z = s("fz");
+        let tag = crate::syntax::Tag::prod(crate::syntax::Tag::Int, crate::syntax::Tag::Int);
+        let e = Term::LetRegion {
+            rvar: r1,
+            body: std::rc::Rc::new(Term::LetRegion {
+                rvar: r2,
+                body: std::rc::Rc::new(Term::let_(
+                    w0,
+                    Op::Put(Region::Var(r1), Value::inl(Value::pair(Value::Int(1), Value::Int(2)))),
+                    Term::Widen {
+                        x: w,
+                        from: Region::Var(r1),
+                        to: Region::Var(r2),
+                        tag: tag.clone(),
+                        v: Value::Var(w0),
+                        body: std::rc::Rc::new(Term::let_(
+                            y,
+                            Op::Get(Value::Var(w)),
+                            Term::IfLeft {
+                                x: s("fyl"),
+                                scrut: Value::Var(y),
+                                left: std::rc::Rc::new(Term::let_(
+                                    z,
+                                    Op::Put(
+                                        Region::Var(r2),
+                                        Value::inl(Value::pair(Value::Int(1), Value::Int(2))),
+                                    ),
+                                    Term::Set {
+                                        dst: Value::Var(w),
+                                        src: Value::inr(Value::Var(z)),
+                                        body: std::rc::Rc::new(Term::Only {
+                                            regions: vec![Region::Var(r2)],
+                                            body: std::rc::Rc::new(Term::Halt(Value::Int(0))),
+                                        }),
+                                    },
+                                )),
+                                right: std::rc::Rc::new(Term::Halt(Value::Int(1))),
+                            },
+                        )),
+                    },
+                )),
+            }),
+        };
+        let p = Program { dialect: Dialect::Forwarding, code: vec![], main: e };
+        // The whole program typechecks statically...
+        Checker::check_program(&p).unwrap();
+        // ... and stays well formed through execution.
+        let mut m = Machine::load(&p, tracked_config());
+        check_state(&m, WfOptions::default()).unwrap();
+        loop {
+            match m.step().unwrap() {
+                StepOutcome::Halted(n) => {
+                    assert_eq!(n, 0);
+                    break;
+                }
+                StepOutcome::Continue => {
+                    check_state(&m, WfOptions::default()).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn progress_and_preservation_smoke_gen() {
+        // A generational-dialect program exercising region packages and
+        // ifreg under per-step checking.
+        let ro = s("gro");
+        let ry = s("gry");
+        let a = s("ga");
+        let pkgv = s("gp");
+        let r = s("gr");
+        let x = s("gx");
+        let e = Term::LetRegion {
+            rvar: ro,
+            body: std::rc::Rc::new(Term::LetRegion {
+                rvar: ry,
+                body: std::rc::Rc::new(Term::let_(
+                    a,
+                    Op::Put(Region::Var(ry), Value::Int(3)),
+                    Term::let_(
+                        pkgv,
+                        Op::Val(Value::PackRgn {
+                            rvar: r,
+                            bound: std::rc::Rc::from(vec![Region::Var(ry), Region::Var(ro)]),
+                            witness: Region::Var(ry),
+                            val: std::rc::Rc::new(Value::Var(a)),
+                            body_ty: crate::syntax::Ty::Int,
+                        }),
+                        Term::OpenRgn {
+                            pkg: Value::Var(pkgv),
+                            rvar: s("gr2"),
+                            x,
+                            body: std::rc::Rc::new(Term::IfReg {
+                                r1: Region::Var(s("gr2")),
+                                r2: Region::Var(ro),
+                                eq: std::rc::Rc::new(Term::Halt(Value::Int(1))),
+                                ne: std::rc::Rc::new(Term::let_(
+                                    s("gy"),
+                                    Op::Get(Value::Var(x)),
+                                    Term::Halt(Value::Var(s("gy"))),
+                                )),
+                            }),
+                        },
+                    ),
+                )),
+            }),
+        };
+        let p = Program { dialect: Dialect::Generational, code: vec![], main: e };
+        Checker::check_program(&p).unwrap();
+        let mut m = Machine::load(&p, tracked_config());
+        loop {
+            check_state(&m, WfOptions::default()).unwrap();
+            if let StepOutcome::Halted(n) = m.step().unwrap() {
+                assert_eq!(n, 3);
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn run_checked_halts() {
+        let p = Program {
+            dialect: Dialect::Basic,
+            code: vec![],
+            main: Term::Halt(Value::Int(9)),
+        };
+        let mut m = Machine::load(&p, tracked_config());
+        assert_eq!(m.run(10).unwrap(), Outcome::Halted(9));
+    }
+}

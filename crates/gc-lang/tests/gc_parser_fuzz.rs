@@ -1,0 +1,36 @@
+//! λGC parser robustness: arbitrary strings and λGC-alphabet token soup
+//! never panic the parser.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn gc_parser_total_on_arbitrary_input(s in "\\PC*") {
+        let _ = ps_gc_lang::parse::parse_term(&s);
+        let _ = ps_gc_lang::parse::parse_ty(&s);
+        let _ = ps_gc_lang::parse::parse_tag(&s);
+        let _ = ps_gc_lang::parse::parse_code_defs(&s);
+    }
+
+    #[test]
+    fn gc_parser_total_on_token_soup(words in proptest::collection::vec(
+        prop_oneof![
+            Just("fix"), Just("let"), Just("region"), Just("in"), Just("only"),
+            Just("typecase"), Just("of"), Just("open"), Just("as"), Just("halt"),
+            Just("ifgc"), Just("put"), Just("get"), Just("int"), Just("Int"),
+            Just("M"), Just("["), Just("]"), Just("("), Just(")"), Just("{"),
+            Just("}"), Just("⟨"), Just("⟩"), Just(","), Just("."), Just(":"),
+            Just("="), Just("×"), Just("→"), Just("⇒"), Just("∀"), Just("∃"),
+            Just("λ"), Just("Ω"), Just("0"), Just("x"), Just("r"), Just("t"),
+            Just("cd"), Just("ν1"), Just("π1"),
+        ].prop_map(str::to_string),
+        0..48,
+    )) {
+        let s = words.join(" ");
+        let _ = ps_gc_lang::parse::parse_term(&s);
+        let _ = ps_gc_lang::parse::parse_ty(&s);
+        let _ = ps_gc_lang::parse::parse_code_defs(&s);
+    }
+}

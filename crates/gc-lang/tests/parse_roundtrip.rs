@@ -1,0 +1,163 @@
+//! Round-trip tests for the λGC concrete syntax: `parse ∘ print` must be
+//! the identity up to printing (`print ∘ parse ∘ print = print`), checked
+//! on hand-written forms and — the real test — on all three certified
+//! collectors.
+
+use ps_gc_lang::parse::{parse_code_def, parse_tag, parse_term, parse_ty};
+use ps_gc_lang::pretty;
+use ps_gc_lang::syntax::{CodeDef, Dialect};
+use ps_gc_lang::tyck::Checker;
+
+fn roundtrip_def(def: &CodeDef) -> CodeDef {
+    let printed = pretty::code_def_to_string(def);
+    let parsed = parse_code_def(&printed)
+        .unwrap_or_else(|e| panic!("{} failed to reparse: {e}\n{printed}", def.name));
+    let reprinted = pretty::code_def_to_string(&parsed);
+    assert_eq!(printed, reprinted, "print∘parse not stable for {}", def.name);
+    parsed
+}
+
+#[test]
+fn tags_roundtrip() {
+    for src in [
+        "Int",
+        "Int × Int",
+        "t",
+        "∃t.t × Int",
+        "λt.(t × Int)",
+        "(Int) → 0",
+        "(Int, Int) → 0",
+        "te t",
+        "(λt.t) Int",
+        "∃u!e.(λtenv.(tenv × Int) → 0 × tenv) u!e",
+    ] {
+        let t = parse_tag(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+        let printed = pretty::tag_to_string(&t);
+        let back = parse_tag(&printed).unwrap_or_else(|e| panic!("{printed}: {e}"));
+        assert_eq!(t, back, "{src} → {printed}");
+    }
+}
+
+#[test]
+fn types_roundtrip() {
+    for src in [
+        "int",
+        "int × int",
+        "int at cd",
+        "M[r1](t)",
+        "M[ry, ro](t)",
+        "C[r1, r2](t)",
+        "∀[t:Ω][r](M[r](t)) → 0",
+        "∀[t:Ω, te:Ω→Ω][r1, r2](int, M[r1](t)) → 0 at cd",
+        "∃t:Ω.M[cd](t)",
+        "∃a:{r1, r2}.(int × a)",
+        "∀⟦t1, t2⟧[r1, r2](M[r2](t1), ac) →cd 0",
+        "left int + right int",
+        "left (int × int) at r1",
+        "∃r∈{ry, ro}.(M[r, ro](t) × int at r)",
+    ] {
+        let t = parse_ty(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+        let printed = pretty::ty_to_string(&t);
+        let back = parse_ty(&printed).unwrap_or_else(|e| panic!("{src} → {printed}: {e}"));
+        assert_eq!(
+            pretty::ty_to_string(&back),
+            printed,
+            "{src} → {printed}"
+        );
+    }
+}
+
+#[test]
+fn terms_roundtrip() {
+    for src in [
+        "halt 0",
+        "halt -3",
+        "let x = 1 in halt x",
+        "let x = π1 (1, 2) in halt x",
+        "let region r in let a = put[r](1, 2) in let b = get a in halt 0",
+        "let x = a + b in halt x",
+        "only {r1, r2} in halt 0",
+        "ifgc r (halt 1) halt 0",
+        "f[Int][r](x, y)",
+        "cd.3[t × Int][r1, r2](x)",
+        "if0 x then halt 0 else halt 1",
+        "set a := inr b ; halt 0",
+        "ifleft y = x then halt 0 else halt 1",
+        "ifreg (r1 = r2) then halt 0 else halt 1",
+        "let w = widen[r1 → r2][Int × Int](v) in halt 0",
+        "open p as ⟨t, x⟩ in halt 0",
+        "openα p as ⟨a, x⟩ in halt 0",
+        "openρ p as ⟨r, x⟩ in halt 0",
+        "typecase t of int ⇒ halt 0 λ ⇒ halt 1 a × b ⇒ halt 2 ∃e ⇒ halt 3",
+    ] {
+        let t = parse_term(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+        let printed = pretty::term_to_string(&t);
+        let back = parse_term(&printed).unwrap_or_else(|e| panic!("{src} → {printed}: {e}"));
+        assert_eq!(
+            pretty::term_to_string(&back),
+            printed,
+            "{src} → {printed}"
+        );
+    }
+}
+
+#[test]
+fn basic_collector_roundtrips_and_recertifies() {
+    let image = ps_collectors_image(Dialect::Basic);
+    let reparsed: Vec<CodeDef> = image.iter().map(roundtrip_def).collect();
+    Checker::check_program(&ps_gc_lang::machine::Program {
+        dialect: Dialect::Basic,
+        code: reparsed,
+        main: ps_gc_lang::syntax::Term::Halt(ps_gc_lang::syntax::Value::Int(0)),
+    })
+    .expect("reparsed collector certifies");
+}
+
+#[test]
+fn forwarding_collector_roundtrips_and_recertifies() {
+    let image = ps_collectors_image(Dialect::Forwarding);
+    let reparsed: Vec<CodeDef> = image.iter().map(roundtrip_def).collect();
+    Checker::check_program(&ps_gc_lang::machine::Program {
+        dialect: Dialect::Forwarding,
+        code: reparsed,
+        main: ps_gc_lang::syntax::Term::Halt(ps_gc_lang::syntax::Value::Int(0)),
+    })
+    .expect("reparsed collector certifies");
+}
+
+#[test]
+fn generational_collector_roundtrips_and_recertifies() {
+    let image = ps_collectors_image(Dialect::Generational);
+    let reparsed: Vec<CodeDef> = image.iter().map(roundtrip_def).collect();
+    Checker::check_program(&ps_gc_lang::machine::Program {
+        dialect: Dialect::Generational,
+        code: reparsed,
+        main: ps_gc_lang::syntax::Term::Halt(ps_gc_lang::syntax::Value::Int(0)),
+    })
+    .expect("reparsed collector certifies");
+}
+
+/// The collectors live in a downstream crate; to keep this test inside
+/// gc-lang (where the parser lives), the collector listings are inlined at
+/// build time would be circular — instead this helper is compiled only if
+/// the sibling crate is available as a dev-dependency. (It is.)
+fn ps_collectors_image(dialect: Dialect) -> Vec<CodeDef> {
+    // Re-derive from the text fixtures generated by the collectors crate is
+    // impossible here without a dependency cycle; instead hand-roll via the
+    // build artefacts exposed through the test-support feature…
+    //
+    // Simplest correct solution: gc-lang cannot depend on ps-collectors, so
+    // this helper reads the listing files checked under `tests/fixtures/`,
+    // which `crates/collectors/tests/emit_fixtures.rs` regenerates and
+    // verifies stay in sync.
+    let name = match dialect {
+        Dialect::Basic => "basic",
+        Dialect::Forwarding => "forwarding",
+        Dialect::Generational => "generational",
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    let file = format!("{path}/{name}.gc");
+    let src = std::fs::read_to_string(&file)
+        .unwrap_or_else(|e| panic!("missing fixture {file}: {e} (run the collectors test emit_fixtures first)"));
+    ps_gc_lang::parse::parse_code_defs(&src).unwrap_or_else(|e| panic!("{file}: {e}"))
+}

@@ -1,0 +1,292 @@
+//! A Wadler-style pretty-printing library.
+//!
+//! Used to render λCLOS and λGC programs in a notation close to the paper's
+//! figures. The algebra is the classic one: documents are built from text,
+//! soft line breaks and nesting; [`Doc::group`] marks a subtree that should be
+//! printed on one line if it fits within the target width.
+//!
+//! # Examples
+//!
+//! ```
+//! use ps_ir::Doc;
+//! let d = Doc::group(
+//!     Doc::text("let x =")
+//!         .append(Doc::line())
+//!         .append(Doc::text("42"))
+//!         .nest(2),
+//! );
+//! assert_eq!(d.render(80), "let x = 42");
+//! assert_eq!(d.render(6), "let x =\n  42");
+//! ```
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A pretty-printable document.
+#[derive(Clone, Debug)]
+pub struct Doc(Rc<DocNode>);
+
+#[derive(Debug)]
+enum DocNode {
+    Nil,
+    Text(String),
+    /// A soft break: a space when flattened, a newline otherwise.
+    Line,
+    /// A soft break that flattens to nothing.
+    SoftLine,
+    /// A break that is always a newline, even inside a flattened group.
+    HardLine,
+    Concat(Doc, Doc),
+    Nest(isize, Doc),
+    Group(Doc),
+}
+
+impl Doc {
+    /// The empty document.
+    pub fn nil() -> Doc {
+        Doc(Rc::new(DocNode::Nil))
+    }
+
+    /// Literal text. Must not contain newlines; use [`Doc::hardline`] instead.
+    pub fn text(s: impl Into<String>) -> Doc {
+        Doc(Rc::new(DocNode::Text(s.into())))
+    }
+
+    /// A soft break rendered as one space when the enclosing group fits.
+    pub fn line() -> Doc {
+        Doc(Rc::new(DocNode::Line))
+    }
+
+    /// A soft break rendered as nothing when the enclosing group fits.
+    pub fn softline() -> Doc {
+        Doc(Rc::new(DocNode::SoftLine))
+    }
+
+    /// An unconditional newline.
+    pub fn hardline() -> Doc {
+        Doc(Rc::new(DocNode::HardLine))
+    }
+
+    /// Concatenates `self` with `other`.
+    pub fn append(self, other: Doc) -> Doc {
+        Doc(Rc::new(DocNode::Concat(self, other)))
+    }
+
+    /// Increases the indentation of line breaks inside `self` by `n` columns.
+    pub fn nest(self, n: isize) -> Doc {
+        Doc(Rc::new(DocNode::Nest(n, self)))
+    }
+
+    /// Marks `self` as a unit that is flattened onto one line when it fits.
+    pub fn group(doc: Doc) -> Doc {
+        Doc(Rc::new(DocNode::Group(doc)))
+    }
+
+    /// Joins documents with a separator.
+    ///
+    /// ```
+    /// use ps_ir::Doc;
+    /// let d = Doc::join(
+    ///     [Doc::text("a"), Doc::text("b"), Doc::text("c")],
+    ///     Doc::text(", "),
+    /// );
+    /// assert_eq!(d.render(80), "a, b, c");
+    /// ```
+    pub fn join(docs: impl IntoIterator<Item = Doc>, sep: Doc) -> Doc {
+        let mut out = Doc::nil();
+        let mut first = true;
+        for d in docs {
+            if first {
+                out = d;
+                first = false;
+            } else {
+                out = out.append(sep.clone()).append(d);
+            }
+        }
+        out
+    }
+
+    /// Wraps `self` in `open`/`close` delimiters with soft breaks, grouped.
+    pub fn enclose(self, open: &str, close: &str) -> Doc {
+        Doc::group(
+            Doc::text(open)
+                .append(Doc::softline().append(self).nest(2))
+                .append(Doc::softline())
+                .append(Doc::text(close)),
+        )
+    }
+
+    /// Renders the document to a string at the given target width.
+    pub fn render(&self, width: usize) -> String {
+        let mut out = String::new();
+        let mut col = 0usize;
+        // Work list of (indent, flat?, doc).
+        let mut stack: Vec<(isize, bool, Doc)> = vec![(0, false, self.clone())];
+        while let Some((indent, flat, doc)) = stack.pop() {
+            match &*doc.0 {
+                DocNode::Nil => {}
+                DocNode::Text(s) => {
+                    out.push_str(s);
+                    col += s.chars().count();
+                }
+                DocNode::Line => {
+                    if flat {
+                        out.push(' ');
+                        col += 1;
+                    } else {
+                        newline(&mut out, &mut col, indent);
+                    }
+                }
+                DocNode::SoftLine => {
+                    if !flat {
+                        newline(&mut out, &mut col, indent);
+                    }
+                }
+                DocNode::HardLine => newline(&mut out, &mut col, indent),
+                DocNode::Concat(a, b) => {
+                    stack.push((indent, flat, b.clone()));
+                    stack.push((indent, flat, a.clone()));
+                }
+                DocNode::Nest(n, d) => stack.push((indent + n, flat, d.clone())),
+                DocNode::Group(d) => {
+                    let fits = flat || fits(width.saturating_sub(col), d, &stack);
+                    stack.push((indent, fits, d.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn newline(out: &mut String, col: &mut usize, indent: isize) {
+    out.push('\n');
+    let indent = indent.max(0) as usize;
+    for _ in 0..indent {
+        out.push(' ');
+    }
+    *col = indent;
+}
+
+/// Would `doc` (flattened) followed by the rest of the current line fit in
+/// `remaining` columns?
+fn fits(remaining: usize, doc: &Doc, rest: &[(isize, bool, Doc)]) -> bool {
+    let mut remaining = remaining as isize;
+    let mut stack: Vec<Doc> = vec![doc.clone()];
+    let mut rest_iter = rest.iter().rev();
+    loop {
+        let doc = match stack.pop() {
+            Some(d) => d,
+            None => match rest_iter.next() {
+                // Only peek into the continuation until the next line break.
+                Some((_, _, d)) => d.clone(),
+                None => return true,
+            },
+        };
+        match &*doc.0 {
+            DocNode::Nil => {}
+            DocNode::Text(s) => {
+                remaining -= s.chars().count() as isize;
+                if remaining < 0 {
+                    return false;
+                }
+            }
+            // When measuring, a soft break inside the group is flattened; one
+            // in the continuation ends the line, so everything fits.
+            DocNode::Line => {
+                remaining -= 1;
+                if remaining < 0 {
+                    return false;
+                }
+            }
+            DocNode::SoftLine => {}
+            DocNode::HardLine => return true,
+            DocNode::Concat(a, b) => {
+                stack.push(b.clone());
+                stack.push(a.clone());
+            }
+            DocNode::Nest(_, d) | DocNode::Group(d) => stack.push(d.clone()),
+        }
+    }
+}
+
+impl fmt::Display for Doc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render(100))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_renders_verbatim() {
+        assert_eq!(Doc::text("hello").render(80), "hello");
+    }
+
+    #[test]
+    fn group_flattens_when_it_fits() {
+        let d = Doc::group(Doc::text("a").append(Doc::line()).append(Doc::text("b")));
+        assert_eq!(d.render(10), "a b");
+        assert_eq!(d.render(2), "a\nb");
+    }
+
+    #[test]
+    fn nest_indents_breaks() {
+        let d = Doc::group(
+            Doc::text("fn()")
+                .append(Doc::line().append(Doc::text("body")).nest(4)),
+        );
+        assert_eq!(d.render(3), "fn()\n    body");
+    }
+
+    #[test]
+    fn hardline_forces_break_even_in_group() {
+        let d = Doc::group(Doc::text("a").append(Doc::hardline()).append(Doc::text("b")));
+        assert_eq!(d.render(100), "a\nb");
+    }
+
+    #[test]
+    fn softline_disappears_when_flat() {
+        let d = Doc::group(Doc::text("(").append(Doc::softline()).append(Doc::text("x)")));
+        assert_eq!(d.render(80), "(x)");
+    }
+
+    #[test]
+    fn join_with_separator() {
+        let d = Doc::join((0..4).map(|i| Doc::text(i.to_string())), Doc::text(","));
+        assert_eq!(d.render(80), "0,1,2,3");
+    }
+
+    #[test]
+    fn join_of_empty_is_nil() {
+        assert_eq!(Doc::join(std::iter::empty::<Doc>(), Doc::text(",")).render(80), "");
+    }
+
+    #[test]
+    fn enclose_groups_and_breaks() {
+        let inner = Doc::join((0..3).map(|i| Doc::text(format!("item{i}"))), Doc::text(", "));
+        let d = inner.clone().enclose("[", "]");
+        assert_eq!(d.render(80), "[item0, item1, item2]");
+        let narrow = d.render(10);
+        assert!(narrow.contains('\n'));
+    }
+
+    #[test]
+    fn nested_groups_break_independently() {
+        let inner = Doc::group(Doc::text("x").append(Doc::line()).append(Doc::text("y")));
+        let outer = Doc::group(
+            Doc::text("aaaaaaaa")
+                .append(Doc::line())
+                .append(inner),
+        );
+        // Outer breaks, inner still fits.
+        assert_eq!(outer.render(9), "aaaaaaaa\nx y");
+    }
+
+    #[test]
+    fn display_uses_width_100() {
+        let d = Doc::group(Doc::text("a").append(Doc::line()).append(Doc::text("b")));
+        assert_eq!(format!("{d}"), "a b");
+    }
+}

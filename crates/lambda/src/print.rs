@@ -1,0 +1,214 @@
+//! Pretty-printing of source programs back to concrete syntax.
+//!
+//! The printer is exact: `parse(print(p))` re-reads to an α-identical
+//! program (gensym'd binders print with their unique suffix replaced by a
+//! sanitized form, so even machine-generated ASTs round-trip). This is
+//! property-tested in `tests/`.
+
+use ps_ir::{Doc, Symbol};
+
+use crate::syntax::{BinOp, Expr, FunDef, SrcProgram, SrcTy};
+
+/// Renders an identifier, sanitizing gensym suffixes (`x%42` → `x_42`)
+/// so the result lexes.
+fn ident(s: Symbol) -> String {
+    s.as_str().replace('%', "_g")
+}
+
+/// Renders a type.
+pub fn ty(t: &SrcTy) -> Doc {
+    ty_prec(t, 0)
+}
+
+fn ty_prec(t: &SrcTy, prec: u8) -> Doc {
+    let d = match t {
+        SrcTy::Int => Doc::text("int"),
+        // `*` binds tighter than `->`; both are right associative in the
+        // parser, so print right-nested occurrences bare and left-nested
+        // ones parenthesized.
+        SrcTy::Prod(a, b) => ty_prec(a, 2).append(Doc::text(" * ")).append(ty_prec(b, 1)),
+        SrcTy::Arrow(a, b) => ty_prec(a, 1).append(Doc::text(" -> ")).append(ty_prec(b, 0)),
+    };
+    let needs = match t {
+        SrcTy::Prod(..) => prec >= 2,
+        SrcTy::Arrow(..) => prec >= 1,
+        SrcTy::Int => false,
+    };
+    if needs {
+        Doc::text("(").append(d).append(Doc::text(")"))
+    } else {
+        d
+    }
+}
+
+/// Expression precedence levels, mirroring the parser:
+/// 0 = expr (let/if0/fn), 1 = additive, 2 = multiplicative,
+/// 3 = application, 4 = atom.
+fn expr_prec(e: &Expr, prec: u8) -> Doc {
+    let d = match e {
+        Expr::Int(n) => {
+            if *n < 0 {
+                // The lexer has no negative literals; print as (0 - n).
+                return Doc::text(format!("(0 - {})", n.unsigned_abs()));
+            }
+            Doc::text(n.to_string())
+        }
+        Expr::Var(x) => Doc::text(ident(*x)),
+        Expr::Bin(op, a, b) => {
+            let (lp, rp) = match op {
+                BinOp::Add | BinOp::Sub => (1, 2),
+                BinOp::Mul => (2, 3),
+            };
+            expr_prec(a, lp)
+                .append(Doc::text(format!(" {op} ")))
+                .append(expr_prec(b, rp))
+        }
+        Expr::If0(c, t, f) => Doc::text("if0 ")
+            .append(expr_prec(c, 0))
+            .append(Doc::text(" then "))
+            .append(expr_prec(t, 0))
+            .append(Doc::text(" else "))
+            .append(expr_prec(f, 0)),
+        Expr::Pair(a, b) => {
+            return Doc::text("(")
+                .append(expr_prec(a, 0))
+                .append(Doc::text(", "))
+                .append(expr_prec(b, 0))
+                .append(Doc::text(")"))
+        }
+        Expr::Proj(i, a) => Doc::text(if *i == 1 { "fst " } else { "snd " })
+            .append(expr_prec(a, 4)),
+        Expr::Lam { param, param_ty, body } => Doc::text(format!("fn ({} : ", ident(*param)))
+            .append(ty(param_ty))
+            .append(Doc::text(") => "))
+            .append(expr_prec(body, 0)),
+        Expr::App(f, a) => expr_prec(f, 3).append(Doc::text(" ")).append(expr_prec(a, 4)),
+        Expr::Let { x, rhs, body } => Doc::text(format!("let {} = ", ident(*x)))
+            .append(expr_prec(rhs, 0))
+            .append(Doc::text(" in "))
+            .append(expr_prec(body, 0)),
+    };
+    let needs = match e {
+        Expr::Bin(BinOp::Add | BinOp::Sub, ..) => prec >= 2,
+        Expr::Bin(BinOp::Mul, ..) => prec >= 3,
+        Expr::App(..) | Expr::Proj(..) => prec >= 4,
+        Expr::If0(..) | Expr::Lam { .. } | Expr::Let { .. } => prec >= 1,
+        Expr::Int(_) | Expr::Var(_) | Expr::Pair(..) => false,
+    };
+    if needs {
+        Doc::text("(").append(d).append(Doc::text(")"))
+    } else {
+        d
+    }
+}
+
+/// Renders an expression.
+pub fn expr(e: &Expr) -> Doc {
+    expr_prec(e, 0)
+}
+
+/// Renders a function definition.
+pub fn fun_def(d: &FunDef) -> Doc {
+    Doc::text(format!("fun {} ({} : ", ident(d.name), ident(d.param)))
+        .append(ty(&d.param_ty))
+        .append(Doc::text(") : "))
+        .append(ty(&d.ret_ty))
+        .append(Doc::text(" = "))
+        .append(expr(&d.body))
+}
+
+/// Renders a whole program. The result re-parses to an α-identical
+/// program.
+pub fn program(p: &SrcProgram) -> String {
+    let mut doc = Doc::nil();
+    for d in &p.defs {
+        doc = doc.append(fun_def(d)).append(Doc::hardline());
+    }
+    doc.append(expr(&p.main)).render(100_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_expr, parse_program, parse_ty};
+
+    #[test]
+    fn types_roundtrip() {
+        for src in [
+            "int",
+            "int * int",
+            "int -> int",
+            "int * int -> int",
+            "(int -> int) * int",
+            "int -> int -> int",
+            "(int -> int) -> int",
+            "(int * int) * int",
+            "int * (int * int)",
+        ] {
+            let t = parse_ty(src).unwrap();
+            let printed = ty(&t).render(10_000);
+            let back = parse_ty(&printed)
+                .unwrap_or_else(|e| panic!("{src} printed as {printed}: {e}"));
+            assert_eq!(t, back, "{src} → {printed}");
+        }
+    }
+
+    #[test]
+    fn exprs_roundtrip() {
+        for src in [
+            "1 + 2 * 3",
+            "(1 + 2) * 3",
+            "1 - 2 - 3",
+            "1 - (2 - 3)",
+            "fst (1, 2) + snd (3, 4)",
+            "f x y",
+            "f (x y)",
+            "let x = 1 in x + x",
+            "if0 0 then 1 else 2",
+            "(if0 0 then 1 else 2) + 3",
+            "fn (x : int) => x + 1",
+            "(fn (x : int) => x) 5",
+            "fst (fn (x : int) => x, 3) 9",
+        ] {
+            // Provide free variables via a wrapping program when needed.
+            let e = parse_expr(src).unwrap();
+            let printed = expr(&e).render(10_000);
+            let back = parse_expr(&printed)
+                .unwrap_or_else(|err| panic!("{src} printed as {printed}: {err}"));
+            assert_eq!(e, back, "{src} → {printed}");
+        }
+    }
+
+    #[test]
+    fn negative_literals_print_parseably() {
+        let e = Expr::Int(-7);
+        let printed = expr(&e).render(100);
+        let back = parse_expr(&printed).unwrap();
+        assert_eq!(
+            crate::eval::run_program(
+                &crate::syntax::SrcProgram { defs: vec![], main: back },
+                100
+            )
+            .unwrap(),
+            -7
+        );
+    }
+
+    #[test]
+    fn programs_roundtrip() {
+        let src = "fun fact (n : int) : int = if0 n then 1 else n * fact (n - 1)\nfact 5";
+        let p = parse_program(src).unwrap();
+        let printed = program(&p);
+        let back = parse_program(&printed).unwrap();
+        assert_eq!(p, back, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn gensym_names_are_sanitized() {
+        let x = ps_ir::symbol::gensym("tmp");
+        let e = Expr::let_(x, Expr::Int(1), Expr::Var(x));
+        let printed = expr(&e).render(1000);
+        assert!(!printed.contains('%'));
+        assert!(parse_expr(&printed).is_ok(), "{printed}");
+    }
+}

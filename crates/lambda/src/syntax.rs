@@ -1,0 +1,221 @@
+//! Abstract syntax of the source language (§3's starting point).
+//!
+//! The paper compiles "the simply typed λ-calculus"; to write interesting
+//! mutators we flesh it out minimally: integers with arithmetic and `if0`,
+//! pairs, first-class functions, `let`, and mutually recursive top-level
+//! function definitions (which λCLOS's `letrec` expects anyway). None of
+//! this adds type constructors beyond the paper's `Int | τ×τ | τ→τ`
+//! grammar, so the tag language and the collectors are untouched.
+
+use std::fmt;
+use std::rc::Rc;
+
+use ps_ir::Symbol;
+
+/// A source type `τ ::= int | τ × τ | τ → τ`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SrcTy {
+    Int,
+    Prod(Rc<SrcTy>, Rc<SrcTy>),
+    Arrow(Rc<SrcTy>, Rc<SrcTy>),
+}
+
+impl SrcTy {
+    /// Convenience constructor for `τ₁ × τ₂`.
+    pub fn prod(a: SrcTy, b: SrcTy) -> SrcTy {
+        SrcTy::Prod(Rc::new(a), Rc::new(b))
+    }
+
+    /// Convenience constructor for `τ₁ → τ₂`.
+    pub fn arrow(a: SrcTy, b: SrcTy) -> SrcTy {
+        SrcTy::Arrow(Rc::new(a), Rc::new(b))
+    }
+
+    /// Size in constructors.
+    pub fn size(&self) -> usize {
+        match self {
+            SrcTy::Int => 1,
+            SrcTy::Prod(a, b) | SrcTy::Arrow(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+impl fmt::Display for SrcTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SrcTy::Int => write!(f, "int"),
+            SrcTy::Prod(a, b) => write!(f, "({a} * {b})"),
+            SrcTy::Arrow(a, b) => write!(f, "({a} -> {b})"),
+        }
+    }
+}
+
+/// Binary integer primitives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+}
+
+impl BinOp {
+    /// Applies the primitive with wrapping semantics.
+    pub fn apply(self, a: i64, b: i64) -> i64 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinOp::Add => write!(f, "+"),
+            BinOp::Sub => write!(f, "-"),
+            BinOp::Mul => write!(f, "*"),
+        }
+    }
+}
+
+/// A source expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// An integer literal.
+    Int(i64),
+    /// A variable (or top-level function name).
+    Var(Symbol),
+    /// `e₁ ⊕ e₂`.
+    Bin(BinOp, Rc<Expr>, Rc<Expr>),
+    /// `if0 e then e₁ else e₂`.
+    If0(Rc<Expr>, Rc<Expr>, Rc<Expr>),
+    /// `(e₁, e₂)`.
+    Pair(Rc<Expr>, Rc<Expr>),
+    /// `fst e` / `snd e`.
+    Proj(u8, Rc<Expr>),
+    /// `fn (x : τ) => e` — an anonymous function.
+    Lam {
+        param: Symbol,
+        param_ty: SrcTy,
+        body: Rc<Expr>,
+    },
+    /// `e₁ e₂`.
+    App(Rc<Expr>, Rc<Expr>),
+    /// `let x = e₁ in e₂`.
+    Let {
+        x: Symbol,
+        rhs: Rc<Expr>,
+        body: Rc<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for application.
+    pub fn app(f: Expr, a: Expr) -> Expr {
+        Expr::App(Rc::new(f), Rc::new(a))
+    }
+
+    /// Convenience constructor for `let`.
+    pub fn let_(x: Symbol, rhs: Expr, body: Expr) -> Expr {
+        Expr::Let {
+            x,
+            rhs: Rc::new(rhs),
+            body: Rc::new(body),
+        }
+    }
+
+    /// Convenience constructor for pairs.
+    pub fn pair(a: Expr, b: Expr) -> Expr {
+        Expr::Pair(Rc::new(a), Rc::new(b))
+    }
+
+    /// Size in AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Int(_) | Expr::Var(_) => 1,
+            Expr::Bin(_, a, b) | Expr::Pair(a, b) | Expr::App(a, b) => 1 + a.size() + b.size(),
+            Expr::If0(a, b, c) => 1 + a.size() + b.size() + c.size(),
+            Expr::Proj(_, a) => 1 + a.size(),
+            Expr::Lam { body, .. } => 1 + body.size(),
+            Expr::Let { rhs, body, .. } => 1 + rhs.size() + body.size(),
+        }
+    }
+}
+
+/// A top-level function definition `fun f (x : τ) : τ' = e`. Top-level
+/// functions are mutually recursive.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FunDef {
+    pub name: Symbol,
+    pub param: Symbol,
+    pub param_ty: SrcTy,
+    pub ret_ty: SrcTy,
+    pub body: Expr,
+}
+
+impl FunDef {
+    /// The function's arrow type.
+    pub fn ty(&self) -> SrcTy {
+        SrcTy::arrow(self.param_ty.clone(), self.ret_ty.clone())
+    }
+}
+
+/// A whole source program: function definitions plus a main expression of
+/// type `int`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SrcProgram {
+    pub defs: Vec<FunDef>,
+    pub main: Expr,
+}
+
+impl SrcProgram {
+    /// Total AST size.
+    pub fn size(&self) -> usize {
+        self.defs.iter().map(|d| d.body.size() + 1).sum::<usize>() + self.main.size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: &str) -> Symbol {
+        Symbol::intern(x)
+    }
+
+    #[test]
+    fn types_display() {
+        let t = SrcTy::arrow(SrcTy::Int, SrcTy::prod(SrcTy::Int, SrcTy::Int));
+        assert_eq!(t.to_string(), "(int -> (int * int))");
+        assert_eq!(t.size(), 5);
+    }
+
+    #[test]
+    fn expr_sizes() {
+        let e = Expr::let_(
+            s("x"),
+            Expr::Int(1),
+            Expr::Bin(BinOp::Add, Rc::new(Expr::Var(s("x"))), Rc::new(Expr::Int(2))),
+        );
+        assert_eq!(e.size(), 5);
+    }
+
+    #[test]
+    fn fundef_type() {
+        let d = FunDef {
+            name: s("f"),
+            param: s("x"),
+            param_ty: SrcTy::Int,
+            ret_ty: SrcTy::Int,
+            body: Expr::Var(s("x")),
+        };
+        assert_eq!(d.ty(), SrcTy::arrow(SrcTy::Int, SrcTy::Int));
+    }
+
+    #[test]
+    fn binop_semantics() {
+        assert_eq!(BinOp::Add.apply(2, 3), 5);
+        assert_eq!(BinOp::Mul.apply(-2, 3), -6);
+    }
+}

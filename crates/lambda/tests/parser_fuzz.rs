@@ -1,0 +1,42 @@
+//! Parser robustness: arbitrary input never panics the lexer/parser, and
+//! whatever parses also typechecks-or-errors without panicking.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary byte soup: the parser returns Ok or Err, never panics.
+    #[test]
+    fn parser_total_on_arbitrary_input(s in "\\PC*") {
+        let _ = ps_lambda::parse::parse_program(&s);
+        let _ = ps_lambda::parse::parse_expr(&s);
+        let _ = ps_lambda::parse::parse_ty(&s);
+    }
+
+    /// Token soup from the language's own alphabet — much more likely to
+    /// get deep into the parser.
+    #[test]
+    fn parser_total_on_token_soup(words in proptest::collection::vec(
+        prop_oneof![
+            Just("fun".to_string()), Just("let".to_string()), Just("in".to_string()),
+            Just("if0".to_string()), Just("then".to_string()), Just("else".to_string()),
+            Just("fn".to_string()), Just("fst".to_string()), Just("snd".to_string()),
+            Just("int".to_string()), Just("(".to_string()), Just(")".to_string()),
+            Just(",".to_string()), Just(":".to_string()), Just("*".to_string()),
+            Just("+".to_string()), Just("-".to_string()), Just("->".to_string()),
+            Just("=>".to_string()), Just("=".to_string()), Just("x".to_string()),
+            Just("f".to_string()), Just("42".to_string()), Just("\n".to_string()),
+        ],
+        0..64,
+    )) {
+        let s = words.join(" ");
+        if let Ok(p) = ps_lambda::parse::parse_program(&s) {
+            // Whatever parses must typecheck or fail cleanly; if it
+            // typechecks it must evaluate or run out of fuel cleanly.
+            if ps_lambda::typecheck::check_program(&p).is_ok() {
+                let _ = ps_lambda::eval::run_program(&p, 10_000);
+            }
+        }
+    }
+}

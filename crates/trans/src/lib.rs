@@ -1,0 +1,31 @@
+//! # ps-trans — the λCLOS → λGC translation (Fig. 3)
+//!
+//! Links mutator programs with the type-safe collectors of
+//! [`ps_collectors`]: every translated function checks `ifgc` on entry and
+//! calls the in-language `gc` with itself as the return continuation.
+//!
+//! One submodule per dialect:
+//!
+//! * [`basic`] — Fig. 3 verbatim, against the Fig. 12 collector;
+//! * `forwarding` — the §7 variant (extra `inl`/`strip` at every
+//!   allocation and read);
+//! * `generational` — the §8 variant (region packages, two-region calling
+//!   convention).
+
+pub mod basic;
+pub mod forwarding;
+pub mod generational;
+
+use std::fmt;
+
+/// An error raised by a translation (only on ill-formed λCLOS input).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransError(pub String);
+
+impl fmt::Display for TransError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "translation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TransError {}

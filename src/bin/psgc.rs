@@ -1,0 +1,191 @@
+//! `psgc` — the command-line front end.
+//!
+//! ```text
+//! psgc run <file.lam> [--collector basic|forwarding|generational]
+//!                     [--budget WORDS] [--fuel STEPS] [--stats]
+//! psgc check <file.lam> [--collector …]    # compile + certify, no run
+//! psgc certify [--collector …]             # print + typecheck the collector
+//! psgc eval <file.lam>                     # reference evaluator only
+//! ```
+
+use std::process::ExitCode;
+
+use scavenger::{Collector, Pipeline};
+
+fn parse_collector(s: &str) -> Option<Collector> {
+    match s {
+        "basic" => Some(Collector::Basic),
+        "forwarding" => Some(Collector::Forwarding),
+        "generational" => Some(Collector::Generational),
+        _ => None,
+    }
+}
+
+struct Opts {
+    collector: Collector,
+    budget: usize,
+    fuel: u64,
+    stats: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: psgc <run|check|certify|eval> [file] \
+         [--collector basic|forwarding|generational] [--budget WORDS] \
+         [--fuel STEPS] [--stats]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let mut file: Option<&str> = None;
+    let mut opts = Opts {
+        collector: Collector::Basic,
+        budget: 256,
+        fuel: 1_000_000_000,
+        stats: false,
+    };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--collector" => {
+                i += 1;
+                match args.get(i).map(String::as_str).and_then(parse_collector) {
+                    Some(c) => opts.collector = c,
+                    None => return usage(),
+                }
+            }
+            "--budget" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(b) => opts.budget = b,
+                    None => return usage(),
+                }
+            }
+            "--fuel" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(f) => opts.fuel = f,
+                    None => return usage(),
+                }
+            }
+            "--stats" => opts.stats = true,
+            other if !other.starts_with('-') && file.is_none() => file = Some(other),
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    let read = |path: Option<&str>| -> Result<String, ExitCode> {
+        let Some(path) = path else {
+            return Err(usage());
+        };
+        std::fs::read_to_string(path).map_err(|e| {
+            eprintln!("psgc: cannot read {path}: {e}");
+            ExitCode::FAILURE
+        })
+    };
+
+    match cmd.as_str() {
+        "certify" => {
+            let image = opts.collector.image();
+            for def in &image.code {
+                println!("{}\n", scavenger::gc_lang::pretty::code_def_to_string(def));
+            }
+            let dialect = match opts.collector {
+                Collector::Basic => scavenger::gc_lang::syntax::Dialect::Basic,
+                Collector::Forwarding => scavenger::gc_lang::syntax::Dialect::Forwarding,
+                Collector::Generational => scavenger::gc_lang::syntax::Dialect::Generational,
+            };
+            let program = scavenger::gc_lang::machine::Program {
+                dialect,
+                code: image.code,
+                main: scavenger::gc_lang::syntax::Term::Halt(
+                    scavenger::gc_lang::syntax::Value::Int(0),
+                ),
+            };
+            match scavenger::gc_lang::tyck::Checker::check_program(&program) {
+                Ok(()) => {
+                    println!("✓ {} collector certified", opts.collector);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("✗ rejected: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "eval" => {
+            let src = match read(file) {
+                Ok(s) => s,
+                Err(c) => return c,
+            };
+            let p = match scavenger::lambda::parse::parse_program(&src) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("psgc: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = scavenger::lambda::typecheck::check_program(&p) {
+                eprintln!("psgc: {e}");
+                return ExitCode::FAILURE;
+            }
+            match scavenger::lambda::eval::run_program(&p, opts.fuel) {
+                Ok(n) => {
+                    println!("{n}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("psgc: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "check" | "run" => {
+            let src = match read(file) {
+                Ok(s) => s,
+                Err(c) => return c,
+            };
+            let pipeline = Pipeline::new(opts.collector).region_budget(opts.budget);
+            let compiled = match pipeline.compile(&src) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("psgc: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = compiled.typecheck() {
+                eprintln!("psgc: certification failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            if cmd == "check" {
+                println!("✓ certified ({} collector)", opts.collector);
+                return ExitCode::SUCCESS;
+            }
+            match compiled.run(opts.fuel) {
+                Ok(run) => {
+                    println!("{}", run.result);
+                    if opts.stats {
+                        let s = &run.stats;
+                        eprintln!("steps:            {}", s.steps);
+                        eprintln!("allocations:      {} ({} words)", s.allocations, s.words_allocated);
+                        eprintln!("collections:      {}", s.collections);
+                        eprintln!("words reclaimed:  {}", s.words_reclaimed);
+                        eprintln!("peak live words:  {}", s.peak_data_words);
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("psgc: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

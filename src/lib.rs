@@ -1,0 +1,2 @@
+//! Workspace façade re-exports.
+pub use scavenger::*;

@@ -1,0 +1,161 @@
+//! The cross-collector program battery: a suite of named source programs,
+//! each run under all three certified collectors at several region budgets
+//! and compared against the reference evaluator.
+//!
+//! This is the repository's broadest end-to-end net: any divergence
+//! between a collector and the oracle — or between budgets (i.e. between
+//! "no collections" and "many collections") — fails here with the program
+//! named.
+
+use scavenger::{Collector, Pipeline};
+
+const PROGRAMS: &[(&str, &str, i64)] = &[
+    ("arith", "1 + 2 * 3 - 4", 3),
+    ("pairs", "fst (1, 2) + fst (snd (3, (4, 5))) + snd (snd (3, (4, 5)))", 10),
+    (
+        "factorial",
+        "fun fact (n : int) : int = if0 n then 1 else n * fact (n - 1)\n fact 9",
+        362_880,
+    ),
+    (
+        "fibonacci",
+        "fun fib (n : int) : int = if0 n then 0 else if0 n - 1 then 1 else fib (n - 1) + fib (n - 2)\n fib 14",
+        377,
+    ),
+    (
+        "ackermann-lite",
+        "fun ack (p : int * int) : int = \
+           if0 fst p then snd p + 1 else \
+           if0 snd p then ack ((fst p - 1, 1)) else \
+           ack ((fst p - 1, ack ((fst p, snd p - 1))))\n \
+         ack ((2, 3))",
+        9,
+    ),
+    (
+        "list-sum",
+        "fun build (n : int) : int * int = if0 n then (0, 0) else \
+           (let rest = build (n - 1) in (n + fst rest, n))\n \
+         fst (build 40)",
+        820,
+    ),
+    (
+        "higher-order",
+        "fun twice (f : int -> int) : int -> int = fn (x : int) => f (f x)\n\
+         fun thrice (f : int -> int) : int -> int = fn (x : int) => f (f (f x))\n\
+         (twice (thrice (fn (y : int) => y + 1))) 0",
+        6,
+    ),
+    (
+        "closure-env",
+        "let a = 3 in let b = 4 in let c = 5 in \
+         (fn (x : int) => a * x + b * x + c) 2",
+        19,
+    ),
+    (
+        "curried-add",
+        "let add = fn (x : int) => fn (y : int) => x + y in \
+         (add 30) 12",
+        42,
+    ),
+    (
+        "church-pairs",
+        "fun applyp (p : (int -> int) * int) : int = (fst p) (snd p)\n \
+         applyp ((fn (x : int) => x * x, 7))",
+        49,
+    ),
+    (
+        "mutual-recursion",
+        "fun even (n : int) : int = if0 n then 1 else odd (n - 1)\n\
+         fun odd (n : int) : int = if0 n then 0 else even (n - 1)\n\
+         even 17 * 10 + odd 17",
+        1,
+    ),
+    (
+        "deep-shadowing",
+        "let x = 1 in let x = x + 1 in let x = x * x in let x = x - 1 in x",
+        3,
+    ),
+    (
+        "function-results",
+        "fun mk (n : int) : int -> int = fn (x : int) => x + n\n\
+         fun apply2 (fs : (int -> int) * (int -> int)) : int = (fst fs) ((snd fs) 0)\n\
+         apply2 ((mk 1, mk 2))",
+        3,
+    ),
+    (
+        "gc-stress",
+        "fun churn (n : int) : int = if0 n then 0 else \
+           (let p = ((n, n), (n, n)) in fst (fst p) - n + churn (n - 1))\n \
+         churn 60",
+        0,
+    ),
+];
+
+#[test]
+fn battery_all_collectors_all_budgets() {
+    for (name, src, expected) in PROGRAMS {
+        for collector in [Collector::Basic, Collector::Forwarding, Collector::Generational] {
+            for budget in [64usize, 256, 1 << 22] {
+                let compiled = Pipeline::new(collector)
+                    .region_budget(budget)
+                    .compile(src)
+                    .unwrap_or_else(|e| panic!("{name}/{collector}: compile failed: {e}"));
+                let run = compiled
+                    .run(500_000_000)
+                    .unwrap_or_else(|e| panic!("{name}/{collector}/budget {budget}: {e}"));
+                assert_eq!(
+                    run.result, *expected,
+                    "{name}/{collector}/budget {budget}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn battery_whole_programs_typecheck() {
+    for (name, src, _) in PROGRAMS {
+        for collector in [Collector::Basic, Collector::Forwarding, Collector::Generational] {
+            Pipeline::new(collector)
+                .compile(src)
+                .unwrap_or_else(|e| panic!("{name}/{collector}: {e}"))
+                .typecheck()
+                .unwrap_or_else(|e| panic!("{name}/{collector}: certification failed: {e}"));
+        }
+    }
+}
+
+#[test]
+fn battery_small_budgets_actually_collect() {
+    // The battery is only meaningful if the small-budget runs really do
+    // exercise the collectors; verify for the allocation-heavy programs.
+    for (name, src, _) in PROGRAMS.iter().filter(|(n, ..)| {
+        ["factorial", "fibonacci", "list-sum", "gc-stress"].contains(n)
+    }) {
+        for collector in [Collector::Basic, Collector::Forwarding, Collector::Generational] {
+            let run = Pipeline::new(collector)
+                .region_budget(64)
+                .compile(src)
+                .unwrap()
+                .run(500_000_000)
+                .unwrap();
+            assert!(run.stats.collections > 0, "{name}/{collector} never collected");
+        }
+    }
+}
+
+#[test]
+fn oracle_agreement() {
+    // The hardcoded expectations must agree with the reference evaluator
+    // (guards against typos in the table itself).
+    for (name, src, expected) in PROGRAMS {
+        let p = ps_lambda::parse::parse_program(src).unwrap();
+        ps_lambda::typecheck::check_program(&p)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            ps_lambda::eval::run_program(&p, 100_000_000).unwrap(),
+            *expected,
+            "{name}"
+        );
+    }
+}

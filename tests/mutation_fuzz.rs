@@ -1,0 +1,160 @@
+//! Checker-soundness fuzzing: randomly corrupt well-typed λGC programs
+//! (swap regions, perturb tags, truncate argument lists, change projection
+//! indices) and check the two sides of the soundness coin:
+//!
+//! * if the typechecker **accepts** the mutant, the machine must not get
+//!   stuck (progress — the checker is *sound*);
+//! * most mutants should be **rejected** (the checker is not vacuous;
+//!   tracked as a sanity ratio, not an absolute).
+//!
+//! The interesting direction is the first: a bug in the typing rules that
+//! accepts a bad program shows up here as a stuck machine.
+
+use proptest::prelude::*;
+use std::rc::Rc;
+
+use ps_gc_lang::machine::{Machine, Outcome};
+use ps_gc_lang::memory::{GrowthPolicy, MemConfig};
+use ps_gc_lang::syntax::{Op, Region, Tag, Term};
+use ps_gc_lang::tyck::Checker;
+use scavenger::{Collector, Pipeline};
+
+/// One structural mutation, selected and located by the byte tape.
+fn mutate_term(e: &Term, tape: &mut impl FnMut() -> u8) -> Term {
+    // With probability ~1/4 mutate here; otherwise descend.
+    if tape().is_multiple_of(4) {
+        match (tape() % 4, e) {
+            // Swap a projection index.
+            (0, Term::Let { x, op: Op::Proj(i, v), body }) => {
+                return Term::Let {
+                    x: *x,
+                    op: Op::Proj(3 - i, v.clone()),
+                    body: body.clone(),
+                }
+            }
+            // Retarget a put to another region in scope… approximated by
+            // swapping its region for cd (always ill-typed) or keeping it.
+            (1, Term::Let { x, op: Op::Put(_, v), body }) => {
+                return Term::Let {
+                    x: *x,
+                    op: Op::Put(Region::cd(), v.clone()),
+                    body: body.clone(),
+                }
+            }
+            // Perturb an application's tag arguments.
+            (2, Term::App { f, tags, regions, args }) if !tags.is_empty() => {
+                let mut tags = tags.clone();
+                tags[0] = Tag::prod(tags[0].clone(), Tag::Int);
+                return Term::App {
+                    f: f.clone(),
+                    tags,
+                    regions: regions.clone(),
+                    args: args.clone(),
+                };
+            }
+            // Drop an argument.
+            (3, Term::App { f, tags, regions, args }) if !args.is_empty() => {
+                let mut args = args.clone();
+                args.pop();
+                return Term::App {
+                    f: f.clone(),
+                    tags: tags.clone(),
+                    regions: regions.clone(),
+                    args,
+                };
+            }
+            _ => {}
+        }
+    }
+    match e {
+        Term::Let { x, op, body } => Term::Let {
+            x: *x,
+            op: op.clone(),
+            body: Rc::new(mutate_term(body, tape)),
+        },
+        Term::IfGc { rho, full, cont } => Term::IfGc {
+            rho: *rho,
+            full: Rc::new(mutate_term(full, tape)),
+            cont: Rc::new(mutate_term(cont, tape)),
+        },
+        Term::If0 { scrut, zero, nonzero } => Term::If0 {
+            scrut: scrut.clone(),
+            zero: Rc::new(mutate_term(zero, tape)),
+            nonzero: Rc::new(mutate_term(nonzero, tape)),
+        },
+        Term::OpenTag { pkg, tvar, x, body } => Term::OpenTag {
+            pkg: pkg.clone(),
+            tvar: *tvar,
+            x: *x,
+            body: Rc::new(mutate_term(body, tape)),
+        },
+        Term::LetRegion { rvar, body } => Term::LetRegion {
+            rvar: *rvar,
+            body: Rc::new(mutate_term(body, tape)),
+        },
+        Term::Only { regions, body } => Term::Only {
+            regions: regions.clone(),
+            body: Rc::new(mutate_term(body, tape)),
+        },
+        other => other.clone(),
+    }
+}
+
+const SRC: &str = "fun build (n : int) : int * int = if0 n then (0, 0) else \
+    (let rest = build (n - 1) in (n + fst rest, n))\n fst (build 8)";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn accepted_mutants_never_get_stuck(bytes in proptest::collection::vec(any::<u8>(), 4..64)) {
+        let compiled = Pipeline::new(Collector::Basic)
+            .region_budget(64)
+            .compile(SRC)
+            .expect("base program compiles");
+        let mut program = compiled.program.clone();
+
+        // Mutate one mutator block (never the collector: those are covered
+        // by the broken_collectors suite) or the main term.
+        let mut pos = 0usize;
+        let mut tape = || {
+            let b = bytes.get(pos).copied().unwrap_or(0);
+            pos += 1;
+            b
+        };
+        let n_collector = Collector::Basic.image().code.len();
+        let choice = tape() as usize;
+        let n_mutator = program.code.len() - n_collector;
+        if n_mutator > 0 && choice % (n_mutator + 1) != n_mutator {
+            let idx = n_collector + choice % n_mutator;
+            let body = program.code[idx].body.clone();
+            program.code[idx].body = mutate_term(&body, &mut tape);
+        } else {
+            program.main = mutate_term(&program.main.clone(), &mut tape);
+        }
+
+        match Checker::check_program(&program) {
+            Err(_) => {
+                // Rejected: fine (and the common case).
+            }
+            Ok(()) => {
+                // Accepted: progress must hold. The mutation may change the
+                // *result* (e.g. a swapped projection of an int×int pair is
+                // still well typed) — soundness only promises no stuck
+                // state.
+                let mut m = Machine::load(
+                    &program,
+                    MemConfig {
+                        region_budget: 64,
+                        growth: GrowthPolicy::Adaptive,
+                        track_types: false,
+                    },
+                );
+                match m.run(5_000_000) {
+                    Ok(Outcome::Halted(_)) | Ok(Outcome::OutOfFuel) => {}
+                    Err(e) => prop_assert!(false, "checker accepted a stuck program: {e}"),
+                }
+            }
+        }
+    }
+}
