@@ -1,0 +1,52 @@
+//! E9 — interpreter throughput: the environment machine versus the Fig. 5
+//! substitution machine, on the E1 (collection-heavy) and E4
+//! (mutator-dominated) workloads.
+//!
+//! Both backends execute the identical rule sequence (the differential
+//! suite checks this step-for-step), so steps/second is a like-for-like
+//! comparison. The offline variant of this measurement is
+//! `examples/e9_throughput.rs` at the repository root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ps_bench::{compile_ast, live_tree_churn, run_stats};
+use scavenger::gc_lang::machine::Outcome;
+use scavenger::{Collector, Compiled};
+
+fn run_env_stats(c: &Compiled) -> scavenger::gc_lang::machine::Stats {
+    let mut m = c.env_machine();
+    match m.run(1_000_000_000).expect("runs") {
+        Outcome::Halted(_) => m.stats().clone(),
+        Outcome::OutOfFuel => panic!("out of fuel"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_interp_throughput");
+    group.sample_size(10);
+    let cases = [3u32, 5, 7, 9]
+        .iter()
+        .map(|&d| ("e1_gc", d, (2usize << d) + 96))
+        .chain([6u32, 8].iter().map(|&d| ("e4_mut", d, 1usize << (d + 3))))
+        .collect::<Vec<_>>();
+    for (tag, depth, budget) in cases {
+        let program = live_tree_churn(depth, 120);
+        let compiled = compile_ast(&program, Collector::Basic, budget);
+        let steps = run_stats(&compiled).steps;
+        assert_eq!(steps, run_env_stats(&compiled).steps, "backends must agree");
+        group.throughput(Throughput::Elements(steps));
+        group.bench_with_input(
+            BenchmarkId::new(format!("{tag}/subst"), depth),
+            &depth,
+            |b, _| b.iter(|| run_stats(&compiled)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("{tag}/env"), depth),
+            &depth,
+            |b, _| b.iter(|| run_env_stats(&compiled)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -44,9 +44,14 @@ pub use ps_lambda as lambda;
 pub use ps_trans as trans;
 
 use ps_collectors::CollectorImage;
+use ps_gc_lang::env_machine::EnvMachine;
 use ps_gc_lang::machine::{Machine, Outcome, Program, Stats};
 use ps_gc_lang::memory::{GrowthPolicy, MemConfig};
 use ps_gc_lang::tyck::Checker;
+
+pub use ps_gc_lang::machine::Backend;
+
+pub mod workloads;
 
 /// Which certified collector to link against.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -129,6 +134,7 @@ pub struct Pipeline {
     collector: Collector,
     config: MemConfig,
     check_stages: bool,
+    backend: Option<Backend>,
 }
 
 impl Pipeline {
@@ -138,6 +144,7 @@ impl Pipeline {
             collector,
             config: MemConfig::default(),
             check_stages: true,
+            backend: None,
         }
     }
 
@@ -165,6 +172,19 @@ impl Pipeline {
     /// (they are cheap; only benchmarks turn them off).
     pub fn check_stages(mut self, on: bool) -> Pipeline {
         self.check_stages = on;
+        self
+    }
+
+    /// Pins the interpreter backend for [`Compiled::run`].
+    ///
+    /// By default the backend is chosen automatically: the environment
+    /// machine ([`Backend::Env`]) for plain runs, the substitution machine
+    /// ([`Backend::Subst`]) when [`Self::track_types`] is on — the
+    /// well-formedness judgement `⊢ (M, e)` consumes a closed term, which
+    /// only the substitution machine maintains. The two backends are
+    /// observationally identical (results *and* statistics).
+    pub fn backend(mut self, backend: Backend) -> Pipeline {
+        self.backend = Some(backend);
         self
     }
 
@@ -203,6 +223,9 @@ impl Pipeline {
         Ok(Compiled {
             collector: self.collector,
             config: self.config,
+            backend: self
+                .backend
+                .unwrap_or(Backend::default_for(self.config.track_types)),
             source: src,
             clos,
             program,
@@ -215,6 +238,7 @@ impl Pipeline {
 pub struct Compiled {
     collector: Collector,
     config: MemConfig,
+    backend: Backend,
     /// The parsed source program.
     pub source: ps_lambda::syntax::SrcProgram,
     /// The λCLOS intermediate program.
@@ -238,6 +262,17 @@ impl Compiled {
         self.collector
     }
 
+    /// Which interpreter backend [`Self::run`] uses.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Overrides the interpreter backend for [`Self::run`].
+    pub fn with_backend(mut self, backend: Backend) -> Compiled {
+        self.backend = backend;
+        self
+    }
+
     /// Typechecks the *whole* λGC program — mutator and collector together
     /// — under the paper's static semantics. This is the certification
     /// step: no part of memory management remains in the trusted base.
@@ -259,20 +294,31 @@ impl Compiled {
         Machine::load(&self.program, config)
     }
 
-    /// Runs the program to completion.
+    /// Creates an environment-backend machine loaded with this program.
+    pub fn env_machine(&self) -> EnvMachine {
+        EnvMachine::load(&self.program, self.config)
+    }
+
+    /// Runs the program to completion on the selected [`Backend`].
     ///
     /// # Errors
     ///
     /// [`PipelineError::Runtime`] on a stuck state (impossible for
     /// typechecked programs, per progress) or [`PipelineError::OutOfFuel`].
     pub fn run(&self, fuel: u64) -> Result<Run, PipelineError> {
-        let mut m = self.machine();
-        match m.run(fuel).map_err(PipelineError::Runtime)? {
-            Outcome::Halted(result) => Ok(Run {
-                result,
-                stats: m.stats().clone(),
-            }),
-            Outcome::OutOfFuel => Err(PipelineError::OutOfFuel),
+        let outcome = match self.backend {
+            Backend::Subst => {
+                let mut m = self.machine();
+                (m.run(fuel).map_err(PipelineError::Runtime)?, m.stats().clone())
+            }
+            Backend::Env => {
+                let mut m = self.env_machine();
+                (m.run(fuel).map_err(PipelineError::Runtime)?, m.stats().clone())
+            }
+        };
+        match outcome {
+            (Outcome::Halted(result), stats) => Ok(Run { result, stats }),
+            (Outcome::OutOfFuel, _) => Err(PipelineError::OutOfFuel),
         }
     }
 
@@ -307,6 +353,7 @@ impl Compiled {
         Compiled {
             collector,
             config,
+            backend: Backend::default_for(config.track_types),
             source,
             clos,
             program,

@@ -1,0 +1,657 @@
+//! An environment-based (CEK-style) fast path for the λGC machine.
+//!
+//! [`crate::machine::Machine`] implements Fig. 5 literally: every step
+//! performs a textual substitution, deep-cloning the entire continuation
+//! term, so one step costs O(|term|). [`EnvMachine`] runs the *same*
+//! operational semantics without ever rewriting the continuation:
+//!
+//! * the control is an `Rc` handle into the program — stepping into a
+//!   `let` body or a branch arm is an `Rc::clone`, never a deep clone;
+//! * binders extend a mutable environment ([`Subst`]) instead of
+//!   substituting, and `Value::Var` / `Region::Var` / `Tag::Var` are
+//!   resolved lazily at their use sites.
+//!
+//! # Why a flat environment is sound
+//!
+//! λGC is a CPS calculus: control never *returns* — each step replaces the
+//! whole control with exactly one continuation, so evaluation descends
+//! through each binder at most once per code-block activation, and the
+//! only re-entry point is `App`, whose target is a closed code block
+//! (λGC's typing rules close code over its `tvars`/`rvars`/`params`).
+//! A single mutable map with overwrite-on-shadow therefore implements
+//! lexical scope exactly, and it can be wholesale cleared at every `App`.
+//!
+//! # Why the two backends agree exactly
+//!
+//! Resolution against the environment *is* substitution application — the
+//! environment is literally a [`Subst`], so both backends share one
+//! resolution code path. At runtime every substitution range is closed
+//! (values/tags/regions that reach the environment are fully resolved
+//! first), so [`Subst`]'s capture-avoidance never renames a binder and
+//! simultaneous application coincides with the substitution machine's
+//! sequential application. Consequently both backends produce identical
+//! heap contents, identical results, and identical [`Stats`] — checked
+//! program-by-program by the differential test suite and step-for-step by
+//! the lockstep property test.
+//!
+//! The substitution machine remains the oracle for `track_types`/wf
+//! checking: the well-formedness judgement `⊢ (M, e)` of [`crate::wf`]
+//! consumes a *closed* term, which only the substitution machine
+//! maintains.
+
+use std::rc::Rc;
+
+use crate::error::{stuck_err, LangError, Result};
+use crate::machine::{widen_psi, Outcome, Program, Stats, StepOutcome};
+use crate::memory::{MemConfig, Memory};
+use crate::subst::Subst;
+use crate::syntax::{CodeDef, Dialect, Op, Region, RegionName, Tag, Term, Value};
+use crate::tags;
+
+/// The control of the machine: a shared handle to the term being reduced.
+///
+/// Code bodies are owned by their [`CodeDef`], so jumping to a block keeps
+/// the whole definition alive rather than cloning the body out of it.
+#[derive(Clone, Debug)]
+enum Ctrl {
+    Term(Rc<Term>),
+    Body(Rc<CodeDef>),
+}
+
+impl Ctrl {
+    fn term(&self) -> &Term {
+        match self {
+            Ctrl::Term(t) => t,
+            Ctrl::Body(def) => &def.body,
+        }
+    }
+}
+
+/// The environment-machine state: `(M, e, E)` where `E` maps the free
+/// variables of `e` to closed values/tags/regions/types.
+#[derive(Clone, Debug)]
+pub struct EnvMachine {
+    mem: Memory,
+    control: Ctrl,
+    env: Subst,
+    dialect: Dialect,
+    stats: Stats,
+    halted: Option<i64>,
+}
+
+impl EnvMachine {
+    /// Loads a program: installs its code blocks in `cd` and sets the main
+    /// term as the current control.
+    pub fn load(program: &Program, config: MemConfig) -> EnvMachine {
+        let mut mem = Memory::new(config);
+        for def in &program.code {
+            let ty = def.ty();
+            mem.install_code(Value::Code(Rc::new(def.clone())), ty);
+        }
+        EnvMachine {
+            mem,
+            control: Ctrl::Term(Rc::new(program.main.clone())),
+            env: Subst::new(),
+            dialect: program.dialect,
+            stats: Stats::default(),
+            halted: None,
+        }
+    }
+
+    /// The current memory.
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// The term currently in control position (with its free variables
+    /// still unresolved — resolve against the environment to compare with
+    /// the substitution machine's closed term).
+    pub fn control(&self) -> &Term {
+        self.control.term()
+    }
+
+    /// The control term with the environment applied — the closed term the
+    /// substitution machine holds at the same step. Used by the lockstep
+    /// differential tests; costs a full term copy, so not on the fast path.
+    pub fn resolved_control(&self) -> Term {
+        self.env.term(self.control.term())
+    }
+
+    /// The dialect this machine runs.
+    pub fn dialect(&self) -> Dialect {
+        self.dialect
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The halt value, if the machine has halted.
+    pub fn halted(&self) -> Option<i64> {
+        self.halted
+    }
+
+    /// Runs until `halt`, an error, or `fuel` steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns a stuck-state error if no reduction rule applies — a
+    /// progress violation for well-typed programs (Prop. 6.5).
+    pub fn run(&mut self, fuel: u64) -> Result<Outcome> {
+        for _ in 0..fuel {
+            match self.step()? {
+                StepOutcome::Continue => {}
+                StepOutcome::Halted(n) => return Ok(Outcome::Halted(n)),
+            }
+        }
+        Ok(Outcome::OutOfFuel)
+    }
+
+    /// Takes one machine step.
+    ///
+    /// # Errors
+    ///
+    /// Returns a stuck-state or memory error if no rule applies.
+    pub fn step(&mut self) -> Result<StepOutcome> {
+        if let Some(n) = self.halted {
+            return Ok(StepOutcome::Halted(n));
+        }
+        self.stats.steps += 1;
+        // Cheap handle clone so `self` stays free for mutation while the
+        // current term is being matched.
+        let ctrl = self.control.clone();
+        match self.step_term(ctrl.term())? {
+            Some(next) => {
+                self.control = next;
+                self.stats.peak_data_words =
+                    self.stats.peak_data_words.max(self.mem.data_words());
+                Ok(StepOutcome::Continue)
+            }
+            None => {
+                let n = self.halted.expect("halt recorded");
+                Ok(StepOutcome::Halted(n))
+            }
+        }
+    }
+
+    fn stuck(&self, msg: String) -> LangError {
+        stuck_err(msg).in_context(format!("dialect {}", self.dialect))
+    }
+
+    /// Resolves a region against the environment down to a concrete name.
+    fn resolve_name(&self, rho: &Region) -> Result<RegionName> {
+        match self.env.region(rho) {
+            Region::Name(nu) => Ok(nu),
+            Region::Var(r) => Err(self.stuck(format!("unsubstituted region variable {r}"))),
+        }
+    }
+
+    fn step_term(&mut self, term: &Term) -> Result<Option<Ctrl>> {
+        match term {
+            Term::App { f, tags: ts, regions, args } => {
+                self.step_app(f, ts, regions, args).map(Some)
+            }
+            Term::Let { x, op, body } => {
+                let v = self.eval_op(op)?;
+                self.env.bind_val(*x, v);
+                Ok(Some(Ctrl::Term(Rc::clone(body))))
+            }
+            Term::Halt(v) => match self.env.value(v) {
+                Value::Int(n) => {
+                    self.halted = Some(n);
+                    Ok(None)
+                }
+                other => Err(self.stuck(format!("halt on non-integer value {other:?}"))),
+            },
+            Term::IfGc { rho, full, cont } => {
+                let nu = self.resolve_name(rho)?;
+                if self.mem.is_full(nu)? {
+                    self.stats.gc_triggers += 1;
+                    Ok(Some(Ctrl::Term(Rc::clone(full))))
+                } else {
+                    Ok(Some(Ctrl::Term(Rc::clone(cont))))
+                }
+            }
+            Term::OpenTag { pkg, tvar, x, body } => match self.env.value(pkg) {
+                Value::PackTag { tag, val, .. } => {
+                    // Fig. 5 normalizes the witness tag before binding.
+                    let nf = tags::normalize(&tag);
+                    self.env.bind_tag(*tvar, nf);
+                    self.env.bind_val(*x, (*val).clone());
+                    Ok(Some(Ctrl::Term(Rc::clone(body))))
+                }
+                other => Err(self.stuck(format!("open(tag) on non-package {other:?}"))),
+            },
+            Term::OpenAlpha { pkg, avar, x, body } => match self.env.value(pkg) {
+                Value::PackAlpha { witness, val, .. } => {
+                    self.env.bind_alpha(*avar, witness);
+                    self.env.bind_val(*x, (*val).clone());
+                    Ok(Some(Ctrl::Term(Rc::clone(body))))
+                }
+                other => Err(self.stuck(format!("open(α) on non-package {other:?}"))),
+            },
+            Term::OpenRgn { pkg, rvar, x, body } => match self.env.value(pkg) {
+                Value::PackRgn { witness, val, .. } => {
+                    let nu = match witness {
+                        Region::Name(nu) => nu,
+                        Region::Var(r) => {
+                            return Err(
+                                self.stuck(format!("unsubstituted region variable {r}"))
+                            )
+                        }
+                    };
+                    self.env.bind_rgn(*rvar, Region::Name(nu));
+                    self.env.bind_val(*x, (*val).clone());
+                    Ok(Some(Ctrl::Term(Rc::clone(body))))
+                }
+                other => Err(self.stuck(format!("open(region) on non-package {other:?}"))),
+            },
+            Term::LetRegion { rvar, body } => {
+                let nu = self.mem.alloc_region();
+                self.stats.regions_created += 1;
+                self.env.bind_rgn(*rvar, Region::Name(nu));
+                Ok(Some(Ctrl::Term(Rc::clone(body))))
+            }
+            Term::Only { regions, body } => {
+                let mut keep = Vec::with_capacity(regions.len());
+                for r in regions {
+                    keep.push(self.resolve_name(r)?);
+                }
+                let report = self.mem.only(&keep);
+                self.stats.record_reclaim(report);
+                Ok(Some(Ctrl::Term(Rc::clone(body))))
+            }
+            Term::Typecase { tag, int_arm, arrow_arm, prod_arm, exist_arm } => {
+                self.stats.typecase_dispatches += 1;
+                let nf = tags::normalize(&self.env.tag(tag));
+                match nf {
+                    Tag::Int => Ok(Some(Ctrl::Term(Rc::clone(int_arm)))),
+                    Tag::Arrow(_) => Ok(Some(Ctrl::Term(Rc::clone(arrow_arm)))),
+                    Tag::Prod(a, b) => {
+                        let (t1, t2, body) = prod_arm;
+                        self.env.bind_tag(*t1, (*a).clone());
+                        self.env.bind_tag(*t2, (*b).clone());
+                        Ok(Some(Ctrl::Term(Rc::clone(body))))
+                    }
+                    Tag::Exist(t, body_tag) => {
+                        let (te, body) = exist_arm;
+                        self.env.bind_tag(*te, Tag::Lam(t, body_tag));
+                        Ok(Some(Ctrl::Term(Rc::clone(body))))
+                    }
+                    other => {
+                        Err(self.stuck(format!("typecase on non-constructor tag {other:?}")))
+                    }
+                }
+            }
+            Term::IfLeft { x, scrut, left, right } => match self.env.value(scrut) {
+                v @ Value::Inl(_) => {
+                    self.env.bind_val(*x, v);
+                    Ok(Some(Ctrl::Term(Rc::clone(left))))
+                }
+                v @ Value::Inr(_) => {
+                    self.env.bind_val(*x, v);
+                    Ok(Some(Ctrl::Term(Rc::clone(right))))
+                }
+                other => Err(self.stuck(format!("ifleft on non-sum value {other:?}"))),
+            },
+            Term::Set { dst, src, body } => match self.env.value(dst) {
+                Value::Addr(nu, loc) => {
+                    let v = self.env.value(src);
+                    self.mem.set(nu, loc, v)?;
+                    self.stats.forwarding_installs += 1;
+                    Ok(Some(Ctrl::Term(Rc::clone(body))))
+                }
+                other => Err(self.stuck(format!("set on non-address {other:?}"))),
+            },
+            Term::Widen { x, from, to, tag, v, body } => {
+                // Operationally a no-op (see the substitution machine); only
+                // the observer memory typing Ψ is rewritten when tracked.
+                let rv = self.env.value(v);
+                if self.mem.config().track_types {
+                    let from = self.resolve_name(from)?;
+                    let to = self.resolve_name(to)?;
+                    let nf = tags::normalize(&self.env.tag(tag));
+                    widen_psi(&mut self.mem, &rv, &nf, from, to)?;
+                }
+                self.env.bind_val(*x, rv);
+                Ok(Some(Ctrl::Term(Rc::clone(body))))
+            }
+            Term::IfReg { r1, r2, eq, ne } => {
+                let n1 = self.resolve_name(r1)?;
+                let n2 = self.resolve_name(r2)?;
+                if n1 == n2 {
+                    Ok(Some(Ctrl::Term(Rc::clone(eq))))
+                } else {
+                    Ok(Some(Ctrl::Term(Rc::clone(ne))))
+                }
+            }
+            Term::If0 { scrut, zero, nonzero } => match self.env.value(scrut) {
+                Value::Int(0) => Ok(Some(Ctrl::Term(Rc::clone(zero)))),
+                Value::Int(_) => Ok(Some(Ctrl::Term(Rc::clone(nonzero)))),
+                other => Err(self.stuck(format!("if0 on non-integer {other:?}"))),
+            },
+        }
+    }
+
+    fn step_app(
+        &mut self,
+        f: &Value,
+        ts: &[Tag],
+        regions: &[Region],
+        args: &[Value],
+    ) -> Result<Ctrl> {
+        match self.env.value(f) {
+            Value::Addr(nu, loc) => {
+                let code = match self.mem.get(nu, loc)? {
+                    Value::Code(def) => Rc::clone(def),
+                    other => {
+                        return Err(self.stuck(format!(
+                            "application of non-code value {other:?}"
+                        )))
+                    }
+                };
+                if code.tvars.len() != ts.len()
+                    || code.rvars.len() != regions.len()
+                    || code.params.len() != args.len()
+                {
+                    return Err(self.stuck(format!(
+                        "arity mismatch calling {}: expected [{}][{}]({}), got [{}][{}]({})",
+                        code.name,
+                        code.tvars.len(),
+                        code.rvars.len(),
+                        code.params.len(),
+                        ts.len(),
+                        regions.len(),
+                        args.len()
+                    )));
+                }
+                // Resolve every argument against the caller's environment
+                // *before* clearing it — the callee's frame starts from the
+                // empty environment because code blocks are closed.
+                // Fig. 5's first rule normalizes tag arguments at the β step.
+                let rtags: Vec<Tag> =
+                    ts.iter().map(|tau| tags::normalize(&self.env.tag(tau))).collect();
+                let rrgns: Vec<Region> = regions.iter().map(|r| self.env.region(r)).collect();
+                let rargs: Vec<Value> = args.iter().map(|v| self.env.value(v)).collect();
+                self.env.clear();
+                for ((t, _), tau) in code.tvars.iter().zip(rtags) {
+                    self.env.bind_tag(*t, tau);
+                }
+                for (r, rho) in code.rvars.iter().zip(rrgns) {
+                    self.env.bind_rgn(*r, rho);
+                }
+                for ((x, _), v) in code.params.iter().zip(rargs) {
+                    self.env.bind_val(*x, v);
+                }
+                Ok(Ctrl::Body(code))
+            }
+            Value::TagApp(inner, rec_tags, rec_rgns) => {
+                // (vJ~τ;~ρK)[~τ][~ρ](~v) ⇒ v[~τ][~ρ](~v), one step, exactly
+                // like the substitution machine (which also spends a step
+                // materializing the unfolded application). The recorded
+                // tags/regions are already resolved — they were part of a
+                // resolved value — and the args are resolved here, so the
+                // materialized term is closed and re-resolution on the next
+                // step is the identity.
+                let _ = regions;
+                Ok(Ctrl::Term(Rc::new(Term::App {
+                    f: (*inner).clone(),
+                    tags: rec_tags.iter().cloned().collect(),
+                    regions: rec_rgns.to_vec(),
+                    args: args.iter().map(|v| self.env.value(v)).collect(),
+                })))
+            }
+            other => Err(self.stuck(format!("application of non-code value {other:?}"))),
+        }
+    }
+
+    fn eval_op(&mut self, op: &Op) -> Result<Value> {
+        match op {
+            Op::Val(v) => Ok(self.env.value(v)),
+            Op::Proj(i, v) => match self.env.value(v) {
+                Value::Pair(a, b) => Ok(if *i == 1 { (*a).clone() } else { (*b).clone() }),
+                other => Err(self.stuck(format!("projection π{i} of non-pair {other:?}"))),
+            },
+            Op::Put(rho, v) => {
+                let nu = self.resolve_name(rho)?;
+                let rv = self.env.value(v);
+                let words = crate::memory::value_words(&rv);
+                let loc = self.mem.put(nu, rv)?;
+                self.stats.allocations += 1;
+                self.stats.words_allocated += words as u64;
+                Ok(Value::Addr(nu, loc))
+            }
+            Op::Get(v) => match self.env.value(v) {
+                Value::Addr(nu, loc) => Ok(self.mem.get(nu, loc)?.clone()),
+                other => Err(self.stuck(format!("get of non-address {other:?}"))),
+            },
+            Op::Strip(v) => match self.env.value(v) {
+                Value::Inl(x) | Value::Inr(x) => Ok((*x).clone()),
+                other => Err(self.stuck(format!("strip of untagged value {other:?}"))),
+            },
+            Op::Prim(p, a, b) => match (self.env.value(a), self.env.value(b)) {
+                (Value::Int(x), Value::Int(y)) => Ok(Value::Int(p.apply(x, y))),
+                (a, b) => {
+                    Err(self.stuck(format!("primitive {p} on non-integers {a:?}, {b:?}")))
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use crate::memory::GrowthPolicy;
+    use crate::syntax::{Op, PrimOp, CD};
+    use ps_ir::Symbol;
+
+    fn s(x: &str) -> Symbol {
+        Symbol::intern(x)
+    }
+
+    fn config() -> MemConfig {
+        MemConfig {
+            region_budget: 16,
+            growth: GrowthPolicy::Fixed,
+            track_types: false,
+        }
+    }
+
+    /// Runs a program on both backends and asserts identical outcome and
+    /// identical statistics.
+    fn run_both(p: &Program) -> Outcome {
+        let mut subst = Machine::load(p, config());
+        let mut env = EnvMachine::load(p, config());
+        let a = subst.run(100_000).expect("subst backend");
+        let b = env.run(100_000).expect("env backend");
+        assert_eq!(a, b, "backends disagree on the outcome");
+        assert_eq!(subst.stats(), env.stats(), "backends disagree on stats");
+        a
+    }
+
+    fn run_main(main: Term) -> i64 {
+        let p = Program { dialect: Dialect::Basic, code: vec![], main };
+        match run_both(&p) {
+            Outcome::Halted(n) => n,
+            Outcome::OutOfFuel => panic!("out of fuel"),
+        }
+    }
+
+    #[test]
+    fn halt_and_let_resolve_variables() {
+        let x = s("exm_x");
+        let y = s("exm_y");
+        let e = Term::let_(
+            x,
+            Op::Val(Value::Int(5)),
+            Term::let_(
+                y,
+                Op::Prim(PrimOp::Add, Value::Var(x), Value::Var(x)),
+                Term::Halt(Value::Var(y)),
+            ),
+        );
+        assert_eq!(run_main(e), 10);
+    }
+
+    #[test]
+    fn shadowing_overwrites() {
+        let x = s("exm_shadow");
+        let e = Term::let_(
+            x,
+            Op::Val(Value::Int(1)),
+            Term::let_(
+                x,
+                Op::Prim(PrimOp::Add, Value::Var(x), Value::Int(1)),
+                Term::Halt(Value::Var(x)),
+            ),
+        );
+        assert_eq!(run_main(e), 2);
+    }
+
+    #[test]
+    fn heap_roundtrip_through_regions() {
+        let r = s("exm_r");
+        let a = s("exm_a");
+        let b = s("exm_b");
+        let c = s("exm_c");
+        let e = Term::LetRegion {
+            rvar: r,
+            body: Rc::new(Term::let_(
+                a,
+                Op::Put(Region::Var(r), Value::pair(Value::Int(3), Value::Int(4))),
+                Term::let_(
+                    b,
+                    Op::Get(Value::Var(a)),
+                    Term::let_(c, Op::Proj(2, Value::Var(b)), Term::Halt(Value::Var(c))),
+                ),
+            )),
+        };
+        assert_eq!(run_main(e), 4);
+    }
+
+    #[test]
+    fn application_clears_the_frame() {
+        // After jumping to code, only the parameters are in scope; the
+        // argument is resolved in the caller's frame first.
+        let x = s("exm_p");
+        let y = s("exm_q");
+        let id = CodeDef {
+            name: s("exm_id"),
+            tvars: vec![],
+            rvars: vec![],
+            params: vec![(x, Ty::Int)],
+            body: Term::Halt(Value::Var(x)),
+        };
+        let main = Term::let_(
+            y,
+            Op::Val(Value::Int(33)),
+            Term::app(Value::Addr(CD, 0), [], [], [Value::Var(y)]),
+        );
+        let p = Program { dialect: Dialect::Basic, code: vec![id], main };
+        assert_eq!(run_both(&p), Outcome::Halted(33));
+    }
+
+    #[test]
+    fn tag_arguments_flow_through_typecase() {
+        let t = s("exm_t");
+        let body = Term::Typecase {
+            tag: Tag::Var(t),
+            int_arm: Rc::new(Term::Halt(Value::Int(0))),
+            arrow_arm: Rc::new(Term::Halt(Value::Int(1))),
+            prod_arm: (s("exm_t1"), s("exm_t2"), Rc::new(Term::Halt(Value::Int(2)))),
+            exist_arm: (s("exm_te"), Rc::new(Term::Halt(Value::Int(3)))),
+        };
+        let dispatch = CodeDef {
+            name: s("exm_dispatch"),
+            tvars: vec![(t, crate::syntax::Kind::Omega)],
+            rvars: vec![],
+            params: vec![],
+            body,
+        };
+        let main = Term::app(
+            Value::Addr(CD, 0),
+            [Tag::prod(Tag::Int, Tag::Int)],
+            [],
+            [],
+        );
+        let p = Program { dialect: Dialect::Basic, code: vec![dispatch], main };
+        assert_eq!(run_both(&p), Outcome::Halted(2));
+    }
+
+    #[test]
+    fn collection_stats_agree() {
+        let r1 = s("exm_r1");
+        let r2 = s("exm_r2");
+        let a = s("exm_only_a");
+        let e = Term::LetRegion {
+            rvar: r1,
+            body: Rc::new(Term::let_(
+                a,
+                Op::Put(Region::Var(r1), Value::Int(5)),
+                Term::LetRegion {
+                    rvar: r2,
+                    body: Rc::new(Term::Only {
+                        regions: vec![Region::Var(r2)],
+                        body: Rc::new(Term::Halt(Value::Int(0))),
+                    }),
+                },
+            )),
+        };
+        let p = Program { dialect: Dialect::Basic, code: vec![], main: e };
+        let mut env = EnvMachine::load(&p, config());
+        assert_eq!(env.run(1000).unwrap(), Outcome::Halted(0));
+        assert_eq!(env.stats().collections, 1);
+        assert_eq!(env.stats().words_reclaimed, 1);
+        assert_eq!(env.stats().regions_created, 2);
+        run_both(&p);
+    }
+
+    #[test]
+    fn stuck_states_match_the_oracle() {
+        let p = Program {
+            dialect: Dialect::Basic,
+            code: vec![],
+            main: Term::Halt(Value::pair(Value::Int(1), Value::Int(2))),
+        };
+        assert!(EnvMachine::load(&p, config()).run(10).is_err());
+        assert!(Machine::load(&p, config()).run(10).is_err());
+    }
+
+    #[test]
+    fn halted_machine_stays_halted() {
+        let p = Program {
+            dialect: Dialect::Basic,
+            code: vec![],
+            main: Term::Halt(Value::Int(7)),
+        };
+        let mut m = EnvMachine::load(&p, MemConfig::default());
+        assert_eq!(m.run(10).unwrap(), Outcome::Halted(7));
+        assert_eq!(m.halted(), Some(7));
+        assert_eq!(m.step().unwrap(), StepOutcome::Halted(7));
+        assert_eq!(m.run(5).unwrap(), Outcome::Halted(7));
+    }
+
+    #[test]
+    fn out_of_fuel_counts_steps() {
+        let f = CodeDef {
+            name: s("exm_loop"),
+            tvars: vec![],
+            rvars: vec![],
+            params: vec![],
+            body: Term::app(Value::Addr(CD, 0), [], [], []),
+        };
+        let p = Program {
+            dialect: Dialect::Basic,
+            code: vec![f],
+            main: Term::app(Value::Addr(CD, 0), [], [], []),
+        };
+        let mut m = EnvMachine::load(&p, config());
+        assert_eq!(m.run(100).unwrap(), Outcome::OutOfFuel);
+        assert_eq!(m.stats().steps, 100);
+    }
+
+    use crate::syntax::Ty;
+}

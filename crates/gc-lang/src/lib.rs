@@ -22,6 +22,10 @@
 //! * [`tyck`] — the static semantics (Figs. 6, 8, 10);
 //! * [`memory`]/[`machine`] — the allocation semantics (Fig. 5) on real
 //!   region-backed stores, with statistics;
+//! * [`env_machine`] — an environment-based (CEK-style) fast path for the
+//!   same semantics: no per-step substitution, continuations shared via
+//!   `Rc`; observationally identical to [`machine`] (including
+//!   statistics), selected via [`machine::Backend`];
 //! * [`wf`] — machine-state well-formedness (`⊢ (M,e)`, Fig. 7), the
 //!   engine behind the preservation/progress property tests;
 //! * [`pretty`] — rendering in the paper's notation;
@@ -46,6 +50,7 @@
 //! ```
 
 pub mod ablation;
+pub mod env_machine;
 pub mod error;
 pub mod machine;
 pub mod memory;

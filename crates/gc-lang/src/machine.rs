@@ -29,6 +29,16 @@ pub struct Program {
     pub main: Term,
 }
 
+/// Most detailed [`ReclaimReport`]s kept in [`Stats::reclaim_events`].
+///
+/// The aggregate counters (`collections`, `words_reclaimed`,
+/// `kept_words_total`) always cover every collection; only the per-event
+/// log is bounded, so long-running programs do not grow memory without
+/// bound. The *first* events are kept (rather than the last) because the
+/// per-event consumers — warm-up analyses, the E4 benchmark, examples —
+/// all look at the beginning of the run.
+pub const MAX_RECLAIM_EVENTS: usize = 1024;
+
 /// Statistics collected while running.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Stats {
@@ -44,6 +54,9 @@ pub struct Stats {
     pub collections: u64,
     /// Words reclaimed by `only`.
     pub words_reclaimed: u64,
+    /// Total live words kept across all collections (the sum of every
+    /// report's `kept_words`, i.e. total copy work in copying collectors).
+    pub kept_words_total: u64,
     /// Peak total words in data regions.
     pub peak_data_words: usize,
     /// `typecase` dispatches taken.
@@ -52,8 +65,27 @@ pub struct Stats {
     pub gc_triggers: u64,
     /// `set` writes (forwarding-pointer installs).
     pub forwarding_installs: u64,
-    /// Reports from each `only` that dropped something.
+    /// Reports from each `only` that dropped something, capped at the
+    /// first [`MAX_RECLAIM_EVENTS`] collections.
     pub reclaim_events: Vec<ReclaimReport>,
+}
+
+impl Stats {
+    /// Folds an `only` report into the statistics: counts it as a
+    /// collection if it dropped anything, updates the aggregate counters,
+    /// and appends to the bounded event log. Shared by both interpreter
+    /// backends so their `Stats` stay bit-for-bit identical.
+    pub(crate) fn record_reclaim(&mut self, report: ReclaimReport) {
+        if report.dropped.is_empty() {
+            return;
+        }
+        self.collections += 1;
+        self.words_reclaimed += report.words_reclaimed() as u64;
+        self.kept_words_total += report.kept_words as u64;
+        if self.reclaim_events.len() < MAX_RECLAIM_EVENTS {
+            self.reclaim_events.push(report);
+        }
+    }
 }
 
 impl std::fmt::Display for Stats {
@@ -68,6 +100,65 @@ impl std::fmt::Display for Stats {
             self.words_reclaimed,
             self.peak_data_words
         )
+    }
+}
+
+/// Which interpreter backend evaluates λGC terms.
+///
+/// Both backends implement the same operational semantics and produce
+/// identical results *and identical [`Stats`]* on every program (checked
+/// by the differential test suite). They differ only in how β-reduction
+/// is realised:
+///
+/// * [`Backend::Subst`] — the literal Fig. 5 machine ([`Machine`]): each
+///   step textually substitutes into the continuation. O(|term|) per
+///   step, but the state is always a closed term, which is what the
+///   well-formedness judgement `⊢ (M, e)` of `crate::wf` consumes. This
+///   is the paper-faithful oracle.
+/// * [`Backend::Env`] — the environment machine
+///   ([`crate::env_machine::EnvMachine`]): terms run against a
+///   value/tag/region environment, continuations are shared via `Rc`,
+///   and variables are resolved lazily at use sites. O(1) per step
+///   modulo value size; the default for plain runs and benchmarks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Fig. 5 substitution semantics (the reference/oracle).
+    Subst,
+    /// Environment-based fast path.
+    Env,
+}
+
+impl Backend {
+    /// The backend picked when the caller expresses no preference: the
+    /// substitution machine when the memory typing `Ψ` is being tracked
+    /// (its closed-term states feed the `⊢ (M, e)` checker), the
+    /// environment fast path otherwise.
+    pub fn default_for(track_types: bool) -> Backend {
+        if track_types {
+            Backend::Subst
+        } else {
+            Backend::Env
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Subst => write!(f, "subst"),
+            Backend::Env => write!(f, "env"),
+        }
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+    fn from_str(s: &str) -> std::result::Result<Backend, String> {
+        match s {
+            "subst" | "substitution" => Ok(Backend::Subst),
+            "env" | "environment" => Ok(Backend::Env),
+            other => Err(format!("unknown backend {other:?} (expected subst|env)")),
+        }
     }
 }
 
@@ -194,7 +285,9 @@ impl Machine {
             }
             Term::Let { x, op, body } => {
                 let v = self.eval_op(op)?;
-                Ok(Some(Subst::one_val(x, v).term(&body)))
+                let mut sub = Subst::new();
+                sub.bind_val(x, v);
+                Ok(Some(sub.term(&body)))
             }
             Term::Halt(v) => match v {
                 Value::Int(n) => {
@@ -216,16 +309,18 @@ impl Machine {
                 Value::PackTag { tvar: _, tag, val, .. } => {
                     // Fig. 5 normalizes the witness tag before substituting.
                     let nf = tags::normalize(&tag);
-                    let sub = Subst::new().with_tag(tvar, nf).with_val(x, (*val).clone());
+                    let mut sub = Subst::new();
+                    sub.bind_tag(tvar, nf);
+                    sub.bind_val(x, (*val).clone());
                     Ok(Some(sub.term(&body)))
                 }
                 other => Err(self.stuck(format!("open(tag) on non-package {other:?}"))),
             },
             Term::OpenAlpha { pkg, avar, x, body } => match pkg {
                 Value::PackAlpha { witness, val, .. } => {
-                    let sub = Subst::new()
-                        .with_alpha(avar, witness)
-                        .with_val(x, (*val).clone());
+                    let mut sub = Subst::new();
+                    sub.bind_alpha(avar, witness);
+                    sub.bind_val(x, (*val).clone());
                     Ok(Some(sub.term(&body)))
                 }
                 other => Err(self.stuck(format!("open(α) on non-package {other:?}"))),
@@ -233,9 +328,9 @@ impl Machine {
             Term::OpenRgn { pkg, rvar, x, body } => match pkg {
                 Value::PackRgn { witness, val, .. } => {
                     let nu = self.expect_name(&witness)?;
-                    let sub = Subst::new()
-                        .with_rgn(rvar, Region::Name(nu))
-                        .with_val(x, (*val).clone());
+                    let mut sub = Subst::new();
+                    sub.bind_rgn(rvar, Region::Name(nu));
+                    sub.bind_val(x, (*val).clone());
                     Ok(Some(sub.term(&body)))
                 }
                 other => Err(self.stuck(format!("open(region) on non-package {other:?}"))),
@@ -243,7 +338,9 @@ impl Machine {
             Term::LetRegion { rvar, body } => {
                 let nu = self.mem.alloc_region();
                 self.stats.regions_created += 1;
-                Ok(Some(Subst::one_rgn(rvar, Region::Name(nu)).term(&body)))
+                let mut sub = Subst::new();
+                sub.bind_rgn(rvar, Region::Name(nu));
+                Ok(Some(sub.term(&body)))
             }
             Term::Only { regions, body } => {
                 let mut keep = Vec::with_capacity(regions.len());
@@ -251,11 +348,7 @@ impl Machine {
                     keep.push(self.expect_name(r)?);
                 }
                 let report = self.mem.only(&keep);
-                if !report.dropped.is_empty() {
-                    self.stats.collections += 1;
-                    self.stats.words_reclaimed += report.words_reclaimed() as u64;
-                    self.stats.reclaim_events.push(report);
-                }
+                self.stats.record_reclaim(report);
                 Ok(Some((*body).clone()))
             }
             Term::Typecase { tag, int_arm, arrow_arm, prod_arm, exist_arm } => {
@@ -266,22 +359,27 @@ impl Machine {
                     Tag::Arrow(_) => Ok(Some((*arrow_arm).clone())),
                     Tag::Prod(a, b) => {
                         let (t1, t2, body) = prod_arm;
-                        let sub = Subst::new()
-                            .with_tag(t1, (*a).clone())
-                            .with_tag(t2, (*b).clone());
+                        let mut sub = Subst::new();
+                        sub.bind_tag(t1, (*a).clone());
+                        sub.bind_tag(t2, (*b).clone());
                         Ok(Some(sub.term(&body)))
                     }
                     Tag::Exist(t, body_tag) => {
                         let (te, body) = exist_arm;
-                        let lam = Tag::Lam(t, body_tag);
-                        Ok(Some(Subst::one_tag(te, lam).term(&body)))
+                        let mut sub = Subst::new();
+                        sub.bind_tag(te, Tag::Lam(t, body_tag));
+                        Ok(Some(sub.term(&body)))
                     }
                     other => Err(self.stuck(format!("typecase on non-constructor tag {other:?}"))),
                 }
             }
             Term::IfLeft { x, scrut, left, right } => match scrut {
-                v @ Value::Inl(_) => Ok(Some(Subst::one_val(x, v).term(&left))),
-                v @ Value::Inr(_) => Ok(Some(Subst::one_val(x, v).term(&right))),
+                v @ (Value::Inl(_) | Value::Inr(_)) => {
+                    let arm = if matches!(v, Value::Inl(_)) { left } else { right };
+                    let mut sub = Subst::new();
+                    sub.bind_val(x, v);
+                    Ok(Some(sub.term(&arm)))
+                }
                 other => Err(self.stuck(format!("ifleft on non-sum value {other:?}"))),
             },
             Term::Set { dst, src, body } => match dst {
@@ -299,9 +397,11 @@ impl Machine {
                 if self.mem.config().track_types {
                     let from = self.expect_name(&from)?;
                     let to = self.expect_name(&to)?;
-                    self.widen_psi(&v, &tags::normalize(&tag), from, to)?;
+                    widen_psi(&mut self.mem, &v, &tags::normalize(&tag), from, to)?;
                 }
-                Ok(Some(Subst::one_val(x, v).term(&body)))
+                let mut sub = Subst::new();
+                sub.bind_val(x, v);
+                Ok(Some(sub.term(&body)))
             }
             Term::IfReg { r1, r2, eq, ne } => {
                 let n1 = self.expect_name(&r1)?;
@@ -354,13 +454,13 @@ impl Machine {
                 // β step.
                 let mut sub = Subst::new();
                 for ((t, _), tau) in code.tvars.iter().zip(ts.iter()) {
-                    sub = sub.with_tag(*t, tags::normalize(tau));
+                    sub.bind_tag(*t, tags::normalize(tau));
                 }
                 for (r, rho) in code.rvars.iter().zip(regions.iter()) {
-                    sub = sub.with_rgn(*r, *rho);
+                    sub.bind_rgn(*r, *rho);
                 }
                 for ((x, _), v) in code.params.iter().zip(args.iter()) {
-                    sub = sub.with_val(*x, v.clone());
+                    sub.bind_val(*x, v.clone());
                 }
                 Ok(sub.term(&code.body))
             }
@@ -417,132 +517,141 @@ impl Machine {
         }
     }
 
-    /// Rewrites `Ψ` for a `widen` by walking the live graph from `v` guided
-    /// by the tag, applying the `T` operator of Appendix C: every reachable
-    /// entry of the from-region changes from its `M`-form to the
-    /// corresponding `C`-form. Unreached entries of the from-region are
-    /// dropped from `Ψ` (they are garbage; Def. 7.1's `M̄ ⊆ M`).
-    fn widen_psi(&mut self, v: &Value, tag: &Tag, from: RegionName, to: RegionName) -> Result<()> {
-        let mut visited: HashSet<(RegionName, u32)> = HashSet::new();
-        self.widen_visit(v, tag, from, to, &mut visited)?;
-        // Drop unreached from-region entries.
-        if let Some(entries) = self.mem.psi_region(from) {
-            let dead: Vec<u32> = entries
-                .keys()
-                .copied()
-                .filter(|loc| !visited.contains(&(from, *loc)))
-                .collect();
-            for loc in dead {
-                self.mem.remove_psi_entry(from, loc);
-            }
-        }
-        Ok(())
-    }
+}
 
-    fn widen_visit(
-        &mut self,
-        v: &Value,
-        tag: &Tag,
-        from: RegionName,
-        to: RegionName,
-        visited: &mut HashSet<(RegionName, u32)>,
-    ) -> Result<()> {
-        match tag {
-            Tag::Int | Tag::Arrow(_) | Tag::AnyArrow(_) => Ok(()),
-            Tag::Prod(t1, t2) => {
-                let (nu, loc) = match v {
-                    Value::Addr(nu, loc) => (*nu, *loc),
-                    other => {
-                        return Err(stuck_err(format!(
-                            "widen walk: expected address for product tag, got {other:?}"
-                        )))
-                    }
-                };
-                if !visited.insert((nu, loc)) {
-                    return Ok(());
-                }
-                let c_ty = self.c_stored_ty(tag, from, to);
-                self.mem.rewrite_psi_entry(nu, loc, c_ty);
-                let stored = self.mem.get(nu, loc)?.clone();
-                match stored {
-                    Value::Inl(inner) => match &*inner {
-                        Value::Pair(a, b) => {
-                            self.widen_visit(a, t1, from, to, visited)?;
-                            self.widen_visit(b, t2, from, to, visited)
-                        }
-                        other => Err(stuck_err(format!(
-                            "widen walk: expected pair under inl, got {other:?}"
-                        ))),
-                    },
-                    other => Err(stuck_err(format!(
-                        "widen walk: expected inl-tagged object, got {other:?}"
-                    ))),
-                }
-            }
-            Tag::Exist(t, body) => {
-                let (nu, loc) = match v {
-                    Value::Addr(nu, loc) => (*nu, *loc),
-                    other => {
-                        return Err(stuck_err(format!(
-                            "widen walk: expected address for existential tag, got {other:?}"
-                        )))
-                    }
-                };
-                if !visited.insert((nu, loc)) {
-                    return Ok(());
-                }
-                let c_ty = self.c_stored_ty(tag, from, to);
-                self.mem.rewrite_psi_entry(nu, loc, c_ty);
-                let stored = self.mem.get(nu, loc)?.clone();
-                match stored {
-                    Value::Inl(inner) => match &*inner {
-                        Value::PackTag { tvar, kind, tag: witness, val, .. } => {
-                            // §7.1's cast is "consistently applied over the
-                            // whole heap": the stored package's (erasable)
-                            // type annotation switches from the mutator view
-                            // M to the collector view C together with Ψ —
-                            // the step Lemma C.8's existential case performs
-                            // implicitly.
-                            let new_body = Ty::c(
-                                Region::Name(from),
-                                Region::Name(to),
-                                Subst::one_tag(*t, Tag::Var(*tvar)).tag(body),
-                            );
-                            let recast = Value::Inl(std::rc::Rc::new(Value::PackTag {
-                                tvar: *tvar,
-                                kind: *kind,
-                                tag: witness.clone(),
-                                val: val.clone(),
-                                body_ty: new_body,
-                            }));
-                            self.mem.set(nu, loc, recast)?;
-                            let child_tag =
-                                tags::normalize(&Subst::one_tag(*t, witness.clone()).tag(body));
-                            self.widen_visit(val, &child_tag, from, to, visited)
-                        }
-                        other => Err(stuck_err(format!(
-                            "widen walk: expected package under inl, got {other:?}"
-                        ))),
-                    },
-                    other => Err(stuck_err(format!(
-                        "widen walk: expected inl-tagged object, got {other:?}"
-                    ))),
-                }
-            }
-            other => Err(stuck_err(format!(
-                "widen walk: open tag {other:?} at runtime"
-            ))),
+/// Rewrites `Ψ` for a `widen` by walking the live graph from `v` guided
+/// by the tag, applying the `T` operator of Appendix C: every reachable
+/// entry of the from-region changes from its `M`-form to the
+/// corresponding `C`-form. Unreached entries of the from-region are
+/// dropped from `Ψ` (they are garbage; Def. 7.1's `M̄ ⊆ M`).
+///
+/// A free function over the memory so both interpreter backends share it.
+pub(crate) fn widen_psi(
+    mem: &mut Memory,
+    v: &Value,
+    tag: &Tag,
+    from: RegionName,
+    to: RegionName,
+) -> Result<()> {
+    let mut visited: HashSet<(RegionName, u32)> = HashSet::new();
+    widen_visit(mem, v, tag, from, to, &mut visited)?;
+    // Drop unreached from-region entries.
+    if let Some(entries) = mem.psi_region(from) {
+        let dead: Vec<u32> = entries
+            .keys()
+            .copied()
+            .filter(|loc| !visited.contains(&(from, *loc)))
+            .collect();
+        for loc in dead {
+            mem.remove_psi_entry(from, loc);
         }
     }
+    Ok(())
+}
 
-    /// The stored-value part (i.e. without the outer `at`) of
-    /// `C_{from,to}(τ)` for a heap object.
-    fn c_stored_ty(&self, tag: &Tag, from: RegionName, to: RegionName) -> Ty {
-        let c = Ty::c(Region::Name(from), Region::Name(to), tag.clone());
-        match crate::moper::normalize_ty(&c, Dialect::Forwarding) {
-            Ty::At(inner, _) => (*inner).clone(),
-            other => other,
+fn widen_visit(
+    mem: &mut Memory,
+    v: &Value,
+    tag: &Tag,
+    from: RegionName,
+    to: RegionName,
+    visited: &mut HashSet<(RegionName, u32)>,
+) -> Result<()> {
+    match tag {
+        Tag::Int | Tag::Arrow(_) | Tag::AnyArrow(_) => Ok(()),
+        Tag::Prod(t1, t2) => {
+            let (nu, loc) = match v {
+                Value::Addr(nu, loc) => (*nu, *loc),
+                other => {
+                    return Err(stuck_err(format!(
+                        "widen walk: expected address for product tag, got {other:?}"
+                    )))
+                }
+            };
+            if !visited.insert((nu, loc)) {
+                return Ok(());
+            }
+            let c_ty = c_stored_ty(tag, from, to);
+            mem.rewrite_psi_entry(nu, loc, c_ty);
+            let stored = mem.get(nu, loc)?.clone();
+            match stored {
+                Value::Inl(inner) => match &*inner {
+                    Value::Pair(a, b) => {
+                        widen_visit(mem, a, t1, from, to, visited)?;
+                        widen_visit(mem, b, t2, from, to, visited)
+                    }
+                    other => Err(stuck_err(format!(
+                        "widen walk: expected pair under inl, got {other:?}"
+                    ))),
+                },
+                other => Err(stuck_err(format!(
+                    "widen walk: expected inl-tagged object, got {other:?}"
+                ))),
+            }
         }
+        Tag::Exist(t, body) => {
+            let (nu, loc) = match v {
+                Value::Addr(nu, loc) => (*nu, *loc),
+                other => {
+                    return Err(stuck_err(format!(
+                        "widen walk: expected address for existential tag, got {other:?}"
+                    )))
+                }
+            };
+            if !visited.insert((nu, loc)) {
+                return Ok(());
+            }
+            let c_ty = c_stored_ty(tag, from, to);
+            mem.rewrite_psi_entry(nu, loc, c_ty);
+            let stored = mem.get(nu, loc)?.clone();
+            match stored {
+                Value::Inl(inner) => match &*inner {
+                    Value::PackTag { tvar, kind, tag: witness, val, .. } => {
+                        // §7.1's cast is "consistently applied over the
+                        // whole heap": the stored package's (erasable)
+                        // type annotation switches from the mutator view
+                        // M to the collector view C together with Ψ —
+                        // the step Lemma C.8's existential case performs
+                        // implicitly.
+                        let new_body = Ty::c(
+                            Region::Name(from),
+                            Region::Name(to),
+                            Subst::one_tag(*t, Tag::Var(*tvar)).tag(body),
+                        );
+                        let recast = Value::Inl(std::rc::Rc::new(Value::PackTag {
+                            tvar: *tvar,
+                            kind: *kind,
+                            tag: witness.clone(),
+                            val: val.clone(),
+                            body_ty: new_body,
+                        }));
+                        mem.set(nu, loc, recast)?;
+                        let child_tag =
+                            tags::normalize(&Subst::one_tag(*t, witness.clone()).tag(body));
+                        widen_visit(mem, val, &child_tag, from, to, visited)
+                    }
+                    other => Err(stuck_err(format!(
+                        "widen walk: expected package under inl, got {other:?}"
+                    ))),
+                },
+                other => Err(stuck_err(format!(
+                    "widen walk: expected inl-tagged object, got {other:?}"
+                ))),
+            }
+        }
+        other => Err(stuck_err(format!(
+            "widen walk: open tag {other:?} at runtime"
+        ))),
+    }
+}
+
+/// The stored-value part (i.e. without the outer `at`) of
+/// `C_{from,to}(τ)` for a heap object.
+fn c_stored_ty(tag: &Tag, from: RegionName, to: RegionName) -> Ty {
+    let c = Ty::c(Region::Name(from), Region::Name(to), tag.clone());
+    match crate::moper::normalize_ty(&c, Dialect::Forwarding) {
+        Ty::At(inner, _) => (*inner).clone(),
+        other => other,
     }
 }
 

@@ -143,6 +143,11 @@ pub struct Memory {
     psi: BTreeMap<RegionName, BTreeMap<u32, Ty>>,
     next_region: u32,
     config: MemConfig,
+    /// Running total of words in data regions, maintained by `put`/`only`
+    /// so [`Memory::data_words`] is O(1). `set` deliberately does not
+    /// adjust region word counts (the slot keeps its location's size in
+    /// the region type `Υ`), so no adjustment is needed here either.
+    data_words: usize,
 }
 
 impl Memory {
@@ -164,6 +169,7 @@ impl Memory {
             psi,
             next_region: 1,
             config,
+            data_words: 0,
         }
     }
 
@@ -235,7 +241,9 @@ impl Memory {
             .get_mut(&nu)
             .ok_or_else(|| mem_err(format!("put into missing region {nu}")))?;
         let loc = region.slots.len() as u32;
-        region.words += value_words(&v);
+        let words = value_words(&v);
+        region.words += words;
+        self.data_words += words;
         region.slots.push(v);
         if let Some(ty) = inferred {
             self.psi.entry(nu).or_default().insert(loc, ty);
@@ -300,6 +308,7 @@ impl Memory {
             }
             let dropped = self.regions.remove(&nu).expect("region exists");
             self.psi.remove(&nu);
+            self.data_words -= dropped.words;
             report.dropped.push((nu, dropped.words, dropped.slots.len()));
         }
         report
@@ -320,13 +329,20 @@ impl Memory {
         self.regions.get(&nu)
     }
 
-    /// Total words in data regions.
+    /// Total words in data regions. O(1): the total is maintained
+    /// incrementally by `put` and `only`, so the interpreter can take a
+    /// peak reading on every step without an O(regions) walk.
     pub fn data_words(&self) -> usize {
-        self.regions
-            .iter()
-            .filter(|(n, _)| !n.is_cd())
-            .map(|(_, r)| r.words)
-            .sum()
+        debug_assert_eq!(
+            self.data_words,
+            self.regions
+                .iter()
+                .filter(|(n, _)| !n.is_cd())
+                .map(|(_, r)| r.words)
+                .sum::<usize>(),
+            "incremental data-word total out of sync"
+        );
+        self.data_words
     }
 
     // ----- Ψ maintenance (observer machinery) ---------------------------
@@ -584,5 +600,26 @@ mod tests {
         let r = m.alloc_region();
         m.put(r, Value::Int(1)).unwrap();
         assert_eq!(m.data_words(), 1);
+    }
+
+    #[test]
+    fn data_words_tracks_put_set_and_only() {
+        let mut m = Memory::new(MemConfig {
+            region_budget: 8,
+            growth: GrowthPolicy::Fixed,
+            track_types: false,
+        });
+        let r1 = m.alloc_region();
+        let r2 = m.alloc_region();
+        m.put(r1, Value::pair(Value::Int(1), Value::Int(2))).unwrap();
+        let loc = m.put(r2, Value::Int(3)).unwrap();
+        assert_eq!(m.data_words(), 3);
+        // `set` never adjusts word counts (the slot keeps its Υ size).
+        m.set(r2, loc, Value::Int(9)).unwrap();
+        assert_eq!(m.data_words(), 3);
+        m.only(&[r2]);
+        assert_eq!(m.data_words(), 1);
+        m.only(&[]);
+        assert_eq!(m.data_words(), 0);
     }
 }

@@ -20,26 +20,36 @@
 //! type/tag split of §2.2.2), so region substitution does not descend into
 //! tags.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
+use std::hash::BuildHasher;
 use std::rc::Rc;
 
+use ps_ir::symbol::{SymbolMap, SymbolSet};
 use ps_ir::Symbol;
 
 use crate::syntax::{CodeDef, Op, Region, Tag, Term, Ty, Value};
 
 /// A simultaneous substitution over the four λGC namespaces.
+///
+/// Besides one-shot application (built with [`Subst::with_val`] etc. and
+/// applied by [`Subst::term`]), a `Subst` also serves as the mutable
+/// *environment* of the environment machine
+/// ([`crate::env_machine::EnvMachine`]): the `insert_*` methods extend the
+/// maps in place, and resolution of a value/tag/region against the
+/// environment is exactly substitution application. Sharing the
+/// implementation guarantees both backends resolve identically.
 #[derive(Clone, Debug, Default)]
 pub struct Subst {
-    tags: HashMap<Symbol, Tag>,
-    rgns: HashMap<Symbol, Region>,
-    alphas: HashMap<Symbol, Ty>,
-    vals: HashMap<Symbol, Value>,
+    tags: SymbolMap<Tag>,
+    rgns: SymbolMap<Region>,
+    alphas: SymbolMap<Ty>,
+    vals: SymbolMap<Value>,
     /// Free tag variables of all ranges (for capture checks).
-    range_tvars: HashSet<Symbol>,
+    range_tvars: SymbolSet,
     /// Free region variables of all ranges.
-    range_rvars: HashSet<Symbol>,
+    range_rvars: SymbolSet,
     /// Free α variables of all ranges.
-    range_avars: HashSet<Symbol>,
+    range_avars: SymbolSet,
 }
 
 impl Subst {
@@ -55,17 +65,13 @@ impl Subst {
 
     /// Extends with `t ↦ τ`.
     pub fn with_tag(mut self, t: Symbol, tau: Tag) -> Subst {
-        free_tag_vars(&tau, &mut self.range_tvars);
-        self.tags.insert(t, tau);
+        self.insert_tag(t, tau);
         self
     }
 
     /// Extends with `r ↦ ρ`.
     pub fn with_rgn(mut self, r: Symbol, rho: Region) -> Subst {
-        if let Region::Var(v) = rho {
-            self.range_rvars.insert(v);
-        }
-        self.rgns.insert(r, rho);
+        self.insert_rgn(r, rho);
         self
     }
 
@@ -80,9 +86,7 @@ impl Subst {
     /// pun — see the `paper:` note on the Trans formation rule in
     /// [`crate::tyck`].
     pub fn with_alpha(mut self, a: Symbol, sigma: Ty) -> Subst {
-        let mut dropped_rvars = HashSet::new();
-        ty_free_vars(&sigma, &mut self.range_tvars, &mut dropped_rvars, &mut self.range_avars);
-        self.alphas.insert(a, sigma);
+        self.insert_alpha(a, sigma);
         self
     }
 
@@ -92,12 +96,91 @@ impl Subst {
     /// type annotations are not protected from capture (at runtime they are
     /// concrete region names anyway, which cannot be captured).
     pub fn with_val(mut self, x: Symbol, v: Value) -> Subst {
+        self.insert_val(x, v);
+        self
+    }
+
+    // ----- in-place extension (environment-machine entry points) --------
+
+    /// Extends with `t ↦ τ` in place.
+    pub(crate) fn insert_tag(&mut self, t: Symbol, tau: Tag) {
+        free_tag_vars(&tau, &mut self.range_tvars);
+        self.tags.insert(t, tau);
+    }
+
+    /// Extends with `r ↦ ρ` in place.
+    pub(crate) fn insert_rgn(&mut self, r: Symbol, rho: Region) {
+        if let Region::Var(v) = rho {
+            self.range_rvars.insert(v);
+        }
+        self.rgns.insert(r, rho);
+    }
+
+    /// Extends with `α ↦ σ` in place (capture caveats as [`Self::with_alpha`]).
+    pub(crate) fn insert_alpha(&mut self, a: Symbol, sigma: Ty) {
+        let mut dropped_rvars = HashSet::new();
+        ty_free_vars(&sigma, &mut self.range_tvars, &mut dropped_rvars, &mut self.range_avars);
+        self.alphas.insert(a, sigma);
+    }
+
+    /// Extends with `x ↦ v` in place (capture caveats as [`Self::with_val`]).
+    pub(crate) fn insert_val(&mut self, x: Symbol, v: Value) {
         // Values may mention tags (in packages); collect them so binders in
         // terms get renamed when needed.
         let mut dropped_rvars = HashSet::new();
         value_free_vars(&v, &mut self.range_tvars, &mut dropped_rvars, &mut self.range_avars);
         self.vals.insert(x, v);
-        self
+    }
+
+    // ----- closed-range (runtime) extension -----------------------------
+    //
+    // The Fig. 5 rules only ever substitute *resolved* runtime ranges:
+    // normalized tags, concrete regions, and values that both machines
+    // have already passed through the current substitution. Such ranges
+    // are closed, so they contribute nothing to the capture-check sets and
+    // walking them (`value_free_vars` on every `let`, `ty_free_vars` on
+    // every closure-environment package) is pure overhead — measurably the
+    // dominant per-step cost of the environment machine. The `bind_*`
+    // methods skip that bookkeeping. Both machines must use the same
+    // binding policy so their rename behavior (and therefore their states)
+    // stay bit-identical; the typechecker, whose ranges are genuinely
+    // open, keeps using `with_*`.
+
+    /// Extends with `t ↦ τ` in place without capture bookkeeping (`τ` must
+    /// be a closed runtime tag).
+    pub(crate) fn bind_tag(&mut self, t: Symbol, tau: Tag) {
+        self.tags.insert(t, tau);
+    }
+
+    /// Extends with `r ↦ ρ` in place without capture bookkeeping (`ρ` must
+    /// be a concrete region name).
+    pub(crate) fn bind_rgn(&mut self, r: Symbol, rho: Region) {
+        self.rgns.insert(r, rho);
+    }
+
+    /// Extends with `α ↦ σ` in place without capture bookkeeping (`σ` must
+    /// be a closed runtime witness type).
+    pub(crate) fn bind_alpha(&mut self, a: Symbol, sigma: Ty) {
+        self.alphas.insert(a, sigma);
+    }
+
+    /// Extends with `x ↦ v` in place without capture bookkeeping (`v` must
+    /// be a closed runtime value).
+    pub(crate) fn bind_val(&mut self, x: Symbol, v: Value) {
+        self.vals.insert(x, v);
+    }
+
+    /// Empties every map, keeping allocated capacity. The environment
+    /// machine calls this at each code application: λGC code blocks are
+    /// closed, so the caller's bindings can never be referenced again.
+    pub(crate) fn clear(&mut self) {
+        self.tags.clear();
+        self.rgns.clear();
+        self.alphas.clear();
+        self.vals.clear();
+        self.range_tvars.clear();
+        self.range_rvars.clear();
+        self.range_avars.clear();
     }
 
     /// Convenience: the single-tag substitution `[τ/t]`.
@@ -531,8 +614,8 @@ impl Subst {
 // ----- free variables ----------------------------------------------------
 
 /// Collects the free tag variables of a tag into `out`.
-pub fn free_tag_vars(tau: &Tag, out: &mut HashSet<Symbol>) {
-    fn go(tau: &Tag, bound: &mut Vec<Symbol>, out: &mut HashSet<Symbol>) {
+pub fn free_tag_vars<S: BuildHasher>(tau: &Tag, out: &mut HashSet<Symbol, S>) {
+    fn go<S: BuildHasher>(tau: &Tag, bound: &mut Vec<Symbol>, out: &mut HashSet<Symbol, S>) {
         match tau {
             Tag::Var(t) | Tag::AnyArrow(t) => {
                 if !bound.contains(t) {
@@ -556,18 +639,18 @@ pub fn free_tag_vars(tau: &Tag, out: &mut HashSet<Symbol>) {
 }
 
 /// Collects the free tag, region, and α variables of a type.
-pub fn ty_free_vars(
+pub fn ty_free_vars<S1: BuildHasher, S2: BuildHasher, S3: BuildHasher>(
     sigma: &Ty,
-    tvars: &mut HashSet<Symbol>,
-    rvars: &mut HashSet<Symbol>,
-    avars: &mut HashSet<Symbol>,
+    tvars: &mut HashSet<Symbol, S1>,
+    rvars: &mut HashSet<Symbol, S2>,
+    avars: &mut HashSet<Symbol, S3>,
 ) {
     struct Bound {
         t: Vec<Symbol>,
         r: Vec<Symbol>,
         a: Vec<Symbol>,
     }
-    fn go_tag(tau: &Tag, b: &mut Bound, tvars: &mut HashSet<Symbol>) {
+    fn go_tag<S: BuildHasher>(tau: &Tag, b: &mut Bound, tvars: &mut HashSet<Symbol, S>) {
         let mut fv = HashSet::new();
         free_tag_vars(tau, &mut fv);
         for t in fv {
@@ -576,19 +659,19 @@ pub fn ty_free_vars(
             }
         }
     }
-    fn go_rgn(rho: &Region, b: &mut Bound, rvars: &mut HashSet<Symbol>) {
+    fn go_rgn<S: BuildHasher>(rho: &Region, b: &mut Bound, rvars: &mut HashSet<Symbol, S>) {
         if let Region::Var(r) = rho {
             if !b.r.contains(r) {
                 rvars.insert(*r);
             }
         }
     }
-    fn go(
+    fn go<S1: BuildHasher, S2: BuildHasher, S3: BuildHasher>(
         sigma: &Ty,
         b: &mut Bound,
-        tvars: &mut HashSet<Symbol>,
-        rvars: &mut HashSet<Symbol>,
-        avars: &mut HashSet<Symbol>,
+        tvars: &mut HashSet<Symbol, S1>,
+        rvars: &mut HashSet<Symbol, S2>,
+        avars: &mut HashSet<Symbol, S3>,
     ) {
         match sigma {
             Ty::Int => {}
@@ -667,11 +750,11 @@ pub fn ty_free_vars(
 
 /// Collects the free tag/region/α variables mentioned inside a value (in its
 /// type annotations and embedded tags).
-pub fn value_free_vars(
+pub fn value_free_vars<S1: BuildHasher, S2: BuildHasher, S3: BuildHasher>(
     v: &Value,
-    tvars: &mut HashSet<Symbol>,
-    rvars: &mut HashSet<Symbol>,
-    avars: &mut HashSet<Symbol>,
+    tvars: &mut HashSet<Symbol, S1>,
+    rvars: &mut HashSet<Symbol, S2>,
+    avars: &mut HashSet<Symbol, S3>,
 ) {
     match v {
         Value::Int(_) | Value::Var(_) | Value::Addr(..) => {}

@@ -24,4 +24,4 @@ pub mod doc;
 pub mod symbol;
 
 pub use doc::Doc;
-pub use symbol::Symbol;
+pub use symbol::{Symbol, SymbolMap, SymbolSet};

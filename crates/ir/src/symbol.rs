@@ -7,9 +7,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU32, Ordering};
-
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 /// An interned identifier.
 ///
@@ -40,14 +40,14 @@ impl Symbol {
     /// Interns `name`, returning the canonical symbol for it.
     pub fn intern(name: &str) -> Symbol {
         {
-            let guard = INTERNER.read();
+            let guard = INTERNER.read().unwrap();
             if let Some(interner) = guard.as_ref() {
                 if let Some(&id) = interner.table.get(name) {
                     return Symbol(id);
                 }
             }
         }
-        let mut guard = INTERNER.write();
+        let mut guard = INTERNER.write().unwrap();
         let interner = guard.get_or_insert_with(|| Interner {
             names: Vec::new(),
             table: HashMap::new(),
@@ -66,7 +66,7 @@ impl Symbol {
     /// The returned `String` is owned because the interner may reallocate; the
     /// cost is irrelevant for diagnostics, which is the only intended use.
     pub fn as_str(self) -> String {
-        let guard = INTERNER.read();
+        let guard = INTERNER.read().unwrap();
         guard
             .as_ref()
             .and_then(|i| i.names.get(self.0 as usize))
@@ -98,6 +98,40 @@ impl Symbol {
         gensym(&self.base())
     }
 }
+
+/// A [`Hasher`] specialised for [`Symbol`] keys.
+///
+/// Symbols hash a single `u32` intern id; mixing it with one 64-bit
+/// multiplication (the Fibonacci constant) is both faster and better
+/// distributed for table sizes that are powers of two than the default
+/// SipHash, which matters in the interpreter's environment maps where a
+/// lookup happens on every variable occurrence.
+#[derive(Default)]
+pub struct SymbolHasher(u64);
+
+impl Hasher for SymbolHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (only exercised if a composite key embeds a
+        // Symbol); fold bytes in and mix.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        }
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.0 = u64::from(n).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+/// `HashMap` keyed by [`Symbol`] using [`SymbolHasher`].
+pub type SymbolMap<V> = HashMap<Symbol, V, BuildHasherDefault<SymbolHasher>>;
+
+/// `HashSet` keyed by [`Symbol`] using [`SymbolHasher`].
+pub type SymbolSet = std::collections::HashSet<Symbol, BuildHasherDefault<SymbolHasher>>;
 
 /// Produces a globally fresh symbol with the given base name.
 ///

@@ -77,11 +77,7 @@ fn main() -> Result<(), PipelineError> {
             collector.to_string(),
             run.result,
             run.stats.collections,
-            run.stats
-                .reclaim_events
-                .iter()
-                .map(|e| e.kept_words)
-                .sum::<usize>(),
+            run.stats.kept_words_total,
         );
     }
     Ok(())

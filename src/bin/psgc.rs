@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! psgc run <file.lam> [--collector basic|forwarding|generational]
+//!                     [--backend subst|env]
 //!                     [--budget WORDS] [--fuel STEPS] [--stats]
 //! psgc check <file.lam> [--collector …]    # compile + certify, no run
 //! psgc certify [--collector …]             # print + typecheck the collector
@@ -10,7 +11,7 @@
 
 use std::process::ExitCode;
 
-use scavenger::{Collector, Pipeline};
+use scavenger::{Backend, Collector, Pipeline};
 
 fn parse_collector(s: &str) -> Option<Collector> {
     match s {
@@ -23,6 +24,7 @@ fn parse_collector(s: &str) -> Option<Collector> {
 
 struct Opts {
     collector: Collector,
+    backend: Option<Backend>,
     budget: usize,
     fuel: u64,
     stats: bool,
@@ -31,8 +33,8 @@ struct Opts {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: psgc <run|check|certify|eval> [file] \
-         [--collector basic|forwarding|generational] [--budget WORDS] \
-         [--fuel STEPS] [--stats]"
+         [--collector basic|forwarding|generational] [--backend subst|env] \
+         [--budget WORDS] [--fuel STEPS] [--stats]"
     );
     ExitCode::from(2)
 }
@@ -45,6 +47,7 @@ fn main() -> ExitCode {
     let mut file: Option<&str> = None;
     let mut opts = Opts {
         collector: Collector::Basic,
+        backend: None,
         budget: 256,
         fuel: 1_000_000_000,
         stats: false,
@@ -56,6 +59,13 @@ fn main() -> ExitCode {
                 i += 1;
                 match args.get(i).map(String::as_str).and_then(parse_collector) {
                     Some(c) => opts.collector = c,
+                    None => return usage(),
+                }
+            }
+            "--backend" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(b) => opts.backend = Some(b),
                     None => return usage(),
                 }
             }
@@ -151,7 +161,10 @@ fn main() -> ExitCode {
                 Ok(s) => s,
                 Err(c) => return c,
             };
-            let pipeline = Pipeline::new(opts.collector).region_budget(opts.budget);
+            let mut pipeline = Pipeline::new(opts.collector).region_budget(opts.budget);
+            if let Some(backend) = opts.backend {
+                pipeline = pipeline.backend(backend);
+            }
             let compiled = match pipeline.compile(&src) {
                 Ok(c) => c,
                 Err(e) => {
@@ -172,6 +185,7 @@ fn main() -> ExitCode {
                     println!("{}", run.result);
                     if opts.stats {
                         let s = &run.stats;
+                        eprintln!("backend:          {}", compiled.backend());
                         eprintln!("steps:            {}", s.steps);
                         eprintln!("allocations:      {} ({} words)", s.allocations, s.words_allocated);
                         eprintln!("collections:      {}", s.collections);

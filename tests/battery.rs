@@ -4,10 +4,11 @@
 //!
 //! This is the repository's broadest end-to-end net: any divergence
 //! between a collector and the oracle — or between budgets (i.e. between
-//! "no collections" and "many collections") — fails here with the program
+//! "no collections" and "many collections"), or between the substitution
+//! and environment interpreter backends — fails here with the program
 //! named.
 
-use scavenger::{Collector, Pipeline};
+use scavenger::{Backend, Collector, Pipeline};
 
 const PROGRAMS: &[(&str, &str, i64)] = &[
     ("arith", "1 + 2 * 3 - 4", 3),
@@ -93,6 +94,10 @@ const PROGRAMS: &[(&str, &str, i64)] = &[
 
 #[test]
 fn battery_all_collectors_all_budgets() {
+    // Every program/collector/budget combination runs on BOTH interpreter
+    // backends; they must agree with the expected result and with each
+    // other — including the full statistics, which the environment machine
+    // promises to reproduce bit-for-bit.
     for (name, src, expected) in PROGRAMS {
         for collector in [Collector::Basic, Collector::Forwarding, Collector::Generational] {
             for budget in [64usize, 256, 1 << 22] {
@@ -100,12 +105,26 @@ fn battery_all_collectors_all_budgets() {
                     .region_budget(budget)
                     .compile(src)
                     .unwrap_or_else(|e| panic!("{name}/{collector}: compile failed: {e}"));
-                let run = compiled
+                let env = compiled
+                    .clone()
+                    .with_backend(Backend::Env)
                     .run(500_000_000)
-                    .unwrap_or_else(|e| panic!("{name}/{collector}/budget {budget}: {e}"));
+                    .unwrap_or_else(|e| panic!("{name}/{collector}/budget {budget}/env: {e}"));
                 assert_eq!(
-                    run.result, *expected,
-                    "{name}/{collector}/budget {budget}"
+                    env.result, *expected,
+                    "{name}/{collector}/budget {budget}/env"
+                );
+                let subst = compiled
+                    .with_backend(Backend::Subst)
+                    .run(500_000_000)
+                    .unwrap_or_else(|e| panic!("{name}/{collector}/budget {budget}/subst: {e}"));
+                assert_eq!(
+                    subst.result, env.result,
+                    "{name}/{collector}/budget {budget}: backends disagree"
+                );
+                assert_eq!(
+                    subst.stats, env.stats,
+                    "{name}/{collector}/budget {budget}: backend stats disagree"
                 );
             }
         }

@@ -13,7 +13,8 @@
 use proptest::prelude::*;
 use std::rc::Rc;
 
-use ps_gc_lang::machine::{Machine, Outcome};
+use ps_gc_lang::env_machine::EnvMachine;
+use ps_gc_lang::machine::Machine;
 use ps_gc_lang::memory::{GrowthPolicy, MemConfig};
 use ps_gc_lang::syntax::{Op, Region, Tag, Term};
 use ps_gc_lang::tyck::Checker;
@@ -141,18 +142,24 @@ proptest! {
                 // Accepted: progress must hold. The mutation may change the
                 // *result* (e.g. a swapped projection of an int×int pair is
                 // still well typed) — soundness only promises no stuck
-                // state.
-                let mut m = Machine::load(
-                    &program,
-                    MemConfig {
-                        region_budget: 64,
-                        growth: GrowthPolicy::Adaptive,
-                        track_types: false,
-                    },
-                );
-                match m.run(5_000_000) {
-                    Ok(Outcome::Halted(_)) | Ok(Outcome::OutOfFuel) => {}
-                    Err(e) => prop_assert!(false, "checker accepted a stuck program: {e}"),
+                // state. Both interpreter backends must agree on whatever
+                // the mutant does, statistics included.
+                let config = MemConfig {
+                    region_budget: 64,
+                    growth: GrowthPolicy::Adaptive,
+                    track_types: false,
+                };
+                let mut m = Machine::load(&program, config);
+                let mut em = EnvMachine::load(&program, config);
+                match (m.run(5_000_000), em.run(5_000_000)) {
+                    (Ok(a), Ok(b)) => {
+                        prop_assert_eq!(&a, &b, "backends disagree on an accepted mutant");
+                        prop_assert_eq!(m.stats(), em.stats(), "backend stats disagree");
+                    }
+                    (Err(e), _) => prop_assert!(false, "checker accepted a stuck program: {e}"),
+                    (_, Err(e)) => {
+                        prop_assert!(false, "env backend stuck on an accepted program: {e}")
+                    }
                 }
             }
         }
