@@ -56,6 +56,7 @@ fn shape() -> ContShape {
 /// will be installed (0 in every pipeline here; kept explicit for clarity).
 pub fn collector() -> CollectorImage {
     CollectorImage {
+        name: "basic",
         code: vec![gc(), gcend(), copy(), copypair1(), copypair2(), copyexist1()],
         gc_entry: GC,
     }

@@ -56,6 +56,7 @@ fn c_of(tag: Tag) -> Ty {
 /// Builds the forwarding collector.
 pub fn collector() -> CollectorImage {
     CollectorImage {
+        name: "forwarding",
         code: vec![gc(), gcend(), copy(), fwdpair1(), fwdpair2(), fwdexist1()],
         gc_entry: GC,
     }

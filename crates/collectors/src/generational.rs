@@ -85,6 +85,7 @@ pub fn collector() -> CollectorImage {
     let mut code = vec![gc(), gcend(), copy(), gpair1(), gpair2(), gexist1()];
     code.extend(crate::major::blocks());
     CollectorImage {
+        name: "generational",
         code,
         gc_entry: GC,
     }

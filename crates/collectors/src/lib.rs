@@ -27,6 +27,9 @@ use ps_gc_lang::syntax::CodeDef;
 /// the `cd` region.
 #[derive(Clone, Debug)]
 pub struct CollectorImage {
+    /// The collector's canonical name (`basic`/`forwarding`/`generational`),
+    /// used for telemetry metadata and diagnostics.
+    pub name: &'static str,
     /// The collector's code blocks (install at cd offsets `0..len`).
     pub code: Vec<CodeDef>,
     /// Offset of the `gc` entry point within `code`.

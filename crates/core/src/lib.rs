@@ -53,6 +53,15 @@ pub use ps_gc_lang::machine::Backend;
 
 pub mod workloads;
 
+/// GC telemetry: structured event streams, observers, recorders, and the
+/// JSON-lines trace schema. Defined in [`ps_gc_lang`] (the machines emit
+/// the events) and re-exported here as the public face of the subsystem.
+pub mod telemetry {
+    pub use ps_gc_lang::telemetry::*;
+}
+
+use telemetry::{RunMeta, SharedObserver};
+
 /// Which certified collector to link against.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Collector {
@@ -66,6 +75,11 @@ pub enum Collector {
 }
 
 impl Collector {
+    /// Every collector, in canonical order (drives CLI metavars and the
+    /// exhaustive collector × backend test matrices).
+    pub const ALL: [Collector; 3] =
+        [Collector::Basic, Collector::Forwarding, Collector::Generational];
+
     /// The collector's λGC code image.
     pub fn image(self) -> CollectorImage {
         match self {
@@ -74,15 +88,37 @@ impl Collector {
             Collector::Generational => ps_collectors::generational::collector(),
         }
     }
+
+    /// The collector's canonical name — the single source for `Display`,
+    /// `FromStr`, CLI metavars, and trace metadata.
+    pub fn name(self) -> &'static str {
+        match self {
+            Collector::Basic => "basic",
+            Collector::Forwarding => "forwarding",
+            Collector::Generational => "generational",
+        }
+    }
 }
 
 impl fmt::Display for Collector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Collector::Basic => write!(f, "basic"),
-            Collector::Forwarding => write!(f, "forwarding"),
-            Collector::Generational => write!(f, "generational"),
-        }
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Collector {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Collector, String> {
+        Collector::ALL
+            .into_iter()
+            .find(|c| c.name() == s)
+            .ok_or_else(|| {
+                format!(
+                    "unknown collector {s:?} (expected {})",
+                    Collector::ALL.map(Collector::name).join("|")
+                )
+            })
     }
 }
 
@@ -127,6 +163,119 @@ impl fmt::Display for PipelineError {
 
 impl std::error::Error for PipelineError {}
 
+/// Everything that configures one run, in one place: which collector to
+/// link, which backend interprets, the memory settings, the fuel, and the
+/// telemetry observer. Consumed by [`RunOptions::compile`] /
+/// [`Compiled::run_with`] in the library and by `psgc`'s flag parser, so
+/// the CLI and the API cannot drift apart.
+///
+/// # Examples
+///
+/// ```
+/// use scavenger::{Collector, RunOptions};
+///
+/// # fn main() -> Result<(), scavenger::PipelineError> {
+/// let opts = RunOptions { collector: Collector::Forwarding, budget: 96, ..RunOptions::default() };
+/// let run = opts.compile("fun f (n : int) : int = n + n\n f 21")?.run_with(&opts)?;
+/// assert_eq!(run.result, 42);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Which certified collector to link against.
+    pub collector: Collector,
+    /// Interpreter backend; `None` picks [`Backend::default_for`].
+    pub backend: Option<Backend>,
+    /// Base region budget in words.
+    pub budget: usize,
+    /// Region budget growth policy.
+    pub growth: GrowthPolicy,
+    /// Step limit for the run.
+    pub fuel: u64,
+    /// Maintain the memory typing `Ψ` while running.
+    pub track_types: bool,
+    /// Typecheck every intermediate program during compilation.
+    pub check_stages: bool,
+    /// Telemetry observer to attach to the machine, if any.
+    pub observer: Option<SharedObserver>,
+    /// Emit a [`telemetry::GcEvent::Step`] heap sample every this many
+    /// machine steps (0 = never). Only meaningful with an observer.
+    pub step_interval: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            collector: Collector::Basic,
+            backend: None,
+            budget: MemConfig::default().region_budget,
+            growth: MemConfig::default().growth,
+            fuel: 1_000_000_000,
+            track_types: false,
+            check_stages: true,
+            observer: None,
+            step_interval: 0,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Defaults with the given collector.
+    pub fn new(collector: Collector) -> RunOptions {
+        RunOptions { collector, ..RunOptions::default() }
+    }
+
+    /// The memory configuration these options describe.
+    pub fn mem_config(&self) -> MemConfig {
+        MemConfig {
+            region_budget: self.budget,
+            growth: self.growth,
+            track_types: self.track_types,
+        }
+    }
+
+    /// The backend these options select (resolving the default).
+    pub fn resolved_backend(&self) -> Backend {
+        self.backend
+            .unwrap_or(Backend::default_for(self.track_types))
+    }
+
+    /// The equivalent [`Pipeline`] (observer included).
+    pub fn pipeline(&self) -> Pipeline {
+        Pipeline {
+            collector: self.collector,
+            config: self.mem_config(),
+            check_stages: self.check_stages,
+            backend: self.backend,
+            observer: self.observer.clone(),
+            step_interval: self.step_interval,
+        }
+    }
+
+    /// Compiles `source` under these options.
+    ///
+    /// # Errors
+    ///
+    /// See [`Pipeline::compile`].
+    pub fn compile(&self, source: &str) -> Result<Compiled, PipelineError> {
+        self.pipeline().compile(source)
+    }
+
+    /// Trace-header metadata describing these options (for
+    /// [`telemetry::Recorder::with_meta`]).
+    pub fn meta(&self) -> RunMeta {
+        RunMeta {
+            collector: self.collector.name().to_string(),
+            backend: self.resolved_backend().to_string(),
+            budget: self.budget,
+            growth: self.growth.to_string(),
+            fuel: self.fuel,
+            step_interval: self.step_interval,
+        }
+    }
+}
+
 /// The compilation pipeline: source → CPS → λCLOS → λGC, linked with a
 /// certified collector.
 #[derive(Clone, Debug)]
@@ -135,6 +284,8 @@ pub struct Pipeline {
     config: MemConfig,
     check_stages: bool,
     backend: Option<Backend>,
+    observer: Option<SharedObserver>,
+    step_interval: u64,
 }
 
 impl Pipeline {
@@ -145,6 +296,8 @@ impl Pipeline {
             config: MemConfig::default(),
             check_stages: true,
             backend: None,
+            observer: None,
+            step_interval: 0,
         }
     }
 
@@ -188,6 +341,15 @@ impl Pipeline {
         self
     }
 
+    /// Attaches a telemetry observer to machines created from the compiled
+    /// program. `step_interval > 0` additionally emits periodic heap
+    /// samples (see [`telemetry::GcEvent::Step`]).
+    pub fn observer(mut self, observer: SharedObserver, step_interval: u64) -> Pipeline {
+        self.observer = Some(observer);
+        self.step_interval = step_interval;
+        self
+    }
+
     /// The memory configuration this pipeline loads machines with.
     pub fn config(&self) -> MemConfig {
         self.config
@@ -226,6 +388,8 @@ impl Pipeline {
             backend: self
                 .backend
                 .unwrap_or(Backend::default_for(self.config.track_types)),
+            observer: self.observer.clone(),
+            step_interval: self.step_interval,
             source: src,
             clos,
             program,
@@ -239,6 +403,8 @@ pub struct Compiled {
     collector: Collector,
     config: MemConfig,
     backend: Backend,
+    observer: Option<SharedObserver>,
+    step_interval: u64,
     /// The parsed source program.
     pub source: ps_lambda::syntax::SrcProgram,
     /// The λCLOS intermediate program.
@@ -270,6 +436,14 @@ impl Compiled {
     /// Overrides the interpreter backend for [`Self::run`].
     pub fn with_backend(mut self, backend: Backend) -> Compiled {
         self.backend = backend;
+        self
+    }
+
+    /// Attaches a telemetry observer for [`Self::run`] (see
+    /// [`Pipeline::observer`]).
+    pub fn with_observer(mut self, observer: SharedObserver, step_interval: u64) -> Compiled {
+        self.observer = Some(observer);
+        self.step_interval = step_interval;
         self
     }
 
@@ -306,13 +480,53 @@ impl Compiled {
     /// [`PipelineError::Runtime`] on a stuck state (impossible for
     /// typechecked programs, per progress) or [`PipelineError::OutOfFuel`].
     pub fn run(&self, fuel: u64) -> Result<Run, PipelineError> {
-        let outcome = match self.backend {
+        self.run_inner(
+            self.config,
+            self.backend,
+            self.observer.clone(),
+            self.step_interval,
+            fuel,
+        )
+    }
+
+    /// Runs the program under the given [`RunOptions`] — backend, memory
+    /// settings, fuel, and observer all come from `opts` (its `collector`
+    /// field is ignored: this program is already linked).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`].
+    pub fn run_with(&self, opts: &RunOptions) -> Result<Run, PipelineError> {
+        self.run_inner(
+            opts.mem_config(),
+            opts.resolved_backend(),
+            opts.observer.clone(),
+            opts.step_interval,
+            opts.fuel,
+        )
+    }
+
+    fn run_inner(
+        &self,
+        config: MemConfig,
+        backend: Backend,
+        observer: Option<SharedObserver>,
+        step_interval: u64,
+        fuel: u64,
+    ) -> Result<Run, PipelineError> {
+        let outcome = match backend {
             Backend::Subst => {
-                let mut m = self.machine();
+                let mut m = Machine::load(&self.program, config);
+                if let Some(obs) = observer {
+                    m.set_observer(obs, step_interval);
+                }
                 (m.run(fuel).map_err(PipelineError::Runtime)?, m.stats().clone())
             }
             Backend::Env => {
-                let mut m = self.env_machine();
+                let mut m = EnvMachine::load(&self.program, config);
+                if let Some(obs) = observer {
+                    m.set_observer(obs, step_interval);
+                }
                 (m.run(fuel).map_err(PipelineError::Runtime)?, m.stats().clone())
             }
         };
@@ -354,6 +568,8 @@ impl Compiled {
             collector,
             config,
             backend: Backend::default_for(config.track_types),
+            observer: None,
+            step_interval: 0,
             source,
             clos,
             program,
@@ -429,5 +645,73 @@ mod tests {
         assert_eq!(Collector::Basic.to_string(), "basic");
         assert_eq!(Collector::Forwarding.to_string(), "forwarding");
         assert_eq!(Collector::Generational.to_string(), "generational");
+    }
+
+    #[test]
+    fn collector_and_backend_roundtrip_through_strings() {
+        for c in Collector::ALL {
+            assert_eq!(c.to_string().parse::<Collector>().unwrap(), c);
+            assert_eq!(c.image().name, c.name());
+        }
+        for b in Backend::ALL {
+            assert_eq!(b.to_string().parse::<Backend>().unwrap(), b);
+        }
+        assert!("mark-sweep".parse::<Collector>().is_err());
+    }
+
+    #[test]
+    fn run_options_compile_and_run() {
+        let opts = RunOptions {
+            collector: Collector::Generational,
+            budget: 128,
+            ..RunOptions::default()
+        };
+        let compiled = opts.compile(FIB).unwrap();
+        let run = compiled.run_with(&opts).unwrap();
+        assert_eq!(run.result, 144);
+        assert!(run.stats.collections > 0);
+        let meta = opts.meta();
+        assert_eq!(meta.collector, "generational");
+        assert_eq!(meta.backend, "env");
+        assert_eq!(meta.budget, 128);
+    }
+
+    #[test]
+    fn observer_records_a_consistent_event_stream() {
+        let recorder = telemetry::Recorder::new().into_shared();
+        let opts = RunOptions {
+            budget: 96,
+            observer: Some(recorder.clone()),
+            step_interval: 64,
+            ..RunOptions::default()
+        };
+        let run = opts.compile(FIB).unwrap().run_with(&opts).unwrap();
+        let rec = recorder.borrow();
+        // The event stream and Stats are two views of the same run.
+        assert_eq!(rec.metrics.collections, run.stats.collections);
+        assert_eq!(rec.metrics.words_reclaimed, run.stats.words_reclaimed);
+        assert_eq!(rec.metrics.regions_allocated, run.stats.regions_created);
+        assert!(rec.metrics.events > 0);
+        assert!(rec.events.iter().any(|e| e.name() == "step"), "sampling on");
+        assert!(matches!(
+            rec.events.last(),
+            Some(telemetry::GcEvent::Halt { value: 144, .. })
+        ));
+    }
+
+    #[test]
+    fn disabled_observer_changes_nothing() {
+        let opts = RunOptions { budget: 96, ..RunOptions::default() };
+        let with = {
+            let recorder = telemetry::Recorder::new().into_shared();
+            let opts = RunOptions {
+                observer: Some(recorder.clone()),
+                ..opts.clone()
+            };
+            opts.compile(FIB).unwrap().run_with(&opts).unwrap()
+        };
+        let without = opts.compile(FIB).unwrap().run_with(&opts).unwrap();
+        assert_eq!(with.result, without.result);
+        assert_eq!(with.stats, without.stats);
     }
 }

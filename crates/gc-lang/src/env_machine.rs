@@ -47,6 +47,7 @@ use crate::memory::{MemConfig, Memory};
 use crate::subst::Subst;
 use crate::syntax::{CodeDef, Dialect, Op, Region, RegionName, Tag, Term, Value};
 use crate::tags;
+use crate::telemetry::{SharedObserver, Telemetry};
 
 /// The control of the machine: a shared handle to the term being reduced.
 ///
@@ -76,6 +77,7 @@ pub struct EnvMachine {
     env: Subst,
     dialect: Dialect,
     stats: Stats,
+    telem: Telemetry,
     halted: Option<i64>,
 }
 
@@ -94,8 +96,18 @@ impl EnvMachine {
             env: Subst::new(),
             dialect: program.dialect,
             stats: Stats::default(),
+            telem: Telemetry::default(),
             halted: None,
         }
+    }
+
+    /// Attaches a telemetry observer; `step_interval > 0` also emits
+    /// periodic heap samples. Without an observer every telemetry hook is
+    /// a single `Option` check — the hooks sit at the same rule sites as
+    /// the substitution machine's, so both backends emit identical event
+    /// sequences on identical programs.
+    pub fn set_observer(&mut self, observer: SharedObserver, step_interval: u64) {
+        self.telem.attach(observer, step_interval);
     }
 
     /// The current memory.
@@ -145,6 +157,7 @@ impl EnvMachine {
                 StepOutcome::Halted(n) => return Ok(Outcome::Halted(n)),
             }
         }
+        self.telem.on_fuel_exhausted(self.stats.steps);
         Ok(Outcome::OutOfFuel)
     }
 
@@ -158,6 +171,7 @@ impl EnvMachine {
             return Ok(StepOutcome::Halted(n));
         }
         self.stats.steps += 1;
+        self.telem.on_step(self.stats.steps, &self.mem);
         // Cheap handle clone so `self` stays free for mutation while the
         // current term is being matched.
         let ctrl = self.control.clone();
@@ -200,6 +214,7 @@ impl EnvMachine {
             Term::Halt(v) => match self.env.value(v) {
                 Value::Int(n) => {
                     self.halted = Some(n);
+                    self.telem.on_halt(n, self.stats.steps);
                     Ok(None)
                 }
                 other => Err(self.stuck(format!("halt on non-integer value {other:?}"))),
@@ -208,6 +223,7 @@ impl EnvMachine {
                 let nu = self.resolve_name(rho)?;
                 if self.mem.is_full(nu)? {
                     self.stats.gc_triggers += 1;
+                    self.telem.on_gc_trigger(nu, &self.mem, self.stats.steps);
                     Ok(Some(Ctrl::Term(Rc::clone(full))))
                 } else {
                     Ok(Some(Ctrl::Term(Rc::clone(cont))))
@@ -250,6 +266,7 @@ impl EnvMachine {
             Term::LetRegion { rvar, body } => {
                 let nu = self.mem.alloc_region();
                 self.stats.regions_created += 1;
+                self.telem.on_region_alloc(nu, &self.mem, self.stats.steps);
                 self.env.bind_rgn(*rvar, Region::Name(nu));
                 Ok(Some(Ctrl::Term(Rc::clone(body))))
             }
@@ -259,6 +276,7 @@ impl EnvMachine {
                     keep.push(self.resolve_name(r)?);
                 }
                 let report = self.mem.only(&keep);
+                self.telem.on_only(&report, &self.mem, self.stats.steps);
                 self.stats.record_reclaim(report);
                 Ok(Some(Ctrl::Term(Rc::clone(body))))
             }
@@ -420,6 +438,7 @@ impl EnvMachine {
                 let loc = self.mem.put(nu, rv)?;
                 self.stats.allocations += 1;
                 self.stats.words_allocated += words as u64;
+                self.telem.on_put(nu, words, self.stats.steps);
                 Ok(Value::Addr(nu, loc))
             }
             Op::Get(v) => match self.env.value(v) {

@@ -60,5 +60,6 @@ pub mod pretty;
 pub mod subst;
 pub mod syntax;
 pub mod tags;
+pub mod telemetry;
 pub mod tyck;
 pub mod wf;

@@ -17,6 +17,7 @@ use crate::memory::{MemConfig, Memory, ReclaimReport};
 use crate::subst::Subst;
 use crate::syntax::{Dialect, Op, Region, RegionName, Tag, Term, Ty, Value};
 use crate::tags;
+use crate::telemetry::{SharedObserver, Telemetry};
 
 /// A closed λGC program: code blocks to install in `cd` plus the main term.
 ///
@@ -129,6 +130,10 @@ pub enum Backend {
 }
 
 impl Backend {
+    /// Every backend, in canonical order (drives CLI metavars and the
+    /// exhaustive collector × backend test matrices).
+    pub const ALL: [Backend; 2] = [Backend::Subst, Backend::Env];
+
     /// The backend picked when the caller expresses no preference: the
     /// substitution machine when the memory typing `Ψ` is being tracked
     /// (its closed-term states feed the `⊢ (M, e)` checker), the
@@ -187,6 +192,7 @@ pub struct Machine {
     term: Term,
     dialect: Dialect,
     stats: Stats,
+    telem: Telemetry,
     halted: Option<i64>,
 }
 
@@ -204,8 +210,16 @@ impl Machine {
             term: program.main.clone(),
             dialect: program.dialect,
             stats: Stats::default(),
+            telem: Telemetry::default(),
             halted: None,
         }
+    }
+
+    /// Attaches a telemetry observer; `step_interval > 0` also emits
+    /// periodic heap samples. Without an observer every telemetry hook is
+    /// a single `Option` check.
+    pub fn set_observer(&mut self, observer: SharedObserver, step_interval: u64) {
+        self.telem.attach(observer, step_interval);
     }
 
     /// The current memory.
@@ -246,6 +260,7 @@ impl Machine {
                 StepOutcome::Halted(n) => return Ok(Outcome::Halted(n)),
             }
         }
+        self.telem.on_fuel_exhausted(self.stats.steps);
         Ok(Outcome::OutOfFuel)
     }
 
@@ -259,6 +274,7 @@ impl Machine {
             return Ok(StepOutcome::Halted(n));
         }
         self.stats.steps += 1;
+        self.telem.on_step(self.stats.steps, &self.mem);
         let term = std::mem::replace(&mut self.term, Term::Halt(Value::Int(0)));
         let next = self.step_term(term)?;
         match next {
@@ -292,6 +308,7 @@ impl Machine {
             Term::Halt(v) => match v {
                 Value::Int(n) => {
                     self.halted = Some(n);
+                    self.telem.on_halt(n, self.stats.steps);
                     Ok(None)
                 }
                 other => Err(self.stuck(format!("halt on non-integer value {other:?}"))),
@@ -300,6 +317,7 @@ impl Machine {
                 let nu = self.expect_name(&rho)?;
                 if self.mem.is_full(nu)? {
                     self.stats.gc_triggers += 1;
+                    self.telem.on_gc_trigger(nu, &self.mem, self.stats.steps);
                     Ok(Some((*full).clone()))
                 } else {
                     Ok(Some((*cont).clone()))
@@ -338,6 +356,7 @@ impl Machine {
             Term::LetRegion { rvar, body } => {
                 let nu = self.mem.alloc_region();
                 self.stats.regions_created += 1;
+                self.telem.on_region_alloc(nu, &self.mem, self.stats.steps);
                 let mut sub = Subst::new();
                 sub.bind_rgn(rvar, Region::Name(nu));
                 Ok(Some(sub.term(&body)))
@@ -348,6 +367,7 @@ impl Machine {
                     keep.push(self.expect_name(r)?);
                 }
                 let report = self.mem.only(&keep);
+                self.telem.on_only(&report, &self.mem, self.stats.steps);
                 self.stats.record_reclaim(report);
                 Ok(Some((*body).clone()))
             }
@@ -493,6 +513,7 @@ impl Machine {
                 let loc = self.mem.put(nu, v)?;
                 self.stats.allocations += 1;
                 self.stats.words_allocated += words as u64;
+                self.telem.on_put(nu, words, self.stats.steps);
                 Ok(Value::Addr(nu, loc))
             }
             Op::Get(v) => match v {

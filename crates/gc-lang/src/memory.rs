@@ -32,6 +32,27 @@ pub enum GrowthPolicy {
     Adaptive,
 }
 
+impl std::fmt::Display for GrowthPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            GrowthPolicy::Fixed => "fixed",
+            GrowthPolicy::Adaptive => "adaptive",
+        })
+    }
+}
+
+impl std::str::FromStr for GrowthPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<GrowthPolicy, String> {
+        match s {
+            "fixed" => Ok(GrowthPolicy::Fixed),
+            "adaptive" => Ok(GrowthPolicy::Adaptive),
+            other => Err(format!("unknown growth policy {other:?} (expected fixed|adaptive)")),
+        }
+    }
+}
+
 /// Memory configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct MemConfig {
@@ -317,6 +338,13 @@ impl Memory {
     /// Live region names (including `cd`).
     pub fn region_names(&self) -> impl Iterator<Item = RegionName> + '_ {
         self.regions.keys().copied()
+    }
+
+    /// The id the *next* `alloc_region` will use. Telemetry snapshots this
+    /// at collection begin: regions with a smaller id predate the
+    /// collection, so copies into them are promotions.
+    pub fn next_region_id(&self) -> u32 {
+        self.next_region
     }
 
     /// Does region `nu` exist?

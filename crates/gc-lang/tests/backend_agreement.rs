@@ -17,6 +17,7 @@ use proptest::prelude::*;
 use ps_gc_lang::env_machine::EnvMachine;
 use ps_gc_lang::machine::{Machine, Program, StepOutcome};
 use ps_gc_lang::memory::{GrowthPolicy, MemConfig};
+use ps_gc_lang::telemetry::Recorder;
 use ps_gc_lang::syntax::{
     CodeDef, Dialect, Kind, Op, PrimOp, Region, Tag, Term, Ty, Value, CD,
 };
@@ -132,7 +133,7 @@ impl Scope {
 
 fn int_value(tape: &mut Tape, scope: &Scope) -> Value {
     let b = tape.next();
-    if !scope.ints.is_empty() && b % 2 == 0 {
+    if !scope.ints.is_empty() && b.is_multiple_of(2) {
         Value::Var(scope.ints[b as usize / 2 % scope.ints.len()])
     } else {
         Value::Int(i64::from(b) - 128)
@@ -326,16 +327,28 @@ fn gen_program(bytes: &[u8]) -> Program {
 }
 
 /// Runs both machines in lockstep, asserting after every step that the
-/// statistics agree and that the environment machine's resolved control
-/// equals the substitution machine's closed control term.
+/// statistics agree, that the telemetry event streams agree, and that the
+/// environment machine's resolved control equals the substitution
+/// machine's closed control term.
 fn lockstep(program: &Program) {
+    lockstep_with_budget(program, 4096);
+}
+
+fn lockstep_with_budget(program: &Program, region_budget: usize) {
     let config = MemConfig {
-        region_budget: 4096,
+        region_budget,
         growth: GrowthPolicy::Fixed,
         track_types: false,
     };
     let mut subst = Machine::load(program, config);
     let mut env = EnvMachine::load(program, config);
+    // Both machines get a recorder (sampling on, to cover `Step` events);
+    // their event streams must match after every step.
+    let rec_s = Recorder::new().into_shared();
+    let rec_e = Recorder::new().into_shared();
+    subst.set_observer(rec_s.clone(), 7);
+    env.set_observer(rec_e.clone(), 7);
+    let mut seen = 0usize;
     for step in 0..4000u32 {
         assert_eq!(
             subst.term(),
@@ -347,7 +360,27 @@ fn lockstep(program: &Program) {
                 assert_eq!(a, b, "step outcomes diverge at step {step}");
                 assert_eq!(subst.stats(), env.stats(), "stats diverge at step {step}");
                 assert_eq!(subst.halted(), env.halted(), "halt states diverge");
+                {
+                    let evs_s = &rec_s.borrow().events;
+                    let evs_e = &rec_e.borrow().events;
+                    assert_eq!(
+                        evs_s.len(),
+                        evs_e.len(),
+                        "event counts diverge at step {step}"
+                    );
+                    assert_eq!(
+                        &evs_s[seen..],
+                        &evs_e[seen..],
+                        "events diverge at step {step}"
+                    );
+                    seen = evs_s.len();
+                }
                 if matches!(a, StepOutcome::Halted(_)) {
+                    assert_eq!(
+                        rec_s.borrow().metrics,
+                        rec_e.borrow().metrics,
+                        "telemetry metrics diverge at halt"
+                    );
                     return;
                 }
             }
@@ -377,5 +410,16 @@ fn fixed_tapes_agree() {
     for seed in 0..64u8 {
         let bytes: Vec<u8> = (0..96).map(|i| seed.wrapping_mul(37).wrapping_add(i)).collect();
         lockstep(&gen_program(&bytes));
+    }
+}
+
+/// The same tapes under a tiny region budget: `ifgc` now takes its "full"
+/// branch, so the telemetry comparison also covers `gc_begin`/`copy`/
+/// `gc_end` phases opened by fullness triggers.
+#[test]
+fn fixed_tapes_agree_under_memory_pressure() {
+    for seed in 0..32u8 {
+        let bytes: Vec<u8> = (0..96).map(|i| seed.wrapping_mul(53).wrapping_add(i)).collect();
+        lockstep_with_budget(&gen_program(&bytes), 6);
     }
 }

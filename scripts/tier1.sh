@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green, in one command.
+#
+#   scripts/tier1.sh
+#
+# Runs from the repository root regardless of the caller's cwd.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+echo "tier-1: OK"

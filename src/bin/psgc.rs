@@ -1,205 +1,395 @@
 //! `psgc` — the command-line front end.
 //!
-//! ```text
-//! psgc run <file.lam> [--collector basic|forwarding|generational]
-//!                     [--backend subst|env]
-//!                     [--budget WORDS] [--fuel STEPS] [--stats]
-//! psgc check <file.lam> [--collector …]    # compile + certify, no run
-//! psgc certify [--collector …]             # print + typecheck the collector
-//! psgc eval <file.lam>                     # reference evaluator only
-//! ```
+//! Run `psgc --help` for the command and flag reference. Both the parser
+//! and the help text are driven by one flag table ([`flag_specs`]), and
+//! the collector/backend/growth alternatives come from the library's
+//! `FromStr`/`Display` implementations, so the CLI cannot drift from what
+//! the API accepts.
+//!
+//! Exit codes are distinct per failure class:
+//!
+//! | code | meaning |
+//! |---|---|
+//! | 0 | success |
+//! | 1 | runtime failure (stuck machine, out of fuel, I/O) |
+//! | 2 | command-line usage error |
+//! | 3 | compile/typecheck/certification failure |
 
 use std::process::ExitCode;
 
-use scavenger::{Backend, Collector, Pipeline};
+use scavenger::gc_lang::memory::GrowthPolicy;
+use scavenger::telemetry::{Recorder, SharedObserver};
+use scavenger::{Backend, Collector, PipelineError, RunOptions};
 
-fn parse_collector(s: &str) -> Option<Collector> {
-    match s {
-        "basic" => Some(Collector::Basic),
-        "forwarding" => Some(Collector::Forwarding),
-        "generational" => Some(Collector::Generational),
-        _ => None,
-    }
-}
+const EXIT_RUNTIME: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+const EXIT_COMPILE: u8 = 3;
 
-struct Opts {
-    collector: Collector,
-    backend: Option<Backend>,
-    budget: usize,
-    fuel: u64,
+/// `(name, argument placeholder, description)` for each command.
+const COMMANDS: &[(&str, &str, &str)] = &[
+    ("run", "FILE", "compile, certify, and run a program"),
+    ("check", "FILE", "compile and certify, but do not run"),
+    ("certify", "", "print and typecheck the collector itself"),
+    ("eval", "FILE", "run the reference source evaluator only"),
+];
+
+/// Everything the flags configure: the library's [`RunOptions`] plus the
+/// CLI-only output switches.
+#[derive(Default)]
+struct Cli {
+    opts: RunOptions,
     stats: bool,
+    metrics: bool,
+    trace: Option<String>,
 }
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: psgc <run|check|certify|eval> [file] \
-         [--collector basic|forwarding|generational] [--backend subst|env] \
-         [--budget WORDS] [--fuel STEPS] [--stats]"
-    );
-    ExitCode::from(2)
+/// One flag: its name, value placeholder (`None` for boolean flags), help
+/// line, and effect. The parser and the generated help both walk this
+/// table.
+struct FlagSpec {
+    name: &'static str,
+    metavar: Option<fn() -> String>,
+    help: &'static str,
+    apply: fn(&mut Cli, &str) -> Result<(), String>,
+}
+
+/// `a|b|c` over anything displayable.
+fn alts<T: std::fmt::Display>(items: impl IntoIterator<Item = T>) -> String {
+    items
+        .into_iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+fn parse_number<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| format!("invalid value {v:?} for {flag} (expected a number)"))
+}
+
+fn flag_specs() -> [FlagSpec; 10] {
+    [
+        FlagSpec {
+            name: "--collector",
+            metavar: Some(|| alts(Collector::ALL)),
+            help: "certified collector to link (default basic)",
+            apply: |c, v| {
+                c.opts.collector = v.parse()?;
+                Ok(())
+            },
+        },
+        FlagSpec {
+            name: "--backend",
+            metavar: Some(|| alts(Backend::ALL)),
+            help: "interpreter backend (default env; subst with --track-types)",
+            apply: |c, v| {
+                c.opts.backend = Some(v.parse()?);
+                Ok(())
+            },
+        },
+        FlagSpec {
+            name: "--budget",
+            metavar: Some(|| "WORDS".into()),
+            help: "base region budget in words (default 256)",
+            apply: |c, v| {
+                c.opts.budget = parse_number(v, "--budget")?;
+                Ok(())
+            },
+        },
+        FlagSpec {
+            name: "--growth",
+            metavar: Some(|| alts([GrowthPolicy::Fixed, GrowthPolicy::Adaptive])),
+            help: "region budget growth policy (default adaptive)",
+            apply: |c, v| {
+                c.opts.growth = v.parse()?;
+                Ok(())
+            },
+        },
+        FlagSpec {
+            name: "--fuel",
+            metavar: Some(|| "STEPS".into()),
+            help: "step limit for the run (default 1000000000)",
+            apply: |c, v| {
+                c.opts.fuel = parse_number(v, "--fuel")?;
+                Ok(())
+            },
+        },
+        FlagSpec {
+            name: "--track-types",
+            metavar: None,
+            help: "maintain the memory typing Ψ while running (slower)",
+            apply: |c, _| {
+                c.opts.track_types = true;
+                Ok(())
+            },
+        },
+        FlagSpec {
+            name: "--trace",
+            metavar: Some(|| "FILE".into()),
+            help: "write a JSON-lines GC event trace to FILE",
+            apply: |c, v| {
+                c.trace = Some(v.to_string());
+                Ok(())
+            },
+        },
+        FlagSpec {
+            name: "--metrics",
+            metavar: None,
+            help: "print aggregated GC metrics and histograms after the run",
+            apply: |c, _| {
+                c.metrics = true;
+                Ok(())
+            },
+        },
+        FlagSpec {
+            name: "--sample",
+            metavar: Some(|| "STEPS".into()),
+            help: "emit a heap sample event every STEPS machine steps",
+            apply: |c, v| {
+                c.opts.step_interval = parse_number(v, "--sample")?;
+                Ok(())
+            },
+        },
+        FlagSpec {
+            name: "--stats",
+            metavar: None,
+            help: "print machine statistics after the run",
+            apply: |c, _| {
+                c.stats = true;
+                Ok(())
+            },
+        },
+    ]
+}
+
+/// The help text, generated from [`COMMANDS`] and [`flag_specs`].
+fn usage() -> String {
+    let mut s = String::from("usage: psgc <command> [FILE] [flags]\n\ncommands:\n");
+    for (name, arg, help) in COMMANDS {
+        let head = if arg.is_empty() {
+            (*name).to_string()
+        } else {
+            format!("{name} {arg}")
+        };
+        s.push_str(&format!("  {head:<14} {help}\n"));
+    }
+    s.push_str("\nflags:\n");
+    for f in flag_specs() {
+        let head = match f.metavar {
+            Some(m) => format!("{} {}", f.name, m()),
+            None => f.name.to_string(),
+        };
+        s.push_str(&format!("  {head:<38} {}\n", f.help));
+    }
+    s
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("psgc: {msg}");
+    eprint!("{}", usage());
+    ExitCode::from(EXIT_USAGE)
+}
+
+/// Sorts a pipeline error into the compile or runtime exit class.
+fn pipeline_exit(e: &PipelineError) -> u8 {
+    match e {
+        PipelineError::Runtime(_) | PipelineError::OutOfFuel => EXIT_RUNTIME,
+        _ => EXIT_COMPILE,
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else {
-        return usage();
-    };
+    match args.first().map(String::as_str) {
+        None => return usage_error("missing command"),
+        Some("--help" | "-h" | "help") => {
+            print!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Some(cmd) if !COMMANDS.iter().any(|(n, ..)| *n == cmd) => {
+            return usage_error(&format!("unknown command {cmd:?}"));
+        }
+        Some(_) => {}
+    }
+    let cmd = args[0].as_str();
+
+    let mut cli = Cli::default();
     let mut file: Option<&str> = None;
-    let mut opts = Opts {
-        collector: Collector::Basic,
-        backend: None,
-        budget: 256,
-        fuel: 1_000_000_000,
-        stats: false,
-    };
+    let specs = flag_specs();
     let mut i = 1;
     while i < args.len() {
-        match args[i].as_str() {
-            "--collector" => {
+        let arg = args[i].as_str();
+        if let "--help" | "-h" = arg {
+            print!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        if let Some(spec) = specs.iter().find(|s| s.name == arg) {
+            let value = if spec.metavar.is_some() {
                 i += 1;
-                match args.get(i).map(String::as_str).and_then(parse_collector) {
-                    Some(c) => opts.collector = c,
-                    None => return usage(),
+                match args.get(i) {
+                    Some(v) => v.as_str(),
+                    None => return usage_error(&format!("{} needs a value", spec.name)),
                 }
+            } else {
+                ""
+            };
+            if let Err(e) = (spec.apply)(&mut cli, value) {
+                return usage_error(&e);
             }
-            "--backend" => {
-                i += 1;
-                match args.get(i).and_then(|v| v.parse().ok()) {
-                    Some(b) => opts.backend = Some(b),
-                    None => return usage(),
-                }
-            }
-            "--budget" => {
-                i += 1;
-                match args.get(i).and_then(|v| v.parse().ok()) {
-                    Some(b) => opts.budget = b,
-                    None => return usage(),
-                }
-            }
-            "--fuel" => {
-                i += 1;
-                match args.get(i).and_then(|v| v.parse().ok()) {
-                    Some(f) => opts.fuel = f,
-                    None => return usage(),
-                }
-            }
-            "--stats" => opts.stats = true,
-            other if !other.starts_with('-') && file.is_none() => file = Some(other),
-            _ => return usage(),
+        } else if !arg.starts_with('-') && file.is_none() {
+            file = Some(arg);
+        } else {
+            return usage_error(&format!("unexpected argument {arg:?}"));
         }
         i += 1;
     }
 
-    let read = |path: Option<&str>| -> Result<String, ExitCode> {
-        let Some(path) = path else {
-            return Err(usage());
+    match cmd {
+        "certify" => cmd_certify(&cli),
+        "eval" => match read_source(file) {
+            Ok(src) => cmd_eval(&cli, &src),
+            Err(code) => code,
+        },
+        "check" | "run" => match read_source(file) {
+            Ok(src) => cmd_run(&mut cli, &src, cmd == "check"),
+            Err(code) => code,
+        },
+        _ => unreachable!("command validated above"),
+    }
+}
+
+fn read_source(file: Option<&str>) -> Result<String, ExitCode> {
+    let Some(path) = file else {
+        return Err(usage_error("this command needs a FILE argument"));
+    };
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("psgc: cannot read {path}: {e}");
+        ExitCode::from(EXIT_RUNTIME)
+    })
+}
+
+fn cmd_certify(cli: &Cli) -> ExitCode {
+    let image = cli.opts.collector.image();
+    for def in &image.code {
+        println!("{}\n", scavenger::gc_lang::pretty::code_def_to_string(def));
+    }
+    let dialect = match cli.opts.collector {
+        Collector::Basic => scavenger::gc_lang::syntax::Dialect::Basic,
+        Collector::Forwarding => scavenger::gc_lang::syntax::Dialect::Forwarding,
+        Collector::Generational => scavenger::gc_lang::syntax::Dialect::Generational,
+    };
+    let program = scavenger::gc_lang::machine::Program {
+        dialect,
+        code: image.code,
+        main: scavenger::gc_lang::syntax::Term::Halt(scavenger::gc_lang::syntax::Value::Int(0)),
+    };
+    match scavenger::gc_lang::tyck::Checker::check_program(&program) {
+        Ok(()) => {
+            println!("✓ {} collector certified", cli.opts.collector);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("✗ rejected: {e}");
+            ExitCode::from(EXIT_COMPILE)
+        }
+    }
+}
+
+fn cmd_eval(cli: &Cli, src: &str) -> ExitCode {
+    let p = match scavenger::lambda::parse::parse_program(src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("psgc: {e}");
+            return ExitCode::from(EXIT_COMPILE);
+        }
+    };
+    if let Err(e) = scavenger::lambda::typecheck::check_program(&p) {
+        eprintln!("psgc: {e}");
+        return ExitCode::from(EXIT_COMPILE);
+    }
+    match scavenger::lambda::eval::run_program(&p, cli.opts.fuel) {
+        Ok(n) => {
+            println!("{n}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("psgc: {e}");
+            ExitCode::from(EXIT_RUNTIME)
+        }
+    }
+}
+
+fn cmd_run(cli: &mut Cli, src: &str, check_only: bool) -> ExitCode {
+    // A recorder is only attached when some output wants it; a full event
+    // log only when a trace file will be written.
+    let recorder = if cli.trace.is_some() || cli.metrics {
+        let rec = if cli.trace.is_some() {
+            Recorder::new()
+        } else {
+            Recorder::metrics_only()
         };
-        std::fs::read_to_string(path).map_err(|e| {
-            eprintln!("psgc: cannot read {path}: {e}");
-            ExitCode::FAILURE
-        })
+        let shared = rec.with_meta(cli.opts.meta()).into_shared();
+        let obs: SharedObserver = shared.clone();
+        cli.opts.observer = Some(obs);
+        Some(shared)
+    } else {
+        None
     };
 
-    match cmd.as_str() {
-        "certify" => {
-            let image = opts.collector.image();
-            for def in &image.code {
-                println!("{}\n", scavenger::gc_lang::pretty::code_def_to_string(def));
-            }
-            let dialect = match opts.collector {
-                Collector::Basic => scavenger::gc_lang::syntax::Dialect::Basic,
-                Collector::Forwarding => scavenger::gc_lang::syntax::Dialect::Forwarding,
-                Collector::Generational => scavenger::gc_lang::syntax::Dialect::Generational,
-            };
-            let program = scavenger::gc_lang::machine::Program {
-                dialect,
-                code: image.code,
-                main: scavenger::gc_lang::syntax::Term::Halt(
-                    scavenger::gc_lang::syntax::Value::Int(0),
-                ),
-            };
-            match scavenger::gc_lang::tyck::Checker::check_program(&program) {
-                Ok(()) => {
-                    println!("✓ {} collector certified", opts.collector);
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("✗ rejected: {e}");
-                    ExitCode::FAILURE
-                }
+    let compiled = match cli.opts.compile(src) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("psgc: {e}");
+            return ExitCode::from(pipeline_exit(&e));
+        }
+    };
+    if let Err(e) = compiled.typecheck() {
+        eprintln!("psgc: certification failed: {e}");
+        return ExitCode::from(EXIT_COMPILE);
+    }
+    if check_only {
+        println!("✓ certified ({} collector)", cli.opts.collector);
+        return ExitCode::SUCCESS;
+    }
+
+    let outcome = compiled.run_with(&cli.opts);
+
+    // Flush telemetry even on failed runs: a trace ending in
+    // `fuel_exhausted` is exactly what one wants to look at.
+    let mut code = ExitCode::SUCCESS;
+    if let Some(rec) = &recorder {
+        let rec = rec.borrow();
+        if let Some(path) = &cli.trace {
+            if let Err(e) = std::fs::write(path, rec.to_jsonl()) {
+                eprintln!("psgc: cannot write {path}: {e}");
+                code = ExitCode::from(EXIT_RUNTIME);
             }
         }
-        "eval" => {
-            let src = match read(file) {
-                Ok(s) => s,
-                Err(c) => return c,
-            };
-            let p = match scavenger::lambda::parse::parse_program(&src) {
-                Ok(p) => p,
-                Err(e) => {
-                    eprintln!("psgc: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            if let Err(e) = scavenger::lambda::typecheck::check_program(&p) {
-                eprintln!("psgc: {e}");
-                return ExitCode::FAILURE;
-            }
-            match scavenger::lambda::eval::run_program(&p, opts.fuel) {
-                Ok(n) => {
-                    println!("{n}");
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("psgc: {e}");
-                    ExitCode::FAILURE
-                }
-            }
+        if cli.metrics {
+            eprint!("{}", rec.metrics);
         }
-        "check" | "run" => {
-            let src = match read(file) {
-                Ok(s) => s,
-                Err(c) => return c,
-            };
-            let mut pipeline = Pipeline::new(opts.collector).region_budget(opts.budget);
-            if let Some(backend) = opts.backend {
-                pipeline = pipeline.backend(backend);
+    }
+
+    match outcome {
+        Ok(run) => {
+            println!("{}", run.result);
+            if cli.stats {
+                let s = &run.stats;
+                eprintln!("backend:          {}", compiled.backend());
+                eprintln!(
+                    "allocations:      {} ({} words)",
+                    s.allocations, s.words_allocated
+                );
+                eprintln!("steps:            {}", s.steps);
+                eprintln!("collections:      {}", s.collections);
+                eprintln!("words reclaimed:  {}", s.words_reclaimed);
+                eprintln!("peak live words:  {}", s.peak_data_words);
             }
-            let compiled = match pipeline.compile(&src) {
-                Ok(c) => c,
-                Err(e) => {
-                    eprintln!("psgc: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            if let Err(e) = compiled.typecheck() {
-                eprintln!("psgc: certification failed: {e}");
-                return ExitCode::FAILURE;
-            }
-            if cmd == "check" {
-                println!("✓ certified ({} collector)", opts.collector);
-                return ExitCode::SUCCESS;
-            }
-            match compiled.run(opts.fuel) {
-                Ok(run) => {
-                    println!("{}", run.result);
-                    if opts.stats {
-                        let s = &run.stats;
-                        eprintln!("backend:          {}", compiled.backend());
-                        eprintln!("steps:            {}", s.steps);
-                        eprintln!("allocations:      {} ({} words)", s.allocations, s.words_allocated);
-                        eprintln!("collections:      {}", s.collections);
-                        eprintln!("words reclaimed:  {}", s.words_reclaimed);
-                        eprintln!("peak live words:  {}", s.peak_data_words);
-                    }
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("psgc: {e}");
-                    ExitCode::FAILURE
-                }
-            }
+            code
         }
-        _ => usage(),
+        Err(e) => {
+            eprintln!("psgc: {e}");
+            ExitCode::from(pipeline_exit(&e))
+        }
     }
 }

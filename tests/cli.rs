@@ -1,0 +1,195 @@
+//! End-to-end tests of the `psgc` binary: generated help, the exit-code
+//! contract, and the `--trace`/`--metrics` telemetry outputs for every
+//! collector × backend combination.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use scavenger::telemetry::validate_jsonl_trace;
+use scavenger::{Backend, Collector};
+
+const PROGRAM: &str =
+    "fun fact (n : int) : int = if0 n then 1 else n * fact (n - 1)\n fact 10";
+
+fn psgc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_psgc"))
+        .args(args)
+        .output()
+        .expect("psgc runs")
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("psgc-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+fn write_program(name: &str) -> PathBuf {
+    let path = scratch(name);
+    std::fs::write(&path, PROGRAM).expect("write program");
+    path
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("psgc exited normally")
+}
+
+#[test]
+fn help_is_generated_from_the_flag_and_command_tables() {
+    let out = psgc(&["--help"]);
+    assert_eq!(exit_code(&out), 0);
+    let help = String::from_utf8(out.stdout).unwrap();
+    for cmd in ["run", "check", "certify", "eval"] {
+        assert!(help.contains(cmd), "help must list command {cmd}: {help}");
+    }
+    for flag in [
+        "--collector",
+        "--backend",
+        "--budget",
+        "--growth",
+        "--fuel",
+        "--track-types",
+        "--trace",
+        "--metrics",
+        "--sample",
+        "--stats",
+    ] {
+        assert!(help.contains(flag), "help must list flag {flag}: {help}");
+    }
+    // The alternatives come from the library enums, not hand-written text.
+    for c in Collector::ALL {
+        assert!(help.contains(c.name()), "help must name collector {c}");
+    }
+    assert!(help.contains("subst|env"));
+    assert!(help.contains("fixed|adaptive"));
+}
+
+#[test]
+fn exit_codes_distinguish_failure_classes() {
+    let prog = write_program("exit_codes.lam");
+    let prog = prog.to_str().unwrap();
+
+    // 0: success.
+    let ok = psgc(&["run", prog]);
+    assert_eq!(exit_code(&ok), 0, "{ok:?}");
+    assert_eq!(String::from_utf8_lossy(&ok.stdout).trim(), "3628800");
+
+    // 2: usage errors — unknown command, unknown flag, bad flag value,
+    // missing value, missing file.
+    assert_eq!(exit_code(&psgc(&[])), 2);
+    assert_eq!(exit_code(&psgc(&["frobnicate"])), 2);
+    assert_eq!(exit_code(&psgc(&["run", prog, "--no-such-flag"])), 2);
+    assert_eq!(exit_code(&psgc(&["run", prog, "--collector", "marksweep"])), 2);
+    assert_eq!(exit_code(&psgc(&["run", prog, "--budget", "many"])), 2);
+    assert_eq!(exit_code(&psgc(&["run", prog, "--budget"])), 2);
+    assert_eq!(exit_code(&psgc(&["run"])), 2);
+
+    // 3: compile/typecheck failures.
+    let bad = scratch("ill_formed.lam");
+    std::fs::write(&bad, "fun (").unwrap();
+    assert_eq!(exit_code(&psgc(&["run", bad.to_str().unwrap()])), 3);
+    let ill = scratch("ill_typed.lam");
+    std::fs::write(&ill, "(1, 2) + 3").unwrap();
+    assert_eq!(exit_code(&psgc(&["run", ill.to_str().unwrap()])), 3);
+    assert_eq!(exit_code(&psgc(&["eval", bad.to_str().unwrap()])), 3);
+
+    // 1: runtime failures — fuel exhaustion, unreadable file.
+    assert_eq!(exit_code(&psgc(&["run", prog, "--fuel", "10"])), 1);
+    assert_eq!(exit_code(&psgc(&["run", "/nonexistent/psgc-test.lam"])), 1);
+}
+
+#[test]
+fn trace_and_metrics_for_every_collector_backend_combination() {
+    let prog = write_program("trace_matrix.lam");
+    let prog = prog.to_str().unwrap();
+    for collector in Collector::ALL {
+        for backend in Backend::ALL {
+            let trace_path = scratch(&format!("trace-{collector}-{backend}.jsonl"));
+            let out = psgc(&[
+                "run",
+                prog,
+                "--collector",
+                &collector.to_string(),
+                "--backend",
+                &backend.to_string(),
+                "--budget",
+                "96",
+                "--trace",
+                trace_path.to_str().unwrap(),
+                "--metrics",
+                "--sample",
+                "100",
+            ]);
+            assert_eq!(exit_code(&out), 0, "{collector}/{backend}: {out:?}");
+            assert_eq!(
+                String::from_utf8_lossy(&out.stdout).trim(),
+                "3628800",
+                "{collector}/{backend}"
+            );
+            // --metrics prints the aggregate block to stderr.
+            let err = String::from_utf8_lossy(&out.stderr);
+            assert!(err.contains("collections:"), "{collector}/{backend}: {err}");
+            assert!(err.contains("copy sizes"), "{collector}/{backend}: {err}");
+
+            // The trace file validates against the schema and shows a
+            // complete, collector-consistent event stream.
+            let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+            let summary = validate_jsonl_trace(&trace)
+                .unwrap_or_else(|e| panic!("{collector}/{backend}: {e}"));
+            assert_eq!(summary.count("meta"), 1, "{collector}/{backend}");
+            assert_eq!(summary.count("summary"), 1, "{collector}/{backend}");
+            assert_eq!(summary.count("halt"), 1, "{collector}/{backend}");
+            assert!(summary.count("gc_begin") > 0, "{collector}/{backend}");
+            assert_eq!(
+                summary.count("gc_begin"),
+                summary.count("gc_end"),
+                "{collector}/{backend}: collections must balance"
+            );
+            assert!(summary.count("copy") > 0, "{collector}/{backend}");
+            assert!(summary.count("step") > 0, "{collector}/{backend}");
+            let meta_line = trace.lines().next().unwrap();
+            assert!(
+                meta_line.contains(&format!("\"collector\":\"{collector}\""))
+                    && meta_line.contains(&format!("\"backend\":\"{backend}\"")),
+                "{collector}/{backend}: {meta_line}"
+            );
+            // `promoted` marks copies into regions that predate the
+            // collection. Basic copies only into its fresh to-space;
+            // forwarding first puts the root package into the (full)
+            // from-region before widening — exactly one such copy per
+            // collection; generational promotes many survivors into the
+            // old region.
+            let promoted = trace.lines().filter(|l| l.contains("\"promoted\":true")).count();
+            match collector {
+                Collector::Basic => assert_eq!(promoted, 0, "basic has no old regions"),
+                Collector::Forwarding => assert_eq!(
+                    promoted,
+                    summary.count("gc_begin"),
+                    "forwarding puts one root into the from-region per collection"
+                ),
+                Collector::Generational => {
+                    assert!(promoted > 0, "generational minor GCs must promote");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn trace_is_written_even_when_the_run_exhausts_fuel() {
+    let prog = write_program("fuel_trace.lam");
+    let trace_path = scratch("fuel_trace.jsonl");
+    let out = psgc(&[
+        "run",
+        prog.to_str().unwrap(),
+        "--fuel",
+        "50",
+        "--trace",
+        trace_path.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 1);
+    let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+    let summary = validate_jsonl_trace(&trace).expect("trace validates");
+    assert_eq!(summary.count("fuel_exhausted"), 1);
+    assert_eq!(summary.count("halt"), 0);
+}
