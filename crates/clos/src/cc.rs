@@ -152,17 +152,18 @@ impl<'a> Cc<'a> {
                         tvar: t,
                         witness: CTy::Int,
                         val: Rc::new(CVal::pair(CVal::FnName(*x), CVal::Int(0))),
-                        body_ty: CTy::prod(
-                            CTy::arrow(CTy::prod(CTy::Var(t), dom)),
-                            CTy::Var(t),
-                        ),
+                        body_ty: CTy::prod(CTy::arrow(CTy::prod(CTy::Var(t), dom)), CTy::Var(t)),
                     })
                 } else {
                     Err(CcError(format!("unbound variable {x}")))
                 }
             }
             Expr::Pair(a, b) => Ok(CVal::pair(self.value(env, a)?, self.value(env, b)?)),
-            Expr::Lam { param, param_ty, body } => {
+            Expr::Lam {
+                param,
+                param_ty,
+                body,
+            } => {
                 let fvs = self.free_vars(body, env);
                 let fvs: Vec<Symbol> = fvs.into_iter().filter(|v| v != param).collect();
                 let (env_val, env_cty, env_sty) = self.env_tuple(&fvs, env);
@@ -183,8 +184,15 @@ impl<'a> Cc<'a> {
                 // record the binding chain forwards, then wrap the body
                 // innermost-last so each `rest` is in scope for the next.
                 enum Bind {
-                    Split { x: Symbol, cur: Symbol, rest: Symbol },
-                    Last { x: Symbol, cur: Symbol },
+                    Split {
+                        x: Symbol,
+                        cur: Symbol,
+                        rest: Symbol,
+                    },
+                    Last {
+                        x: Symbol,
+                        cur: Symbol,
+                    },
                 }
                 if !fvs.is_empty() {
                     let mut cur = envv;
@@ -271,19 +279,12 @@ impl<'a> Cc<'a> {
                                 }
                             }
                             other => {
-                                return Err(CcError(format!(
-                                    "projection of non-pair type {other}"
-                                )))
+                                return Err(CcError(format!("projection of non-pair type {other}")))
                             }
                         };
                         let mut env2 = env.clone();
                         env2.vars.insert(*x, (comp.clone(), cc_ty(&comp)));
-                        Ok(CExp::let_proj(
-                            *x,
-                            *i,
-                            av,
-                            self.tail(&env2, body)?,
-                        ))
+                        Ok(CExp::let_proj(*x, *i, av, self.tail(&env2, body)?))
                     }
                     value_form => {
                         let v = self.value(env, value_form)?;
@@ -360,7 +361,10 @@ impl<'a> Cc<'a> {
                 .map(|(s, _)| s.clone())
                 .or_else(|| self.top.get(x).cloned())
                 .ok_or_else(|| CcError(format!("unbound variable {x}"))),
-            Expr::Pair(a, b) => Ok(SrcTy::prod(self.src_ty_of(env, a)?, self.src_ty_of(env, b)?)),
+            Expr::Pair(a, b) => Ok(SrcTy::prod(
+                self.src_ty_of(env, a)?,
+                self.src_ty_of(env, b)?,
+            )),
             Expr::Lam { param_ty, body, .. } => {
                 // CPS'd lambdas always answer int.
                 let _ = body;
@@ -378,7 +382,10 @@ impl<'a> Cc<'a> {
 /// Fails if the input violates the CPS invariants (see module docs).
 pub fn cc_program(p: &SrcProgram) -> CResult<CProgram> {
     let top: HashMap<Symbol, SrcTy> = p.defs.iter().map(|d| (d.name, d.ty())).collect();
-    let mut cc = Cc { top: &top, lifted: Vec::new() };
+    let mut cc = Cc {
+        top: &top,
+        lifted: Vec::new(),
+    };
     let mut funs = Vec::new();
     for d in &p.defs {
         // Uniform calling convention: every top-level function takes
@@ -419,7 +426,10 @@ mod tests {
         tyck::check_program(&clos)
             .unwrap_or_else(|e| panic!("λCLOS output ill-typed for {src}: {e}"));
         let got = eval::run_program(&clos, 10_000_000).unwrap();
-        assert_eq!(got, expected, "closure conversion changed the result of {src}");
+        assert_eq!(
+            got, expected,
+            "closure conversion changed the result of {src}"
+        );
         got
     }
 
@@ -508,9 +518,7 @@ mod tests {
     #[test]
     fn closure_over_closure() {
         assert_eq!(
-            pipeline(
-                "let add = fn (x : int) => fn (y : int) => x + y in (add 30) 12"
-            ),
+            pipeline("let add = fn (x : int) => fn (y : int) => x + y in (add 30) 12"),
             42
         );
     }
@@ -528,7 +536,10 @@ mod tests {
 
     #[test]
     fn value_invariant_violation_reported() {
-        let mut cc = Cc { top: &HashMap::new(), lifted: Vec::new() };
+        let mut cc = Cc {
+            top: &HashMap::new(),
+            lifted: Vec::new(),
+        };
         let bad = Expr::If0(
             Rc::new(Expr::Int(0)),
             Rc::new(Expr::Int(1)),

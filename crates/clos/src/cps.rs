@@ -80,21 +80,23 @@ fn cps_exp(env: &HashMap<Symbol, SrcTy>, e: &Expr, k: MetaK) -> CResult<Expr> {
                 cps_exp(env, b, &mut |vb, _| {
                     let x = gensym("prim");
                     let body = k(Expr::Var(x), &SrcTy::Int)?;
-                    Ok(Expr::let_(x, Expr::Bin(op, va.clone().into(), vb.into()), body))
+                    Ok(Expr::let_(
+                        x,
+                        Expr::Bin(op, va.clone().into(), vb.into()),
+                        body,
+                    ))
                 })
             })
         }
-        Expr::Pair(a, b) => {
-            cps_exp(env, a, &mut |va, ta| {
-                let ta = ta.clone();
-                cps_exp(env, b, &mut |vb, tb| {
-                    let x = gensym("pair");
-                    let ty = SrcTy::prod(ta.clone(), tb.clone());
-                    let body = k(Expr::Var(x), &ty)?;
-                    Ok(Expr::let_(x, Expr::pair(va.clone(), vb), body))
-                })
+        Expr::Pair(a, b) => cps_exp(env, a, &mut |va, ta| {
+            let ta = ta.clone();
+            cps_exp(env, b, &mut |vb, tb| {
+                let x = gensym("pair");
+                let ty = SrcTy::prod(ta.clone(), tb.clone());
+                let body = k(Expr::Var(x), &ty)?;
+                Ok(Expr::let_(x, Expr::pair(va.clone(), vb), body))
             })
-        }
+        }),
         Expr::Proj(i, a) => {
             let i = *i;
             cps_exp(env, a, &mut |va, ta| {
@@ -136,7 +138,11 @@ fn cps_exp(env: &HashMap<Symbol, SrcTy>, e: &Expr, k: MetaK) -> CResult<Expr> {
                 ))
             })
         }
-        Expr::Lam { param, param_ty, body } => {
+        Expr::Lam {
+            param,
+            param_ty,
+            body,
+        } => {
             let mut env2 = env.clone();
             env2.insert(*param, param_ty.clone());
             let ret_ty = infer_src(&env2, body)?;
@@ -145,10 +151,7 @@ fn cps_exp(env: &HashMap<Symbol, SrcTy>, e: &Expr, k: MetaK) -> CResult<Expr> {
             let inner = cps_exp(&env2, body, &mut |v, _| Ok(Expr::app(Expr::Var(kv), v)))?;
             let cps_lam = Expr::Lam {
                 param: p,
-                param_ty: SrcTy::prod(
-                    cps_ty(param_ty),
-                    SrcTy::arrow(cps_ty(&ret_ty), SrcTy::Int),
-                ),
+                param_ty: SrcTy::prod(cps_ty(param_ty), SrcTy::arrow(cps_ty(&ret_ty), SrcTy::Int)),
                 body: Expr::let_(
                     *param,
                     Expr::Proj(1, Expr::Var(p).into()),
@@ -159,35 +162,33 @@ fn cps_exp(env: &HashMap<Symbol, SrcTy>, e: &Expr, k: MetaK) -> CResult<Expr> {
             let src_ty = SrcTy::arrow(param_ty.clone(), ret_ty);
             k(cps_lam, &src_ty)
         }
-        Expr::App(f, a) => {
-            cps_exp(env, f, &mut |vf, tf| {
-                let (dom, cod) = match tf {
-                    SrcTy::Arrow(d, c) => ((**d).clone(), (**c).clone()),
-                    other => {
-                        return Err(CpsError(format!("application of non-function type {other}")))
-                    }
+        Expr::App(f, a) => cps_exp(env, f, &mut |vf, tf| {
+            let (dom, cod) = match tf {
+                SrcTy::Arrow(d, c) => ((**d).clone(), (**c).clone()),
+                other => {
+                    return Err(CpsError(format!(
+                        "application of non-function type {other}"
+                    )))
+                }
+            };
+            let _ = dom;
+            cps_exp(env, a, &mut |va, _| {
+                let r = gensym("ret");
+                let body = k(Expr::Var(r), &cod)?;
+                let cont = Expr::Lam {
+                    param: r,
+                    param_ty: cps_ty(&cod),
+                    body: body.into(),
                 };
-                let _ = dom;
-                cps_exp(env, a, &mut |va, _| {
-                    let r = gensym("ret");
-                    let body = k(Expr::Var(r), &cod)?;
-                    let cont = Expr::Lam {
-                        param: r,
-                        param_ty: cps_ty(&cod),
-                        body: body.into(),
-                    };
-                    Ok(Expr::app(vf.clone(), Expr::pair(va, cont)))
-                })
+                Ok(Expr::app(vf.clone(), Expr::pair(va, cont)))
             })
-        }
-        Expr::Let { x, rhs, body } => {
-            cps_exp(env, rhs, &mut |v, trhs| {
-                let mut env2 = env.clone();
-                env2.insert(*x, trhs.clone());
-                let inner = cps_exp(&env2, body, k)?;
-                Ok(Expr::let_(*x, v, inner))
-            })
-        }
+        }),
+        Expr::Let { x, rhs, body } => cps_exp(env, rhs, &mut |v, trhs| {
+            let mut env2 = env.clone();
+            env2.insert(*x, trhs.clone());
+            let inner = cps_exp(&env2, body, k)?;
+            Ok(Expr::let_(*x, v, inner))
+        }),
     }
 }
 
@@ -248,8 +249,7 @@ mod tests {
         typecheck::check_program(&p).unwrap();
         let expected = run_program(&p, 1_000_000).unwrap();
         let q = cps_program(&p).unwrap();
-        typecheck::check_program(&q)
-            .unwrap_or_else(|e| panic!("CPS output ill-typed: {e}\n{q:?}"));
+        typecheck::check_program(&q).unwrap_or_else(|e| panic!("CPS output ill-typed: {e}\n{q:?}"));
         let got = run_program(&q, 10_000_000).unwrap();
         assert_eq!(got, expected, "CPS changed the result for {src}");
         got

@@ -49,11 +49,7 @@ impl std::error::Error for ClosEvalError {}
 
 type EResult<T> = Result<T, ClosEvalError>;
 
-fn eval_val(
-    p: &CProgram,
-    env: &HashMap<Symbol, RtVal>,
-    v: &CVal,
-) -> EResult<RtVal> {
+fn eval_val(p: &CProgram, env: &HashMap<Symbol, RtVal>, v: &CVal) -> EResult<RtVal> {
     match v {
         CVal::Int(n) => Ok(RtVal::Int(*n)),
         CVal::Var(x) => env

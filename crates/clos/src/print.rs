@@ -27,7 +27,12 @@ pub fn value(v: &CVal) -> Doc {
             .append(Doc::text(", "))
             .append(value(b))
             .append(Doc::text(")")),
-        CVal::Pack { tvar, witness, val, body_ty } => Doc::text(format!("⟨{tvar} = "))
+        CVal::Pack {
+            tvar,
+            witness,
+            val,
+            body_ty,
+        } => Doc::text(format!("⟨{tvar} = "))
             .append(ty(witness))
             .append(Doc::text(", "))
             .append(value(val))

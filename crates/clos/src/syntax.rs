@@ -53,10 +53,7 @@ impl CTy {
         let t = ps_ir::symbol::gensym("tenv");
         CTy::exist(
             t,
-            CTy::prod(
-                CTy::arrow(CTy::prod(CTy::Var(t), arg)),
-                CTy::Var(t),
-            ),
+            CTy::prod(CTy::arrow(CTy::prod(CTy::Var(t), arg)), CTy::Var(t)),
         )
     }
 
@@ -166,11 +163,7 @@ impl CVal {
 #[derive(Clone, Debug, PartialEq)]
 pub enum CExp {
     /// `let x = v in e`.
-    Let {
-        x: Symbol,
-        v: CVal,
-        body: Rc<CExp>,
-    },
+    Let { x: Symbol, v: CVal, body: Rc<CExp> },
     /// `let x = πᵢ v in e`.
     LetProj {
         x: Symbol,

@@ -78,7 +78,12 @@ pub fn infer_val(ctx: &ClosCtx, v: &CVal) -> TResult<CTy> {
             .cloned()
             .ok_or_else(|| ClosTypeError(format!("unknown function {f}"))),
         CVal::Pair(a, b) => Ok(CTy::prod(infer_val(ctx, a)?, infer_val(ctx, b)?)),
-        CVal::Pack { tvar, witness, val, body_ty } => {
+        CVal::Pack {
+            tvar,
+            witness,
+            val,
+            body_ty,
+        } => {
             wf(ctx, witness)?;
             {
                 let mut ctx2 = ctx.clone();
@@ -117,7 +122,9 @@ pub fn check_exp(ctx: &ClosCtx, e: &CExp) -> TResult<()> {
                 ctx2.gamma.insert(*x, t);
                 check_exp(&ctx2, body)
             }
-            other => Err(ClosTypeError(format!("projection of non-pair type {other}"))),
+            other => Err(ClosTypeError(format!(
+                "projection of non-pair type {other}"
+            ))),
         },
         CExp::LetPrim { x, a, b, body, .. } => {
             for (what, v) in [("left", a), ("right", b)] {
@@ -145,7 +152,9 @@ pub fn check_exp(ctx: &ClosCtx, e: &CExp) -> TResult<()> {
                     )))
                 }
             }
-            other => Err(ClosTypeError(format!("application of non-function type {other}"))),
+            other => Err(ClosTypeError(format!(
+                "application of non-function type {other}"
+            ))),
         },
         CExp::Open { pkg, tvar, x, body } => match infer_val(ctx, pkg)? {
             CTy::Exist(t0, bty) => {
@@ -156,7 +165,9 @@ pub fn check_exp(ctx: &ClosCtx, e: &CExp) -> TResult<()> {
                 ctx2.gamma.insert(*x, bty.subst(t0, &CTy::Var(*tvar)));
                 check_exp(&ctx2, body)
             }
-            other => Err(ClosTypeError(format!("open of non-existential type {other}"))),
+            other => Err(ClosTypeError(format!(
+                "open of non-existential type {other}"
+            ))),
         },
         CExp::Halt(v) => match infer_val(ctx, v)? {
             CTy::Int => Ok(()),
@@ -275,10 +286,7 @@ mod tests {
             tvar: t,
             witness: CTy::Int,
             val: std::rc::Rc::new(CVal::pair(CVal::FnName(s("code")), CVal::Int(7))),
-            body_ty: CTy::prod(
-                CTy::arrow(CTy::prod(CTy::Var(t), CTy::Int)),
-                CTy::Var(t),
-            ),
+            body_ty: CTy::prod(CTy::arrow(CTy::prod(CTy::Var(t), CTy::Int)), CTy::Var(t)),
         };
         // open pkg as ⟨t,p⟩ in let c = π1 p in let env = π2 p in
         // let arg = (env, 1) in c(arg)

@@ -57,7 +57,14 @@ fn shape() -> ContShape {
 pub fn collector() -> CollectorImage {
     CollectorImage {
         name: "basic",
-        code: vec![gc(), gcend(), copy(), copypair1(), copypair2(), copyexist1()],
+        code: vec![
+            gc(),
+            gcend(),
+            copy(),
+            copypair1(),
+            copypair2(),
+            copyexist1(),
+        ],
         gc_entry: GC,
     }
 }
@@ -97,10 +104,7 @@ fn gc() -> CodeDef {
         name: s("gc"),
         tvars: vec![(s("t"), Kind::Omega)],
         rvars: vec![s("r1")],
-        params: vec![
-            (s("f"), f_ty),
-            (s("x"), Ty::m(rv("r1"), Tag::Var(s("t")))),
-        ],
+        params: vec![(s("f"), f_ty), (s("x"), Ty::m(rv("r1"), Tag::Var(s("t"))))],
         body,
     }
 }
@@ -236,10 +240,7 @@ fn copy() -> CodeDef {
         name: s("copy"),
         tvars: vec![(s("t"), Kind::Omega)],
         rvars: vec![s("r1"), s("r2"), s("r3")],
-        params: vec![
-            (s("x"), Ty::m(rv("r1"), t.clone())),
-            (s("k"), sh.tk(&t)),
-        ],
+        params: vec![(s("x"), Ty::m(rv("r1"), t.clone())), (s("k"), sh.tk(&t))],
         body,
     }
 }
@@ -295,10 +296,7 @@ fn copypair1() -> CodeDef {
         rvars: vec![s("r1"), s("r2"), s("r3")],
         params: vec![
             (s("x1"), Ty::m(rv("r2"), t1.clone())),
-            (
-                s("c"),
-                Ty::prod(Ty::m(rv("r1"), t2), sh.tk(&pair_tag)),
-            ),
+            (s("c"), Ty::prod(Ty::m(rv("r1"), t2), sh.tk(&pair_tag))),
         ],
         body,
     }
@@ -348,10 +346,7 @@ fn copypair2() -> CodeDef {
         rvars: vec![s("r1"), s("r2"), s("r3")],
         params: vec![
             (s("x2"), Ty::m(rv("r2"), t1.clone())),
-            (
-                s("c"),
-                Ty::prod(Ty::m(rv("r2"), t2), sh.tk(&pair_tag)),
-            ),
+            (s("c"), Ty::prod(Ty::m(rv("r2"), t2), sh.tk(&pair_tag))),
         ],
         body,
     }

@@ -75,9 +75,15 @@ impl ContShape {
         let recv = (self.recv_ty)(self, target);
         Ty::prod(
             Ty::Trans {
-                tags: Rc::from(vec![Tag::Var(t1g()), Tag::Var(t2g()), Tag::Var(teg())]),
-                regions: Rc::from(self.delta()),
-                args: Rc::from(vec![recv, Ty::Alpha(acg())]),
+                tags: [Tag::Var(t1g()), Tag::Var(t2g()), Tag::Var(teg())]
+                    .into_iter()
+                    .map(|t| t.id())
+                    .collect(),
+                regions: self.delta().into(),
+                args: [recv, Ty::Alpha(acg())]
+                    .into_iter()
+                    .map(|a| a.id())
+                    .collect(),
                 rho: Region::cd(),
             },
             Ty::Alpha(acg()),

@@ -145,10 +145,7 @@ fn gc() -> CodeDef {
         name: s("gc"),
         tvars: vec![(s("t"), Kind::Omega)],
         rvars: vec![s("r1")],
-        params: vec![
-            (s("f"), f_ty),
-            (s("x"), Ty::m(rv("r1"), Tag::Var(s("t")))),
-        ],
+        params: vec![(s("f"), f_ty), (s("x"), Ty::m(rv("r1"), Tag::Var(s("t"))))],
         body,
     }
 }
@@ -389,10 +386,7 @@ fn fwdpair1() -> CodeDef {
             (s("x1"), Ty::m(rv("r2"), t1.clone())),
             (
                 s("c"),
-                Ty::prod(
-                    c_of(pair_tag.clone()),
-                    Ty::prod(c_of(t2), sh.tk(&pair_tag)),
-                ),
+                Ty::prod(c_of(pair_tag.clone()), Ty::prod(c_of(t2), sh.tk(&pair_tag))),
             ),
         ],
         body,
@@ -505,10 +499,7 @@ fn fwdexist1() -> CodeDef {
         rvars: vec![s("r1"), s("r2"), s("r3")],
         params: vec![
             (s("z"), Ty::m(rv("r2"), payload_tag)),
-            (
-                s("c"),
-                Ty::prod(c_of(exist_tag.clone()), sh.tk(&exist_tag)),
-            ),
+            (s("c"), Ty::prod(c_of(exist_tag.clone()), sh.tk(&exist_tag))),
         ],
         body,
     }

@@ -138,10 +138,7 @@ fn gc() -> CodeDef {
         name: s("gc"),
         tvars: vec![(s("t"), Kind::Omega)],
         rvars: vec![s("ry"), s("ro")],
-        params: vec![
-            (s("f"), f_ty),
-            (s("x"), mg("ry", "ro", Tag::Var(s("t")))),
-        ],
+        params: vec![(s("f"), f_ty), (s("x"), mg("ry", "ro", Tag::Var(s("t"))))],
         body,
     }
 }
@@ -285,7 +282,11 @@ fn copy() -> CodeDef {
         let exist_body = Ty::exist_tag(
             u,
             Kind::Omega,
-            Ty::mgen(Region::Var(rp), rv("ro"), Tag::app(Tag::Var(tep), Tag::Var(u))),
+            Ty::mgen(
+                Region::Var(rp),
+                rv("ro"),
+                Tag::app(Tag::Var(tep), Tag::Var(u)),
+            ),
         );
         let old_branch = {
             let z = repack_old(Value::Var(s("xr")), exist_body.clone());
@@ -349,10 +350,7 @@ fn copy() -> CodeDef {
         name: s("copy"),
         tvars: vec![(s("t"), Kind::Omega)],
         rvars: vec![s("ry"), s("ro"), s("r3")],
-        params: vec![
-            (s("x"), mg("ry", "ro", t.clone())),
-            (s("k"), sh.tk(&t)),
-        ],
+        params: vec![(s("x"), mg("ry", "ro", t.clone())), (s("k"), sh.tk(&t))],
         body,
     }
 }
@@ -363,10 +361,7 @@ fn gpair1() -> CodeDef {
     let t1 = Tag::Var(s("t1"));
     let t2 = Tag::Var(s("t2"));
     let pair_tag = Tag::prod(t1.clone(), t2.clone());
-    let env_ty = Ty::prod(
-        Ty::mgen(rv("ro"), rv("ro"), t1.clone()),
-        sh.tk(&pair_tag),
-    );
+    let env_ty = Ty::prod(Ty::mgen(rv("ro"), rv("ro"), t1.clone()), sh.tk(&pair_tag));
     let pack = sh.pack(
         Value::Addr(CD, GPAIR2),
         [t2.clone(), t1.clone(), Tag::id_fn()],
@@ -406,10 +401,7 @@ fn gpair1() -> CodeDef {
         rvars: vec![s("ry"), s("ro"), s("r3")],
         params: vec![
             (s("x1"), Ty::mgen(rv("ro"), rv("ro"), t1.clone())),
-            (
-                s("c"),
-                Ty::prod(mg("ry", "ro", t2), sh.tk(&pair_tag)),
-            ),
+            (s("c"), Ty::prod(mg("ry", "ro", t2), sh.tk(&pair_tag))),
         ],
         body,
     }
@@ -486,7 +478,11 @@ fn gexist1() -> CodeDef {
     let exist_body = Ty::exist_tag(
         u,
         Kind::Omega,
-        Ty::mgen(Region::Var(rp), rv("ro"), Tag::app(Tag::Var(te), Tag::Var(u))),
+        Ty::mgen(
+            Region::Var(rp),
+            rv("ro"),
+            Tag::app(Tag::Var(te), Tag::Var(u)),
+        ),
     );
     let body = Term::let_(
         s("waddr"),
@@ -547,7 +543,10 @@ mod tests {
     fn minor_gc_falls_through_to_major() {
         let image = collector();
         let text = ps_gc_lang::pretty::code_def_to_string(&image.code[GC as usize]);
-        assert!(text.contains("ifgc ro"), "minor gc checks the old region first");
+        assert!(
+            text.contains("ifgc ro"),
+            "minor gc checks the old region first"
+        );
         assert!(text.contains("cd.6"), "… and calls the major collector");
     }
 

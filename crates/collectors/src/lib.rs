@@ -15,10 +15,10 @@
 //!   argues against, used for comparison benchmarks.
 
 pub mod basic;
+pub mod cont;
 pub mod forwarding;
 pub mod generational;
 pub mod major;
-pub mod cont;
 pub mod meta;
 
 use ps_gc_lang::syntax::CodeDef;

@@ -97,10 +97,7 @@ fn gc() -> CodeDef {
         name: s("gcmajor"),
         tvars: vec![(s("t"), Kind::Omega)],
         rvars: vec![s("ry"), s("ro")],
-        params: vec![
-            (s("f"), f_ty),
-            (s("x"), mg("ry", "ro", Tag::Var(s("t")))),
-        ],
+        params: vec![(s("f"), f_ty), (s("x"), mg("ry", "ro", Tag::Var(s("t"))))],
         body,
     }
 }
@@ -296,10 +293,7 @@ fn copy() -> CodeDef {
         name: s("copymajor"),
         tvars: vec![(s("t"), Kind::Omega)],
         rvars: vec![s("ry"), s("ro"), s("rn"), s("r3")],
-        params: vec![
-            (s("x"), mg("ry", "ro", t.clone())),
-            (s("k"), sh.tk(&t)),
-        ],
+        params: vec![(s("x"), mg("ry", "ro", t.clone())), (s("k"), sh.tk(&t))],
         body,
     }
 }
@@ -310,10 +304,7 @@ fn mpair1() -> CodeDef {
     let t1 = Tag::Var(s("t1"));
     let t2 = Tag::Var(s("t2"));
     let pair_tag = Tag::prod(t1.clone(), t2.clone());
-    let env_ty = Ty::prod(
-        Ty::mgen(rv("rn"), rv("rn"), t1.clone()),
-        sh.tk(&pair_tag),
-    );
+    let env_ty = Ty::prod(Ty::mgen(rv("rn"), rv("rn"), t1.clone()), sh.tk(&pair_tag));
     let pack = sh.pack(
         Value::Addr(CD, MPAIR2),
         [t2.clone(), t1.clone(), Tag::id_fn()],
@@ -353,10 +344,7 @@ fn mpair1() -> CodeDef {
         rvars: vec![s("ry"), s("ro"), s("rn"), s("r3")],
         params: vec![
             (s("x1"), Ty::mgen(rv("rn"), rv("rn"), t1.clone())),
-            (
-                s("c"),
-                Ty::prod(mg("ry", "ro", t2), sh.tk(&pair_tag)),
-            ),
+            (s("c"), Ty::prod(mg("ry", "ro", t2), sh.tk(&pair_tag))),
         ],
         body,
     }
@@ -432,7 +420,11 @@ fn mexist1() -> CodeDef {
     let exist_body = Ty::exist_tag(
         u,
         Kind::Omega,
-        Ty::mgen(Region::Var(rp), rv("rn"), Tag::app(Tag::Var(te), Tag::Var(u))),
+        Ty::mgen(
+            Region::Var(rp),
+            rv("rn"),
+            Tag::app(Tag::Var(te), Tag::Var(u)),
+        ),
     );
     let body = Term::let_(
         s("waddr"),

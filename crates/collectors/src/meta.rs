@@ -43,10 +43,7 @@ pub struct MetaStats {
 ///
 /// Fails on dangling addresses (which a type-safe heap cannot contain —
 /// this collector, being untyped, has to just hope).
-pub fn collect(
-    mem: &mut Memory,
-    roots: &[Value],
-) -> Result<(RegionName, Vec<Value>, MetaStats)> {
+pub fn collect(mem: &mut Memory, roots: &[Value]) -> Result<(RegionName, Vec<Value>, MetaStats)> {
     let to = mem.alloc_region();
     let mut forwarded: HashMap<(RegionName, u32), (RegionName, u32)> = HashMap::new();
     let mut stats = MetaStats::default();
@@ -87,21 +84,39 @@ fn copy_value(
             Rc::new(copy_value(mem, a, to, forwarded, stats)?),
             Rc::new(copy_value(mem, b, to, forwarded, stats)?),
         )),
-        Value::PackTag { tvar, kind, tag, val, body_ty } => Ok(Value::PackTag {
+        Value::PackTag {
+            tvar,
+            kind,
+            tag,
+            val,
+            body_ty,
+        } => Ok(Value::PackTag {
             tvar: *tvar,
             kind: *kind,
             tag: tag.clone(),
             val: Rc::new(copy_value(mem, val, to, forwarded, stats)?),
             body_ty: body_ty.clone(),
         }),
-        Value::PackAlpha { avar, regions, witness, val, body_ty } => Ok(Value::PackAlpha {
+        Value::PackAlpha {
+            avar,
+            regions,
+            witness,
+            val,
+            body_ty,
+        } => Ok(Value::PackAlpha {
             avar: *avar,
             regions: regions.clone(),
             witness: witness.clone(),
             val: Rc::new(copy_value(mem, val, to, forwarded, stats)?),
             body_ty: body_ty.clone(),
         }),
-        Value::PackRgn { rvar, bound, witness, val, body_ty } => Ok(Value::PackRgn {
+        Value::PackRgn {
+            rvar,
+            bound,
+            witness,
+            val,
+            body_ty,
+        } => Ok(Value::PackRgn {
             rvar: *rvar,
             bound: bound.clone(),
             witness: *witness,
@@ -113,8 +128,12 @@ fn copy_value(
             tags.clone(),
             regions.clone(),
         )),
-        Value::Inl(x) => Ok(Value::Inl(Rc::new(copy_value(mem, x, to, forwarded, stats)?))),
-        Value::Inr(x) => Ok(Value::Inr(Rc::new(copy_value(mem, x, to, forwarded, stats)?))),
+        Value::Inl(x) => Ok(Value::Inl(Rc::new(copy_value(
+            mem, x, to, forwarded, stats,
+        )?))),
+        Value::Inr(x) => Ok(Value::Inr(Rc::new(copy_value(
+            mem, x, to, forwarded, stats,
+        )?))),
     }
 }
 
@@ -215,9 +234,13 @@ mod tests {
         let mut m = mem();
         let r = m.alloc_region();
         let cd_ref = Value::Addr(ps_gc_lang::syntax::CD, 0);
-        let loc = m.put(r, Value::pair(cd_ref.clone(), Value::Int(2))).unwrap();
+        let loc = m
+            .put(r, Value::pair(cd_ref.clone(), Value::Int(2)))
+            .unwrap();
         let (_, roots, _) = collect(&mut m, &[Value::Addr(r, loc)]).unwrap();
-        let Value::Addr(to, l2) = roots[0] else { panic!() };
+        let Value::Addr(to, l2) = roots[0] else {
+            panic!()
+        };
         match m.get(to, l2).unwrap() {
             Value::Pair(a, _) => assert_eq!(**a, cd_ref),
             other => panic!("bad copy {other:?}"),
@@ -295,21 +318,39 @@ pub fn collect_cheney(
                 Rc::new(scavenge(mem, a, to, forwarded, scan, stats)?),
                 Rc::new(scavenge(mem, b, to, forwarded, scan, stats)?),
             )),
-            Value::PackTag { tvar, kind, tag, val, body_ty } => Ok(Value::PackTag {
+            Value::PackTag {
+                tvar,
+                kind,
+                tag,
+                val,
+                body_ty,
+            } => Ok(Value::PackTag {
                 tvar: *tvar,
                 kind: *kind,
                 tag: tag.clone(),
                 val: Rc::new(scavenge(mem, val, to, forwarded, scan, stats)?),
                 body_ty: body_ty.clone(),
             }),
-            Value::PackAlpha { avar, regions, witness, val, body_ty } => Ok(Value::PackAlpha {
+            Value::PackAlpha {
+                avar,
+                regions,
+                witness,
+                val,
+                body_ty,
+            } => Ok(Value::PackAlpha {
                 avar: *avar,
                 regions: regions.clone(),
                 witness: witness.clone(),
                 val: Rc::new(scavenge(mem, val, to, forwarded, scan, stats)?),
                 body_ty: body_ty.clone(),
             }),
-            Value::PackRgn { rvar, bound, witness, val, body_ty } => Ok(Value::PackRgn {
+            Value::PackRgn {
+                rvar,
+                bound,
+                witness,
+                val,
+                body_ty,
+            } => Ok(Value::PackRgn {
                 rvar: *rvar,
                 bound: bound.clone(),
                 witness: *witness,
@@ -321,8 +362,12 @@ pub fn collect_cheney(
                 tags.clone(),
                 regions.clone(),
             )),
-            Value::Inl(x) => Ok(Value::Inl(Rc::new(scavenge(mem, x, to, forwarded, scan, stats)?))),
-            Value::Inr(x) => Ok(Value::Inr(Rc::new(scavenge(mem, x, to, forwarded, scan, stats)?))),
+            Value::Inl(x) => Ok(Value::Inl(Rc::new(scavenge(
+                mem, x, to, forwarded, scan, stats,
+            )?))),
+            Value::Inr(x) => Ok(Value::Inr(Rc::new(scavenge(
+                mem, x, to, forwarded, scan, stats,
+            )?))),
             other => Ok(other.clone()),
         }
     }
@@ -339,7 +384,14 @@ pub fn collect_cheney(
         let loc = scan[i];
         i += 1;
         let stored = mem.get(to, loc)?.clone();
-        let rewritten = scavenge(&mut *mem, &stored, to, &mut forwarded, &mut scan, &mut stats)?;
+        let rewritten = scavenge(
+            &mut *mem,
+            &stored,
+            to,
+            &mut forwarded,
+            &mut scan,
+            &mut stats,
+        )?;
         mem.set(to, loc, rewritten)?;
     }
 

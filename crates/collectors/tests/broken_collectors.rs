@@ -61,7 +61,10 @@ fn allocating_copies_in_from_space_is_rejected() {
     block.body = swap_regions(&block.body, s("r2"), s("r1"));
     let err = check(Dialect::Basic, image.code).unwrap_err();
     let msg = err.to_string();
-    assert!(msg.contains("type error") || msg.contains("ill-formed"), "{msg}");
+    assert!(
+        msg.contains("type error") || msg.contains("ill-formed"),
+        "{msg}"
+    );
 }
 
 /// Bug: `gcend` frees the *to*-space and keeps the from-space
@@ -107,19 +110,27 @@ fn copying_the_wrong_field_is_rejected() {
     // π1 for the recursive call; make both π1.
     fn fix_proj(e: &Term) -> Term {
         match e {
-            Term::Let { x, op: Op::Proj(2, v), body } if *x == Symbol::intern("x2src") => {
-                Term::Let {
-                    x: *x,
-                    op: Op::Proj(1, v.clone()),
-                    body: Rc::new(fix_proj(body)),
-                }
-            }
+            Term::Let {
+                x,
+                op: Op::Proj(2, v),
+                body,
+            } if *x == Symbol::intern("x2src") => Term::Let {
+                x: *x,
+                op: Op::Proj(1, v.clone()),
+                body: Rc::new(fix_proj(body)),
+            },
             Term::Let { x, op, body } => Term::Let {
                 x: *x,
                 op: op.clone(),
                 body: Rc::new(fix_proj(body)),
             },
-            Term::Typecase { tag, int_arm, arrow_arm, prod_arm, exist_arm } => Term::Typecase {
+            Term::Typecase {
+                tag,
+                int_arm,
+                arrow_arm,
+                prod_arm,
+                exist_arm,
+            } => Term::Typecase {
                 tag: tag.clone(),
                 int_arm: int_arm.clone(),
                 arrow_arm: arrow_arm.clone(),
@@ -142,7 +153,14 @@ fn returning_from_space_pointers_is_rejected() {
     let mut image = basic::collector();
     let block = block_mut(&mut image.code, "copy");
     // Rewrite the prod arm to just invoke k with x.
-    if let Term::Typecase { tag, int_arm, arrow_arm, prod_arm, exist_arm } = &block.body {
+    if let Term::Typecase {
+        tag,
+        int_arm,
+        arrow_arm,
+        prod_arm,
+        exist_arm,
+    } = &block.body
+    {
         block.body = Term::Typecase {
             tag: tag.clone(),
             int_arm: int_arm.clone(),
@@ -168,7 +186,11 @@ fn forwarding_with_the_wrong_tag_bit_is_rejected() {
     let block = block_mut(&mut image.code, "fwdpair2");
     fn inr_to_inl(e: &Term) -> Term {
         match e {
-            Term::Set { dst, src: Value::Inr(v), body } => Term::Set {
+            Term::Set {
+                dst,
+                src: Value::Inr(v),
+                body,
+            } => Term::Set {
                 dst: dst.clone(),
                 src: Value::Inl(v.clone()),
                 body: body.clone(),

@@ -46,7 +46,8 @@ fn fixtures_are_in_sync() {
             )
         });
         assert_eq!(
-            actual, expected,
+            actual,
+            expected,
             "stale fixture {}; regenerate with PS_EMIT_FIXTURES=1",
             path.display()
         );

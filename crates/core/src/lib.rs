@@ -77,8 +77,11 @@ pub enum Collector {
 impl Collector {
     /// Every collector, in canonical order (drives CLI metavars and the
     /// exhaustive collector × backend test matrices).
-    pub const ALL: [Collector; 3] =
-        [Collector::Basic, Collector::Forwarding, Collector::Generational];
+    pub const ALL: [Collector; 3] = [
+        Collector::Basic,
+        Collector::Forwarding,
+        Collector::Generational,
+    ];
 
     /// The collector's λGC code image.
     pub fn image(self) -> CollectorImage {
@@ -223,7 +226,10 @@ impl Default for RunOptions {
 impl RunOptions {
     /// Defaults with the given collector.
     pub fn new(collector: Collector) -> RunOptions {
-        RunOptions { collector, ..RunOptions::default() }
+        RunOptions {
+            collector,
+            ..RunOptions::default()
+        }
     }
 
     /// The memory configuration these options describe.
@@ -520,14 +526,20 @@ impl Compiled {
                 if let Some(obs) = observer {
                     m.set_observer(obs, step_interval);
                 }
-                (m.run(fuel).map_err(PipelineError::Runtime)?, m.stats().clone())
+                (
+                    m.run(fuel).map_err(PipelineError::Runtime)?,
+                    m.stats().clone(),
+                )
             }
             Backend::Env => {
                 let mut m = EnvMachine::load(&self.program, config);
                 if let Some(obs) = observer {
                     m.set_observer(obs, step_interval);
                 }
-                (m.run(fuel).map_err(PipelineError::Runtime)?, m.stats().clone())
+                (
+                    m.run(fuel).map_err(PipelineError::Runtime)?,
+                    m.stats().clone(),
+                )
             }
         };
         match outcome {
@@ -585,7 +597,11 @@ mod tests {
 
     #[test]
     fn all_collectors_agree_with_the_oracle() {
-        for collector in [Collector::Basic, Collector::Forwarding, Collector::Generational] {
+        for collector in [
+            Collector::Basic,
+            Collector::Forwarding,
+            Collector::Generational,
+        ] {
             let compiled = Pipeline::new(collector)
                 .region_budget(128)
                 .compile(FIB)
@@ -701,7 +717,10 @@ mod tests {
 
     #[test]
     fn disabled_observer_changes_nothing() {
-        let opts = RunOptions { budget: 96, ..RunOptions::default() };
+        let opts = RunOptions {
+            budget: 96,
+            ..RunOptions::default()
+        };
         let with = {
             let recorder = telemetry::Recorder::new().into_shared();
             let opts = RunOptions {

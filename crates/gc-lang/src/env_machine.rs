@@ -178,8 +178,7 @@ impl EnvMachine {
         match self.step_term(ctrl.term())? {
             Some(next) => {
                 self.control = next;
-                self.stats.peak_data_words =
-                    self.stats.peak_data_words.max(self.mem.data_words());
+                self.stats.peak_data_words = self.stats.peak_data_words.max(self.mem.data_words());
                 Ok(StepOutcome::Continue)
             }
             None => {
@@ -203,9 +202,12 @@ impl EnvMachine {
 
     fn step_term(&mut self, term: &Term) -> Result<Option<Ctrl>> {
         match term {
-            Term::App { f, tags: ts, regions, args } => {
-                self.step_app(f, ts, regions, args).map(Some)
-            }
+            Term::App {
+                f,
+                tags: ts,
+                regions,
+                args,
+            } => self.step_app(f, ts, regions, args).map(Some),
             Term::Let { x, op, body } => {
                 let v = self.eval_op(op)?;
                 self.env.bind_val(*x, v);
@@ -252,9 +254,7 @@ impl EnvMachine {
                     let nu = match witness {
                         Region::Name(nu) => nu,
                         Region::Var(r) => {
-                            return Err(
-                                self.stuck(format!("unsubstituted region variable {r}"))
-                            )
+                            return Err(self.stuck(format!("unsubstituted region variable {r}")))
                         }
                     };
                     self.env.bind_rgn(*rvar, Region::Name(nu));
@@ -280,7 +280,13 @@ impl EnvMachine {
                 self.stats.record_reclaim(report);
                 Ok(Some(Ctrl::Term(Rc::clone(body))))
             }
-            Term::Typecase { tag, int_arm, arrow_arm, prod_arm, exist_arm } => {
+            Term::Typecase {
+                tag,
+                int_arm,
+                arrow_arm,
+                prod_arm,
+                exist_arm,
+            } => {
                 self.stats.typecase_dispatches += 1;
                 let nf = tags::normalize(&self.env.tag(tag));
                 match nf {
@@ -297,12 +303,15 @@ impl EnvMachine {
                         self.env.bind_tag(*te, Tag::Lam(t, body_tag));
                         Ok(Some(Ctrl::Term(Rc::clone(body))))
                     }
-                    other => {
-                        Err(self.stuck(format!("typecase on non-constructor tag {other:?}")))
-                    }
+                    other => Err(self.stuck(format!("typecase on non-constructor tag {other:?}"))),
                 }
             }
-            Term::IfLeft { x, scrut, left, right } => match self.env.value(scrut) {
+            Term::IfLeft {
+                x,
+                scrut,
+                left,
+                right,
+            } => match self.env.value(scrut) {
                 v @ Value::Inl(_) => {
                     self.env.bind_val(*x, v);
                     Ok(Some(Ctrl::Term(Rc::clone(left))))
@@ -322,7 +331,14 @@ impl EnvMachine {
                 }
                 other => Err(self.stuck(format!("set on non-address {other:?}"))),
             },
-            Term::Widen { x, from, to, tag, v, body } => {
+            Term::Widen {
+                x,
+                from,
+                to,
+                tag,
+                v,
+                body,
+            } => {
                 // Operationally a no-op (see the substitution machine); only
                 // the observer memory typing Ψ is rewritten when tracked.
                 let rv = self.env.value(v);
@@ -344,7 +360,11 @@ impl EnvMachine {
                     Ok(Some(Ctrl::Term(Rc::clone(ne))))
                 }
             }
-            Term::If0 { scrut, zero, nonzero } => match self.env.value(scrut) {
+            Term::If0 {
+                scrut,
+                zero,
+                nonzero,
+            } => match self.env.value(scrut) {
                 Value::Int(0) => Ok(Some(Ctrl::Term(Rc::clone(zero)))),
                 Value::Int(_) => Ok(Some(Ctrl::Term(Rc::clone(nonzero)))),
                 other => Err(self.stuck(format!("if0 on non-integer {other:?}"))),
@@ -364,9 +384,7 @@ impl EnvMachine {
                 let code = match self.mem.get(nu, loc)? {
                     Value::Code(def) => Rc::clone(def),
                     other => {
-                        return Err(self.stuck(format!(
-                            "application of non-code value {other:?}"
-                        )))
+                        return Err(self.stuck(format!("application of non-code value {other:?}")))
                     }
                 };
                 if code.tvars.len() != ts.len()
@@ -388,8 +406,10 @@ impl EnvMachine {
                 // *before* clearing it — the callee's frame starts from the
                 // empty environment because code blocks are closed.
                 // Fig. 5's first rule normalizes tag arguments at the β step.
-                let rtags: Vec<Tag> =
-                    ts.iter().map(|tau| tags::normalize(&self.env.tag(tau))).collect();
+                let rtags: Vec<Tag> = ts
+                    .iter()
+                    .map(|tau| tags::normalize(&self.env.tag(tau)))
+                    .collect();
                 let rrgns: Vec<Region> = regions.iter().map(|r| self.env.region(r)).collect();
                 let rargs: Vec<Value> = args.iter().map(|v| self.env.value(v)).collect();
                 self.env.clear();
@@ -451,9 +471,7 @@ impl EnvMachine {
             },
             Op::Prim(p, a, b) => match (self.env.value(a), self.env.value(b)) {
                 (Value::Int(x), Value::Int(y)) => Ok(Value::Int(p.apply(x, y))),
-                (a, b) => {
-                    Err(self.stuck(format!("primitive {p} on non-integers {a:?}, {b:?}")))
-                }
+                (a, b) => Err(self.stuck(format!("primitive {p} on non-integers {a:?}, {b:?}"))),
             },
         }
     }
@@ -492,7 +510,11 @@ mod tests {
     }
 
     fn run_main(main: Term) -> i64 {
-        let p = Program { dialect: Dialect::Basic, code: vec![], main };
+        let p = Program {
+            dialect: Dialect::Basic,
+            code: vec![],
+            main,
+        };
         match run_both(&p) {
             Outcome::Halted(n) => n,
             Outcome::OutOfFuel => panic!("out of fuel"),
@@ -569,7 +591,11 @@ mod tests {
             Op::Val(Value::Int(33)),
             Term::app(Value::Addr(CD, 0), [], [], [Value::Var(y)]),
         );
-        let p = Program { dialect: Dialect::Basic, code: vec![id], main };
+        let p = Program {
+            dialect: Dialect::Basic,
+            code: vec![id],
+            main,
+        };
         assert_eq!(run_both(&p), Outcome::Halted(33));
     }
 
@@ -590,13 +616,12 @@ mod tests {
             params: vec![],
             body,
         };
-        let main = Term::app(
-            Value::Addr(CD, 0),
-            [Tag::prod(Tag::Int, Tag::Int)],
-            [],
-            [],
-        );
-        let p = Program { dialect: Dialect::Basic, code: vec![dispatch], main };
+        let main = Term::app(Value::Addr(CD, 0), [Tag::prod(Tag::Int, Tag::Int)], [], []);
+        let p = Program {
+            dialect: Dialect::Basic,
+            code: vec![dispatch],
+            main,
+        };
         assert_eq!(run_both(&p), Outcome::Halted(2));
     }
 
@@ -619,7 +644,11 @@ mod tests {
                 },
             )),
         };
-        let p = Program { dialect: Dialect::Basic, code: vec![], main: e };
+        let p = Program {
+            dialect: Dialect::Basic,
+            code: vec![],
+            main: e,
+        };
         let mut env = EnvMachine::load(&p, config());
         assert_eq!(env.run(1000).unwrap(), Outcome::Halted(0));
         assert_eq!(env.stats().collections, 1);

@@ -1,0 +1,822 @@
+//! Hash-consed tag and type nodes: ids, memo tables, free-variable
+//! fingerprints, and α-canonicalization.
+//!
+//! Every [`Tag`] and [`Ty`] node in the crate stores its children as
+//! [`TagId`]/[`TyId`] handles into two global [`ps_ir::Interner`] arenas, so
+//! structurally equal subtrees are stored exactly once and *structural
+//! equality of whole trees is equality of `u32` ids* (the derived
+//! `PartialEq` on nodes compares children by id). On top of the arenas this
+//! module keeps side tables, all keyed by id:
+//!
+//! * **normalization memos** — [`crate::tags::normalize`] and
+//!   [`crate::moper::normalize_ty`] record their result (and, for tags, the
+//!   β-step count, so counting callers see identical numbers on memo hits)
+//!   once per node;
+//! * **free-variable fingerprints** ([`tag_fv`], [`ty_fv`]) — the sorted
+//!   free variables of a node, computed once and leaked, which lets
+//!   [`crate::subst::Subst`] skip no-op substitutions in O(domain) without
+//!   walking the tree (generalizing the closed-range fast path of the
+//!   environment machine to *every* substitution);
+//! * **α-canonical forms** ([`canon_tag`], [`canon_ty`]) — each binder is
+//!   renamed to a fixed placeholder and each bound variable to its
+//!   per-namespace de Bruijn index (spelled `!i` / `!ri` / `!ai`; `!` is
+//!   unproducible by surface syntax, and `gensym` uses `%`, so the names
+//!   are collision-free). Region *sets* (`∃α:∆` and `∃r∈∆` bounds) are
+//!   sorted and deduplicated, matching the set semantics of the paper's
+//!   `∆`s. Two nodes are α-equivalent iff their canonical ids are equal,
+//!   which makes `alpha_eq` an integer compare after the first call.
+//!
+//! Locks are never held across recursive work: every table is probed under
+//! a read lock, computed unlocked, and inserted under a short write lock.
+//! Interned nodes are leaked (`&'static`), so a [`TagId`] can be
+//! dereferenced — it implements `Deref<Target = Tag>` — for the lifetime of
+//! the process.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::ops::Deref;
+use std::sync::{OnceLock, RwLock};
+
+use ps_ir::{Interner, Symbol};
+
+use crate::syntax::{Dialect, Region, Tag, Ty};
+
+// ----- arenas -------------------------------------------------------------
+
+static TAGS: RwLock<Option<Interner<Tag>>> = RwLock::new(None);
+static TYS: RwLock<Option<Interner<Ty>>> = RwLock::new(None);
+
+fn arena_intern<T: Eq + Hash>(lock: &'static RwLock<Option<Interner<T>>>, node: T) -> u32 {
+    if let Some(id) = lock.read().unwrap().as_ref().and_then(|a| a.lookup(&node)) {
+        return id;
+    }
+    let mut guard = lock.write().unwrap();
+    guard.get_or_insert_with(Interner::new).insert(node)
+}
+
+fn arena_get<T: Eq + Hash>(lock: &'static RwLock<Option<Interner<T>>>, id: u32) -> &'static T {
+    lock.read()
+        .unwrap()
+        .as_ref()
+        .expect("id minted by this arena")
+        .get(id)
+}
+
+/// Interns a tag node, returning its id.
+pub fn intern_tag(node: Tag) -> TagId {
+    TagId(arena_intern(&TAGS, node))
+}
+
+/// Interns a type node, returning its id.
+pub fn intern_ty(node: Ty) -> TyId {
+    TyId(arena_intern(&TYS, node))
+}
+
+/// Handle to an interned [`Tag`] node: `Copy`, compared and hashed as a
+/// `u32`. Dereferences to the `&'static` node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TagId(u32);
+
+/// Handle to an interned [`Ty`] node: `Copy`, compared and hashed as a
+/// `u32`. Dereferences to the `&'static` node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TyId(u32);
+
+impl TagId {
+    /// The interned node.
+    pub fn node(self) -> &'static Tag {
+        arena_get(&TAGS, self.0)
+    }
+
+    /// The raw arena index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl TyId {
+    /// The interned node.
+    pub fn node(self) -> &'static Ty {
+        arena_get(&TYS, self.0)
+    }
+
+    /// The raw arena index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl Deref for TagId {
+    type Target = Tag;
+    fn deref(&self) -> &Tag {
+        self.node()
+    }
+}
+
+impl Deref for TyId {
+    type Target = Ty;
+    fn deref(&self) -> &Ty {
+        self.node()
+    }
+}
+
+impl fmt::Debug for TagId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.node().fmt(f)
+    }
+}
+
+impl fmt::Debug for TyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.node().fmt(f)
+    }
+}
+
+impl From<Tag> for TagId {
+    fn from(node: Tag) -> TagId {
+        intern_tag(node)
+    }
+}
+
+impl From<Ty> for TyId {
+    fn from(node: Ty) -> TyId {
+        intern_ty(node)
+    }
+}
+
+// ----- memo tables --------------------------------------------------------
+
+/// A small mixing hasher for id-keyed memo tables. Unlike
+/// `ps_ir::symbol::SymbolHasher` (which *replaces* its state and is only
+/// sound for single-field keys), this folds every write into the state, so
+/// composite keys like `(TyId, Dialect)` hash correctly.
+#[derive(Default)]
+struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    fn write_u32(&mut self, n: u32) {
+        self.0 = (self.0 ^ u64::from(n)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+}
+
+type Memo<K, V> = RwLock<Option<HashMap<K, V, BuildHasherDefault<IdHasher>>>>;
+
+static TAG_NORM: Memo<TagId, (TagId, u64)> = RwLock::new(None);
+static TY_NORM: Memo<(TyId, Dialect), TyId> = RwLock::new(None);
+static TAG_CANON: Memo<TagId, TagId> = RwLock::new(None);
+static TY_CANON: Memo<TyId, TyId> = RwLock::new(None);
+static TAG_FV: Memo<TagId, &'static [Symbol]> = RwLock::new(None);
+static TY_FV: Memo<TyId, &'static TyFv> = RwLock::new(None);
+
+fn memo_get<K: Eq + Hash, V: Copy>(memo: &Memo<K, V>, key: &K) -> Option<V> {
+    memo.read()
+        .unwrap()
+        .as_ref()
+        .and_then(|t| t.get(key).copied())
+}
+
+fn memo_put<K: Eq + Hash, V>(memo: &Memo<K, V>, key: K, value: V) {
+    memo.write()
+        .unwrap()
+        .get_or_insert_with(HashMap::default)
+        .insert(key, value);
+}
+
+fn memo_len<K, V>(memo: &Memo<K, V>) -> usize {
+    memo.read().unwrap().as_ref().map_or(0, HashMap::len)
+}
+
+/// Memoized result of [`crate::tags::normalize`]: normal form and β-step
+/// count for the subtree.
+pub(crate) fn tag_norm_lookup(id: TagId) -> Option<(TagId, u64)> {
+    memo_get(&TAG_NORM, &id)
+}
+
+pub(crate) fn tag_norm_insert(id: TagId, nf: TagId, steps: u64) {
+    memo_put(&TAG_NORM, id, (nf, steps));
+}
+
+/// Memoized result of [`crate::moper::normalize_ty`] for one dialect.
+pub(crate) fn ty_norm_lookup(id: TyId, dialect: Dialect) -> Option<TyId> {
+    memo_get(&TY_NORM, &(id, dialect))
+}
+
+pub(crate) fn ty_norm_insert(id: TyId, dialect: Dialect, nf: TyId) {
+    memo_put(&TY_NORM, (id, dialect), nf);
+}
+
+// ----- free-variable fingerprints -----------------------------------------
+
+/// The free variables of a type node, split by namespace. Each slice is
+/// sorted and deduplicated; membership is a binary search.
+#[derive(Debug)]
+pub struct TyFv {
+    /// Free tag variables (`t`, including `AnyArrow` refinements).
+    pub tvars: Box<[Symbol]>,
+    /// Free region variables (`r`).
+    pub rvars: Box<[Symbol]>,
+    /// Free type variables (`α`).
+    pub avars: Box<[Symbol]>,
+}
+
+impl TyFv {
+    /// No free variables in any namespace?
+    pub fn is_closed(&self) -> bool {
+        self.tvars.is_empty() && self.rvars.is_empty() && self.avars.is_empty()
+    }
+}
+
+fn sorted(mut v: Vec<Symbol>) -> Vec<Symbol> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// The sorted free tag variables of a tag, computed once per node.
+pub fn tag_fv(id: TagId) -> &'static [Symbol] {
+    if let Some(fv) = memo_get(&TAG_FV, &id) {
+        return fv;
+    }
+    let mut out: Vec<Symbol> = Vec::new();
+    match id.node() {
+        Tag::Var(t) | Tag::AnyArrow(t) => out.push(*t),
+        Tag::Int => {}
+        Tag::Prod(a, b) | Tag::App(a, b) => {
+            out.extend_from_slice(tag_fv(*a));
+            out.extend_from_slice(tag_fv(*b));
+        }
+        Tag::Arrow(args) => {
+            for a in args.iter() {
+                out.extend_from_slice(tag_fv(*a));
+            }
+        }
+        Tag::Exist(t, body) | Tag::Lam(t, body) => {
+            out.extend(tag_fv(*body).iter().copied().filter(|x| x != t));
+        }
+    }
+    let leaked: &'static [Symbol] = Box::leak(sorted(out).into_boxed_slice());
+    memo_put(&TAG_FV, id, leaked);
+    leaked
+}
+
+/// The free variables of a type (all three namespaces), computed once per
+/// node.
+pub fn ty_fv(id: TyId) -> &'static TyFv {
+    if let Some(fv) = memo_get(&TY_FV, &id) {
+        return fv;
+    }
+    let mut tvars: Vec<Symbol> = Vec::new();
+    let mut rvars: Vec<Symbol> = Vec::new();
+    let mut avars: Vec<Symbol> = Vec::new();
+    {
+        fn add_child(
+            child: TyId,
+            tvars: &mut Vec<Symbol>,
+            rvars: &mut Vec<Symbol>,
+            avars: &mut Vec<Symbol>,
+        ) {
+            let fv = ty_fv(child);
+            tvars.extend_from_slice(&fv.tvars);
+            rvars.extend_from_slice(&fv.rvars);
+            avars.extend_from_slice(&fv.avars);
+        }
+        fn add_rgn(rvars: &mut Vec<Symbol>, rho: &Region) {
+            if let Region::Var(r) = rho {
+                rvars.push(*r);
+            }
+        }
+        match id.node() {
+            Ty::Int => {}
+            Ty::Alpha(a) => avars.push(*a),
+            Ty::Prod(a, b) | Ty::Sum(a, b) => {
+                add_child(*a, &mut tvars, &mut rvars, &mut avars);
+                add_child(*b, &mut tvars, &mut rvars, &mut avars);
+            }
+            Ty::Left(a) | Ty::Right(a) => add_child(*a, &mut tvars, &mut rvars, &mut avars),
+            Ty::At(inner, rho) => {
+                add_child(*inner, &mut tvars, &mut rvars, &mut avars);
+                add_rgn(&mut rvars, rho);
+            }
+            Ty::M(rho, tag) => {
+                add_rgn(&mut rvars, rho);
+                tvars.extend_from_slice(tag_fv(*tag));
+            }
+            Ty::C(r1, r2, tag) | Ty::MGen(r1, r2, tag) => {
+                add_rgn(&mut rvars, r1);
+                add_rgn(&mut rvars, r2);
+                tvars.extend_from_slice(tag_fv(*tag));
+            }
+            Ty::Code {
+                tvars: tv,
+                rvars: rv,
+                args,
+            } => {
+                for a in args.iter() {
+                    let fv = ty_fv(*a);
+                    tvars.extend(
+                        fv.tvars
+                            .iter()
+                            .copied()
+                            .filter(|t| !tv.iter().any(|(b, _)| b == t)),
+                    );
+                    rvars.extend(fv.rvars.iter().copied().filter(|r| !rv.contains(r)));
+                    avars.extend_from_slice(&fv.avars);
+                }
+            }
+            Ty::ExistTag { tvar, body, .. } => {
+                let fv = ty_fv(*body);
+                tvars.extend(fv.tvars.iter().copied().filter(|t| t != tvar));
+                rvars.extend_from_slice(&fv.rvars);
+                avars.extend_from_slice(&fv.avars);
+            }
+            Ty::ExistAlpha {
+                avar,
+                regions,
+                body,
+            } => {
+                for r in regions.iter() {
+                    add_rgn(&mut rvars, r);
+                }
+                let fv = ty_fv(*body);
+                tvars.extend_from_slice(&fv.tvars);
+                rvars.extend_from_slice(&fv.rvars);
+                avars.extend(fv.avars.iter().copied().filter(|a| a != avar));
+            }
+            Ty::ExistRgn { rvar, bound, body } => {
+                for r in bound.iter() {
+                    add_rgn(&mut rvars, r);
+                }
+                let fv = ty_fv(*body);
+                tvars.extend_from_slice(&fv.tvars);
+                rvars.extend(fv.rvars.iter().copied().filter(|r| r != rvar));
+                avars.extend_from_slice(&fv.avars);
+            }
+            Ty::Trans {
+                tags,
+                regions,
+                args,
+                rho,
+            } => {
+                for t in tags.iter() {
+                    tvars.extend_from_slice(tag_fv(*t));
+                }
+                add_rgn(&mut rvars, rho);
+                for r in regions.iter() {
+                    add_rgn(&mut rvars, r);
+                }
+                for a in args.iter() {
+                    add_child(*a, &mut tvars, &mut rvars, &mut avars);
+                }
+            }
+        }
+    }
+    let leaked: &'static TyFv = Box::leak(Box::new(TyFv {
+        tvars: sorted(tvars).into_boxed_slice(),
+        rvars: sorted(rvars).into_boxed_slice(),
+        avars: sorted(avars).into_boxed_slice(),
+    }));
+    memo_put(&TY_FV, id, leaked);
+    leaked
+}
+
+// ----- α-canonicalization -------------------------------------------------
+
+static DB_TAG: RwLock<Vec<Symbol>> = RwLock::new(Vec::new());
+static DB_RGN: RwLock<Vec<Symbol>> = RwLock::new(Vec::new());
+static DB_ALPHA: RwLock<Vec<Symbol>> = RwLock::new(Vec::new());
+
+fn db_symbol(cache: &RwLock<Vec<Symbol>>, prefix: &str, i: usize) -> Symbol {
+    {
+        let v = cache.read().unwrap();
+        if i < v.len() {
+            return v[i];
+        }
+    }
+    let mut v = cache.write().unwrap();
+    while v.len() <= i {
+        let s = Symbol::intern(&format!("{prefix}{}", v.len()));
+        v.push(s);
+    }
+    v[i]
+}
+
+fn binder_sym(cell: &OnceLock<Symbol>, name: &str) -> Symbol {
+    *cell.get_or_init(|| Symbol::intern(name))
+}
+
+static TAG_BINDER: OnceLock<Symbol> = OnceLock::new();
+static RGN_BINDER: OnceLock<Symbol> = OnceLock::new();
+static ALPHA_BINDER: OnceLock<Symbol> = OnceLock::new();
+
+/// Is any free variable of (sorted) `fv` bound in `env`?
+fn hits_env(fv: &[Symbol], env: &[Symbol]) -> bool {
+    env.iter().any(|b| fv.binary_search(b).is_ok())
+}
+
+/// De Bruijn index of `x` in `env` (distance to the innermost binder), if
+/// bound.
+fn db_index(x: Symbol, env: &[Symbol]) -> Option<usize> {
+    env.iter().rev().position(|&b| b == x)
+}
+
+/// The α-canonical form of a tag: binders renamed to `!`, bound variables
+/// to their de Bruijn index `!i`. Two tags are α-equivalent iff their
+/// canonical ids are equal.
+pub fn canon_tag(id: TagId) -> TagId {
+    if let Some(c) = memo_get(&TAG_CANON, &id) {
+        return c;
+    }
+    let c = canon_tag_rec(id, &mut Vec::new());
+    memo_put(&TAG_CANON, id, c);
+    c
+}
+
+fn canon_tag_rec(id: TagId, env: &mut Vec<Symbol>) -> TagId {
+    // A subterm whose free variables miss every enclosing binder
+    // canonicalizes exactly as it would at top level — reuse the memo.
+    if !env.is_empty() && !hits_env(tag_fv(id), env) {
+        return canon_tag(id);
+    }
+    match id.node() {
+        Tag::Int => id,
+        Tag::Var(t) => match db_index(*t, env) {
+            Some(i) => intern_tag(Tag::Var(db_symbol(&DB_TAG, "!", i))),
+            None => id,
+        },
+        Tag::AnyArrow(t) => match db_index(*t, env) {
+            Some(i) => intern_tag(Tag::AnyArrow(db_symbol(&DB_TAG, "!", i))),
+            None => id,
+        },
+        Tag::Prod(a, b) => intern_tag(Tag::Prod(canon_tag_rec(*a, env), canon_tag_rec(*b, env))),
+        Tag::App(f, a) => intern_tag(Tag::App(canon_tag_rec(*f, env), canon_tag_rec(*a, env))),
+        Tag::Arrow(args) => intern_tag(Tag::Arrow(
+            args.iter().map(|a| canon_tag_rec(*a, env)).collect(),
+        )),
+        Tag::Exist(t, body) => {
+            env.push(*t);
+            let b = canon_tag_rec(*body, env);
+            env.pop();
+            intern_tag(Tag::Exist(binder_sym(&TAG_BINDER, "!"), b))
+        }
+        Tag::Lam(t, body) => {
+            env.push(*t);
+            let b = canon_tag_rec(*body, env);
+            env.pop();
+            intern_tag(Tag::Lam(binder_sym(&TAG_BINDER, "!"), b))
+        }
+    }
+}
+
+#[derive(Default)]
+struct CanonEnv {
+    tags: Vec<Symbol>,
+    rgns: Vec<Symbol>,
+    alphas: Vec<Symbol>,
+}
+
+impl CanonEnv {
+    fn is_empty(&self) -> bool {
+        self.tags.is_empty() && self.rgns.is_empty() && self.alphas.is_empty()
+    }
+}
+
+fn canon_region(rho: &Region, env: &CanonEnv) -> Region {
+    match rho {
+        Region::Var(r) => match db_index(*r, &env.rgns) {
+            Some(i) => Region::Var(db_symbol(&DB_RGN, "!r", i)),
+            None => *rho,
+        },
+        Region::Name(_) => *rho,
+    }
+}
+
+/// Canonical form of a region *set* (`∆`): rename, then sort and
+/// deduplicate — the paper's `∆`s are sets, so order is not significant.
+fn canon_region_set(rs: &[Region], env: &CanonEnv) -> Vec<Region> {
+    let mut out: Vec<Region> = rs.iter().map(|r| canon_region(r, env)).collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// The α-canonical form of a type, with per-namespace de Bruijn naming
+/// (`!i` for tags, `!ri` for regions, `!ai` for αs). Two types are
+/// α-equivalent iff their canonical ids are equal.
+pub fn canon_ty(id: TyId) -> TyId {
+    if let Some(c) = memo_get(&TY_CANON, &id) {
+        return c;
+    }
+    let c = canon_ty_rec(id, &mut CanonEnv::default());
+    memo_put(&TY_CANON, id, c);
+    c
+}
+
+fn canon_ty_rec(id: TyId, env: &mut CanonEnv) -> TyId {
+    if !env.is_empty() {
+        let fv = ty_fv(id);
+        if !hits_env(&fv.tvars, &env.tags)
+            && !hits_env(&fv.rvars, &env.rgns)
+            && !hits_env(&fv.avars, &env.alphas)
+        {
+            return canon_ty(id);
+        }
+    }
+    match id.node() {
+        Ty::Int => id,
+        Ty::Alpha(a) => match db_index(*a, &env.alphas) {
+            Some(i) => intern_ty(Ty::Alpha(db_symbol(&DB_ALPHA, "!a", i))),
+            None => id,
+        },
+        Ty::Prod(a, b) => intern_ty(Ty::Prod(canon_ty_rec(*a, env), canon_ty_rec(*b, env))),
+        Ty::Sum(a, b) => intern_ty(Ty::Sum(canon_ty_rec(*a, env), canon_ty_rec(*b, env))),
+        Ty::Left(a) => intern_ty(Ty::Left(canon_ty_rec(*a, env))),
+        Ty::Right(a) => intern_ty(Ty::Right(canon_ty_rec(*a, env))),
+        Ty::At(inner, rho) => {
+            let rho = canon_region(rho, env);
+            intern_ty(Ty::At(canon_ty_rec(*inner, env), rho))
+        }
+        Ty::M(rho, tag) => intern_ty(Ty::M(
+            canon_region(rho, env),
+            canon_tag_rec(*tag, &mut env.tags),
+        )),
+        Ty::C(from, to, tag) => intern_ty(Ty::C(
+            canon_region(from, env),
+            canon_region(to, env),
+            canon_tag_rec(*tag, &mut env.tags),
+        )),
+        Ty::MGen(young, old, tag) => intern_ty(Ty::MGen(
+            canon_region(young, env),
+            canon_region(old, env),
+            canon_tag_rec(*tag, &mut env.tags),
+        )),
+        Ty::Code { tvars, rvars, args } => {
+            let nt = tvars.len();
+            let nr = rvars.len();
+            env.tags.extend(tvars.iter().map(|(t, _)| *t));
+            env.rgns.extend(rvars.iter().copied());
+            let args = args.iter().map(|a| canon_ty_rec(*a, env)).collect();
+            env.tags.truncate(env.tags.len() - nt);
+            env.rgns.truncate(env.rgns.len() - nr);
+            intern_ty(Ty::Code {
+                tvars: tvars
+                    .iter()
+                    .map(|(_, k)| (binder_sym(&TAG_BINDER, "!"), *k))
+                    .collect(),
+                rvars: rvars
+                    .iter()
+                    .map(|_| binder_sym(&RGN_BINDER, "!r"))
+                    .collect(),
+                args,
+            })
+        }
+        Ty::ExistTag { tvar, kind, body } => {
+            env.tags.push(*tvar);
+            let body = canon_ty_rec(*body, env);
+            env.tags.pop();
+            intern_ty(Ty::ExistTag {
+                tvar: binder_sym(&TAG_BINDER, "!"),
+                kind: *kind,
+                body,
+            })
+        }
+        Ty::ExistAlpha {
+            avar,
+            regions,
+            body,
+        } => {
+            let regions = canon_region_set(regions, env).into();
+            env.alphas.push(*avar);
+            let body = canon_ty_rec(*body, env);
+            env.alphas.pop();
+            intern_ty(Ty::ExistAlpha {
+                avar: binder_sym(&ALPHA_BINDER, "!a"),
+                regions,
+                body,
+            })
+        }
+        Ty::ExistRgn { rvar, bound, body } => {
+            let bound = canon_region_set(bound, env).into();
+            env.rgns.push(*rvar);
+            let body = canon_ty_rec(*body, env);
+            env.rgns.pop();
+            intern_ty(Ty::ExistRgn {
+                rvar: binder_sym(&RGN_BINDER, "!r"),
+                bound,
+                body,
+            })
+        }
+        Ty::Trans {
+            tags,
+            regions,
+            args,
+            rho,
+        } => intern_ty(Ty::Trans {
+            tags: tags
+                .iter()
+                .map(|t| canon_tag_rec(*t, &mut env.tags))
+                .collect(),
+            regions: regions.iter().map(|r| canon_region(r, env)).collect(),
+            args: args.iter().map(|a| canon_ty_rec(*a, env)).collect(),
+            rho: canon_region(rho, env),
+        }),
+    }
+}
+
+/// α-equivalence of tags as an id compare (after canonicalization).
+pub fn tag_alpha_eq(a: TagId, b: TagId) -> bool {
+    a == b || canon_tag(a) == canon_tag(b)
+}
+
+/// α-equivalence of types as an id compare (after canonicalization).
+pub fn ty_alpha_eq(a: TyId, b: TyId) -> bool {
+    a == b || canon_ty(a) == canon_ty(b)
+}
+
+// ----- telemetry ----------------------------------------------------------
+
+/// Occupancy of the interning subsystem: arena sizes, hit counts, and memo
+/// table sizes. Printed by `psgc --stats-intern`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InternStats {
+    /// Distinct tag nodes interned.
+    pub tag_nodes: usize,
+    /// Intern calls that found an existing tag node.
+    pub tag_hits: u64,
+    /// Distinct type nodes interned.
+    pub ty_nodes: usize,
+    /// Intern calls that found an existing type node.
+    pub ty_hits: u64,
+    /// Entries in the tag-normalization memo.
+    pub tag_norm: usize,
+    /// Entries in the (type, dialect) normalization memo.
+    pub ty_norm: usize,
+    /// Entries in the tag α-canonicalization memo.
+    pub tag_canon: usize,
+    /// Entries in the type α-canonicalization memo.
+    pub ty_canon: usize,
+    /// Tag free-variable fingerprints computed.
+    pub tag_fv: usize,
+    /// Type free-variable fingerprints computed.
+    pub ty_fv: usize,
+}
+
+/// A snapshot of the global interner and memo-table occupancy.
+pub fn stats() -> InternStats {
+    let (tag_nodes, tag_hits) = TAGS
+        .read()
+        .unwrap()
+        .as_ref()
+        .map_or((0, 0), |a| (a.len(), a.hits()));
+    let (ty_nodes, ty_hits) = TYS
+        .read()
+        .unwrap()
+        .as_ref()
+        .map_or((0, 0), |a| (a.len(), a.hits()));
+    InternStats {
+        tag_nodes,
+        tag_hits,
+        ty_nodes,
+        ty_hits,
+        tag_norm: memo_len(&TAG_NORM),
+        ty_norm: memo_len(&TY_NORM),
+        tag_canon: memo_len(&TAG_CANON),
+        ty_canon: memo_len(&TY_CANON),
+        tag_fv: memo_len(&TAG_FV),
+        ty_fv: memo_len(&TY_FV),
+    }
+}
+
+impl fmt::Display for InternStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "tag nodes      {:>10}  (hits {})",
+            self.tag_nodes, self.tag_hits
+        )?;
+        writeln!(
+            f,
+            "ty nodes       {:>10}  (hits {})",
+            self.ty_nodes, self.ty_hits
+        )?;
+        writeln!(f, "tag norm memo  {:>10}", self.tag_norm)?;
+        writeln!(f, "ty norm memo   {:>10}", self.ty_norm)?;
+        writeln!(f, "tag canon memo {:>10}", self.tag_canon)?;
+        writeln!(f, "ty canon memo  {:>10}", self.ty_canon)?;
+        writeln!(f, "tag fv memo    {:>10}", self.tag_fv)?;
+        write!(f, "ty fv memo     {:>10}", self.ty_fv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::Kind;
+
+    fn s(x: &str) -> Symbol {
+        Symbol::intern(x)
+    }
+
+    #[test]
+    fn structural_equality_is_id_equality() {
+        let a = Tag::prod(Tag::Int, Tag::arrow([Tag::Int]));
+        let b = Tag::prod(Tag::Int, Tag::arrow([Tag::Int]));
+        assert_eq!(a.id(), b.id());
+        let c = Tag::prod(Tag::Int, Tag::Int);
+        assert_ne!(a.id(), c.id());
+    }
+
+    #[test]
+    fn canon_renames_binders() {
+        let a = Tag::lam(s("u"), Tag::Var(s("u"))).id();
+        let b = Tag::lam(s("v"), Tag::Var(s("v"))).id();
+        assert_eq!(canon_tag(a), canon_tag(b));
+        assert!(tag_alpha_eq(a, b));
+    }
+
+    #[test]
+    fn canon_keeps_free_vars() {
+        let a = Tag::lam(s("u"), Tag::Var(s("w"))).id();
+        let b = Tag::lam(s("v"), Tag::Var(s("z"))).id();
+        assert!(!tag_alpha_eq(a, b));
+    }
+
+    #[test]
+    fn canon_distinguishes_depths() {
+        // ∃u.∃v.(u × v) vs ∃u.∃v.(v × u): different index patterns.
+        let a = Tag::exist(
+            s("u"),
+            Tag::exist(s("v"), Tag::prod(Tag::Var(s("u")), Tag::Var(s("v")))),
+        );
+        let b = Tag::exist(
+            s("u"),
+            Tag::exist(s("v"), Tag::prod(Tag::Var(s("v")), Tag::Var(s("u")))),
+        );
+        assert!(!tag_alpha_eq(a.id(), b.id()));
+    }
+
+    #[test]
+    fn ty_canon_region_sets_are_sets() {
+        let r1 = Region::Var(s("ra"));
+        let r2 = Region::Var(s("rb"));
+        let a = Ty::exist_rgn(s("r"), [r1, r2], Ty::Int).id();
+        let b = Ty::exist_rgn(s("rr"), [r2, r1, r2], Ty::Int).id();
+        assert!(ty_alpha_eq(a, b));
+    }
+
+    #[test]
+    fn ty_canon_code_binders_positional() {
+        let a = Ty::code(
+            [(s("t"), Kind::Omega)],
+            [s("r")],
+            [Ty::m(Region::Var(s("r")), Tag::Var(s("t")))],
+        )
+        .id();
+        let b = Ty::code(
+            [(s("u"), Kind::Omega)],
+            [s("q")],
+            [Ty::m(Region::Var(s("q")), Tag::Var(s("u")))],
+        )
+        .id();
+        assert!(ty_alpha_eq(a, b));
+        let c = Ty::code(
+            [(s("u"), Kind::Arrow)],
+            [s("q")],
+            [Ty::m(Region::Var(s("q")), Tag::Var(s("u")))],
+        )
+        .id();
+        assert!(!ty_alpha_eq(a, c));
+    }
+
+    #[test]
+    fn fv_fingerprints() {
+        let t = Tag::exist(s("u"), Tag::prod(Tag::Var(s("u")), Tag::Var(s("w"))));
+        let fv = tag_fv(t.id());
+        assert!(fv.contains(&s("w")));
+        assert!(!fv.contains(&s("u")));
+        let sigma = Ty::exist_rgn(
+            s("r"),
+            [Region::Var(s("rb"))],
+            Ty::m(Region::Var(s("r")), Tag::Var(s("t"))),
+        );
+        let fv = ty_fv(sigma.id());
+        assert_eq!(&*fv.rvars, &[s("rb")]);
+        assert_eq!(&*fv.tvars, &[s("t")]);
+        assert!(fv.avars.is_empty());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let _ = Tag::prod(Tag::Int, Tag::Int).id();
+        let st = stats();
+        assert!(st.tag_nodes > 0);
+    }
+}

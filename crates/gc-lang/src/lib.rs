@@ -16,6 +16,9 @@
 //!
 //! * [`syntax`] — ASTs (Fig. 2 + extensions) with a [`syntax::Dialect`]
 //!   marker selecting the calculus;
+//! * [`intern`] — the hash-consed representation behind tags and types:
+//!   global arenas, id handles, free-variable fingerprints, memoized
+//!   normalization and α-canonicalization;
 //! * [`tags`] — tag kinding and normalization (Props. 6.1/6.2);
 //! * [`moper`] — the `M`/`C`/`M_gen` operators and type equality;
 //! * [`subst`] — capture-avoiding simultaneous substitution;
@@ -52,11 +55,13 @@
 pub mod ablation;
 pub mod env_machine;
 pub mod error;
+pub mod intern;
 pub mod machine;
 pub mod memory;
 pub mod moper;
 pub mod parse;
 pub mod pretty;
+pub mod reference;
 pub mod subst;
 pub mod syntax;
 pub mod tags;

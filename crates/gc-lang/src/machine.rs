@@ -296,9 +296,12 @@ impl Machine {
 
     fn step_term(&mut self, term: Term) -> Result<Option<Term>> {
         match term {
-            Term::App { f, tags: ts, regions, args } => {
-                self.step_app(f, ts, regions, args).map(Some)
-            }
+            Term::App {
+                f,
+                tags: ts,
+                regions,
+                args,
+            } => self.step_app(f, ts, regions, args).map(Some),
             Term::Let { x, op, body } => {
                 let v = self.eval_op(op)?;
                 let mut sub = Subst::new();
@@ -324,7 +327,9 @@ impl Machine {
                 }
             }
             Term::OpenTag { pkg, tvar, x, body } => match pkg {
-                Value::PackTag { tvar: _, tag, val, .. } => {
+                Value::PackTag {
+                    tvar: _, tag, val, ..
+                } => {
                     // Fig. 5 normalizes the witness tag before substituting.
                     let nf = tags::normalize(&tag);
                     let mut sub = Subst::new();
@@ -371,7 +376,13 @@ impl Machine {
                 self.stats.record_reclaim(report);
                 Ok(Some((*body).clone()))
             }
-            Term::Typecase { tag, int_arm, arrow_arm, prod_arm, exist_arm } => {
+            Term::Typecase {
+                tag,
+                int_arm,
+                arrow_arm,
+                prod_arm,
+                exist_arm,
+            } => {
                 self.stats.typecase_dispatches += 1;
                 let nf = tags::normalize(&tag);
                 match nf {
@@ -393,9 +404,18 @@ impl Machine {
                     other => Err(self.stuck(format!("typecase on non-constructor tag {other:?}"))),
                 }
             }
-            Term::IfLeft { x, scrut, left, right } => match scrut {
+            Term::IfLeft {
+                x,
+                scrut,
+                left,
+                right,
+            } => match scrut {
                 v @ (Value::Inl(_) | Value::Inr(_)) => {
-                    let arm = if matches!(v, Value::Inl(_)) { left } else { right };
+                    let arm = if matches!(v, Value::Inl(_)) {
+                        left
+                    } else {
+                        right
+                    };
                     let mut sub = Subst::new();
                     sub.bind_val(x, v);
                     Ok(Some(sub.term(&arm)))
@@ -410,7 +430,14 @@ impl Machine {
                 }
                 other => Err(self.stuck(format!("set on non-address {other:?}"))),
             },
-            Term::Widen { x, from, to, tag, v, body } => {
+            Term::Widen {
+                x,
+                from,
+                to,
+                tag,
+                v,
+                body,
+            } => {
                 // Operationally a no-op: `widen` is the cast whose soundness
                 // §7.1 establishes; only the (observer) memory typing Ψ is
                 // rewritten by the T operator of Appendix C.
@@ -432,7 +459,11 @@ impl Machine {
                     Ok(Some((*ne).clone()))
                 }
             }
-            Term::If0 { scrut, zero, nonzero } => match scrut {
+            Term::If0 {
+                scrut,
+                zero,
+                nonzero,
+            } => match scrut {
                 Value::Int(0) => Ok(Some((*zero).clone())),
                 Value::Int(_) => Ok(Some((*nonzero).clone())),
                 other => Err(self.stuck(format!("if0 on non-integer {other:?}"))),
@@ -537,7 +568,6 @@ impl Machine {
             Region::Var(r) => Err(self.stuck(format!("unsubstituted region variable {r}"))),
         }
     }
-
 }
 
 /// Rewrites `Ψ` for a `widen` by walking the live graph from `v` guided
@@ -627,7 +657,13 @@ fn widen_visit(
             let stored = mem.get(nu, loc)?.clone();
             match stored {
                 Value::Inl(inner) => match &*inner {
-                    Value::PackTag { tvar, kind, tag: witness, val, .. } => {
+                    Value::PackTag {
+                        tvar,
+                        kind,
+                        tag: witness,
+                        val,
+                        ..
+                    } => {
                         // §7.1's cast is "consistently applied over the
                         // whole heap": the stored package's (erasable)
                         // type annotation switches from the mutator view
@@ -832,7 +868,11 @@ mod tests {
             tag: Tag::Var(t2),
             int_arm: std::rc::Rc::new(Term::Halt(Value::Int(10))),
             arrow_arm: std::rc::Rc::new(Term::Halt(Value::Int(11))),
-            prod_arm: (s("u1"), s("u2"), std::rc::Rc::new(Term::Halt(Value::Int(12)))),
+            prod_arm: (
+                s("u1"),
+                s("u2"),
+                std::rc::Rc::new(Term::Halt(Value::Int(12))),
+            ),
             exist_arm: (s("ue"), std::rc::Rc::new(Term::Halt(Value::Int(13)))),
         };
         let e = Term::Typecase {
@@ -854,14 +894,22 @@ mod tests {
             tag: Tag::app(Tag::Var(te), Tag::Int),
             int_arm: std::rc::Rc::new(Term::Halt(Value::Int(0))),
             arrow_arm: std::rc::Rc::new(Term::Halt(Value::Int(1))),
-            prod_arm: (s("p1"), s("p2"), std::rc::Rc::new(Term::Halt(Value::Int(2)))),
+            prod_arm: (
+                s("p1"),
+                s("p2"),
+                std::rc::Rc::new(Term::Halt(Value::Int(2))),
+            ),
             exist_arm: (s("pe"), std::rc::Rc::new(Term::Halt(Value::Int(3)))),
         };
         let e = Term::Typecase {
             tag: Tag::exist(s("u"), Tag::prod(Tag::Var(s("u")), Tag::Int)),
             int_arm: std::rc::Rc::new(Term::Halt(Value::Int(0))),
             arrow_arm: std::rc::Rc::new(Term::Halt(Value::Int(1))),
-            prod_arm: (s("q1"), s("q2"), std::rc::Rc::new(Term::Halt(Value::Int(2)))),
+            prod_arm: (
+                s("q1"),
+                s("q2"),
+                std::rc::Rc::new(Term::Halt(Value::Int(2))),
+            ),
             exist_arm: (te, std::rc::Rc::new(inner)),
         };
         assert_eq!(run_main(e), 2);
@@ -906,7 +954,11 @@ mod tests {
                 },
             )),
         };
-        let p = Program { dialect: Dialect::Basic, code: vec![], main: e };
+        let p = Program {
+            dialect: Dialect::Basic,
+            code: vec![],
+            main: e,
+        };
         let mut m = Machine::load(&p, config());
         assert_eq!(m.run(1000).unwrap(), Outcome::Halted(0));
         assert_eq!(m.stats().collections, 1);
@@ -935,7 +987,11 @@ mod tests {
                 },
             )),
         };
-        let p = Program { dialect: Dialect::Basic, code: vec![], main: e };
+        let p = Program {
+            dialect: Dialect::Basic,
+            code: vec![],
+            main: e,
+        };
         let mut m = Machine::load(&p, config());
         assert!(m.run(1000).is_err());
     }
@@ -950,9 +1006,16 @@ mod tests {
         };
         // Fill the region past its budget first.
         for i in 0..20 {
-            body = Term::let_(s(&format!("fill{i}")), Op::Put(Region::Var(r), Value::Int(0)), body);
+            body = Term::let_(
+                s(&format!("fill{i}")),
+                Op::Put(Region::Var(r), Value::Int(0)),
+                body,
+            );
         }
-        let e = Term::LetRegion { rvar: r, body: std::rc::Rc::new(body) };
+        let e = Term::LetRegion {
+            rvar: r,
+            body: std::rc::Rc::new(body),
+        };
         assert_eq!(run_main(e), 1);
     }
 
@@ -1010,7 +1073,11 @@ mod tests {
                 },
             )),
         };
-        let p = Program { dialect: Dialect::Forwarding, code: vec![], main: e };
+        let p = Program {
+            dialect: Dialect::Forwarding,
+            code: vec![],
+            main: e,
+        };
         assert_eq!(run_program(p), 2);
     }
 
@@ -1035,7 +1102,11 @@ mod tests {
                 }),
             }),
         };
-        let p = Program { dialect: Dialect::Generational, code: vec![], main: e };
+        let p = Program {
+            dialect: Dialect::Generational,
+            code: vec![],
+            main: e,
+        };
         assert_eq!(run_program(p), 2);
     }
 
@@ -1069,7 +1140,11 @@ mod tests {
                 },
             )),
         };
-        let p = Program { dialect: Dialect::Generational, code: vec![], main: e };
+        let p = Program {
+            dialect: Dialect::Generational,
+            code: vec![],
+            main: e,
+        };
         assert_eq!(run_program(p), 8);
     }
 
@@ -1084,7 +1159,11 @@ mod tests {
             v: Value::Int(5),
             body: std::rc::Rc::new(Term::Halt(Value::Var(x))),
         };
-        let p = Program { dialect: Dialect::Forwarding, code: vec![], main: e };
+        let p = Program {
+            dialect: Dialect::Forwarding,
+            code: vec![],
+            main: e,
+        };
         assert_eq!(run_program(p), 5);
     }
 

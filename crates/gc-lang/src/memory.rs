@@ -48,7 +48,9 @@ impl std::str::FromStr for GrowthPolicy {
         match s {
             "fixed" => Ok(GrowthPolicy::Fixed),
             "adaptive" => Ok(GrowthPolicy::Adaptive),
-            other => Err(format!("unknown growth policy {other:?} (expected fixed|adaptive)")),
+            other => Err(format!(
+                "unknown growth policy {other:?} (expected fixed|adaptive)"
+            )),
         }
     }
 }
@@ -330,7 +332,9 @@ impl Memory {
             let dropped = self.regions.remove(&nu).expect("region exists");
             self.psi.remove(&nu);
             self.data_words -= dropped.words;
-            report.dropped.push((nu, dropped.words, dropped.slots.len()));
+            report
+                .dropped
+                .push((nu, dropped.words, dropped.slots.len()));
         }
         report
     }
@@ -421,21 +425,28 @@ impl Memory {
                 Ok(ty.clone().at(crate::syntax::Region::Name(*nu)))
             }
             Value::Pair(a, b) => Ok(Ty::prod(self.infer_stored_ty(a)?, self.infer_stored_ty(b)?)),
-            Value::PackTag { tvar, kind, body_ty, .. } => Ok(Ty::ExistTag {
-                tvar: *tvar,
-                kind: *kind,
-                body: std::rc::Rc::new(body_ty.clone()),
-            }),
-            Value::PackAlpha { avar, regions, body_ty, .. } => Ok(Ty::ExistAlpha {
-                avar: *avar,
-                regions: regions.clone(),
-                body: std::rc::Rc::new(body_ty.clone()),
-            }),
-            Value::PackRgn { rvar, bound, body_ty, .. } => Ok(Ty::ExistRgn {
-                rvar: *rvar,
-                bound: bound.clone(),
-                body: std::rc::Rc::new(body_ty.clone()),
-            }),
+            Value::PackTag {
+                tvar,
+                kind,
+                body_ty,
+                ..
+            } => Ok(Ty::exist_tag(*tvar, *kind, body_ty.clone())),
+            Value::PackAlpha {
+                avar,
+                regions,
+                body_ty,
+                ..
+            } => Ok(Ty::exist_alpha(
+                *avar,
+                regions.iter().copied(),
+                body_ty.clone(),
+            )),
+            Value::PackRgn {
+                rvar,
+                bound,
+                body_ty,
+                ..
+            } => Ok(Ty::exist_rgn(*rvar, bound.iter().copied(), body_ty.clone())),
             Value::TagApp(f, tags, regions) => {
                 let fty = self.infer_stored_ty(f)?;
                 match fty {
@@ -452,9 +463,9 @@ impl Memory {
                                 sub = sub.with_rgn(*r, *nu);
                             }
                             Ok(Ty::Trans {
-                                tags: tags.clone(),
-                                regions: regions.clone(),
-                                args: args.iter().map(|a| sub.ty(a)).collect(),
+                                tags: tags.iter().map(|t| t.id()).collect(),
+                                regions: regions.iter().copied().collect(),
+                                args: args.iter().map(|a| sub.ty_id(*a)).collect(),
                                 rho,
                             })
                         }
@@ -464,8 +475,8 @@ impl Memory {
                 }
             }
             Value::Code(def) => Ok(def.ty()),
-            Value::Inl(x) => Ok(Ty::Left(std::rc::Rc::new(self.infer_stored_ty(x)?))),
-            Value::Inr(x) => Ok(Ty::Right(std::rc::Rc::new(self.infer_stored_ty(x)?))),
+            Value::Inl(x) => Ok(Ty::Left(self.infer_stored_ty(x)?.id())),
+            Value::Inr(x) => Ok(Ty::Right(self.infer_stored_ty(x)?.id())),
         }
     }
 }
@@ -521,7 +532,10 @@ mod tests {
             body_ty: Ty::Int,
         };
         assert_eq!(value_words(&v), 2, "one word for the runtime tag");
-        assert_eq!(value_words(&Value::inl(Value::pair(Value::Int(1), Value::Int(2)))), 2);
+        assert_eq!(
+            value_words(&Value::inl(Value::pair(Value::Int(1), Value::Int(2)))),
+            2
+        );
     }
 
     #[test]
@@ -639,7 +653,8 @@ mod tests {
         });
         let r1 = m.alloc_region();
         let r2 = m.alloc_region();
-        m.put(r1, Value::pair(Value::Int(1), Value::Int(2))).unwrap();
+        m.put(r1, Value::pair(Value::Int(1), Value::Int(2)))
+            .unwrap();
         let loc = m.put(r2, Value::Int(3)).unwrap();
         assert_eq!(m.data_words(), 3);
         // `set` never adjusts word counts (the slot keeps its Υ size).

@@ -15,10 +15,11 @@
 //! can produce, so fixed names are safe (substitution still renames them if
 //! a capture would otherwise occur).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ps_ir::Symbol;
 
+use crate::intern::{self, intern_ty, TagId, TyId};
 use crate::syntax::{Dialect, Kind, Region, Tag, Ty};
 use crate::tags;
 
@@ -45,15 +46,12 @@ fn expand_m(dialect: Dialect, rho: Region, tag: &Tag) -> Option<Ty> {
         Tag::AnyArrow(_) => None,
         Tag::Arrow(args) => Some(code_rep(dialect, args)),
         Tag::Prod(a, b) => {
-            let inner = Ty::prod(
-                Ty::M(rho, a.clone()),
-                Ty::M(rho, b.clone()),
-            );
+            let inner = Ty::Prod(intern_ty(Ty::M(rho, *a)), intern_ty(Ty::M(rho, *b)));
             Some(match dialect {
                 // Mρ(τ₁×τ₂) ⇒ (Mρ(τ₁) × Mρ(τ₂)) at ρ
                 Dialect::Basic => inner.at(rho),
                 // §7: the mutator must provide the forwarding tag bit.
-                Dialect::Forwarding => Ty::Left(Rc::new(inner)).at(rho),
+                Dialect::Forwarding => Ty::Left(intern_ty(inner)).at(rho),
                 // §8: ∃r ∈ {ρy,ρo}.((M_{r,ρo}(τ₁) × M_{r,ρo}(τ₂)) at r) —
                 // handled by expand_mgen; plain M is not part of λGCgen.
                 Dialect::Generational => inner.at(rho),
@@ -63,11 +61,11 @@ fn expand_m(dialect: Dialect, rho: Region, tag: &Tag) -> Option<Ty> {
             let inner = Ty::ExistTag {
                 tvar: *t,
                 kind: Kind::Omega,
-                body: Rc::new(Ty::M(rho, body.clone())),
+                body: intern_ty(Ty::M(rho, *body)),
             };
             Some(match dialect {
                 Dialect::Basic | Dialect::Generational => inner.at(rho),
-                Dialect::Forwarding => Ty::Left(Rc::new(inner)).at(rho),
+                Dialect::Forwarding => Ty::Left(intern_ty(inner)).at(rho),
             })
         }
         Tag::Var(_) | Tag::App(..) => None,
@@ -78,16 +76,16 @@ fn expand_m(dialect: Dialect, rho: Region, tag: &Tag) -> Option<Ty> {
 
 /// The code-type representation `∀[][r](M_r(~τ)) → 0 at cd`
 /// (or the two-region variant in the generational dialect).
-fn code_rep(dialect: Dialect, args: &[Tag]) -> Ty {
+fn code_rep(dialect: Dialect, args: &[TagId]) -> Ty {
     match dialect {
         Dialect::Basic | Dialect::Forwarding => {
             let r = r_m();
             Ty::Code {
-                tvars: Rc::from(vec![]),
-                rvars: Rc::from(vec![r]),
+                tvars: Arc::from(vec![]),
+                rvars: Arc::from(vec![r]),
                 args: args
                     .iter()
-                    .map(|a| Ty::M(Region::Var(r), Rc::new(a.clone())))
+                    .map(|a| intern_ty(Ty::M(Region::Var(r), *a)))
                     .collect(),
             }
             .at(Region::cd())
@@ -96,11 +94,11 @@ fn code_rep(dialect: Dialect, args: &[Tag]) -> Ty {
             let ry = ry_m();
             let ro = ro_m();
             Ty::Code {
-                tvars: Rc::from(vec![]),
-                rvars: Rc::from(vec![ry, ro]),
+                tvars: Arc::from(vec![]),
+                rvars: Arc::from(vec![ry, ro]),
                 args: args
                     .iter()
-                    .map(|a| Ty::MGen(Region::Var(ry), Region::Var(ro), Rc::new(a.clone())))
+                    .map(|a| intern_ty(Ty::MGen(Region::Var(ry), Region::Var(ro), *a)))
                     .collect(),
             }
             .at(Region::cd())
@@ -116,20 +114,20 @@ fn expand_c(from: Region, to: Region, tag: &Tag) -> Option<Ty> {
         // Cρ,ρ′(τ→0) ⇒ Mρ(τ→0): code is shared, not forwarded.
         Tag::Arrow(args) => Some(code_rep(Dialect::Forwarding, args)),
         Tag::Prod(a, b) => {
-            let left = Ty::prod(
-                Ty::C(from, to, a.clone()),
-                Ty::C(from, to, b.clone()),
+            let left = Ty::Prod(
+                intern_ty(Ty::C(from, to, *a)),
+                intern_ty(Ty::C(from, to, *b)),
             );
-            let right = Ty::M(to, Rc::new(tag.clone()));
+            let right = Ty::M(to, tag.id());
             Some(Ty::sum(left, right).at(from))
         }
         Tag::Exist(t, body) => {
             let left = Ty::ExistTag {
                 tvar: *t,
                 kind: Kind::Omega,
-                body: Rc::new(Ty::C(from, to, body.clone())),
+                body: intern_ty(Ty::C(from, to, *body)),
             };
-            let right = Ty::M(to, Rc::new(tag.clone()));
+            let right = Ty::M(to, tag.id());
             Some(Ty::sum(left, right).at(from))
         }
         Tag::Var(_) | Tag::App(..) | Tag::Lam(..) => None,
@@ -147,14 +145,14 @@ fn expand_mgen(young: Region, old: Region, tag: &Tag) -> Option<Ty> {
             // By using the set {r, ρo} for the children we make sure that if
             // r is the old generation, pointers underneath cannot point back
             // to the new generation (§8).
-            let body = Ty::prod(
-                Ty::MGen(Region::Var(r), old, a.clone()),
-                Ty::MGen(Region::Var(r), old, b.clone()),
+            let body = Ty::Prod(
+                intern_ty(Ty::MGen(Region::Var(r), old, *a)),
+                intern_ty(Ty::MGen(Region::Var(r), old, *b)),
             );
             Some(Ty::ExistRgn {
                 rvar: r,
                 bound: region_set(&[young, old]),
-                body: Rc::new(body),
+                body: intern_ty(body),
             })
         }
         Tag::Exist(t, body) => {
@@ -162,12 +160,12 @@ fn expand_mgen(young: Region, old: Region, tag: &Tag) -> Option<Ty> {
             let inner = Ty::ExistTag {
                 tvar: *t,
                 kind: Kind::Omega,
-                body: Rc::new(Ty::MGen(Region::Var(r), old, body.clone())),
+                body: intern_ty(Ty::MGen(Region::Var(r), old, *body)),
             };
             Some(Ty::ExistRgn {
                 rvar: r,
                 bound: region_set(&[young, old]),
-                body: Rc::new(inner),
+                body: intern_ty(inner),
             })
         }
         Tag::Var(_) | Tag::App(..) | Tag::Lam(..) => None,
@@ -175,7 +173,7 @@ fn expand_mgen(young: Region, old: Region, tag: &Tag) -> Option<Ty> {
 }
 
 /// Deduplicated region set, preserving first-occurrence order.
-pub fn region_set(rs: &[Region]) -> Rc<[Region]> {
+pub fn region_set(rs: &[Region]) -> Arc<[Region]> {
     let mut out: Vec<Region> = Vec::with_capacity(rs.len());
     for r in rs {
         if !out.contains(r) {
@@ -187,238 +185,128 @@ pub fn region_set(rs: &[Region]) -> Rc<[Region]> {
 
 /// Deeply normalizes a type: normalizes embedded tags and expands the
 /// M/C/M_gen operators wherever their tag argument is a constructor.
+///
+/// Memoized per `(node, dialect)` ([`normalize_ty_id`]): shared subtrees —
+/// and, under `track_types`, the Ψ entries re-normalized on every machine
+/// step — are normalized exactly once.
 pub fn normalize_ty(sigma: &Ty, dialect: Dialect) -> Ty {
-    match sigma {
-        Ty::Int | Ty::Alpha(_) => sigma.clone(),
-        Ty::Prod(a, b) => Ty::Prod(
-            Rc::new(normalize_ty(a, dialect)),
-            Rc::new(normalize_ty(b, dialect)),
-        ),
-        Ty::Sum(a, b) => Ty::Sum(
-            Rc::new(normalize_ty(a, dialect)),
-            Rc::new(normalize_ty(b, dialect)),
-        ),
-        Ty::Left(a) => Ty::Left(Rc::new(normalize_ty(a, dialect))),
-        Ty::Right(a) => Ty::Right(Rc::new(normalize_ty(a, dialect))),
-        Ty::Code { tvars, rvars, args } => Ty::Code {
+    normalize_ty_id(sigma.id(), dialect).node().clone()
+}
+
+/// Memoized [`normalize_ty`] by id.
+pub fn normalize_ty_id(id: TyId, dialect: Dialect) -> TyId {
+    if let Some(hit) = intern::ty_norm_lookup(id, dialect) {
+        return hit;
+    }
+    let nf = match id.node() {
+        Ty::Int | Ty::Alpha(_) => id,
+        Ty::Prod(a, b) => intern_ty(Ty::Prod(
+            normalize_ty_id(*a, dialect),
+            normalize_ty_id(*b, dialect),
+        )),
+        Ty::Sum(a, b) => intern_ty(Ty::Sum(
+            normalize_ty_id(*a, dialect),
+            normalize_ty_id(*b, dialect),
+        )),
+        Ty::Left(a) => intern_ty(Ty::Left(normalize_ty_id(*a, dialect))),
+        Ty::Right(a) => intern_ty(Ty::Right(normalize_ty_id(*a, dialect))),
+        Ty::Code { tvars, rvars, args } => intern_ty(Ty::Code {
             tvars: tvars.clone(),
             rvars: rvars.clone(),
-            args: args.iter().map(|a| normalize_ty(a, dialect)).collect(),
-        },
-        Ty::ExistTag { tvar, kind, body } => Ty::ExistTag {
+            args: args.iter().map(|a| normalize_ty_id(*a, dialect)).collect(),
+        }),
+        Ty::ExistTag { tvar, kind, body } => intern_ty(Ty::ExistTag {
             tvar: *tvar,
             kind: *kind,
-            body: Rc::new(normalize_ty(body, dialect)),
-        },
-        Ty::At(inner, rho) => Ty::At(Rc::new(normalize_ty(inner, dialect)), *rho),
+            body: normalize_ty_id(*body, dialect),
+        }),
+        Ty::At(inner, rho) => intern_ty(Ty::At(normalize_ty_id(*inner, dialect), *rho)),
         Ty::M(rho, tag) => {
-            let nf = tags::normalize(tag);
+            let nf = tags::normalize_id(*tag).0;
             // paper: `AnyArrow` canonicalizes to `M_cd` — the M-image of any
             // arrow lives at cd and is independent of the region index, so
             // making that independence syntactic lets Fig. 4's `λ ⇒ x` arm
             // typecheck (see the `Tag::AnyArrow` docs).
-            if let Tag::AnyArrow(_) = nf {
-                return Ty::M(Region::cd(), Rc::new(nf));
-            }
-            match expand_m(dialect, *rho, &nf) {
-                Some(t) => normalize_ty(&t, dialect),
-                None => Ty::M(*rho, Rc::new(nf)),
+            if let Tag::AnyArrow(_) = nf.node() {
+                intern_ty(Ty::M(Region::cd(), nf))
+            } else {
+                match expand_m(dialect, *rho, nf.node()) {
+                    Some(t) => normalize_ty_id(t.id(), dialect),
+                    None => intern_ty(Ty::M(*rho, nf)),
+                }
             }
         }
         Ty::C(from, to, tag) => {
-            let nf = tags::normalize(tag);
-            if let Tag::AnyArrow(_) = nf {
-                return Ty::M(Region::cd(), Rc::new(nf));
-            }
-            match expand_c(*from, *to, &nf) {
-                Some(t) => normalize_ty(&t, dialect),
-                None => Ty::C(*from, *to, Rc::new(nf)),
+            let nf = tags::normalize_id(*tag).0;
+            if let Tag::AnyArrow(_) = nf.node() {
+                intern_ty(Ty::M(Region::cd(), nf))
+            } else {
+                match expand_c(*from, *to, nf.node()) {
+                    Some(t) => normalize_ty_id(t.id(), dialect),
+                    None => intern_ty(Ty::C(*from, *to, nf)),
+                }
             }
         }
         Ty::MGen(y, o, tag) => {
-            let nf = tags::normalize(tag);
-            if let Tag::AnyArrow(_) = nf {
-                return Ty::M(Region::cd(), Rc::new(nf));
-            }
-            match expand_mgen(*y, *o, &nf) {
-                Some(t) => normalize_ty(&t, dialect),
-                None => Ty::MGen(*y, *o, Rc::new(nf)),
+            let nf = tags::normalize_id(*tag).0;
+            if let Tag::AnyArrow(_) = nf.node() {
+                intern_ty(Ty::M(Region::cd(), nf))
+            } else {
+                match expand_mgen(*y, *o, nf.node()) {
+                    Some(t) => normalize_ty_id(t.id(), dialect),
+                    None => intern_ty(Ty::MGen(*y, *o, nf)),
+                }
             }
         }
-        Ty::ExistAlpha { avar, regions, body } => Ty::ExistAlpha {
+        Ty::ExistAlpha {
+            avar,
+            regions,
+            body,
+        } => intern_ty(Ty::ExistAlpha {
             avar: *avar,
             regions: region_set(regions),
-            body: Rc::new(normalize_ty(body, dialect)),
-        },
-        Ty::Trans { tags: ts, regions, args, rho } => Ty::Trans {
-            tags: ts.iter().map(tags::normalize).collect(),
+            body: normalize_ty_id(*body, dialect),
+        }),
+        Ty::Trans {
+            tags: ts,
+            regions,
+            args,
+            rho,
+        } => intern_ty(Ty::Trans {
+            tags: ts.iter().map(|t| tags::normalize_id(*t).0).collect(),
             regions: regions.clone(),
-            args: args.iter().map(|a| normalize_ty(a, dialect)).collect(),
+            args: args.iter().map(|a| normalize_ty_id(*a, dialect)).collect(),
             rho: *rho,
-        },
-        Ty::ExistRgn { rvar, bound, body } => Ty::ExistRgn {
+        }),
+        Ty::ExistRgn { rvar, bound, body } => intern_ty(Ty::ExistRgn {
             rvar: *rvar,
             bound: region_set(bound),
-            body: Rc::new(normalize_ty(body, dialect)),
-        },
-    }
+            body: normalize_ty_id(*body, dialect),
+        }),
+    };
+    intern::ty_norm_insert(id, dialect, nf);
+    nf
 }
 
-/// Environment of corresponding binders for α-comparison.
-#[derive(Default)]
-struct AlphaEnv {
-    tags: Vec<(Symbol, Symbol)>,
-    rgns: Vec<(Symbol, Symbol)>,
-    alphas: Vec<(Symbol, Symbol)>,
-}
-
-fn pair_eq(x: Symbol, y: Symbol, env: &[(Symbol, Symbol)]) -> bool {
-    for &(a, b) in env.iter().rev() {
-        if a == x || b == y {
-            return a == x && b == y;
-        }
-    }
-    x == y
-}
-
-fn region_eq(a: &Region, b: &Region, env: &AlphaEnv) -> bool {
-    match (a, b) {
-        (Region::Var(x), Region::Var(y)) => pair_eq(*x, *y, &env.rgns),
-        (Region::Name(x), Region::Name(y)) => x == y,
-        _ => false,
-    }
-}
-
-/// Compares two region sets as sets under the α-environment.
-fn region_set_eq(a: &[Region], b: &[Region], env: &AlphaEnv) -> bool {
-    a.iter().all(|x| b.iter().any(|y| region_eq(x, y, env)))
-        && b.iter().all(|y| a.iter().any(|x| region_eq(x, y, env)))
-}
-
-fn tag_alpha_eq(a: &Tag, b: &Tag, env: &mut AlphaEnv) -> bool {
-    match (a, b) {
-        (Tag::Var(x), Tag::Var(y)) | (Tag::AnyArrow(x), Tag::AnyArrow(y)) => {
-            pair_eq(*x, *y, &env.tags)
-        }
-        (Tag::Int, Tag::Int) => true,
-        (Tag::Prod(a1, a2), Tag::Prod(b1, b2)) | (Tag::App(a1, a2), Tag::App(b1, b2)) => {
-            tag_alpha_eq(a1, b1, env) && tag_alpha_eq(a2, b2, env)
-        }
-        (Tag::Arrow(xs), Tag::Arrow(ys)) => {
-            xs.len() == ys.len() && xs.iter().zip(ys.iter()).all(|(x, y)| tag_alpha_eq(x, y, env))
-        }
-        (Tag::Exist(x, bx), Tag::Exist(y, by)) | (Tag::Lam(x, bx), Tag::Lam(y, by)) => {
-            env.tags.push((*x, *y));
-            let r = tag_alpha_eq(bx, by, env);
-            env.tags.pop();
-            r
-        }
-        _ => false,
-    }
-}
-
-fn ty_alpha_eq(a: &Ty, b: &Ty, env: &mut AlphaEnv) -> bool {
-    match (a, b) {
-        (Ty::Int, Ty::Int) => true,
-        (Ty::Prod(a1, a2), Ty::Prod(b1, b2)) | (Ty::Sum(a1, a2), Ty::Sum(b1, b2)) => {
-            ty_alpha_eq(a1, b1, env) && ty_alpha_eq(a2, b2, env)
-        }
-        (Ty::Left(x), Ty::Left(y)) | (Ty::Right(x), Ty::Right(y)) => ty_alpha_eq(x, y, env),
-        (
-            Ty::Code { tvars: tv1, rvars: rv1, args: a1 },
-            Ty::Code { tvars: tv2, rvars: rv2, args: a2 },
-        ) => {
-            if tv1.len() != tv2.len() || rv1.len() != rv2.len() || a1.len() != a2.len() {
-                return false;
-            }
-            if tv1.iter().zip(tv2.iter()).any(|((_, k1), (_, k2))| k1 != k2) {
-                return false;
-            }
-            let nt = tv1.len();
-            let nr = rv1.len();
-            for ((t1, _), (t2, _)) in tv1.iter().zip(tv2.iter()) {
-                env.tags.push((*t1, *t2));
-            }
-            for (r1, r2) in rv1.iter().zip(rv2.iter()) {
-                env.rgns.push((*r1, *r2));
-            }
-            let r = a1.iter().zip(a2.iter()).all(|(x, y)| ty_alpha_eq(x, y, env));
-            env.tags.truncate(env.tags.len() - nt);
-            env.rgns.truncate(env.rgns.len() - nr);
-            r
-        }
-        (
-            Ty::ExistTag { tvar: t1, kind: k1, body: b1 },
-            Ty::ExistTag { tvar: t2, kind: k2, body: b2 },
-        ) => {
-            if k1 != k2 {
-                return false;
-            }
-            env.tags.push((*t1, *t2));
-            let r = ty_alpha_eq(b1, b2, env);
-            env.tags.pop();
-            r
-        }
-        (Ty::At(x, rx), Ty::At(y, ry)) => region_eq(rx, ry, env) && ty_alpha_eq(x, y, env),
-        (Ty::M(r1, t1), Ty::M(r2, t2)) => region_eq(r1, r2, env) && tag_alpha_eq(t1, t2, env),
-        (Ty::C(f1, o1, t1), Ty::C(f2, o2, t2)) => {
-            region_eq(f1, f2, env) && region_eq(o1, o2, env) && tag_alpha_eq(t1, t2, env)
-        }
-        (Ty::MGen(y1, o1, t1), Ty::MGen(y2, o2, t2)) => {
-            region_eq(y1, y2, env) && region_eq(o1, o2, env) && tag_alpha_eq(t1, t2, env)
-        }
-        (Ty::Alpha(x), Ty::Alpha(y)) => pair_eq(*x, *y, &env.alphas),
-        (
-            Ty::ExistAlpha { avar: a1, regions: d1, body: b1 },
-            Ty::ExistAlpha { avar: a2, regions: d2, body: b2 },
-        ) => {
-            if !region_set_eq(d1, d2, env) {
-                return false;
-            }
-            env.alphas.push((*a1, *a2));
-            let r = ty_alpha_eq(b1, b2, env);
-            env.alphas.pop();
-            r
-        }
-        (
-            Ty::Trans { tags: ts1, regions: rs1, args: a1, rho: rho1 },
-            Ty::Trans { tags: ts2, regions: rs2, args: a2, rho: rho2 },
-        ) => {
-            ts1.len() == ts2.len()
-                && rs1.len() == rs2.len()
-                && a1.len() == a2.len()
-                && region_eq(rho1, rho2, env)
-                && ts1.iter().zip(ts2.iter()).all(|(x, y)| tag_alpha_eq(x, y, env))
-                && rs1.iter().zip(rs2.iter()).all(|(x, y)| region_eq(x, y, env))
-                && a1.iter().zip(a2.iter()).all(|(x, y)| ty_alpha_eq(x, y, env))
-        }
-        (
-            Ty::ExistRgn { rvar: r1, bound: d1, body: b1 },
-            Ty::ExistRgn { rvar: r2, bound: d2, body: b2 },
-        ) => {
-            if !region_set_eq(d1, d2, env) {
-                return false;
-            }
-            env.rgns.push((*r1, *r2));
-            let r = ty_alpha_eq(b1, b2, env);
-            env.rgns.pop();
-            r
-        }
-        _ => false,
-    }
-}
-
-/// α-equivalence of types (no normalization).
+/// α-equivalence of types (no normalization): an id compare of
+/// α-canonical forms ([`crate::intern::canon_ty`]). Region sets
+/// (`∃α:∆` / `∃r∈∆` bounds) compare as sets, binders up to renaming.
 pub fn alpha_eq_ty(a: &Ty, b: &Ty) -> bool {
-    ty_alpha_eq(a, b, &mut AlphaEnv::default())
+    intern::ty_alpha_eq(a.id(), b.id())
 }
 
 /// Type equality: normalize, then compare up to α.
 pub fn ty_eq(a: &Ty, b: &Ty, dialect: Dialect) -> bool {
+    ty_eq_id(a.id(), b.id(), dialect)
+}
+
+/// [`ty_eq`] on interned ids: two memoized normalizations and an id
+/// compare of canonical forms.
+pub fn ty_eq_id(a: TyId, b: TyId, dialect: Dialect) -> bool {
     if a == b {
         return true;
     }
-    alpha_eq_ty(&normalize_ty(a, dialect), &normalize_ty(b, dialect))
+    intern::ty_alpha_eq(normalize_ty_id(a, dialect), normalize_ty_id(b, dialect))
 }
 
 /// The size of a type (number of constructors).
@@ -427,15 +315,15 @@ pub fn ty_size(sigma: &Ty) -> usize {
         Ty::Int | Ty::Alpha(_) => 1,
         Ty::Prod(a, b) | Ty::Sum(a, b) => 1 + ty_size(a) + ty_size(b),
         Ty::Left(a) | Ty::Right(a) | Ty::At(a, _) => 1 + ty_size(a),
-        Ty::Code { args, .. } => 1 + args.iter().map(ty_size).sum::<usize>(),
+        Ty::Code { args, .. } => 1 + args.iter().map(|a| ty_size(a)).sum::<usize>(),
         Ty::ExistTag { body, .. } | Ty::ExistAlpha { body, .. } | Ty::ExistRgn { body, .. } => {
             1 + ty_size(body)
         }
         Ty::M(_, t) => 1 + tags::tag_size(t),
         Ty::C(_, _, t) | Ty::MGen(_, _, t) => 1 + tags::tag_size(t),
         Ty::Trans { tags: ts, args, .. } => {
-            1 + ts.iter().map(tags::tag_size).sum::<usize>()
-                + args.iter().map(ty_size).sum::<usize>()
+            1 + ts.iter().map(|t| tags::tag_size(t)).sum::<usize>()
+                + args.iter().map(|a| ty_size(a)).sum::<usize>()
         }
     }
 }
@@ -509,7 +397,11 @@ mod tests {
         let b = Ty::m(Region::Var(s("r2")), Tag::AnyArrow(s("t")));
         assert!(ty_eq(&a, &b, Dialect::Basic));
         // ... and across M and C in the forwarding dialect.
-        let c = Ty::c(Region::Var(s("r1")), Region::Var(s("r2")), Tag::AnyArrow(s("t")));
+        let c = Ty::c(
+            Region::Var(s("r1")),
+            Region::Var(s("r2")),
+            Tag::AnyArrow(s("t")),
+        );
         assert!(ty_eq(&a, &c, Dialect::Forwarding));
     }
 

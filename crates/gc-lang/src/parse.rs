@@ -19,9 +19,7 @@ use std::rc::Rc;
 
 use ps_ir::Symbol;
 
-use crate::syntax::{
-    CodeDef, Kind, Op, PrimOp, Region, RegionName, Tag, Term, Ty, Value, CD,
-};
+use crate::syntax::{CodeDef, Kind, Op, PrimOp, Region, RegionName, Tag, Term, Ty, Value, CD};
 
 /// A λGC parse error with a token position.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -394,7 +392,10 @@ impl P {
         while self.starts_tag_atom() {
             // Do not swallow keywords that end a tag context.
             if let Some(Tok::Ident(w)) = self.peek() {
-                if matches!(w.as_str(), "of" | "at" | "in" | "then" | "else" | "left" | "right") {
+                if matches!(
+                    w.as_str(),
+                    "of" | "at" | "in" | "then" | "else" | "left" | "right"
+                ) {
                     break;
                 }
             }
@@ -493,12 +494,12 @@ impl P {
                 let b = self.ty_atom()?;
                 return Ok(Ty::sum(a, b));
             }
-            return Ok(Ty::Left(Rc::new(a)));
+            return Ok(Ty::Left(a.id()));
         }
         if self.at_kw("right") {
             self.i += 1;
             let a = self.ty_atom()?;
-            return Ok(Ty::Right(Rc::new(a)));
+            return Ok(Ty::Right(a.id()));
         }
         self.ty_atom()
     }
@@ -597,9 +598,9 @@ impl P {
                         let rho = self.region()?;
                         match self.bump() {
                             Some(Tok::Int(0)) => Ok(Ty::Trans {
-                                tags: tags.into(),
+                                tags: tags.iter().map(|t| t.id()).collect(),
                                 regions: regions.into(),
-                                args: args.into(),
+                                args: args.iter().map(|a| a.id()).collect(),
                                 rho,
                             }),
                             other => self.err(format!("expected 0, found {other:?}")),
@@ -974,9 +975,24 @@ impl P {
             }
             let body = Rc::new(self.term()?);
             return Ok(match which.as_str() {
-                "open" => Term::OpenTag { pkg, tvar: a, x, body },
-                "openα" => Term::OpenAlpha { pkg, avar: a, x, body },
-                _ => Term::OpenRgn { pkg, rvar: a, x, body },
+                "open" => Term::OpenTag {
+                    pkg,
+                    tvar: a,
+                    x,
+                    body,
+                },
+                "openα" => Term::OpenAlpha {
+                    pkg,
+                    avar: a,
+                    x,
+                    body,
+                },
+                _ => Term::OpenRgn {
+                    pkg,
+                    rvar: a,
+                    x,
+                    body,
+                },
             });
         }
         if self.at_kw("typecase") {
@@ -1137,7 +1153,12 @@ impl P {
             }
         }
         self.expect(Tok::RParen, ")")?;
-        Ok(Term::App { f, tags, regions, args })
+        Ok(Term::App {
+            f,
+            tags,
+            regions,
+            args,
+        })
     }
 
     // ---- code definitions -----------------------------------------------
@@ -1198,7 +1219,10 @@ impl P {
 ///
 /// Returns a [`GcParseError`] on malformed or trailing input.
 pub fn parse_term(src: &str) -> PResult<Term> {
-    let mut p = P { toks: lex(src)?, i: 0 };
+    let mut p = P {
+        toks: lex(src)?,
+        i: 0,
+    };
     let t = p.term()?;
     if p.i != p.toks.len() {
         return p.err("trailing input");
@@ -1212,7 +1236,10 @@ pub fn parse_term(src: &str) -> PResult<Term> {
 ///
 /// Returns a [`GcParseError`] on malformed or trailing input.
 pub fn parse_ty(src: &str) -> PResult<Ty> {
-    let mut p = P { toks: lex(src)?, i: 0 };
+    let mut p = P {
+        toks: lex(src)?,
+        i: 0,
+    };
     let t = p.ty()?;
     if p.i != p.toks.len() {
         return p.err("trailing input");
@@ -1226,7 +1253,10 @@ pub fn parse_ty(src: &str) -> PResult<Ty> {
 ///
 /// Returns a [`GcParseError`] on malformed or trailing input.
 pub fn parse_tag(src: &str) -> PResult<Tag> {
-    let mut p = P { toks: lex(src)?, i: 0 };
+    let mut p = P {
+        toks: lex(src)?,
+        i: 0,
+    };
     let t = p.tag()?;
     if p.i != p.toks.len() {
         return p.err("trailing input");
@@ -1241,7 +1271,10 @@ pub fn parse_tag(src: &str) -> PResult<Tag> {
 ///
 /// Returns a [`GcParseError`] on malformed or trailing input.
 pub fn parse_code_def(src: &str) -> PResult<CodeDef> {
-    let mut p = P { toks: lex(src)?, i: 0 };
+    let mut p = P {
+        toks: lex(src)?,
+        i: 0,
+    };
     let d = p.code_def()?;
     if p.i != p.toks.len() {
         return p.err("trailing input");
@@ -1255,7 +1288,10 @@ pub fn parse_code_def(src: &str) -> PResult<CodeDef> {
 ///
 /// Returns a [`GcParseError`] on malformed input.
 pub fn parse_code_defs(src: &str) -> PResult<Vec<CodeDef>> {
-    let mut p = P { toks: lex(src)?, i: 0 };
+    let mut p = P {
+        toks: lex(src)?,
+        i: 0,
+    };
     let mut out = Vec::new();
     while p.i < p.toks.len() {
         out.push(p.code_def()?);

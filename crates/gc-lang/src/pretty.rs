@@ -35,15 +35,14 @@ fn tag_prec(t: &Tag, prec: u8) -> Doc {
             .append(Doc::text(" × "))
             .append(tag_prec(b, 2)),
         Tag::Arrow(args) => Doc::text("(")
-            .append(Doc::join(args.iter().map(|a| tag_prec(a, 0)), Doc::text(", ")))
+            .append(Doc::join(
+                args.iter().map(|a| tag_prec(a, 0)),
+                Doc::text(", "),
+            ))
             .append(Doc::text(") → 0")),
-        Tag::Exist(x, body) => Doc::text(format!("∃{x}."))
-            .append(tag_prec(body, 1)),
-        Tag::Lam(x, body) => Doc::text(format!("λ{x}."))
-            .append(tag_prec(body, 1)),
-        Tag::App(f, a) => tag_prec(f, 2)
-            .append(Doc::text(" "))
-            .append(tag_prec(a, 3)),
+        Tag::Exist(x, body) => Doc::text(format!("∃{x}.")).append(tag_prec(body, 1)),
+        Tag::Lam(x, body) => Doc::text(format!("λ{x}.")).append(tag_prec(body, 1)),
+        Tag::App(f, a) => tag_prec(f, 2).append(Doc::text(" ")).append(tag_prec(a, 3)),
     };
     let needs = match t {
         Tag::Prod(..) => prec >= 2,
@@ -72,7 +71,10 @@ fn ty_prec(t: &Ty, prec: u8) -> Doc {
                 tvars.iter().map(|(t, k)| Doc::text(format!("{t}:{k}"))),
                 Doc::text(", "),
             );
-            let rv = Doc::join(rvars.iter().map(|r| Doc::text(r.to_string())), Doc::text(", "));
+            let rv = Doc::join(
+                rvars.iter().map(|r| Doc::text(r.to_string())),
+                Doc::text(", "),
+            );
             let ar = Doc::join(args.iter().map(|a| ty_prec(a, 0)), Doc::text(", "));
             Doc::text("∀[")
                 .append(tv)
@@ -85,9 +87,7 @@ fn ty_prec(t: &Ty, prec: u8) -> Doc {
         Ty::ExistTag { tvar, kind, body } => {
             Doc::text(format!("∃{tvar}:{kind}.")).append(ty_prec(body, 1))
         }
-        Ty::At(inner, r) => ty_prec(inner, 2)
-            .append(Doc::text(" at "))
-            .append(rgn(r)),
+        Ty::At(inner, r) => ty_prec(inner, 2).append(Doc::text(" at ")).append(rgn(r)),
         Ty::M(r, t) => Doc::text("M[")
             .append(rgn(r))
             .append(Doc::text("]("))
@@ -108,13 +108,25 @@ fn ty_prec(t: &Ty, prec: u8) -> Doc {
             .append(tag(t))
             .append(Doc::text(")")),
         Ty::Alpha(a) => Doc::text(a.to_string()),
-        Ty::ExistAlpha { avar, regions, body } => Doc::text(format!("∃{avar}:{{"))
+        Ty::ExistAlpha {
+            avar,
+            regions,
+            body,
+        } => Doc::text(format!("∃{avar}:{{"))
             .append(rgns(regions))
             .append(Doc::text("}."))
             .append(ty_prec(body, 1)),
-        Ty::Trans { tags, regions, args, rho } => {
-            let ts = Doc::join(tags.iter().map(tag), Doc::text(", "));
-            let rv = Doc::join(regions.iter().map(|r| Doc::text(r.to_string())), Doc::text(", "));
+        Ty::Trans {
+            tags,
+            regions,
+            args,
+            rho,
+        } => {
+            let ts = Doc::join(tags.iter().map(|t| tag(t)), Doc::text(", "));
+            let rv = Doc::join(
+                regions.iter().map(|r| Doc::text(r.to_string())),
+                Doc::text(", "),
+            );
             let ar = Doc::join(args.iter().map(|a| ty_prec(a, 0)), Doc::text(", "));
             Doc::text("∀⟦")
                 .append(ts)
@@ -163,37 +175,49 @@ pub fn value(v: &Value) -> Doc {
             .append(Doc::text(", "))
             .append(value(b))
             .append(Doc::text(")")),
-        Value::PackTag { tvar, kind, tag: t, val, body_ty } => {
-            Doc::text(format!("⟨{tvar}:{kind} = "))
-                .append(tag(t))
-                .append(Doc::text(", "))
-                .append(value(val))
-                .append(Doc::text(" : "))
-                .append(ty(body_ty))
-                .append(Doc::text("⟩"))
-        }
-        Value::PackAlpha { avar, regions, witness, val, body_ty } => {
-            Doc::text(format!("⟨{avar}:{{"))
-                .append(rgns(regions))
-                .append(Doc::text("} = "))
-                .append(ty(witness))
-                .append(Doc::text(", "))
-                .append(value(val))
-                .append(Doc::text(" : "))
-                .append(ty(body_ty))
-                .append(Doc::text("⟩"))
-        }
-        Value::PackRgn { rvar, witness, val, bound, body_ty } => {
-            Doc::text(format!("⟨{rvar}∈{{"))
-                .append(rgns(bound))
-                .append(Doc::text("} = "))
-                .append(rgn(witness))
-                .append(Doc::text(", "))
-                .append(value(val))
-                .append(Doc::text(" : "))
-                .append(ty(body_ty))
-                .append(Doc::text("⟩"))
-        }
+        Value::PackTag {
+            tvar,
+            kind,
+            tag: t,
+            val,
+            body_ty,
+        } => Doc::text(format!("⟨{tvar}:{kind} = "))
+            .append(tag(t))
+            .append(Doc::text(", "))
+            .append(value(val))
+            .append(Doc::text(" : "))
+            .append(ty(body_ty))
+            .append(Doc::text("⟩")),
+        Value::PackAlpha {
+            avar,
+            regions,
+            witness,
+            val,
+            body_ty,
+        } => Doc::text(format!("⟨{avar}:{{"))
+            .append(rgns(regions))
+            .append(Doc::text("} = "))
+            .append(ty(witness))
+            .append(Doc::text(", "))
+            .append(value(val))
+            .append(Doc::text(" : "))
+            .append(ty(body_ty))
+            .append(Doc::text("⟩")),
+        Value::PackRgn {
+            rvar,
+            witness,
+            val,
+            bound,
+            body_ty,
+        } => Doc::text(format!("⟨{rvar}∈{{"))
+            .append(rgns(bound))
+            .append(Doc::text("} = "))
+            .append(rgn(witness))
+            .append(Doc::text(", "))
+            .append(value(val))
+            .append(Doc::text(" : "))
+            .append(ty(body_ty))
+            .append(Doc::text("⟩")),
         Value::TagApp(f, ts, rs) => value(f)
             .append(Doc::text("⟦"))
             .append(Doc::join(ts.iter().map(tag), Doc::text(", ")))
@@ -226,7 +250,12 @@ pub fn op(o: &Op) -> Doc {
 /// Renders a term.
 pub fn term(e: &Term) -> Doc {
     match e {
-        Term::App { f, tags, regions, args } => value(f)
+        Term::App {
+            f,
+            tags,
+            regions,
+            args,
+        } => value(f)
             .append(Doc::text("["))
             .append(Doc::join(tags.iter().map(tag), Doc::text(", ")))
             .append(Doc::text("]["))
@@ -281,26 +310,35 @@ pub fn term(e: &Term) -> Doc {
             .append(Doc::text("} in"))
             .append(Doc::hardline())
             .append(term(body)),
-        Term::Typecase { tag: t, int_arm, arrow_arm, prod_arm, exist_arm } => {
-            Doc::text("typecase ")
-                .append(tag(t))
-                .append(Doc::text(" of"))
-                .append(
-                    Doc::hardline()
-                        .append(Doc::text("int ⇒ ").append(term(int_arm)))
-                        .append(Doc::hardline())
-                        .append(Doc::text("λ ⇒ ").append(term(arrow_arm)))
-                        .append(Doc::hardline())
-                        .append(
-                            Doc::text(format!("{} × {} ⇒ ", prod_arm.0, prod_arm.1))
-                                .append(term(&prod_arm.2)),
-                        )
-                        .append(Doc::hardline())
-                        .append(Doc::text(format!("∃{} ⇒ ", exist_arm.0)).append(term(&exist_arm.1)))
-                        .nest(2),
-                )
-        }
-        Term::IfLeft { x, scrut, left, right } => Doc::text(format!("ifleft {x} = "))
+        Term::Typecase {
+            tag: t,
+            int_arm,
+            arrow_arm,
+            prod_arm,
+            exist_arm,
+        } => Doc::text("typecase ")
+            .append(tag(t))
+            .append(Doc::text(" of"))
+            .append(
+                Doc::hardline()
+                    .append(Doc::text("int ⇒ ").append(term(int_arm)))
+                    .append(Doc::hardline())
+                    .append(Doc::text("λ ⇒ ").append(term(arrow_arm)))
+                    .append(Doc::hardline())
+                    .append(
+                        Doc::text(format!("{} × {} ⇒ ", prod_arm.0, prod_arm.1))
+                            .append(term(&prod_arm.2)),
+                    )
+                    .append(Doc::hardline())
+                    .append(Doc::text(format!("∃{} ⇒ ", exist_arm.0)).append(term(&exist_arm.1)))
+                    .nest(2),
+            ),
+        Term::IfLeft {
+            x,
+            scrut,
+            left,
+            right,
+        } => Doc::text(format!("ifleft {x} = "))
             .append(value(scrut))
             .append(Doc::text(" then"))
             .append(Doc::hardline().append(term(left)).nest(2))
@@ -314,7 +352,14 @@ pub fn term(e: &Term) -> Doc {
             .append(Doc::text(" ;"))
             .append(Doc::hardline())
             .append(term(body)),
-        Term::Widen { x, from, to, tag: t, v, body } => Doc::text(format!("let {x} = widen["))
+        Term::Widen {
+            x,
+            from,
+            to,
+            tag: t,
+            v,
+            body,
+        } => Doc::text(format!("let {x} = widen["))
             .append(rgn(from))
             .append(Doc::text(" → "))
             .append(rgn(to))
@@ -334,7 +379,11 @@ pub fn term(e: &Term) -> Doc {
             .append(Doc::hardline())
             .append(Doc::text("else"))
             .append(Doc::hardline().append(term(ne)).nest(2)),
-        Term::If0 { scrut, zero, nonzero } => Doc::text("if0 ")
+        Term::If0 {
+            scrut,
+            zero,
+            nonzero,
+        } => Doc::text("if0 ")
             .append(value(scrut))
             .append(Doc::text(" then"))
             .append(Doc::hardline().append(term(zero)).nest(2))

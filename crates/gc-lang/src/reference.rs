@@ -1,0 +1,495 @@
+//! Reference (pre-interning) normalization and α-equivalence.
+//!
+//! These are the straightforward structural-recursion implementations that
+//! [`crate::tags`] and [`crate::moper`] used before tags and types were
+//! hash-consed: no memo tables, no canonical forms, no free-variable
+//! fingerprints — every call walks the whole tree and α-compares with an
+//! explicit binder-pairing environment.
+//!
+//! They are kept (and exported) for one purpose: the differential suite in
+//! `tests/intern_agreement.rs` property-checks the memoized, id-keyed fast
+//! paths against these slow-but-obviously-correct ports. Nothing in the
+//! crate's own pipeline calls them.
+
+use ps_ir::Symbol;
+
+use crate::subst::Subst;
+use crate::syntax::{Dialect, Kind, Region, Tag, Ty};
+
+// ----- tags --------------------------------------------------------------
+
+/// [`crate::tags::normalize`] by direct normal-order reduction, no memo.
+pub fn normalize_tag(tau: &Tag) -> Tag {
+    normalize_tag_counted(tau, &mut 0)
+}
+
+/// Like [`normalize_tag`] but counts β-steps, mirroring
+/// [`crate::tags::normalize_counted`].
+pub fn normalize_tag_counted(tau: &Tag, steps: &mut u64) -> Tag {
+    match tau {
+        Tag::Var(_) | Tag::Int | Tag::AnyArrow(_) => tau.clone(),
+        Tag::Prod(a, b) => Tag::prod(
+            normalize_tag_counted(a, steps),
+            normalize_tag_counted(b, steps),
+        ),
+        Tag::Arrow(args) => Tag::arrow(
+            args.iter()
+                .map(|a| normalize_tag_counted(a, steps))
+                .collect::<Vec<_>>(),
+        ),
+        Tag::Exist(t, body) => Tag::exist(*t, normalize_tag_counted(body, steps)),
+        Tag::Lam(t, body) => Tag::lam(*t, normalize_tag_counted(body, steps)),
+        Tag::App(f, a) => {
+            let f = normalize_tag_counted(f, steps);
+            match f {
+                Tag::Lam(t, body) => {
+                    *steps += 1;
+                    // Normal order: substitute the *unnormalized* argument.
+                    let reduced = Subst::one_tag(t, a.node().clone()).tag(body.node());
+                    normalize_tag_counted(&reduced, steps)
+                }
+                _ => Tag::app(f, normalize_tag_counted(a, steps)),
+            }
+        }
+    }
+}
+
+fn var_eq(x: Symbol, y: Symbol, env: &[(Symbol, Symbol)]) -> bool {
+    for &(a, b) in env.iter().rev() {
+        if a == x || b == y {
+            return a == x && b == y;
+        }
+    }
+    x == y
+}
+
+/// α-equivalence of tags by explicit binder pairing.
+pub fn tag_alpha_eq(a: &Tag, b: &Tag) -> bool {
+    fn go(a: &Tag, b: &Tag, env: &mut Vec<(Symbol, Symbol)>) -> bool {
+        match (a, b) {
+            (Tag::Var(x), Tag::Var(y)) | (Tag::AnyArrow(x), Tag::AnyArrow(y)) => {
+                var_eq(*x, *y, env)
+            }
+            (Tag::Int, Tag::Int) => true,
+            (Tag::Prod(a1, a2), Tag::Prod(b1, b2)) | (Tag::App(a1, a2), Tag::App(b1, b2)) => {
+                go(a1, b1, env) && go(a2, b2, env)
+            }
+            (Tag::Arrow(xs), Tag::Arrow(ys)) => {
+                xs.len() == ys.len() && xs.iter().zip(ys.iter()).all(|(x, y)| go(x, y, env))
+            }
+            (Tag::Exist(x, bx), Tag::Exist(y, by)) | (Tag::Lam(x, bx), Tag::Lam(y, by)) => {
+                env.push((*x, *y));
+                let r = go(bx, by, env);
+                env.pop();
+                r
+            }
+            _ => false,
+        }
+    }
+    go(a, b, &mut Vec::new())
+}
+
+/// Tag equality: reference-normalize both sides, then α-compare.
+pub fn tag_eq(a: &Tag, b: &Tag) -> bool {
+    tag_alpha_eq(&normalize_tag(a), &normalize_tag(b))
+}
+
+// ----- types -------------------------------------------------------------
+
+fn r_m() -> Symbol {
+    Symbol::intern("r!m")
+}
+fn ry_m() -> Symbol {
+    Symbol::intern("ry!m")
+}
+fn ro_m() -> Symbol {
+    Symbol::intern("ro!m")
+}
+
+/// Deduplicated region set, preserving first-occurrence order (the
+/// pre-interning [`crate::moper::region_set`] behavior).
+fn region_set(rs: &[Region]) -> Vec<Region> {
+    let mut out: Vec<Region> = Vec::with_capacity(rs.len());
+    for r in rs {
+        if !out.contains(r) {
+            out.push(*r);
+        }
+    }
+    out
+}
+
+fn expand_m(dialect: Dialect, rho: Region, tag: &Tag) -> Option<Ty> {
+    match tag {
+        Tag::Int => Some(Ty::Int),
+        Tag::AnyArrow(_) => None,
+        Tag::Arrow(args) => Some(code_rep(dialect, args.iter().map(|a| a.node().clone()))),
+        Tag::Prod(a, b) => {
+            let inner = Ty::prod(Ty::m(rho, a.node().clone()), Ty::m(rho, b.node().clone()));
+            Some(match dialect {
+                Dialect::Basic | Dialect::Generational => inner.at(rho),
+                Dialect::Forwarding => Ty::Left(inner.id()).at(rho),
+            })
+        }
+        Tag::Exist(t, body) => {
+            let inner = Ty::exist_tag(*t, Kind::Omega, Ty::m(rho, body.node().clone()));
+            Some(match dialect {
+                Dialect::Basic | Dialect::Generational => inner.at(rho),
+                Dialect::Forwarding => Ty::Left(inner.id()).at(rho),
+            })
+        }
+        Tag::Var(_) | Tag::App(..) | Tag::Lam(..) => None,
+    }
+}
+
+fn code_rep(dialect: Dialect, args: impl IntoIterator<Item = Tag>) -> Ty {
+    match dialect {
+        Dialect::Basic | Dialect::Forwarding => {
+            let r = r_m();
+            Ty::code(
+                [],
+                [r],
+                args.into_iter()
+                    .map(|a| Ty::m(Region::Var(r), a))
+                    .collect::<Vec<_>>(),
+            )
+            .at(Region::cd())
+        }
+        Dialect::Generational => {
+            let ry = ry_m();
+            let ro = ro_m();
+            Ty::code(
+                [],
+                [ry, ro],
+                args.into_iter()
+                    .map(|a| Ty::mgen(Region::Var(ry), Region::Var(ro), a))
+                    .collect::<Vec<_>>(),
+            )
+            .at(Region::cd())
+        }
+    }
+}
+
+fn expand_c(from: Region, to: Region, tag: &Tag) -> Option<Ty> {
+    match tag {
+        Tag::Int => Some(Ty::Int),
+        Tag::AnyArrow(_) => None,
+        Tag::Arrow(args) => Some(code_rep(
+            Dialect::Forwarding,
+            args.iter().map(|a| a.node().clone()),
+        )),
+        Tag::Prod(a, b) => {
+            let left = Ty::prod(
+                Ty::c(from, to, a.node().clone()),
+                Ty::c(from, to, b.node().clone()),
+            );
+            let right = Ty::m(to, tag.clone());
+            Some(Ty::sum(left, right).at(from))
+        }
+        Tag::Exist(t, body) => {
+            let left = Ty::exist_tag(*t, Kind::Omega, Ty::c(from, to, body.node().clone()));
+            let right = Ty::m(to, tag.clone());
+            Some(Ty::sum(left, right).at(from))
+        }
+        Tag::Var(_) | Tag::App(..) | Tag::Lam(..) => None,
+    }
+}
+
+fn expand_mgen(young: Region, old: Region, tag: &Tag) -> Option<Ty> {
+    match tag {
+        Tag::Int => Some(Ty::Int),
+        Tag::AnyArrow(_) => None,
+        Tag::Arrow(args) => Some(code_rep(
+            Dialect::Generational,
+            args.iter().map(|a| a.node().clone()),
+        )),
+        Tag::Prod(a, b) => {
+            let r = r_m();
+            let body = Ty::prod(
+                Ty::mgen(Region::Var(r), old, a.node().clone()),
+                Ty::mgen(Region::Var(r), old, b.node().clone()),
+            );
+            Some(Ty::exist_rgn(r, region_set(&[young, old]), body))
+        }
+        Tag::Exist(t, body) => {
+            let r = r_m();
+            let inner = Ty::exist_tag(
+                *t,
+                Kind::Omega,
+                Ty::mgen(Region::Var(r), old, body.node().clone()),
+            );
+            Some(Ty::exist_rgn(r, region_set(&[young, old]), inner))
+        }
+        Tag::Var(_) | Tag::App(..) | Tag::Lam(..) => None,
+    }
+}
+
+/// [`crate::moper::normalize_ty`] by direct structural recursion, no memo.
+pub fn normalize_ty(sigma: &Ty, dialect: Dialect) -> Ty {
+    match sigma {
+        Ty::Int | Ty::Alpha(_) => sigma.clone(),
+        Ty::Prod(a, b) => Ty::prod(normalize_ty(a, dialect), normalize_ty(b, dialect)),
+        Ty::Sum(a, b) => Ty::sum(normalize_ty(a, dialect), normalize_ty(b, dialect)),
+        Ty::Left(a) => Ty::Left(normalize_ty(a, dialect).id()),
+        Ty::Right(a) => Ty::Right(normalize_ty(a, dialect).id()),
+        Ty::Code { tvars, rvars, args } => Ty::code(
+            tvars.iter().copied(),
+            rvars.iter().copied(),
+            args.iter()
+                .map(|a| normalize_ty(a, dialect))
+                .collect::<Vec<_>>(),
+        ),
+        Ty::ExistTag { tvar, kind, body } => {
+            Ty::exist_tag(*tvar, *kind, normalize_ty(body, dialect))
+        }
+        Ty::At(inner, rho) => normalize_ty(inner, dialect).at(*rho),
+        Ty::M(rho, tag) => {
+            let nf = normalize_tag(tag);
+            if let Tag::AnyArrow(_) = nf {
+                return Ty::m(Region::cd(), nf);
+            }
+            match expand_m(dialect, *rho, &nf) {
+                Some(t) => normalize_ty(&t, dialect),
+                None => Ty::m(*rho, nf),
+            }
+        }
+        Ty::C(from, to, tag) => {
+            let nf = normalize_tag(tag);
+            if let Tag::AnyArrow(_) = nf {
+                return Ty::m(Region::cd(), nf);
+            }
+            match expand_c(*from, *to, &nf) {
+                Some(t) => normalize_ty(&t, dialect),
+                None => Ty::c(*from, *to, nf),
+            }
+        }
+        Ty::MGen(y, o, tag) => {
+            let nf = normalize_tag(tag);
+            if let Tag::AnyArrow(_) = nf {
+                return Ty::m(Region::cd(), nf);
+            }
+            match expand_mgen(*y, *o, &nf) {
+                Some(t) => normalize_ty(&t, dialect),
+                None => Ty::mgen(*y, *o, nf),
+            }
+        }
+        Ty::ExistAlpha {
+            avar,
+            regions,
+            body,
+        } => Ty::exist_alpha(*avar, region_set(regions), normalize_ty(body, dialect)),
+        Ty::Trans {
+            tags: ts,
+            regions,
+            args,
+            rho,
+        } => Ty::Trans {
+            tags: ts.iter().map(|t| normalize_tag(t).id()).collect(),
+            regions: regions.clone(),
+            args: args.iter().map(|a| normalize_ty(a, dialect).id()).collect(),
+            rho: *rho,
+        },
+        Ty::ExistRgn { rvar, bound, body } => {
+            Ty::exist_rgn(*rvar, region_set(bound), normalize_ty(body, dialect))
+        }
+    }
+}
+
+/// Environment of corresponding binders for type α-comparison.
+#[derive(Default)]
+struct AlphaEnv {
+    tags: Vec<(Symbol, Symbol)>,
+    rgns: Vec<(Symbol, Symbol)>,
+    alphas: Vec<(Symbol, Symbol)>,
+}
+
+fn region_eq(a: &Region, b: &Region, env: &AlphaEnv) -> bool {
+    match (a, b) {
+        (Region::Var(x), Region::Var(y)) => var_eq(*x, *y, &env.rgns),
+        (Region::Name(x), Region::Name(y)) => x == y,
+        _ => false,
+    }
+}
+
+/// Compares two region sets as sets under the α-environment.
+fn region_set_eq(a: &[Region], b: &[Region], env: &AlphaEnv) -> bool {
+    a.iter().all(|x| b.iter().any(|y| region_eq(x, y, env)))
+        && b.iter().all(|y| a.iter().any(|x| region_eq(x, y, env)))
+}
+
+fn tag_eq_env(a: &Tag, b: &Tag, env: &mut AlphaEnv) -> bool {
+    match (a, b) {
+        (Tag::Var(x), Tag::Var(y)) | (Tag::AnyArrow(x), Tag::AnyArrow(y)) => {
+            var_eq(*x, *y, &env.tags)
+        }
+        (Tag::Int, Tag::Int) => true,
+        (Tag::Prod(a1, a2), Tag::Prod(b1, b2)) | (Tag::App(a1, a2), Tag::App(b1, b2)) => {
+            tag_eq_env(a1, b1, env) && tag_eq_env(a2, b2, env)
+        }
+        (Tag::Arrow(xs), Tag::Arrow(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys.iter()).all(|(x, y)| tag_eq_env(x, y, env))
+        }
+        (Tag::Exist(x, bx), Tag::Exist(y, by)) | (Tag::Lam(x, bx), Tag::Lam(y, by)) => {
+            env.tags.push((*x, *y));
+            let r = tag_eq_env(bx, by, env);
+            env.tags.pop();
+            r
+        }
+        _ => false,
+    }
+}
+
+fn ty_eq_env(a: &Ty, b: &Ty, env: &mut AlphaEnv) -> bool {
+    match (a, b) {
+        (Ty::Int, Ty::Int) => true,
+        (Ty::Prod(a1, a2), Ty::Prod(b1, b2)) | (Ty::Sum(a1, a2), Ty::Sum(b1, b2)) => {
+            ty_eq_env(a1, b1, env) && ty_eq_env(a2, b2, env)
+        }
+        (Ty::Left(x), Ty::Left(y)) | (Ty::Right(x), Ty::Right(y)) => ty_eq_env(x, y, env),
+        (
+            Ty::Code {
+                tvars: tv1,
+                rvars: rv1,
+                args: a1,
+            },
+            Ty::Code {
+                tvars: tv2,
+                rvars: rv2,
+                args: a2,
+            },
+        ) => {
+            if tv1.len() != tv2.len() || rv1.len() != rv2.len() || a1.len() != a2.len() {
+                return false;
+            }
+            if tv1
+                .iter()
+                .zip(tv2.iter())
+                .any(|((_, k1), (_, k2))| k1 != k2)
+            {
+                return false;
+            }
+            let nt = tv1.len();
+            let nr = rv1.len();
+            for ((t1, _), (t2, _)) in tv1.iter().zip(tv2.iter()) {
+                env.tags.push((*t1, *t2));
+            }
+            for (r1, r2) in rv1.iter().zip(rv2.iter()) {
+                env.rgns.push((*r1, *r2));
+            }
+            let r = a1.iter().zip(a2.iter()).all(|(x, y)| ty_eq_env(x, y, env));
+            env.tags.truncate(env.tags.len() - nt);
+            env.rgns.truncate(env.rgns.len() - nr);
+            r
+        }
+        (
+            Ty::ExistTag {
+                tvar: t1,
+                kind: k1,
+                body: b1,
+            },
+            Ty::ExistTag {
+                tvar: t2,
+                kind: k2,
+                body: b2,
+            },
+        ) => {
+            if k1 != k2 {
+                return false;
+            }
+            env.tags.push((*t1, *t2));
+            let r = ty_eq_env(b1, b2, env);
+            env.tags.pop();
+            r
+        }
+        (Ty::At(x, rx), Ty::At(y, ry)) => region_eq(rx, ry, env) && ty_eq_env(x, y, env),
+        (Ty::M(r1, t1), Ty::M(r2, t2)) => region_eq(r1, r2, env) && tag_eq_env(t1, t2, env),
+        (Ty::C(f1, o1, t1), Ty::C(f2, o2, t2)) => {
+            region_eq(f1, f2, env) && region_eq(o1, o2, env) && tag_eq_env(t1, t2, env)
+        }
+        (Ty::MGen(y1, o1, t1), Ty::MGen(y2, o2, t2)) => {
+            region_eq(y1, y2, env) && region_eq(o1, o2, env) && tag_eq_env(t1, t2, env)
+        }
+        (Ty::Alpha(x), Ty::Alpha(y)) => var_eq(*x, *y, &env.alphas),
+        (
+            Ty::ExistAlpha {
+                avar: a1,
+                regions: d1,
+                body: b1,
+            },
+            Ty::ExistAlpha {
+                avar: a2,
+                regions: d2,
+                body: b2,
+            },
+        ) => {
+            if !region_set_eq(d1, d2, env) {
+                return false;
+            }
+            env.alphas.push((*a1, *a2));
+            let r = ty_eq_env(b1, b2, env);
+            env.alphas.pop();
+            r
+        }
+        (
+            Ty::Trans {
+                tags: ts1,
+                regions: rs1,
+                args: a1,
+                rho: rho1,
+            },
+            Ty::Trans {
+                tags: ts2,
+                regions: rs2,
+                args: a2,
+                rho: rho2,
+            },
+        ) => {
+            ts1.len() == ts2.len()
+                && rs1.len() == rs2.len()
+                && a1.len() == a2.len()
+                && region_eq(rho1, rho2, env)
+                && ts1
+                    .iter()
+                    .zip(ts2.iter())
+                    .all(|(x, y)| tag_eq_env(x, y, env))
+                && rs1
+                    .iter()
+                    .zip(rs2.iter())
+                    .all(|(x, y)| region_eq(x, y, env))
+                && a1.iter().zip(a2.iter()).all(|(x, y)| ty_eq_env(x, y, env))
+        }
+        (
+            Ty::ExistRgn {
+                rvar: r1,
+                bound: d1,
+                body: b1,
+            },
+            Ty::ExistRgn {
+                rvar: r2,
+                bound: d2,
+                body: b2,
+            },
+        ) => {
+            if !region_set_eq(d1, d2, env) {
+                return false;
+            }
+            env.rgns.push((*r1, *r2));
+            let r = ty_eq_env(b1, b2, env);
+            env.rgns.pop();
+            r
+        }
+        _ => false,
+    }
+}
+
+/// α-equivalence of types by explicit binder pairing (no normalization).
+pub fn ty_alpha_eq(a: &Ty, b: &Ty) -> bool {
+    ty_eq_env(a, b, &mut AlphaEnv::default())
+}
+
+/// Type equality: reference-normalize both sides, then α-compare.
+pub fn ty_eq(a: &Ty, b: &Ty, dialect: Dialect) -> bool {
+    if a == b {
+        return true;
+    }
+    ty_alpha_eq(&normalize_ty(a, dialect), &normalize_ty(b, dialect))
+}

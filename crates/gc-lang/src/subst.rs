@@ -27,7 +27,18 @@ use std::rc::Rc;
 use ps_ir::symbol::{SymbolMap, SymbolSet};
 use ps_ir::Symbol;
 
+use crate::intern::{self, intern_tag, intern_ty, TagId, TyId};
 use crate::syntax::{CodeDef, Op, Region, Tag, Term, Ty, Value};
+
+/// Does the substitution domain `map` touch any of the (sorted) free
+/// variables `fv`? Iterates whichever side is smaller.
+fn touches<V>(fv: &[Symbol], map: &SymbolMap<V>) -> bool {
+    if fv.len() <= map.len() {
+        fv.iter().any(|x| map.contains_key(x))
+    } else {
+        map.keys().any(|x| fv.binary_search(x).is_ok())
+    }
+}
 
 /// A simultaneous substitution over the four λGC namespaces.
 ///
@@ -60,7 +71,10 @@ impl Subst {
 
     /// Is this the identity substitution?
     pub fn is_empty(&self) -> bool {
-        self.tags.is_empty() && self.rgns.is_empty() && self.alphas.is_empty() && self.vals.is_empty()
+        self.tags.is_empty()
+            && self.rgns.is_empty()
+            && self.alphas.is_empty()
+            && self.vals.is_empty()
     }
 
     /// Extends with `t ↦ τ`.
@@ -119,7 +133,12 @@ impl Subst {
     /// Extends with `α ↦ σ` in place (capture caveats as [`Self::with_alpha`]).
     pub(crate) fn insert_alpha(&mut self, a: Symbol, sigma: Ty) {
         let mut dropped_rvars = HashSet::new();
-        ty_free_vars(&sigma, &mut self.range_tvars, &mut dropped_rvars, &mut self.range_avars);
+        ty_free_vars(
+            &sigma,
+            &mut self.range_tvars,
+            &mut dropped_rvars,
+            &mut self.range_avars,
+        );
         self.alphas.insert(a, sigma);
     }
 
@@ -128,7 +147,12 @@ impl Subst {
         // Values may mention tags (in packages); collect them so binders in
         // terms get renamed when needed.
         let mut dropped_rvars = HashSet::new();
-        value_free_vars(&v, &mut self.range_tvars, &mut dropped_rvars, &mut self.range_avars);
+        value_free_vars(
+            &v,
+            &mut self.range_tvars,
+            &mut dropped_rvars,
+            &mut self.range_avars,
+        );
         self.vals.insert(x, v);
     }
 
@@ -282,18 +306,29 @@ impl Subst {
                 None => tau.clone(),
             },
             Tag::Int => Tag::Int,
-            Tag::Prod(a, b) => Tag::Prod(Rc::new(self.tag(a)), Rc::new(self.tag(b))),
-            Tag::Arrow(args) => Tag::Arrow(args.iter().map(|a| self.tag(a)).collect()),
+            Tag::Prod(a, b) => Tag::Prod(self.tag_id(*a), self.tag_id(*b)),
+            Tag::Arrow(args) => Tag::Arrow(args.iter().map(|a| self.tag_id(*a)).collect()),
             Tag::Exist(t, body) => {
                 let (sub, t2) = self.enter_tag_binder(*t);
-                Tag::Exist(t2, Rc::new(sub.tag(body)))
+                Tag::Exist(t2, sub.tag_id(*body))
             }
             Tag::Lam(t, body) => {
                 let (sub, t2) = self.enter_tag_binder(*t);
-                Tag::Lam(t2, Rc::new(sub.tag(body)))
+                Tag::Lam(t2, sub.tag_id(*body))
             }
-            Tag::App(f, a) => Tag::App(Rc::new(self.tag(f)), Rc::new(self.tag(a))),
+            Tag::App(f, a) => Tag::App(self.tag_id(*f), self.tag_id(*a)),
         }
+    }
+
+    /// Applies the substitution to an interned tag, skipping subtrees whose
+    /// free-variable fingerprint misses the domain: the no-op case returns
+    /// the *same* id, preserving sharing (and any memoized results keyed by
+    /// it) in O(domain) time.
+    pub fn tag_id(&self, id: TagId) -> TagId {
+        if self.tags.is_empty() || !touches(intern::tag_fv(id), &self.tags) {
+            return id;
+        }
+        intern_tag(self.tag(id.node()))
     }
 
     /// Applies the substitution to a type.
@@ -303,7 +338,7 @@ impl Subst {
         }
         match sigma {
             Ty::Int => Ty::Int,
-            Ty::Prod(a, b) => Ty::Prod(Rc::new(self.ty(a)), Rc::new(self.ty(b))),
+            Ty::Prod(a, b) => Ty::Prod(self.ty_id(*a), self.ty_id(*b)),
             Ty::Code { tvars, rvars, args } => {
                 let mut sub = self.clone();
                 let mut tvs = Vec::with_capacity(tvars.len());
@@ -321,7 +356,7 @@ impl Subst {
                 Ty::Code {
                     tvars: tvs.into(),
                     rvars: rvs.into(),
-                    args: args.iter().map(|a| sub.ty(a)).collect(),
+                    args: args.iter().map(|a| sub.ty_id(*a)).collect(),
                 }
             }
             Ty::ExistTag { tvar, kind, body } => {
@@ -329,46 +364,65 @@ impl Subst {
                 Ty::ExistTag {
                     tvar: t2,
                     kind: *kind,
-                    body: Rc::new(sub.ty(body)),
+                    body: sub.ty_id(*body),
                 }
             }
-            Ty::At(inner, rho) => Ty::At(Rc::new(self.ty(inner)), self.region(rho)),
-            Ty::M(rho, tag) => Ty::M(self.region(rho), Rc::new(self.tag(tag))),
-            Ty::C(from, to, tag) => {
-                Ty::C(self.region(from), self.region(to), Rc::new(self.tag(tag)))
-            }
-            Ty::MGen(y, o, tag) => {
-                Ty::MGen(self.region(y), self.region(o), Rc::new(self.tag(tag)))
-            }
+            Ty::At(inner, rho) => Ty::At(self.ty_id(*inner), self.region(rho)),
+            Ty::M(rho, tag) => Ty::M(self.region(rho), self.tag_id(*tag)),
+            Ty::C(from, to, tag) => Ty::C(self.region(from), self.region(to), self.tag_id(*tag)),
+            Ty::MGen(y, o, tag) => Ty::MGen(self.region(y), self.region(o), self.tag_id(*tag)),
             Ty::Alpha(a) => self.alphas.get(a).cloned().unwrap_or_else(|| sigma.clone()),
-            Ty::ExistAlpha { avar, regions, body } => {
+            Ty::ExistAlpha {
+                avar,
+                regions,
+                body,
+            } => {
                 let regions = regions.iter().map(|r| self.region(r)).collect();
                 let (sub, a2) = self.enter_alpha_binder(*avar);
                 Ty::ExistAlpha {
                     avar: a2,
                     regions,
-                    body: Rc::new(sub.ty(body)),
+                    body: sub.ty_id(*body),
                 }
             }
-            Ty::Trans { tags, regions, args, rho } => Ty::Trans {
-                tags: tags.iter().map(|t| self.tag(t)).collect(),
+            Ty::Trans {
+                tags,
+                regions,
+                args,
+                rho,
+            } => Ty::Trans {
+                tags: tags.iter().map(|t| self.tag_id(*t)).collect(),
                 regions: regions.iter().map(|r| self.region(r)).collect(),
-                args: args.iter().map(|a| self.ty(a)).collect(),
+                args: args.iter().map(|a| self.ty_id(*a)).collect(),
                 rho: self.region(rho),
             },
-            Ty::Left(t) => Ty::Left(Rc::new(self.ty(t))),
-            Ty::Right(t) => Ty::Right(Rc::new(self.ty(t))),
-            Ty::Sum(a, b) => Ty::Sum(Rc::new(self.ty(a)), Rc::new(self.ty(b))),
+            Ty::Left(t) => Ty::Left(self.ty_id(*t)),
+            Ty::Right(t) => Ty::Right(self.ty_id(*t)),
+            Ty::Sum(a, b) => Ty::Sum(self.ty_id(*a), self.ty_id(*b)),
             Ty::ExistRgn { rvar, bound, body } => {
                 let bound = bound.iter().map(|r| self.region(r)).collect();
                 let (sub, r2) = self.enter_rgn_binder(*rvar);
                 Ty::ExistRgn {
                     rvar: r2,
                     bound,
-                    body: Rc::new(sub.ty(body)),
+                    body: sub.ty_id(*body),
                 }
             }
         }
+    }
+
+    /// Applies the substitution to an interned type, with the same
+    /// fingerprint-based no-op skip as [`Self::tag_id`] — checked per
+    /// namespace against the type's [`intern::TyFv`].
+    pub fn ty_id(&self, id: TyId) -> TyId {
+        let fv = intern::ty_fv(id);
+        let miss = (self.tags.is_empty() || !touches(&fv.tvars, &self.tags))
+            && (self.rgns.is_empty() || !touches(&fv.rvars, &self.rgns))
+            && (self.alphas.is_empty() || !touches(&fv.avars, &self.alphas));
+        if miss {
+            return id;
+        }
+        intern_ty(self.ty(id.node()))
     }
 
     /// Applies the substitution to a value.
@@ -380,7 +434,13 @@ impl Subst {
             Value::Int(_) | Value::Addr(..) => v.clone(),
             Value::Var(x) => self.vals.get(x).cloned().unwrap_or_else(|| v.clone()),
             Value::Pair(a, b) => Value::Pair(Rc::new(self.value(a)), Rc::new(self.value(b))),
-            Value::PackTag { tvar, kind, tag, val, body_ty } => {
+            Value::PackTag {
+                tvar,
+                kind,
+                tag,
+                val,
+                body_ty,
+            } => {
                 let tag = self.tag(tag);
                 let val = Rc::new(self.value(val));
                 let (sub, t2) = self.enter_tag_binder(*tvar);
@@ -392,7 +452,13 @@ impl Subst {
                     body_ty: sub.ty(body_ty),
                 }
             }
-            Value::PackAlpha { avar, regions, witness, val, body_ty } => {
+            Value::PackAlpha {
+                avar,
+                regions,
+                witness,
+                val,
+                body_ty,
+            } => {
                 let regions: Rc<[Region]> = regions.iter().map(|r| self.region(r)).collect();
                 let witness = self.ty(witness);
                 let val = Rc::new(self.value(val));
@@ -405,7 +471,13 @@ impl Subst {
                     body_ty: sub.ty(body_ty),
                 }
             }
-            Value::PackRgn { rvar, bound, witness, val, body_ty } => {
+            Value::PackRgn {
+                rvar,
+                bound,
+                witness,
+                val,
+                body_ty,
+            } => {
                 let bound: Rc<[Region]> = bound.iter().map(|r| self.region(r)).collect();
                 let witness = self.region(witness);
                 let val = Rc::new(self.value(val));
@@ -479,7 +551,12 @@ impl Subst {
             return e.clone();
         }
         match e {
-            Term::App { f, tags, regions, args } => Term::App {
+            Term::App {
+                f,
+                tags,
+                regions,
+                args,
+            } => Term::App {
                 f: self.value(f),
                 tags: tags.iter().map(|t| self.tag(t)).collect(),
                 regions: regions.iter().map(|r| self.region(r)).collect(),
@@ -499,7 +576,11 @@ impl Subst {
                 }
                 let mut out = sub.term(cur);
                 for (x, op) in bindings.into_iter().rev() {
-                    out = Term::Let { x, op, body: Rc::new(out) };
+                    out = Term::Let {
+                        x,
+                        op,
+                        body: Rc::new(out),
+                    };
                 }
                 out
             }
@@ -553,7 +634,13 @@ impl Subst {
                 regions: regions.iter().map(|r| self.region(r)).collect(),
                 body: Rc::new(self.term(body)),
             },
-            Term::Typecase { tag, int_arm, arrow_arm, prod_arm, exist_arm } => {
+            Term::Typecase {
+                tag,
+                int_arm,
+                arrow_arm,
+                prod_arm,
+                exist_arm,
+            } => {
                 let tag = self.tag(tag);
                 let int_arm = Rc::new(self.term(int_arm));
                 let arrow_arm = Rc::new(self.term(arrow_arm));
@@ -564,9 +651,20 @@ impl Subst {
                 let (te, ee) = exist_arm;
                 let (s3, teb) = self.enter_tag_binder(*te);
                 let exist_arm = (teb, Rc::new(s3.term(ee)));
-                Term::Typecase { tag, int_arm, arrow_arm, prod_arm, exist_arm }
+                Term::Typecase {
+                    tag,
+                    int_arm,
+                    arrow_arm,
+                    prod_arm,
+                    exist_arm,
+                }
             }
-            Term::IfLeft { x, scrut, left, right } => {
+            Term::IfLeft {
+                x,
+                scrut,
+                left,
+                right,
+            } => {
                 let scrut = self.value(scrut);
                 let sub = self.enter_val_binder(*x);
                 Term::IfLeft {
@@ -581,7 +679,14 @@ impl Subst {
                 src: self.value(src),
                 body: Rc::new(self.term(body)),
             },
-            Term::Widen { x, from, to, tag, v, body } => {
+            Term::Widen {
+                x,
+                from,
+                to,
+                tag,
+                v,
+                body,
+            } => {
                 let from = self.region(from);
                 let to = self.region(to);
                 let tag = self.tag(tag);
@@ -602,7 +707,11 @@ impl Subst {
                 eq: Rc::new(self.term(eq)),
                 ne: Rc::new(self.term(ne)),
             },
-            Term::If0 { scrut, zero, nonzero } => Term::If0 {
+            Term::If0 {
+                scrut,
+                zero,
+                nonzero,
+            } => Term::If0 {
                 scrut: self.value(scrut),
                 zero: Rc::new(self.term(zero)),
                 nonzero: Rc::new(self.term(nonzero)),
@@ -614,138 +723,26 @@ impl Subst {
 // ----- free variables ----------------------------------------------------
 
 /// Collects the free tag variables of a tag into `out`.
+///
+/// Backed by the per-node fingerprint [`intern::tag_fv`], so repeated calls
+/// on shared subtrees are O(|fv|) lookups rather than traversals.
 pub fn free_tag_vars<S: BuildHasher>(tau: &Tag, out: &mut HashSet<Symbol, S>) {
-    fn go<S: BuildHasher>(tau: &Tag, bound: &mut Vec<Symbol>, out: &mut HashSet<Symbol, S>) {
-        match tau {
-            Tag::Var(t) | Tag::AnyArrow(t) => {
-                if !bound.contains(t) {
-                    out.insert(*t);
-                }
-            }
-            Tag::Int => {}
-            Tag::Prod(a, b) | Tag::App(a, b) => {
-                go(a, bound, out);
-                go(b, bound, out);
-            }
-            Tag::Arrow(args) => args.iter().for_each(|a| go(a, bound, out)),
-            Tag::Exist(t, body) | Tag::Lam(t, body) => {
-                bound.push(*t);
-                go(body, bound, out);
-                bound.pop();
-            }
-        }
-    }
-    go(tau, &mut Vec::new(), out);
+    out.extend(intern::tag_fv(tau.id()).iter().copied());
 }
 
 /// Collects the free tag, region, and α variables of a type.
+///
+/// Backed by the per-node fingerprint [`intern::ty_fv`].
 pub fn ty_free_vars<S1: BuildHasher, S2: BuildHasher, S3: BuildHasher>(
     sigma: &Ty,
     tvars: &mut HashSet<Symbol, S1>,
     rvars: &mut HashSet<Symbol, S2>,
     avars: &mut HashSet<Symbol, S3>,
 ) {
-    struct Bound {
-        t: Vec<Symbol>,
-        r: Vec<Symbol>,
-        a: Vec<Symbol>,
-    }
-    fn go_tag<S: BuildHasher>(tau: &Tag, b: &mut Bound, tvars: &mut HashSet<Symbol, S>) {
-        let mut fv = HashSet::new();
-        free_tag_vars(tau, &mut fv);
-        for t in fv {
-            if !b.t.contains(&t) {
-                tvars.insert(t);
-            }
-        }
-    }
-    fn go_rgn<S: BuildHasher>(rho: &Region, b: &mut Bound, rvars: &mut HashSet<Symbol, S>) {
-        if let Region::Var(r) = rho {
-            if !b.r.contains(r) {
-                rvars.insert(*r);
-            }
-        }
-    }
-    fn go<S1: BuildHasher, S2: BuildHasher, S3: BuildHasher>(
-        sigma: &Ty,
-        b: &mut Bound,
-        tvars: &mut HashSet<Symbol, S1>,
-        rvars: &mut HashSet<Symbol, S2>,
-        avars: &mut HashSet<Symbol, S3>,
-    ) {
-        match sigma {
-            Ty::Int => {}
-            Ty::Prod(x, y) | Ty::Sum(x, y) => {
-                go(x, b, tvars, rvars, avars);
-                go(y, b, tvars, rvars, avars);
-            }
-            Ty::Left(x) | Ty::Right(x) => go(x, b, tvars, rvars, avars),
-            Ty::Code { tvars: tv, rvars: rv, args } => {
-                let nt = tv.len();
-                let nr = rv.len();
-                b.t.extend(tv.iter().map(|(t, _)| *t));
-                b.r.extend(rv.iter().copied());
-                for a in args.iter() {
-                    go(a, b, tvars, rvars, avars);
-                }
-                b.t.truncate(b.t.len() - nt);
-                b.r.truncate(b.r.len() - nr);
-            }
-            Ty::ExistTag { tvar, body, .. } => {
-                b.t.push(*tvar);
-                go(body, b, tvars, rvars, avars);
-                b.t.pop();
-            }
-            Ty::At(inner, rho) => {
-                go(inner, b, tvars, rvars, avars);
-                go_rgn(rho, b, rvars);
-            }
-            Ty::M(rho, tag) => {
-                go_rgn(rho, b, rvars);
-                go_tag(tag, b, tvars);
-            }
-            Ty::C(r1, r2, tag) | Ty::MGen(r1, r2, tag) => {
-                go_rgn(r1, b, rvars);
-                go_rgn(r2, b, rvars);
-                go_tag(tag, b, tvars);
-            }
-            Ty::Alpha(a) => {
-                if !b.a.contains(a) {
-                    avars.insert(*a);
-                }
-            }
-            Ty::ExistAlpha { avar, regions, body } => {
-                for r in regions.iter() {
-                    go_rgn(r, b, rvars);
-                }
-                b.a.push(*avar);
-                go(body, b, tvars, rvars, avars);
-                b.a.pop();
-            }
-            Ty::Trans { tags, regions, args, rho } => {
-                for t in tags.iter() {
-                    go_tag(t, b, tvars);
-                }
-                go_rgn(rho, b, rvars);
-                for r in regions.iter() {
-                    go_rgn(r, b, rvars);
-                }
-                for a in args.iter() {
-                    go(a, b, tvars, rvars, avars);
-                }
-            }
-            Ty::ExistRgn { rvar, bound, body } => {
-                for r in bound.iter() {
-                    go_rgn(r, b, rvars);
-                }
-                b.r.push(*rvar);
-                go(body, b, tvars, rvars, avars);
-                b.r.pop();
-            }
-        }
-    }
-    let mut b = Bound { t: Vec::new(), r: Vec::new(), a: Vec::new() };
-    go(sigma, &mut b, tvars, rvars, avars);
+    let fv = intern::ty_fv(sigma.id());
+    tvars.extend(fv.tvars.iter().copied());
+    rvars.extend(fv.rvars.iter().copied());
+    avars.extend(fv.avars.iter().copied());
 }
 
 /// Collects the free tag/region/α variables mentioned inside a value (in its
@@ -762,7 +759,13 @@ pub fn value_free_vars<S1: BuildHasher, S2: BuildHasher, S3: BuildHasher>(
             value_free_vars(a, tvars, rvars, avars);
             value_free_vars(b, tvars, rvars, avars);
         }
-        Value::PackTag { tvar, tag, val, body_ty, .. } => {
+        Value::PackTag {
+            tvar,
+            tag,
+            val,
+            body_ty,
+            ..
+        } => {
             free_tag_vars(tag, tvars);
             value_free_vars(val, tvars, rvars, avars);
             let mut bt = HashSet::new();
@@ -774,7 +777,13 @@ pub fn value_free_vars<S1: BuildHasher, S2: BuildHasher, S3: BuildHasher>(
             rvars.extend(br);
             avars.extend(ba);
         }
-        Value::PackAlpha { avar, regions, witness, val, body_ty } => {
+        Value::PackAlpha {
+            avar,
+            regions,
+            witness,
+            val,
+            body_ty,
+        } => {
             for r in regions.iter() {
                 if let Region::Var(r) = r {
                     rvars.insert(*r);
@@ -791,7 +800,13 @@ pub fn value_free_vars<S1: BuildHasher, S2: BuildHasher, S3: BuildHasher>(
             rvars.extend(br);
             avars.extend(ba);
         }
-        Value::PackRgn { rvar, bound, witness, val, body_ty } => {
+        Value::PackRgn {
+            rvar,
+            bound,
+            witness,
+            val,
+            body_ty,
+        } => {
             for r in bound.iter() {
                 if let Region::Var(r) = r {
                     rvars.insert(*r);
@@ -872,7 +887,9 @@ pub fn ty_regions(sigma: &Ty) -> HashSet<Region> {
                 }
                 go(body, bound, out);
             }
-            Ty::Trans { regions, args, rho, .. } => {
+            Ty::Trans {
+                regions, args, rho, ..
+            } => {
                 add(rho, bound, out);
                 for r in regions.iter() {
                     add(r, bound, out);
@@ -881,7 +898,11 @@ pub fn ty_regions(sigma: &Ty) -> HashSet<Region> {
                     go(a, bound, out);
                 }
             }
-            Ty::ExistRgn { rvar, bound: bd, body } => {
+            Ty::ExistRgn {
+                rvar,
+                bound: bd,
+                body,
+            } => {
                 for r in bd.iter() {
                     add(r, bound, out);
                 }
@@ -953,9 +974,9 @@ mod tests {
     fn region_substitution_stops_at_binders() {
         let r = s("r");
         let sigma = Ty::Code {
-            tvars: Rc::from(vec![]),
-            rvars: Rc::from(vec![r]),
-            args: Rc::from(vec![Ty::Int.at(Region::Var(r))]),
+            tvars: std::sync::Arc::from(vec![]),
+            rvars: std::sync::Arc::from(vec![r]),
+            args: std::sync::Arc::from(vec![Ty::Int.at(Region::Var(r)).id()]),
         };
         let out = Subst::one_rgn(r, Region::cd()).ty(&sigma);
         assert_eq!(out, sigma, "bound region variables are untouched");
@@ -998,7 +1019,10 @@ mod tests {
             .with_rgn(r, Region::Name(crate::syntax::RegionName(4)))
             .with_tag(t, Tag::Int)
             .ty(&sigma);
-        assert_eq!(out, Ty::m(Region::Name(crate::syntax::RegionName(4)), Tag::Int));
+        assert_eq!(
+            out,
+            Ty::m(Region::Name(crate::syntax::RegionName(4)), Tag::Int)
+        );
     }
 
     #[test]

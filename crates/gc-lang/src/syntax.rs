@@ -27,8 +27,11 @@
 
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use ps_ir::Symbol;
+
+use crate::intern::{intern_tag, intern_ty, TagId, TyId};
 
 /// Which calculus a program lives in.
 ///
@@ -135,6 +138,12 @@ impl fmt::Display for Kind {
 /// applications. They form a simply typed λ-calculus, so reduction is
 /// strongly normalizing and confluent (Prop. 6.1/6.2); see
 /// [`crate::tags::normalize`].
+///
+/// Nodes are *shallow*: children are [`TagId`] handles into the global
+/// hash-consing arena ([`crate::intern`]), so the derived `PartialEq`
+/// compares whole subtrees by integer id and cloning a node is O(1). A
+/// `TagId` dereferences to its `&'static Tag`, so pattern matching through
+/// children works as it would with owned boxes.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Tag {
     /// A tag variable `t`.
@@ -142,16 +151,16 @@ pub enum Tag {
     /// `Int`.
     Int,
     /// `τ₁ × τ₂`.
-    Prod(Rc<Tag>, Rc<Tag>),
+    Prod(TagId, TagId),
     /// `~τ → 0` — the tag of a CPS function. The paper's λCLOS functions are
     /// unary but λGC's internal code is n-ary, hence the vector.
-    Arrow(Rc<[Tag]>),
+    Arrow(Arc<[TagId]>),
     /// `∃t.τ` with `t : Ω`.
-    Exist(Symbol, Rc<Tag>),
+    Exist(Symbol, TagId),
     /// A tag function `λt.τ` (kind `Ω → Ω`).
-    Lam(Symbol, Rc<Tag>),
+    Lam(Symbol, TagId),
     /// A tag application `τ₁ τ₂`.
-    App(Rc<Tag>, Rc<Tag>),
+    App(TagId, TagId),
     /// Internal-only: a tag known to be *some* arrow, introduced by the
     /// typechecker when refining the `λ` arm of a `typecase` on a tag
     /// variable.
@@ -167,29 +176,34 @@ pub enum Tag {
 }
 
 impl Tag {
+    /// Interns this node, returning its arena id.
+    pub fn id(&self) -> TagId {
+        intern_tag(self.clone())
+    }
+
     /// Convenience constructor for `τ₁ × τ₂`.
     pub fn prod(a: Tag, b: Tag) -> Tag {
-        Tag::Prod(Rc::new(a), Rc::new(b))
+        Tag::Prod(intern_tag(a), intern_tag(b))
     }
 
     /// Convenience constructor for `~τ → 0`.
     pub fn arrow(args: impl IntoIterator<Item = Tag>) -> Tag {
-        Tag::Arrow(args.into_iter().collect())
+        Tag::Arrow(args.into_iter().map(intern_tag).collect())
     }
 
     /// Convenience constructor for `∃t.τ`.
     pub fn exist(t: Symbol, body: Tag) -> Tag {
-        Tag::Exist(t, Rc::new(body))
+        Tag::Exist(t, intern_tag(body))
     }
 
     /// Convenience constructor for `λt.τ`.
     pub fn lam(t: Symbol, body: Tag) -> Tag {
-        Tag::Lam(t, Rc::new(body))
+        Tag::Lam(t, intern_tag(body))
     }
 
     /// Convenience constructor for `τ₁ τ₂`.
     pub fn app(f: Tag, a: Tag) -> Tag {
-        Tag::App(Rc::new(f), Rc::new(a))
+        Tag::App(intern_tag(f), intern_tag(a))
     }
 
     /// The identity tag function `λt.t`, used pervasively in Fig. 12.
@@ -200,35 +214,38 @@ impl Tag {
 }
 
 /// A type `σ` (Fig. 2, extended per Figs. 8 and 10).
+///
+/// Like [`Tag`], nodes are shallow: children are interned [`TyId`]/[`TagId`]
+/// handles, so equality is an id compare and clones are O(1).
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Ty {
     /// `int`.
     Int,
     /// `σ₁ × σ₂`.
-    Prod(Rc<Ty>, Rc<Ty>),
+    Prod(TyId, TyId),
     /// `∀[t̄:κ̄][r̄](σ̄) → 0` — the type of a fully closed code block.
     Code {
-        tvars: Rc<[(Symbol, Kind)]>,
-        rvars: Rc<[Symbol]>,
-        args: Rc<[Ty]>,
+        tvars: Arc<[(Symbol, Kind)]>,
+        rvars: Arc<[Symbol]>,
+        args: Arc<[TyId]>,
     },
     /// `∃t:κ.σ`.
     ExistTag {
         tvar: Symbol,
         kind: Kind,
-        body: Rc<Ty>,
+        body: TyId,
     },
     /// `σ at ρ` — a reference to a `σ` stored in region `ρ` (§4.1).
-    At(Rc<Ty>, Region),
+    At(TyId, Region),
     /// `Mρ(τ)` — in the basic dialect the operator of §4.2; in the
     /// forwarding dialect the mutator-view operator of §7.
-    M(Region, Rc<Tag>),
+    M(Region, TagId),
     /// `Cρ,ρ′(τ)` — the collector-view operator of §7 (forwarding dialect
     /// only).
-    C(Region, Region, Rc<Tag>),
+    C(Region, Region, TagId),
     /// `Mρy,ρo(τ)` — the two-index operator of §8 (generational dialect
     /// only).
-    MGen(Region, Region, Rc<Tag>),
+    MGen(Region, Region, TagId),
     /// A type variable `α` ranging over types confined to a region set `∆`
     /// (kind environment Φ).
     Alpha(Symbol),
@@ -236,8 +253,8 @@ pub enum Ty {
     /// typed closure conversion of `copy`, §6.1).
     ExistAlpha {
         avar: Symbol,
-        regions: Rc<[Region]>,
-        body: Rc<Ty>,
+        regions: Arc<[Region]>,
+        body: TyId,
     },
     /// `∀J~τKJ~ρK(σ̄) →ρ 0` — the translucent type of a code block already
     /// specialized to tags `~τ` and regions `~ρ`, residing at `ρ` (§6.1,
@@ -252,51 +269,56 @@ pub enum Ty {
     /// that instantiation in the type instead of quantifying; `args` are
     /// stored already instantiated.
     Trans {
-        tags: Rc<[Tag]>,
-        regions: Rc<[Region]>,
-        args: Rc<[Ty]>,
+        tags: Arc<[TagId]>,
+        regions: Arc<[Region]>,
+        args: Arc<[TyId]>,
         rho: Region,
     },
     /// `left σ` (λGCforw, Fig. 8).
-    Left(Rc<Ty>),
+    Left(TyId),
     /// `right σ` (λGCforw, Fig. 8).
-    Right(Rc<Ty>),
+    Right(TyId),
     /// `left σ₁ + right σ₂` (λGCforw, Fig. 8). The components are stored
     /// *without* their `left`/`right` wrappers.
-    Sum(Rc<Ty>, Rc<Ty>),
+    Sum(TyId, TyId),
     /// `∃r ∈ ∆.(σ at r)` (λGCgen, Fig. 10); `body` is the `σ` under the
     /// binder.
     ExistRgn {
         rvar: Symbol,
-        bound: Rc<[Region]>,
-        body: Rc<Ty>,
+        bound: Arc<[Region]>,
+        body: TyId,
     },
 }
 
 impl Ty {
+    /// Interns this node, returning its arena id.
+    pub fn id(&self) -> TyId {
+        intern_ty(self.clone())
+    }
+
     /// Convenience constructor for `σ₁ × σ₂`.
     pub fn prod(a: Ty, b: Ty) -> Ty {
-        Ty::Prod(Rc::new(a), Rc::new(b))
+        Ty::Prod(intern_ty(a), intern_ty(b))
     }
 
     /// Convenience constructor for `σ at ρ`.
     pub fn at(self, rho: Region) -> Ty {
-        Ty::At(Rc::new(self), rho)
+        Ty::At(intern_ty(self), rho)
     }
 
     /// Convenience constructor for `Mρ(τ)`.
     pub fn m(rho: Region, tag: Tag) -> Ty {
-        Ty::M(rho, Rc::new(tag))
+        Ty::M(rho, intern_tag(tag))
     }
 
     /// Convenience constructor for `Cρ,ρ′(τ)`.
     pub fn c(from: Region, to: Region, tag: Tag) -> Ty {
-        Ty::C(from, to, Rc::new(tag))
+        Ty::C(from, to, intern_tag(tag))
     }
 
     /// Convenience constructor for `Mρy,ρo(τ)`.
     pub fn mgen(young: Region, old: Region, tag: Tag) -> Ty {
-        Ty::MGen(young, old, Rc::new(tag))
+        Ty::MGen(young, old, intern_tag(tag))
     }
 
     /// Convenience constructor for `∀[t̄:κ̄][r̄](σ̄) → 0`.
@@ -308,7 +330,7 @@ impl Ty {
         Ty::Code {
             tvars: tvars.into_iter().collect(),
             rvars: rvars.into_iter().collect(),
-            args: args.into_iter().collect(),
+            args: args.into_iter().map(intern_ty).collect(),
         }
     }
 
@@ -317,7 +339,7 @@ impl Ty {
         Ty::ExistTag {
             tvar,
             kind,
-            body: Rc::new(body),
+            body: intern_ty(body),
         }
     }
 
@@ -326,7 +348,7 @@ impl Ty {
         Ty::ExistAlpha {
             avar,
             regions: regions.into_iter().collect(),
-            body: Rc::new(body),
+            body: intern_ty(body),
         }
     }
 
@@ -335,13 +357,13 @@ impl Ty {
         Ty::ExistRgn {
             rvar,
             bound: bound.into_iter().collect(),
-            body: Rc::new(body),
+            body: intern_ty(body),
         }
     }
 
     /// Convenience constructor for `left σ₁ + right σ₂`.
     pub fn sum(l: Ty, r: Ty) -> Ty {
-        Ty::Sum(Rc::new(l), Rc::new(r))
+        Ty::Sum(intern_ty(l), intern_ty(r))
     }
 }
 
@@ -394,7 +416,7 @@ impl CodeDef {
         Ty::Code {
             tvars: self.tvars.iter().cloned().collect(),
             rvars: self.rvars.iter().cloned().collect(),
-            args: self.params.iter().map(|(_, t)| t.clone()).collect(),
+            args: self.params.iter().map(|(_, t)| t.id()).collect(),
         }
     }
 }
@@ -470,7 +492,11 @@ impl Value {
         tags: impl IntoIterator<Item = Tag>,
         regions: impl IntoIterator<Item = Region>,
     ) -> Value {
-        Value::TagApp(Rc::new(v), tags.into_iter().collect(), regions.into_iter().collect())
+        Value::TagApp(
+            Rc::new(v),
+            tags.into_iter().collect(),
+            regions.into_iter().collect(),
+        )
     }
 
     /// Is this a closed runtime value (no free value variables)? Used by the
@@ -521,11 +547,7 @@ pub enum Term {
         args: Vec<Value>,
     },
     /// `let x = op in e`.
-    Let {
-        x: Symbol,
-        op: Op,
-        body: Rc<Term>,
-    },
+    Let { x: Symbol, op: Op, body: Rc<Term> },
     /// `halt v` with `v : int`.
     Halt(Value),
     /// `ifgc ρ e₁ e₂` — take `e₁` when region `ρ` is full.
@@ -556,10 +578,7 @@ pub enum Term {
         body: Rc<Term>,
     },
     /// `let region r in e`.
-    LetRegion {
-        rvar: Symbol,
-        body: Rc<Term>,
-    },
+    LetRegion { rvar: Symbol, body: Rc<Term> },
     /// `only ∆ in e` — reclaim every region not in `∆` (plus `cd`, which is
     /// always kept).
     Only {
@@ -721,7 +740,7 @@ mod tests {
                 assert_eq!(tvars.len(), 1);
                 assert_eq!(rvars.len(), 1);
                 assert_eq!(args.len(), 1);
-                assert_eq!(args[0], Ty::Int);
+                assert_eq!(args[0], Ty::Int.id());
             }
             _ => panic!("expected code type"),
         }
@@ -741,7 +760,11 @@ mod tests {
         let t = Term::let_(
             s("x"),
             Op::Val(Value::Int(1)),
-            Term::let_(s("y"), Op::Val(Value::Int(2)), Term::Halt(Value::Var(s("y")))),
+            Term::let_(
+                s("y"),
+                Op::Val(Value::Int(2)),
+                Term::Halt(Value::Var(s("y"))),
+            ),
         );
         assert_eq!(t.size(), 3);
     }

@@ -8,11 +8,12 @@
 //! strategy.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ps_ir::Symbol;
 
 use crate::error::{kind_err, Result};
+use crate::intern::{self, intern_tag, TagId};
 use crate::subst::Subst;
 use crate::syntax::{Kind, Tag};
 
@@ -46,7 +47,9 @@ pub fn kind_of(tau: &Tag, theta: &HashMap<Symbol, Kind>) -> Result<Kind> {
             theta2.insert(*t, Kind::Omega);
             match kind_of(body, &theta2)? {
                 Kind::Omega => Ok(Kind::Omega),
-                k => Err(kind_err(format!("existential body has kind {k}, expected Ω"))),
+                k => Err(kind_err(format!(
+                    "existential body has kind {k}, expected Ω"
+                ))),
             }
         }
         Tag::Lam(t, body) => {
@@ -54,7 +57,9 @@ pub fn kind_of(tau: &Tag, theta: &HashMap<Symbol, Kind>) -> Result<Kind> {
             theta2.insert(*t, Kind::Omega);
             match kind_of(body, &theta2)? {
                 Kind::Omega => Ok(Kind::Arrow),
-                k => Err(kind_err(format!("tag function body has kind {k}, expected Ω"))),
+                k => Err(kind_err(format!(
+                    "tag function body has kind {k}, expected Ω"
+                ))),
             }
         }
         Tag::App(f, a) => {
@@ -90,33 +95,72 @@ pub fn check_kind(tau: &Tag, theta: &HashMap<Symbol, Kind>, expected: Kind) -> R
 /// Well-kinded tags always terminate (Prop. 6.1); ill-kinded self-applications
 /// would diverge, so callers must kind-check first — which every judgement in
 /// this crate does.
+///
+/// The result is memoized per interned node ([`normalize_id`]), so repeated
+/// normalization of a shared subtree is a table lookup.
 pub fn normalize(tau: &Tag) -> Tag {
-    normalize_counted(tau, &mut 0)
+    normalize_id(tau.id()).0.node().clone()
 }
 
-/// Like [`normalize`] but counts β-steps, for the E7 benchmark.
+/// Like [`normalize`] but counts β-steps, for the E7 benchmark. The memo
+/// stores the per-subtree step count, so counted callers see identical
+/// numbers whether or not the work was cached.
 pub fn normalize_counted(tau: &Tag, steps: &mut u64) -> Tag {
-    match tau {
-        Tag::Var(_) | Tag::Int | Tag::AnyArrow(_) => tau.clone(),
-        Tag::Prod(a, b) => Tag::Prod(
-            Rc::new(normalize_counted(a, steps)),
-            Rc::new(normalize_counted(b, steps)),
-        ),
-        Tag::Arrow(args) => Tag::Arrow(args.iter().map(|a| normalize_counted(a, steps)).collect()),
-        Tag::Exist(t, body) => Tag::Exist(*t, Rc::new(normalize_counted(body, steps))),
-        Tag::Lam(t, body) => Tag::Lam(*t, Rc::new(normalize_counted(body, steps))),
+    let (nf, n) = normalize_id(tau.id());
+    *steps += n;
+    nf.node().clone()
+}
+
+/// Memoized normal-order normalization by id: returns the normal form and
+/// the number of β-steps the (uncached) reduction performs.
+pub fn normalize_id(id: TagId) -> (TagId, u64) {
+    if let Some(hit) = intern::tag_norm_lookup(id) {
+        return hit;
+    }
+    let (nf, steps) = match id.node() {
+        Tag::Var(_) | Tag::Int | Tag::AnyArrow(_) => (id, 0),
+        Tag::Prod(a, b) => {
+            let (na, ca) = normalize_id(*a);
+            let (nb, cb) = normalize_id(*b);
+            (intern_tag(Tag::Prod(na, nb)), ca + cb)
+        }
+        Tag::Arrow(args) => {
+            let mut count = 0;
+            let nargs: Arc<[TagId]> = args
+                .iter()
+                .map(|a| {
+                    let (na, ca) = normalize_id(*a);
+                    count += ca;
+                    na
+                })
+                .collect();
+            (intern_tag(Tag::Arrow(nargs)), count)
+        }
+        Tag::Exist(t, body) => {
+            let (nb, cb) = normalize_id(*body);
+            (intern_tag(Tag::Exist(*t, nb)), cb)
+        }
+        Tag::Lam(t, body) => {
+            let (nb, cb) = normalize_id(*body);
+            (intern_tag(Tag::Lam(*t, nb)), cb)
+        }
         Tag::App(f, a) => {
-            let f = normalize_counted(f, steps);
-            match f {
+            let (nf, cf) = normalize_id(*f);
+            match nf.node() {
                 Tag::Lam(t, body) => {
-                    *steps += 1;
-                    let reduced = Subst::one_tag(t, (**a).clone()).tag(&body);
-                    normalize_counted(&reduced, steps)
+                    let reduced = Subst::one_tag(*t, a.node().clone()).tag(body.node());
+                    let (nr, cr) = normalize_id(reduced.id());
+                    (nr, cf + 1 + cr)
                 }
-                _ => Tag::App(Rc::new(f), Rc::new(normalize_counted(a, steps))),
+                _ => {
+                    let (na, ca) = normalize_id(*a);
+                    (intern_tag(Tag::App(nf, na)), cf + ca)
+                }
             }
         }
-    }
+    };
+    intern::tag_norm_insert(id, nf, steps);
+    (nf, steps)
 }
 
 /// Is the tag in *tagnf* (Fig. 2's `τ′` grammar — no β-redexes)?
@@ -124,47 +168,51 @@ pub fn is_normal(tau: &Tag) -> bool {
     match tau {
         Tag::Var(_) | Tag::Int | Tag::AnyArrow(_) => true,
         Tag::Prod(a, b) => is_normal(a) && is_normal(b),
-        Tag::Arrow(args) => args.iter().all(is_normal),
+        Tag::Arrow(args) => args.iter().all(|a| is_normal(a)),
         Tag::Exist(_, body) | Tag::Lam(_, body) => is_normal(body),
         Tag::App(f, a) => !matches!(**f, Tag::Lam(..)) && is_normal(f) && is_normal(a),
     }
 }
 
-/// α-equivalence of tags.
-pub fn alpha_eq(a: &Tag, b: &Tag) -> bool {
-    fn go(a: &Tag, b: &Tag, env: &mut Vec<(Symbol, Symbol)>) -> bool {
-        match (a, b) {
-            (Tag::Var(x), Tag::Var(y)) => var_eq(*x, *y, env),
-            (Tag::AnyArrow(x), Tag::AnyArrow(y)) => var_eq(*x, *y, env),
-            (Tag::Int, Tag::Int) => true,
-            (Tag::Prod(a1, a2), Tag::Prod(b1, b2)) => go(a1, b1, env) && go(a2, b2, env),
-            (Tag::Arrow(xs), Tag::Arrow(ys)) => {
-                xs.len() == ys.len() && xs.iter().zip(ys.iter()).all(|(x, y)| go(x, y, env))
-            }
-            (Tag::Exist(x, bx), Tag::Exist(y, by)) | (Tag::Lam(x, bx), Tag::Lam(y, by)) => {
-                env.push((*x, *y));
-                let r = go(bx, by, env);
-                env.pop();
-                r
-            }
-            (Tag::App(f1, a1), Tag::App(f2, a2)) => go(f1, f2, env) && go(a1, a2, env),
-            _ => false,
-        }
-    }
-    fn var_eq(x: Symbol, y: Symbol, env: &[(Symbol, Symbol)]) -> bool {
-        for &(a, b) in env.iter().rev() {
-            if a == x || b == y {
-                return a == x && b == y;
-            }
-        }
-        x == y
-    }
-    go(a, b, &mut Vec::new())
+/// How [`equiv`] compares two tags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Equiv {
+    /// Compare as written, up to α-renaming of binders. Use when both sides
+    /// are already in normal form (or when redexes must be distinguished).
+    Syntactic,
+    /// β-normalize both sides first — definitional equality. This is what
+    /// the typing rules mean by `τ₁ = τ₂`.
+    Normalizing,
 }
 
-/// Tag equality: normalize then compare up to α.
+/// The single equality entry point for tags.
+///
+/// Both modes reduce to an integer compare of α-canonical ids
+/// ([`crate::intern::canon_tag`]); `Normalizing` additionally sends each
+/// side through the (memoized) normalizer first. [`tag_eq`] and
+/// [`alpha_eq`] are thin wrappers fixing the mode.
+pub fn equiv(a: &Tag, b: &Tag, mode: Equiv) -> bool {
+    equiv_id(a.id(), b.id(), mode)
+}
+
+/// [`equiv`] on interned ids.
+pub fn equiv_id(a: TagId, b: TagId, mode: Equiv) -> bool {
+    let (a, b) = match mode {
+        Equiv::Syntactic => (a, b),
+        Equiv::Normalizing => (normalize_id(a).0, normalize_id(b).0),
+    };
+    intern::tag_alpha_eq(a, b)
+}
+
+/// α-equivalence of tags (no normalization): `equiv(_, _, Syntactic)`.
+pub fn alpha_eq(a: &Tag, b: &Tag) -> bool {
+    equiv(a, b, Equiv::Syntactic)
+}
+
+/// Tag equality: normalize then compare up to α —
+/// `equiv(_, _, Normalizing)`.
 pub fn tag_eq(a: &Tag, b: &Tag) -> bool {
-    alpha_eq(&normalize(a), &normalize(b))
+    equiv(a, b, Equiv::Normalizing)
 }
 
 /// The size of a tag (number of constructors), used for benchmarks and
@@ -173,7 +221,7 @@ pub fn tag_size(tau: &Tag) -> usize {
     match tau {
         Tag::Var(_) | Tag::Int | Tag::AnyArrow(_) => 1,
         Tag::Prod(a, b) | Tag::App(a, b) => 1 + tag_size(a) + tag_size(b),
-        Tag::Arrow(args) => 1 + args.iter().map(tag_size).sum::<usize>(),
+        Tag::Arrow(args) => 1 + args.iter().map(|a| tag_size(a)).sum::<usize>(),
         Tag::Exist(_, body) | Tag::Lam(_, body) => 1 + tag_size(body),
     }
 }
@@ -277,10 +325,19 @@ mod tests {
     #[test]
     fn alpha_eq_respects_shadowing() {
         // λu.λ... not expressible; use exist nesting instead.
-        let a = Tag::exist(s("u"), Tag::exist(s("v"), Tag::prod(Tag::Var(s("u")), Tag::Var(s("v")))));
-        let b = Tag::exist(s("v"), Tag::exist(s("u"), Tag::prod(Tag::Var(s("v")), Tag::Var(s("u")))));
+        let a = Tag::exist(
+            s("u"),
+            Tag::exist(s("v"), Tag::prod(Tag::Var(s("u")), Tag::Var(s("v")))),
+        );
+        let b = Tag::exist(
+            s("v"),
+            Tag::exist(s("u"), Tag::prod(Tag::Var(s("v")), Tag::Var(s("u")))),
+        );
         assert!(alpha_eq(&a, &b));
-        let c = Tag::exist(s("v"), Tag::exist(s("u"), Tag::prod(Tag::Var(s("u")), Tag::Var(s("v")))));
+        let c = Tag::exist(
+            s("v"),
+            Tag::exist(s("u"), Tag::prod(Tag::Var(s("u")), Tag::Var(s("v")))),
+        );
         assert!(!alpha_eq(&a, &c));
     }
 

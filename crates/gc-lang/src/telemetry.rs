@@ -67,7 +67,11 @@ fn occupancy(mem: &Memory) -> Vec<RegionSnapshot> {
         .filter(|nu| !nu.is_cd())
         .map(|nu| {
             let r = mem.region(nu).expect("named region exists");
-            RegionSnapshot { region: nu, words: r.words(), budget: r.budget() }
+            RegionSnapshot {
+                region: nu,
+                words: r.words(),
+                budget: r.budget(),
+            }
         })
         .collect()
 }
@@ -199,24 +203,46 @@ impl GcEvent {
         o.str("event", self.name());
         o.int("step", self.step());
         match self {
-            GcEvent::RegionAlloc { region, budget, heap_words, .. } => {
+            GcEvent::RegionAlloc {
+                region,
+                budget,
+                heap_words,
+                ..
+            } => {
                 o.int("region", u64::from(region.0));
                 o.int("budget", *budget as u64);
                 o.int("heap_words", *heap_words as u64);
             }
-            GcEvent::RegionFree { region, words, objects, .. } => {
+            GcEvent::RegionFree {
+                region,
+                words,
+                objects,
+                ..
+            } => {
                 o.int("region", u64::from(region.0));
                 o.int("words", *words as u64);
                 o.int("objects", *objects as u64);
             }
-            GcEvent::GcBegin { collection, region, region_words, heap_words, occupancy, .. } => {
+            GcEvent::GcBegin {
+                collection,
+                region,
+                region_words,
+                heap_words,
+                occupancy,
+                ..
+            } => {
                 o.int("collection", *collection);
                 o.int("region", u64::from(region.0));
                 o.int("region_words", *region_words as u64);
                 o.int("heap_words", *heap_words as u64);
                 o.occupancy(occupancy);
             }
-            GcEvent::Copy { region, words, promoted, .. } => {
+            GcEvent::Copy {
+                region,
+                words,
+                promoted,
+                ..
+            } => {
                 o.int("region", u64::from(region.0));
                 o.int("words", *words as u64);
                 o.bool("promoted", *promoted);
@@ -247,7 +273,11 @@ impl GcEvent {
                 o.int("heap_words", *heap_words as u64);
                 o.occupancy(occupancy);
             }
-            GcEvent::Step { heap_words, regions, .. } => {
+            GcEvent::Step {
+                heap_words,
+                regions,
+                ..
+            } => {
                 o.int("heap_words", *heap_words as u64);
                 o.int("regions", *regions as u64);
             }
@@ -336,7 +366,11 @@ impl Telemetry {
         }
         if step.is_multiple_of(self.step_interval) {
             let regions = mem.region_names().filter(|nu| !nu.is_cd()).count();
-            self.emit(GcEvent::Step { step, heap_words: mem.data_words(), regions });
+            self.emit(GcEvent::Step {
+                step,
+                heap_words: mem.data_words(),
+                regions,
+            });
         }
     }
 
@@ -347,7 +381,12 @@ impl Telemetry {
             return;
         }
         let budget = mem.region(region).map_or(0, |r| r.budget());
-        self.emit(GcEvent::RegionAlloc { step, region, budget, heap_words: mem.data_words() });
+        self.emit(GcEvent::RegionAlloc {
+            step,
+            region,
+            budget,
+            heap_words: mem.data_words(),
+        });
     }
 
     /// Hook: `ifgc` came back "full" on `region`.
@@ -398,7 +437,12 @@ impl Telemetry {
                 phase.words_promoted += words as u64;
                 phase.objects_promoted += 1;
             }
-            self.emit(GcEvent::Copy { step, region, words, promoted });
+            self.emit(GcEvent::Copy {
+                step,
+                region,
+                words,
+                promoted,
+            });
         }
     }
 
@@ -409,7 +453,12 @@ impl Telemetry {
             return;
         }
         for (region, words, objects) in &report.dropped {
-            self.emit(GcEvent::RegionFree { step, region: *region, words: *words, objects: *objects });
+            self.emit(GcEvent::RegionFree {
+                step,
+                region: *region,
+                words: *words,
+                objects: *objects,
+            });
         }
         // A collection ends at its `only` — which, coming from the
         // collector, always drops the (full, hence non-empty) from-space.
@@ -602,7 +651,9 @@ impl Metrics {
             GcEvent::GcBegin { heap_words, .. } => {
                 self.max_heap_words = self.max_heap_words.max(*heap_words);
             }
-            GcEvent::Copy { words, promoted, .. } => {
+            GcEvent::Copy {
+                words, promoted, ..
+            } => {
                 self.words_copied += *words as u64;
                 self.objects_copied += 1;
                 if *promoted {
@@ -611,7 +662,13 @@ impl Metrics {
                 }
                 self.copy_sizes.record(*words as u64);
             }
-            GcEvent::GcEnd { gc_steps, words_copied, words_reclaimed, heap_words, .. } => {
+            GcEvent::GcEnd {
+                gc_steps,
+                words_copied,
+                words_reclaimed,
+                heap_words,
+                ..
+            } => {
                 self.collections += 1;
                 self.gc_steps += gc_steps;
                 self.words_reclaimed += words_reclaimed;
@@ -689,7 +746,10 @@ pub struct Recorder {
 impl Recorder {
     /// A recorder that keeps the full event log.
     pub fn new() -> Recorder {
-        Recorder { keep_events: true, ..Recorder::default() }
+        Recorder {
+            keep_events: true,
+            ..Recorder::default()
+        }
     }
 
     /// A recorder that only maintains [`Metrics`] — constant space, for
@@ -729,7 +789,8 @@ impl Recorder {
     /// The trace as a JSON-lines string.
     pub fn to_jsonl(&self) -> String {
         let mut buf = Vec::new();
-        self.write_jsonl(&mut buf).expect("writing to a Vec cannot fail");
+        self.write_jsonl(&mut buf)
+            .expect("writing to a Vec cannot fail");
         String::from_utf8(buf).expect("trace is UTF-8")
     }
 }
@@ -753,7 +814,9 @@ struct JsonObj {
 
 impl JsonObj {
     fn new() -> JsonObj {
-        JsonObj { buf: String::from("{") }
+        JsonObj {
+            buf: String::from("{"),
+        }
     }
 
     fn key(&mut self, k: &str) {
@@ -856,11 +919,21 @@ fn schema() -> &'static [(&'static str, &'static [(&'static str, FieldKind)])] {
         ),
         (
             "region_alloc",
-            &[("step", Int), ("region", Int), ("budget", Int), ("heap_words", Int)],
+            &[
+                ("step", Int),
+                ("region", Int),
+                ("budget", Int),
+                ("heap_words", Int),
+            ],
         ),
         (
             "region_free",
-            &[("step", Int), ("region", Int), ("words", Int), ("objects", Int)],
+            &[
+                ("step", Int),
+                ("region", Int),
+                ("words", Int),
+                ("objects", Int),
+            ],
         ),
         (
             "gc_begin",
@@ -875,7 +948,12 @@ fn schema() -> &'static [(&'static str, &'static [(&'static str, FieldKind)])] {
         ),
         (
             "copy",
-            &[("step", Int), ("region", Int), ("words", Int), ("promoted", Bool)],
+            &[
+                ("step", Int),
+                ("region", Int),
+                ("words", Int),
+                ("promoted", Bool),
+            ],
         ),
         (
             "gc_end",
@@ -894,7 +972,10 @@ fn schema() -> &'static [(&'static str, &'static [(&'static str, FieldKind)])] {
                 ("occupancy", Occupancy),
             ],
         ),
-        ("step", &[("step", Int), ("heap_words", Int), ("regions", Int)]),
+        (
+            "step",
+            &[("step", Int), ("heap_words", Int), ("regions", Int)],
+        ),
         ("fuel_exhausted", &[("step", Int)]),
         ("halt", &[("step", Int), ("value", SignedInt)]),
         (
@@ -930,7 +1011,10 @@ pub struct TraceSummary {
 impl TraceSummary {
     /// How many lines carried the given event name.
     pub fn count(&self, name: &str) -> usize {
-        self.counts.iter().find(|(n, _)| *n == name).map_or(0, |(_, c)| *c)
+        self.counts
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, c)| *c)
     }
 }
 
@@ -1034,9 +1118,9 @@ mod json {
                 Value::Arr(items) => items.iter().all(|it| match it {
                     Value::Obj(o) => {
                         o.len() == 3
-                            && ["region", "words", "budget"].iter().all(|k| {
-                                matches!(o.get(*k), Some(Value::Int(n)) if *n >= 0)
-                            })
+                            && ["region", "words", "budget"]
+                                .iter()
+                                .all(|k| matches!(o.get(*k), Some(Value::Int(n)) if *n >= 0))
                     }
                     _ => false,
                 }),
@@ -1051,7 +1135,10 @@ mod json {
     }
 
     pub fn parse_object(s: &str) -> Result<BTreeMap<String, Value>, String> {
-        let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
         let v = p.value()?;
         p.skip_ws();
         if p.pos != p.bytes.len() {
@@ -1065,7 +1152,11 @@ mod json {
 
     impl Parser<'_> {
         fn skip_ws(&mut self) {
-            while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|b| b.is_ascii_whitespace())
+            {
                 self.pos += 1;
             }
         }
@@ -1262,7 +1353,8 @@ mod tests {
         t.on_gc_trigger(from, &m, 10);
         let to = m.alloc_region();
         t.on_region_alloc(to, &m, 11);
-        m.put(to, Value::pair(Value::Int(1), Value::Int(2))).unwrap();
+        m.put(to, Value::pair(Value::Int(1), Value::Int(2)))
+            .unwrap();
         t.on_put(to, 2, 12);
         let report = m.only(&[to]);
         t.on_only(&report, &m, 13);
@@ -1285,10 +1377,17 @@ mod tests {
         assert_eq!(rec.metrics.collections, 1);
         assert_eq!(rec.metrics.words_copied, 2);
         assert_eq!(rec.metrics.objects_copied, 1);
-        assert_eq!(rec.metrics.words_promoted, 0, "to-space is new: no promotion");
+        assert_eq!(
+            rec.metrics.words_promoted, 0,
+            "to-space is new: no promotion"
+        );
         assert_eq!(rec.metrics.words_reclaimed, 4);
         match &rec.events[5] {
-            GcEvent::GcEnd { to_space_words, gc_steps, .. } => {
+            GcEvent::GcEnd {
+                to_space_words,
+                gc_steps,
+                ..
+            } => {
                 assert_eq!(*to_space_words, 2);
                 assert_eq!(*gc_steps, 3);
             }
@@ -1382,14 +1481,12 @@ mod tests {
         // Missing fields:
         assert!(validate_jsonl_trace("{\"event\":\"halt\",\"step\":1}").is_err());
         // Extra fields:
-        assert!(validate_jsonl_trace(
-            "{\"event\":\"halt\",\"step\":1,\"value\":2,\"extra\":3}"
-        )
-        .is_err());
-        // Wrong type:
         assert!(
-            validate_jsonl_trace("{\"event\":\"halt\",\"step\":1,\"value\":\"x\"}").is_err()
+            validate_jsonl_trace("{\"event\":\"halt\",\"step\":1,\"value\":2,\"extra\":3}")
+                .is_err()
         );
+        // Wrong type:
+        assert!(validate_jsonl_trace("{\"event\":\"halt\",\"step\":1,\"value\":\"x\"}").is_err());
         // Steps running backwards:
         let backwards = "{\"event\":\"fuel_exhausted\",\"step\":5}\n\
                          {\"event\":\"fuel_exhausted\",\"step\":4}";
@@ -1405,7 +1502,14 @@ mod tests {
         assert_eq!(h.count(), 9);
         assert_eq!(
             h.nonzero_buckets(),
-            vec![(0, 0, 1), (1, 1, 2), (2, 3, 2), (4, 7, 2), (8, 15, 1), (512, 1023, 1)]
+            vec![
+                (0, 0, 1),
+                (1, 1, 2),
+                (2, 3, 2),
+                (4, 7, 2),
+                (8, 15, 1),
+                (512, 1023, 1)
+            ]
         );
     }
 

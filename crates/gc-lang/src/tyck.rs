@@ -31,9 +31,7 @@ use crate::moper::normalize_ty;
 #[cfg(test)]
 use crate::moper::ty_eq;
 use crate::subst::{ty_regions, Subst};
-use crate::syntax::{
-    CodeDef, Dialect, Kind, Op, Region, RegionName, Tag, Term, Ty, Value, CD,
-};
+use crate::syntax::{CodeDef, Dialect, Kind, Op, Region, RegionName, Tag, Term, Ty, Value, CD};
 use crate::tags;
 
 /// The memory type `Ψ`: region name → offset → stored-value type.
@@ -157,7 +155,10 @@ impl Checker {
         if wanted.contains(&self.dialect) {
             Ok(())
         } else {
-            Err(dialect_err(format!("{what} is not part of {}", self.dialect)))
+            Err(dialect_err(format!(
+                "{what} is not part of {}",
+                self.dialect
+            )))
         }
     }
 
@@ -195,12 +196,18 @@ impl Checker {
         let mut ctx = Ctx::empty();
         for (t, k) in &def.tvars {
             if ctx.theta.insert(*t, *k).is_some() {
-                return Err(type_err(format!("duplicate tag binder {t} in {}", def.name)));
+                return Err(type_err(format!(
+                    "duplicate tag binder {t} in {}",
+                    def.name
+                )));
             }
         }
         for r in &def.rvars {
             if !ctx.delta.insert(Region::Var(*r)) {
-                return Err(type_err(format!("duplicate region binder {r} in {}", def.name)));
+                return Err(type_err(format!(
+                    "duplicate region binder {r} in {}",
+                    def.name
+                )));
             }
         }
         let restricted = self.restrict_psi(&BTreeSet::new());
@@ -303,7 +310,11 @@ impl Checker {
                 }
                 Ok(())
             }
-            Ty::ExistAlpha { avar, regions, body } => {
+            Ty::ExistAlpha {
+                avar,
+                regions,
+                body,
+            } => {
                 for r in regions.iter() {
                     if !ctx.in_delta(r) {
                         return Err(form_err(format!("∃α bound region {r} not in scope")));
@@ -313,13 +324,20 @@ impl Checker {
                 inner.phi.insert(*avar, regions.to_vec());
                 self.ty_wf(&inner, body)
             }
-            Ty::Trans { tags: ts, regions, args, rho } => {
+            Ty::Trans {
+                tags: ts,
+                regions,
+                args,
+                rho,
+            } => {
                 // paper: see the note on `Ty::Trans` in `syntax` — the
                 // translucent type records its region instantiation rather
                 // than quantifying, so args are checked in the ambient
                 // environments with the recorded regions in scope.
                 if !ctx.in_delta(rho) {
-                    return Err(form_err(format!("region {rho} not in scope in translucent type")));
+                    return Err(form_err(format!(
+                        "region {rho} not in scope in translucent type"
+                    )));
                 }
                 for r in regions.iter() {
                     if !ctx.in_delta(r) {
@@ -372,19 +390,30 @@ impl Checker {
                     .ok_or_else(|| type_err(format!("no Ψ entry for address {nu}.{loc}")))?;
                 Ok(sigma.clone().at(Region::Name(*nu)))
             }
-            Value::Pair(a, b) => Ok(Ty::prod(self.synth_value(ctx, a)?, self.synth_value(ctx, b)?)),
-            Value::PackTag { tvar, kind, tag, val, body_ty } => {
+            Value::Pair(a, b) => Ok(Ty::prod(
+                self.synth_value(ctx, a)?,
+                self.synth_value(ctx, b)?,
+            )),
+            Value::PackTag {
+                tvar,
+                kind,
+                tag,
+                val,
+                body_ty,
+            } => {
                 tags::check_kind(tag, &ctx.theta, *kind)?;
                 let instantiated = Subst::one_tag(*tvar, tag.clone()).ty(body_ty);
                 self.check_value(ctx, val, &instantiated)
                     .map_err(|e| e.in_context("tag package payload"))?;
-                Ok(Ty::ExistTag {
-                    tvar: *tvar,
-                    kind: *kind,
-                    body: std::rc::Rc::new(body_ty.clone()),
-                })
+                Ok(Ty::exist_tag(*tvar, *kind, body_ty.clone()))
             }
-            Value::PackAlpha { avar, regions, witness, val, body_ty } => {
+            Value::PackAlpha {
+                avar,
+                regions,
+                witness,
+                val,
+                body_ty,
+            } => {
                 // ∆′; Θ; Φ|∆′ ⊢ σ₁ and v : σ₂[σ₁/α].
                 let mut inner = Ctx::empty();
                 inner.theta = ctx.theta.clone();
@@ -400,13 +429,19 @@ impl Checker {
                 let instantiated = Subst::one_alpha(*avar, witness.clone()).ty(body_ty);
                 self.check_value(ctx, val, &instantiated)
                     .map_err(|e| e.in_context("α-package payload"))?;
-                Ok(Ty::ExistAlpha {
-                    avar: *avar,
-                    regions: regions.clone(),
-                    body: std::rc::Rc::new(body_ty.clone()),
-                })
+                Ok(Ty::exist_alpha(
+                    *avar,
+                    regions.iter().copied(),
+                    body_ty.clone(),
+                ))
             }
-            Value::PackRgn { rvar, bound, witness, val, body_ty } => {
+            Value::PackRgn {
+                rvar,
+                bound,
+                witness,
+                val,
+                body_ty,
+            } => {
                 self.require_dialect(&[Dialect::Generational], "region package")?;
                 if !bound.contains(witness) {
                     return Err(type_err(format!(
@@ -418,16 +453,10 @@ impl Checker {
                         return Err(type_err(format!("region package bound {r} not in scope")));
                     }
                 }
-                let instantiated = Subst::one_rgn(*rvar, *witness)
-                    .ty(body_ty)
-                    .at(*witness);
+                let instantiated = Subst::one_rgn(*rvar, *witness).ty(body_ty).at(*witness);
                 self.check_value(ctx, val, &instantiated)
                     .map_err(|e| e.in_context("region package payload"))?;
-                Ok(Ty::ExistRgn {
-                    rvar: *rvar,
-                    bound: bound.clone(),
-                    body: std::rc::Rc::new(body_ty.clone()),
-                })
+                Ok(Ty::exist_rgn(*rvar, bound.iter().copied(), body_ty.clone()))
             }
             Value::TagApp(f, ts, rhos) => {
                 let fty = normalize_ty(&self.synth_value(ctx, f)?, self.dialect);
@@ -457,9 +486,9 @@ impl Checker {
                                 sub = sub.with_rgn(*r, *nu);
                             }
                             Ok(Ty::Trans {
-                                tags: ts.clone(),
-                                regions: rhos.clone(),
-                                args: args.iter().map(|a| sub.ty(a)).collect(),
+                                tags: ts.iter().map(|t| t.id()).collect(),
+                                regions: rhos.iter().copied().collect(),
+                                args: args.iter().map(|a| sub.ty_id(*a)).collect(),
                                 rho,
                             })
                         }
@@ -478,11 +507,11 @@ impl Checker {
             }
             Value::Inl(x) => {
                 self.require_dialect(&[Dialect::Forwarding], "inl")?;
-                Ok(Ty::Left(std::rc::Rc::new(self.synth_value(ctx, x)?)))
+                Ok(Ty::Left(self.synth_value(ctx, x)?.id()))
             }
             Value::Inr(x) => {
                 self.require_dialect(&[Dialect::Forwarding], "inr")?;
-                Ok(Ty::Right(std::rc::Rc::new(self.synth_value(ctx, x)?)))
+                Ok(Ty::Right(self.synth_value(ctx, x)?.id()))
             }
         }
     }
@@ -492,18 +521,20 @@ impl Checker {
     /// forms, as the paper's value judgements do.
     pub fn check_value(&self, ctx: &Ctx, v: &Value, expected: &Ty) -> Result<()> {
         // Fast path: exact (synthesized) match, or the generational
-        // subtyping below.
+        // subtyping below. `expected` is normalized once, up front: both the
+        // fast path and the structural match below compare against the same
+        // `norm` (this used to normalize `expected` on each branch).
+        let norm = normalize_ty(expected, self.dialect);
         let synth = self.synth_value(ctx, v);
         if let Ok(t) = &synth {
-            if self.subty(ctx, &normalize_ty(t, self.dialect), &normalize_ty(expected, self.dialect)) {
+            if self.subty(ctx, &normalize_ty(t, self.dialect), &norm) {
                 return Ok(());
             }
         }
-        let norm = normalize_ty(expected, self.dialect);
         match (&norm, v) {
             (Ty::Sum(a, b), _) => {
-                let left = Ty::Left(a.clone());
-                let right = Ty::Right(b.clone());
+                let left = Ty::Left(*a);
+                let right = Ty::Right(*b);
                 self.check_value(ctx, v, &left)
                     .or_else(|_| self.check_value(ctx, v, &right))
                     .map_err(|_| self.mismatch(v, &norm, synth))
@@ -514,7 +545,12 @@ impl Checker {
                 self.check_value(ctx, x, a)?;
                 self.check_value(ctx, y, b)
             }
-            (Ty::ExistTag { tvar, kind, body }, Value::PackTag { kind: vk, tag, val, .. }) => {
+            (
+                Ty::ExistTag { tvar, kind, body },
+                Value::PackTag {
+                    kind: vk, tag, val, ..
+                },
+            ) => {
                 if kind != vk {
                     return Err(self.mismatch(v, &norm, synth));
                 }
@@ -552,8 +588,16 @@ impl Checker {
                 oa == ob && tags::alpha_eq(ta, tb) && index_ok
             }
             (
-                Ty::ExistRgn { rvar: ra, bound: da, body: ba },
-                Ty::ExistRgn { rvar: rb, bound: db, body: bb },
+                Ty::ExistRgn {
+                    rvar: ra,
+                    bound: da,
+                    body: ba,
+                },
+                Ty::ExistRgn {
+                    rvar: rb,
+                    bound: db,
+                    body: bb,
+                },
             ) => {
                 let subset = da
                     .iter()
@@ -565,7 +609,18 @@ impl Checker {
                 self.subty(ctx, a1, b1) && self.subty(ctx, a2, b2)
             }
             (Ty::At(ia, ra), Ty::At(ib, rb)) => ra == rb && self.subty(ctx, ia, ib),
-            (Ty::ExistTag { tvar: ta, kind: ka, body: ba }, Ty::ExistTag { tvar: tb, kind: kb, body: bb }) => {
+            (
+                Ty::ExistTag {
+                    tvar: ta,
+                    kind: ka,
+                    body: ba,
+                },
+                Ty::ExistTag {
+                    tvar: tb,
+                    kind: kb,
+                    body: bb,
+                },
+            ) => {
                 let bb2 = Subst::one_tag(*tb, Tag::Var(*ta)).ty(bb);
                 ka == kb && self.subty(ctx, ba, &bb2)
             }
@@ -594,7 +649,9 @@ impl Checker {
                 let t = normalize_ty(&self.synth_value(ctx, v)?, self.dialect);
                 match t {
                     Ty::Prod(a, b) => Ok(if *i == 1 { (*a).clone() } else { (*b).clone() }),
-                    other => Err(type_err(format!("projection π{i} of non-pair type {other:?}"))),
+                    other => Err(type_err(format!(
+                        "projection π{i} of non-pair type {other:?}"
+                    ))),
                 }
             }
             Op::Put(rho, v) => {
@@ -636,7 +693,12 @@ impl Checker {
     /// The term judgement `Ψ; ∆; Θ; Φ; Γ ⊢ e`.
     pub fn check_term(&self, ctx: &Ctx, e: &Term) -> Result<()> {
         match e {
-            Term::App { f, tags: ts, regions, args } => self.check_app(ctx, f, ts, regions, args),
+            Term::App {
+                f,
+                tags: ts,
+                regions,
+                args,
+            } => self.check_app(ctx, f, ts, regions, args),
             Term::Let { .. } => {
                 // Iterative over the let spine (it can be thousands deep).
                 let mut inner = ctx.clone();
@@ -663,7 +725,11 @@ impl Checker {
             Term::OpenTag { pkg, tvar, x, body } => {
                 let t = normalize_ty(&self.synth_value(ctx, pkg)?, self.dialect);
                 match t {
-                    Ty::ExistTag { tvar: t0, kind, body: bty } => {
+                    Ty::ExistTag {
+                        tvar: t0,
+                        kind,
+                        body: bty,
+                    } => {
                         let mut inner = ctx.clone();
                         if inner.theta.insert(*tvar, kind).is_some() {
                             return Err(type_err(format!("open shadows tag variable {tvar}")));
@@ -678,7 +744,11 @@ impl Checker {
             Term::OpenAlpha { pkg, avar, x, body } => {
                 let t = normalize_ty(&self.synth_value(ctx, pkg)?, self.dialect);
                 match t {
-                    Ty::ExistAlpha { avar: a0, regions, body: bty } => {
+                    Ty::ExistAlpha {
+                        avar: a0,
+                        regions,
+                        body: bty,
+                    } => {
                         let mut inner = ctx.clone();
                         if inner.phi.insert(*avar, regions.to_vec()).is_some() {
                             return Err(type_err(format!("open shadows type variable {avar}")));
@@ -694,7 +764,11 @@ impl Checker {
                 self.require_dialect(&[Dialect::Generational], "open(region)")?;
                 let t = normalize_ty(&self.synth_value(ctx, pkg)?, self.dialect);
                 match t {
-                    Ty::ExistRgn { rvar: r0, bound, body: bty } => {
+                    Ty::ExistRgn {
+                        rvar: r0,
+                        bound,
+                        body: bty,
+                    } => {
                         let mut inner = ctx.clone();
                         if !inner.delta.insert(Region::Var(*rvar)) {
                             return Err(type_err(format!("open shadows region variable {rvar}")));
@@ -706,7 +780,9 @@ impl Checker {
                         inner.gamma.insert(*x, opened);
                         self.check_term(&inner, body)
                     }
-                    other => Err(type_err(format!("open(region) of non-existential {other:?}"))),
+                    other => Err(type_err(format!(
+                        "open(region) of non-existential {other:?}"
+                    ))),
                 }
             }
             Term::LetRegion { rvar, body } => {
@@ -752,10 +828,19 @@ impl Checker {
                     .collect();
                 restricted.check_term(&inner, body)
             }
-            Term::Typecase { tag, int_arm, arrow_arm, prod_arm, exist_arm } => {
-                self.check_typecase(ctx, tag, int_arm, arrow_arm, prod_arm, exist_arm)
-            }
-            Term::IfLeft { x, scrut, left, right } => {
+            Term::Typecase {
+                tag,
+                int_arm,
+                arrow_arm,
+                prod_arm,
+                exist_arm,
+            } => self.check_typecase(ctx, tag, int_arm, arrow_arm, prod_arm, exist_arm),
+            Term::IfLeft {
+                x,
+                scrut,
+                left,
+                right,
+            } => {
                 self.require_dialect(&[Dialect::Forwarding], "ifleft")?;
                 let t = normalize_ty(&self.synth_value(ctx, scrut)?, self.dialect);
                 match t {
@@ -797,7 +882,14 @@ impl Checker {
                     other => Err(type_err(format!("set on non-reference type {other:?}"))),
                 }
             }
-            Term::Widen { x, from, to, tag, v, body } => {
+            Term::Widen {
+                x,
+                from,
+                to,
+                tag,
+                v,
+                body,
+            } => {
                 self.require_dialect(&[Dialect::Forwarding], "widen")?;
                 if !ctx.in_delta(from) || !ctx.in_delta(to) {
                     return Err(type_err("widen region not in scope".to_string()));
@@ -817,9 +909,7 @@ impl Checker {
                     .phi
                     .iter()
                     .filter(|(_, bound)| {
-                        bound
-                            .iter()
-                            .all(|r| r.is_cd() || *r == *from || *r == *to)
+                        bound.iter().all(|r| r.is_cd() || *r == *from || *r == *to)
                     })
                     .map(|(a, b)| (*a, b.clone()))
                     .collect();
@@ -830,7 +920,11 @@ impl Checker {
                 self.require_dialect(&[Dialect::Generational], "ifreg")?;
                 self.check_ifreg(ctx, r1, r2, eq, ne)
             }
-            Term::If0 { scrut, zero, nonzero } => {
+            Term::If0 {
+                scrut,
+                zero,
+                nonzero,
+            } => {
                 self.check_value(ctx, scrut, &Ty::Int)?;
                 self.check_term(ctx, zero)?;
                 self.check_term(ctx, nonzero)
@@ -854,8 +948,14 @@ impl Checker {
         let fty = normalize_ty(&self.synth_value(ctx, f)?, self.dialect);
         match fty {
             Ty::At(inner, _) => match &*inner {
-                Ty::Code { tvars, rvars, args: params } => {
-                    if tvars.len() != ts.len() || rvars.len() != regions.len() || params.len() != args.len()
+                Ty::Code {
+                    tvars,
+                    rvars,
+                    args: params,
+                } => {
+                    if tvars.len() != ts.len()
+                        || rvars.len() != regions.len()
+                        || params.len() != args.len()
                     {
                         return Err(type_err(format!(
                             "application arity: expected [{}][{}]({}), got [{}][{}]({})",
@@ -884,10 +984,19 @@ impl Checker {
                 }
                 other => Err(type_err(format!("application of non-code type {other:?}"))),
             },
-            Ty::Trans { tags: rec, regions: rec_rgn, args: params, .. } => {
-                if rec.len() != ts.len() || rec_rgn.len() != regions.len() || params.len() != args.len()
+            Ty::Trans {
+                tags: rec,
+                regions: rec_rgn,
+                args: params,
+                ..
+            } => {
+                if rec.len() != ts.len()
+                    || rec_rgn.len() != regions.len()
+                    || params.len() != args.len()
                 {
-                    return Err(type_err("translucent application arity mismatch".to_string()));
+                    return Err(type_err(
+                        "translucent application arity mismatch".to_string(),
+                    ));
                 }
                 for (given, recorded) in ts.iter().zip(rec.iter()) {
                     if !tags::tag_eq(given, recorded) {
@@ -997,14 +1106,7 @@ impl Checker {
         }
     }
 
-    fn check_ifreg(
-        &self,
-        ctx: &Ctx,
-        r1: &Region,
-        r2: &Region,
-        eq: &Term,
-        ne: &Term,
-    ) -> Result<()> {
+    fn check_ifreg(&self, ctx: &Ctx, r1: &Region, r2: &Region, eq: &Term, ne: &Term) -> Result<()> {
         if !ctx.in_delta(r1) || !ctx.in_delta(r2) {
             return Err(type_err("ifreg region not in scope".to_string()));
         }
@@ -1025,7 +1127,10 @@ impl Checker {
                 let sub = Subst::new()
                     .with_rgn(*a, Region::Var(fresh))
                     .with_rgn(*b, Region::Var(fresh));
-                self.check_term(&subst_ctx(ctx, &sub, Some(Region::Var(fresh))), &sub.term(eq))?;
+                self.check_term(
+                    &subst_ctx(ctx, &sub, Some(Region::Var(fresh))),
+                    &sub.term(eq),
+                )?;
                 self.check_term(ctx, ne)
             }
             (Region::Var(a), Region::Name(n)) | (Region::Name(n), Region::Var(a)) => {
@@ -1073,11 +1178,7 @@ fn subst_ctx(ctx: &Ctx, sub: &Subst, add: Option<Region>) -> Ctx {
             .iter()
             .map(|(a, bound)| (*a, bound.iter().map(|r| sub.region(r)).collect()))
             .collect(),
-        gamma: ctx
-            .gamma
-            .iter()
-            .map(|(x, t)| (*x, sub.ty(t)))
-            .collect(),
+        gamma: ctx.gamma.iter().map(|(x, t)| (*x, sub.ty(t))).collect(),
         rbounds: ctx
             .rbounds
             .iter()
@@ -1108,7 +1209,9 @@ mod tests {
 
     #[test]
     fn halt_int_checks() {
-        basic().check_term(&Ctx::empty(), &Term::Halt(Value::Int(3))).unwrap();
+        basic()
+            .check_term(&Ctx::empty(), &Term::Halt(Value::Int(3)))
+            .unwrap();
     }
 
     #[test]
@@ -1119,7 +1222,9 @@ mod tests {
 
     #[test]
     fn unbound_variable_fails() {
-        assert!(basic().check_term(&Ctx::empty(), &Term::Halt(Value::Var(s("ghost")))).is_err());
+        assert!(basic()
+            .check_term(&Ctx::empty(), &Term::Halt(Value::Var(s("ghost"))))
+            .is_err());
     }
 
     #[test]
@@ -1222,7 +1327,11 @@ mod tests {
     fn prim_requires_ints() {
         let e = Term::let_(
             s("x"),
-            Op::Prim(PrimOp::Add, Value::Int(1), Value::pair(Value::Int(1), Value::Int(2))),
+            Op::Prim(
+                PrimOp::Add,
+                Value::Int(1),
+                Value::pair(Value::Int(1), Value::Int(2)),
+            ),
             Term::Halt(Value::Int(0)),
         );
         assert!(basic().check_term(&Ctx::empty(), &e).is_err());
@@ -1284,7 +1393,9 @@ mod tests {
         // M_r(Int) = int, so an integer argument is fine at tag Int.
         Checker::check_program(&prog(Value::Int(7), Tag::Int)).unwrap();
         // ... but not at tag Int×Int.
-        assert!(Checker::check_program(&prog(Value::Int(7), Tag::prod(Tag::Int, Tag::Int))).is_err());
+        assert!(
+            Checker::check_program(&prog(Value::Int(7), Tag::prod(Tag::Int, Tag::Int))).is_err()
+        );
     }
 
     #[test]
@@ -1378,8 +1489,18 @@ mod tests {
         let k_ty = Ty::code([], [rk], [Ty::m(Region::Var(rk), Tag::Var(t))]).at(Region::cd());
         let body = Term::Typecase {
             tag: Tag::Var(t),
-            int_arm: Rc::new(Term::app(Value::Var(k), [], [Region::Var(r2)], [Value::Var(x)])),
-            arrow_arm: Rc::new(Term::app(Value::Var(k), [], [Region::Var(r2)], [Value::Var(x)])),
+            int_arm: Rc::new(Term::app(
+                Value::Var(k),
+                [],
+                [Region::Var(r2)],
+                [Value::Var(x)],
+            )),
+            arrow_arm: Rc::new(Term::app(
+                Value::Var(k),
+                [],
+                [Region::Var(r2)],
+                [Value::Var(x)],
+            )),
             prod_arm: (s("t1"), s("t2"), Rc::new(Term::Halt(Value::Int(0)))),
             exist_arm: (s("te"), Rc::new(Term::Halt(Value::Int(0)))),
         };
@@ -1387,10 +1508,7 @@ mod tests {
             name: s("lamarm"),
             tvars: vec![(t, Kind::Omega)],
             rvars: vec![r1, r2],
-            params: vec![
-                (x, Ty::m(Region::Var(r1), Tag::Var(t))),
-                (k, k_ty),
-            ],
+            params: vec![(x, Ty::m(Region::Var(r1), Tag::Var(t))), (k, k_ty)],
             body,
         };
         basic().check_code(&def).unwrap();
@@ -1414,7 +1532,12 @@ mod tests {
             prod_arm: (
                 s("t1"),
                 s("t2"),
-                Rc::new(Term::app(Value::Var(k), [], [Region::Var(r2)], [Value::Var(x)])),
+                Rc::new(Term::app(
+                    Value::Var(k),
+                    [],
+                    [Region::Var(r2)],
+                    [Value::Var(x)],
+                )),
             ),
             exist_arm: (s("te"), Rc::new(Term::Halt(Value::Int(0)))),
         };
@@ -1484,10 +1607,8 @@ mod tests {
         let r = s("r");
         let x = s("x");
         let mut ctx = ctx_with_region("r");
-        ctx.gamma.insert(
-            x,
-            Ty::sum(Ty::Int, Ty::Int).at(Region::Var(r)),
-        );
+        ctx.gamma
+            .insert(x, Ty::sum(Ty::Int, Ty::Int).at(Region::Var(r)));
         let e = Term::Set {
             dst: Value::Var(x),
             src: Value::inr(Value::Int(2)),
@@ -1509,7 +1630,8 @@ mod tests {
         let x = s("x");
         let y = s("y");
         let mut ctx = Ctx::empty();
-        ctx.gamma.insert(s("v"), Ty::sum(Ty::Int, Ty::prod(Ty::Int, Ty::Int)));
+        ctx.gamma
+            .insert(s("v"), Ty::sum(Ty::Int, Ty::prod(Ty::Int, Ty::Int)));
         let e = Term::IfLeft {
             x,
             scrut: Value::Var(s("v")),
@@ -1692,8 +1814,16 @@ mod tests {
         let ck = Checker::with_psi(Dialect::Basic, psi);
         let mut ctx = Ctx::empty();
         ctx.delta.insert(Region::Name(RegionName(1)));
-        let t = ck.synth_value(&ctx, &Value::Addr(RegionName(1), 0)).unwrap();
-        assert!(ty_eq(&t, &Ty::Int.at(Region::Name(RegionName(1))), Dialect::Basic));
-        assert!(ck.synth_value(&ctx, &Value::Addr(RegionName(2), 0)).is_err());
+        let t = ck
+            .synth_value(&ctx, &Value::Addr(RegionName(1), 0))
+            .unwrap();
+        assert!(ty_eq(
+            &t,
+            &Ty::Int.at(Region::Name(RegionName(1))),
+            Dialect::Basic
+        ));
+        assert!(ck
+            .synth_value(&ctx, &Value::Addr(RegionName(2), 0))
+            .is_err());
     }
 }

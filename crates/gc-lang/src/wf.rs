@@ -22,8 +22,7 @@ use crate::syntax::{Dialect, Op, RegionName, Term, Value};
 use crate::tyck::{Checker, Ctx};
 
 /// Options for the state checker.
-#[derive(Clone, Copy, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct WfOptions {
     /// Re-typecheck the bodies of code blocks in `cd`. Checking a whole
     /// program once at load time makes this redundant per step, so
@@ -33,7 +32,6 @@ pub struct WfOptions {
     /// required for λGCforw after a `widen` per Def. 7.1).
     pub reachable_only: bool,
 }
-
 
 /// Checks `⊢ (M, e)` for the machine's current state.
 ///
@@ -191,13 +189,21 @@ fn collect_term_addrs(e: &Term, out: &mut Vec<(RegionName, u32)>) {
             collect_term_addrs(body, out);
         }
         Term::LetRegion { body, .. } | Term::Only { body, .. } => collect_term_addrs(body, out),
-        Term::Typecase { int_arm, arrow_arm, prod_arm, exist_arm, .. } => {
+        Term::Typecase {
+            int_arm,
+            arrow_arm,
+            prod_arm,
+            exist_arm,
+            ..
+        } => {
             collect_term_addrs(int_arm, out);
             collect_term_addrs(arrow_arm, out);
             collect_term_addrs(&prod_arm.2, out);
             collect_term_addrs(&exist_arm.1, out);
         }
-        Term::IfLeft { scrut, left, right, .. } => {
+        Term::IfLeft {
+            scrut, left, right, ..
+        } => {
             collect_value_addrs(scrut, out);
             collect_term_addrs(left, out);
             collect_term_addrs(right, out);
@@ -215,7 +221,11 @@ fn collect_term_addrs(e: &Term, out: &mut Vec<(RegionName, u32)>) {
             collect_term_addrs(eq, out);
             collect_term_addrs(ne, out);
         }
-        Term::If0 { scrut, zero, nonzero } => {
+        Term::If0 {
+            scrut,
+            zero,
+            nonzero,
+        } => {
             collect_value_addrs(scrut, out);
             collect_term_addrs(zero, out);
             collect_term_addrs(nonzero, out);
@@ -288,7 +298,11 @@ mod tests {
                 },
             )),
         };
-        let p = Program { dialect: Dialect::Basic, code: vec![], main: e };
+        let p = Program {
+            dialect: Dialect::Basic,
+            code: vec![],
+            main: e,
+        };
         assert_eq!(run_checked(p), 2);
     }
 
@@ -313,7 +327,11 @@ mod tests {
                 },
             )),
         };
-        let p = Program { dialect: Dialect::Basic, code: vec![], main: e };
+        let p = Program {
+            dialect: Dialect::Basic,
+            code: vec![],
+            main: e,
+        };
         let mut m = Machine::load(&p, tracked_config());
         // let region; put; only — after the only, the get references a
         // dangling address and the state must be flagged.
@@ -332,7 +350,10 @@ mod tests {
         };
         let m = Machine::load(
             &p,
-            MemConfig { track_types: false, ..tracked_config() },
+            MemConfig {
+                track_types: false,
+                ..tracked_config()
+            },
         );
         assert!(check_state(&m, WfOptions::default()).is_err());
     }
@@ -354,7 +375,10 @@ mod tests {
                 rvar: r2,
                 body: std::rc::Rc::new(Term::let_(
                     w0,
-                    Op::Put(Region::Var(r1), Value::inl(Value::pair(Value::Int(1), Value::Int(2)))),
+                    Op::Put(
+                        Region::Var(r1),
+                        Value::inl(Value::pair(Value::Int(1), Value::Int(2))),
+                    ),
                     Term::Widen {
                         x: w,
                         from: Region::Var(r1),
@@ -389,7 +413,11 @@ mod tests {
                 )),
             }),
         };
-        let p = Program { dialect: Dialect::Forwarding, code: vec![], main: e };
+        let p = Program {
+            dialect: Dialect::Forwarding,
+            code: vec![],
+            main: e,
+        };
         // The whole program typechecks statically...
         Checker::check_program(&p).unwrap();
         // ... and stays well formed through execution.
@@ -453,7 +481,11 @@ mod tests {
                 )),
             }),
         };
-        let p = Program { dialect: Dialect::Generational, code: vec![], main: e };
+        let p = Program {
+            dialect: Dialect::Generational,
+            code: vec![],
+            main: e,
+        };
         Checker::check_program(&p).unwrap();
         let mut m = Machine::load(&p, tracked_config());
         loop {

@@ -17,10 +17,8 @@ use proptest::prelude::*;
 use ps_gc_lang::env_machine::EnvMachine;
 use ps_gc_lang::machine::{Machine, Program, StepOutcome};
 use ps_gc_lang::memory::{GrowthPolicy, MemConfig};
+use ps_gc_lang::syntax::{CodeDef, Dialect, Kind, Op, PrimOp, Region, Tag, Term, Ty, Value, CD};
 use ps_gc_lang::telemetry::Recorder;
-use ps_gc_lang::syntax::{
-    CodeDef, Dialect, Kind, Op, PrimOp, Region, Tag, Term, Ty, Value, CD,
-};
 use ps_ir::symbol::gensym;
 use ps_ir::Symbol;
 
@@ -69,11 +67,7 @@ fn code_defs() -> Vec<CodeDef> {
                 Term::let_(
                     p,
                     Op::Get(Value::Var(a)),
-                    Term::let_(
-                        x,
-                        Op::Proj(1, Value::Var(p)),
-                        Term::Halt(Value::Var(x)),
-                    ),
+                    Term::let_(x, Op::Proj(1, Value::Var(p)), Term::Halt(Value::Var(x))),
                 ),
             ),
         },
@@ -127,7 +121,9 @@ struct Scope {
 
 impl Scope {
     fn live_regions(&self) -> Vec<usize> {
-        (0..self.regions.len()).filter(|&i| self.regions[i].1).collect()
+        (0..self.regions.len())
+            .filter(|&i| self.regions[i].1)
+            .collect()
     }
 }
 
@@ -408,7 +404,9 @@ proptest! {
 #[test]
 fn fixed_tapes_agree() {
     for seed in 0..64u8 {
-        let bytes: Vec<u8> = (0..96).map(|i| seed.wrapping_mul(37).wrapping_add(i)).collect();
+        let bytes: Vec<u8> = (0..96)
+            .map(|i| seed.wrapping_mul(37).wrapping_add(i))
+            .collect();
         lockstep(&gen_program(&bytes));
     }
 }
@@ -419,7 +417,9 @@ fn fixed_tapes_agree() {
 #[test]
 fn fixed_tapes_agree_under_memory_pressure() {
     for seed in 0..32u8 {
-        let bytes: Vec<u8> = (0..96).map(|i| seed.wrapping_mul(53).wrapping_add(i)).collect();
+        let bytes: Vec<u8> = (0..96)
+            .map(|i| seed.wrapping_mul(53).wrapping_add(i))
+            .collect();
         lockstep_with_budget(&gen_program(&bytes), 6);
     }
 }

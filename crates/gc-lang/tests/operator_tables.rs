@@ -63,11 +63,7 @@ fn m_arrow() {
 fn fwd_m_prod_has_the_tag_bit() {
     // Mρ(τ1×τ2) ⇒ (left(Mρ(τ1) × Mρ(τ2))) at ρ
     let lhs = Ty::m(r("p"), Tag::prod(Tag::Int, Tag::Int));
-    let rhs = Ty::Left(std::rc::Rc::new(Ty::prod(
-        Ty::m(r("p"), Tag::Int),
-        Ty::m(r("p"), Tag::Int),
-    )))
-    .at(r("p"));
+    let rhs = Ty::Left(Ty::prod(Ty::m(r("p"), Tag::Int), Ty::m(r("p"), Tag::Int)).id()).at(r("p"));
     assert!(ty_eq(&lhs, &rhs, Dialect::Forwarding));
 }
 
@@ -75,12 +71,7 @@ fn fwd_m_prod_has_the_tag_bit() {
 fn fwd_m_exist_has_the_tag_bit() {
     let t = s("t");
     let lhs = Ty::m(r("p"), Tag::exist(t, Tag::Var(t)));
-    let rhs = Ty::Left(std::rc::Rc::new(Ty::exist_tag(
-        t,
-        Kind::Omega,
-        Ty::m(r("p"), Tag::Var(t)),
-    )))
-    .at(r("p"));
+    let rhs = Ty::Left(Ty::exist_tag(t, Kind::Omega, Ty::m(r("p"), Tag::Var(t))).id()).at(r("p"));
     assert!(ty_eq(&lhs, &rhs, Dialect::Forwarding));
 }
 
@@ -185,7 +176,11 @@ fn mgen_exist_is_the_displayed_region_existential() {
     let rhs = Ty::exist_rgn(
         rv,
         [r("y"), r("o")],
-        Ty::exist_tag(t, Kind::Omega, Ty::mgen(Region::Var(rv), r("o"), Tag::Var(t))),
+        Ty::exist_tag(
+            t,
+            Kind::Omega,
+            Ty::mgen(Region::Var(rv), r("o"), Tag::Var(t)),
+        ),
     );
     assert!(ty_eq(&lhs, &rhs, Dialect::Generational));
 }
@@ -196,7 +191,11 @@ fn mgen_children_keep_the_old_index() {
     // generation, pointers underneath it cannot point back to the new
     // generation" — the children's old index stays ρo, not r.
     let lhs = normalize_ty(
-        &Ty::mgen(r("y"), r("o"), Tag::prod(Tag::prod(Tag::Int, Tag::Int), Tag::Int)),
+        &Ty::mgen(
+            r("y"),
+            r("o"),
+            Tag::prod(Tag::prod(Tag::Int, Tag::Int), Tag::Int),
+        ),
         Dialect::Generational,
     );
     match lhs {

@@ -13,7 +13,11 @@ fn roundtrip_def(def: &CodeDef) -> CodeDef {
     let parsed = parse_code_def(&printed)
         .unwrap_or_else(|e| panic!("{} failed to reparse: {e}\n{printed}", def.name));
     let reprinted = pretty::code_def_to_string(&parsed);
-    assert_eq!(printed, reprinted, "print∘parse not stable for {}", def.name);
+    assert_eq!(
+        printed, reprinted,
+        "print∘parse not stable for {}",
+        def.name
+    );
     parsed
 }
 
@@ -59,11 +63,7 @@ fn types_roundtrip() {
         let t = parse_ty(src).unwrap_or_else(|e| panic!("{src}: {e}"));
         let printed = pretty::ty_to_string(&t);
         let back = parse_ty(&printed).unwrap_or_else(|e| panic!("{src} → {printed}: {e}"));
-        assert_eq!(
-            pretty::ty_to_string(&back),
-            printed,
-            "{src} → {printed}"
-        );
+        assert_eq!(pretty::ty_to_string(&back), printed, "{src} → {printed}");
     }
 }
 
@@ -93,11 +93,7 @@ fn terms_roundtrip() {
         let t = parse_term(src).unwrap_or_else(|e| panic!("{src}: {e}"));
         let printed = pretty::term_to_string(&t);
         let back = parse_term(&printed).unwrap_or_else(|e| panic!("{src} → {printed}: {e}"));
-        assert_eq!(
-            pretty::term_to_string(&back),
-            printed,
-            "{src} → {printed}"
-        );
+        assert_eq!(pretty::term_to_string(&back), printed, "{src} → {printed}");
     }
 }
 
@@ -157,7 +153,8 @@ fn ps_collectors_image(dialect: Dialect) -> Vec<CodeDef> {
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
     let file = format!("{path}/{name}.gc");
-    let src = std::fs::read_to_string(&file)
-        .unwrap_or_else(|e| panic!("missing fixture {file}: {e} (run the collectors test emit_fixtures first)"));
+    let src = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+        panic!("missing fixture {file}: {e} (run the collectors test emit_fixtures first)")
+    });
     ps_gc_lang::parse::parse_code_defs(&src).unwrap_or_else(|e| panic!("{file}: {e}"))
 }

@@ -15,7 +15,11 @@ fn s(x: &str) -> Symbol {
 }
 
 fn check_main(dialect: Dialect, main: Term) -> Result<(), ps_gc_lang::error::LangError> {
-    Checker::check_program(&Program { dialect, code: vec![], main })
+    Checker::check_program(&Program {
+        dialect,
+        code: vec![],
+        main,
+    })
 }
 
 /// Reading through an address whose region was reclaimed by `only`.
@@ -216,7 +220,11 @@ fn region_arity_mismatch_rejected() {
             [],
         )),
     };
-    let p = Program { dialect: Dialect::Basic, code: vec![def], main };
+    let p = Program {
+        dialect: Dialect::Basic,
+        code: vec![def],
+        main,
+    };
     assert!(Checker::check_program(&p).is_err());
 }
 
@@ -231,7 +239,11 @@ fn tag_kind_mismatch_rejected() {
         body: Term::Halt(Value::Int(0)),
     };
     let main = Term::app(Value::Addr(ps_gc_lang::syntax::CD, 0), [Tag::Int], [], []);
-    let p = Program { dialect: Dialect::Basic, code: vec![def], main };
+    let p = Program {
+        dialect: Dialect::Basic,
+        code: vec![def],
+        main,
+    };
     assert!(Checker::check_program(&p).is_err());
     let def2 = ps_gc_lang::syntax::CodeDef {
         name: s("wantfn2"),
@@ -240,7 +252,16 @@ fn tag_kind_mismatch_rejected() {
         params: vec![],
         body: Term::Halt(Value::Int(0)),
     };
-    let main2 = Term::app(Value::Addr(ps_gc_lang::syntax::CD, 0), [Tag::id_fn()], [], []);
-    let p2 = Program { dialect: Dialect::Basic, code: vec![def2], main: main2 };
+    let main2 = Term::app(
+        Value::Addr(ps_gc_lang::syntax::CD, 0),
+        [Tag::id_fn()],
+        [],
+        [],
+    );
+    let p2 = Program {
+        dialect: Dialect::Basic,
+        code: vec![def2],
+        main: main2,
+    };
     assert!(Checker::check_program(&p2).is_ok());
 }

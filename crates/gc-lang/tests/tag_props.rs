@@ -3,7 +3,6 @@
 //! metatheory.
 
 use std::collections::HashMap;
-use std::rc::Rc;
 
 use proptest::prelude::*;
 
@@ -69,17 +68,19 @@ fn applicative_normalize(tau: &Tag) -> Tag {
     match tau {
         Tag::Var(_) | Tag::Int | Tag::AnyArrow(_) => tau.clone(),
         Tag::Prod(a, b) => Tag::prod(applicative_normalize(a), applicative_normalize(b)),
-        Tag::Arrow(args) => Tag::Arrow(args.iter().map(applicative_normalize).collect()),
-        Tag::Exist(t, body) => Tag::Exist(*t, Rc::new(applicative_normalize(body))),
-        Tag::Lam(t, body) => Tag::Lam(*t, Rc::new(applicative_normalize(body))),
+        Tag::Arrow(args) => Tag::arrow(
+            args.iter()
+                .map(|a| applicative_normalize(a))
+                .collect::<Vec<_>>(),
+        ),
+        Tag::Exist(t, body) => Tag::exist(*t, applicative_normalize(body)),
+        Tag::Lam(t, body) => Tag::lam(*t, applicative_normalize(body)),
         Tag::App(f, a) => {
             // Normalize the ARGUMENT first (the opposite of normal order).
             let a = applicative_normalize(a);
             let f = applicative_normalize(f);
             match f {
-                Tag::Lam(t, body) => {
-                    applicative_normalize(&Subst::one_tag(t, a).tag(&body))
-                }
+                Tag::Lam(t, body) => applicative_normalize(&Subst::one_tag(t, a).tag(body.node())),
                 other => Tag::app(other, a),
             }
         }

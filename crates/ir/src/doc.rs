@@ -233,22 +233,27 @@ mod tests {
 
     #[test]
     fn nest_indents_breaks() {
-        let d = Doc::group(
-            Doc::text("fn()")
-                .append(Doc::line().append(Doc::text("body")).nest(4)),
-        );
+        let d = Doc::group(Doc::text("fn()").append(Doc::line().append(Doc::text("body")).nest(4)));
         assert_eq!(d.render(3), "fn()\n    body");
     }
 
     #[test]
     fn hardline_forces_break_even_in_group() {
-        let d = Doc::group(Doc::text("a").append(Doc::hardline()).append(Doc::text("b")));
+        let d = Doc::group(
+            Doc::text("a")
+                .append(Doc::hardline())
+                .append(Doc::text("b")),
+        );
         assert_eq!(d.render(100), "a\nb");
     }
 
     #[test]
     fn softline_disappears_when_flat() {
-        let d = Doc::group(Doc::text("(").append(Doc::softline()).append(Doc::text("x)")));
+        let d = Doc::group(
+            Doc::text("(")
+                .append(Doc::softline())
+                .append(Doc::text("x)")),
+        );
         assert_eq!(d.render(80), "(x)");
     }
 
@@ -260,12 +265,18 @@ mod tests {
 
     #[test]
     fn join_of_empty_is_nil() {
-        assert_eq!(Doc::join(std::iter::empty::<Doc>(), Doc::text(",")).render(80), "");
+        assert_eq!(
+            Doc::join(std::iter::empty::<Doc>(), Doc::text(",")).render(80),
+            ""
+        );
     }
 
     #[test]
     fn enclose_groups_and_breaks() {
-        let inner = Doc::join((0..3).map(|i| Doc::text(format!("item{i}"))), Doc::text(", "));
+        let inner = Doc::join(
+            (0..3).map(|i| Doc::text(format!("item{i}"))),
+            Doc::text(", "),
+        );
         let d = inner.clone().enclose("[", "]");
         assert_eq!(d.render(80), "[item0, item1, item2]");
         let narrow = d.render(10);
@@ -275,11 +286,7 @@ mod tests {
     #[test]
     fn nested_groups_break_independently() {
         let inner = Doc::group(Doc::text("x").append(Doc::line()).append(Doc::text("y")));
-        let outer = Doc::group(
-            Doc::text("aaaaaaaa")
-                .append(Doc::line())
-                .append(inner),
-        );
+        let outer = Doc::group(Doc::text("aaaaaaaa").append(Doc::line()).append(inner));
         // Outer breaks, inner still fits.
         assert_eq!(outer.render(9), "aaaaaaaa\nx y");
     }

@@ -1,0 +1,151 @@
+//! A generic hash-consing arena.
+//!
+//! [`Interner<T>`] assigns each structurally distinct value of `T` a dense
+//! `u32` id and stores the value once, forever: interned nodes are leaked
+//! into `&'static` storage, so an id can be dereferenced without holding
+//! any lock for the lifetime of the process. Equality of ids is equality
+//! of values, which turns deep structural comparisons into integer
+//! compares and makes ids usable as memo-table keys.
+//!
+//! The interner itself is not synchronized; callers wrap it in an
+//! `RwLock` (see the [`crate::Symbol`] interner for the idiom: an
+//! uncontended read-lock probe first, then a write-lock insert on miss).
+//! Hit/miss counters are atomic so the read path can record a hit without
+//! upgrading its lock.
+//!
+//! # Examples
+//!
+//! ```
+//! use ps_ir::Interner;
+//! let mut arena: Interner<(u32, u32)> = Interner::new();
+//! let a = arena.insert((1, 2));
+//! let b = arena.insert((1, 2));
+//! assert_eq!(a, b);
+//! assert_eq!(arena.get(a), &(1, 2));
+//! assert_eq!(arena.len(), 1);
+//! ```
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A hash-consing arena mapping values of `T` to dense `u32` ids.
+///
+/// See the [module documentation](self) for the intended usage pattern.
+#[derive(Debug, Default)]
+pub struct Interner<T: 'static> {
+    nodes: Vec<&'static T>,
+    table: HashMap<&'static T, u32>,
+    hits: AtomicU64,
+}
+
+impl<T: Eq + Hash> Interner<T> {
+    /// An empty arena.
+    pub fn new() -> Interner<T> {
+        Interner {
+            nodes: Vec::new(),
+            table: HashMap::new(),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up an already-interned value without inserting, recording a
+    /// hit when found. Safe to call under a shared (read) lock.
+    pub fn lookup(&self, value: &T) -> Option<u32> {
+        let id = self.table.get(value).copied();
+        if id.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        id
+    }
+
+    /// Interns `value`, returning its id. Requires exclusive access; the
+    /// double-check against [`Self::lookup`] races is built in.
+    pub fn insert(&mut self, value: T) -> u32 {
+        if let Some(&id) = self.table.get(&value) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return id;
+        }
+        let id = u32::try_from(self.nodes.len()).expect("interner overflow");
+        let node: &'static T = Box::leak(Box::new(value));
+        self.nodes.push(node);
+        self.table.insert(node, id);
+        id
+    }
+
+    /// The node for `id`. The reference is `'static`: nodes are never
+    /// dropped or moved once interned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this arena.
+    pub fn get(&self, id: u32) -> &'static T {
+        self.nodes[id as usize]
+    }
+
+    /// Number of distinct values interned.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the arena empty?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of times an intern call found its value already present.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut arena: Interner<String> = Interner::new();
+        let a = arena.insert("x".to_string());
+        let b = arena.insert("x".to_string());
+        assert_eq!(a, b);
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.hits(), 1);
+    }
+
+    #[test]
+    fn distinct_values_get_distinct_ids() {
+        let mut arena: Interner<u64> = Interner::new();
+        let a = arena.insert(1);
+        let b = arena.insert(2);
+        assert_ne!(a, b);
+        assert_eq!(arena.get(a), &1);
+        assert_eq!(arena.get(b), &2);
+    }
+
+    #[test]
+    fn lookup_without_insert() {
+        let mut arena: Interner<u64> = Interner::new();
+        assert_eq!(arena.lookup(&7), None);
+        let id = arena.insert(7);
+        assert_eq!(arena.lookup(&7), Some(id));
+        assert_eq!(arena.hits(), 1);
+    }
+
+    #[test]
+    fn nodes_are_static() {
+        let mut arena: Interner<Vec<u32>> = Interner::new();
+        let id = arena.insert(vec![1, 2, 3]);
+        let node: &'static Vec<u32> = arena.get(id);
+        assert_eq!(node.len(), 3);
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut arena: Interner<u32> = Interner::new();
+        for i in 0..100 {
+            assert_eq!(arena.insert(i), i);
+        }
+        assert_eq!(arena.len(), 100);
+    }
+}

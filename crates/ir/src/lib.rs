@@ -21,7 +21,9 @@
 //! ```
 
 pub mod doc;
+pub mod interner;
 pub mod symbol;
 
 pub use doc::Doc;
+pub use interner::Interner;
 pub use symbol::{Symbol, SymbolMap, SymbolSet};

@@ -244,17 +244,16 @@ mod tests {
 
     #[test]
     fn closures_capture() {
-        assert_eq!(
-            run("let y = 10 in (fn (x : int) => x + y) 5"),
-            15
-        );
+        assert_eq!(run("let y = 10 in (fn (x : int) => x + y) 5"), 15);
     }
 
     #[test]
     fn higher_order() {
         assert_eq!(
-            run("fun twice (f : int -> int) : int -> int = fn (x : int) => f (f x)\n\
-                 (twice (fn (y : int) => y * 2)) 3"),
+            run(
+                "fun twice (f : int -> int) : int -> int = fn (x : int) => f (f x)\n\
+                 (twice (fn (y : int) => y * 2)) 3"
+            ),
             12
         );
     }
@@ -262,8 +261,10 @@ mod tests {
     #[test]
     fn church_style_pairs_of_functions() {
         assert_eq!(
-            run("fun applyp (p : (int -> int) * int) : int = (fst p) (snd p)\n\
-                 applyp ((fn (x : int) => x + 1), 41)"),
+            run(
+                "fun applyp (p : (int -> int) * int) : int = (fst p) (snd p)\n\
+                 applyp ((fn (x : int) => x + 1), 41)"
+            ),
             42
         );
     }

@@ -77,7 +77,10 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn lex(src: &'a str) -> PResult<Vec<(usize, usize, Tok)>> {
-        let mut l = Lexer { src: src.as_bytes(), pos: 0 };
+        let mut l = Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        };
         let mut toks = Vec::new();
         loop {
             l.skip_ws();
@@ -158,12 +161,10 @@ impl<'a> Lexer<'a> {
                     self.pos += 1;
                 }
                 let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
-                text.parse::<i64>()
-                    .map(Tok::Int)
-                    .map_err(|_| ParseError {
-                        pos: start,
-                        msg: format!("integer literal {text} out of range"),
-                    })
+                text.parse::<i64>().map(Tok::Int).map_err(|_| ParseError {
+                    pos: start,
+                    msg: format!("integer literal {text} out of range"),
+                })
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = self.pos;

@@ -27,7 +27,9 @@ fn ty_prec(t: &SrcTy, prec: u8) -> Doc {
         // parser, so print right-nested occurrences bare and left-nested
         // ones parenthesized.
         SrcTy::Prod(a, b) => ty_prec(a, 2).append(Doc::text(" * ")).append(ty_prec(b, 1)),
-        SrcTy::Arrow(a, b) => ty_prec(a, 1).append(Doc::text(" -> ")).append(ty_prec(b, 0)),
+        SrcTy::Arrow(a, b) => ty_prec(a, 1)
+            .append(Doc::text(" -> "))
+            .append(ty_prec(b, 0)),
     };
     let needs = match t {
         SrcTy::Prod(..) => prec >= 2,
@@ -76,13 +78,20 @@ fn expr_prec(e: &Expr, prec: u8) -> Doc {
                 .append(expr_prec(b, 0))
                 .append(Doc::text(")"))
         }
-        Expr::Proj(i, a) => Doc::text(if *i == 1 { "fst " } else { "snd " })
-            .append(expr_prec(a, 4)),
-        Expr::Lam { param, param_ty, body } => Doc::text(format!("fn ({} : ", ident(*param)))
+        Expr::Proj(i, a) => {
+            Doc::text(if *i == 1 { "fst " } else { "snd " }).append(expr_prec(a, 4))
+        }
+        Expr::Lam {
+            param,
+            param_ty,
+            body,
+        } => Doc::text(format!("fn ({} : ", ident(*param)))
             .append(ty(param_ty))
             .append(Doc::text(") => "))
             .append(expr_prec(body, 0)),
-        Expr::App(f, a) => expr_prec(f, 3).append(Doc::text(" ")).append(expr_prec(a, 4)),
+        Expr::App(f, a) => expr_prec(f, 3)
+            .append(Doc::text(" "))
+            .append(expr_prec(a, 4)),
         Expr::Let { x, rhs, body } => Doc::text(format!("let {} = ", ident(*x)))
             .append(expr_prec(rhs, 0))
             .append(Doc::text(" in "))
@@ -147,8 +156,8 @@ mod tests {
         ] {
             let t = parse_ty(src).unwrap();
             let printed = ty(&t).render(10_000);
-            let back = parse_ty(&printed)
-                .unwrap_or_else(|e| panic!("{src} printed as {printed}: {e}"));
+            let back =
+                parse_ty(&printed).unwrap_or_else(|e| panic!("{src} printed as {printed}: {e}"));
             assert_eq!(t, back, "{src} → {printed}");
         }
     }
@@ -186,7 +195,10 @@ mod tests {
         let back = parse_expr(&printed).unwrap();
         assert_eq!(
             crate::eval::run_program(
-                &crate::syntax::SrcProgram { defs: vec![], main: back },
+                &crate::syntax::SrcProgram {
+                    defs: vec![],
+                    main: back
+                },
                 100
             )
             .unwrap(),

@@ -196,7 +196,11 @@ mod tests {
         let e = Expr::let_(
             s("x"),
             Expr::Int(1),
-            Expr::Bin(BinOp::Add, Rc::new(Expr::Var(s("x"))), Rc::new(Expr::Int(2))),
+            Expr::Bin(
+                BinOp::Add,
+                Rc::new(Expr::Var(s("x"))),
+                Rc::new(Expr::Int(2)),
+            ),
         );
         assert_eq!(e.size(), 5);
     }

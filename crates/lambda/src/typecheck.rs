@@ -57,7 +57,11 @@ pub fn infer(env: &HashMap<Symbol, SrcTy>, e: &Expr) -> TResult<SrcTy> {
             SrcTy::Prod(x, y) => Ok(if *i == 1 { (*x).clone() } else { (*y).clone() }),
             other => Err(TypeError(format!("projection of non-pair type {other}"))),
         },
-        Expr::Lam { param, param_ty, body } => {
+        Expr::Lam {
+            param,
+            param_ty,
+            body,
+        } => {
             let mut env2 = env.clone();
             env2.insert(*param, param_ty.clone());
             let ret = infer(&env2, body)?;
@@ -73,7 +77,9 @@ pub fn infer(env: &HashMap<Symbol, SrcTy>, e: &Expr) -> TResult<SrcTy> {
                 }
                 Ok((*cod).clone())
             }
-            other => Err(TypeError(format!("application of non-function type {other}"))),
+            other => Err(TypeError(format!(
+                "application of non-function type {other}"
+            ))),
         },
         Expr::Let { x, rhs, body } => {
             let rt = infer(env, rhs)?;
@@ -174,10 +180,9 @@ mod tests {
 
     #[test]
     fn recursive_program_checks() {
-        let p = parse_program(
-            "fun fact (n : int) : int = if0 n then 1 else n * fact (n - 1)\n fact 5",
-        )
-        .unwrap();
+        let p =
+            parse_program("fun fact (n : int) : int = if0 n then 1 else n * fact (n - 1)\n fact 5")
+                .unwrap();
         check_program(&p).unwrap();
     }
 

@@ -25,9 +25,7 @@ use ps_ir::Symbol;
 use ps_clos::syntax::{CExp, CProgram, CTy, CVal};
 use ps_collectors::CollectorImage;
 use ps_gc_lang::machine::Program;
-use ps_gc_lang::syntax::{
-    CodeDef, Dialect, Kind, Op, PrimOp, Region, Tag, Term, Ty, Value, CD,
-};
+use ps_gc_lang::syntax::{CodeDef, Dialect, Kind, Op, PrimOp, Region, Tag, Term, Ty, Value, CD};
 
 use crate::TransError;
 
@@ -41,7 +39,6 @@ pub fn tag_of(ty: &CTy) -> Tag {
         CTy::Exist(t, body) => Tag::exist(*t, tag_of(body)),
     }
 }
-
 
 /// Converts a λCLOS binary operator into a λGC primitive.
 pub fn prim_of(op: ps_lambda::syntax::BinOp) -> PrimOp {
@@ -90,7 +87,12 @@ impl<'a> Trans<'a> {
                 binds.push((x, Op::Put(self.rv(), Value::pair(av, bv))));
                 Ok(Value::Var(x))
             }
-            CVal::Pack { tvar, witness, val, body_ty } => {
+            CVal::Pack {
+                tvar,
+                witness,
+                val,
+                body_ty,
+            } => {
                 let pv = self.value(val, binds)?;
                 let x = gensym("pk");
                 let pack = Value::PackTag {
@@ -145,10 +147,7 @@ impl<'a> Trans<'a> {
                 let mut binds = Vec::new();
                 let fv = self.value(f, &mut binds)?;
                 let av = self.value(a, &mut binds)?;
-                Ok(Self::wrap(
-                    binds,
-                    Term::app(fv, [], [self.rv()], [av]),
-                ))
+                Ok(Self::wrap(binds, Term::app(fv, [], [self.rv()], [av])))
             }
             CExp::Open { pkg, tvar, x, body } => {
                 // open (get v′) as ⟨t, x⟩ in e′
@@ -261,10 +260,7 @@ mod tests {
         let t = Symbol::intern("t");
         let ty = CTy::exist(
             t,
-            CTy::prod(
-                CTy::arrow(CTy::prod(CTy::Var(t), CTy::Int)),
-                CTy::Var(t),
-            ),
+            CTy::prod(CTy::arrow(CTy::prod(CTy::Var(t), CTy::Int)), CTy::Var(t)),
         );
         let tag = tag_of(&ty);
         match tag {

@@ -52,7 +52,12 @@ impl Trans {
                 binds.push((x, Op::Put(self.rv(), Value::inl(Value::pair(av, bv)))));
                 Ok(Value::Var(x))
             }
-            CVal::Pack { tvar, witness, val, body_ty } => {
+            CVal::Pack {
+                tvar,
+                witness,
+                val,
+                body_ty,
+            } => {
                 let pv = self.value(val, binds)?;
                 let x = gensym("pk");
                 let pack = Value::PackTag {
@@ -100,9 +105,7 @@ impl Trans {
                 let body = self.exp(body)?;
                 let i = *i;
                 let x = *x;
-                let rest = self.read(gv, |sv| {
-                    Term::let_(x, Op::Proj(i, Value::Var(sv)), body)
-                });
+                let rest = self.read(gv, |sv| Term::let_(x, Op::Proj(i, Value::Var(sv)), body));
                 Ok(Self::wrap(binds, rest))
             }
             CExp::LetPrim { x, op, a, b, body } => {

@@ -87,7 +87,12 @@ impl Trans {
                 binds.push((y, Op::Val(pkg)));
                 Ok(Value::Var(y))
             }
-            CVal::Pack { tvar, witness, val, body_ty } => {
+            CVal::Pack {
+                tvar,
+                witness,
+                val,
+                body_ty,
+            } => {
                 let pv = self.value(ctx, val, binds)?;
                 let inner = Value::PackTag {
                     tvar: *tvar,
@@ -104,11 +109,7 @@ impl Trans {
                     bound: Rc::from(self.bound()),
                     witness: self.ryv(),
                     val: Rc::new(Value::Var(x)),
-                    body_ty: Ty::exist_tag(
-                        *tvar,
-                        Kind::Omega,
-                        self.mg_at(rp, tag_of(body_ty)),
-                    ),
+                    body_ty: Ty::exist_tag(*tvar, Kind::Omega, self.mg_at(rp, tag_of(body_ty))),
                 };
                 let y = gensym("pkg");
                 binds.push((y, Op::Val(pkg)));

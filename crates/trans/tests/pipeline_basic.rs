@@ -113,7 +113,8 @@ fn preservation_holds_across_a_collection() {
     // Step a small program with type tracking on, re-checking ⊢ (M, e)
     // at every step through at least one full collection (Prop. 6.4 made
     // executable).
-    let src = "fun f (n : int) : int = if0 n then 7 else (let p = (n, n) in snd p + 0 * f (n - 1))\n f 6";
+    let src =
+        "fun f (n : int) : int = if0 n then 7 else (let p = (n, n) in snd p + 0 * f (n - 1))\n f 6";
     let want = expected(src);
     let program = compile(src);
     let mut m = Machine::load(
@@ -124,7 +125,14 @@ fn preservation_holds_across_a_collection() {
             track_types: true,
         },
     );
-    check_state(&m, WfOptions { check_code_bodies: true, reachable_only: false }).unwrap();
+    check_state(
+        &m,
+        WfOptions {
+            check_code_bodies: true,
+            reachable_only: false,
+        },
+    )
+    .unwrap();
     let mut steps = 0u64;
     loop {
         match m.step().unwrap() {

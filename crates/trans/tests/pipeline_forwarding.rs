@@ -63,7 +63,10 @@ fn results_preserved_through_collections() {
         let (got, stats) = run_with_budget(&program, 96);
         assert_eq!(got, expected(src), "{src}");
         assert!(stats.collections > 0, "expected collections for {src}");
-        assert!(stats.forwarding_installs > 0, "expected forwarding for {src}");
+        assert!(
+            stats.forwarding_installs > 0,
+            "expected forwarding for {src}"
+        );
     }
 }
 
@@ -81,7 +84,8 @@ fn results_preserved_without_gc() {
 fn preservation_through_widen_and_forwarding() {
     // Per-step ⊢ (M, e) through a full forwarding collection, including the
     // widen cast (Prop. 7.2 made executable).
-    let src = "fun f (n : int) : int = if0 n then 3 else (let p = (n, n) in snd p - n + f (n - 1))\n f 5";
+    let src =
+        "fun f (n : int) : int = if0 n then 3 else (let p = (n, n) in snd p - n + f (n - 1))\n f 5";
     let want = expected(src);
     let program = compile(src);
     let mut m = Machine::load(
@@ -92,7 +96,14 @@ fn preservation_through_widen_and_forwarding() {
             track_types: true,
         },
     );
-    check_state(&m, WfOptions { check_code_bodies: true, reachable_only: true }).unwrap();
+    check_state(
+        &m,
+        WfOptions {
+            check_code_bodies: true,
+            reachable_only: true,
+        },
+    )
+    .unwrap();
     let mut steps = 0u64;
     loop {
         match m.step().unwrap() {
@@ -101,8 +112,14 @@ fn preservation_through_widen_and_forwarding() {
                 break;
             }
             ps_gc_lang::machine::StepOutcome::Continue => {
-                check_state(&m, WfOptions { check_code_bodies: false, reachable_only: true })
-                    .unwrap_or_else(|e| panic!("preservation failed at step {steps}: {e}"));
+                check_state(
+                    &m,
+                    WfOptions {
+                        check_code_bodies: false,
+                        reachable_only: true,
+                    },
+                )
+                .unwrap_or_else(|e| panic!("preservation failed at step {steps}: {e}"));
                 steps += 1;
                 assert!(steps < 1_000_000, "runaway");
             }

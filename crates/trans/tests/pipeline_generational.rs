@@ -109,7 +109,8 @@ fn minor_collections_do_not_copy_old_data() {
 
 #[test]
 fn preservation_through_a_minor_collection() {
-    let src = "fun f (n : int) : int = if0 n then 3 else (let p = (n, n) in snd p - n + f (n - 1))\n f 5";
+    let src =
+        "fun f (n : int) : int = if0 n then 3 else (let p = (n, n) in snd p - n + f (n - 1))\n f 5";
     let want = expected(src);
     let program = compile(src);
     let mut m = Machine::load(
@@ -120,7 +121,14 @@ fn preservation_through_a_minor_collection() {
             track_types: true,
         },
     );
-    check_state(&m, WfOptions { check_code_bodies: true, reachable_only: false }).unwrap();
+    check_state(
+        &m,
+        WfOptions {
+            check_code_bodies: true,
+            reachable_only: false,
+        },
+    )
+    .unwrap();
     let mut steps = 0u64;
     loop {
         match m.step().unwrap() {
@@ -171,7 +179,10 @@ fn major_collections_run_when_the_old_region_fills() {
         .iter()
         .filter(|ev| ev.dropped.len() < 3)
         .count();
-    assert!(majors > 0, "expected at least one major collection: {stats:?}");
+    assert!(
+        majors > 0,
+        "expected at least one major collection: {stats:?}"
+    );
     assert!(minors > 0, "expected minor collections too");
 }
 

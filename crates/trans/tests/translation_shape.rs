@@ -39,7 +39,9 @@ fn functions_get_the_ifgc_guard() {
         Term::IfGc { full, cont, .. } => {
             // The full branch calls gc with cd.ℓ_f (self) and x.
             match &**full {
-                Term::App { f: gcv, tags, args, .. } => {
+                Term::App {
+                    f: gcv, tags, args, ..
+                } => {
                     assert_eq!(*gcv, Value::Addr(CD, image.gc_entry));
                     assert_eq!(tags.len(), 1, "the λCLOS type, as a tag");
                     assert_eq!(
@@ -68,10 +70,14 @@ fn pairs_are_allocated() {
     let image = basic::collector();
     let out = translate(&p, &image).unwrap();
     let body = &out.code[image.code.len()].body;
-    let Term::IfGc { cont, .. } = body else { panic!() };
+    let Term::IfGc { cont, .. } = body else {
+        panic!()
+    };
     // let tmp = put[r](1, 2) in let p = tmp in halt 0
     match &**cont {
-        Term::Let { op: Op::Put(_, v), .. } => {
+        Term::Let {
+            op: Op::Put(_, v), ..
+        } => {
             assert_eq!(*v, Value::pair(Value::Int(1), Value::Int(2)));
         }
         other => panic!("expected put, got {other:?}"),
@@ -93,10 +99,18 @@ fn projections_read_through_get() {
     let image = basic::collector();
     let out = translate(&p, &image).unwrap();
     let body = &out.code[image.code.len()].body;
-    let Term::IfGc { cont, .. } = body else { panic!() };
+    let Term::IfGc { cont, .. } = body else {
+        panic!()
+    };
     match &**cont {
-        Term::Let { op: Op::Get(_), body, .. } => match &**body {
-            Term::Let { op: Op::Proj(1, _), .. } => {}
+        Term::Let {
+            op: Op::Get(_),
+            body,
+            ..
+        } => match &**body {
+            Term::Let {
+                op: Op::Proj(1, _), ..
+            } => {}
             other => panic!("expected projection after get, got {other:?}"),
         },
         other => panic!("expected get, got {other:?}"),
@@ -124,10 +138,7 @@ fn tag_embedding_is_structural() {
     let tag = tag_of(&ty);
     let expected = Tag::exist(
         t,
-        Tag::prod(
-            Tag::arrow([Tag::prod(Tag::Var(t), Tag::Int)]),
-            Tag::Var(t),
-        ),
+        Tag::prod(Tag::arrow([Tag::prod(Tag::Var(t), Tag::Int)]), Tag::Var(t)),
     );
     assert_eq!(tag, expected);
 }
@@ -144,9 +155,15 @@ fn forwarding_translation_adds_tag_bits() {
     let image = ps_collectors::forwarding::collector();
     let out = ps_trans::forwarding::translate(&p, &image).unwrap();
     let text = ps_gc_lang::pretty::code_def_to_string(&out.code[image.code.len()]);
-    assert!(text.contains("inl ("), "allocations are inl-tagged:\n{text}");
+    assert!(
+        text.contains("inl ("),
+        "allocations are inl-tagged:\n{text}"
+    );
     assert!(text.contains("strip"), "reads strip the bit:\n{text}");
-    assert!(!text.contains("ifleft"), "the mutator never checks the bit:\n{text}");
+    assert!(
+        !text.contains("ifleft"),
+        "the mutator never checks the bit:\n{text}"
+    );
 }
 
 /// The generational translation allocates young and region-packs (§8).
@@ -162,7 +179,10 @@ fn generational_translation_packs_regions() {
     let f = &out.code[image.code.len()];
     assert_eq!(f.rvars.len(), 2, "functions take [ry, ro]");
     let text = ps_gc_lang::pretty::code_def_to_string(f);
-    assert!(text.contains("∈{"), "allocations are region-packed:\n{text}");
+    assert!(
+        text.contains("∈{"),
+        "allocations are region-packed:\n{text}"
+    );
 }
 
 /// Unknown function names are reported, not panicked on.

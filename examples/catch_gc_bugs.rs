@@ -7,12 +7,12 @@
 //! cargo run --example catch_gc_bugs
 //! ```
 
+use ps_ir::Symbol;
 use scavenger::gc_lang::machine::Program;
 use scavenger::gc_lang::subst::Subst;
 use scavenger::gc_lang::syntax::{Dialect, Region, Term, Value};
 use scavenger::gc_lang::tyck::Checker;
 use scavenger::Collector;
-use ps_ir::Symbol;
 
 fn s(x: &str) -> Symbol {
     Symbol::intern(x)
@@ -41,20 +41,35 @@ fn main() {
 
     // Bug 1: allocate the copied pair in FROM-space.
     let mut image = Collector::Basic.image();
-    let blk = image.code.iter_mut().find(|d| d.name == s("copypair2")).unwrap();
+    let blk = image
+        .code
+        .iter_mut()
+        .find(|d| d.name == s("copypair2"))
+        .unwrap();
     blk.body = Subst::one_rgn(s("r2"), Region::Var(s("r1"))).term(&blk.body);
     verdict("copy allocates in from-space", image.code);
 
     // Bug 2: gcend frees the TO-space instead of the from-space.
     let mut image = Collector::Basic.image();
-    let blk = image.code.iter_mut().find(|d| d.name == s("gcend")).unwrap();
+    let blk = image
+        .code
+        .iter_mut()
+        .find(|d| d.name == s("gcend"))
+        .unwrap();
     blk.body = Subst::one_rgn(s("r2"), Region::Var(s("r1"))).term(&blk.body);
     verdict("collector frees the freshly copied data", image.code);
 
     // Bug 3: skip copying, hand out a from-space pointer.
     let mut image = Collector::Basic.image();
     let blk = image.code.iter_mut().find(|d| d.name == s("copy")).unwrap();
-    if let Term::Typecase { tag, int_arm, arrow_arm, prod_arm, exist_arm } = &blk.body {
+    if let Term::Typecase {
+        tag,
+        int_arm,
+        arrow_arm,
+        prod_arm,
+        exist_arm,
+    } = &blk.body
+    {
         blk.body = Term::Typecase {
             tag: tag.clone(),
             int_arm: int_arm.clone(),
@@ -68,7 +83,11 @@ fn main() {
     // Not-a-bug: never freeing anything is safe (just leaky) — exactly the
     // paper's distinction between safety and completeness.
     let mut image = Collector::Basic.image();
-    let blk = image.code.iter_mut().find(|d| d.name == s("gcend")).unwrap();
+    let blk = image
+        .code
+        .iter_mut()
+        .find(|d| d.name == s("gcend"))
+        .unwrap();
     blk.body = Term::app(
         Value::Var(s("f")),
         [],

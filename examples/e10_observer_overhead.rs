@@ -81,9 +81,7 @@ fn main() {
             let ratio = observed / bare;
             geomean += ratio.ln();
             n += 1;
-            println!(
-                "{name:<30} {steps:>10} {bare:>13.0} {observed:>13.0} {ratio:>8.3}"
-            );
+            println!("{name:<30} {steps:>10} {bare:>13.0} {observed:>13.0} {ratio:>8.3}");
         }
         println!(
             "geometric-mean observed/bare ratio: {:.3}",

@@ -79,9 +79,7 @@ fn main() {
         let speedup = env / subst;
         geomean += speedup.ln();
         n += 1;
-        println!(
-            "{name:<26} {steps_s:>10} {subst:>14.0} {env:>14.0} {speedup:>8.1}x"
-        );
+        println!("{name:<26} {steps_s:>10} {subst:>14.0} {env:>14.0} {speedup:>8.1}x");
     }
     println!(
         "\ngeometric-mean speedup: {:.1}x",

@@ -25,7 +25,10 @@ fn main() -> Result<(), PipelineError> {
         compiled.typecheck()?;
         let run = compiled.run(400_000_000)?;
         println!("== {} collector ==", collector);
-        println!("result: {}   collections: {}", run.result, run.stats.collections);
+        println!(
+            "result: {}   collections: {}",
+            run.result, run.stats.collections
+        );
         for (i, ev) in run.stats.reclaim_events.iter().enumerate().take(12) {
             println!(
                 "  collection {i:>2}: reclaimed {:>5} words, live (kept) {:>5} words",

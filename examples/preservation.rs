@@ -10,7 +10,8 @@ use scavenger::gc_lang::machine::StepOutcome;
 use scavenger::gc_lang::wf::{check_state, WfOptions};
 use scavenger::{Collector, Pipeline, PipelineError};
 
-const SRC: &str = "fun f (n : int) : int = if0 n then 42 else (let p = (n, n) in snd p - n + f (n - 1))\n f 8";
+const SRC: &str =
+    "fun f (n : int) : int = if0 n then 42 else (let p = (n, n) in snd p - n + f (n - 1))\n f 8";
 
 fn main() -> Result<(), PipelineError> {
     let compiled = Pipeline::new(Collector::Basic)
@@ -24,14 +25,15 @@ fn main() -> Result<(), PipelineError> {
     loop {
         match machine.step().expect("progress (Prop. 6.5)") {
             StepOutcome::Halted(n) => {
-                println!("halted with {n} after {step} steps; {checked} states re-checked well formed");
+                println!(
+                    "halted with {n} after {step} steps; {checked} states re-checked well formed"
+                );
                 assert_eq!(n, 42);
                 break;
             }
             StepOutcome::Continue => {
-                check_state(&machine, WfOptions::default()).unwrap_or_else(|e| {
-                    panic!("preservation violated at step {step}: {e}")
-                });
+                check_state(&machine, WfOptions::default())
+                    .unwrap_or_else(|e| panic!("preservation violated at step {step}: {e}"));
                 checked += 1;
                 if step.is_multiple_of(200) {
                     println!(

@@ -31,7 +31,10 @@ fn main() -> Result<(), PipelineError> {
 
     let run = compiled.run(100_000_000)?;
     let oracle = compiled.reference_result(1_000_000)?;
-    println!("result: {} (reference evaluator says {})", run.result, oracle);
+    println!(
+        "result: {} (reference evaluator says {})",
+        run.result, oracle
+    );
     assert_eq!(run.result, oracle);
 
     let s = &run.stats;

@@ -39,7 +39,10 @@ fn copy_no_sharing(mem: &mut Memory, v: &Value, to: RegionName, copied: &mut usi
 
 fn main() -> Result<(), PipelineError> {
     println!("DAG of depth d: d pair cells, but 2^d paths to the leaf.\n");
-    println!("{:>6} {:>16} {:>16}", "depth", "Fig.4 copies", "Fig.9 copies");
+    println!(
+        "{:>6} {:>16} {:>16}",
+        "depth", "Fig.4 copies", "Fig.9 copies"
+    );
     for depth in [4u32, 8, 12, 16, 20] {
         let config = MemConfig {
             region_budget: 1 << 26,

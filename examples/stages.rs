@@ -12,12 +12,13 @@ use scavenger::{Collector, Pipeline, PipelineError};
 const DEFAULT: &str = "fun double (x : int) : int = x + x\n double (double 10) + 2";
 
 fn main() -> Result<(), PipelineError> {
-    let src = std::env::args().nth(1).unwrap_or_else(|| DEFAULT.to_string());
+    let src = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| DEFAULT.to_string());
 
     println!("══ 1. source ══════════════════════════════════════════\n{src}\n");
 
-    let parsed = scavenger::lambda::parse::parse_program(&src)
-        .map_err(PipelineError::Parse)?;
+    let parsed = scavenger::lambda::parse::parse_program(&src).map_err(PipelineError::Parse)?;
     scavenger::lambda::typecheck::check_program(&parsed).map_err(PipelineError::SourceType)?;
     let oracle = scavenger::lambda::eval::run_program(&parsed, 10_000_000)
         .expect("terminating source program");
@@ -30,7 +31,9 @@ fn main() -> Result<(), PipelineError> {
     println!("══ 3. λCLOS (closed CPS + existential closures, §3) ═══");
     println!("{}\n", scavenger::clos::print::program(&clos));
 
-    let compiled = Pipeline::new(Collector::Basic).region_budget(128).compile(&src)?;
+    let compiled = Pipeline::new(Collector::Basic)
+        .region_budget(128)
+        .compile(&src)?;
     compiled.typecheck()?;
     println!("══ 4. λGC (Fig. 3 translation; collector at cd.0–cd.5) ");
     let n_collector = Collector::Basic.image().code.len();
@@ -39,7 +42,10 @@ fn main() -> Result<(), PipelineError> {
         println!("{}\n", scavenger::gc_lang::pretty::code_def_to_string(def));
     }
     println!("-- main --");
-    println!("{}\n", scavenger::gc_lang::pretty::term_to_string(&compiled.program.main));
+    println!(
+        "{}\n",
+        scavenger::gc_lang::pretty::term_to_string(&compiled.program.main)
+    );
 
     let run = compiled.run(100_000_000)?;
     println!("══ 5. execution ═══════════════════════════════════════");

@@ -10,4 +10,5 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+cargo fmt --check
 echo "tier-1: OK"

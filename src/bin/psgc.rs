@@ -39,6 +39,7 @@ const COMMANDS: &[(&str, &str, &str)] = &[
 struct Cli {
     opts: RunOptions,
     stats: bool,
+    stats_intern: bool,
     metrics: bool,
     trace: Option<String>,
 }
@@ -67,7 +68,7 @@ fn parse_number<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> 
         .map_err(|_| format!("invalid value {v:?} for {flag} (expected a number)"))
 }
 
-fn flag_specs() -> [FlagSpec; 10] {
+fn flag_specs() -> [FlagSpec; 11] {
     [
         FlagSpec {
             name: "--collector",
@@ -159,7 +160,22 @@ fn flag_specs() -> [FlagSpec; 10] {
                 Ok(())
             },
         },
+        FlagSpec {
+            name: "--stats-intern",
+            metavar: None,
+            help: "print tag/type interner occupancy and memo sizes",
+            apply: |c, _| {
+                c.stats_intern = true;
+                Ok(())
+            },
+        },
     ]
+}
+
+/// Prints the interner/memo report (`--stats-intern`) to stderr.
+fn print_intern_stats() {
+    eprintln!("intern:");
+    eprintln!("{}", scavenger::gc_lang::intern::stats());
 }
 
 /// The help text, generated from [`COMMANDS`] and [`flag_specs`].
@@ -283,7 +299,7 @@ fn cmd_certify(cli: &Cli) -> ExitCode {
         code: image.code,
         main: scavenger::gc_lang::syntax::Term::Halt(scavenger::gc_lang::syntax::Value::Int(0)),
     };
-    match scavenger::gc_lang::tyck::Checker::check_program(&program) {
+    let code = match scavenger::gc_lang::tyck::Checker::check_program(&program) {
         Ok(()) => {
             println!("✓ {} collector certified", cli.opts.collector);
             ExitCode::SUCCESS
@@ -292,7 +308,11 @@ fn cmd_certify(cli: &Cli) -> ExitCode {
             eprintln!("✗ rejected: {e}");
             ExitCode::from(EXIT_COMPILE)
         }
+    };
+    if cli.stats_intern {
+        print_intern_stats();
     }
+    code
 }
 
 fn cmd_eval(cli: &Cli, src: &str) -> ExitCode {
@@ -349,6 +369,9 @@ fn cmd_run(cli: &mut Cli, src: &str, check_only: bool) -> ExitCode {
     }
     if check_only {
         println!("✓ certified ({} collector)", cli.opts.collector);
+        if cli.stats_intern {
+            print_intern_stats();
+        }
         return ExitCode::SUCCESS;
     }
 
@@ -384,6 +407,9 @@ fn cmd_run(cli: &mut Cli, src: &str, check_only: bool) -> ExitCode {
                 eprintln!("collections:      {}", s.collections);
                 eprintln!("words reclaimed:  {}", s.words_reclaimed);
                 eprintln!("peak live words:  {}", s.peak_data_words);
+            }
+            if cli.stats_intern {
+                print_intern_stats();
             }
             code
         }

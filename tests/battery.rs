@@ -99,7 +99,11 @@ fn battery_all_collectors_all_budgets() {
     // other — including the full statistics, which the environment machine
     // promises to reproduce bit-for-bit.
     for (name, src, expected) in PROGRAMS {
-        for collector in [Collector::Basic, Collector::Forwarding, Collector::Generational] {
+        for collector in [
+            Collector::Basic,
+            Collector::Forwarding,
+            Collector::Generational,
+        ] {
             for budget in [64usize, 256, 1 << 22] {
                 let compiled = Pipeline::new(collector)
                     .region_budget(budget)
@@ -134,7 +138,11 @@ fn battery_all_collectors_all_budgets() {
 #[test]
 fn battery_whole_programs_typecheck() {
     for (name, src, _) in PROGRAMS {
-        for collector in [Collector::Basic, Collector::Forwarding, Collector::Generational] {
+        for collector in [
+            Collector::Basic,
+            Collector::Forwarding,
+            Collector::Generational,
+        ] {
             Pipeline::new(collector)
                 .compile(src)
                 .unwrap_or_else(|e| panic!("{name}/{collector}: {e}"))
@@ -148,17 +156,25 @@ fn battery_whole_programs_typecheck() {
 fn battery_small_budgets_actually_collect() {
     // The battery is only meaningful if the small-budget runs really do
     // exercise the collectors; verify for the allocation-heavy programs.
-    for (name, src, _) in PROGRAMS.iter().filter(|(n, ..)| {
-        ["factorial", "fibonacci", "list-sum", "gc-stress"].contains(n)
-    }) {
-        for collector in [Collector::Basic, Collector::Forwarding, Collector::Generational] {
+    for (name, src, _) in PROGRAMS
+        .iter()
+        .filter(|(n, ..)| ["factorial", "fibonacci", "list-sum", "gc-stress"].contains(n))
+    {
+        for collector in [
+            Collector::Basic,
+            Collector::Forwarding,
+            Collector::Generational,
+        ] {
             let run = Pipeline::new(collector)
                 .region_budget(64)
                 .compile(src)
                 .unwrap()
                 .run(500_000_000)
                 .unwrap();
-            assert!(run.stats.collections > 0, "{name}/{collector} never collected");
+            assert!(
+                run.stats.collections > 0,
+                "{name}/{collector} never collected"
+            );
         }
     }
 }
@@ -169,8 +185,7 @@ fn oracle_agreement() {
     // (guards against typos in the table itself).
     for (name, src, expected) in PROGRAMS {
         let p = ps_lambda::parse::parse_program(src).unwrap();
-        ps_lambda::typecheck::check_program(&p)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        ps_lambda::typecheck::check_program(&p).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert_eq!(
             ps_lambda::eval::run_program(&p, 100_000_000).unwrap(),
             *expected,

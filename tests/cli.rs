@@ -8,8 +8,7 @@ use std::process::{Command, Output};
 use scavenger::telemetry::validate_jsonl_trace;
 use scavenger::{Backend, Collector};
 
-const PROGRAM: &str =
-    "fun fact (n : int) : int = if0 n then 1 else n * fact (n - 1)\n fact 10";
+const PROGRAM: &str = "fun fact (n : int) : int = if0 n then 1 else n * fact (n - 1)\n fact 10";
 
 fn psgc(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_psgc"))
@@ -53,6 +52,7 @@ fn help_is_generated_from_the_flag_and_command_tables() {
         "--metrics",
         "--sample",
         "--stats",
+        "--stats-intern",
     ] {
         assert!(help.contains(flag), "help must list flag {flag}: {help}");
     }
@@ -79,7 +79,10 @@ fn exit_codes_distinguish_failure_classes() {
     assert_eq!(exit_code(&psgc(&[])), 2);
     assert_eq!(exit_code(&psgc(&["frobnicate"])), 2);
     assert_eq!(exit_code(&psgc(&["run", prog, "--no-such-flag"])), 2);
-    assert_eq!(exit_code(&psgc(&["run", prog, "--collector", "marksweep"])), 2);
+    assert_eq!(
+        exit_code(&psgc(&["run", prog, "--collector", "marksweep"])),
+        2
+    );
     assert_eq!(exit_code(&psgc(&["run", prog, "--budget", "many"])), 2);
     assert_eq!(exit_code(&psgc(&["run", prog, "--budget"])), 2);
     assert_eq!(exit_code(&psgc(&["run"])), 2);
@@ -159,7 +162,10 @@ fn trace_and_metrics_for_every_collector_backend_combination() {
             // from-region before widening — exactly one such copy per
             // collection; generational promotes many survivors into the
             // old region.
-            let promoted = trace.lines().filter(|l| l.contains("\"promoted\":true")).count();
+            let promoted = trace
+                .lines()
+                .filter(|l| l.contains("\"promoted\":true"))
+                .count();
             match collector {
                 Collector::Basic => assert_eq!(promoted, 0, "basic has no old regions"),
                 Collector::Forwarding => assert_eq!(
@@ -192,4 +198,37 @@ fn trace_is_written_even_when_the_run_exhausts_fuel() {
     let summary = validate_jsonl_trace(&trace).expect("trace validates");
     assert_eq!(summary.count("fuel_exhausted"), 1);
     assert_eq!(summary.count("halt"), 0);
+}
+
+#[test]
+fn stats_intern_reports_interner_occupancy() {
+    let prog = write_program("stats_intern.lam");
+    let out = psgc(&["run", prog.to_str().unwrap(), "--stats-intern"]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("intern:"),
+        "missing report header: {stderr}"
+    );
+    for row in [
+        "tag nodes",
+        "ty nodes",
+        "tag norm memo",
+        "ty norm memo",
+        "tag canon memo",
+        "ty canon memo",
+        "tag fv memo",
+        "ty fv memo",
+    ] {
+        assert!(stderr.contains(row), "missing row {row:?}: {stderr}");
+    }
+    // Compiling and certifying any program interns nodes and records hits.
+    let tag_row = stderr.lines().find(|l| l.starts_with("tag nodes")).unwrap();
+    let nodes: u64 = tag_row
+        .split_whitespace()
+        .nth(2)
+        .and_then(|w| w.parse().ok())
+        .expect("tag node count parses");
+    assert!(nodes > 0, "interner must be populated: {tag_row}");
+    assert!(tag_row.contains("(hits "), "hit counter missing: {tag_row}");
 }

@@ -1,0 +1,355 @@
+//! Differential tests for the interned tag/type layer: the memoized,
+//! id-keyed normalizers and equality checks in `tags`/`moper` must agree
+//! with the pre-refactor recursive implementations kept verbatim in
+//! `gc_lang::reference`.
+//!
+//! Inputs come from byte-tape generators (the `crates/proptest` shim): a
+//! tape is decoded into a well-kinded tag or a type, and decoding the same
+//! tape twice with different *binder-name prefixes* yields a guaranteed
+//! α-equivalent pair that differs only in bound names (and, for region
+//! sets, in element order) — exercising the canonicalization paths with
+//! known-positive cases, while tags/types from disjoint tapes exercise the
+//! negative side.
+
+use proptest::prelude::*;
+
+use scavenger::gc_lang::moper;
+use scavenger::gc_lang::reference;
+use scavenger::gc_lang::syntax::{Dialect, Kind, Region, RegionName, Tag, Ty};
+use scavenger::gc_lang::tags::{self, Equiv};
+use scavenger::ir::Symbol;
+
+const DIALECTS: [Dialect; 3] = [Dialect::Basic, Dialect::Forwarding, Dialect::Generational];
+
+/// A cursor over the random byte tape. Exhausted tapes yield zeros, so
+/// every tape decodes to *something* (usually small).
+struct Tape<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Tape<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Tape { bytes, pos: 0 }
+    }
+
+    fn next(&mut self) -> u8 {
+        let b = self.bytes.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+}
+
+/// Deterministic binder names: decoding one tape with prefixes `"x"` and
+/// `"y"` produces two trees identical up to bound-name renaming.
+struct Names {
+    prefix: &'static str,
+    counter: u32,
+}
+
+impl Names {
+    fn fresh(&mut self, class: &str) -> Symbol {
+        self.counter += 1;
+        Symbol::intern(&format!("{}{}!{}", self.prefix, class, self.counter))
+    }
+}
+
+fn free_tag_var(b: u8) -> Symbol {
+    Symbol::intern(["ft!a", "ft!b"][b as usize % 2])
+}
+
+fn free_alpha_var(b: u8) -> Symbol {
+    Symbol::intern(["fa!a", "fa!b"][b as usize % 2])
+}
+
+/// A region: `cd`, a concrete name, a free region variable, or a bound one.
+fn gen_region(tape: &mut Tape, renv: &[Symbol]) -> Region {
+    match tape.next() % 4 {
+        0 => Region::cd(),
+        1 => Region::Name(RegionName(1 + tape.next() as u32 % 3)),
+        2 if !renv.is_empty() => {
+            let i = tape.next() as usize % renv.len();
+            Region::Var(renv[i])
+        }
+        _ => Region::Var(Symbol::intern(["fr!a", "fr!b"][tape.next() as usize % 2])),
+    }
+}
+
+/// A well-kinded tag of kind Ω (β-redexes included), mirroring the
+/// generator in `crates/gc-lang/tests/tag_props.rs` but with deterministic
+/// binder names so α-variant pairs can be produced from one tape.
+fn gen_tag(tape: &mut Tape, env: &mut Vec<Symbol>, names: &mut Names, depth: u32) -> Tag {
+    if depth == 0 {
+        return if env.is_empty() || tape.next().is_multiple_of(2) {
+            Tag::Int
+        } else {
+            let i = tape.next() as usize % env.len();
+            Tag::Var(env[i])
+        };
+    }
+    match tape.next() % 8 {
+        0 => Tag::Int,
+        1 => Tag::Var(free_tag_var(tape.next())),
+        2 => {
+            if env.is_empty() {
+                Tag::Int
+            } else {
+                let i = tape.next() as usize % env.len();
+                Tag::Var(env[i])
+            }
+        }
+        3 => Tag::prod(
+            gen_tag(tape, env, names, depth - 1),
+            gen_tag(tape, env, names, depth - 1),
+        ),
+        4 => {
+            let n = 1 + tape.next() as usize % 2;
+            let args: Vec<Tag> = (0..n)
+                .map(|_| gen_tag(tape, env, names, depth - 1))
+                .collect();
+            Tag::arrow(args)
+        }
+        5 => {
+            let t = names.fresh("t");
+            env.push(t);
+            let body = gen_tag(tape, env, names, depth - 1);
+            env.pop();
+            Tag::exist(t, body)
+        }
+        // A β-redex: (λt.body) arg.
+        _ => {
+            let t = names.fresh("t");
+            env.push(t);
+            let body = gen_tag(tape, env, names, depth - 1);
+            env.pop();
+            let arg = gen_tag(tape, env, names, depth - 1);
+            Tag::app(Tag::lam(t, body), arg)
+        }
+    }
+}
+
+/// A type covering every `Ty` constructor: the hard-wired operators over
+/// generated tags, all three existentials (with their binders *used* in the
+/// body), sums, and `Code`. `mirror` reverses generated region sets — the
+/// sets must compare as sets, so a reversed set stays α-equal.
+fn gen_ty(
+    tape: &mut Tape,
+    tenv: &mut Vec<Symbol>,
+    renv: &mut Vec<Symbol>,
+    aenv: &mut Vec<Symbol>,
+    names: &mut Names,
+    mirror: bool,
+    depth: u32,
+) -> Ty {
+    let tag = |tape: &mut Tape, names: &mut Names, d: u32| {
+        let mut env = tenv.clone();
+        gen_tag(tape, &mut env, names, d)
+    };
+    if depth == 0 {
+        return match tape.next() % 3 {
+            0 => Ty::Int,
+            1 if !aenv.is_empty() => {
+                let i = tape.next() as usize % aenv.len();
+                Ty::Alpha(aenv[i])
+            }
+            1 => Ty::Alpha(free_alpha_var(tape.next())),
+            _ => Ty::m(gen_region(tape, renv), tag(tape, names, 1)),
+        };
+    }
+    match tape.next() % 13 {
+        0 => Ty::Int,
+        1 => {
+            if !aenv.is_empty() && tape.next().is_multiple_of(2) {
+                let i = tape.next() as usize % aenv.len();
+                Ty::Alpha(aenv[i])
+            } else {
+                Ty::Alpha(free_alpha_var(tape.next()))
+            }
+        }
+        2 => Ty::m(gen_region(tape, renv), tag(tape, names, depth)),
+        3 => Ty::c(
+            gen_region(tape, renv),
+            gen_region(tape, renv),
+            tag(tape, names, depth),
+        ),
+        4 => Ty::mgen(
+            gen_region(tape, renv),
+            gen_region(tape, renv),
+            tag(tape, names, depth),
+        ),
+        5 => Ty::prod(
+            gen_ty(tape, tenv, renv, aenv, names, mirror, depth - 1),
+            gen_ty(tape, tenv, renv, aenv, names, mirror, depth - 1),
+        ),
+        6 => Ty::sum(
+            gen_ty(tape, tenv, renv, aenv, names, mirror, depth - 1),
+            gen_ty(tape, tenv, renv, aenv, names, mirror, depth - 1),
+        ),
+        7 => {
+            let inner = gen_ty(tape, tenv, renv, aenv, names, mirror, depth - 1);
+            if tape.next().is_multiple_of(2) {
+                Ty::Left(inner.id())
+            } else {
+                Ty::Right(inner.id())
+            }
+        }
+        8 => gen_ty(tape, tenv, renv, aenv, names, mirror, depth - 1).at(gen_region(tape, renv)),
+        9 => {
+            let t = names.fresh("bt");
+            tenv.push(t);
+            let body = gen_ty(tape, tenv, renv, aenv, names, mirror, depth - 1);
+            tenv.pop();
+            // Pair the binder with a use, so renaming it is observable.
+            let used = Ty::prod(Ty::m(gen_region(tape, renv), Tag::Var(t)), body);
+            Ty::exist_tag(t, Kind::Omega, used)
+        }
+        10 => {
+            let a = names.fresh("ba");
+            let mut set = vec![gen_region(tape, renv), gen_region(tape, renv)];
+            if mirror {
+                set.reverse();
+            }
+            aenv.push(a);
+            let body = gen_ty(tape, tenv, renv, aenv, names, mirror, depth - 1);
+            aenv.pop();
+            Ty::exist_alpha(a, set, Ty::prod(Ty::Alpha(a), body))
+        }
+        11 => {
+            let r = names.fresh("br");
+            let mut bound = vec![gen_region(tape, renv), gen_region(tape, renv)];
+            if mirror {
+                bound.reverse();
+            }
+            renv.push(r);
+            let body = gen_ty(tape, tenv, renv, aenv, names, mirror, depth - 1);
+            renv.pop();
+            Ty::exist_rgn(r, bound, body)
+        }
+        _ => {
+            let t = names.fresh("ct");
+            let r = names.fresh("cr");
+            tenv.push(t);
+            renv.push(r);
+            let n = 1 + tape.next() as usize % 2;
+            let args: Vec<Ty> = (0..n)
+                .map(|_| gen_ty(tape, tenv, renv, aenv, names, mirror, depth - 1))
+                .collect();
+            renv.pop();
+            tenv.pop();
+            Ty::code([(t, Kind::Omega)], [r], args)
+        }
+    }
+}
+
+fn tag_from(bytes: &[u8], prefix: &'static str) -> Tag {
+    let mut tape = Tape::new(bytes);
+    let mut names = Names { prefix, counter: 0 };
+    gen_tag(&mut tape, &mut Vec::new(), &mut names, 4)
+}
+
+fn ty_from(bytes: &[u8], prefix: &'static str, mirror: bool) -> Ty {
+    let mut tape = Tape::new(bytes);
+    let mut names = Names { prefix, counter: 0 };
+    gen_ty(
+        &mut tape,
+        &mut Vec::new(),
+        &mut Vec::new(),
+        &mut Vec::new(),
+        &mut names,
+        mirror,
+        4,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// The memoized normalizer and the reference normalizer agree on the
+    /// normal form (up to α — capture-avoiding renames draw different
+    /// fresh names) and on the *exact* β-step count, which is what feeds
+    /// the machine's `Stats`.
+    #[test]
+    fn tag_normalization_agrees(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let tau = tag_from(&bytes, "x");
+        let mut mem_steps = 0u64;
+        let mem = tags::normalize_counted(&tau, &mut mem_steps);
+        let mut ref_steps = 0u64;
+        let reference_nf = reference::normalize_tag_counted(&tau, &mut ref_steps);
+        prop_assert!(tags::is_normal(&mem), "memoized nf not normal: {mem:?}");
+        prop_assert!(
+            reference::tag_alpha_eq(&mem, &reference_nf),
+            "normal forms disagree:\n  input: {tau:?}\n  memo:  {mem:?}\n  ref:   {reference_nf:?}"
+        );
+        prop_assert_eq!(mem_steps, ref_steps, "β-step counts disagree on {:?}", tau);
+    }
+
+    /// Both equality modes agree with the reference on α-variant pairs
+    /// (always equal) and on independently generated pairs (usually not).
+    #[test]
+    fn tag_equality_agrees(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let (lo, hi) = bytes.split_at(bytes.len() / 2);
+        let a = tag_from(lo, "x");
+        let b = tag_from(lo, "y"); // same tape, renamed binders
+        let c = tag_from(hi, "x");
+
+        prop_assert!(tags::equiv(&a, &b, Equiv::Syntactic), "α-variant must be equal: {a:?}");
+        prop_assert!(reference::tag_alpha_eq(&a, &b));
+
+        for other in [&b, &c] {
+            prop_assert_eq!(
+                tags::equiv(&a, other, Equiv::Syntactic),
+                reference::tag_alpha_eq(&a, other),
+                "Syntactic disagrees on {:?} vs {:?}", &a, other
+            );
+            prop_assert_eq!(
+                tags::equiv(&a, other, Equiv::Normalizing),
+                reference::tag_eq(&a, other),
+                "Normalizing disagrees on {:?} vs {:?}", &a, other
+            );
+        }
+    }
+
+    /// The memoized Typerec expansion (`moper::normalize_ty`) matches the
+    /// reference expansion in every dialect.
+    #[test]
+    fn ty_normalization_agrees(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let sigma = ty_from(&bytes, "x", false);
+        for dialect in DIALECTS {
+            let mem = moper::normalize_ty(&sigma, dialect);
+            let reference_nf = reference::normalize_ty(&sigma, dialect);
+            prop_assert!(
+                reference::ty_alpha_eq(&mem, &reference_nf),
+                "{dialect:?} normal forms disagree:\n  input: {sigma:?}\n  memo:  {mem:?}\n  ref:   {reference_nf:?}"
+            );
+        }
+    }
+
+    /// α-equivalence (canonical-form ids) and full type equality agree
+    /// with the reference on α-variants — including reversed region sets,
+    /// which must compare as sets — and on unrelated pairs.
+    #[test]
+    fn ty_equality_agrees(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let (lo, hi) = bytes.split_at(bytes.len() / 2);
+        let a = ty_from(lo, "x", false);
+        let b = ty_from(lo, "y", true); // renamed binders, reversed sets
+        let c = ty_from(hi, "x", false);
+
+        prop_assert!(moper::alpha_eq_ty(&a, &b), "α-variant must be equal: {a:?}\n vs {b:?}");
+        prop_assert!(reference::ty_alpha_eq(&a, &b));
+
+        for other in [&b, &c] {
+            prop_assert_eq!(
+                moper::alpha_eq_ty(&a, other),
+                reference::ty_alpha_eq(&a, other),
+                "alpha_eq disagrees on {:?} vs {:?}", &a, other
+            );
+            for dialect in DIALECTS {
+                prop_assert_eq!(
+                    moper::ty_eq(&a, other, dialect),
+                    reference::ty_eq(&a, other, dialect),
+                    "{:?} ty_eq disagrees on {:?} vs {:?}", dialect, &a, other
+                );
+            }
+        }
+    }
+}

@@ -26,7 +26,14 @@ fn mutate_term(e: &Term, tape: &mut impl FnMut() -> u8) -> Term {
     if tape().is_multiple_of(4) {
         match (tape() % 4, e) {
             // Swap a projection index.
-            (0, Term::Let { x, op: Op::Proj(i, v), body }) => {
+            (
+                0,
+                Term::Let {
+                    x,
+                    op: Op::Proj(i, v),
+                    body,
+                },
+            ) => {
                 return Term::Let {
                     x: *x,
                     op: Op::Proj(3 - i, v.clone()),
@@ -35,7 +42,14 @@ fn mutate_term(e: &Term, tape: &mut impl FnMut() -> u8) -> Term {
             }
             // Retarget a put to another region in scope… approximated by
             // swapping its region for cd (always ill-typed) or keeping it.
-            (1, Term::Let { x, op: Op::Put(_, v), body }) => {
+            (
+                1,
+                Term::Let {
+                    x,
+                    op: Op::Put(_, v),
+                    body,
+                },
+            ) => {
                 return Term::Let {
                     x: *x,
                     op: Op::Put(Region::cd(), v.clone()),
@@ -43,7 +57,15 @@ fn mutate_term(e: &Term, tape: &mut impl FnMut() -> u8) -> Term {
                 }
             }
             // Perturb an application's tag arguments.
-            (2, Term::App { f, tags, regions, args }) if !tags.is_empty() => {
+            (
+                2,
+                Term::App {
+                    f,
+                    tags,
+                    regions,
+                    args,
+                },
+            ) if !tags.is_empty() => {
                 let mut tags = tags.clone();
                 tags[0] = Tag::prod(tags[0].clone(), Tag::Int);
                 return Term::App {
@@ -54,7 +76,15 @@ fn mutate_term(e: &Term, tape: &mut impl FnMut() -> u8) -> Term {
                 };
             }
             // Drop an argument.
-            (3, Term::App { f, tags, regions, args }) if !args.is_empty() => {
+            (
+                3,
+                Term::App {
+                    f,
+                    tags,
+                    regions,
+                    args,
+                },
+            ) if !args.is_empty() => {
                 let mut args = args.clone();
                 args.pop();
                 return Term::App {
@@ -78,7 +108,11 @@ fn mutate_term(e: &Term, tape: &mut impl FnMut() -> u8) -> Term {
             full: Rc::new(mutate_term(full, tape)),
             cont: Rc::new(mutate_term(cont, tape)),
         },
-        Term::If0 { scrut, zero, nonzero } => Term::If0 {
+        Term::If0 {
+            scrut,
+            zero,
+            nonzero,
+        } => Term::If0 {
             scrut: scrut.clone(),
             zero: Rc::new(mutate_term(zero, tape)),
             nonzero: Rc::new(mutate_term(nonzero, tape)),

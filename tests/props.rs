@@ -106,10 +106,7 @@ fn gen_expr(tape: &mut Tape, env: &mut Vec<(Symbol, SrcTy)>, ty: &SrcTy, depth: 
 fn base_case(tape: &mut Tape, env: &mut Vec<(Symbol, SrcTy)>, ty: &SrcTy) -> Expr {
     match ty {
         SrcTy::Int => Expr::Int((tape.next() as i64) - 128),
-        SrcTy::Prod(a, b) => Expr::pair(
-            base_case(tape, env, a),
-            base_case(tape, env, b),
-        ),
+        SrcTy::Prod(a, b) => Expr::pair(base_case(tape, env, a), base_case(tape, env, b)),
         SrcTy::Arrow(a, b) => {
             let x = gensym("gl");
             env.push((x, (**a).clone()));
