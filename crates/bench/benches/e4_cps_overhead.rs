@@ -43,6 +43,7 @@ fn bench(c: &mut Criterion) {
                         region_budget: 1 << 24,
                         growth: GrowthPolicy::Fixed,
                         track_types: false,
+                        max_heap_words: None,
                     });
                     let r = m.alloc_region();
                     let root = meta::synth_tree(&mut m, r, depth).expect("tree");

@@ -18,6 +18,7 @@ fn bench(c: &mut Criterion) {
                         region_budget: 1 << 20,
                         growth: GrowthPolicy::Fixed,
                         track_types: false,
+                        max_heap_words: None,
                     });
                     let mut keep = None;
                     for i in 0..n {

@@ -57,9 +57,13 @@ pub struct ContShape {
 }
 
 impl ContShape {
-    /// The continuation region (where `tk` packages are allocated).
+    /// The continuation region (where `tk` packages are allocated). Every
+    /// shape is built with at least one region; an empty list falls back to
+    /// `cd`, which the typechecker then rejects.
     pub fn cont_region(&self) -> Region {
-        Region::Var(*self.regions.last().expect("at least one region"))
+        self.regions
+            .last()
+            .map_or(Region::Name(ps_gc_lang::syntax::CD), |r| Region::Var(*r))
     }
 
     /// The region set confining continuation environments.

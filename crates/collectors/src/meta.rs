@@ -180,6 +180,7 @@ mod tests {
             region_budget: 1 << 20,
             growth: GrowthPolicy::Fixed,
             track_types: false,
+            max_heap_words: None,
         })
     }
 
@@ -414,6 +415,7 @@ mod cheney_tests {
             region_budget: 1 << 20,
             growth: GrowthPolicy::Fixed,
             track_types: false,
+            max_heap_words: None,
         })
     }
 

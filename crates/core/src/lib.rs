@@ -45,6 +45,7 @@ pub use ps_trans as trans;
 
 use ps_collectors::CollectorImage;
 use ps_gc_lang::env_machine::EnvMachine;
+use ps_gc_lang::faults::FaultPlan;
 use ps_gc_lang::machine::{Machine, Outcome, Program, Stats};
 use ps_gc_lang::memory::{GrowthPolicy, MemConfig};
 use ps_gc_lang::tyck::Checker;
@@ -144,6 +145,8 @@ pub enum PipelineError {
     GcType(ps_gc_lang::error::LangError),
     /// The machine got stuck or hit a memory fault.
     Runtime(ps_gc_lang::error::LangError),
+    /// A periodic heap audit (`--verify-every`) found a violated invariant.
+    InvariantViolation(ps_gc_lang::error::LangError),
     /// The machine ran out of fuel.
     OutOfFuel,
 }
@@ -159,6 +162,7 @@ impl fmt::Display for PipelineError {
             PipelineError::Trans(e) => write!(f, "{e}"),
             PipelineError::GcType(e) => write!(f, "λGC {e}"),
             PipelineError::Runtime(e) => write!(f, "runtime {e}"),
+            PipelineError::InvariantViolation(e) => write!(f, "heap invariant violated: {e}"),
             PipelineError::OutOfFuel => write!(f, "machine ran out of fuel"),
         }
     }
@@ -205,6 +209,16 @@ pub struct RunOptions {
     /// Emit a [`telemetry::GcEvent::Step`] heap sample every this many
     /// machine steps (0 = never). Only meaningful with an observer.
     pub step_interval: u64,
+    /// Run the [`ps_gc_lang::verify`] heap auditor every this many machine
+    /// steps (0 = never). A failed audit ends the run with
+    /// [`PipelineError::InvariantViolation`].
+    pub verify_every: u64,
+    /// Deterministic fault to inject during the run, if any
+    /// (fault-injection machinery; see [`ps_gc_lang::faults`]).
+    pub inject: Option<FaultPlan>,
+    /// Hard cap on live heap words; an allocation that would exceed it
+    /// fails with a typed out-of-memory error (`None` = unbounded).
+    pub max_heap_words: Option<usize>,
 }
 
 impl Default for RunOptions {
@@ -219,6 +233,9 @@ impl Default for RunOptions {
             check_stages: true,
             observer: None,
             step_interval: 0,
+            verify_every: 0,
+            inject: None,
+            max_heap_words: None,
         }
     }
 }
@@ -238,6 +255,7 @@ impl RunOptions {
             region_budget: self.budget,
             growth: self.growth,
             track_types: self.track_types,
+            max_heap_words: self.max_heap_words,
         }
     }
 
@@ -492,6 +510,8 @@ impl Compiled {
             self.observer.clone(),
             self.step_interval,
             fuel,
+            0,
+            None,
         )
     }
 
@@ -509,9 +529,12 @@ impl Compiled {
             opts.observer.clone(),
             opts.step_interval,
             opts.fuel,
+            opts.verify_every,
+            opts.inject,
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_inner(
         &self,
         config: MemConfig,
@@ -519,6 +542,8 @@ impl Compiled {
         observer: Option<SharedObserver>,
         step_interval: u64,
         fuel: u64,
+        verify_every: u64,
+        inject: Option<FaultPlan>,
     ) -> Result<Run, PipelineError> {
         let outcome = match backend {
             Backend::Subst => {
@@ -526,6 +551,8 @@ impl Compiled {
                 if let Some(obs) = observer {
                     m.set_observer(obs, step_interval);
                 }
+                m.set_verify_every(verify_every);
+                m.set_fault_plan(inject);
                 (
                     m.run(fuel).map_err(PipelineError::Runtime)?,
                     m.stats().clone(),
@@ -536,6 +563,8 @@ impl Compiled {
                 if let Some(obs) = observer {
                     m.set_observer(obs, step_interval);
                 }
+                m.set_verify_every(verify_every);
+                m.set_fault_plan(inject);
                 (
                     m.run(fuel).map_err(PipelineError::Runtime)?,
                     m.stats().clone(),
@@ -544,6 +573,7 @@ impl Compiled {
         };
         match outcome {
             (Outcome::Halted(result), stats) => Ok(Run { result, stats }),
+            (Outcome::InvariantViolation(e), _) => Err(PipelineError::InvariantViolation(e)),
             (Outcome::OutOfFuel, _) => Err(PipelineError::OutOfFuel),
         }
     }

@@ -157,7 +157,7 @@ pub fn run_stats(c: &Compiled) -> ps_gc_lang::machine::Stats {
     let mut m = c.machine();
     match m.run(1_000_000_000).expect("runs") {
         ps_gc_lang::machine::Outcome::Halted(_) => m.stats().clone(),
-        ps_gc_lang::machine::Outcome::OutOfFuel => panic!("out of fuel"),
+        other => panic!("abnormal outcome: {other:?}"),
     }
 }
 

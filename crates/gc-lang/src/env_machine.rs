@@ -41,7 +41,8 @@
 
 use std::rc::Rc;
 
-use crate::error::{stuck_err, LangError, Result};
+use crate::error::{stuck_err, ErrorKind, LangError, Result};
+use crate::faults::FaultPlan;
 use crate::machine::{widen_psi, Outcome, Program, Stats, StepOutcome};
 use crate::memory::{MemConfig, Memory};
 use crate::subst::Subst;
@@ -79,6 +80,8 @@ pub struct EnvMachine {
     stats: Stats,
     telem: Telemetry,
     halted: Option<i64>,
+    verify_every: u64,
+    fault: Option<FaultPlan>,
 }
 
 impl EnvMachine {
@@ -98,6 +101,8 @@ impl EnvMachine {
             stats: Stats::default(),
             telem: Telemetry::default(),
             halted: None,
+            verify_every: 0,
+            fault: None,
         }
     }
 
@@ -113,6 +118,38 @@ impl EnvMachine {
     /// The current memory.
     pub fn memory(&self) -> &Memory {
         &self.mem
+    }
+
+    /// Mutable access to the memory — **fault-injection machinery**. The
+    /// interpreter itself never needs this; it exists so [`crate::faults`]
+    /// and adversarial tests can corrupt a live state.
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Audits the current state every `n` steps during [`EnvMachine::run`]
+    /// (`0` disables auditing, the default).
+    pub fn set_verify_every(&mut self, n: u64) {
+        self.verify_every = n;
+    }
+
+    /// Arms a deterministic fault to be injected during [`EnvMachine::run`]
+    /// once the plan's step is reached (**fault-injection machinery**).
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// Runs the [`crate::verify`] heap auditor against the current state.
+    /// The reachability root is [`EnvMachine::resolved_control`] — the same
+    /// closed term the substitution machine holds at this step — so the
+    /// audit's verdict is backend-independent.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated Fig. 7 invariant.
+    pub fn audit(&self) -> Result<()> {
+        let root = self.resolved_control();
+        crate::verify::audit_state(&self.mem, self.dialect, &root)
     }
 
     /// The term currently in control position (with its free variables
@@ -144,21 +181,58 @@ impl EnvMachine {
         self.halted
     }
 
-    /// Runs until `halt`, an error, or `fuel` steps.
+    /// Runs until `halt`, an error, or `fuel` steps. If armed (see
+    /// [`EnvMachine::set_fault_plan`]) a fault is injected at its step, and
+    /// if `verify_every > 0` the state is audited every that many steps; an
+    /// audit failure ends the run with [`Outcome::InvariantViolation`].
     ///
     /// # Errors
     ///
     /// Returns a stuck-state error if no reduction rule applies — a
-    /// progress violation for well-typed programs (Prop. 6.5).
+    /// progress violation for well-typed programs (Prop. 6.5) — or an
+    /// [`ErrorKind::OutOfMemory`] error if an allocation would exceed
+    /// [`MemConfig::max_heap_words`].
     pub fn run(&mut self, fuel: u64) -> Result<Outcome> {
         for _ in 0..fuel {
-            match self.step()? {
-                StepOutcome::Continue => {}
-                StepOutcome::Halted(n) => return Ok(Outcome::Halted(n)),
+            match self.step() {
+                Ok(StepOutcome::Continue) => {}
+                Ok(StepOutcome::Halted(n)) => return Ok(Outcome::Halted(n)),
+                Err(e) => {
+                    if e.kind() == ErrorKind::OutOfMemory {
+                        let limit = self.mem.config().max_heap_words.unwrap_or(0);
+                        self.telem
+                            .on_oom(self.stats.steps, self.mem.data_words(), limit);
+                    }
+                    return Err(e);
+                }
+            }
+            self.try_inject();
+            if self.verify_every > 0 && self.stats.steps.is_multiple_of(self.verify_every) {
+                if let Err(e) = self.audit() {
+                    self.telem
+                        .on_invariant_violation(self.stats.steps, &e.to_string());
+                    return Ok(Outcome::InvariantViolation(e));
+                }
             }
         }
         self.telem.on_fuel_exhausted(self.stats.steps);
         Ok(Outcome::OutOfFuel)
+    }
+
+    /// Applies the armed fault plan if its step has been reached. Keeps the
+    /// plan armed until an application actually lands (a plan may find no
+    /// target at its nominal step, e.g. before the first allocation). The
+    /// injection root is the resolved control, matching the substitution
+    /// machine's term so both backends pick identical sites.
+    fn try_inject(&mut self) {
+        let Some(plan) = self.fault else { return };
+        if self.stats.steps < plan.step {
+            return;
+        }
+        let root = self.resolved_control();
+        if crate::faults::apply(&plan, &mut self.mem, &root).is_some() {
+            self.fault = None;
+        }
     }
 
     /// Takes one machine step.
@@ -181,10 +255,10 @@ impl EnvMachine {
                 self.stats.peak_data_words = self.stats.peak_data_words.max(self.mem.data_words());
                 Ok(StepOutcome::Continue)
             }
-            None => {
-                let n = self.halted.expect("halt recorded");
-                Ok(StepOutcome::Halted(n))
-            }
+            None => match self.halted {
+                Some(n) => Ok(StepOutcome::Halted(n)),
+                None => Err(self.stuck("step ended without a term or a halt value".into())),
+            },
         }
     }
 
@@ -494,6 +568,7 @@ mod tests {
             region_budget: 16,
             growth: GrowthPolicy::Fixed,
             track_types: false,
+            max_heap_words: None,
         }
     }
 
@@ -517,7 +592,7 @@ mod tests {
         };
         match run_both(&p) {
             Outcome::Halted(n) => n,
-            Outcome::OutOfFuel => panic!("out of fuel"),
+            other => panic!("abnormal outcome: {other:?}"),
         }
     }
 

@@ -19,6 +19,8 @@ pub enum ErrorKind {
     Dialect,
     /// A machine-state well-formedness check failed (Fig. 7).
     WellFormedness,
+    /// The store grew past the configured `max_heap_words` cap.
+    OutOfMemory,
 }
 
 impl fmt::Display for ErrorKind {
@@ -31,6 +33,7 @@ impl fmt::Display for ErrorKind {
             ErrorKind::Memory => "memory error",
             ErrorKind::Dialect => "dialect violation",
             ErrorKind::WellFormedness => "ill-formed machine state",
+            ErrorKind::OutOfMemory => "out of memory",
         };
         write!(f, "{s}")
     }
@@ -105,6 +108,12 @@ pub(crate) fn mem_err(msg: impl Into<String>) -> LangError {
 }
 pub(crate) fn dialect_err(msg: impl Into<String>) -> LangError {
     LangError::new(ErrorKind::Dialect, msg)
+}
+pub(crate) fn oom_err(msg: impl Into<String>) -> LangError {
+    LangError::new(ErrorKind::OutOfMemory, msg)
+}
+pub(crate) fn wf_err(msg: impl Into<String>) -> LangError {
+    LangError::new(ErrorKind::WellFormedness, msg)
 }
 
 #[cfg(test)]

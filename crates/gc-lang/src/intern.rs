@@ -47,17 +47,34 @@ use crate::syntax::{Dialect, Region, Tag, Ty};
 static TAGS: RwLock<Option<Interner<Tag>>> = RwLock::new(None);
 static TYS: RwLock<Option<Interner<Ty>>> = RwLock::new(None);
 
+/// Acquires a read lock even if a writer panicked mid-update. The arenas
+/// and memo tables are append-only caches, so a poisoned value is still
+/// internally consistent — at worst it misses the entry the panicking
+/// thread was about to add.
+fn read_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Write-lock counterpart of [`read_lock`].
+fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 fn arena_intern<T: Eq + Hash>(lock: &'static RwLock<Option<Interner<T>>>, node: T) -> u32 {
-    if let Some(id) = lock.read().unwrap().as_ref().and_then(|a| a.lookup(&node)) {
+    if let Some(id) = read_lock(lock).as_ref().and_then(|a| a.lookup(&node)) {
         return id;
     }
-    let mut guard = lock.write().unwrap();
+    let mut guard = write_lock(lock);
     guard.get_or_insert_with(Interner::new).insert(node)
 }
 
+// Ids are minted only by `arena_intern`, so the arena necessarily exists
+// when one is dereferenced; an empty arena here is unreachable.
+#[allow(clippy::expect_used)]
 fn arena_get<T: Eq + Hash>(lock: &'static RwLock<Option<Interner<T>>>, id: u32) -> &'static T {
-    lock.read()
-        .unwrap()
+    read_lock(lock)
         .as_ref()
         .expect("id minted by this arena")
         .get(id)
@@ -178,21 +195,17 @@ static TAG_FV: Memo<TagId, &'static [Symbol]> = RwLock::new(None);
 static TY_FV: Memo<TyId, &'static TyFv> = RwLock::new(None);
 
 fn memo_get<K: Eq + Hash, V: Copy>(memo: &Memo<K, V>, key: &K) -> Option<V> {
-    memo.read()
-        .unwrap()
-        .as_ref()
-        .and_then(|t| t.get(key).copied())
+    read_lock(memo).as_ref().and_then(|t| t.get(key).copied())
 }
 
 fn memo_put<K: Eq + Hash, V>(memo: &Memo<K, V>, key: K, value: V) {
-    memo.write()
-        .unwrap()
+    write_lock(memo)
         .get_or_insert_with(HashMap::default)
         .insert(key, value);
 }
 
 fn memo_len<K, V>(memo: &Memo<K, V>) -> usize {
-    memo.read().unwrap().as_ref().map_or(0, HashMap::len)
+    read_lock(memo).as_ref().map_or(0, HashMap::len)
 }
 
 /// Memoized result of [`crate::tags::normalize`]: normal form and β-step
@@ -396,12 +409,12 @@ static DB_ALPHA: RwLock<Vec<Symbol>> = RwLock::new(Vec::new());
 
 fn db_symbol(cache: &RwLock<Vec<Symbol>>, prefix: &str, i: usize) -> Symbol {
     {
-        let v = cache.read().unwrap();
+        let v = read_lock(cache);
         if i < v.len() {
             return v[i];
         }
     }
-    let mut v = cache.write().unwrap();
+    let mut v = write_lock(cache);
     while v.len() <= i {
         let s = Symbol::intern(&format!("{prefix}{}", v.len()));
         v.push(s);
@@ -671,14 +684,10 @@ pub struct InternStats {
 
 /// A snapshot of the global interner and memo-table occupancy.
 pub fn stats() -> InternStats {
-    let (tag_nodes, tag_hits) = TAGS
-        .read()
-        .unwrap()
+    let (tag_nodes, tag_hits) = read_lock(&TAGS)
         .as_ref()
         .map_or((0, 0), |a| (a.len(), a.hits()));
-    let (ty_nodes, ty_hits) = TYS
-        .read()
-        .unwrap()
+    let (ty_nodes, ty_hits) = read_lock(&TYS)
         .as_ref()
         .map_or((0, 0), |a| (a.len(), a.hits()));
     InternStats {

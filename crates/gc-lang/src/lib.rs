@@ -31,6 +31,11 @@
 //!   statistics), selected via [`machine::Backend`];
 //! * [`wf`] — machine-state well-formedness (`⊢ (M,e)`, Fig. 7), the
 //!   engine behind the preservation/progress property tests;
+//! * [`verify`] — the runtime heap-invariant auditor: Fig. 7's `⊢ M : Ψ`
+//!   checks (plus structural invariants that need no type tracking) on a
+//!   live machine state, runnable on demand or every N steps;
+//! * [`faults`] — seeded, deterministic injection of classic GC bugs, the
+//!   adversarial harness proving the auditor fires;
 //! * [`pretty`] — rendering in the paper's notation;
 //! * [`ablation`] — the measurable version of §2.2.1's S-vs-M argument.
 //!
@@ -55,6 +60,7 @@
 pub mod ablation;
 pub mod env_machine;
 pub mod error;
+pub mod faults;
 pub mod intern;
 pub mod machine;
 pub mod memory;
@@ -67,4 +73,5 @@ pub mod syntax;
 pub mod tags;
 pub mod telemetry;
 pub mod tyck;
+pub mod verify;
 pub mod wf;

@@ -18,7 +18,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::error::{mem_err, Result};
+use crate::error::{mem_err, oom_err, Result};
 use crate::syntax::{RegionName, Ty, Value, CD};
 
 /// How budgets for freshly allocated regions are chosen.
@@ -65,6 +65,10 @@ pub struct MemConfig {
     /// Maintain `Ψ` incrementally (needed for machine-state
     /// well-formedness checking; costs time, so benchmarks turn it off).
     pub track_types: bool,
+    /// Hard cap on total data-region words. `put` fails with a typed
+    /// [`crate::error::ErrorKind::OutOfMemory`] error once the cap would be
+    /// exceeded; `None` means unbounded.
+    pub max_heap_words: Option<usize>,
 }
 
 impl Default for MemConfig {
@@ -73,6 +77,7 @@ impl Default for MemConfig {
             region_budget: 256,
             growth: GrowthPolicy::Adaptive,
             track_types: false,
+            max_heap_words: None,
         }
     }
 }
@@ -206,11 +211,15 @@ impl Memory {
     /// Only used at load time (§4.3: functions are placed into `cd` when
     /// translating code and never directly appear in λGC terms).
     pub fn install_code(&mut self, code: Value, ty: Ty) -> u32 {
-        let cd = self.regions.get_mut(&CD).expect("cd exists");
+        let cd = self.regions.entry(CD).or_insert_with(|| RegionData {
+            slots: Vec::new(),
+            words: 0,
+            budget: usize::MAX,
+        });
         let loc = cd.slots.len() as u32;
         cd.words += value_words(&code);
         cd.slots.push(code);
-        self.psi.get_mut(&CD).expect("cd psi").insert(loc, ty);
+        self.psi.entry(CD).or_default().insert(loc, ty);
         loc
     }
 
@@ -265,6 +274,15 @@ impl Memory {
             .ok_or_else(|| mem_err(format!("put into missing region {nu}")))?;
         let loc = region.slots.len() as u32;
         let words = value_words(&v);
+        if let Some(limit) = self.config.max_heap_words {
+            if self.data_words + words > limit {
+                return Err(oom_err(format!(
+                    "put of {words} words would exceed the heap cap \
+                     ({} live + {words} > {limit})",
+                    self.data_words
+                )));
+            }
+        }
         region.words += words;
         self.data_words += words;
         region.slots.push(v);
@@ -329,7 +347,9 @@ impl Memory {
                 }
                 continue;
             }
-            let dropped = self.regions.remove(&nu).expect("region exists");
+            let Some(dropped) = self.regions.remove(&nu) else {
+                continue;
+            };
             self.psi.remove(&nu);
             self.data_words -= dropped.words;
             report
@@ -337,6 +357,37 @@ impl Memory {
                 .push((nu, dropped.words, dropped.slots.len()));
         }
         report
+    }
+
+    /// Drops a single data region unconditionally, bypassing `only`'s
+    /// keep-set discipline. This is **fault-injection machinery** (a
+    /// simulated double-free for [`crate::faults`]); collectors reclaim
+    /// through [`Memory::only`]. Returns whether the region existed.
+    pub fn force_free_region(&mut self, nu: RegionName) -> bool {
+        if nu.is_cd() {
+            return false;
+        }
+        match self.regions.remove(&nu) {
+            Some(dropped) => {
+                self.psi.remove(&nu);
+                self.data_words -= dropped.words;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Overwrites a region's budget, ignoring the growth policy. This is
+    /// **fault-injection machinery** (a simulated budget underflow for
+    /// [`crate::faults`]). Returns whether the region existed.
+    pub fn corrupt_budget(&mut self, nu: RegionName, budget: usize) -> bool {
+        match self.regions.get_mut(&nu) {
+            Some(region) => {
+                region.budget = budget;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Live region names (including `cd`).
@@ -491,6 +542,7 @@ mod tests {
             region_budget: 8,
             growth: GrowthPolicy::Fixed,
             track_types: true,
+            max_heap_words: None,
         })
     }
 
@@ -556,6 +608,7 @@ mod tests {
             region_budget: 4,
             growth: GrowthPolicy::Adaptive,
             track_types: false,
+            max_heap_words: None,
         });
         let r1 = m.alloc_region();
         assert_eq!(m.region(r1).unwrap().budget(), 4);
@@ -650,6 +703,7 @@ mod tests {
             region_budget: 8,
             growth: GrowthPolicy::Fixed,
             track_types: false,
+            max_heap_words: None,
         });
         let r1 = m.alloc_region();
         let r2 = m.alloc_region();

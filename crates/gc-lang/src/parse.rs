@@ -225,7 +225,10 @@ fn lex(src: &str) -> PResult<Vec<Tok>> {
                     i = j2;
                 } else {
                     let n: String = chars[start..j].iter().collect();
-                    out.push(Tok::Nu(n.parse().expect("digits")));
+                    out.push(Tok::Nu(n.parse().map_err(|_| GcParseError {
+                        pos: out.len(),
+                        msg: format!("region number {n} out of range"),
+                    })?));
                     i = j;
                 }
             }
@@ -449,8 +452,8 @@ impl P {
                         Some(Tok::Int(0)) => Ok(Tag::arrow(items)),
                         other => self.err(format!("expected 0 after →, found {other:?}")),
                     }
-                } else if items.len() == 1 {
-                    Ok(items.pop().expect("one item"))
+                } else if let [item] = items.as_slice() {
+                    Ok(item.clone())
                 } else {
                     self.err("tag tuple without → 0")
                 }

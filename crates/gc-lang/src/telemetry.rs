@@ -65,13 +65,12 @@ pub struct RegionSnapshot {
 fn occupancy(mem: &Memory) -> Vec<RegionSnapshot> {
     mem.region_names()
         .filter(|nu| !nu.is_cd())
-        .map(|nu| {
-            let r = mem.region(nu).expect("named region exists");
-            RegionSnapshot {
+        .filter_map(|nu| {
+            mem.region(nu).map(|r| RegionSnapshot {
                 region: nu,
                 words: r.words(),
                 budget: r.budget(),
-            }
+            })
         })
         .collect()
 }
@@ -164,6 +163,22 @@ pub enum GcEvent {
     },
     /// The machine ran out of fuel.
     FuelExhausted { step: u64 },
+    /// The periodic heap audit found a violated invariant; the run stops
+    /// here (a `Halt`-class final event, like [`GcEvent::FuelExhausted`]).
+    InvariantViolation {
+        step: u64,
+        /// The auditor's description of the first violated invariant.
+        detail: String,
+    },
+    /// A `put` would have pushed the store past its configured
+    /// `max_heap_words` cap; the run stops here.
+    OutOfMemory {
+        step: u64,
+        /// Live data-region words at the failed allocation.
+        heap_words: usize,
+        /// The configured cap.
+        limit: usize,
+    },
     /// The machine halted with the given integer.
     Halt { step: u64, value: i64 },
 }
@@ -179,6 +194,8 @@ impl GcEvent {
             GcEvent::GcEnd { .. } => "gc_end",
             GcEvent::Step { .. } => "step",
             GcEvent::FuelExhausted { .. } => "fuel_exhausted",
+            GcEvent::InvariantViolation { .. } => "invariant_violation",
+            GcEvent::OutOfMemory { .. } => "oom",
             GcEvent::Halt { .. } => "halt",
         }
     }
@@ -193,6 +210,8 @@ impl GcEvent {
             | GcEvent::GcEnd { step, .. }
             | GcEvent::Step { step, .. }
             | GcEvent::FuelExhausted { step }
+            | GcEvent::InvariantViolation { step, .. }
+            | GcEvent::OutOfMemory { step, .. }
             | GcEvent::Halt { step, .. } => *step,
         }
     }
@@ -282,6 +301,15 @@ impl GcEvent {
                 o.int("regions", *regions as u64);
             }
             GcEvent::FuelExhausted { .. } => {}
+            GcEvent::InvariantViolation { detail, .. } => {
+                o.str("detail", detail);
+            }
+            GcEvent::OutOfMemory {
+                heap_words, limit, ..
+            } => {
+                o.int("heap_words", *heap_words as u64);
+                o.int("limit", *limit as u64);
+            }
             GcEvent::Halt { value, .. } => {
                 o.signed("value", *value);
             }
@@ -502,6 +530,34 @@ impl Telemetry {
         }
         self.emit(GcEvent::FuelExhausted { step });
     }
+
+    /// Hook: the periodic audit found a violated heap invariant. Like fuel
+    /// exhaustion this is a final event: the machine stops after emitting
+    /// it, so attached recorders see a complete stream.
+    #[inline]
+    pub fn on_invariant_violation(&mut self, step: u64, detail: &str) {
+        if self.observer.is_none() {
+            return;
+        }
+        self.emit(GcEvent::InvariantViolation {
+            step,
+            detail: detail.to_string(),
+        });
+    }
+
+    /// Hook: an allocation failed against the `max_heap_words` cap. Also a
+    /// final event — the machine propagates the typed error after emitting.
+    #[inline]
+    pub fn on_oom(&mut self, step: u64, heap_words: usize, limit: usize) {
+        if self.observer.is_none() {
+            return;
+        }
+        self.emit(GcEvent::OutOfMemory {
+            step,
+            heap_words,
+            limit,
+        });
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -678,7 +734,10 @@ impl Metrics {
             GcEvent::Step { heap_words, .. } => {
                 self.max_heap_words = self.max_heap_words.max(*heap_words);
             }
-            GcEvent::FuelExhausted { .. } | GcEvent::Halt { .. } => {}
+            GcEvent::FuelExhausted { .. }
+            | GcEvent::InvariantViolation { .. }
+            | GcEvent::OutOfMemory { .. }
+            | GcEvent::Halt { .. } => {}
         }
     }
 
@@ -788,10 +847,18 @@ impl Recorder {
 
     /// The trace as a JSON-lines string.
     pub fn to_jsonl(&self) -> String {
-        let mut buf = Vec::new();
-        self.write_jsonl(&mut buf)
-            .expect("writing to a Vec cannot fail");
-        String::from_utf8(buf).expect("trace is UTF-8")
+        let mut buf = String::new();
+        if let Some(meta) = &self.meta {
+            buf.push_str(&meta.to_json());
+            buf.push('\n');
+        }
+        for ev in &self.events {
+            buf.push_str(&ev.to_json());
+            buf.push('\n');
+        }
+        buf.push_str(&self.metrics.to_json());
+        buf.push('\n');
+        buf
     }
 }
 
@@ -977,6 +1044,8 @@ fn schema() -> &'static [(&'static str, &'static [(&'static str, FieldKind)])] {
             &[("step", Int), ("heap_words", Int), ("regions", Int)],
         ),
         ("fuel_exhausted", &[("step", Int)]),
+        ("invariant_violation", &[("step", Int), ("detail", Str)]),
+        ("oom", &[("step", Int), ("heap_words", Int), ("limit", Int)]),
         ("halt", &[("step", Int), ("value", SignedInt)]),
         (
             "summary",
@@ -1209,7 +1278,8 @@ mod json {
             while self.peek().is_some_and(|b| b.is_ascii_digit()) {
                 self.pos += 1;
             }
-            let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|e| format!("non-UTF-8 number at offset {start}: {e}"))?;
             text.parse()
                 .map(Value::Int)
                 .map_err(|e| format!("bad integer {text:?} at offset {start}: {e}"))
@@ -1323,6 +1393,7 @@ mod tests {
             region_budget: 4,
             growth: GrowthPolicy::Fixed,
             track_types: false,
+            max_heap_words: None,
         })
     }
 

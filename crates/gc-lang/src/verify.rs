@@ -1,0 +1,317 @@
+//! Runtime heap-invariant auditor: the dynamic half of Fig. 7's
+//! `⊢ M : Ψ` judgement, checkable on a *live* machine state.
+//!
+//! The paper certifies collectors statically (Props. 6.3–6.5: the
+//! typechecker proves type preservation and progress before the program
+//! runs). This module re-validates the invariants those propositions
+//! guarantee, against the actual store, while the machine runs:
+//!
+//! 1. **CD intact** — the code region exists and holds only code blocks
+//!    (§4.3: `cd` is never reclaimed and never mutated after load).
+//! 2. **Budget floor** — every data region's budget is at least the
+//!    configured base budget. Budgets are `usize`, so an arithmetic
+//!    underflow (the classic accounting bug) surfaces as a huge or a
+//!    below-floor value; both growth policies guarantee the floor.
+//! 3. **Word accounting** — each region's recorded word count matches the
+//!    sizes of its slots: exactly for λGC/λGCgen, and as an upper bound for
+//!    λGCforw, whose `set` may shrink a slot in place without adjusting the
+//!    count (the slot keeps its `Υ`-assigned size).
+//! 4. **Pointer validity** — no address reachable from the current term
+//!    points into a reclaimed region or past a region's end (the dynamic
+//!    face of `Ψ; Dom(Ψ) ⊢ v` and Def. 7.1's reachability restriction).
+//! 5. **Ψ conformance** (when [`crate::memory::MemConfig::track_types`] is
+//!    on) — every stored value checks against its recorded `Ψ` type, with
+//!    Def. 7.1's sufficient-subset weakening for λGCforw.
+//!
+//! Checks 1–4 need no type tracking, so the auditor runs on production
+//! configurations; check 5 upgrades it to the full Fig. 7 judgement. The
+//! auditor is purely observational: it never touches statistics or
+//! telemetry, so an audited clean run is bit-identical to an unaudited one.
+//!
+//! Both interpreter backends expose it as `audit()` and can run it every N
+//! steps (`verify_every`); see [`crate::machine::Machine::audit`] and
+//! [`crate::env_machine::EnvMachine::audit`]. [`crate::faults`] provides the
+//! adversarial counterpart that these checks must catch.
+
+use std::collections::HashSet;
+
+use crate::error::{wf_err, Result};
+use crate::memory::{value_words, Memory};
+use crate::syntax::{Dialect, RegionName, Term, Value, CD};
+use crate::tyck::{Checker, Ctx};
+use crate::wf;
+
+/// Audits a memory against the invariants of Fig. 7, with `root` as the
+/// reachability root (the machine's current term, with any environment
+/// already applied).
+///
+/// # Errors
+///
+/// Returns a [`crate::error::ErrorKind::WellFormedness`] error describing
+/// the first violated invariant.
+pub fn audit_state(mem: &Memory, dialect: Dialect, root: &Term) -> Result<()> {
+    audit_cd(mem)?;
+    audit_budgets(mem)?;
+    audit_words(mem, dialect)?;
+    audit_pointers(mem, root)?;
+    if mem.config().track_types {
+        audit_psi(mem, dialect, root)?;
+    }
+    Ok(())
+}
+
+/// Check 1: the code region exists and holds only code blocks.
+fn audit_cd(mem: &Memory) -> Result<()> {
+    let Some(cd) = mem.region(CD) else {
+        return Err(wf_err("code region cd has been reclaimed"));
+    };
+    for (loc, v) in cd.iter() {
+        if !matches!(v, Value::Code(_)) {
+            return Err(wf_err(format!("cd.{loc} holds a non-code value: {v:?}")));
+        }
+    }
+    Ok(())
+}
+
+/// Check 2: no data region's budget dropped below the configured base
+/// budget (both growth policies allocate at least that much).
+fn audit_budgets(mem: &Memory) -> Result<()> {
+    let floor = mem.config().region_budget;
+    for nu in mem.region_names() {
+        if nu.is_cd() {
+            continue;
+        }
+        let Some(region) = mem.region(nu) else {
+            continue;
+        };
+        if region.budget() < floor {
+            return Err(wf_err(format!(
+                "region {nu} budget {} underflowed the floor {floor}",
+                region.budget()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Check 3: recorded per-region word counts agree with the slots. λGCforw's
+/// `set` legitimately shrinks slots in place, so there the recomputed total
+/// is only bounded above by the record.
+fn audit_words(mem: &Memory, dialect: Dialect) -> Result<()> {
+    for nu in mem.region_names() {
+        if nu.is_cd() {
+            continue;
+        }
+        let Some(region) = mem.region(nu) else {
+            continue;
+        };
+        let recomputed: usize = region.iter().map(|(_, v)| value_words(v)).sum();
+        let recorded = region.words();
+        let bad = match dialect {
+            Dialect::Forwarding => recomputed > recorded,
+            Dialect::Basic | Dialect::Generational => recomputed != recorded,
+        };
+        if bad {
+            return Err(wf_err(format!(
+                "region {nu} records {recorded} words but its slots hold {recomputed}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Check 4: every address reachable from `root` hits a live slot.
+fn audit_pointers(mem: &Memory, root: &Term) -> Result<()> {
+    let mut work: Vec<(RegionName, u32)> = Vec::new();
+    wf::collect_term_addrs(root, &mut work);
+    let mut seen: HashSet<(RegionName, u32)> = HashSet::new();
+    while let Some((nu, loc)) = work.pop() {
+        if !seen.insert((nu, loc)) {
+            continue;
+        }
+        match mem.get(nu, loc) {
+            Ok(v) => wf::collect_value_addrs(v, &mut work),
+            Err(e) => {
+                return Err(wf_err(format!(
+                    "reachable pointer {nu}.{loc} is dangling: {e}"
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check 5: `⊢ M : Ψ` proper — every (for λGCforw: reachable) stored value
+/// checks against its `Ψ` entry. The current term is *not* re-typechecked
+/// here: the heap side is what corruption perturbs, and skipping the term
+/// keeps the audit identical across the substitution and environment
+/// backends (whose in-flight terms differ only by pending substitutions).
+fn audit_psi(mem: &Memory, dialect: Dialect, root: &Term) -> Result<()> {
+    let checker = Checker::from_memory(dialect, mem);
+    let mut ctx = Ctx::empty();
+    ctx.delta = checker.psi_domain();
+    let reachable = if dialect == Dialect::Forwarding {
+        Some(wf::reachable_slots_in(mem, root))
+    } else {
+        None
+    };
+    for nu in mem.region_names() {
+        if nu.is_cd() {
+            continue;
+        }
+        let Some(region) = mem.region(nu) else {
+            continue;
+        };
+        for (loc, stored) in region.iter() {
+            if let Some(set) = &reachable {
+                if !set.contains(&(nu, loc)) {
+                    continue;
+                }
+            }
+            let Some(entry) = mem.psi_entry(nu, loc) else {
+                // Dead garbage discarded by widen (Def. 7.1) — only the
+                // forwarding dialect may have Ψ-less slots.
+                if dialect == Dialect::Forwarding {
+                    continue;
+                }
+                return Err(wf_err(format!("slot {nu}.{loc} has no Ψ entry")));
+            };
+            checker
+                .check_value(&ctx, stored, entry)
+                .map_err(|e| wf_err(format!("slot {nu}.{loc} does not match its Ψ type: {e}")))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{Machine, Program};
+    use crate::memory::{GrowthPolicy, MemConfig};
+    use crate::syntax::{Region, Term, Value};
+    use ps_ir::Symbol;
+
+    fn config(track: bool) -> MemConfig {
+        MemConfig {
+            region_budget: 16,
+            growth: GrowthPolicy::Fixed,
+            track_types: track,
+            max_heap_words: None,
+        }
+    }
+
+    /// A machine paused right after allocating a region and a pair, with
+    /// the pair's address still live in the term.
+    fn paused_machine(track: bool) -> Machine {
+        let r = Symbol::intern("vr");
+        let x = Symbol::intern("vx");
+        let y = Symbol::intern("vy");
+        let p = Program {
+            dialect: Dialect::Basic,
+            code: vec![],
+            main: Term::LetRegion {
+                rvar: r,
+                body: std::rc::Rc::new(Term::let_(
+                    x,
+                    crate::syntax::Op::Put(
+                        Region::Var(r),
+                        Value::pair(Value::Int(1), Value::Int(2)),
+                    ),
+                    Term::let_(
+                        y,
+                        crate::syntax::Op::Get(Value::Var(x)),
+                        Term::Halt(Value::Int(0)),
+                    ),
+                )),
+            },
+        };
+        let mut m = Machine::load(&p, config(track));
+        m.step().unwrap(); // let region
+        m.step().unwrap(); // put
+        m
+    }
+
+    #[test]
+    fn clean_state_passes_tracked_and_untracked() {
+        for track in [false, true] {
+            let m = paused_machine(track);
+            audit_state(m.memory(), Dialect::Basic, m.term()).unwrap();
+        }
+    }
+
+    #[test]
+    fn double_free_is_detected() {
+        let mut m = paused_machine(false);
+        let nu = m
+            .memory()
+            .region_names()
+            .find(|n| !n.is_cd())
+            .expect("data region");
+        assert!(m.memory_mut().force_free_region(nu));
+        let err = audit_state(m.memory(), Dialect::Basic, m.term()).unwrap_err();
+        assert!(err.to_string().contains("dangling"), "{err}");
+    }
+
+    #[test]
+    fn budget_underflow_is_detected() {
+        let mut m = paused_machine(false);
+        let nu = m
+            .memory()
+            .region_names()
+            .find(|n| !n.is_cd())
+            .expect("data region");
+        assert!(m.memory_mut().corrupt_budget(nu, 0));
+        let err = audit_state(m.memory(), Dialect::Basic, m.term()).unwrap_err();
+        assert!(err.to_string().contains("underflowed"), "{err}");
+    }
+
+    #[test]
+    fn truncation_is_detected_by_word_accounting() {
+        let mut m = paused_machine(false);
+        let nu = m
+            .memory()
+            .region_names()
+            .find(|n| !n.is_cd())
+            .expect("data region");
+        // Shrink the pair to a single int; the recorded count still says 2.
+        m.memory_mut().set(nu, 0, Value::Int(7)).unwrap();
+        let err = audit_state(m.memory(), Dialect::Basic, m.term()).unwrap_err();
+        assert!(err.to_string().contains("words"), "{err}");
+    }
+
+    #[test]
+    fn tag_flip_is_detected_under_psi_tracking() {
+        // Build a forwarding-dialect store with an `inl` object and flip it.
+        let mut mem = Memory::new(config(true));
+        let nu = mem.alloc_region();
+        mem.put(nu, Value::inl(Value::Int(3))).unwrap();
+        let root = Term::Halt(Value::Addr(nu, 0));
+        audit_state(&mem, Dialect::Forwarding, &root).unwrap();
+        mem.set(nu, 0, Value::inr(Value::Int(3))).unwrap();
+        let err = audit_state(&mem, Dialect::Forwarding, &root).unwrap_err();
+        assert!(err.to_string().contains("Ψ"), "{err}");
+    }
+
+    #[test]
+    fn audit_needs_no_type_tracking_for_structural_checks() {
+        let mut mem = Memory::new(config(false));
+        let nu = mem.alloc_region();
+        mem.put(nu, Value::Int(1)).unwrap();
+        let root = Term::Halt(Value::Addr(nu, 5)); // past the end
+        let err = audit_state(&mem, Dialect::Basic, &root).unwrap_err();
+        assert!(err.to_string().contains("dangling"), "{err}");
+    }
+
+    #[test]
+    fn forwarding_word_check_is_an_upper_bound() {
+        let mut mem = Memory::new(config(false));
+        let nu = mem.alloc_region();
+        mem.put(nu, Value::inl(Value::pair(Value::Int(1), Value::Int(2))))
+            .unwrap();
+        // A legitimate forwarding install shrinks the slot in place.
+        mem.set(nu, 0, Value::inr(Value::Addr(nu, 0))).unwrap();
+        audit_words(&mem, Dialect::Forwarding).unwrap();
+        assert!(audit_words(&mem, Dialect::Basic).is_err());
+    }
+}

@@ -82,7 +82,9 @@ pub fn check_state(machine: &Machine, opts: WfOptions) -> Result<()> {
         if nu.is_cd() && !opts.check_code_bodies {
             continue;
         }
-        let region = machine.memory().region(nu).expect("live region");
+        let Some(region) = machine.memory().region(nu) else {
+            continue;
+        };
         for (loc, stored) in region.iter() {
             if let Some(set) = &reachable {
                 if !set.contains(&(nu, loc)) {
@@ -114,15 +116,25 @@ pub fn check_state(machine: &Machine, opts: WfOptions) -> Result<()> {
 
 /// Computes the set of store slots reachable from the current term.
 fn reachable_slots(machine: &Machine) -> HashSet<(RegionName, u32)> {
+    reachable_slots_in(machine.memory(), machine.term())
+}
+
+/// Computes the set of store slots reachable from `root` through the live
+/// store, ignoring addresses into reclaimed regions (shared with
+/// [`crate::verify`] and [`crate::faults`]).
+pub(crate) fn reachable_slots_in(
+    mem: &crate::memory::Memory,
+    root: &Term,
+) -> HashSet<(RegionName, u32)> {
     let mut roots: Vec<(RegionName, u32)> = Vec::new();
-    collect_term_addrs(machine.term(), &mut roots);
+    collect_term_addrs(root, &mut roots);
     let mut seen: HashSet<(RegionName, u32)> = HashSet::new();
     let mut work = roots;
     while let Some((nu, loc)) = work.pop() {
         if !seen.insert((nu, loc)) {
             continue;
         }
-        if let Some(region) = machine.memory().region(nu) {
+        if let Some(region) = mem.region(nu) {
             if let Some((_, v)) = region.iter().find(|(l, _)| *l == loc) {
                 collect_value_addrs(v, &mut work);
             }
@@ -131,7 +143,7 @@ fn reachable_slots(machine: &Machine) -> HashSet<(RegionName, u32)> {
     seen
 }
 
-fn collect_value_addrs(v: &Value, out: &mut Vec<(RegionName, u32)>) {
+pub(crate) fn collect_value_addrs(v: &Value, out: &mut Vec<(RegionName, u32)>) {
     match v {
         Value::Int(_) | Value::Var(_) => {}
         Value::Addr(nu, loc) => out.push((*nu, *loc)),
@@ -149,7 +161,7 @@ fn collect_value_addrs(v: &Value, out: &mut Vec<(RegionName, u32)>) {
     }
 }
 
-fn collect_op_addrs(op: &Op, out: &mut Vec<(RegionName, u32)>) {
+pub(crate) fn collect_op_addrs(op: &Op, out: &mut Vec<(RegionName, u32)>) {
     match op {
         Op::Val(v) | Op::Proj(_, v) | Op::Put(_, v) | Op::Get(v) | Op::Strip(v) => {
             collect_value_addrs(v, out)
@@ -161,7 +173,7 @@ fn collect_op_addrs(op: &Op, out: &mut Vec<(RegionName, u32)>) {
     }
 }
 
-fn collect_term_addrs(e: &Term, out: &mut Vec<(RegionName, u32)>) {
+pub(crate) fn collect_term_addrs(e: &Term, out: &mut Vec<(RegionName, u32)>) {
     match e {
         Term::App { f, args, .. } => {
             collect_value_addrs(f, out);
@@ -250,6 +262,7 @@ mod tests {
             region_budget: 64,
             growth: GrowthPolicy::Fixed,
             track_types: true,
+            max_heap_words: None,
         }
     }
 

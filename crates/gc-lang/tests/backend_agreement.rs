@@ -335,6 +335,7 @@ fn lockstep_with_budget(program: &Program, region_budget: usize) {
         region_budget,
         growth: GrowthPolicy::Fixed,
         track_types: false,
+        max_heap_words: None,
     };
     let mut subst = Machine::load(program, config);
     let mut env = EnvMachine::load(program, config);
@@ -421,5 +422,97 @@ fn fixed_tapes_agree_under_memory_pressure() {
             .map(|i| seed.wrapping_mul(53).wrapping_add(i))
             .collect();
         lockstep_with_budget(&gen_program(&bytes), 6);
+    }
+}
+
+/// Runs a program on one backend with the given audit cadence, returning
+/// the outcome (a generated program may legitimately get stuck — both
+/// backends must then get stuck identically), the final statistics, and
+/// the serialized telemetry trace.
+type AuditedRun = (
+    Result<ps_gc_lang::machine::Outcome, ps_gc_lang::error::LangError>,
+    ps_gc_lang::machine::Stats,
+    String,
+);
+
+fn audited_run(
+    program: &Program,
+    env_backend: bool,
+    verify_every: u64,
+    plan: Option<ps_gc_lang::faults::FaultPlan>,
+) -> AuditedRun {
+    let config = MemConfig {
+        region_budget: 4096,
+        growth: GrowthPolicy::Fixed,
+        track_types: true,
+        max_heap_words: None,
+    };
+    let rec = Recorder::new().into_shared();
+    let (outcome, stats) = if env_backend {
+        let mut m = EnvMachine::load(program, config);
+        m.set_observer(rec.clone(), 7);
+        m.set_verify_every(verify_every);
+        m.set_fault_plan(plan);
+        (m.run(4000), m.stats().clone())
+    } else {
+        let mut m = Machine::load(program, config);
+        m.set_observer(rec.clone(), 7);
+        m.set_verify_every(verify_every);
+        m.set_fault_plan(plan);
+        (m.run(4000), m.stats().clone())
+    };
+    let jsonl = rec.borrow().to_jsonl();
+    (outcome, stats, jsonl)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The auditor is purely observational: on clean runs, `verify_every`
+    /// at full blast never reports a violation and leaves the outcome,
+    /// statistics, and telemetry byte stream identical — on both backends.
+    #[test]
+    fn audited_clean_runs_are_byte_identical(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let program = gen_program(&bytes);
+        for env_backend in [false, true] {
+            let (o_plain, s_plain, t_plain) = audited_run(&program, env_backend, 0, None);
+            let (o_audit, s_audit, t_audit) = audited_run(&program, env_backend, 1, None);
+            prop_assert!(
+                !matches!(
+                    o_audit,
+                    Ok(ps_gc_lang::machine::Outcome::InvariantViolation(_))
+                ),
+                "audit fired on a clean run: {o_audit:?}"
+            );
+            prop_assert_eq!(&o_plain, &o_audit, "outcome changed under audit");
+            prop_assert_eq!(&s_plain, &s_audit, "stats changed under audit");
+            prop_assert_eq!(&t_plain, &t_audit, "telemetry changed under audit");
+        }
+    }
+}
+
+/// Armed with the same fault plan, the two backends must pick the same
+/// injection site at the same step and return the same verdict — either
+/// both detect the identical violation or the plan finds no target on
+/// either.
+#[test]
+fn backends_agree_under_fault_injection() {
+    for kind in ps_gc_lang::faults::FaultKind::ALL {
+        for seed in 0..4u64 {
+            let bytes: Vec<u8> = (0..96)
+                .map(|i| (seed as u8).wrapping_mul(91).wrapping_add(i))
+                .collect();
+            let program = gen_program(&bytes);
+            let plan = ps_gc_lang::faults::FaultPlan {
+                kind,
+                step: 2,
+                seed,
+            };
+            let (o_subst, s_subst, t_subst) = audited_run(&program, false, 1, Some(plan));
+            let (o_env, s_env, t_env) = audited_run(&program, true, 1, Some(plan));
+            assert_eq!(o_subst, o_env, "{kind}@{seed}: outcomes diverge");
+            assert_eq!(s_subst, s_env, "{kind}@{seed}: stats diverge");
+            assert_eq!(t_subst, t_env, "{kind}@{seed}: telemetry diverges");
+        }
     }
 }

@@ -61,6 +61,11 @@ impl<T: Eq + Hash> Interner<T> {
 
     /// Interns `value`, returning its id. Requires exclusive access; the
     /// double-check against [`Self::lookup`] races is built in.
+    ///
+    /// # Panics
+    ///
+    /// Panics after `u32::MAX` distinct nodes (unreachable in practice).
+    #[allow(clippy::expect_used)]
     pub fn insert(&mut self, value: T) -> u32 {
         if let Some(&id) = self.table.get(&value) {
             self.hits.fetch_add(1, Ordering::Relaxed);

@@ -38,16 +38,27 @@ static GENSYM: AtomicU32 = AtomicU32::new(0);
 
 impl Symbol {
     /// Interns `name`, returning the canonical symbol for it.
+    ///
+    /// # Panics
+    ///
+    /// Panics after `u32::MAX` distinct names (unreachable in practice).
+    #[allow(clippy::expect_used)]
     pub fn intern(name: &str) -> Symbol {
         {
-            let guard = INTERNER.read().unwrap();
+            // The interner is append-only, so a value poisoned by a
+            // panicking writer is still consistent; recover it.
+            let guard = INTERNER
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             if let Some(interner) = guard.as_ref() {
                 if let Some(&id) = interner.table.get(name) {
                     return Symbol(id);
                 }
             }
         }
-        let mut guard = INTERNER.write().unwrap();
+        let mut guard = INTERNER
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let interner = guard.get_or_insert_with(|| Interner {
             names: Vec::new(),
             table: HashMap::new(),
@@ -66,7 +77,9 @@ impl Symbol {
     /// The returned `String` is owned because the interner may reallocate; the
     /// cost is irrelevant for diagnostics, which is the only intended use.
     pub fn as_str(self) -> String {
-        let guard = INTERNER.read().unwrap();
+        let guard = INTERNER
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         guard
             .as_ref()
             .and_then(|i| i.names.get(self.0 as usize))

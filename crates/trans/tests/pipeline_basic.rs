@@ -33,11 +33,12 @@ fn run_with_budget(program: &Program, budget: usize) -> (i64, u64) {
             region_budget: budget,
             growth: GrowthPolicy::Adaptive,
             track_types: false,
+            max_heap_words: None,
         },
     );
     match m.run(50_000_000).unwrap() {
         Outcome::Halted(n) => (n, m.stats().collections),
-        Outcome::OutOfFuel => panic!("out of fuel"),
+        other => panic!("abnormal outcome: {other:?}"),
     }
 }
 
@@ -92,6 +93,7 @@ fn collections_reclaim_garbage() {
             region_budget: 128,
             growth: GrowthPolicy::Adaptive,
             track_types: false,
+            max_heap_words: None,
         },
     );
     assert!(matches!(m.run(50_000_000).unwrap(), Outcome::Halted(0)));
@@ -123,6 +125,7 @@ fn preservation_holds_across_a_collection() {
             region_budget: 24,
             growth: GrowthPolicy::Adaptive,
             track_types: true,
+            max_heap_words: None,
         },
     );
     check_state(

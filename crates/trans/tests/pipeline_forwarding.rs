@@ -31,11 +31,12 @@ fn run_with_budget(program: &Program, budget: usize) -> (i64, ps_gc_lang::machin
             region_budget: budget,
             growth: GrowthPolicy::Adaptive,
             track_types: false,
+            max_heap_words: None,
         },
     );
     match m.run(50_000_000).unwrap() {
         Outcome::Halted(n) => (n, m.stats().clone()),
-        Outcome::OutOfFuel => panic!("out of fuel"),
+        other => panic!("abnormal outcome: {other:?}"),
     }
 }
 
@@ -94,6 +95,7 @@ fn preservation_through_widen_and_forwarding() {
             region_budget: 24,
             growth: GrowthPolicy::Adaptive,
             track_types: true,
+            max_heap_words: None,
         },
     );
     check_state(

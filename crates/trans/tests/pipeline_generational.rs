@@ -31,11 +31,12 @@ fn run_with_budget(program: &Program, budget: usize) -> (i64, ps_gc_lang::machin
             region_budget: budget,
             growth: GrowthPolicy::Adaptive,
             track_types: false,
+            max_heap_words: None,
         },
     );
     match m.run(100_000_000).unwrap() {
         Outcome::Halted(n) => (n, m.stats().clone()),
-        Outcome::OutOfFuel => panic!("out of fuel"),
+        other => panic!("abnormal outcome: {other:?}"),
     }
 }
 
@@ -91,6 +92,7 @@ fn minor_collections_do_not_copy_old_data() {
             region_budget: 512,
             growth: GrowthPolicy::Adaptive,
             track_types: false,
+            max_heap_words: None,
         },
     );
     assert!(matches!(m.run(100_000_000).unwrap(), Outcome::Halted(0)));
@@ -119,6 +121,7 @@ fn preservation_through_a_minor_collection() {
             region_budget: 32,
             growth: GrowthPolicy::Adaptive,
             track_types: true,
+            max_heap_words: None,
         },
     );
     check_state(
@@ -160,6 +163,7 @@ fn major_collections_run_when_the_old_region_fills() {
             region_budget: 64,
             growth: GrowthPolicy::Adaptive,
             track_types: false,
+            max_heap_words: None,
         },
     );
     let Outcome::Halted(n) = m.run(200_000_000).unwrap() else {
@@ -198,6 +202,7 @@ fn preservation_through_a_major_collection() {
             region_budget: 40,
             growth: GrowthPolicy::Adaptive,
             track_types: true,
+            max_heap_words: None,
         },
     );
     let mut steps = 0u64;

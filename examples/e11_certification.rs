@@ -67,6 +67,7 @@ fn time_tracked_run(compiled: &Compiled, budget: usize) -> (u64, f64) {
         region_budget: budget,
         growth: GrowthPolicy::Adaptive,
         track_types: true,
+        max_heap_words: None,
     };
     let mut best = f64::INFINITY;
     let mut steps = 0;
@@ -75,7 +76,7 @@ fn time_tracked_run(compiled: &Compiled, budget: usize) -> (u64, f64) {
         let t0 = Instant::now();
         match m.run(1_000_000_000).expect("runs") {
             Outcome::Halted(_) => {}
-            Outcome::OutOfFuel => panic!("out of fuel"),
+            other => panic!("abnormal outcome: {other:?}"),
         }
         best = best.min(t0.elapsed().as_secs_f64());
         steps = m.stats().steps;

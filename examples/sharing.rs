@@ -48,6 +48,7 @@ fn main() -> Result<(), PipelineError> {
             region_budget: 1 << 26,
             growth: GrowthPolicy::Fixed,
             track_types: false,
+            max_heap_words: None,
         };
         // Share-oblivious copy.
         let mut m1 = Memory::new(config);

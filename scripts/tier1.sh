@@ -10,5 +10,9 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+# Panic audit: the language runtime and the collectors must stay free of
+# panicking escape hatches outside tests (clippy.toml relaxes the lints
+# inside #[cfg(test)]).
+cargo clippy -p ps-gc-lang -p ps-collectors -- -D warnings -D clippy::unwrap_used -D clippy::expect_used -D clippy::panic
 cargo fmt --check
 echo "tier-1: OK"

@@ -11,12 +11,14 @@
 //! | code | meaning |
 //! |---|---|
 //! | 0 | success |
-//! | 1 | runtime failure (stuck machine, out of fuel, I/O) |
+//! | 1 | runtime failure (stuck machine, out of fuel, out of memory, I/O) |
 //! | 2 | command-line usage error |
 //! | 3 | compile/typecheck/certification failure |
+//! | 4 | heap invariant violation caught by `--verify-every` |
 
 use std::process::ExitCode;
 
+use scavenger::gc_lang::faults::FaultPlan;
 use scavenger::gc_lang::memory::GrowthPolicy;
 use scavenger::telemetry::{Recorder, SharedObserver};
 use scavenger::{Backend, Collector, PipelineError, RunOptions};
@@ -24,6 +26,7 @@ use scavenger::{Backend, Collector, PipelineError, RunOptions};
 const EXIT_RUNTIME: u8 = 1;
 const EXIT_USAGE: u8 = 2;
 const EXIT_COMPILE: u8 = 3;
+const EXIT_INVARIANT: u8 = 4;
 
 /// `(name, argument placeholder, description)` for each command.
 const COMMANDS: &[(&str, &str, &str)] = &[
@@ -68,7 +71,7 @@ fn parse_number<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> 
         .map_err(|_| format!("invalid value {v:?} for {flag} (expected a number)"))
 }
 
-fn flag_specs() -> [FlagSpec; 11] {
+fn flag_specs() -> [FlagSpec; 14] {
     [
         FlagSpec {
             name: "--collector",
@@ -121,6 +124,33 @@ fn flag_specs() -> [FlagSpec; 11] {
             help: "maintain the memory typing Ψ while running (slower)",
             apply: |c, _| {
                 c.opts.track_types = true;
+                Ok(())
+            },
+        },
+        FlagSpec {
+            name: "--verify-every",
+            metavar: Some(|| "STEPS".into()),
+            help: "audit the heap invariants every STEPS machine steps",
+            apply: |c, v| {
+                c.opts.verify_every = parse_number(v, "--verify-every")?;
+                Ok(())
+            },
+        },
+        FlagSpec {
+            name: "--inject",
+            metavar: Some(|| "KIND@STEP[:SEED]".into()),
+            help: "inject a deterministic heap fault (e.g. flip-tag@100:7)",
+            apply: |c, v| {
+                c.opts.inject = Some(v.parse::<FaultPlan>()?);
+                Ok(())
+            },
+        },
+        FlagSpec {
+            name: "--max-heap-words",
+            metavar: Some(|| "WORDS".into()),
+            help: "fail with a typed out-of-memory error past this many live words",
+            apply: |c, v| {
+                c.opts.max_heap_words = Some(parse_number(v, "--max-heap-words")?);
                 Ok(())
             },
         },
@@ -210,6 +240,7 @@ fn usage_error(msg: &str) -> ExitCode {
 fn pipeline_exit(e: &PipelineError) -> u8 {
     match e {
         PipelineError::Runtime(_) | PipelineError::OutOfFuel => EXIT_RUNTIME,
+        PipelineError::InvariantViolation(_) => EXIT_INVARIANT,
         _ => EXIT_COMPILE,
     }
 }

@@ -8,7 +8,8 @@
 //! and environment interpreter backends — fails here with the program
 //! named.
 
-use scavenger::{Backend, Collector, Pipeline};
+use scavenger::telemetry::Recorder;
+use scavenger::{Backend, Collector, Pipeline, RunOptions};
 
 const PROGRAMS: &[(&str, &str, i64)] = &[
     ("arith", "1 + 2 * 3 - 4", 3),
@@ -174,6 +175,60 @@ fn battery_small_budgets_actually_collect() {
             assert!(
                 run.stats.collections > 0,
                 "{name}/{collector} never collected"
+            );
+        }
+    }
+}
+
+#[test]
+fn battery_audited_runs_are_byte_identical_to_unaudited_runs() {
+    // The heap auditor must be purely observational: with `verify_every`
+    // on, a clean run returns the same result, the same statistics, and a
+    // byte-identical telemetry trace.
+    fn traced_run(opts: &RunOptions, src: &str) -> (i64, ps_gc_lang::machine::Stats, String) {
+        let rec = Recorder::new().with_meta(opts.meta()).into_shared();
+        let mut opts = opts.clone();
+        opts.observer = Some(rec.clone());
+        let compiled = opts.compile(src).expect("compiles");
+        let run = compiled.run_with(&opts).expect("clean run");
+        let jsonl = rec.borrow().to_jsonl();
+        (run.result, run.stats, jsonl)
+    }
+
+    // Full-strength audit (every step, Ψ tracked) on the quick programs; a
+    // sparse audit on an allocation-heavy one so collections are covered.
+    let quick = [
+        "arith",
+        "pairs",
+        "closure-env",
+        "deep-shadowing",
+        "curried-add",
+    ];
+    for (name, src, expected) in PROGRAMS {
+        let every = if quick.contains(name) {
+            1
+        } else if *name == "gc-stress" {
+            64
+        } else {
+            continue;
+        };
+        for collector in [
+            Collector::Basic,
+            Collector::Forwarding,
+            Collector::Generational,
+        ] {
+            let mut opts = RunOptions::new(collector);
+            opts.budget = 64;
+            opts.track_types = true;
+            let (plain_result, plain_stats, plain_trace) = traced_run(&opts, src);
+            assert_eq!(plain_result, *expected, "{name}/{collector}");
+            opts.verify_every = every;
+            let (audited_result, audited_stats, audited_trace) = traced_run(&opts, src);
+            assert_eq!(audited_result, plain_result, "{name}/{collector}");
+            assert_eq!(audited_stats, plain_stats, "{name}/{collector}");
+            assert_eq!(
+                audited_trace, plain_trace,
+                "{name}/{collector}: audited trace must be byte-identical"
             );
         }
     }

@@ -48,6 +48,9 @@ fn help_is_generated_from_the_flag_and_command_tables() {
         "--growth",
         "--fuel",
         "--track-types",
+        "--verify-every",
+        "--inject",
+        "--max-heap-words",
         "--trace",
         "--metrics",
         "--sample",
@@ -96,9 +99,104 @@ fn exit_codes_distinguish_failure_classes() {
     assert_eq!(exit_code(&psgc(&["run", ill.to_str().unwrap()])), 3);
     assert_eq!(exit_code(&psgc(&["eval", bad.to_str().unwrap()])), 3);
 
-    // 1: runtime failures — fuel exhaustion, unreadable file.
+    // 1: runtime failures — fuel exhaustion, unreadable file, typed OOM.
     assert_eq!(exit_code(&psgc(&["run", prog, "--fuel", "10"])), 1);
     assert_eq!(exit_code(&psgc(&["run", "/nonexistent/psgc-test.lam"])), 1);
+    let oom = psgc(&["run", prog, "--max-heap-words", "8"]);
+    assert_eq!(exit_code(&oom), 1, "{oom:?}");
+    assert!(
+        String::from_utf8_lossy(&oom.stderr).contains("out of memory"),
+        "{oom:?}"
+    );
+
+    // 2: malformed --inject specs are usage errors with context.
+    assert_eq!(
+        exit_code(&psgc(&["run", prog, "--inject", "rot-bits@5"])),
+        2
+    );
+    assert_eq!(exit_code(&psgc(&["run", prog, "--inject", "flip-tag"])), 2);
+
+    // 4: an injected fault caught by the per-step audit.
+    let hit = psgc(&[
+        "run",
+        prog,
+        "--track-types",
+        "--verify-every",
+        "1",
+        "--inject",
+        "flip-tag@20:1",
+    ]);
+    assert_eq!(exit_code(&hit), 4, "{hit:?}");
+    assert!(
+        String::from_utf8_lossy(&hit.stderr).contains("heap invariant violated"),
+        "{hit:?}"
+    );
+}
+
+#[test]
+fn every_fault_spec_round_trips_through_the_cli_to_exit_code_4() {
+    let prog = write_program("inject_matrix.lam");
+    let prog = prog.to_str().unwrap();
+    for kind in ps_gc_lang::faults::FaultKind::ALL {
+        let plan = ps_gc_lang::faults::FaultPlan {
+            kind,
+            step: 20,
+            seed: 3,
+        };
+        let out = psgc(&[
+            "run",
+            prog,
+            "--budget",
+            "64",
+            "--track-types",
+            "--verify-every",
+            "1",
+            "--inject",
+            &plan.to_spec(),
+        ]);
+        assert_eq!(exit_code(&out), 4, "{kind}: {out:?}");
+    }
+}
+
+#[test]
+fn trace_is_written_when_the_audit_catches_an_injected_fault() {
+    let prog = write_program("violation_trace.lam");
+    let trace_path = scratch("violation_trace.jsonl");
+    let out = psgc(&[
+        "run",
+        prog.to_str().unwrap(),
+        "--track-types",
+        "--verify-every",
+        "1",
+        "--inject",
+        "truncate-tuple@20:1",
+        "--trace",
+        trace_path.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 4, "{out:?}");
+    let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+    let summary = validate_jsonl_trace(&trace).expect("trace validates");
+    assert_eq!(summary.count("invariant_violation"), 1);
+    assert_eq!(summary.count("halt"), 0);
+}
+
+#[test]
+fn trace_is_written_when_the_heap_cap_is_hit() {
+    let prog = write_program("oom_trace.lam");
+    let trace_path = scratch("oom_trace.jsonl");
+    let out = psgc(&[
+        "run",
+        prog.to_str().unwrap(),
+        "--max-heap-words",
+        "8",
+        "--trace",
+        trace_path.to_str().unwrap(),
+    ]);
+    assert_eq!(exit_code(&out), 1, "{out:?}");
+    let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+    let summary = validate_jsonl_trace(&trace).expect("trace validates");
+    assert_eq!(summary.count("oom"), 1);
+    assert_eq!(summary.count("halt"), 0);
 }
 
 #[test]

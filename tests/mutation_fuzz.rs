@@ -14,11 +14,12 @@ use proptest::prelude::*;
 use std::rc::Rc;
 
 use ps_gc_lang::env_machine::EnvMachine;
+use ps_gc_lang::faults::{FaultKind, FaultPlan};
 use ps_gc_lang::machine::Machine;
 use ps_gc_lang::memory::{GrowthPolicy, MemConfig};
 use ps_gc_lang::syntax::{Op, Region, Tag, Term};
 use ps_gc_lang::tyck::Checker;
-use scavenger::{Collector, Pipeline};
+use scavenger::{Backend, Collector, Pipeline, PipelineError, RunOptions};
 
 /// One structural mutation, selected and located by the byte tape.
 fn mutate_term(e: &Term, tape: &mut impl FnMut() -> u8) -> Term {
@@ -138,6 +139,46 @@ fn mutate_term(e: &Term, tape: &mut impl FnMut() -> u8) -> Term {
 const SRC: &str = "fun build (n : int) : int * int = if0 n then (0, 0) else \
     (let rest = build (n - 1) in (n + fst rest, n))\n fst (build 8)";
 
+/// Every fault class, injected into every collector on both interpreter
+/// backends, must be caught by the per-step audit: the run ends in
+/// [`PipelineError::InvariantViolation`], never in a clean halt. (The
+/// adversarial counterpart of the audited-clean-run battery test.)
+#[test]
+fn every_fault_class_is_detected_on_every_collector_and_backend() {
+    for kind in FaultKind::ALL {
+        for collector in Collector::ALL {
+            for backend in Backend::ALL {
+                let mut opts = RunOptions::new(collector);
+                opts.backend = Some(backend);
+                opts.budget = 64;
+                // Ψ tracking upgrades the audit to the full Fig. 7
+                // judgement, making every class detectable on every
+                // dialect (flip-tag on λGC/λGCgen falls back to a value
+                // smash that only Ψ conformance distinguishes).
+                opts.track_types = true;
+                opts.verify_every = 1;
+                opts.inject = Some(FaultPlan {
+                    kind,
+                    step: 20,
+                    seed: 1,
+                });
+                let compiled = opts.compile(SRC).expect("compiles");
+                match compiled.run_with(&opts) {
+                    Err(PipelineError::InvariantViolation(e)) => {
+                        assert!(
+                            !e.to_string().is_empty(),
+                            "{kind}/{collector}/{backend}: empty violation"
+                        );
+                    }
+                    other => {
+                        panic!("{kind}/{collector}/{backend}: fault escaped the auditor: {other:?}")
+                    }
+                }
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -182,6 +223,7 @@ proptest! {
                     region_budget: 64,
                     growth: GrowthPolicy::Adaptive,
                     track_types: false,
+                    max_heap_words: None,
                 };
                 let mut m = Machine::load(&program, config);
                 let mut em = EnvMachine::load(&program, config);

@@ -192,14 +192,15 @@ proptest! {
                     region_budget: 48,
                     growth: ps_gc_lang::memory::GrowthPolicy::Adaptive,
                     track_types: false,
+                    max_heap_words: None,
                 },
             );
             match m.run(20_000_000).expect("no stuck states (progress)") {
                 ps_gc_lang::machine::Outcome::Halted(n) => {
                     prop_assert_eq!(n, expected, "{} collector on {:?}", collector, p);
                 }
-                ps_gc_lang::machine::Outcome::OutOfFuel => {
-                    prop_assert!(false, "out of fuel on {:?}", p);
+                other => {
+                    prop_assert!(false, "abnormal outcome {:?} on {:?}", other, p);
                 }
             }
         }
@@ -247,6 +248,7 @@ proptest! {
                     region_budget: 32,
                     growth: ps_gc_lang::memory::GrowthPolicy::Adaptive,
                     track_types: true,
+                    max_heap_words: None,
                 },
             );
             let mut steps = 0u64;
