@@ -16,8 +16,6 @@
 //! continuation receives `M_{r₂}(t)` — the symmetric formulation of §2.2.1
 //! that keeps types from growing across collections.
 
-use std::rc::Rc;
-
 use ps_ir::Symbol;
 
 use ps_gc_lang::syntax::{CodeDef, Kind, Op, Region, Tag, Term, Ty, Value, CD};
@@ -86,9 +84,9 @@ fn gc() -> CodeDef {
     );
     let body = Term::LetRegion {
         rvar: s("r2"),
-        body: Rc::new(Term::LetRegion {
+        body: (Term::LetRegion {
             rvar: s("r3"),
-            body: Rc::new(Term::let_(
+            body: (Term::let_(
                 s("k"),
                 Op::Put(rv("r3"), pack),
                 Term::app(
@@ -97,8 +95,10 @@ fn gc() -> CodeDef {
                     [rv("r1"), rv("r2"), rv("r3")],
                     [Value::Var(s("x")), Value::Var(s("k"))],
                 ),
-            )),
-        }),
+            ))
+            .into(),
+        })
+        .into(),
     };
     CodeDef {
         name: s("gc"),
@@ -114,12 +114,7 @@ fn gcend() -> CodeDef {
     let t1 = Tag::Var(s("t1"));
     let body = Term::Only {
         regions: vec![rv("r2")],
-        body: Rc::new(Term::app(
-            Value::Var(s("f")),
-            [],
-            [rv("r2")],
-            [Value::Var(s("y"))],
-        )),
+        body: (Term::app(Value::Var(s("f")), [], [rv("r2")], [Value::Var(s("y"))])).into(),
     };
     CodeDef {
         name: s("gcend"),
@@ -215,7 +210,7 @@ fn copy() -> CodeDef {
                 pkg: Value::Var(s("xv")),
                 tvar: tx,
                 x: s("y"),
-                body: Rc::new(Term::let_(
+                body: (Term::let_(
                     s("kp"),
                     Op::Put(rv("r3"), pack),
                     Term::app(
@@ -224,17 +219,18 @@ fn copy() -> CodeDef {
                         [rv("r1"), rv("r2"), rv("r3")],
                         [Value::Var(s("y")), Value::Var(s("kp"))],
                     ),
-                )),
+                ))
+                .into(),
             },
         )
     };
 
     let body = Term::Typecase {
         tag: t.clone(),
-        int_arm: Rc::new(scalar_arm.clone()),
-        arrow_arm: Rc::new(scalar_arm),
-        prod_arm: (s("ta"), s("tb"), Rc::new(prod_arm)),
-        exist_arm: (s("tc"), Rc::new(exist_arm)),
+        int_arm: (scalar_arm.clone()).into(),
+        arrow_arm: (scalar_arm).into(),
+        prod_arm: (s("ta"), s("tb"), (prod_arm).into()),
+        exist_arm: (s("tc"), (exist_arm).into()),
     };
     CodeDef {
         name: s("copy"),
@@ -370,7 +366,7 @@ fn copyexist1() -> CodeDef {
         tvar: w,
         kind: Kind::Omega,
         tag: Tag::Var(t1),
-        val: Rc::new(Value::Var(s("z"))),
+        val: (Value::Var(s("z"))).into(),
         body_ty: Ty::m(rv("r2"), Tag::app(Tag::Var(te), Tag::Var(w))),
     };
     let body = Term::let_(

@@ -19,8 +19,6 @@
 //! continuation value, and the "invoke k" code sequence, parameterized so
 //! the basic, forwarding and generational collectors can all reuse them.
 
-use std::rc::Rc;
-
 use ps_ir::Symbol;
 
 use ps_gc_lang::subst::Subst;
@@ -143,23 +141,23 @@ impl ContShape {
         );
         let pack_alpha = Value::PackAlpha {
             avar: acg(),
-            regions: Rc::from(self.delta()),
+            regions: (self.delta()).into(),
             witness: env_ty,
-            val: Rc::new(payload),
+            val: (payload).into(),
             body_ty: sub123.ty(&tc_generic),
         };
         let pack_te = Value::PackTag {
             tvar: teg(),
             kind: Kind::Arrow,
             tag: we,
-            val: Rc::new(pack_alpha),
+            val: (pack_alpha).into(),
             body_ty: Ty::exist_alpha(acg(), self.delta(), sub12.ty(&tc_generic)),
         };
         let pack_t2 = Value::PackTag {
             tvar: t2g(),
             kind: Kind::Omega,
             tag: w2,
-            val: Rc::new(pack_te),
+            val: (pack_te).into(),
             body_ty: Ty::exist_tag(
                 teg(),
                 Kind::Arrow,
@@ -170,7 +168,7 @@ impl ContShape {
             tvar: t1g(),
             kind: Kind::Omega,
             tag: w1,
-            val: Rc::new(pack_t2),
+            val: (pack_t2).into(),
             // The body *under* the ∃t₁ binder (t₁ free in the generic tc).
             body_ty: Ty::exist_tag(
                 t2g(),
@@ -207,19 +205,19 @@ impl ContShape {
                 pkg: Value::Var(kv),
                 tvar: t1o,
                 x: p1,
-                body: Rc::new(Term::OpenTag {
+                body: (Term::OpenTag {
                     pkg: Value::Var(p1),
                     tvar: t2o,
                     x: p2,
-                    body: Rc::new(Term::OpenTag {
+                    body: (Term::OpenTag {
                         pkg: Value::Var(p2),
                         tvar: teo,
                         x: Symbol::intern("kp3!c"),
-                        body: Rc::new(Term::OpenAlpha {
+                        body: (Term::OpenAlpha {
                             pkg: Value::Var(Symbol::intern("kp3!c")),
                             avar: aco,
                             x: c,
-                            body: Rc::new(Term::let_(
+                            body: (Term::let_(
                                 code,
                                 Op::Proj(1, Value::Var(c)),
                                 Term::let_(
@@ -232,10 +230,14 @@ impl ContShape {
                                         [v, Value::Var(envv)],
                                     ),
                                 ),
-                            )),
-                        }),
-                    }),
-                }),
+                            ))
+                            .into(),
+                        })
+                        .into(),
+                    })
+                    .into(),
+                })
+                .into(),
             },
         )
     }

@@ -18,8 +18,6 @@
 //! Blocks: `gc`=0, `gcend`=1, `copy`=2, `fwdpair1`=3, `fwdpair2`=4,
 //! `fwdexist1`=5.
 
-use std::rc::Rc;
-
 use ps_ir::Symbol;
 
 use ps_gc_lang::syntax::{CodeDef, Kind, Op, Region, Tag, Term, Ty, Value, CD};
@@ -80,13 +78,13 @@ fn gc() -> CodeDef {
     // After the widen: w : C_{r1,r2}((t→0) × t).
     let after_widen = Term::LetRegion {
         rvar: s("r3"),
-        body: Rc::new(Term::let_(
+        body: (Term::let_(
             s("y"),
             Op::Get(Value::Var(s("w"))),
             Term::IfLeft {
                 x: s("yv"),
                 scrut: Value::Var(s("y")),
-                left: Rc::new(Term::let_(
+                left: (Term::let_(
                     s("ys"),
                     Op::Strip(Value::Var(s("yv"))),
                     Term::let_(
@@ -116,16 +114,18 @@ fn gc() -> CodeDef {
                             ),
                         ),
                     ),
-                )),
+                ))
+                .into(),
                 // A freshly allocated bundle is always inl; this branch is
                 // unreachable but must typecheck.
-                right: Rc::new(Term::Halt(Value::Int(0))),
+                right: (Term::Halt(Value::Int(0))).into(),
             },
-        )),
+        ))
+        .into(),
     };
     let body = Term::LetRegion {
         rvar: s("r2"),
-        body: Rc::new(Term::let_(
+        body: (Term::let_(
             s("w0"),
             Op::Put(
                 rv("r1"),
@@ -137,9 +137,10 @@ fn gc() -> CodeDef {
                 to: rv("r2"),
                 tag: bundle_tag,
                 v: Value::Var(s("w0")),
-                body: Rc::new(after_widen),
+                body: (after_widen).into(),
             },
-        )),
+        ))
+        .into(),
     };
     CodeDef {
         name: s("gc"),
@@ -155,12 +156,7 @@ fn gcend() -> CodeDef {
     let t1 = Tag::Var(s("t1"));
     let body = Term::Only {
         regions: vec![rv("r2")],
-        body: Rc::new(Term::app(
-            Value::Var(s("f")),
-            [],
-            [rv("r2")],
-            [Value::Var(s("y"))],
-        )),
+        body: (Term::app(Value::Var(s("f")), [], [rv("r2")], [Value::Var(s("y"))])).into(),
     };
     CodeDef {
         name: s("gcend"),
@@ -212,7 +208,7 @@ fn copy() -> CodeDef {
             Term::IfLeft {
                 x: s("yv"),
                 scrut: Value::Var(s("y")),
-                left: Rc::new(Term::let_(
+                left: (Term::let_(
                     s("ys"),
                     Op::Strip(Value::Var(s("yv"))),
                     Term::let_(
@@ -240,14 +236,16 @@ fn copy() -> CodeDef {
                             ),
                         ),
                     ),
-                )),
+                ))
+                .into(),
                 // Already forwarded: strip off the inr and hand the to-space
                 // copy straight to the continuation.
-                right: Rc::new(Term::let_(
+                right: (Term::let_(
                     s("z"),
                     Op::Strip(Value::Var(s("yv"))),
                     sh.invoke(k.clone(), Value::Var(s("z"))),
-                )),
+                ))
+                .into(),
             },
         )
     };
@@ -273,14 +271,14 @@ fn copy() -> CodeDef {
             Term::IfLeft {
                 x: s("yv"),
                 scrut: Value::Var(s("y")),
-                left: Rc::new(Term::let_(
+                left: (Term::let_(
                     s("ys"),
                     Op::Strip(Value::Var(s("yv"))),
                     Term::OpenTag {
                         pkg: Value::Var(s("ys")),
                         tvar: tx,
                         x: s("yy"),
-                        body: Rc::new(Term::let_(
+                        body: (Term::let_(
                             s("cenv"),
                             Op::Val(Value::pair(x.clone(), k.clone())),
                             Term::let_(
@@ -293,24 +291,27 @@ fn copy() -> CodeDef {
                                     [Value::Var(s("yy")), Value::Var(s("kp"))],
                                 ),
                             ),
-                        )),
+                        ))
+                        .into(),
                     },
-                )),
-                right: Rc::new(Term::let_(
+                ))
+                .into(),
+                right: (Term::let_(
                     s("z"),
                     Op::Strip(Value::Var(s("yv"))),
                     sh.invoke(k.clone(), Value::Var(s("z"))),
-                )),
+                ))
+                .into(),
             },
         )
     };
 
     let body = Term::Typecase {
         tag: t.clone(),
-        int_arm: Rc::new(scalar_arm.clone()),
-        arrow_arm: Rc::new(scalar_arm),
-        prod_arm: (s("ta"), s("tb"), Rc::new(prod_arm)),
-        exist_arm: (s("tc"), Rc::new(exist_arm)),
+        int_arm: (scalar_arm.clone()).into(),
+        arrow_arm: (scalar_arm).into(),
+        prod_arm: (s("ta"), s("tb"), (prod_arm).into()),
+        exist_arm: (s("tc"), (exist_arm).into()),
     };
     CodeDef {
         name: s("copy"),
@@ -424,7 +425,7 @@ fn fwdpair2() -> CodeDef {
                         Term::Set {
                             dst: Value::Var(s("xorig")),
                             src: Value::inr(Value::Var(s("z"))),
-                            body: Rc::new(sh.invoke(Value::Var(s("ko")), Value::Var(s("z")))),
+                            body: (sh.invoke(Value::Var(s("ko")), Value::Var(s("z")))).into(),
                         },
                     ),
                 ),
@@ -469,7 +470,7 @@ fn fwdexist1() -> CodeDef {
         tvar: w,
         kind: Kind::Omega,
         tag: Tag::Var(t1),
-        val: Rc::new(Value::Var(s("z"))),
+        val: (Value::Var(s("z"))).into(),
         body_ty: Ty::m(rv("r2"), Tag::app(Tag::Var(te), Tag::Var(w))),
     };
     let body = Term::let_(
@@ -484,7 +485,7 @@ fn fwdexist1() -> CodeDef {
                 Term::Set {
                     dst: Value::Var(s("xorig")),
                     src: Value::inr(Value::Var(s("zz"))),
-                    body: Rc::new(sh.invoke(Value::Var(s("ko")), Value::Var(s("zz")))),
+                    body: (sh.invoke(Value::Var(s("ko")), Value::Var(s("zz")))).into(),
                 },
             ),
         ),

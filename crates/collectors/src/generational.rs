@@ -21,8 +21,6 @@
 //! Blocks: `gc`=0, `gcend`=1, `copy`=2, `gpair1`=3, `gpair2`=4,
 //! `gexist1`=5.
 
-use std::rc::Rc;
-
 use ps_ir::Symbol;
 
 use ps_gc_lang::syntax::{CodeDef, Kind, Op, Region, Tag, Term, Ty, Value, CD};
@@ -113,7 +111,7 @@ fn gc() -> CodeDef {
     );
     let minor = Term::LetRegion {
         rvar: s("r3"),
-        body: Rc::new(Term::let_(
+        body: (Term::let_(
             s("k"),
             Op::Put(rv("r3"), pack),
             Term::app(
@@ -122,17 +120,19 @@ fn gc() -> CodeDef {
                 [rv("ry"), rv("ro"), rv("r3")],
                 [Value::Var(s("x")), Value::Var(s("k"))],
             ),
-        )),
+        ))
+        .into(),
     };
     let body = Term::IfGc {
         rho: rv("ro"),
-        full: Rc::new(Term::app(
+        full: (Term::app(
             Value::Addr(CD, crate::major::GC),
             [t.clone()],
             [rv("ry"), rv("ro")],
             [Value::Var(s("f")), Value::Var(s("x"))],
-        )),
-        cont: Rc::new(minor),
+        ))
+        .into(),
+        cont: (minor).into(),
     };
     CodeDef {
         name: s("gc"),
@@ -151,15 +151,17 @@ fn gcend() -> CodeDef {
     let t1 = Tag::Var(s("t1"));
     let body = Term::Only {
         regions: vec![rv("ro")],
-        body: Rc::new(Term::LetRegion {
+        body: (Term::LetRegion {
             rvar: s("ry2"),
-            body: Rc::new(Term::app(
+            body: (Term::app(
                 Value::Var(s("f")),
                 [],
                 [rv("ry2"), rv("ro")],
                 [Value::Var(s("y"))],
-            )),
-        }),
+            ))
+            .into(),
+        })
+        .into(),
     };
     CodeDef {
         name: s("gcend"),
@@ -182,9 +184,9 @@ fn gcend() -> CodeDef {
 fn repack_old(val: Value, body: Ty) -> Value {
     Value::PackRgn {
         rvar: s("rp!g"),
-        bound: Rc::from(vec![rv("ro")]),
+        bound: (vec![rv("ro")]).into(),
         witness: rv("ro"),
-        val: Rc::new(val),
+        val: (val).into(),
         body_ty: body,
     }
 }
@@ -255,20 +257,22 @@ fn copy() -> CodeDef {
             pkg: x.clone(),
             rvar: s("rx"),
             x: s("xr"),
-            body: Rc::new(Term::IfReg {
+            body: (Term::IfReg {
                 r1: rv("rx"),
                 r2: rv("ro"),
-                eq: Rc::new(old_branch),
-                ne: Rc::new(Term::IfReg {
+                eq: (old_branch).into(),
+                ne: (Term::IfReg {
                     r1: rv("rx"),
                     r2: rv("ry"),
-                    eq: Rc::new(young_branch),
+                    eq: (young_branch).into(),
                     // paper: unreachable — the bound is {ry, ro} — but only
                     // equal branches refine, so a well-typed fallback is
                     // needed.
-                    ne: Rc::new(Term::Halt(Value::Int(0))),
-                }),
-            }),
+                    ne: (Term::Halt(Value::Int(0))).into(),
+                })
+                .into(),
+            })
+            .into(),
         }
     };
 
@@ -308,7 +312,7 @@ fn copy() -> CodeDef {
                     pkg: Value::Var(s("y")),
                     tvar: tx,
                     x: s("yy"),
-                    body: Rc::new(Term::let_(
+                    body: (Term::let_(
                         s("kp"),
                         Op::Put(rv("r3"), pack),
                         Term::app(
@@ -317,7 +321,8 @@ fn copy() -> CodeDef {
                             [rv("ry"), rv("ro"), rv("r3")],
                             [Value::Var(s("yy")), Value::Var(s("kp"))],
                         ),
-                    )),
+                    ))
+                    .into(),
                 },
             )
         };
@@ -325,26 +330,28 @@ fn copy() -> CodeDef {
             pkg: x.clone(),
             rvar: s("rx"),
             x: s("xr"),
-            body: Rc::new(Term::IfReg {
+            body: (Term::IfReg {
                 r1: rv("rx"),
                 r2: rv("ro"),
-                eq: Rc::new(old_branch),
-                ne: Rc::new(Term::IfReg {
+                eq: (old_branch).into(),
+                ne: (Term::IfReg {
                     r1: rv("rx"),
                     r2: rv("ry"),
-                    eq: Rc::new(young_branch),
-                    ne: Rc::new(Term::Halt(Value::Int(0))),
-                }),
-            }),
+                    eq: (young_branch).into(),
+                    ne: (Term::Halt(Value::Int(0))).into(),
+                })
+                .into(),
+            })
+            .into(),
         }
     };
 
     let body = Term::Typecase {
         tag: t.clone(),
-        int_arm: Rc::new(scalar_arm.clone()),
-        arrow_arm: Rc::new(scalar_arm),
-        prod_arm: (s("ta"), s("tb"), Rc::new(prod_arm)),
-        exist_arm: (s("tc"), Rc::new(exist_arm)),
+        int_arm: (scalar_arm.clone()).into(),
+        arrow_arm: (scalar_arm).into(),
+        prod_arm: (s("ta"), s("tb"), (prod_arm).into()),
+        exist_arm: (s("tc"), (exist_arm).into()),
     };
     CodeDef {
         name: s("copy"),
@@ -472,7 +479,7 @@ fn gexist1() -> CodeDef {
         tvar: u,
         kind: Kind::Omega,
         tag: Tag::Var(t1),
-        val: Rc::new(Value::Var(s("z"))),
+        val: (Value::Var(s("z"))).into(),
         body_ty: Ty::mgen(rv("ro"), rv("ro"), Tag::app(Tag::Var(te), Tag::Var(u))),
     };
     let exist_body = Ty::exist_tag(

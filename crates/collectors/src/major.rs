@@ -14,8 +14,6 @@
 //! Blocks are appended after the minor collector's six:
 //! `gc`=6, `gcend`=7, `copy`=8, `mpair1`=9, `mpair2`=10, `mexist1`=11.
 
-use std::rc::Rc;
-
 use ps_ir::Symbol;
 
 use ps_gc_lang::syntax::{CodeDef, Kind, Op, Region, Tag, Term, Ty, Value, CD};
@@ -79,9 +77,9 @@ fn gc() -> CodeDef {
     );
     let body = Term::LetRegion {
         rvar: s("rn"),
-        body: Rc::new(Term::LetRegion {
+        body: (Term::LetRegion {
             rvar: s("r3"),
-            body: Rc::new(Term::let_(
+            body: (Term::let_(
                 s("k"),
                 Op::Put(rv("r3"), pack),
                 Term::app(
@@ -90,8 +88,10 @@ fn gc() -> CodeDef {
                     [rv("ry"), rv("ro"), rv("rn"), rv("r3")],
                     [Value::Var(s("x")), Value::Var(s("k"))],
                 ),
-            )),
-        }),
+            ))
+            .into(),
+        })
+        .into(),
     };
     CodeDef {
         name: s("gcmajor"),
@@ -114,15 +114,17 @@ fn gcend() -> CodeDef {
     let t1 = Tag::Var(s("t1"));
     let body = Term::Only {
         regions: vec![rv("rn")],
-        body: Rc::new(Term::LetRegion {
+        body: (Term::LetRegion {
             rvar: s("ry2"),
-            body: Rc::new(Term::app(
+            body: (Term::app(
                 Value::Var(s("f")),
                 [],
                 [rv("ry2"), rv("rn")],
                 [Value::Var(s("y"))],
-            )),
-        }),
+            ))
+            .into(),
+        })
+        .into(),
     };
     CodeDef {
         name: s("gcendmajor"),
@@ -144,9 +146,9 @@ fn gcend() -> CodeDef {
 fn repack_new(val: Value, body: Ty) -> Value {
     Value::PackRgn {
         rvar: s("rp!m"),
-        bound: Rc::from(vec![rv("rn")]),
+        bound: (vec![rv("rn")]).into(),
         witness: rv("rn"),
-        val: Rc::new(val),
+        val: (val).into(),
         body_ty: body,
     }
 }
@@ -214,17 +216,19 @@ fn copy() -> CodeDef {
             pkg: x.clone(),
             rvar: s("rx"),
             x: s("xr"),
-            body: Rc::new(Term::IfReg {
+            body: (Term::IfReg {
                 r1: rv("rx"),
                 r2: rv("ro"),
-                eq: Rc::new(pair_copy(&ta, &tb)),
-                ne: Rc::new(Term::IfReg {
+                eq: (pair_copy(&ta, &tb)).into(),
+                ne: (Term::IfReg {
                     r1: rv("rx"),
                     r2: rv("ry"),
-                    eq: Rc::new(pair_copy(&ta, &tb)),
-                    ne: Rc::new(Term::Halt(Value::Int(0))),
-                }),
-            }),
+                    eq: (pair_copy(&ta, &tb)).into(),
+                    ne: (Term::Halt(Value::Int(0))).into(),
+                })
+                .into(),
+            })
+            .into(),
         }
     };
 
@@ -247,7 +251,7 @@ fn copy() -> CodeDef {
                 pkg: Value::Var(s("y")),
                 tvar: tx,
                 x: s("yy"),
-                body: Rc::new(Term::let_(
+                body: (Term::let_(
                     s("kp"),
                     Op::Put(rv("r3"), pack),
                     Term::app(
@@ -256,7 +260,8 @@ fn copy() -> CodeDef {
                         all_regions,
                         [Value::Var(s("yy")), Value::Var(s("kp"))],
                     ),
-                )),
+                ))
+                .into(),
             },
         )
     };
@@ -268,26 +273,28 @@ fn copy() -> CodeDef {
             pkg: x.clone(),
             rvar: s("rx"),
             x: s("xr"),
-            body: Rc::new(Term::IfReg {
+            body: (Term::IfReg {
                 r1: rv("rx"),
                 r2: rv("ro"),
-                eq: Rc::new(exist_copy(tep, tx)),
-                ne: Rc::new(Term::IfReg {
+                eq: (exist_copy(tep, tx)).into(),
+                ne: (Term::IfReg {
                     r1: rv("rx"),
                     r2: rv("ry"),
-                    eq: Rc::new(exist_copy(tep, tx)),
-                    ne: Rc::new(Term::Halt(Value::Int(0))),
-                }),
-            }),
+                    eq: (exist_copy(tep, tx)).into(),
+                    ne: (Term::Halt(Value::Int(0))).into(),
+                })
+                .into(),
+            })
+            .into(),
         }
     };
 
     let body = Term::Typecase {
         tag: t.clone(),
-        int_arm: Rc::new(scalar_arm.clone()),
-        arrow_arm: Rc::new(scalar_arm),
-        prod_arm: (s("ta"), s("tb"), Rc::new(prod_arm)),
-        exist_arm: (s("tc"), Rc::new(exist_arm)),
+        int_arm: (scalar_arm.clone()).into(),
+        arrow_arm: (scalar_arm).into(),
+        prod_arm: (s("ta"), s("tb"), (prod_arm).into()),
+        exist_arm: (s("tc"), (exist_arm).into()),
     };
     CodeDef {
         name: s("copymajor"),
@@ -414,7 +421,7 @@ fn mexist1() -> CodeDef {
         tvar: u,
         kind: Kind::Omega,
         tag: Tag::Var(t1),
-        val: Rc::new(Value::Var(s("z"))),
+        val: (Value::Var(s("z"))).into(),
         body_ty: Ty::mgen(rv("rn"), rv("rn"), Tag::app(Tag::Var(te), Tag::Var(u))),
     };
     let exist_body = Ty::exist_tag(

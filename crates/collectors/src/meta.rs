@@ -18,7 +18,6 @@
 //! using a side table of forwarding addresses.
 
 use std::collections::HashMap;
-use std::rc::Rc;
 
 use ps_gc_lang::error::Result;
 use ps_gc_lang::memory::Memory;
@@ -81,8 +80,8 @@ fn copy_value(
             Ok(Value::Addr(to, l2))
         }
         Value::Pair(a, b) => Ok(Value::Pair(
-            Rc::new(copy_value(mem, a, to, forwarded, stats)?),
-            Rc::new(copy_value(mem, b, to, forwarded, stats)?),
+            (copy_value(mem, a, to, forwarded, stats)?).into(),
+            (copy_value(mem, b, to, forwarded, stats)?).into(),
         )),
         Value::PackTag {
             tvar,
@@ -94,7 +93,7 @@ fn copy_value(
             tvar: *tvar,
             kind: *kind,
             tag: tag.clone(),
-            val: Rc::new(copy_value(mem, val, to, forwarded, stats)?),
+            val: (copy_value(mem, val, to, forwarded, stats)?).into(),
             body_ty: body_ty.clone(),
         }),
         Value::PackAlpha {
@@ -107,7 +106,7 @@ fn copy_value(
             avar: *avar,
             regions: regions.clone(),
             witness: witness.clone(),
-            val: Rc::new(copy_value(mem, val, to, forwarded, stats)?),
+            val: (copy_value(mem, val, to, forwarded, stats)?).into(),
             body_ty: body_ty.clone(),
         }),
         Value::PackRgn {
@@ -120,20 +119,20 @@ fn copy_value(
             rvar: *rvar,
             bound: bound.clone(),
             witness: *witness,
-            val: Rc::new(copy_value(mem, val, to, forwarded, stats)?),
+            val: (copy_value(mem, val, to, forwarded, stats)?).into(),
             body_ty: body_ty.clone(),
         }),
         Value::TagApp(f, tags, regions) => Ok(Value::TagApp(
-            Rc::new(copy_value(mem, f, to, forwarded, stats)?),
+            (copy_value(mem, f, to, forwarded, stats)?).into(),
             tags.clone(),
             regions.clone(),
         )),
-        Value::Inl(x) => Ok(Value::Inl(Rc::new(copy_value(
-            mem, x, to, forwarded, stats,
-        )?))),
-        Value::Inr(x) => Ok(Value::Inr(Rc::new(copy_value(
-            mem, x, to, forwarded, stats,
-        )?))),
+        Value::Inl(x) => Ok(Value::Inl(
+            (copy_value(mem, x, to, forwarded, stats)?).into(),
+        )),
+        Value::Inr(x) => Ok(Value::Inr(
+            (copy_value(mem, x, to, forwarded, stats)?).into(),
+        )),
     }
 }
 
@@ -316,8 +315,8 @@ pub fn collect_cheney(
                 Ok(Value::Addr(n2, l2))
             }
             Value::Pair(a, b) => Ok(Value::Pair(
-                Rc::new(scavenge(mem, a, to, forwarded, scan, stats)?),
-                Rc::new(scavenge(mem, b, to, forwarded, scan, stats)?),
+                (scavenge(mem, a, to, forwarded, scan, stats)?).into(),
+                (scavenge(mem, b, to, forwarded, scan, stats)?).into(),
             )),
             Value::PackTag {
                 tvar,
@@ -329,7 +328,7 @@ pub fn collect_cheney(
                 tvar: *tvar,
                 kind: *kind,
                 tag: tag.clone(),
-                val: Rc::new(scavenge(mem, val, to, forwarded, scan, stats)?),
+                val: (scavenge(mem, val, to, forwarded, scan, stats)?).into(),
                 body_ty: body_ty.clone(),
             }),
             Value::PackAlpha {
@@ -342,7 +341,7 @@ pub fn collect_cheney(
                 avar: *avar,
                 regions: regions.clone(),
                 witness: witness.clone(),
-                val: Rc::new(scavenge(mem, val, to, forwarded, scan, stats)?),
+                val: (scavenge(mem, val, to, forwarded, scan, stats)?).into(),
                 body_ty: body_ty.clone(),
             }),
             Value::PackRgn {
@@ -355,20 +354,20 @@ pub fn collect_cheney(
                 rvar: *rvar,
                 bound: bound.clone(),
                 witness: *witness,
-                val: Rc::new(scavenge(mem, val, to, forwarded, scan, stats)?),
+                val: (scavenge(mem, val, to, forwarded, scan, stats)?).into(),
                 body_ty: body_ty.clone(),
             }),
             Value::TagApp(f, tags, regions) => Ok(Value::TagApp(
-                Rc::new(scavenge(mem, f, to, forwarded, scan, stats)?),
+                (scavenge(mem, f, to, forwarded, scan, stats)?).into(),
                 tags.clone(),
                 regions.clone(),
             )),
-            Value::Inl(x) => Ok(Value::Inl(Rc::new(scavenge(
-                mem, x, to, forwarded, scan, stats,
-            )?))),
-            Value::Inr(x) => Ok(Value::Inr(Rc::new(scavenge(
-                mem, x, to, forwarded, scan, stats,
-            )?))),
+            Value::Inl(x) => Ok(Value::Inl(
+                (scavenge(mem, x, to, forwarded, scan, stats)?).into(),
+            )),
+            Value::Inr(x) => Ok(Value::Inr(
+                (scavenge(mem, x, to, forwarded, scan, stats)?).into(),
+            )),
             other => Ok(other.clone()),
         }
     }

@@ -8,8 +8,6 @@
 //! collectors and shows that the λGC typechecker rejects every one of them
 //! — each would be a silent heap corruption in an untyped collector.
 
-use std::rc::Rc;
-
 use ps_collectors::{basic, forwarding, generational};
 use ps_gc_lang::machine::Program;
 use ps_gc_lang::syntax::{CodeDef, Dialect, Op, Region, Term, Value};
@@ -117,12 +115,12 @@ fn copying_the_wrong_field_is_rejected() {
             } if *x == Symbol::intern("x2src") => Term::Let {
                 x: *x,
                 op: Op::Proj(1, v.clone()),
-                body: Rc::new(fix_proj(body)),
+                body: (fix_proj(body)).into(),
             },
             Term::Let { x, op, body } => Term::Let {
                 x: *x,
                 op: op.clone(),
-                body: Rc::new(fix_proj(body)),
+                body: (fix_proj(body)).into(),
             },
             Term::Typecase {
                 tag,
@@ -132,10 +130,10 @@ fn copying_the_wrong_field_is_rejected() {
                 exist_arm,
             } => Term::Typecase {
                 tag: tag.clone(),
-                int_arm: int_arm.clone(),
-                arrow_arm: arrow_arm.clone(),
-                prod_arm: (prod_arm.0, prod_arm.1, Rc::new(fix_proj(&prod_arm.2))),
-                exist_arm: exist_arm.clone(),
+                int_arm: *int_arm,
+                arrow_arm: *arrow_arm,
+                prod_arm: (prod_arm.0, prod_arm.1, (fix_proj(&prod_arm.2)).into()),
+                exist_arm: *exist_arm,
             },
             other => other.clone(),
         }
@@ -163,10 +161,10 @@ fn returning_from_space_pointers_is_rejected() {
     {
         block.body = Term::Typecase {
             tag: tag.clone(),
-            int_arm: int_arm.clone(),
-            arrow_arm: arrow_arm.clone(),
-            prod_arm: (prod_arm.0, prod_arm.1, int_arm.clone()),
-            exist_arm: exist_arm.clone(),
+            int_arm: *int_arm,
+            arrow_arm: *arrow_arm,
+            prod_arm: (prod_arm.0, prod_arm.1, *int_arm),
+            exist_arm: *exist_arm,
         };
     } else {
         panic!("copy body is a typecase");
@@ -192,13 +190,13 @@ fn forwarding_with_the_wrong_tag_bit_is_rejected() {
                 body,
             } => Term::Set {
                 dst: dst.clone(),
-                src: Value::Inl(v.clone()),
-                body: body.clone(),
+                src: Value::Inl(*v),
+                body: *body,
             },
             Term::Let { x, op, body } => Term::Let {
                 x: *x,
                 op: op.clone(),
-                body: Rc::new(inr_to_inl(body)),
+                body: (inr_to_inl(body)).into(),
             },
             other => other.clone(),
         }
@@ -218,12 +216,12 @@ fn forwarding_to_from_space_is_rejected() {
             Term::Set { dst, body, .. } => Term::Set {
                 dst: dst.clone(),
                 src: Value::inr(dst.clone()),
-                body: body.clone(),
+                body: *body,
             },
             Term::Let { x, op, body } => Term::Let {
                 x: *x,
                 op: op.clone(),
-                body: Rc::new(self_forward(body)),
+                body: (self_forward(body)).into(),
             },
             other => other.clone(),
         }

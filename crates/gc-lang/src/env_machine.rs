@@ -5,8 +5,8 @@
 //! term, so one step costs O(|term|). [`EnvMachine`] runs the *same*
 //! operational semantics without ever rewriting the continuation:
 //!
-//! * the control is an `Rc` handle into the program — stepping into a
-//!   `let` body or a branch arm is an `Rc::clone`, never a deep clone;
+//! * the control is an interned [`TermId`] handle — stepping into a
+//!   `let` body or a branch arm is a u32 copy, never a deep clone;
 //! * binders extend a mutable environment ([`Subst`]) instead of
 //!   substituting, and `Value::Var` / `Region::Var` / `Tag::Var` are
 //!   resolved lazily at their use sites.
@@ -39,10 +39,11 @@
 //! consumes a *closed* term, which only the substitution machine
 //! maintains.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::error::{stuck_err, ErrorKind, LangError, Result};
 use crate::faults::FaultPlan;
+use crate::intern::{intern_term, TermId};
 use crate::machine::{widen_psi, Outcome, Program, Stats, StepOutcome};
 use crate::memory::{MemConfig, Memory};
 use crate::subst::Subst;
@@ -56,14 +57,14 @@ use crate::telemetry::{SharedObserver, Telemetry};
 /// the whole definition alive rather than cloning the body out of it.
 #[derive(Clone, Debug)]
 enum Ctrl {
-    Term(Rc<Term>),
-    Body(Rc<CodeDef>),
+    Term(TermId),
+    Body(Arc<CodeDef>),
 }
 
 impl Ctrl {
     fn term(&self) -> &Term {
         match self {
-            Ctrl::Term(t) => t,
+            Ctrl::Term(t) => t.node(),
             Ctrl::Body(def) => &def.body,
         }
     }
@@ -91,11 +92,11 @@ impl EnvMachine {
         let mut mem = Memory::new(config);
         for def in &program.code {
             let ty = def.ty();
-            mem.install_code(Value::Code(Rc::new(def.clone())), ty);
+            mem.install_code(Value::Code(Arc::new(def.clone())), ty);
         }
         EnvMachine {
             mem,
-            control: Ctrl::Term(Rc::new(program.main.clone())),
+            control: Ctrl::Term(program.main.id()),
             env: Subst::new(),
             dialect: program.dialect,
             stats: Stats::default(),
@@ -285,7 +286,7 @@ impl EnvMachine {
             Term::Let { x, op, body } => {
                 let v = self.eval_op(op)?;
                 self.env.bind_val(*x, v);
-                Ok(Some(Ctrl::Term(Rc::clone(body))))
+                Ok(Some(Ctrl::Term(*body)))
             }
             Term::Halt(v) => match self.env.value(v) {
                 Value::Int(n) => {
@@ -300,9 +301,9 @@ impl EnvMachine {
                 if self.mem.is_full(nu)? {
                     self.stats.gc_triggers += 1;
                     self.telem.on_gc_trigger(nu, &self.mem, self.stats.steps);
-                    Ok(Some(Ctrl::Term(Rc::clone(full))))
+                    Ok(Some(Ctrl::Term(*full)))
                 } else {
-                    Ok(Some(Ctrl::Term(Rc::clone(cont))))
+                    Ok(Some(Ctrl::Term(*cont)))
                 }
             }
             Term::OpenTag { pkg, tvar, x, body } => match self.env.value(pkg) {
@@ -311,7 +312,7 @@ impl EnvMachine {
                     let nf = tags::normalize(&tag);
                     self.env.bind_tag(*tvar, nf);
                     self.env.bind_val(*x, (*val).clone());
-                    Ok(Some(Ctrl::Term(Rc::clone(body))))
+                    Ok(Some(Ctrl::Term(*body)))
                 }
                 other => Err(self.stuck(format!("open(tag) on non-package {other:?}"))),
             },
@@ -319,7 +320,7 @@ impl EnvMachine {
                 Value::PackAlpha { witness, val, .. } => {
                     self.env.bind_alpha(*avar, witness);
                     self.env.bind_val(*x, (*val).clone());
-                    Ok(Some(Ctrl::Term(Rc::clone(body))))
+                    Ok(Some(Ctrl::Term(*body)))
                 }
                 other => Err(self.stuck(format!("open(α) on non-package {other:?}"))),
             },
@@ -333,7 +334,7 @@ impl EnvMachine {
                     };
                     self.env.bind_rgn(*rvar, Region::Name(nu));
                     self.env.bind_val(*x, (*val).clone());
-                    Ok(Some(Ctrl::Term(Rc::clone(body))))
+                    Ok(Some(Ctrl::Term(*body)))
                 }
                 other => Err(self.stuck(format!("open(region) on non-package {other:?}"))),
             },
@@ -342,7 +343,7 @@ impl EnvMachine {
                 self.stats.regions_created += 1;
                 self.telem.on_region_alloc(nu, &self.mem, self.stats.steps);
                 self.env.bind_rgn(*rvar, Region::Name(nu));
-                Ok(Some(Ctrl::Term(Rc::clone(body))))
+                Ok(Some(Ctrl::Term(*body)))
             }
             Term::Only { regions, body } => {
                 let mut keep = Vec::with_capacity(regions.len());
@@ -352,7 +353,7 @@ impl EnvMachine {
                 let report = self.mem.only(&keep);
                 self.telem.on_only(&report, &self.mem, self.stats.steps);
                 self.stats.record_reclaim(report);
-                Ok(Some(Ctrl::Term(Rc::clone(body))))
+                Ok(Some(Ctrl::Term(*body)))
             }
             Term::Typecase {
                 tag,
@@ -364,18 +365,18 @@ impl EnvMachine {
                 self.stats.typecase_dispatches += 1;
                 let nf = tags::normalize(&self.env.tag(tag));
                 match nf {
-                    Tag::Int => Ok(Some(Ctrl::Term(Rc::clone(int_arm)))),
-                    Tag::Arrow(_) => Ok(Some(Ctrl::Term(Rc::clone(arrow_arm)))),
+                    Tag::Int => Ok(Some(Ctrl::Term(*int_arm))),
+                    Tag::Arrow(_) => Ok(Some(Ctrl::Term(*arrow_arm))),
                     Tag::Prod(a, b) => {
                         let (t1, t2, body) = prod_arm;
                         self.env.bind_tag(*t1, (*a).clone());
                         self.env.bind_tag(*t2, (*b).clone());
-                        Ok(Some(Ctrl::Term(Rc::clone(body))))
+                        Ok(Some(Ctrl::Term(*body)))
                     }
                     Tag::Exist(t, body_tag) => {
                         let (te, body) = exist_arm;
                         self.env.bind_tag(*te, Tag::Lam(t, body_tag));
-                        Ok(Some(Ctrl::Term(Rc::clone(body))))
+                        Ok(Some(Ctrl::Term(*body)))
                     }
                     other => Err(self.stuck(format!("typecase on non-constructor tag {other:?}"))),
                 }
@@ -388,11 +389,11 @@ impl EnvMachine {
             } => match self.env.value(scrut) {
                 v @ Value::Inl(_) => {
                     self.env.bind_val(*x, v);
-                    Ok(Some(Ctrl::Term(Rc::clone(left))))
+                    Ok(Some(Ctrl::Term(*left)))
                 }
                 v @ Value::Inr(_) => {
                     self.env.bind_val(*x, v);
-                    Ok(Some(Ctrl::Term(Rc::clone(right))))
+                    Ok(Some(Ctrl::Term(*right)))
                 }
                 other => Err(self.stuck(format!("ifleft on non-sum value {other:?}"))),
             },
@@ -401,7 +402,7 @@ impl EnvMachine {
                     let v = self.env.value(src);
                     self.mem.set(nu, loc, v)?;
                     self.stats.forwarding_installs += 1;
-                    Ok(Some(Ctrl::Term(Rc::clone(body))))
+                    Ok(Some(Ctrl::Term(*body)))
                 }
                 other => Err(self.stuck(format!("set on non-address {other:?}"))),
             },
@@ -423,15 +424,15 @@ impl EnvMachine {
                     widen_psi(&mut self.mem, &rv, &nf, from, to)?;
                 }
                 self.env.bind_val(*x, rv);
-                Ok(Some(Ctrl::Term(Rc::clone(body))))
+                Ok(Some(Ctrl::Term(*body)))
             }
             Term::IfReg { r1, r2, eq, ne } => {
                 let n1 = self.resolve_name(r1)?;
                 let n2 = self.resolve_name(r2)?;
                 if n1 == n2 {
-                    Ok(Some(Ctrl::Term(Rc::clone(eq))))
+                    Ok(Some(Ctrl::Term(*eq)))
                 } else {
-                    Ok(Some(Ctrl::Term(Rc::clone(ne))))
+                    Ok(Some(Ctrl::Term(*ne)))
                 }
             }
             Term::If0 {
@@ -439,8 +440,8 @@ impl EnvMachine {
                 zero,
                 nonzero,
             } => match self.env.value(scrut) {
-                Value::Int(0) => Ok(Some(Ctrl::Term(Rc::clone(zero)))),
-                Value::Int(_) => Ok(Some(Ctrl::Term(Rc::clone(nonzero)))),
+                Value::Int(0) => Ok(Some(Ctrl::Term(*zero))),
+                Value::Int(_) => Ok(Some(Ctrl::Term(*nonzero))),
                 other => Err(self.stuck(format!("if0 on non-integer {other:?}"))),
             },
         }
@@ -456,7 +457,7 @@ impl EnvMachine {
         match self.env.value(f) {
             Value::Addr(nu, loc) => {
                 let code = match self.mem.get(nu, loc)? {
-                    Value::Code(def) => Rc::clone(def),
+                    Value::Code(def) => Arc::clone(def),
                     other => {
                         return Err(self.stuck(format!("application of non-code value {other:?}")))
                     }
@@ -507,7 +508,7 @@ impl EnvMachine {
                 // materialized term is closed and re-resolution on the next
                 // step is the identity.
                 let _ = regions;
-                Ok(Ctrl::Term(Rc::new(Term::App {
+                Ok(Ctrl::Term(intern_term(Term::App {
                     f: (*inner).clone(),
                     tags: rec_tags.iter().cloned().collect(),
                     regions: rec_rgns.to_vec(),
@@ -635,7 +636,7 @@ mod tests {
         let c = s("exm_c");
         let e = Term::LetRegion {
             rvar: r,
-            body: Rc::new(Term::let_(
+            body: intern_term(Term::let_(
                 a,
                 Op::Put(Region::Var(r), Value::pair(Value::Int(3), Value::Int(4))),
                 Term::let_(
@@ -679,10 +680,10 @@ mod tests {
         let t = s("exm_t");
         let body = Term::Typecase {
             tag: Tag::Var(t),
-            int_arm: Rc::new(Term::Halt(Value::Int(0))),
-            arrow_arm: Rc::new(Term::Halt(Value::Int(1))),
-            prod_arm: (s("exm_t1"), s("exm_t2"), Rc::new(Term::Halt(Value::Int(2)))),
-            exist_arm: (s("exm_te"), Rc::new(Term::Halt(Value::Int(3)))),
+            int_arm: Term::Halt(Value::Int(0)).id(),
+            arrow_arm: Term::Halt(Value::Int(1)).id(),
+            prod_arm: (s("exm_t1"), s("exm_t2"), Term::Halt(Value::Int(2)).id()),
+            exist_arm: (s("exm_te"), Term::Halt(Value::Int(3)).id()),
         };
         let dispatch = CodeDef {
             name: s("exm_dispatch"),
@@ -707,14 +708,14 @@ mod tests {
         let a = s("exm_only_a");
         let e = Term::LetRegion {
             rvar: r1,
-            body: Rc::new(Term::let_(
+            body: intern_term(Term::let_(
                 a,
                 Op::Put(Region::Var(r1), Value::Int(5)),
                 Term::LetRegion {
                     rvar: r2,
-                    body: Rc::new(Term::Only {
+                    body: intern_term(Term::Only {
                         regions: vec![Region::Var(r2)],
-                        body: Rc::new(Term::Halt(Value::Int(0))),
+                        body: Term::Halt(Value::Int(0)).id(),
                     }),
                 },
             )),

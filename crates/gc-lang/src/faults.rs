@@ -30,7 +30,6 @@
 //! than never firing, so every fault class is injectable — and must be
 //! detected — under every collector.
 
-use std::rc::Rc;
 use std::str::FromStr;
 
 use crate::memory::Memory;
@@ -254,9 +253,7 @@ fn retarget(v: &Value, k: &mut i64, dead: RegionName) -> Value {
                 v.clone()
             }
         }
-        Value::Pair(a, b) => {
-            Value::Pair(Rc::new(retarget(a, k, dead)), Rc::new(retarget(b, k, dead)))
-        }
+        Value::Pair(a, b) => Value::Pair(retarget(a, k, dead).id(), retarget(b, k, dead).id()),
         Value::PackTag {
             tvar,
             kind,
@@ -267,7 +264,7 @@ fn retarget(v: &Value, k: &mut i64, dead: RegionName) -> Value {
             tvar: *tvar,
             kind: *kind,
             tag: tag.clone(),
-            val: Rc::new(retarget(val, k, dead)),
+            val: retarget(val, k, dead).id(),
             body_ty: body_ty.clone(),
         },
         Value::PackAlpha {
@@ -280,7 +277,7 @@ fn retarget(v: &Value, k: &mut i64, dead: RegionName) -> Value {
             avar: *avar,
             regions: regions.clone(),
             witness: witness.clone(),
-            val: Rc::new(retarget(val, k, dead)),
+            val: retarget(val, k, dead).id(),
             body_ty: body_ty.clone(),
         },
         Value::PackRgn {
@@ -293,13 +290,13 @@ fn retarget(v: &Value, k: &mut i64, dead: RegionName) -> Value {
             rvar: *rvar,
             bound: bound.clone(),
             witness: *witness,
-            val: Rc::new(retarget(val, k, dead)),
+            val: retarget(val, k, dead).id(),
             body_ty: body_ty.clone(),
         },
-        Value::Inl(x) => Value::Inl(Rc::new(retarget(x, k, dead))),
-        Value::Inr(x) => Value::Inr(Rc::new(retarget(x, k, dead))),
+        Value::Inl(x) => Value::Inl(retarget(x, k, dead).id()),
+        Value::Inr(x) => Value::Inr(retarget(x, k, dead).id()),
         Value::TagApp(f, tags, regions) => {
-            Value::TagApp(Rc::new(retarget(f, k, dead)), tags.clone(), regions.clone())
+            Value::TagApp(retarget(f, k, dead).id(), tags.clone(), regions.clone())
         }
         Value::Int(_) | Value::Var(_) | Value::Code(_) => v.clone(),
     }
@@ -330,7 +327,7 @@ fn clobber_forward(seed: u64, mem: &mut Memory, root: &Term) -> Option<String> {
         .collect();
     let (nu, loc) = pick(&sites, seed)?;
     let dead = dead_region(mem);
-    mem.set(nu, loc, Value::Inr(Rc::new(Value::Addr(dead, 0))))
+    mem.set(nu, loc, Value::Inr(Value::Addr(dead, 0).id()))
         .ok()?;
     Some(format!(
         "clobbered the forwarding pointer at {nu}.{loc} to point into {dead}"
@@ -344,8 +341,8 @@ fn flip_tag(seed: u64, mem: &mut Memory, root: &Term) -> Option<String> {
         .collect();
     let (nu, loc) = pick(&sites, seed)?;
     let flipped = match mem.get(nu, loc).ok()? {
-        Value::Inl(x) => Value::Inr(x.clone()),
-        Value::Inr(x) => Value::Inl(x.clone()),
+        Value::Inl(x) => Value::Inr(*x),
+        Value::Inr(x) => Value::Inl(*x),
         _ => return None,
     };
     mem.set(nu, loc, flipped).ok()?;

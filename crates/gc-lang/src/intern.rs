@@ -1,22 +1,26 @@
-//! Hash-consed tag and type nodes: ids, memo tables, free-variable
-//! fingerprints, and α-canonicalization.
+//! Hash-consed tag, type, term, and value nodes: ids, memo tables,
+//! free-variable fingerprints, and α-canonicalization.
 //!
-//! Every [`Tag`] and [`Ty`] node in the crate stores its children as
-//! [`TagId`]/[`TyId`] handles into two global [`ps_ir::Interner`] arenas, so
-//! structurally equal subtrees are stored exactly once and *structural
-//! equality of whole trees is equality of `u32` ids* (the derived
-//! `PartialEq` on nodes compares children by id). On top of the arenas this
-//! module keeps side tables, all keyed by id:
+//! Every [`Tag`], [`Ty`], [`Term`], and [`Value`] node in the crate stores
+//! its children as [`TagId`]/[`TyId`]/[`TermId`]/[`ValId`] handles into four
+//! global [`ps_ir::Interner`] arenas, so structurally equal subtrees are
+//! stored exactly once and *structural equality of whole trees is equality
+//! of `u32` ids* (the derived `PartialEq` on nodes compares children by
+//! id). On top of the arenas this module keeps side tables, all indexed by
+//! id — ids are dense, so each table is an append-only [`ChunkedSlab`]
+//! probed by index rather than a `HashMap` (the normalization table for
+//! types keeps one slab per dialect):
 //!
 //! * **normalization memos** — [`crate::tags::normalize`] and
 //!   [`crate::moper::normalize_ty`] record their result (and, for tags, the
 //!   β-step count, so counting callers see identical numbers on memo hits)
 //!   once per node;
-//! * **free-variable fingerprints** ([`tag_fv`], [`ty_fv`]) — the sorted
-//!   free variables of a node, computed once and leaked, which lets
-//!   [`crate::subst::Subst`] skip no-op substitutions in O(domain) without
-//!   walking the tree (generalizing the closed-range fast path of the
-//!   environment machine to *every* substitution);
+//! * **free-variable fingerprints** ([`tag_fv`], [`ty_fv`], [`term_fv`],
+//!   [`value_fv`]) — the sorted free variables of a node, computed once and
+//!   leaked, which lets [`crate::subst::Subst`] skip no-op substitutions in
+//!   O(domain) without walking the tree (generalizing the closed-range fast
+//!   path of the environment machine to *every* substitution, at every
+//!   level from tags up to whole terms);
 //! * **α-canonical forms** ([`canon_tag`], [`canon_ty`]) — each binder is
 //!   renamed to a fixed placeholder and each bound variable to its
 //!   per-namespace de Bruijn index (spelled `!i` / `!ri` / `!ai`; `!` is
@@ -26,29 +30,36 @@
 //!   `∆`s. Two nodes are α-equivalent iff their canonical ids are equal,
 //!   which makes `alpha_eq` an integer compare after the first call.
 //!
-//! Locks are never held across recursive work: every table is probed under
-//! a read lock, computed unlocked, and inserted under a short write lock.
-//! Interned nodes are leaked (`&'static`), so a [`TagId`] can be
-//! dereferenced — it implements `Deref<Target = Tag>` — for the lifetime of
-//! the process.
+//! The *read* side is entirely lock-free: interned nodes are leaked
+//! (`&'static`) and published through [`ChunkedSlab`]s — append-only
+//! chunked atomic-pointer tables — so dereferencing a [`TagId`] (it
+//! implements `Deref<Target = Tag>`) and probing any memo touch no lock at
+//! all. This matters for parallel certification: `check_program` fans code
+//! blocks over worker threads that deref ids and hit the memos on every
+//! node; a shared `RwLock` read on that path makes the threads bounce the
+//! lock's cache line and serializes them. Only *interning* (the hash-cons
+//! lookup/insert) still takes the `RwLock` around the arena's hash table,
+//! and it is never held across recursive work: probe under a read lock,
+//! compute unlocked, insert under a short write lock.
 
-use std::collections::HashMap;
 use std::fmt;
-use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{OnceLock, RwLock};
 
-use ps_ir::{Interner, Symbol};
+use ps_ir::{ChunkedSlab, ConcurrentInterner, Symbol};
 
-use crate::syntax::{Dialect, Region, Tag, Ty};
+use crate::syntax::{CodeDef, Dialect, Region, Tag, Term, Ty, Value};
 
 // ----- arenas -------------------------------------------------------------
 
-static TAGS: RwLock<Option<Interner<Tag>>> = RwLock::new(None);
-static TYS: RwLock<Option<Interner<Ty>>> = RwLock::new(None);
+static TAGS: ConcurrentInterner<Tag> = ConcurrentInterner::new();
+static TYS: ConcurrentInterner<Ty> = ConcurrentInterner::new();
+static TERMS: ConcurrentInterner<Term> = ConcurrentInterner::new();
+static VALS: ConcurrentInterner<Value> = ConcurrentInterner::new();
 
-/// Acquires a read lock even if a writer panicked mid-update. The arenas
-/// and memo tables are append-only caches, so a poisoned value is still
+/// Acquires a read lock even if a writer panicked mid-update. The caches
+/// behind these locks are append-only, so a poisoned value is still
 /// internally consistent — at worst it misses the entry the panicking
 /// thread was about to add.
 fn read_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
@@ -62,32 +73,31 @@ fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
-fn arena_intern<T: Eq + Hash>(lock: &'static RwLock<Option<Interner<T>>>, node: T) -> u32 {
-    if let Some(id) = read_lock(lock).as_ref().and_then(|a| a.lookup(&node)) {
-        return id;
-    }
-    let mut guard = write_lock(lock);
-    guard.get_or_insert_with(Interner::new).insert(node)
-}
-
-// Ids are minted only by `arena_intern`, so the arena necessarily exists
-// when one is dereferenced; an empty arena here is unreachable.
+// Ids are minted only by `intern`, which publishes the node before the id
+// escapes, so a missing entry is unreachable.
 #[allow(clippy::expect_used)]
-fn arena_get<T: Eq + Hash>(lock: &'static RwLock<Option<Interner<T>>>, id: u32) -> &'static T {
-    read_lock(lock)
-        .as_ref()
-        .expect("id minted by this arena")
-        .get(id)
+fn arena_get<T: 'static>(arena: &ConcurrentInterner<T>, id: u32) -> &'static T {
+    arena.get(id).expect("id minted by this arena")
 }
 
 /// Interns a tag node, returning its id.
 pub fn intern_tag(node: Tag) -> TagId {
-    TagId(arena_intern(&TAGS, node))
+    TagId(TAGS.intern(node))
 }
 
 /// Interns a type node, returning its id.
 pub fn intern_ty(node: Ty) -> TyId {
-    TyId(arena_intern(&TYS, node))
+    TyId(TYS.intern(node))
+}
+
+/// Interns a term node, returning its id.
+pub fn intern_term(node: Term) -> TermId {
+    TermId(TERMS.intern(node))
+}
+
+/// Interns a value node, returning its id.
+pub fn intern_value(node: Value) -> ValId {
+    ValId(VALS.intern(node))
 }
 
 /// Handle to an interned [`Tag`] node: `Copy`, compared and hashed as a
@@ -100,131 +110,113 @@ pub struct TagId(u32);
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TyId(u32);
 
-impl TagId {
-    /// The interned node.
-    pub fn node(self) -> &'static Tag {
-        arena_get(&TAGS, self.0)
-    }
+/// Handle to an interned [`Term`] node: `Copy`, compared and hashed as a
+/// `u32`. Dereferences to the `&'static` node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(u32);
 
-    /// The raw arena index.
-    pub fn index(self) -> u32 {
-        self.0
-    }
+/// Handle to an interned [`Value`] node: `Copy`, compared and hashed as a
+/// `u32`. Dereferences to the `&'static` node.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValId(u32);
+
+macro_rules! id_impls {
+    ($id:ident, $node:ident, $arena:ident, $intern:ident) => {
+        impl $id {
+            /// The interned node.
+            pub fn node(self) -> &'static $node {
+                arena_get(&$arena, self.0)
+            }
+
+            /// The raw arena index.
+            pub fn index(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl Deref for $id {
+            type Target = $node;
+            fn deref(&self) -> &$node {
+                self.node()
+            }
+        }
+
+        impl fmt::Debug for $id {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                self.node().fmt(f)
+            }
+        }
+
+        impl From<$node> for $id {
+            fn from(node: $node) -> $id {
+                $intern(node)
+            }
+        }
+    };
 }
 
-impl TyId {
-    /// The interned node.
-    pub fn node(self) -> &'static Ty {
-        arena_get(&TYS, self.0)
-    }
-
-    /// The raw arena index.
-    pub fn index(self) -> u32 {
-        self.0
-    }
-}
-
-impl Deref for TagId {
-    type Target = Tag;
-    fn deref(&self) -> &Tag {
-        self.node()
-    }
-}
-
-impl Deref for TyId {
-    type Target = Ty;
-    fn deref(&self) -> &Ty {
-        self.node()
-    }
-}
-
-impl fmt::Debug for TagId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.node().fmt(f)
-    }
-}
-
-impl fmt::Debug for TyId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.node().fmt(f)
-    }
-}
-
-impl From<Tag> for TagId {
-    fn from(node: Tag) -> TagId {
-        intern_tag(node)
-    }
-}
-
-impl From<Ty> for TyId {
-    fn from(node: Ty) -> TyId {
-        intern_ty(node)
-    }
-}
+id_impls!(TagId, Tag, TAGS, intern_tag);
+id_impls!(TyId, Ty, TYS, intern_ty);
+id_impls!(TermId, Term, TERMS, intern_term);
+id_impls!(ValId, Value, VALS, intern_value);
 
 // ----- memo tables --------------------------------------------------------
 
-/// A small mixing hasher for id-keyed memo tables. Unlike
-/// `ps_ir::symbol::SymbolHasher` (which *replaces* its state and is only
-/// sound for single-field keys), this folds every write into the state, so
-/// composite keys like `(TyId, Dialect)` hash correctly.
-#[derive(Default)]
-struct IdHasher(u64);
+/// An id-indexed memo table: ids are dense arena indices, so the table is
+/// an append-only [`ChunkedSlab`] rather than a hash map — a probe is two
+/// atomic loads and no lock. Memoized values are deterministic functions of
+/// the id, so concurrent writers racing on one entry publish equal values
+/// (the loser's box leaks, like every other interned allocation).
+type FlatMemo<V> = ChunkedSlab<V>;
 
-impl Hasher for IdHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
-        }
-    }
-    fn write_u32(&mut self, n: u32) {
-        self.0 = (self.0 ^ u64::from(n)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+static TAG_NORM: FlatMemo<(TagId, u64)> = FlatMemo::new();
+/// One per-dialect table (`Basic`, `Forwarding`, `Generational`), replacing
+/// the old `(TyId, Dialect)`-keyed map.
+static TY_NORM: [FlatMemo<TyId>; 3] = [FlatMemo::new(), FlatMemo::new(), FlatMemo::new()];
+static TAG_CANON: FlatMemo<TagId> = FlatMemo::new();
+static TY_CANON: FlatMemo<TyId> = FlatMemo::new();
+static TAG_FV: FlatMemo<&'static [Symbol]> = FlatMemo::new();
+static TY_FV: FlatMemo<&'static TyFv> = FlatMemo::new();
+static TERM_FV: FlatMemo<&'static NodeFv> = FlatMemo::new();
+static VAL_FV: FlatMemo<&'static NodeFv> = FlatMemo::new();
+
+fn dialect_index(dialect: Dialect) -> usize {
+    match dialect {
+        Dialect::Basic => 0,
+        Dialect::Forwarding => 1,
+        Dialect::Generational => 2,
     }
 }
 
-type Memo<K, V> = RwLock<Option<HashMap<K, V, BuildHasherDefault<IdHasher>>>>;
-
-static TAG_NORM: Memo<TagId, (TagId, u64)> = RwLock::new(None);
-static TY_NORM: Memo<(TyId, Dialect), TyId> = RwLock::new(None);
-static TAG_CANON: Memo<TagId, TagId> = RwLock::new(None);
-static TY_CANON: Memo<TyId, TyId> = RwLock::new(None);
-static TAG_FV: Memo<TagId, &'static [Symbol]> = RwLock::new(None);
-static TY_FV: Memo<TyId, &'static TyFv> = RwLock::new(None);
-
-fn memo_get<K: Eq + Hash, V: Copy>(memo: &Memo<K, V>, key: &K) -> Option<V> {
-    read_lock(memo).as_ref().and_then(|t| t.get(key).copied())
+fn memo_get<V: Copy + 'static>(memo: &FlatMemo<V>, id: u32) -> Option<V> {
+    memo.get(id).copied()
 }
 
-fn memo_put<K: Eq + Hash, V>(memo: &Memo<K, V>, key: K, value: V) {
-    write_lock(memo)
-        .get_or_insert_with(HashMap::default)
-        .insert(key, value);
+fn memo_put<V: Copy + 'static>(memo: &FlatMemo<V>, id: u32, value: V) {
+    memo.set(id, Box::leak(Box::new(value)));
 }
 
-fn memo_len<K, V>(memo: &Memo<K, V>) -> usize {
-    read_lock(memo).as_ref().map_or(0, HashMap::len)
+fn memo_len<V>(memo: &FlatMemo<V>) -> usize {
+    memo.count()
 }
 
 /// Memoized result of [`crate::tags::normalize`]: normal form and β-step
 /// count for the subtree.
 pub(crate) fn tag_norm_lookup(id: TagId) -> Option<(TagId, u64)> {
-    memo_get(&TAG_NORM, &id)
+    memo_get(&TAG_NORM, id.index())
 }
 
 pub(crate) fn tag_norm_insert(id: TagId, nf: TagId, steps: u64) {
-    memo_put(&TAG_NORM, id, (nf, steps));
+    memo_put(&TAG_NORM, id.index(), (nf, steps));
 }
 
 /// Memoized result of [`crate::moper::normalize_ty`] for one dialect.
 pub(crate) fn ty_norm_lookup(id: TyId, dialect: Dialect) -> Option<TyId> {
-    memo_get(&TY_NORM, &(id, dialect))
+    memo_get(&TY_NORM[dialect_index(dialect)], id.index())
 }
 
 pub(crate) fn ty_norm_insert(id: TyId, dialect: Dialect, nf: TyId) {
-    memo_put(&TY_NORM, (id, dialect), nf);
+    memo_put(&TY_NORM[dialect_index(dialect)], id.index(), nf);
 }
 
 // ----- free-variable fingerprints -----------------------------------------
@@ -256,7 +248,7 @@ fn sorted(mut v: Vec<Symbol>) -> Vec<Symbol> {
 
 /// The sorted free tag variables of a tag, computed once per node.
 pub fn tag_fv(id: TagId) -> &'static [Symbol] {
-    if let Some(fv) = memo_get(&TAG_FV, &id) {
+    if let Some(fv) = memo_get(&TAG_FV, id.index()) {
         return fv;
     }
     let mut out: Vec<Symbol> = Vec::new();
@@ -277,14 +269,14 @@ pub fn tag_fv(id: TagId) -> &'static [Symbol] {
         }
     }
     let leaked: &'static [Symbol] = Box::leak(sorted(out).into_boxed_slice());
-    memo_put(&TAG_FV, id, leaked);
+    memo_put(&TAG_FV, id.index(), leaked);
     leaked
 }
 
 /// The free variables of a type (all three namespaces), computed once per
 /// node.
 pub fn ty_fv(id: TyId) -> &'static TyFv {
-    if let Some(fv) = memo_get(&TY_FV, &id) {
+    if let Some(fv) = memo_get(&TY_FV, id.index()) {
         return fv;
     }
     let mut tvars: Vec<Symbol> = Vec::new();
@@ -397,8 +389,391 @@ pub fn ty_fv(id: TyId) -> &'static TyFv {
         rvars: sorted(rvars).into_boxed_slice(),
         avars: sorted(avars).into_boxed_slice(),
     }));
-    memo_put(&TY_FV, id, leaked);
+    memo_put(&TY_FV, id.index(), leaked);
     leaked
+}
+
+// ----- term/value fingerprints --------------------------------------------
+
+/// The free variables of a term or value node, split over all four λGC
+/// namespaces. Each slice is sorted and deduplicated; membership is a
+/// binary search.
+///
+/// Unlike the old `value_free_vars` (which assumed code blocks are closed),
+/// [`Value::Code`] fingerprints are computed *honestly* through the block's
+/// own binders, so a fingerprint miss is a sound reason to skip
+/// substitution even on ill-typed inputs.
+#[derive(Debug)]
+pub struct NodeFv {
+    /// Free tag variables (`t`, including `AnyArrow` refinements).
+    pub tvars: Box<[Symbol]>,
+    /// Free region variables (`r`).
+    pub rvars: Box<[Symbol]>,
+    /// Free type variables (`α`).
+    pub avars: Box<[Symbol]>,
+    /// Free value variables (`x`).
+    pub xvars: Box<[Symbol]>,
+}
+
+impl NodeFv {
+    /// No free variables in any namespace?
+    pub fn is_closed(&self) -> bool {
+        self.tvars.is_empty()
+            && self.rvars.is_empty()
+            && self.avars.is_empty()
+            && self.xvars.is_empty()
+    }
+}
+
+/// Accumulator for a four-namespace fingerprint under construction.
+#[derive(Default)]
+struct FvAcc {
+    tvars: Vec<Symbol>,
+    rvars: Vec<Symbol>,
+    avars: Vec<Symbol>,
+    xvars: Vec<Symbol>,
+}
+
+impl FvAcc {
+    fn add_tag(&mut self, tag: &Tag) {
+        self.tvars
+            .extend_from_slice(tag_fv(intern_tag(tag.clone())));
+    }
+
+    fn add_ty(&mut self, sigma: &Ty) {
+        let fv = ty_fv(intern_ty(sigma.clone()));
+        self.tvars.extend_from_slice(&fv.tvars);
+        self.rvars.extend_from_slice(&fv.rvars);
+        self.avars.extend_from_slice(&fv.avars);
+    }
+
+    fn add_rgn(&mut self, rho: &Region) {
+        if let Region::Var(r) = rho {
+            self.rvars.push(*r);
+        }
+    }
+
+    fn add_node(&mut self, fv: &NodeFv) {
+        self.tvars.extend_from_slice(&fv.tvars);
+        self.rvars.extend_from_slice(&fv.rvars);
+        self.avars.extend_from_slice(&fv.avars);
+        self.xvars.extend_from_slice(&fv.xvars);
+    }
+
+    /// Adds `fv` with some variables of the given namespaces removed
+    /// (binder filtering).
+    fn add_node_minus(
+        &mut self,
+        fv: &NodeFv,
+        tbind: &[Symbol],
+        rbind: &[Symbol],
+        abind: &[Symbol],
+        xbind: &[Symbol],
+    ) {
+        self.tvars
+            .extend(fv.tvars.iter().copied().filter(|t| !tbind.contains(t)));
+        self.rvars
+            .extend(fv.rvars.iter().copied().filter(|r| !rbind.contains(r)));
+        self.avars
+            .extend(fv.avars.iter().copied().filter(|a| !abind.contains(a)));
+        self.xvars
+            .extend(fv.xvars.iter().copied().filter(|x| !xbind.contains(x)));
+    }
+
+    fn add_value(&mut self, v: &Value) {
+        self.add_node(value_fv(intern_value(v.clone())));
+    }
+
+    fn add_op(&mut self, op: &crate::syntax::Op) {
+        use crate::syntax::Op;
+        match op {
+            Op::Val(v) | Op::Proj(_, v) | Op::Get(v) | Op::Strip(v) => self.add_value(v),
+            Op::Put(rho, v) => {
+                self.add_rgn(rho);
+                self.add_value(v);
+            }
+            Op::Prim(_, a, b) => {
+                self.add_value(a);
+                self.add_value(b);
+            }
+        }
+    }
+
+    fn leak(self) -> &'static NodeFv {
+        Box::leak(Box::new(NodeFv {
+            tvars: sorted(self.tvars).into_boxed_slice(),
+            rvars: sorted(self.rvars).into_boxed_slice(),
+            avars: sorted(self.avars).into_boxed_slice(),
+            xvars: sorted(self.xvars).into_boxed_slice(),
+        }))
+    }
+}
+
+/// The honest fingerprint of a code block: body and parameter types through
+/// the block's own tag/region/parameter binders.
+fn add_code_def(acc: &mut FvAcc, def: &CodeDef) {
+    let tbind: Vec<Symbol> = def.tvars.iter().map(|(t, _)| *t).collect();
+    let rbind: Vec<Symbol> = def.rvars.clone();
+    for (_, sigma) in &def.params {
+        let fv = ty_fv(intern_ty(sigma.clone()));
+        acc.tvars
+            .extend(fv.tvars.iter().copied().filter(|t| !tbind.contains(t)));
+        acc.rvars
+            .extend(fv.rvars.iter().copied().filter(|r| !rbind.contains(r)));
+        acc.avars.extend_from_slice(&fv.avars);
+    }
+    let xbind: Vec<Symbol> = def.params.iter().map(|(x, _)| *x).collect();
+    let body = term_fv(intern_term(def.body.clone()));
+    acc.add_node_minus(body, &tbind, &rbind, &[], &xbind);
+}
+
+/// The free variables of a value (all four namespaces), computed once per
+/// node.
+pub fn value_fv(id: ValId) -> &'static NodeFv {
+    if let Some(fv) = memo_get(&VAL_FV, id.index()) {
+        return fv;
+    }
+    let mut acc = FvAcc::default();
+    match id.node() {
+        Value::Int(_) | Value::Addr(..) => {}
+        Value::Var(x) => acc.xvars.push(*x),
+        Value::Pair(a, b) => {
+            acc.add_node(value_fv(*a));
+            acc.add_node(value_fv(*b));
+        }
+        Value::PackTag {
+            tvar,
+            tag,
+            val,
+            body_ty,
+            ..
+        } => {
+            acc.add_tag(tag);
+            acc.add_node(value_fv(*val));
+            let mut body = FvAcc::default();
+            body.add_ty(body_ty);
+            acc.tvars
+                .extend(body.tvars.into_iter().filter(|t| t != tvar));
+            acc.rvars.extend(body.rvars);
+            acc.avars.extend(body.avars);
+        }
+        Value::PackAlpha {
+            avar,
+            regions,
+            witness,
+            val,
+            body_ty,
+        } => {
+            for r in regions.iter() {
+                acc.add_rgn(r);
+            }
+            acc.add_ty(witness);
+            acc.add_node(value_fv(*val));
+            let mut body = FvAcc::default();
+            body.add_ty(body_ty);
+            acc.tvars.extend(body.tvars);
+            acc.rvars.extend(body.rvars);
+            acc.avars
+                .extend(body.avars.into_iter().filter(|a| a != avar));
+        }
+        Value::PackRgn {
+            rvar,
+            bound,
+            witness,
+            val,
+            body_ty,
+        } => {
+            for r in bound.iter() {
+                acc.add_rgn(r);
+            }
+            acc.add_rgn(witness);
+            acc.add_node(value_fv(*val));
+            let mut body = FvAcc::default();
+            body.add_ty(body_ty);
+            acc.tvars.extend(body.tvars);
+            acc.rvars
+                .extend(body.rvars.into_iter().filter(|r| r != rvar));
+            acc.avars.extend(body.avars);
+        }
+        Value::TagApp(f, tags, regions) => {
+            acc.add_node(value_fv(*f));
+            for t in tags.iter() {
+                acc.add_tag(t);
+            }
+            for r in regions.iter() {
+                acc.add_rgn(r);
+            }
+        }
+        Value::Code(def) => add_code_def(&mut acc, def),
+        Value::Inl(v) | Value::Inr(v) => acc.add_node(value_fv(*v)),
+    }
+    let leaked = acc.leak();
+    memo_put(&VAL_FV, id.index(), leaked);
+    leaked
+}
+
+/// The free variables of a term (all four namespaces), computed once per
+/// node. `Let` spines are walked iteratively (they can be thousands of
+/// bindings deep), memoizing every suffix on the way back out.
+pub fn term_fv(id: TermId) -> &'static NodeFv {
+    if let Some(fv) = memo_get(&TERM_FV, id.index()) {
+        return fv;
+    }
+    // Collect the unmemoized prefix of the Let spine, innermost last.
+    let mut spine: Vec<TermId> = Vec::new();
+    let mut cur = id;
+    while let Term::Let { body, .. } = cur.node() {
+        spine.push(cur);
+        if memo_get(&TERM_FV, body.index()).is_some() {
+            break;
+        }
+        cur = *body;
+    }
+    // Innermost first: each node's body is then a memo hit for the next.
+    // When `id` is a `Let` it is the spine's first element, so the loop
+    // covers it; otherwise the spine is empty and it is computed below.
+    for node in spine.into_iter().rev() {
+        let fv = term_fv_node(node);
+        memo_put(&TERM_FV, node.index(), fv);
+    }
+    if let Some(fv) = memo_get(&TERM_FV, id.index()) {
+        return fv;
+    }
+    let leaked = term_fv_node(id);
+    memo_put(&TERM_FV, id.index(), leaked);
+    leaked
+}
+
+/// Computes one node's fingerprint, assuming `Let` bodies are either
+/// memoized or reachable without re-walking a long spine (guaranteed by
+/// [`term_fv`]'s spine loop).
+fn term_fv_node(id: TermId) -> &'static NodeFv {
+    let mut acc = FvAcc::default();
+    match id.node() {
+        Term::App {
+            f,
+            tags,
+            regions,
+            args,
+        } => {
+            acc.add_value(f);
+            for t in tags {
+                acc.add_tag(t);
+            }
+            for r in regions {
+                acc.add_rgn(r);
+            }
+            for v in args {
+                acc.add_value(v);
+            }
+        }
+        Term::Let { x, op, body } => {
+            acc.add_op(op);
+            acc.add_node_minus(term_fv(*body), &[], &[], &[], &[*x]);
+        }
+        Term::Halt(v) => acc.add_value(v),
+        Term::IfGc { rho, full, cont } => {
+            acc.add_rgn(rho);
+            acc.add_node(term_fv(*full));
+            acc.add_node(term_fv(*cont));
+        }
+        Term::OpenTag { pkg, tvar, x, body } => {
+            acc.add_value(pkg);
+            acc.add_node_minus(term_fv(*body), &[*tvar], &[], &[], &[*x]);
+        }
+        Term::OpenAlpha { pkg, avar, x, body } => {
+            acc.add_value(pkg);
+            acc.add_node_minus(term_fv(*body), &[], &[], &[*avar], &[*x]);
+        }
+        Term::OpenRgn { pkg, rvar, x, body } => {
+            acc.add_value(pkg);
+            acc.add_node_minus(term_fv(*body), &[], &[*rvar], &[], &[*x]);
+        }
+        Term::LetRegion { rvar, body } => {
+            acc.add_node_minus(term_fv(*body), &[], &[*rvar], &[], &[]);
+        }
+        Term::Only { regions, body } => {
+            for r in regions {
+                acc.add_rgn(r);
+            }
+            acc.add_node(term_fv(*body));
+        }
+        Term::Typecase {
+            tag,
+            int_arm,
+            arrow_arm,
+            prod_arm,
+            exist_arm,
+        } => {
+            acc.add_tag(tag);
+            acc.add_node(term_fv(*int_arm));
+            acc.add_node(term_fv(*arrow_arm));
+            let (t1, t2, pe) = prod_arm;
+            acc.add_node_minus(term_fv(*pe), &[*t1, *t2], &[], &[], &[]);
+            let (te, ee) = exist_arm;
+            acc.add_node_minus(term_fv(*ee), &[*te], &[], &[], &[]);
+        }
+        Term::IfLeft {
+            x,
+            scrut,
+            left,
+            right,
+        } => {
+            acc.add_value(scrut);
+            acc.add_node_minus(term_fv(*left), &[], &[], &[], &[*x]);
+            acc.add_node_minus(term_fv(*right), &[], &[], &[], &[*x]);
+        }
+        Term::Set { dst, src, body } => {
+            acc.add_value(dst);
+            acc.add_value(src);
+            acc.add_node(term_fv(*body));
+        }
+        Term::Widen {
+            x,
+            from,
+            to,
+            tag,
+            v,
+            body,
+        } => {
+            acc.add_rgn(from);
+            acc.add_rgn(to);
+            acc.add_tag(tag);
+            acc.add_value(v);
+            acc.add_node_minus(term_fv(*body), &[], &[], &[], &[*x]);
+        }
+        Term::IfReg { r1, r2, eq, ne } => {
+            acc.add_rgn(r1);
+            acc.add_rgn(r2);
+            acc.add_node(term_fv(*eq));
+            acc.add_node(term_fv(*ne));
+        }
+        Term::If0 {
+            scrut,
+            zero,
+            nonzero,
+        } => {
+            acc.add_value(scrut);
+            acc.add_node(term_fv(*zero));
+            acc.add_node(term_fv(*nonzero));
+        }
+    }
+    acc.leak()
+}
+
+// ----- fingerprint-skip counters ------------------------------------------
+
+static TERM_SKIPS: AtomicU64 = AtomicU64::new(0);
+static VAL_SKIPS: AtomicU64 = AtomicU64::new(0);
+
+/// Records that a term-level substitution was skipped whole by fingerprint.
+pub(crate) fn note_term_skip() {
+    TERM_SKIPS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records that a value-level substitution was skipped whole by fingerprint.
+pub(crate) fn note_val_skip() {
+    VAL_SKIPS.fetch_add(1, Ordering::Relaxed);
 }
 
 // ----- α-canonicalization -------------------------------------------------
@@ -445,11 +820,11 @@ fn db_index(x: Symbol, env: &[Symbol]) -> Option<usize> {
 /// to their de Bruijn index `!i`. Two tags are α-equivalent iff their
 /// canonical ids are equal.
 pub fn canon_tag(id: TagId) -> TagId {
-    if let Some(c) = memo_get(&TAG_CANON, &id) {
+    if let Some(c) = memo_get(&TAG_CANON, id.index()) {
         return c;
     }
     let c = canon_tag_rec(id, &mut Vec::new());
-    memo_put(&TAG_CANON, id, c);
+    memo_put(&TAG_CANON, id.index(), c);
     c
 }
 
@@ -525,11 +900,11 @@ fn canon_region_set(rs: &[Region], env: &CanonEnv) -> Vec<Region> {
 /// (`!i` for tags, `!ri` for regions, `!ai` for αs). Two types are
 /// α-equivalent iff their canonical ids are equal.
 pub fn canon_ty(id: TyId) -> TyId {
-    if let Some(c) = memo_get(&TY_CANON, &id) {
+    if let Some(c) = memo_get(&TY_CANON, id.index()) {
         return c;
     }
     let c = canon_ty_rec(id, &mut CanonEnv::default());
-    memo_put(&TY_CANON, id, c);
+    memo_put(&TY_CANON, id.index(), c);
     c
 }
 
@@ -680,27 +1055,49 @@ pub struct InternStats {
     pub tag_fv: usize,
     /// Type free-variable fingerprints computed.
     pub ty_fv: usize,
+    /// Distinct term nodes interned.
+    pub term_nodes: usize,
+    /// Intern calls that found an existing term node.
+    pub term_hits: u64,
+    /// Distinct value nodes interned.
+    pub val_nodes: usize,
+    /// Intern calls that found an existing value node.
+    pub val_hits: u64,
+    /// Term free-variable fingerprints computed.
+    pub term_fv: usize,
+    /// Value free-variable fingerprints computed.
+    pub val_fv: usize,
+    /// Term substitutions skipped whole by fingerprint.
+    pub term_skips: u64,
+    /// Value substitutions skipped whole by fingerprint.
+    pub val_skips: u64,
 }
 
 /// A snapshot of the global interner and memo-table occupancy.
 pub fn stats() -> InternStats {
-    let (tag_nodes, tag_hits) = read_lock(&TAGS)
-        .as_ref()
-        .map_or((0, 0), |a| (a.len(), a.hits()));
-    let (ty_nodes, ty_hits) = read_lock(&TYS)
-        .as_ref()
-        .map_or((0, 0), |a| (a.len(), a.hits()));
+    let (tag_nodes, tag_hits) = (TAGS.len(), TAGS.hits());
+    let (ty_nodes, ty_hits) = (TYS.len(), TYS.hits());
+    let (term_nodes, term_hits) = (TERMS.len(), TERMS.hits());
+    let (val_nodes, val_hits) = (VALS.len(), VALS.hits());
     InternStats {
         tag_nodes,
         tag_hits,
         ty_nodes,
         ty_hits,
         tag_norm: memo_len(&TAG_NORM),
-        ty_norm: memo_len(&TY_NORM),
+        ty_norm: TY_NORM.iter().map(memo_len).sum(),
         tag_canon: memo_len(&TAG_CANON),
         ty_canon: memo_len(&TY_CANON),
         tag_fv: memo_len(&TAG_FV),
         ty_fv: memo_len(&TY_FV),
+        term_nodes,
+        term_hits,
+        val_nodes,
+        val_hits,
+        term_fv: memo_len(&TERM_FV),
+        val_fv: memo_len(&VAL_FV),
+        term_skips: TERM_SKIPS.load(Ordering::Relaxed),
+        val_skips: VAL_SKIPS.load(Ordering::Relaxed),
     }
 }
 
@@ -716,12 +1113,26 @@ impl fmt::Display for InternStats {
             "ty nodes       {:>10}  (hits {})",
             self.ty_nodes, self.ty_hits
         )?;
+        writeln!(
+            f,
+            "term nodes     {:>10}  (hits {})",
+            self.term_nodes, self.term_hits
+        )?;
+        writeln!(
+            f,
+            "val nodes      {:>10}  (hits {})",
+            self.val_nodes, self.val_hits
+        )?;
         writeln!(f, "tag norm memo  {:>10}", self.tag_norm)?;
         writeln!(f, "ty norm memo   {:>10}", self.ty_norm)?;
         writeln!(f, "tag canon memo {:>10}", self.tag_canon)?;
         writeln!(f, "ty canon memo  {:>10}", self.ty_canon)?;
         writeln!(f, "tag fv memo    {:>10}", self.tag_fv)?;
-        write!(f, "ty fv memo     {:>10}", self.ty_fv)
+        writeln!(f, "ty fv memo     {:>10}", self.ty_fv)?;
+        writeln!(f, "term fv memo   {:>10}", self.term_fv)?;
+        writeln!(f, "val fv memo    {:>10}", self.val_fv)?;
+        writeln!(f, "term skips     {:>10}", self.term_skips)?;
+        write!(f, "val skips      {:>10}", self.val_skips)
     }
 }
 

@@ -16,9 +16,10 @@
 //!
 //! * [`syntax`] — ASTs (Fig. 2 + extensions) with a [`syntax::Dialect`]
 //!   marker selecting the calculus;
-//! * [`intern`] — the hash-consed representation behind tags and types:
-//!   global arenas, id handles, free-variable fingerprints, memoized
-//!   normalization and α-canonicalization;
+//! * [`intern`] — the hash-consed representation behind tags, types,
+//!   terms and values: global lock-free-on-read arenas, id handles,
+//!   free-variable fingerprints, memoized normalization and
+//!   α-canonicalization;
 //! * [`tags`] — tag kinding and normalization (Props. 6.1/6.2);
 //! * [`moper`] — the `M`/`C`/`M_gen` operators and type equality;
 //! * [`subst`] — capture-avoiding simultaneous substitution;
@@ -26,9 +27,10 @@
 //! * [`memory`]/[`machine`] — the allocation semantics (Fig. 5) on real
 //!   region-backed stores, with statistics;
 //! * [`env_machine`] — an environment-based (CEK-style) fast path for the
-//!   same semantics: no per-step substitution, continuations shared via
-//!   `Rc`; observationally identical to [`machine`] (including
-//!   statistics), selected via [`machine::Backend`];
+//!   same semantics: no per-step substitution, continuations shared as
+//!   interned [`intern::TermId`]s; observationally identical to
+//!   [`machine`] (including statistics), selected via
+//!   [`machine::Backend`];
 //! * [`wf`] — machine-state well-formedness (`⊢ (M,e)`, Fig. 7), the
 //!   engine behind the preservation/progress property tests;
 //! * [`verify`] — the runtime heap-invariant auditor: Fig. 7's `⊢ M : Ψ`

@@ -209,7 +209,7 @@ impl Machine {
         let mut mem = Memory::new(config);
         for def in &program.code {
             let ty = def.ty();
-            mem.install_code(Value::Code(std::rc::Rc::new(def.clone())), ty);
+            mem.install_code(Value::Code(std::sync::Arc::new(def.clone())), ty);
         }
         Machine {
             mem,
@@ -745,11 +745,11 @@ fn widen_visit(
                             Region::Name(to),
                             Subst::one_tag(*t, Tag::Var(*tvar)).tag(body),
                         );
-                        let recast = Value::Inl(std::rc::Rc::new(Value::PackTag {
+                        let recast = Value::Inl(crate::intern::intern_value(Value::PackTag {
                             tvar: *tvar,
                             kind: *kind,
                             tag: witness.clone(),
-                            val: val.clone(),
+                            val: *val,
                             body_ty: new_body,
                         }));
                         mem.set(nu, loc, recast)?;
@@ -849,7 +849,7 @@ mod tests {
         let c = s("c");
         let e = Term::LetRegion {
             rvar: r,
-            body: std::rc::Rc::new(Term::let_(
+            body: crate::intern::intern_term(Term::let_(
                 a,
                 Op::Put(Region::Var(r), Value::pair(Value::Int(3), Value::Int(4))),
                 Term::let_(
@@ -870,8 +870,8 @@ mod tests {
             Op::Prim(PrimOp::Sub, Value::Int(5), Value::Int(5)),
             Term::If0 {
                 scrut: Value::Var(x),
-                zero: std::rc::Rc::new(Term::Halt(Value::Int(1))),
-                nonzero: std::rc::Rc::new(Term::Halt(Value::Int(0))),
+                zero: Term::Halt(Value::Int(1)).id(),
+                nonzero: Term::Halt(Value::Int(0)).id(),
             },
         );
         assert_eq!(run_main(e), 1);
@@ -894,7 +894,7 @@ mod tests {
         };
         let main = Term::LetRegion {
             rvar: s("r0"),
-            body: std::rc::Rc::new(Term::app(
+            body: crate::intern::intern_term(Term::app(
                 Value::Addr(crate::syntax::CD, 0),
                 [],
                 [Region::Var(s("r0"))],
@@ -916,10 +916,10 @@ mod tests {
         let te = s("te");
         let mk = |tag: Tag| Term::Typecase {
             tag,
-            int_arm: std::rc::Rc::new(Term::Halt(Value::Int(0))),
-            arrow_arm: std::rc::Rc::new(Term::Halt(Value::Int(1))),
-            prod_arm: (t1, t2, std::rc::Rc::new(Term::Halt(Value::Int(2)))),
-            exist_arm: (te, std::rc::Rc::new(Term::Halt(Value::Int(3)))),
+            int_arm: Term::Halt(Value::Int(0)).id(),
+            arrow_arm: Term::Halt(Value::Int(1)).id(),
+            prod_arm: (t1, t2, Term::Halt(Value::Int(2)).id()),
+            exist_arm: (te, Term::Halt(Value::Int(3)).id()),
         };
         assert_eq!(run_main(mk(Tag::Int)), 0);
         assert_eq!(run_main(mk(Tag::arrow([Tag::Int]))), 1);
@@ -937,21 +937,17 @@ mod tests {
         // Dispatch on Int×(Int→0), then typecase on the second component.
         let inner = Term::Typecase {
             tag: Tag::Var(t2),
-            int_arm: std::rc::Rc::new(Term::Halt(Value::Int(10))),
-            arrow_arm: std::rc::Rc::new(Term::Halt(Value::Int(11))),
-            prod_arm: (
-                s("u1"),
-                s("u2"),
-                std::rc::Rc::new(Term::Halt(Value::Int(12))),
-            ),
-            exist_arm: (s("ue"), std::rc::Rc::new(Term::Halt(Value::Int(13)))),
+            int_arm: Term::Halt(Value::Int(10)).id(),
+            arrow_arm: Term::Halt(Value::Int(11)).id(),
+            prod_arm: (s("u1"), s("u2"), Term::Halt(Value::Int(12)).id()),
+            exist_arm: (s("ue"), Term::Halt(Value::Int(13)).id()),
         };
         let e = Term::Typecase {
             tag: Tag::prod(Tag::Int, Tag::arrow([Tag::Int])),
-            int_arm: std::rc::Rc::new(Term::Halt(Value::Int(0))),
-            arrow_arm: std::rc::Rc::new(Term::Halt(Value::Int(1))),
-            prod_arm: (t1, t2, std::rc::Rc::new(inner)),
-            exist_arm: (te, std::rc::Rc::new(Term::Halt(Value::Int(3)))),
+            int_arm: Term::Halt(Value::Int(0)).id(),
+            arrow_arm: Term::Halt(Value::Int(1)).id(),
+            prod_arm: (t1, t2, inner.id()),
+            exist_arm: (te, Term::Halt(Value::Int(3)).id()),
         };
         assert_eq!(run_main(e), 11);
     }
@@ -963,25 +959,17 @@ mod tests {
         let te = s("te");
         let inner = Term::Typecase {
             tag: Tag::app(Tag::Var(te), Tag::Int),
-            int_arm: std::rc::Rc::new(Term::Halt(Value::Int(0))),
-            arrow_arm: std::rc::Rc::new(Term::Halt(Value::Int(1))),
-            prod_arm: (
-                s("p1"),
-                s("p2"),
-                std::rc::Rc::new(Term::Halt(Value::Int(2))),
-            ),
-            exist_arm: (s("pe"), std::rc::Rc::new(Term::Halt(Value::Int(3)))),
+            int_arm: Term::Halt(Value::Int(0)).id(),
+            arrow_arm: Term::Halt(Value::Int(1)).id(),
+            prod_arm: (s("p1"), s("p2"), Term::Halt(Value::Int(2)).id()),
+            exist_arm: (s("pe"), Term::Halt(Value::Int(3)).id()),
         };
         let e = Term::Typecase {
             tag: Tag::exist(s("u"), Tag::prod(Tag::Var(s("u")), Tag::Int)),
-            int_arm: std::rc::Rc::new(Term::Halt(Value::Int(0))),
-            arrow_arm: std::rc::Rc::new(Term::Halt(Value::Int(1))),
-            prod_arm: (
-                s("q1"),
-                s("q2"),
-                std::rc::Rc::new(Term::Halt(Value::Int(2))),
-            ),
-            exist_arm: (te, std::rc::Rc::new(inner)),
+            int_arm: Term::Halt(Value::Int(0)).id(),
+            arrow_arm: Term::Halt(Value::Int(1)).id(),
+            prod_arm: (s("q1"), s("q2"), Term::Halt(Value::Int(2)).id()),
+            exist_arm: (te, inner.id()),
         };
         assert_eq!(run_main(e), 2);
     }
@@ -994,14 +982,14 @@ mod tests {
             tvar: t,
             kind: Kind::Omega,
             tag: Tag::Int,
-            val: std::rc::Rc::new(Value::Int(9)),
+            val: Value::Int(9).id(),
             body_ty: Ty::Int,
         };
         let e = Term::OpenTag {
             pkg,
             tvar: t,
             x,
-            body: std::rc::Rc::new(Term::Halt(Value::Var(x))),
+            body: Term::Halt(Value::Var(x)).id(),
         };
         assert_eq!(run_main(e), 9);
     }
@@ -1013,14 +1001,14 @@ mod tests {
         let a = s("a");
         let e = Term::LetRegion {
             rvar: r1,
-            body: std::rc::Rc::new(Term::let_(
+            body: crate::intern::intern_term(Term::let_(
                 a,
                 Op::Put(Region::Var(r1), Value::Int(5)),
                 Term::LetRegion {
                     rvar: r2,
-                    body: std::rc::Rc::new(Term::Only {
+                    body: crate::intern::intern_term(Term::Only {
                         regions: vec![Region::Var(r2)],
-                        body: std::rc::Rc::new(Term::Halt(Value::Int(0))),
+                        body: Term::Halt(Value::Int(0)).id(),
                     }),
                 },
             )),
@@ -1045,12 +1033,12 @@ mod tests {
         let b = s("b");
         let e = Term::LetRegion {
             rvar: r1,
-            body: std::rc::Rc::new(Term::let_(
+            body: crate::intern::intern_term(Term::let_(
                 a,
                 Op::Put(Region::Var(r1), Value::Int(5)),
                 Term::Only {
                     regions: vec![],
-                    body: std::rc::Rc::new(Term::let_(
+                    body: crate::intern::intern_term(Term::let_(
                         b,
                         Op::Get(Value::Var(a)),
                         Term::Halt(Value::Var(b)),
@@ -1072,8 +1060,8 @@ mod tests {
         let r = s("r");
         let mut body = Term::IfGc {
             rho: Region::Var(r),
-            full: std::rc::Rc::new(Term::Halt(Value::Int(1))),
-            cont: std::rc::Rc::new(Term::Halt(Value::Int(0))),
+            full: Term::Halt(Value::Int(1)).id(),
+            cont: Term::Halt(Value::Int(0)).id(),
         };
         // Fill the region past its budget first.
         for i in 0..20 {
@@ -1085,7 +1073,7 @@ mod tests {
         }
         let e = Term::LetRegion {
             rvar: r,
-            body: std::rc::Rc::new(body),
+            body: body.id(),
         };
         assert_eq!(run_main(e), 1);
     }
@@ -1097,12 +1085,12 @@ mod tests {
         let mk = |v: Value| Term::IfLeft {
             x,
             scrut: v,
-            left: std::rc::Rc::new(Term::let_(
+            left: crate::intern::intern_term(Term::let_(
                 y,
                 Op::Strip(Value::Var(x)),
                 Term::Halt(Value::Var(y)),
             )),
-            right: std::rc::Rc::new(Term::let_(
+            right: crate::intern::intern_term(Term::let_(
                 y,
                 Op::Strip(Value::Var(x)),
                 Term::Halt(Value::Var(y)),
@@ -1130,13 +1118,13 @@ mod tests {
         let c = s("c");
         let e = Term::LetRegion {
             rvar: r,
-            body: std::rc::Rc::new(Term::let_(
+            body: crate::intern::intern_term(Term::let_(
                 a,
                 Op::Put(Region::Var(r), Value::inl(Value::Int(1))),
                 Term::Set {
                     dst: Value::Var(a),
                     src: Value::inr(Value::Int(2)),
-                    body: std::rc::Rc::new(Term::let_(
+                    body: crate::intern::intern_term(Term::let_(
                         b,
                         Op::Get(Value::Var(a)),
                         Term::let_(c, Op::Strip(Value::Var(b)), Term::Halt(Value::Var(c))),
@@ -1158,17 +1146,17 @@ mod tests {
         let r2 = s("r2");
         let e = Term::LetRegion {
             rvar: r1,
-            body: std::rc::Rc::new(Term::LetRegion {
+            body: crate::intern::intern_term(Term::LetRegion {
                 rvar: r2,
-                body: std::rc::Rc::new(Term::IfReg {
+                body: crate::intern::intern_term(Term::IfReg {
                     r1: Region::Var(r1),
                     r2: Region::Var(r2),
-                    eq: std::rc::Rc::new(Term::Halt(Value::Int(1))),
-                    ne: std::rc::Rc::new(Term::IfReg {
+                    eq: Term::Halt(Value::Int(1)).id(),
+                    ne: crate::intern::intern_term(Term::IfReg {
                         r1: Region::Var(r1),
                         r2: Region::Var(r1),
-                        eq: std::rc::Rc::new(Term::Halt(Value::Int(2))),
-                        ne: std::rc::Rc::new(Term::Halt(Value::Int(3))),
+                        eq: Term::Halt(Value::Int(2)).id(),
+                        ne: Term::Halt(Value::Int(3)).id(),
                     }),
                 }),
             }),
@@ -1190,20 +1178,20 @@ mod tests {
         let a = s("a");
         let e = Term::LetRegion {
             rvar: r0,
-            body: std::rc::Rc::new(Term::let_(
+            body: crate::intern::intern_term(Term::let_(
                 a,
                 Op::Put(Region::Var(r0), Value::Int(8)),
                 Term::OpenRgn {
                     pkg: Value::PackRgn {
                         rvar: r,
-                        bound: std::rc::Rc::from(vec![Region::Var(r0)]),
+                        bound: std::sync::Arc::from(vec![Region::Var(r0)]),
                         witness: Region::Var(r0),
-                        val: std::rc::Rc::new(Value::Var(a)),
+                        val: Value::Var(a).id(),
                         body_ty: Ty::Int,
                     },
                     rvar: r,
                     x,
-                    body: std::rc::Rc::new(Term::let_(
+                    body: crate::intern::intern_term(Term::let_(
                         y,
                         Op::Get(Value::Var(x)),
                         Term::Halt(Value::Var(y)),
@@ -1228,7 +1216,7 @@ mod tests {
             to: Region::cd(),
             tag: Tag::Int,
             v: Value::Int(5),
-            body: std::rc::Rc::new(Term::Halt(Value::Var(x))),
+            body: Term::Halt(Value::Var(x)).id(),
         };
         let p = Program {
             dialect: Dialect::Forwarding,

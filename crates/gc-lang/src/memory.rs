@@ -580,7 +580,7 @@ mod tests {
             tvar: ps_ir::Symbol::intern("t"),
             kind: crate::syntax::Kind::Omega,
             tag: crate::syntax::Tag::Int,
-            val: std::rc::Rc::new(Value::Int(1)),
+            val: (Value::Int(1)).into(),
             body_ty: Ty::Int,
         };
         assert_eq!(value_words(&v), 2, "one word for the runtime tag");

@@ -15,7 +15,6 @@
 //!   (`(… )` is a term).
 
 use std::fmt;
-use std::rc::Rc;
 
 use ps_ir::Symbol;
 
@@ -793,7 +792,7 @@ impl P {
                                 avar: v,
                                 regions: regions.into(),
                                 witness,
-                                val: Rc::new(val),
+                                val: val.id(),
                                 body_ty,
                             })
                         } else {
@@ -810,7 +809,7 @@ impl P {
                                 tvar: v,
                                 kind,
                                 tag,
-                                val: Rc::new(val),
+                                val: val.id(),
                                 body_ty,
                             })
                         }
@@ -830,7 +829,7 @@ impl P {
                             rvar: v,
                             bound: bound.into(),
                             witness,
-                            val: Rc::new(val),
+                            val: val.id(),
                             body_ty,
                         })
                     }
@@ -894,7 +893,7 @@ impl P {
                 }
                 return Ok(Term::LetRegion {
                     rvar: r,
-                    body: Rc::new(self.term()?),
+                    body: self.term()?.id(),
                 });
             }
             let x = self.ident()?;
@@ -921,7 +920,7 @@ impl P {
                     to,
                     tag,
                     v,
-                    body: Rc::new(self.term()?),
+                    body: self.term()?.id(),
                 });
             }
             let op = self.op()?;
@@ -943,8 +942,8 @@ impl P {
             let cont = self.term()?;
             return Ok(Term::IfGc {
                 rho,
-                full: Rc::new(full),
-                cont: Rc::new(cont),
+                full: full.id(),
+                cont: cont.id(),
             });
         }
         if self.at_kw("only") {
@@ -955,7 +954,7 @@ impl P {
             }
             return Ok(Term::Only {
                 regions,
-                body: Rc::new(self.term()?),
+                body: self.term()?.id(),
             });
         }
         if self.at_kw("open") || self.at_kw("openα") || self.at_kw("openρ") {
@@ -976,7 +975,7 @@ impl P {
             if !self.kw("in") {
                 return self.err("expected in");
             }
-            let body = Rc::new(self.term()?);
+            let body = self.term()?.id();
             return Ok(match which.as_str() {
                 "open" => Term::OpenTag {
                     pkg,
@@ -1023,10 +1022,10 @@ impl P {
             let exist = self.term()?;
             return Ok(Term::Typecase {
                 tag,
-                int_arm: Rc::new(int_arm),
-                arrow_arm: Rc::new(arrow_arm),
-                prod_arm: (t1, t2, Rc::new(prod)),
-                exist_arm: (te, Rc::new(exist)),
+                int_arm: int_arm.id(),
+                arrow_arm: arrow_arm.id(),
+                prod_arm: (t1, t2, prod.id()),
+                exist_arm: (te, exist.id()),
             });
         }
         if self.at_kw("ifleft") {
@@ -1045,8 +1044,8 @@ impl P {
             return Ok(Term::IfLeft {
                 x,
                 scrut,
-                left: Rc::new(left),
-                right: Rc::new(right),
+                left: left.id(),
+                right: right.id(),
             });
         }
         if self.at_kw("set") {
@@ -1058,7 +1057,7 @@ impl P {
             return Ok(Term::Set {
                 dst,
                 src,
-                body: Rc::new(self.term()?),
+                body: self.term()?.id(),
             });
         }
         if self.at_kw("ifreg") {
@@ -1079,8 +1078,8 @@ impl P {
             return Ok(Term::IfReg {
                 r1,
                 r2,
-                eq: Rc::new(eq),
-                ne: Rc::new(ne),
+                eq: eq.id(),
+                ne: ne.id(),
             });
         }
         if self.at_kw("if0") {
@@ -1096,8 +1095,8 @@ impl P {
             let nonzero = self.term()?;
             return Ok(Term::If0 {
                 scrut,
-                zero: Rc::new(zero),
-                nonzero: Rc::new(nonzero),
+                zero: zero.id(),
+                nonzero: nonzero.id(),
             });
         }
         // A parenthesized term (needed for nested typecase arms).

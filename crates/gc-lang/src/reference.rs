@@ -6,15 +6,25 @@
 //! fingerprints — every call walks the whole tree and α-compares with an
 //! explicit binder-pairing environment.
 //!
+//! Since terms and values were interned too, the module also keeps the
+//! pre-interning recursive *substitution* ([`RefSubst`]): every node is
+//! rebuilt unconditionally, with no free-variable fingerprints and no
+//! same-id short-circuit, plus term/value α-equivalence
+//! ([`term_alpha_eq`], [`value_alpha_eq`]) to compare its answers against
+//! the fingerprint-skipping [`crate::subst::Subst`] fast path.
+//!
 //! They are kept (and exported) for one purpose: the differential suite in
 //! `tests/intern_agreement.rs` property-checks the memoized, id-keyed fast
 //! paths against these slow-but-obviously-correct ports. Nothing in the
 //! crate's own pipeline calls them.
 
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
 use ps_ir::Symbol;
 
 use crate::subst::Subst;
-use crate::syntax::{Dialect, Kind, Region, Tag, Ty};
+use crate::syntax::{CodeDef, Dialect, Kind, Op, Region, Tag, Term, Ty, Value};
 
 // ----- tags --------------------------------------------------------------
 
@@ -492,4 +502,942 @@ pub fn ty_eq(a: &Ty, b: &Ty, dialect: Dialect) -> bool {
         return true;
     }
     ty_alpha_eq(&normalize_ty(a, dialect), &normalize_ty(b, dialect))
+}
+
+// ----- terms and values --------------------------------------------------
+
+/// Pre-interning recursive substitution over the four λGC namespaces.
+///
+/// This is the straightforward capture-avoiding structural recursion that
+/// [`crate::subst::Subst`] performed before terms and values were
+/// hash-consed: every node is rebuilt unconditionally — no free-variable
+/// fingerprints, no same-id short-circuit, no skip counters. Tag and α
+/// binders are renamed to a fresh name on *every* entry (the
+/// obviously-correct capture-avoidance policy), so results agree with the
+/// fast path only up to α — compare with [`term_alpha_eq`].
+///
+/// Two deliberate asymmetries mirror `Subst` exactly, because they are
+/// semantic rather than representational:
+///
+/// * value binders are never renamed (runtime ranges are closed in `x`,
+///   and both paths must shadow identically), and
+/// * region binders are renamed only when they would capture a free
+///   region variable of a *region* range — region variables inside α and
+///   value witnesses are intentionally capturable (the Fig. 12
+///   translucency pun; see [`Subst::with_alpha`]).
+#[derive(Clone, Debug, Default)]
+pub struct RefSubst {
+    tags: HashMap<Symbol, Tag>,
+    rgns: HashMap<Symbol, Region>,
+    alphas: HashMap<Symbol, Ty>,
+    vals: HashMap<Symbol, Value>,
+    /// Free region variables of the region ranges — the one capture check
+    /// that must *not* be conservative (see the translucency pun above).
+    range_rvars: HashSet<Symbol>,
+}
+
+impl RefSubst {
+    /// The empty substitution.
+    pub fn new() -> RefSubst {
+        RefSubst::default()
+    }
+
+    /// Extends with `t ↦ τ`.
+    #[must_use]
+    pub fn with_tag(mut self, t: Symbol, tau: Tag) -> RefSubst {
+        self.tags.insert(t, tau);
+        self
+    }
+
+    /// Extends with `r ↦ ρ`.
+    #[must_use]
+    pub fn with_rgn(mut self, r: Symbol, rho: Region) -> RefSubst {
+        if let Region::Var(v) = rho {
+            self.range_rvars.insert(v);
+        }
+        self.rgns.insert(r, rho);
+        self
+    }
+
+    /// Extends with `α ↦ σ`.
+    #[must_use]
+    pub fn with_alpha(mut self, a: Symbol, sigma: Ty) -> RefSubst {
+        self.alphas.insert(a, sigma);
+        self
+    }
+
+    /// Extends with `x ↦ v`.
+    #[must_use]
+    pub fn with_val(mut self, x: Symbol, v: Value) -> RefSubst {
+        self.vals.insert(x, v);
+        self
+    }
+
+    // ----- binder entry (always-fresh for tags and α) --------------------
+
+    fn enter_tag_binder(&self, t: Symbol) -> (RefSubst, Symbol) {
+        let mut sub = self.clone();
+        sub.tags.remove(&t);
+        let fresh = t.fresh();
+        sub.tags.insert(t, Tag::Var(fresh));
+        (sub, fresh)
+    }
+
+    fn enter_alpha_binder(&self, a: Symbol) -> (RefSubst, Symbol) {
+        let mut sub = self.clone();
+        sub.alphas.remove(&a);
+        let fresh = a.fresh();
+        sub.alphas.insert(a, Ty::Alpha(fresh));
+        (sub, fresh)
+    }
+
+    fn enter_rgn_binder(&self, r: Symbol) -> (RefSubst, Symbol) {
+        let mut sub = self.clone();
+        sub.rgns.remove(&r);
+        if sub.range_rvars.contains(&r) {
+            let fresh = r.fresh();
+            sub.range_rvars.insert(fresh);
+            sub.rgns.insert(r, Region::Var(fresh));
+            (sub, fresh)
+        } else {
+            (sub, r)
+        }
+    }
+
+    fn enter_val_binder(&self, x: Symbol) -> RefSubst {
+        let mut sub = self.clone();
+        sub.vals.remove(&x);
+        sub
+    }
+
+    // ----- application ----------------------------------------------------
+
+    /// Applies the substitution to a region.
+    pub fn region(&self, rho: &Region) -> Region {
+        match rho {
+            Region::Var(r) => self.rgns.get(r).copied().unwrap_or(*rho),
+            Region::Name(_) => *rho,
+        }
+    }
+
+    /// Applies the substitution to a tag, rebuilding every node.
+    pub fn tag(&self, tau: &Tag) -> Tag {
+        match tau {
+            Tag::Var(t) => self.tags.get(t).cloned().unwrap_or_else(|| tau.clone()),
+            Tag::AnyArrow(t) => match self.tags.get(t) {
+                Some(Tag::Var(t2)) => Tag::AnyArrow(*t2),
+                Some(concrete @ Tag::Arrow(_)) => concrete.clone(),
+                Some(Tag::AnyArrow(t2)) => Tag::AnyArrow(*t2),
+                Some(other) => other.clone(),
+                None => tau.clone(),
+            },
+            Tag::Int => Tag::Int,
+            Tag::Prod(a, b) => Tag::prod(self.tag(a), self.tag(b)),
+            Tag::Arrow(args) => Tag::arrow(args.iter().map(|a| self.tag(a)).collect::<Vec<_>>()),
+            Tag::Exist(t, body) => {
+                let (sub, t2) = self.enter_tag_binder(*t);
+                Tag::exist(t2, sub.tag(body))
+            }
+            Tag::Lam(t, body) => {
+                let (sub, t2) = self.enter_tag_binder(*t);
+                Tag::lam(t2, sub.tag(body))
+            }
+            Tag::App(f, a) => Tag::app(self.tag(f), self.tag(a)),
+        }
+    }
+
+    /// Applies the substitution to a type, rebuilding every node.
+    pub fn ty(&self, sigma: &Ty) -> Ty {
+        match sigma {
+            Ty::Int => Ty::Int,
+            Ty::Prod(a, b) => Ty::prod(self.ty(a), self.ty(b)),
+            Ty::Sum(a, b) => Ty::sum(self.ty(a), self.ty(b)),
+            Ty::Left(a) => Ty::Left(self.ty(a).id()),
+            Ty::Right(a) => Ty::Right(self.ty(a).id()),
+            Ty::Code { tvars, rvars, args } => {
+                let mut sub = self.clone();
+                let mut tvs = Vec::with_capacity(tvars.len());
+                for (t, k) in tvars.iter() {
+                    let (s2, t2) = sub.enter_tag_binder(*t);
+                    sub = s2;
+                    tvs.push((t2, *k));
+                }
+                let mut rvs = Vec::with_capacity(rvars.len());
+                for r in rvars.iter() {
+                    let (s2, r2) = sub.enter_rgn_binder(*r);
+                    sub = s2;
+                    rvs.push(r2);
+                }
+                Ty::code(tvs, rvs, args.iter().map(|a| sub.ty(a)).collect::<Vec<_>>())
+            }
+            Ty::ExistTag { tvar, kind, body } => {
+                let (sub, t2) = self.enter_tag_binder(*tvar);
+                Ty::exist_tag(t2, *kind, sub.ty(body))
+            }
+            Ty::At(inner, rho) => self.ty(inner).at(self.region(rho)),
+            Ty::M(rho, tag) => Ty::m(self.region(rho), self.tag(tag)),
+            Ty::C(from, to, tag) => Ty::c(self.region(from), self.region(to), self.tag(tag)),
+            Ty::MGen(y, o, tag) => Ty::mgen(self.region(y), self.region(o), self.tag(tag)),
+            Ty::Alpha(a) => self.alphas.get(a).cloned().unwrap_or_else(|| sigma.clone()),
+            Ty::ExistAlpha {
+                avar,
+                regions,
+                body,
+            } => {
+                let regions: Vec<Region> = regions.iter().map(|r| self.region(r)).collect();
+                let (sub, a2) = self.enter_alpha_binder(*avar);
+                Ty::exist_alpha(a2, regions, sub.ty(body))
+            }
+            Ty::Trans {
+                tags,
+                regions,
+                args,
+                rho,
+            } => Ty::Trans {
+                tags: tags.iter().map(|t| self.tag(t).id()).collect(),
+                regions: regions.iter().map(|r| self.region(r)).collect(),
+                args: args.iter().map(|a| self.ty(a).id()).collect(),
+                rho: self.region(rho),
+            },
+            Ty::ExistRgn { rvar, bound, body } => {
+                let bound: Vec<Region> = bound.iter().map(|r| self.region(r)).collect();
+                let (sub, r2) = self.enter_rgn_binder(*rvar);
+                Ty::exist_rgn(r2, bound, sub.ty(body))
+            }
+        }
+    }
+
+    /// Applies the substitution to a value, rebuilding every node.
+    pub fn value(&self, v: &Value) -> Value {
+        match v {
+            Value::Int(_) | Value::Addr(..) => v.clone(),
+            Value::Var(x) => self.vals.get(x).cloned().unwrap_or_else(|| v.clone()),
+            Value::Pair(a, b) => Value::pair(self.value(a), self.value(b)),
+            Value::PackTag {
+                tvar,
+                kind,
+                tag,
+                val,
+                body_ty,
+            } => {
+                let tag = self.tag(tag);
+                let val = self.value(val).id();
+                let (sub, t2) = self.enter_tag_binder(*tvar);
+                Value::PackTag {
+                    tvar: t2,
+                    kind: *kind,
+                    tag,
+                    val,
+                    body_ty: sub.ty(body_ty),
+                }
+            }
+            Value::PackAlpha {
+                avar,
+                regions,
+                witness,
+                val,
+                body_ty,
+            } => {
+                let regions: Arc<[Region]> = regions.iter().map(|r| self.region(r)).collect();
+                let witness = self.ty(witness);
+                let val = self.value(val).id();
+                let (sub, a2) = self.enter_alpha_binder(*avar);
+                Value::PackAlpha {
+                    avar: a2,
+                    regions,
+                    witness,
+                    val,
+                    body_ty: sub.ty(body_ty),
+                }
+            }
+            Value::PackRgn {
+                rvar,
+                bound,
+                witness,
+                val,
+                body_ty,
+            } => {
+                let bound: Arc<[Region]> = bound.iter().map(|r| self.region(r)).collect();
+                let witness = self.region(witness);
+                let val = self.value(val).id();
+                let (sub, r2) = self.enter_rgn_binder(*rvar);
+                Value::PackRgn {
+                    rvar: r2,
+                    bound,
+                    witness,
+                    val,
+                    body_ty: sub.ty(body_ty),
+                }
+            }
+            Value::TagApp(f, tags, regions) => Value::TagApp(
+                self.value(f).id(),
+                tags.iter().map(|t| self.tag(t)).collect(),
+                regions.iter().map(|r| self.region(r)).collect(),
+            ),
+            Value::Code(def) => Value::Code(Arc::new(self.code_def(def))),
+            Value::Inl(x) => Value::Inl(self.value(x).id()),
+            Value::Inr(x) => Value::Inr(self.value(x).id()),
+        }
+    }
+
+    /// Applies the substitution to an operation.
+    pub fn op(&self, op: &Op) -> Op {
+        match op {
+            Op::Val(v) => Op::Val(self.value(v)),
+            Op::Proj(i, v) => Op::Proj(*i, self.value(v)),
+            Op::Put(rho, v) => Op::Put(self.region(rho), self.value(v)),
+            Op::Get(v) => Op::Get(self.value(v)),
+            Op::Strip(v) => Op::Strip(self.value(v)),
+            Op::Prim(p, a, b) => Op::Prim(*p, self.value(a), self.value(b)),
+        }
+    }
+
+    /// Applies the substitution to a code definition.
+    pub fn code_def(&self, def: &CodeDef) -> CodeDef {
+        let mut sub = self.clone();
+        let mut tvs = Vec::with_capacity(def.tvars.len());
+        for (t, k) in &def.tvars {
+            let (s2, t2) = sub.enter_tag_binder(*t);
+            sub = s2;
+            tvs.push((t2, *k));
+        }
+        let mut rvs = Vec::with_capacity(def.rvars.len());
+        for r in &def.rvars {
+            let (s2, r2) = sub.enter_rgn_binder(*r);
+            sub = s2;
+            rvs.push(r2);
+        }
+        let mut params = Vec::with_capacity(def.params.len());
+        for (x, t) in &def.params {
+            params.push((*x, sub.ty(t)));
+        }
+        for (x, _) in &def.params {
+            sub = sub.enter_val_binder(*x);
+        }
+        CodeDef {
+            name: def.name,
+            tvars: tvs,
+            rvars: rvs,
+            params,
+            body: sub.term(&def.body),
+        }
+    }
+
+    /// Applies the substitution to a term, rebuilding every node.
+    pub fn term(&self, e: &Term) -> Term {
+        match e {
+            Term::App {
+                f,
+                tags,
+                regions,
+                args,
+            } => Term::App {
+                f: self.value(f),
+                tags: tags.iter().map(|t| self.tag(t)).collect(),
+                regions: regions.iter().map(|r| self.region(r)).collect(),
+                args: args.iter().map(|v| self.value(v)).collect(),
+            },
+            Term::Let { x, op, body } => {
+                let op = self.op(op);
+                let sub = self.enter_val_binder(*x);
+                Term::let_(*x, op, sub.term(body))
+            }
+            Term::Halt(v) => Term::Halt(self.value(v)),
+            Term::IfGc { rho, full, cont } => Term::IfGc {
+                rho: self.region(rho),
+                full: self.term(full).id(),
+                cont: self.term(cont).id(),
+            },
+            Term::OpenTag { pkg, tvar, x, body } => {
+                let pkg = self.value(pkg);
+                let (sub, t2) = self.enter_tag_binder(*tvar);
+                let sub = sub.enter_val_binder(*x);
+                Term::OpenTag {
+                    pkg,
+                    tvar: t2,
+                    x: *x,
+                    body: sub.term(body).id(),
+                }
+            }
+            Term::OpenAlpha { pkg, avar, x, body } => {
+                let pkg = self.value(pkg);
+                let (sub, a2) = self.enter_alpha_binder(*avar);
+                let sub = sub.enter_val_binder(*x);
+                Term::OpenAlpha {
+                    pkg,
+                    avar: a2,
+                    x: *x,
+                    body: sub.term(body).id(),
+                }
+            }
+            Term::OpenRgn { pkg, rvar, x, body } => {
+                let pkg = self.value(pkg);
+                let (sub, r2) = self.enter_rgn_binder(*rvar);
+                let sub = sub.enter_val_binder(*x);
+                Term::OpenRgn {
+                    pkg,
+                    rvar: r2,
+                    x: *x,
+                    body: sub.term(body).id(),
+                }
+            }
+            Term::LetRegion { rvar, body } => {
+                let (sub, r2) = self.enter_rgn_binder(*rvar);
+                Term::LetRegion {
+                    rvar: r2,
+                    body: sub.term(body).id(),
+                }
+            }
+            Term::Only { regions, body } => Term::Only {
+                regions: regions.iter().map(|r| self.region(r)).collect(),
+                body: self.term(body).id(),
+            },
+            Term::Typecase {
+                tag,
+                int_arm,
+                arrow_arm,
+                prod_arm,
+                exist_arm,
+            } => {
+                let tag = self.tag(tag);
+                let int_arm = self.term(int_arm).id();
+                let arrow_arm = self.term(arrow_arm).id();
+                let (t1, t2, pe) = prod_arm;
+                let (s1, t1b) = self.enter_tag_binder(*t1);
+                let (s2, t2b) = s1.enter_tag_binder(*t2);
+                let prod_arm = (t1b, t2b, s2.term(pe).id());
+                let (te, ee) = exist_arm;
+                let (s3, teb) = self.enter_tag_binder(*te);
+                let exist_arm = (teb, s3.term(ee).id());
+                Term::Typecase {
+                    tag,
+                    int_arm,
+                    arrow_arm,
+                    prod_arm,
+                    exist_arm,
+                }
+            }
+            Term::IfLeft {
+                x,
+                scrut,
+                left,
+                right,
+            } => {
+                let scrut = self.value(scrut);
+                let sub = self.enter_val_binder(*x);
+                Term::IfLeft {
+                    x: *x,
+                    scrut,
+                    left: sub.term(left).id(),
+                    right: sub.term(right).id(),
+                }
+            }
+            Term::Set { dst, src, body } => Term::Set {
+                dst: self.value(dst),
+                src: self.value(src),
+                body: self.term(body).id(),
+            },
+            Term::Widen {
+                x,
+                from,
+                to,
+                tag,
+                v,
+                body,
+            } => {
+                let from = self.region(from);
+                let to = self.region(to);
+                let tag = self.tag(tag);
+                let v = self.value(v);
+                let sub = self.enter_val_binder(*x);
+                Term::Widen {
+                    x: *x,
+                    from,
+                    to,
+                    tag,
+                    v,
+                    body: sub.term(body).id(),
+                }
+            }
+            Term::IfReg { r1, r2, eq, ne } => Term::IfReg {
+                r1: self.region(r1),
+                r2: self.region(r2),
+                eq: self.term(eq).id(),
+                ne: self.term(ne).id(),
+            },
+            Term::If0 {
+                scrut,
+                zero,
+                nonzero,
+            } => Term::If0 {
+                scrut: self.value(scrut),
+                zero: self.term(zero).id(),
+                nonzero: self.term(nonzero).id(),
+            },
+        }
+    }
+}
+
+/// Binder-pairing environment extended with the value namespace.
+#[derive(Default)]
+struct TermAlphaEnv {
+    tys: AlphaEnv,
+    vals: Vec<(Symbol, Symbol)>,
+}
+
+fn value_eq_env(a: &Value, b: &Value, env: &mut TermAlphaEnv) -> bool {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Var(x), Value::Var(y)) => var_eq(*x, *y, &env.vals),
+        (Value::Addr(n1, l1), Value::Addr(n2, l2)) => n1 == n2 && l1 == l2,
+        (Value::Pair(a1, a2), Value::Pair(b1, b2)) => {
+            value_eq_env(a1, b1, env) && value_eq_env(a2, b2, env)
+        }
+        (
+            Value::PackTag {
+                tvar: t1,
+                kind: k1,
+                tag: g1,
+                val: v1,
+                body_ty: s1,
+            },
+            Value::PackTag {
+                tvar: t2,
+                kind: k2,
+                tag: g2,
+                val: v2,
+                body_ty: s2,
+            },
+        ) => {
+            if k1 != k2 || !tag_eq_env(g1, g2, &mut env.tys) || !value_eq_env(v1, v2, env) {
+                return false;
+            }
+            env.tys.tags.push((*t1, *t2));
+            let r = ty_eq_env(s1, s2, &mut env.tys);
+            env.tys.tags.pop();
+            r
+        }
+        (
+            Value::PackAlpha {
+                avar: a1,
+                regions: d1,
+                witness: w1,
+                val: v1,
+                body_ty: s1,
+            },
+            Value::PackAlpha {
+                avar: a2,
+                regions: d2,
+                witness: w2,
+                val: v2,
+                body_ty: s2,
+            },
+        ) => {
+            if !region_set_eq(d1, d2, &env.tys)
+                || !ty_eq_env(w1, w2, &mut env.tys)
+                || !value_eq_env(v1, v2, env)
+            {
+                return false;
+            }
+            env.tys.alphas.push((*a1, *a2));
+            let r = ty_eq_env(s1, s2, &mut env.tys);
+            env.tys.alphas.pop();
+            r
+        }
+        (
+            Value::PackRgn {
+                rvar: r1,
+                bound: d1,
+                witness: w1,
+                val: v1,
+                body_ty: s1,
+            },
+            Value::PackRgn {
+                rvar: r2,
+                bound: d2,
+                witness: w2,
+                val: v2,
+                body_ty: s2,
+            },
+        ) => {
+            if !region_set_eq(d1, d2, &env.tys)
+                || !region_eq(w1, w2, &env.tys)
+                || !value_eq_env(v1, v2, env)
+            {
+                return false;
+            }
+            env.tys.rgns.push((*r1, *r2));
+            let r = ty_eq_env(s1, s2, &mut env.tys);
+            env.tys.rgns.pop();
+            r
+        }
+        (Value::TagApp(f1, g1, d1), Value::TagApp(f2, g2, d2)) => {
+            value_eq_env(f1, f2, env)
+                && g1.len() == g2.len()
+                && d1.len() == d2.len()
+                && g1
+                    .iter()
+                    .zip(g2.iter())
+                    .all(|(x, y)| tag_eq_env(x, y, &mut env.tys))
+                && d1
+                    .iter()
+                    .zip(d2.iter())
+                    .all(|(x, y)| region_eq(x, y, &env.tys))
+        }
+        (Value::Code(d1), Value::Code(d2)) => code_def_eq_env(d1, d2, env),
+        (Value::Inl(x), Value::Inl(y)) | (Value::Inr(x), Value::Inr(y)) => value_eq_env(x, y, env),
+        _ => false,
+    }
+}
+
+fn op_eq_env(a: &Op, b: &Op, env: &mut TermAlphaEnv) -> bool {
+    match (a, b) {
+        (Op::Val(x), Op::Val(y)) | (Op::Get(x), Op::Get(y)) | (Op::Strip(x), Op::Strip(y)) => {
+            value_eq_env(x, y, env)
+        }
+        (Op::Proj(i, x), Op::Proj(j, y)) => i == j && value_eq_env(x, y, env),
+        (Op::Put(r1, x), Op::Put(r2, y)) => region_eq(r1, r2, &env.tys) && value_eq_env(x, y, env),
+        (Op::Prim(p, a1, a2), Op::Prim(q, b1, b2)) => {
+            p == q && value_eq_env(a1, b1, env) && value_eq_env(a2, b2, env)
+        }
+        _ => false,
+    }
+}
+
+fn code_def_eq_env(a: &CodeDef, b: &CodeDef, env: &mut TermAlphaEnv) -> bool {
+    // Names are labels resolved through `cd` at application time, so they
+    // are semantically significant and must match exactly.
+    if a.name != b.name
+        || a.tvars.len() != b.tvars.len()
+        || a.rvars.len() != b.rvars.len()
+        || a.params.len() != b.params.len()
+        || a.tvars
+            .iter()
+            .zip(b.tvars.iter())
+            .any(|((_, k1), (_, k2))| k1 != k2)
+    {
+        return false;
+    }
+    let nt = a.tvars.len();
+    let nr = a.rvars.len();
+    let nx = a.params.len();
+    for ((t1, _), (t2, _)) in a.tvars.iter().zip(b.tvars.iter()) {
+        env.tys.tags.push((*t1, *t2));
+    }
+    for (r1, r2) in a.rvars.iter().zip(b.rvars.iter()) {
+        env.tys.rgns.push((*r1, *r2));
+    }
+    let mut ok = a
+        .params
+        .iter()
+        .zip(b.params.iter())
+        .all(|((_, s1), (_, s2))| ty_eq_env(s1, s2, &mut env.tys));
+    for ((x1, _), (x2, _)) in a.params.iter().zip(b.params.iter()) {
+        env.vals.push((*x1, *x2));
+    }
+    ok = ok && term_eq_env(&a.body, &b.body, env);
+    env.vals.truncate(env.vals.len() - nx);
+    env.tys.rgns.truncate(env.tys.rgns.len() - nr);
+    env.tys.tags.truncate(env.tys.tags.len() - nt);
+    ok
+}
+
+fn term_eq_env(a: &Term, b: &Term, env: &mut TermAlphaEnv) -> bool {
+    match (a, b) {
+        (
+            Term::App {
+                f: f1,
+                tags: g1,
+                regions: d1,
+                args: a1,
+            },
+            Term::App {
+                f: f2,
+                tags: g2,
+                regions: d2,
+                args: a2,
+            },
+        ) => {
+            value_eq_env(f1, f2, env)
+                && g1.len() == g2.len()
+                && d1.len() == d2.len()
+                && a1.len() == a2.len()
+                && g1
+                    .iter()
+                    .zip(g2.iter())
+                    .all(|(x, y)| tag_eq_env(x, y, &mut env.tys))
+                && d1
+                    .iter()
+                    .zip(d2.iter())
+                    .all(|(x, y)| region_eq(x, y, &env.tys))
+                && a1
+                    .iter()
+                    .zip(a2.iter())
+                    .all(|(x, y)| value_eq_env(x, y, env))
+        }
+        (
+            Term::Let {
+                x: x1,
+                op: o1,
+                body: b1,
+            },
+            Term::Let {
+                x: x2,
+                op: o2,
+                body: b2,
+            },
+        ) => {
+            if !op_eq_env(o1, o2, env) {
+                return false;
+            }
+            env.vals.push((*x1, *x2));
+            let r = term_eq_env(b1, b2, env);
+            env.vals.pop();
+            r
+        }
+        (Term::Halt(x), Term::Halt(y)) => value_eq_env(x, y, env),
+        (
+            Term::IfGc {
+                rho: r1,
+                full: f1,
+                cont: c1,
+            },
+            Term::IfGc {
+                rho: r2,
+                full: f2,
+                cont: c2,
+            },
+        ) => region_eq(r1, r2, &env.tys) && term_eq_env(f1, f2, env) && term_eq_env(c1, c2, env),
+        (
+            Term::OpenTag {
+                pkg: p1,
+                tvar: t1,
+                x: x1,
+                body: b1,
+            },
+            Term::OpenTag {
+                pkg: p2,
+                tvar: t2,
+                x: x2,
+                body: b2,
+            },
+        ) => {
+            if !value_eq_env(p1, p2, env) {
+                return false;
+            }
+            env.tys.tags.push((*t1, *t2));
+            env.vals.push((*x1, *x2));
+            let r = term_eq_env(b1, b2, env);
+            env.vals.pop();
+            env.tys.tags.pop();
+            r
+        }
+        (
+            Term::OpenAlpha {
+                pkg: p1,
+                avar: a1,
+                x: x1,
+                body: b1,
+            },
+            Term::OpenAlpha {
+                pkg: p2,
+                avar: a2,
+                x: x2,
+                body: b2,
+            },
+        ) => {
+            if !value_eq_env(p1, p2, env) {
+                return false;
+            }
+            env.tys.alphas.push((*a1, *a2));
+            env.vals.push((*x1, *x2));
+            let r = term_eq_env(b1, b2, env);
+            env.vals.pop();
+            env.tys.alphas.pop();
+            r
+        }
+        (
+            Term::OpenRgn {
+                pkg: p1,
+                rvar: r1,
+                x: x1,
+                body: b1,
+            },
+            Term::OpenRgn {
+                pkg: p2,
+                rvar: r2,
+                x: x2,
+                body: b2,
+            },
+        ) => {
+            if !value_eq_env(p1, p2, env) {
+                return false;
+            }
+            env.tys.rgns.push((*r1, *r2));
+            env.vals.push((*x1, *x2));
+            let r = term_eq_env(b1, b2, env);
+            env.vals.pop();
+            env.tys.rgns.pop();
+            r
+        }
+        (Term::LetRegion { rvar: r1, body: b1 }, Term::LetRegion { rvar: r2, body: b2 }) => {
+            env.tys.rgns.push((*r1, *r2));
+            let r = term_eq_env(b1, b2, env);
+            env.tys.rgns.pop();
+            r
+        }
+        (
+            Term::Only {
+                regions: d1,
+                body: b1,
+            },
+            Term::Only {
+                regions: d2,
+                body: b2,
+            },
+        ) => region_set_eq(d1, d2, &env.tys) && term_eq_env(b1, b2, env),
+        (
+            Term::Typecase {
+                tag: g1,
+                int_arm: i1,
+                arrow_arm: l1,
+                prod_arm: (p1a, p1b, p1e),
+                exist_arm: (e1t, e1e),
+            },
+            Term::Typecase {
+                tag: g2,
+                int_arm: i2,
+                arrow_arm: l2,
+                prod_arm: (p2a, p2b, p2e),
+                exist_arm: (e2t, e2e),
+            },
+        ) => {
+            if !tag_eq_env(g1, g2, &mut env.tys)
+                || !term_eq_env(i1, i2, env)
+                || !term_eq_env(l1, l2, env)
+            {
+                return false;
+            }
+            env.tys.tags.push((*p1a, *p2a));
+            env.tys.tags.push((*p1b, *p2b));
+            let prod_ok = term_eq_env(p1e, p2e, env);
+            env.tys.tags.pop();
+            env.tys.tags.pop();
+            if !prod_ok {
+                return false;
+            }
+            env.tys.tags.push((*e1t, *e2t));
+            let exist_ok = term_eq_env(e1e, e2e, env);
+            env.tys.tags.pop();
+            exist_ok
+        }
+        (
+            Term::IfLeft {
+                x: x1,
+                scrut: s1,
+                left: l1,
+                right: r1,
+            },
+            Term::IfLeft {
+                x: x2,
+                scrut: s2,
+                left: l2,
+                right: r2,
+            },
+        ) => {
+            if !value_eq_env(s1, s2, env) {
+                return false;
+            }
+            env.vals.push((*x1, *x2));
+            let r = term_eq_env(l1, l2, env) && term_eq_env(r1, r2, env);
+            env.vals.pop();
+            r
+        }
+        (
+            Term::Set {
+                dst: d1,
+                src: s1,
+                body: b1,
+            },
+            Term::Set {
+                dst: d2,
+                src: s2,
+                body: b2,
+            },
+        ) => value_eq_env(d1, d2, env) && value_eq_env(s1, s2, env) && term_eq_env(b1, b2, env),
+        (
+            Term::Widen {
+                x: x1,
+                from: f1,
+                to: t1,
+                tag: g1,
+                v: v1,
+                body: b1,
+            },
+            Term::Widen {
+                x: x2,
+                from: f2,
+                to: t2,
+                tag: g2,
+                v: v2,
+                body: b2,
+            },
+        ) => {
+            if !region_eq(f1, f2, &env.tys)
+                || !region_eq(t1, t2, &env.tys)
+                || !tag_eq_env(g1, g2, &mut env.tys)
+                || !value_eq_env(v1, v2, env)
+            {
+                return false;
+            }
+            env.vals.push((*x1, *x2));
+            let r = term_eq_env(b1, b2, env);
+            env.vals.pop();
+            r
+        }
+        (
+            Term::IfReg {
+                r1: a1,
+                r2: a2,
+                eq: e1,
+                ne: n1,
+            },
+            Term::IfReg {
+                r1: b1,
+                r2: b2,
+                eq: e2,
+                ne: n2,
+            },
+        ) => {
+            region_eq(a1, b1, &env.tys)
+                && region_eq(a2, b2, &env.tys)
+                && term_eq_env(e1, e2, env)
+                && term_eq_env(n1, n2, env)
+        }
+        (
+            Term::If0 {
+                scrut: s1,
+                zero: z1,
+                nonzero: n1,
+            },
+            Term::If0 {
+                scrut: s2,
+                zero: z2,
+                nonzero: n2,
+            },
+        ) => value_eq_env(s1, s2, env) && term_eq_env(z1, z2, env) && term_eq_env(n1, n2, env),
+        _ => false,
+    }
+}
+
+/// α-equivalence of values by explicit binder pairing across all four
+/// namespaces.
+pub fn value_alpha_eq(a: &Value, b: &Value) -> bool {
+    value_eq_env(a, b, &mut TermAlphaEnv::default())
+}
+
+/// α-equivalence of terms by explicit binder pairing across all four
+/// namespaces (region sets compare as sets, like [`ty_alpha_eq`]).
+pub fn term_alpha_eq(a: &Term, b: &Term) -> bool {
+    term_eq_env(a, b, &mut TermAlphaEnv::default())
 }

@@ -20,14 +20,17 @@
 //! type/tag split of §2.2.2), so region substitution does not descend into
 //! tags.
 
+use std::borrow::Cow;
 use std::collections::HashSet;
 use std::hash::BuildHasher;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ps_ir::symbol::{SymbolMap, SymbolSet};
 use ps_ir::Symbol;
 
-use crate::intern::{self, intern_tag, intern_ty, TagId, TyId};
+use crate::intern::{
+    self, intern_tag, intern_term, intern_ty, intern_value, TagId, TermId, TyId, ValId,
+};
 use crate::syntax::{CodeDef, Op, Region, Tag, Term, Ty, Value};
 
 /// Does the substitution domain `map` touch any of the (sorted) free
@@ -228,55 +231,94 @@ impl Subst {
     }
 
     // ----- binder entry -------------------------------------------------
+    //
+    // Each namespace has an in-place `_mut` variant (for loops over binder
+    // lists, which would otherwise clone once per binder) and a
+    // copy-on-write wrapper. The wrapper's fast path — the binder is
+    // neither in the domain nor capturable — borrows `self` unchanged;
+    // since a machine-step substitution's domain is a single closed value,
+    // descending under tag/region/α binders then costs nothing, which is
+    // measurably the difference between the substitution machine cloning
+    // four hash maps per package value and not.
 
-    /// Prepares to descend under a tag binder `t`: removes `t` from the
-    /// domain and, if `t` would capture a range variable, renames it.
-    /// Returns the adjusted substitution and the (possibly fresh) binder.
-    fn enter_tag_binder(&self, t: Symbol) -> (Subst, Symbol) {
-        let mut sub = self.clone();
-        sub.tags.remove(&t);
-        if sub.range_tvars.contains(&t) {
+    /// Prepares to descend under a tag binder `t`, in place: removes `t`
+    /// from the domain and, if `t` would capture a range variable, renames
+    /// it. Returns the (possibly fresh) binder.
+    fn enter_tag_binder_mut(&mut self, t: Symbol) -> Symbol {
+        self.tags.remove(&t);
+        if self.range_tvars.contains(&t) {
             let fresh = t.fresh();
-            sub = sub.with_tag(t, Tag::Var(fresh));
-            (sub, fresh)
+            self.insert_tag(t, Tag::Var(fresh));
+            fresh
         } else {
-            (sub, t)
+            t
         }
     }
 
-    /// Like [`Self::enter_tag_binder`] for region binders.
-    fn enter_rgn_binder(&self, r: Symbol) -> (Subst, Symbol) {
+    /// Copy-on-write [`Self::enter_tag_binder_mut`].
+    fn enter_tag_binder(&self, t: Symbol) -> (Cow<'_, Subst>, Symbol) {
+        if !self.tags.contains_key(&t) && !self.range_tvars.contains(&t) {
+            return (Cow::Borrowed(self), t);
+        }
         let mut sub = self.clone();
-        sub.rgns.remove(&r);
-        if sub.range_rvars.contains(&r) {
+        let t2 = sub.enter_tag_binder_mut(t);
+        (Cow::Owned(sub), t2)
+    }
+
+    /// Like [`Self::enter_tag_binder_mut`] for region binders.
+    fn enter_rgn_binder_mut(&mut self, r: Symbol) -> Symbol {
+        self.rgns.remove(&r);
+        if self.range_rvars.contains(&r) {
             let fresh = r.fresh();
-            sub = sub.with_rgn(r, Region::Var(fresh));
-            (sub, fresh)
+            self.insert_rgn(r, Region::Var(fresh));
+            fresh
         } else {
-            (sub, r)
+            r
         }
     }
 
-    /// Like [`Self::enter_tag_binder`] for α binders.
-    fn enter_alpha_binder(&self, a: Symbol) -> (Subst, Symbol) {
-        let mut sub = self.clone();
-        sub.alphas.remove(&a);
-        if sub.range_avars.contains(&a) {
-            let fresh = a.fresh();
-            sub = sub.with_alpha(a, Ty::Alpha(fresh));
-            (sub, fresh)
-        } else {
-            (sub, a)
+    /// Copy-on-write [`Self::enter_rgn_binder_mut`].
+    fn enter_rgn_binder(&self, r: Symbol) -> (Cow<'_, Subst>, Symbol) {
+        if !self.rgns.contains_key(&r) && !self.range_rvars.contains(&r) {
+            return (Cow::Borrowed(self), r);
         }
+        let mut sub = self.clone();
+        let r2 = sub.enter_rgn_binder_mut(r);
+        (Cow::Owned(sub), r2)
+    }
+
+    /// Like [`Self::enter_tag_binder_mut`] for α binders.
+    fn enter_alpha_binder_mut(&mut self, a: Symbol) -> Symbol {
+        self.alphas.remove(&a);
+        if self.range_avars.contains(&a) {
+            let fresh = a.fresh();
+            self.insert_alpha(a, Ty::Alpha(fresh));
+            fresh
+        } else {
+            a
+        }
+    }
+
+    /// Copy-on-write [`Self::enter_alpha_binder_mut`].
+    fn enter_alpha_binder(&self, a: Symbol) -> (Cow<'_, Subst>, Symbol) {
+        if !self.alphas.contains_key(&a) && !self.range_avars.contains(&a) {
+            return (Cow::Borrowed(self), a);
+        }
+        let mut sub = self.clone();
+        let a2 = sub.enter_alpha_binder_mut(a);
+        (Cow::Owned(sub), a2)
     }
 
     /// Value binders never capture (ranges are values whose value variables
     /// are not tracked — runtime substitution ranges are closed), but we
     /// still remove the binder from the domain to respect shadowing.
-    fn enter_val_binder(&self, x: Symbol) -> Subst {
+    fn enter_val_binder(&self, x: Symbol) -> Cow<'_, Subst> {
+        if !self.vals.contains_key(&x) {
+            return Cow::Borrowed(self);
+        }
         let mut sub = self.clone();
         sub.vals.remove(&x);
-        sub
+        Cow::Owned(sub)
     }
 
     // ----- application --------------------------------------------------
@@ -333,7 +375,10 @@ impl Subst {
 
     /// Applies the substitution to a type.
     pub fn ty(&self, sigma: &Ty) -> Ty {
-        if self.is_empty() {
+        // Types mention tags, regions and αs but never value variables, so
+        // a vals-only substitution — every machine `let` step — is the
+        // identity on types.
+        if self.tags.is_empty() && self.rgns.is_empty() && self.alphas.is_empty() {
             return sigma.clone();
         }
         match sigma {
@@ -343,15 +388,11 @@ impl Subst {
                 let mut sub = self.clone();
                 let mut tvs = Vec::with_capacity(tvars.len());
                 for (t, k) in tvars.iter() {
-                    let (s2, t2) = sub.enter_tag_binder(*t);
-                    sub = s2;
-                    tvs.push((t2, *k));
+                    tvs.push((sub.enter_tag_binder_mut(*t), *k));
                 }
                 let mut rvs = Vec::with_capacity(rvars.len());
                 for r in rvars.iter() {
-                    let (s2, r2) = sub.enter_rgn_binder(*r);
-                    sub = s2;
-                    rvs.push(r2);
+                    rvs.push(sub.enter_rgn_binder_mut(*r));
                 }
                 Ty::Code {
                     tvars: tvs.into(),
@@ -425,6 +466,14 @@ impl Subst {
         intern_ty(self.ty(id.node()))
     }
 
+    /// Do all four free-variable namespaces of `fv` miss this domain?
+    fn misses(&self, fv: &intern::NodeFv) -> bool {
+        (self.tags.is_empty() || !touches(&fv.tvars, &self.tags))
+            && (self.rgns.is_empty() || !touches(&fv.rvars, &self.rgns))
+            && (self.alphas.is_empty() || !touches(&fv.avars, &self.alphas))
+            && (self.vals.is_empty() || !touches(&fv.xvars, &self.vals))
+    }
+
     /// Applies the substitution to a value.
     pub fn value(&self, v: &Value) -> Value {
         if self.is_empty() {
@@ -433,7 +482,7 @@ impl Subst {
         match v {
             Value::Int(_) | Value::Addr(..) => v.clone(),
             Value::Var(x) => self.vals.get(x).cloned().unwrap_or_else(|| v.clone()),
-            Value::Pair(a, b) => Value::Pair(Rc::new(self.value(a)), Rc::new(self.value(b))),
+            Value::Pair(a, b) => Value::Pair(self.value_id(*a), self.value_id(*b)),
             Value::PackTag {
                 tvar,
                 kind,
@@ -442,7 +491,7 @@ impl Subst {
                 body_ty,
             } => {
                 let tag = self.tag(tag);
-                let val = Rc::new(self.value(val));
+                let val = self.value_id(*val);
                 let (sub, t2) = self.enter_tag_binder(*tvar);
                 Value::PackTag {
                     tvar: t2,
@@ -459,9 +508,9 @@ impl Subst {
                 val,
                 body_ty,
             } => {
-                let regions: Rc<[Region]> = regions.iter().map(|r| self.region(r)).collect();
+                let regions: Arc<[Region]> = regions.iter().map(|r| self.region(r)).collect();
                 let witness = self.ty(witness);
-                let val = Rc::new(self.value(val));
+                let val = self.value_id(*val);
                 let (sub, a2) = self.enter_alpha_binder(*avar);
                 Value::PackAlpha {
                     avar: a2,
@@ -478,9 +527,9 @@ impl Subst {
                 val,
                 body_ty,
             } => {
-                let bound: Rc<[Region]> = bound.iter().map(|r| self.region(r)).collect();
+                let bound: Arc<[Region]> = bound.iter().map(|r| self.region(r)).collect();
                 let witness = self.region(witness);
-                let val = Rc::new(self.value(val));
+                let val = self.value_id(*val);
                 let (sub, r2) = self.enter_rgn_binder(*rvar);
                 Value::PackRgn {
                     rvar: r2,
@@ -491,14 +540,28 @@ impl Subst {
                 }
             }
             Value::TagApp(f, tags, regions) => Value::TagApp(
-                Rc::new(self.value(f)),
+                self.value_id(*f),
                 tags.iter().map(|t| self.tag(t)).collect(),
                 regions.iter().map(|r| self.region(r)).collect(),
             ),
-            Value::Code(def) => Value::Code(Rc::new(self.code_def(def))),
-            Value::Inl(x) => Value::Inl(Rc::new(self.value(x))),
-            Value::Inr(x) => Value::Inr(Rc::new(self.value(x))),
+            Value::Code(def) => Value::Code(Arc::new(self.code_def(def))),
+            Value::Inl(x) => Value::Inl(self.value_id(*x)),
+            Value::Inr(x) => Value::Inr(self.value_id(*x)),
         }
+    }
+
+    /// Applies the substitution to an interned value, skipping subtrees
+    /// whose four-namespace fingerprint misses the domain: the no-op case
+    /// returns the *same* id, preserving sharing in O(domain) time.
+    pub fn value_id(&self, id: ValId) -> ValId {
+        if self.is_empty() {
+            return id;
+        }
+        if self.misses(intern::value_fv(id)) {
+            intern::note_val_skip();
+            return id;
+        }
+        intern_value(self.value(id.node()))
     }
 
     /// Applies the substitution to a code definition (respecting its own
@@ -507,22 +570,18 @@ impl Subst {
         let mut sub = self.clone();
         let mut tvs = Vec::with_capacity(def.tvars.len());
         for (t, k) in &def.tvars {
-            let (s2, t2) = sub.enter_tag_binder(*t);
-            sub = s2;
-            tvs.push((t2, *k));
+            tvs.push((sub.enter_tag_binder_mut(*t), *k));
         }
         let mut rvs = Vec::with_capacity(def.rvars.len());
         for r in &def.rvars {
-            let (s2, r2) = sub.enter_rgn_binder(*r);
-            sub = s2;
-            rvs.push(r2);
+            rvs.push(sub.enter_rgn_binder_mut(*r));
         }
         let mut params = Vec::with_capacity(def.params.len());
         for (x, t) in &def.params {
             params.push((*x, sub.ty(t)));
         }
         for (x, _) in &def.params {
-            sub = sub.enter_val_binder(*x);
+            sub.vals.remove(x);
         }
         CodeDef {
             name: def.name,
@@ -562,33 +621,57 @@ impl Subst {
                 regions: regions.iter().map(|r| self.region(r)).collect(),
                 args: args.iter().map(|v| self.value(v)).collect(),
             },
-            Term::Let { .. } => {
+            Term::Let { x, op, body } => {
                 // Let chains are the program spine and can be thousands of
                 // bindings deep (tree literals, CPS sequences); walk them
-                // iteratively to keep stack use constant.
-                let mut bindings: Vec<(Symbol, Op)> = Vec::new();
-                let mut sub = self.clone();
-                let mut cur = e;
-                while let Term::Let { x, op, body } = cur {
-                    bindings.push((*x, sub.op(op)));
-                    sub.vals.remove(x);
-                    cur = body;
+                // iteratively to keep stack use constant. The walk stops as
+                // soon as the remaining substitution cannot touch the
+                // suffix — shadowing shrinks the domain, and the suffix's
+                // free-variable fingerprint is a memoized O(domain) probe —
+                // so a machine step `[v/x] body` rebuilds only the prefix
+                // up to the last use of `x`, and the (potentially
+                // thousands-deep) suffix keeps its shared id untouched.
+                let mut sub = Cow::Borrowed(self);
+                let x0 = *x;
+                let op0 = sub.op(op);
+                if sub.vals.contains_key(x) {
+                    sub.to_mut().vals.remove(x);
                 }
-                let mut out = sub.term(cur);
-                for (x, op) in bindings.into_iter().rev() {
-                    out = Term::Let {
-                        x,
-                        op,
-                        body: Rc::new(out),
-                    };
+                let mut rest: Vec<(Symbol, Op)> = Vec::new();
+                let mut tail = *body;
+                let mut out = loop {
+                    if sub.is_empty() {
+                        break tail;
+                    }
+                    if sub.misses(intern::term_fv(tail)) {
+                        intern::note_term_skip();
+                        break tail;
+                    }
+                    match tail.node() {
+                        Term::Let { x, op, body } => {
+                            rest.push((*x, sub.op(op)));
+                            if sub.vals.contains_key(x) {
+                                sub.to_mut().vals.remove(x);
+                            }
+                            tail = *body;
+                        }
+                        _ => break sub.term_id(tail),
+                    }
+                };
+                for (x, op) in rest.into_iter().rev() {
+                    out = intern_term(Term::Let { x, op, body: out });
                 }
-                out
+                Term::Let {
+                    x: x0,
+                    op: op0,
+                    body: out,
+                }
             }
             Term::Halt(v) => Term::Halt(self.value(v)),
             Term::IfGc { rho, full, cont } => Term::IfGc {
                 rho: self.region(rho),
-                full: Rc::new(self.term(full)),
-                cont: Rc::new(self.term(cont)),
+                full: self.term_id(*full),
+                cont: self.term_id(*cont),
             },
             Term::OpenTag { pkg, tvar, x, body } => {
                 let pkg = self.value(pkg);
@@ -598,7 +681,7 @@ impl Subst {
                     pkg,
                     tvar: t2,
                     x: *x,
-                    body: Rc::new(sub.term(body)),
+                    body: sub.term_id(*body),
                 }
             }
             Term::OpenAlpha { pkg, avar, x, body } => {
@@ -609,7 +692,7 @@ impl Subst {
                     pkg,
                     avar: a2,
                     x: *x,
-                    body: Rc::new(sub.term(body)),
+                    body: sub.term_id(*body),
                 }
             }
             Term::OpenRgn { pkg, rvar, x, body } => {
@@ -620,19 +703,19 @@ impl Subst {
                     pkg,
                     rvar: r2,
                     x: *x,
-                    body: Rc::new(sub.term(body)),
+                    body: sub.term_id(*body),
                 }
             }
             Term::LetRegion { rvar, body } => {
                 let (sub, r2) = self.enter_rgn_binder(*rvar);
                 Term::LetRegion {
                     rvar: r2,
-                    body: Rc::new(sub.term(body)),
+                    body: sub.term_id(*body),
                 }
             }
             Term::Only { regions, body } => Term::Only {
                 regions: regions.iter().map(|r| self.region(r)).collect(),
-                body: Rc::new(self.term(body)),
+                body: self.term_id(*body),
             },
             Term::Typecase {
                 tag,
@@ -642,15 +725,15 @@ impl Subst {
                 exist_arm,
             } => {
                 let tag = self.tag(tag);
-                let int_arm = Rc::new(self.term(int_arm));
-                let arrow_arm = Rc::new(self.term(arrow_arm));
+                let int_arm = self.term_id(*int_arm);
+                let arrow_arm = self.term_id(*arrow_arm);
                 let (t1, t2, pe) = prod_arm;
                 let (s1, t1b) = self.enter_tag_binder(*t1);
                 let (s2, t2b) = s1.enter_tag_binder(*t2);
-                let prod_arm = (t1b, t2b, Rc::new(s2.term(pe)));
+                let prod_arm = (t1b, t2b, s2.term_id(*pe));
                 let (te, ee) = exist_arm;
                 let (s3, teb) = self.enter_tag_binder(*te);
-                let exist_arm = (teb, Rc::new(s3.term(ee)));
+                let exist_arm = (teb, s3.term_id(*ee));
                 Term::Typecase {
                     tag,
                     int_arm,
@@ -670,14 +753,14 @@ impl Subst {
                 Term::IfLeft {
                     x: *x,
                     scrut,
-                    left: Rc::new(sub.term(left)),
-                    right: Rc::new(sub.term(right)),
+                    left: sub.term_id(*left),
+                    right: sub.term_id(*right),
                 }
             }
             Term::Set { dst, src, body } => Term::Set {
                 dst: self.value(dst),
                 src: self.value(src),
-                body: Rc::new(self.term(body)),
+                body: self.term_id(*body),
             },
             Term::Widen {
                 x,
@@ -698,14 +781,14 @@ impl Subst {
                     to,
                     tag,
                     v,
-                    body: Rc::new(sub.term(body)),
+                    body: sub.term_id(*body),
                 }
             }
             Term::IfReg { r1, r2, eq, ne } => Term::IfReg {
                 r1: self.region(r1),
                 r2: self.region(r2),
-                eq: Rc::new(self.term(eq)),
-                ne: Rc::new(self.term(ne)),
+                eq: self.term_id(*eq),
+                ne: self.term_id(*ne),
             },
             Term::If0 {
                 scrut,
@@ -713,10 +796,26 @@ impl Subst {
                 nonzero,
             } => Term::If0 {
                 scrut: self.value(scrut),
-                zero: Rc::new(self.term(zero)),
-                nonzero: Rc::new(self.term(nonzero)),
+                zero: self.term_id(*zero),
+                nonzero: self.term_id(*nonzero),
             },
         }
+    }
+
+    /// Applies the substitution to an interned term, with the same
+    /// fingerprint-based no-op skip as [`Self::value_id`]. This is what
+    /// makes the Fig. 5 machine's continuation "clones" plain u32 copies:
+    /// a runtime substitution whose domain misses a continuation's free
+    /// variables hands the same id back untouched.
+    pub fn term_id(&self, id: TermId) -> TermId {
+        if self.is_empty() {
+            return id;
+        }
+        if self.misses(intern::term_fv(id)) {
+            intern::note_term_skip();
+            return id;
+        }
+        intern_term(self.term(id.node()))
     }
 }
 
@@ -747,99 +846,22 @@ pub fn ty_free_vars<S1: BuildHasher, S2: BuildHasher, S3: BuildHasher>(
 
 /// Collects the free tag/region/α variables mentioned inside a value (in its
 /// type annotations and embedded tags).
+///
+/// Backed by the per-node fingerprint [`intern::value_fv`]. Unlike the
+/// pre-interning version, code blocks are *not* assumed closed — their
+/// (normally empty) free variables through the block's own binders are
+/// reported honestly, so the capture-check sets stay sound even on
+/// ill-typed inputs.
 pub fn value_free_vars<S1: BuildHasher, S2: BuildHasher, S3: BuildHasher>(
     v: &Value,
     tvars: &mut HashSet<Symbol, S1>,
     rvars: &mut HashSet<Symbol, S2>,
     avars: &mut HashSet<Symbol, S3>,
 ) {
-    match v {
-        Value::Int(_) | Value::Var(_) | Value::Addr(..) => {}
-        Value::Pair(a, b) => {
-            value_free_vars(a, tvars, rvars, avars);
-            value_free_vars(b, tvars, rvars, avars);
-        }
-        Value::PackTag {
-            tvar,
-            tag,
-            val,
-            body_ty,
-            ..
-        } => {
-            free_tag_vars(tag, tvars);
-            value_free_vars(val, tvars, rvars, avars);
-            let mut bt = HashSet::new();
-            let mut br = HashSet::new();
-            let mut ba = HashSet::new();
-            ty_free_vars(body_ty, &mut bt, &mut br, &mut ba);
-            bt.remove(tvar);
-            tvars.extend(bt);
-            rvars.extend(br);
-            avars.extend(ba);
-        }
-        Value::PackAlpha {
-            avar,
-            regions,
-            witness,
-            val,
-            body_ty,
-        } => {
-            for r in regions.iter() {
-                if let Region::Var(r) = r {
-                    rvars.insert(*r);
-                }
-            }
-            ty_free_vars(witness, tvars, rvars, avars);
-            value_free_vars(val, tvars, rvars, avars);
-            let mut bt = HashSet::new();
-            let mut br = HashSet::new();
-            let mut ba = HashSet::new();
-            ty_free_vars(body_ty, &mut bt, &mut br, &mut ba);
-            ba.remove(avar);
-            tvars.extend(bt);
-            rvars.extend(br);
-            avars.extend(ba);
-        }
-        Value::PackRgn {
-            rvar,
-            bound,
-            witness,
-            val,
-            body_ty,
-        } => {
-            for r in bound.iter() {
-                if let Region::Var(r) = r {
-                    rvars.insert(*r);
-                }
-            }
-            if let Region::Var(r) = witness {
-                rvars.insert(*r);
-            }
-            value_free_vars(val, tvars, rvars, avars);
-            let mut bt = HashSet::new();
-            let mut br = HashSet::new();
-            let mut ba = HashSet::new();
-            ty_free_vars(body_ty, &mut bt, &mut br, &mut ba);
-            br.remove(rvar);
-            tvars.extend(bt);
-            rvars.extend(br);
-            avars.extend(ba);
-        }
-        Value::TagApp(f, tags, regions) => {
-            value_free_vars(f, tvars, rvars, avars);
-            for t in tags.iter() {
-                free_tag_vars(t, tvars);
-            }
-            for r in regions.iter() {
-                if let Region::Var(r) = r {
-                    rvars.insert(*r);
-                }
-            }
-        }
-        // Code blocks are closed by the typing rules; nothing escapes.
-        Value::Code(_) => {}
-        Value::Inl(x) | Value::Inr(x) => value_free_vars(x, tvars, rvars, avars),
-    }
+    let fv = intern::value_fv(v.id());
+    tvars.extend(fv.tvars.iter().copied());
+    rvars.extend(fv.rvars.iter().copied());
+    avars.extend(fv.avars.iter().copied());
 }
 
 /// Collects every region (variable or name) mentioned free in a type.
@@ -1074,10 +1096,10 @@ mod tests {
         let te = s("te");
         let e = Term::Typecase {
             tag: Tag::Var(t),
-            int_arm: Rc::new(Term::Halt(Value::Int(0))),
-            arrow_arm: Rc::new(Term::Halt(Value::Int(1))),
-            prod_arm: (t1, t2, Rc::new(Term::Halt(Value::Int(2)))),
-            exist_arm: (te, Rc::new(Term::Halt(Value::Int(3)))),
+            int_arm: Term::Halt(Value::Int(0)).id(),
+            arrow_arm: Term::Halt(Value::Int(1)).id(),
+            prod_arm: (t1, t2, Term::Halt(Value::Int(2)).id()),
+            exist_arm: (te, Term::Halt(Value::Int(3)).id()),
         };
         let out = Subst::one_tag(t, Tag::Int).term(&e);
         match out {
@@ -1094,7 +1116,7 @@ mod tests {
             tvar: t,
             kind: Kind::Omega,
             tag: Tag::Int,
-            val: Rc::new(Value::Var(x)),
+            val: Value::Var(x).id(),
             body_ty: Ty::m(Region::cd(), Tag::Var(t)),
         };
         let out = Subst::one_val(x, Value::Int(9)).value(&v);

@@ -26,12 +26,11 @@
 //!   inferred from the type of the widened value).
 
 use std::fmt;
-use std::rc::Rc;
 use std::sync::Arc;
 
 use ps_ir::Symbol;
 
-use crate::intern::{intern_tag, intern_ty, TagId, TyId};
+use crate::intern::{intern_tag, intern_term, intern_ty, intern_value, TagId, TermId, TyId, ValId};
 
 /// Which calculus a program lives in.
 ///
@@ -401,7 +400,7 @@ impl fmt::Display for PrimOp {
 /// `∀[t̄:κ̄][r̄](σ̄) → 0`).
 ///
 /// `name` is a debugging label only; it has no semantic significance.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CodeDef {
     pub name: Symbol,
     pub tvars: Vec<(Symbol, Kind)>,
@@ -422,7 +421,11 @@ impl CodeDef {
 }
 
 /// A value `v` (Fig. 2, extended per Figs. 8 and 10).
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Like [`Tag`] and [`Ty`], nodes are *shallow*: value children are interned
+/// [`ValId`] handles into the global arena, so structurally equal subtrees
+/// are stored once, equality is an id compare, and clones are O(1).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Value {
     /// An integer literal `n`.
     Int(i64),
@@ -431,59 +434,64 @@ pub enum Value {
     /// A memory address `ν.ℓ`.
     Addr(RegionName, u32),
     /// A pair `(v₁, v₂)`.
-    Pair(Rc<Value>, Rc<Value>),
+    Pair(ValId, ValId),
     /// A tag existential package `⟨t = τ, v : σ⟩ : ∃t:κ.σ`.
     PackTag {
         tvar: Symbol,
         kind: Kind,
         tag: Tag,
-        val: Rc<Value>,
+        val: ValId,
         body_ty: Ty,
     },
     /// A type existential package `⟨α : ∆ = σ₁, v : σ₂⟩ : ∃α:∆.σ₂`.
     PackAlpha {
         avar: Symbol,
-        regions: Rc<[Region]>,
+        regions: Arc<[Region]>,
         witness: Ty,
-        val: Rc<Value>,
+        val: ValId,
         body_ty: Ty,
     },
     /// A region existential package `⟨r ∈ ∆ = ρ, v : σ⟩ : ∃r∈∆.(σ at r)`
     /// (λGCgen).
     PackRgn {
         rvar: Symbol,
-        bound: Rc<[Region]>,
+        bound: Arc<[Region]>,
         witness: Region,
-        val: Rc<Value>,
+        val: ValId,
         body_ty: Ty,
     },
     /// A translucent partial application `vJ~τ; ~ρK` (§6.1): a code pointer
     /// specialized to tags and regions, awaiting only its value arguments
     /// (see the `paper:` note on [`Ty::Trans`]).
-    TagApp(Rc<Value>, Rc<[Tag]>, Rc<[Region]>),
+    TagApp(ValId, Arc<[Tag]>, Arc<[Region]>),
     /// A code block literal (only placed in `cd` at load time; never
     /// constructed by running programs, §4.3).
-    Code(Rc<CodeDef>),
+    Code(Arc<CodeDef>),
     /// `inl v` (λGCforw).
-    Inl(Rc<Value>),
+    Inl(ValId),
     /// `inr v` (λGCforw).
-    Inr(Rc<Value>),
+    Inr(ValId),
 }
 
 impl Value {
+    /// Interns this node, returning its arena id.
+    pub fn id(&self) -> ValId {
+        intern_value(self.clone())
+    }
+
     /// Convenience constructor for `(v₁, v₂)`.
     pub fn pair(a: Value, b: Value) -> Value {
-        Value::Pair(Rc::new(a), Rc::new(b))
+        Value::Pair(intern_value(a), intern_value(b))
     }
 
     /// Convenience constructor for `inl v`.
     pub fn inl(v: Value) -> Value {
-        Value::Inl(Rc::new(v))
+        Value::Inl(intern_value(v))
     }
 
     /// Convenience constructor for `inr v`.
     pub fn inr(v: Value) -> Value {
-        Value::Inr(Rc::new(v))
+        Value::Inr(intern_value(v))
     }
 
     /// Convenience constructor for `vJ~τ; ~ρK`.
@@ -493,7 +501,7 @@ impl Value {
         regions: impl IntoIterator<Item = Region>,
     ) -> Value {
         Value::TagApp(
-            Rc::new(v),
+            intern_value(v),
             tags.into_iter().collect(),
             regions.into_iter().collect(),
         )
@@ -519,7 +527,7 @@ impl Value {
 
 /// An operation `op ::= v | πᵢ v | put[ρ]v | get v | …` (Fig. 2, plus
 /// `strip` from Fig. 8 and integer primitives).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Op {
     /// `v`.
     Val(Value),
@@ -537,7 +545,11 @@ pub enum Op {
 
 /// A term `e` (Fig. 2, extended per Figs. 8 and 10 and the primitives
 /// extension).
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Term children are interned [`TermId`] handles: continuation "clones" in
+/// the Fig. 5 machine are plain `u32` copies, and [`crate::subst::Subst`]
+/// can skip untouched subtrees by fingerprint, returning the same id back.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Term {
     /// `v[~τ][~ρ](~v)` — application of code or of a translucent value.
     App {
@@ -547,64 +559,61 @@ pub enum Term {
         args: Vec<Value>,
     },
     /// `let x = op in e`.
-    Let { x: Symbol, op: Op, body: Rc<Term> },
+    Let { x: Symbol, op: Op, body: TermId },
     /// `halt v` with `v : int`.
     Halt(Value),
     /// `ifgc ρ e₁ e₂` — take `e₁` when region `ρ` is full.
     IfGc {
         rho: Region,
-        full: Rc<Term>,
-        cont: Rc<Term>,
+        full: TermId,
+        cont: TermId,
     },
     /// `open v as ⟨t, x⟩ in e` for tag existentials.
     OpenTag {
         pkg: Value,
         tvar: Symbol,
         x: Symbol,
-        body: Rc<Term>,
+        body: TermId,
     },
     /// `open v as ⟨α, x⟩ in e` for type existentials.
     OpenAlpha {
         pkg: Value,
         avar: Symbol,
         x: Symbol,
-        body: Rc<Term>,
+        body: TermId,
     },
     /// `open v as ⟨r, x⟩ in e` for region existentials (λGCgen).
     OpenRgn {
         pkg: Value,
         rvar: Symbol,
         x: Symbol,
-        body: Rc<Term>,
+        body: TermId,
     },
     /// `let region r in e`.
-    LetRegion { rvar: Symbol, body: Rc<Term> },
+    LetRegion { rvar: Symbol, body: TermId },
     /// `only ∆ in e` — reclaim every region not in `∆` (plus `cd`, which is
     /// always kept).
-    Only {
-        regions: Vec<Region>,
-        body: Rc<Term>,
-    },
+    Only { regions: Vec<Region>, body: TermId },
     /// `typecase τ of (eᵢ; eλ; t₁t₂.e×; tₑ.e∃)`.
     Typecase {
         tag: Tag,
-        int_arm: Rc<Term>,
-        arrow_arm: Rc<Term>,
-        prod_arm: (Symbol, Symbol, Rc<Term>),
-        exist_arm: (Symbol, Rc<Term>),
+        int_arm: TermId,
+        arrow_arm: TermId,
+        prod_arm: (Symbol, Symbol, TermId),
+        exist_arm: (Symbol, TermId),
     },
     /// `ifleft x = v eₗ eᵣ` (λGCforw).
     IfLeft {
         x: Symbol,
         scrut: Value,
-        left: Rc<Term>,
-        right: Rc<Term>,
+        left: TermId,
+        right: TermId,
     },
     /// `set v₁ := v₂ ; e` (λGCforw).
     Set {
         dst: Value,
         src: Value,
-        body: Rc<Term>,
+        body: TermId,
     },
     /// `let x = widen[ρ′][τ](v) in e` (λGCforw, Fig. 8).
     ///
@@ -616,30 +625,35 @@ pub enum Term {
         to: Region,
         tag: Tag,
         v: Value,
-        body: Rc<Term>,
+        body: TermId,
     },
     /// `ifreg (ρ₁ = ρ₂) e₁ e₂` (λGCgen).
     IfReg {
         r1: Region,
         r2: Region,
-        eq: Rc<Term>,
-        ne: Rc<Term>,
+        eq: TermId,
+        ne: TermId,
     },
     /// `if0 v e₁ e₂` (extension).
     If0 {
         scrut: Value,
-        zero: Rc<Term>,
-        nonzero: Rc<Term>,
+        zero: TermId,
+        nonzero: TermId,
     },
 }
 
 impl Term {
+    /// Interns this node, returning its arena id.
+    pub fn id(&self) -> TermId {
+        intern_term(self.clone())
+    }
+
     /// Convenience constructor for `let x = op in e`.
     pub fn let_(x: Symbol, op: Op, body: Term) -> Term {
         Term::Let {
             x,
             op,
-            body: Rc::new(body),
+            body: intern_term(body),
         }
     }
 

@@ -21,6 +21,8 @@
 //!   unique binders, Appendix A).
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 use ps_ir::Symbol;
 
@@ -33,6 +35,17 @@ use crate::moper::ty_eq;
 use crate::subst::{ty_regions, Subst};
 use crate::syntax::{CodeDef, Dialect, Kind, Op, Region, RegionName, Tag, Term, Ty, Value, CD};
 use crate::tags;
+
+/// Worker count for parallel code-block certification: `PS_CERT_THREADS`
+/// if set (clamped to ≥ 1; `1` forces the serial path), otherwise the
+/// machine's available parallelism. Unparsable values fall back to serial
+/// rather than guessing.
+fn cert_threads() -> usize {
+    match std::env::var("PS_CERT_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().map_or(1, |n| n.max(1)),
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
 
 /// The memory type `Ψ`: region name → offset → stored-value type.
 pub type PsiTable = BTreeMap<RegionName, BTreeMap<u32, Ty>>;
@@ -167,10 +180,15 @@ impl Checker {
     /// Checks a whole program: every code block in `cd`, then the main term
     /// under empty environments (Definition 6.3 without a data store).
     ///
+    /// Code blocks are certified in parallel (they are independent: each is
+    /// closed and checked against the same `Ψ|cd`); set `PS_CERT_THREADS=1`
+    /// to force the serial path, or `PS_CERT_THREADS=n` to pin the worker
+    /// count. The verdict and the reported error are identical either way.
+    ///
     /// # Errors
     ///
-    /// Returns the first kinding/typing error found, with context naming the
-    /// offending code block.
+    /// Returns the first kinding/typing error found — in block order, not
+    /// completion order — with context naming the offending code block.
     pub fn check_program(program: &Program) -> Result<()> {
         let mut cd_entries = BTreeMap::new();
         for (i, def) in program.code.iter().enumerate() {
@@ -179,14 +197,50 @@ impl Checker {
         let mut psi = PsiTable::new();
         psi.insert(CD, cd_entries);
         let checker = Checker::with_psi(program.dialect, psi);
-        for def in &program.code {
-            checker
-                .check_code(def)
-                .map_err(|e| e.in_context(format!("code block {}", def.name)))?;
-        }
+        checker.check_code_blocks(&program.code)?;
         checker
             .check_term(&Ctx::empty(), &program.main)
             .map_err(|e| e.in_context("main term"))
+    }
+
+    /// Certifies every code block of a program, fanning out over
+    /// [`cert_threads`] workers when there is more than one block to check.
+    /// The only state shared between workers is the interning layer, whose
+    /// read paths (id deref, memo probes) are lock-free and whose hash-cons
+    /// tables are sharded, so workers do not serialize on it; results land
+    /// in per-block slots drained in block order, so a parallel run reports
+    /// exactly the error a serial run would.
+    fn check_code_blocks(&self, code: &[CodeDef]) -> Result<()> {
+        let threads = cert_threads().min(code.len());
+        if threads <= 1 {
+            for def in code {
+                self.check_code(def)
+                    .map_err(|e| e.in_context(format!("code block {}", def.name)))?;
+            }
+            return Ok(());
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<Result<()>>> = code.iter().map(|_| OnceLock::new()).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(def) = code.get(i) else { break };
+                    let res = self
+                        .check_code(def)
+                        .map_err(|e| e.in_context(format!("code block {}", def.name)));
+                    // Each index is claimed by exactly one worker.
+                    let _ = slots[i].set(res);
+                });
+            }
+        });
+        for slot in slots {
+            // The scope joins every worker, and the work counter stops
+            // handing out indices only after the last slot is claimed.
+            #[allow(clippy::expect_used)]
+            slot.into_inner().expect("slot filled by a joined worker")?;
+        }
+        Ok(())
     }
 
     /// Checks a code block (the `λ[t̄:κ̄][r̄](x̄:σ̄).e` rule of Fig. 6):
@@ -1029,8 +1083,8 @@ impl Checker {
         tag: &Tag,
         int_arm: &Term,
         arrow_arm: &Term,
-        prod_arm: &(Symbol, Symbol, std::rc::Rc<Term>),
-        exist_arm: &(Symbol, std::rc::Rc<Term>),
+        prod_arm: &(Symbol, Symbol, crate::intern::TermId),
+        exist_arm: &(Symbol, crate::intern::TermId),
     ) -> Result<()> {
         tags::check_kind(tag, &ctx.theta, Kind::Omega)?;
         let nf = tags::normalize(tag);
@@ -1191,7 +1245,6 @@ fn subst_ctx(ctx: &Ctx, sub: &Subst, add: Option<Region>) -> Ctx {
 mod tests {
     use super::*;
     use crate::syntax::PrimOp;
-    use std::rc::Rc;
 
     fn s(x: &str) -> Symbol {
         Symbol::intern(x)
@@ -1267,11 +1320,12 @@ mod tests {
         let b = s("b");
         let e = Term::LetRegion {
             rvar: r,
-            body: Rc::new(Term::let_(
+            body: (Term::let_(
                 a,
                 Op::Put(Region::Var(r), Value::Int(1)),
                 Term::let_(b, Op::Get(Value::Var(a)), Term::Halt(Value::Var(b))),
-            )),
+            ))
+            .into(),
         };
         basic().check_term(&Ctx::empty(), &e).unwrap();
     }
@@ -1284,41 +1338,47 @@ mod tests {
         // After `only {r2}`, a (of type int at r1) is gone.
         let bad = Term::LetRegion {
             rvar: r1,
-            body: Rc::new(Term::LetRegion {
+            body: (Term::LetRegion {
                 rvar: r2,
-                body: Rc::new(Term::let_(
+                body: (Term::let_(
                     a,
                     Op::Put(Region::Var(r1), Value::Int(1)),
                     Term::Only {
                         regions: vec![Region::Var(r2)],
-                        body: Rc::new(Term::let_(
+                        body: (Term::let_(
                             s("b"),
                             Op::Get(Value::Var(a)),
                             Term::Halt(Value::Var(s("b"))),
-                        )),
+                        ))
+                        .into(),
                     },
-                )),
-            }),
+                ))
+                .into(),
+            })
+            .into(),
         };
         assert!(basic().check_term(&Ctx::empty(), &bad).is_err());
         // Keeping r1 instead makes it fine.
         let good = Term::LetRegion {
             rvar: r1,
-            body: Rc::new(Term::LetRegion {
+            body: (Term::LetRegion {
                 rvar: r2,
-                body: Rc::new(Term::let_(
+                body: (Term::let_(
                     a,
                     Op::Put(Region::Var(r1), Value::Int(1)),
                     Term::Only {
                         regions: vec![Region::Var(r1)],
-                        body: Rc::new(Term::let_(
+                        body: (Term::let_(
                             s("b"),
                             Op::Get(Value::Var(a)),
                             Term::Halt(Value::Var(s("b"))),
-                        )),
+                        ))
+                        .into(),
                     },
-                )),
-            }),
+                ))
+                .into(),
+            })
+            .into(),
         };
         basic().check_term(&Ctx::empty(), &good).unwrap();
     }
@@ -1382,12 +1442,7 @@ mod tests {
             code: vec![def.clone()],
             main: Term::LetRegion {
                 rvar: s("r0"),
-                body: Rc::new(Term::app(
-                    Value::Addr(CD, 0),
-                    [tag],
-                    [Region::Var(s("r0"))],
-                    [arg],
-                )),
+                body: (Term::app(Value::Addr(CD, 0), [tag], [Region::Var(s("r0"))], [arg])).into(),
             },
         };
         // M_r(Int) = int, so an integer argument is fine at tag Int.
@@ -1424,18 +1479,14 @@ mod tests {
         let x = s("x");
         let body = Term::Typecase {
             tag: Tag::Var(t),
-            int_arm: Rc::new(Term::Halt(Value::Var(x))),
-            arrow_arm: Rc::new(Term::Halt(Value::Int(0))),
+            int_arm: (Term::Halt(Value::Var(x))).into(),
+            arrow_arm: (Term::Halt(Value::Int(0))).into(),
             prod_arm: (
                 s("t1"),
                 s("t2"),
-                Rc::new(Term::let_(
-                    s("y"),
-                    Op::Get(Value::Var(x)),
-                    Term::Halt(Value::Int(0)),
-                )),
+                (Term::let_(s("y"), Op::Get(Value::Var(x)), Term::Halt(Value::Int(0)))).into(),
             ),
-            exist_arm: (s("te"), Rc::new(Term::Halt(Value::Int(0)))),
+            exist_arm: (s("te"), (Term::Halt(Value::Int(0))).into()),
         };
         let def = CodeDef {
             name: s("probe"),
@@ -1455,14 +1506,10 @@ mod tests {
         let x = s("x");
         let body = Term::Typecase {
             tag: Tag::Var(t),
-            int_arm: Rc::new(Term::let_(
-                s("y"),
-                Op::Get(Value::Var(x)),
-                Term::Halt(Value::Int(0)),
-            )),
-            arrow_arm: Rc::new(Term::Halt(Value::Int(0))),
-            prod_arm: (s("t1"), s("t2"), Rc::new(Term::Halt(Value::Int(0)))),
-            exist_arm: (s("te"), Rc::new(Term::Halt(Value::Int(0)))),
+            int_arm: (Term::let_(s("y"), Op::Get(Value::Var(x)), Term::Halt(Value::Int(0)))).into(),
+            arrow_arm: (Term::Halt(Value::Int(0))).into(),
+            prod_arm: (s("t1"), s("t2"), (Term::Halt(Value::Int(0))).into()),
+            exist_arm: (s("te"), (Term::Halt(Value::Int(0))).into()),
         };
         let def = CodeDef {
             name: s("probe"),
@@ -1489,20 +1536,10 @@ mod tests {
         let k_ty = Ty::code([], [rk], [Ty::m(Region::Var(rk), Tag::Var(t))]).at(Region::cd());
         let body = Term::Typecase {
             tag: Tag::Var(t),
-            int_arm: Rc::new(Term::app(
-                Value::Var(k),
-                [],
-                [Region::Var(r2)],
-                [Value::Var(x)],
-            )),
-            arrow_arm: Rc::new(Term::app(
-                Value::Var(k),
-                [],
-                [Region::Var(r2)],
-                [Value::Var(x)],
-            )),
-            prod_arm: (s("t1"), s("t2"), Rc::new(Term::Halt(Value::Int(0)))),
-            exist_arm: (s("te"), Rc::new(Term::Halt(Value::Int(0)))),
+            int_arm: (Term::app(Value::Var(k), [], [Region::Var(r2)], [Value::Var(x)])).into(),
+            arrow_arm: (Term::app(Value::Var(k), [], [Region::Var(r2)], [Value::Var(x)])).into(),
+            prod_arm: (s("t1"), s("t2"), (Term::Halt(Value::Int(0))).into()),
+            exist_arm: (s("te"), (Term::Halt(Value::Int(0))).into()),
         };
         let def = CodeDef {
             name: s("lamarm"),
@@ -1527,19 +1564,14 @@ mod tests {
         let k_ty = Ty::code([], [rk], [Ty::m(Region::Var(rk), Tag::Var(t))]).at(Region::cd());
         let body = Term::Typecase {
             tag: Tag::Var(t),
-            int_arm: Rc::new(Term::Halt(Value::Int(0))),
-            arrow_arm: Rc::new(Term::Halt(Value::Int(0))),
+            int_arm: (Term::Halt(Value::Int(0))).into(),
+            arrow_arm: (Term::Halt(Value::Int(0))).into(),
             prod_arm: (
                 s("t1"),
                 s("t2"),
-                Rc::new(Term::app(
-                    Value::Var(k),
-                    [],
-                    [Region::Var(r2)],
-                    [Value::Var(x)],
-                )),
+                (Term::app(Value::Var(k), [], [Region::Var(r2)], [Value::Var(x)])).into(),
             ),
-            exist_arm: (s("te"), Rc::new(Term::Halt(Value::Int(0)))),
+            exist_arm: (s("te"), (Term::Halt(Value::Int(0))).into()),
         };
         let def = CodeDef {
             name: s("pairarm"),
@@ -1561,14 +1593,14 @@ mod tests {
             tvar: t,
             kind: Kind::Omega,
             tag: Tag::Int,
-            val: Rc::new(Value::Int(5)),
+            val: (Value::Int(5)).into(),
             body_ty: Ty::m(Region::cd(), Tag::Var(t)),
         };
         let e = Term::OpenTag {
             pkg,
             tvar: u,
             x,
-            body: Rc::new(Term::Halt(Value::Int(0))),
+            body: (Term::Halt(Value::Int(0))).into(),
         };
         basic().check_term(&Ctx::empty(), &e).unwrap();
     }
@@ -1580,7 +1612,7 @@ mod tests {
             tvar: t,
             kind: Kind::Omega,
             tag: Tag::prod(Tag::Int, Tag::Int),
-            val: Rc::new(Value::Int(5)),
+            val: (Value::Int(5)).into(),
             body_ty: Ty::m(Region::cd(), Tag::Var(t)),
         };
         // M_cd(Int×Int) is a reference, not an int.
@@ -1612,14 +1644,14 @@ mod tests {
         let e = Term::Set {
             dst: Value::Var(x),
             src: Value::inr(Value::Int(2)),
-            body: Rc::new(Term::Halt(Value::Int(0))),
+            body: (Term::Halt(Value::Int(0))).into(),
         };
         fw.check_term(&ctx, &e).unwrap();
         // A bare int is not of sum type.
         let bad = Term::Set {
             dst: Value::Var(x),
             src: Value::Int(2),
-            body: Rc::new(Term::Halt(Value::Int(0))),
+            body: (Term::Halt(Value::Int(0))).into(),
         };
         assert!(fw.check_term(&ctx, &bad).is_err());
     }
@@ -1635,28 +1667,21 @@ mod tests {
         let e = Term::IfLeft {
             x,
             scrut: Value::Var(s("v")),
-            left: Rc::new(Term::let_(
-                y,
-                Op::Strip(Value::Var(x)),
-                Term::Halt(Value::Var(y)),
-            )),
-            right: Rc::new(Term::let_(
+            left: (Term::let_(y, Op::Strip(Value::Var(x)), Term::Halt(Value::Var(y)))).into(),
+            right: (Term::let_(
                 y,
                 Op::Strip(Value::Var(x)),
                 // y : Int×Int here, so halting on it must fail...
                 Term::Halt(Value::Int(0)),
-            )),
+            ))
+            .into(),
         };
         fw.check_term(&ctx, &e).unwrap();
         let bad = Term::IfLeft {
             x,
             scrut: Value::Var(s("v")),
-            left: Rc::new(Term::Halt(Value::Int(0))),
-            right: Rc::new(Term::let_(
-                y,
-                Op::Strip(Value::Var(x)),
-                Term::Halt(Value::Var(y)),
-            )),
+            left: (Term::Halt(Value::Int(0))).into(),
+            right: (Term::let_(y, Op::Strip(Value::Var(x)), Term::Halt(Value::Var(y)))).into(),
         };
         assert!(fw.check_term(&ctx, &bad).is_err());
     }
@@ -1670,17 +1695,19 @@ mod tests {
         // v : M_{r1}(Int) = int.
         let e = Term::LetRegion {
             rvar: r1,
-            body: Rc::new(Term::LetRegion {
+            body: (Term::LetRegion {
                 rvar: r2,
-                body: Rc::new(Term::Widen {
+                body: (Term::Widen {
                     x,
                     from: Region::Var(r1),
                     to: Region::Var(r2),
                     tag: Tag::Int,
                     v: Value::Int(1),
-                    body: Rc::new(Term::Halt(Value::Var(x))),
-                }),
-            }),
+                    body: (Term::Halt(Value::Var(x))).into(),
+                })
+                .into(),
+            })
+            .into(),
         };
         fw.check_term(&Ctx::empty(), &e).unwrap();
         // The body may NOT use outer bindings (Γ is just x).
@@ -1689,17 +1716,19 @@ mod tests {
         ctx.gamma.insert(leak, Ty::Int);
         let bad = Term::LetRegion {
             rvar: r1,
-            body: Rc::new(Term::LetRegion {
+            body: (Term::LetRegion {
                 rvar: r2,
-                body: Rc::new(Term::Widen {
+                body: (Term::Widen {
                     x,
                     from: Region::Var(r1),
                     to: Region::Var(r2),
                     tag: Tag::Int,
                     v: Value::Int(1),
-                    body: Rc::new(Term::Halt(Value::Var(leak))),
-                }),
-            }),
+                    body: (Term::Halt(Value::Var(leak))).into(),
+                })
+                .into(),
+            })
+            .into(),
         };
         assert!(fw.check_term(&ctx, &bad).is_err());
     }
@@ -1715,23 +1744,26 @@ mod tests {
         // the substitution applied.
         let e = Term::LetRegion {
             rvar: r1,
-            body: Rc::new(Term::LetRegion {
+            body: (Term::LetRegion {
                 rvar: r2,
-                body: Rc::new(Term::let_(
+                body: (Term::let_(
                     a,
                     Op::Put(Region::Var(r1), Value::Int(1)),
                     Term::IfReg {
                         r1: Region::Var(r1),
                         r2: Region::Var(r2),
-                        eq: Rc::new(Term::let_(
+                        eq: (Term::let_(
                             s("b"),
                             Op::Get(Value::Var(a)),
                             Term::Halt(Value::Var(s("b"))),
-                        )),
-                        ne: Rc::new(Term::Halt(Value::Int(0))),
+                        ))
+                        .into(),
+                        ne: (Term::Halt(Value::Int(0))).into(),
                     },
-                )),
-            }),
+                ))
+                .into(),
+            })
+            .into(),
         };
         gen.check_term(&Ctx::empty(), &e).unwrap();
     }
@@ -1746,26 +1778,23 @@ mod tests {
         let a = s("a");
         let e = Term::LetRegion {
             rvar: r0,
-            body: Rc::new(Term::let_(
+            body: (Term::let_(
                 a,
                 Op::Put(Region::Var(r0), Value::Int(8)),
                 Term::OpenRgn {
                     pkg: Value::PackRgn {
                         rvar: r,
-                        bound: Rc::from(vec![Region::Var(r0)]),
+                        bound: (vec![Region::Var(r0)]).into(),
                         witness: Region::Var(r0),
-                        val: Rc::new(Value::Var(a)),
+                        val: (Value::Var(a)).into(),
                         body_ty: Ty::Int,
                     },
                     rvar: s("ropen"),
                     x,
-                    body: Rc::new(Term::let_(
-                        y,
-                        Op::Get(Value::Var(x)),
-                        Term::Halt(Value::Var(y)),
-                    )),
+                    body: (Term::let_(y, Op::Get(Value::Var(x)), Term::Halt(Value::Var(y)))).into(),
                 },
-            )),
+            ))
+            .into(),
         };
         gen.check_term(&Ctx::empty(), &e).unwrap();
     }
@@ -1778,9 +1807,9 @@ mod tests {
         ctx.delta.insert(Region::Var(s("rb")));
         let pkg = Value::PackRgn {
             rvar: s("r"),
-            bound: Rc::from(vec![Region::Var(s("ra"))]),
+            bound: (vec![Region::Var(s("ra"))]).into(),
             witness: Region::Var(s("rb")),
-            val: Rc::new(Value::Int(0)),
+            val: (Value::Int(0)).into(),
             body_ty: Ty::Int,
         };
         assert!(gen.synth_value(&ctx, &pkg).is_err());

@@ -212,7 +212,7 @@ mod tests {
             code: vec![],
             main: Term::LetRegion {
                 rvar: r,
-                body: std::rc::Rc::new(Term::let_(
+                body: (Term::let_(
                     x,
                     crate::syntax::Op::Put(
                         Region::Var(r),
@@ -223,7 +223,8 @@ mod tests {
                         crate::syntax::Op::Get(Value::Var(x)),
                         Term::Halt(Value::Int(0)),
                     ),
-                )),
+                ))
+                .into(),
             },
         };
         let mut m = Machine::load(&p, config(track));

@@ -291,12 +291,12 @@ mod tests {
         let c = s("wc");
         let e = Term::LetRegion {
             rvar: r1,
-            body: std::rc::Rc::new(Term::let_(
+            body: (Term::let_(
                 a,
                 Op::Put(Region::Var(r1), Value::pair(Value::Int(1), Value::Int(2))),
                 Term::LetRegion {
                     rvar: r2,
-                    body: std::rc::Rc::new(Term::let_(
+                    body: (Term::let_(
                         b,
                         Op::Get(Value::Var(a)),
                         Term::let_(
@@ -304,12 +304,14 @@ mod tests {
                             Op::Proj(2, Value::Var(b)),
                             Term::Only {
                                 regions: vec![Region::Var(r2)],
-                                body: std::rc::Rc::new(Term::Halt(Value::Var(c))),
+                                body: (Term::Halt(Value::Var(c))).into(),
                             },
                         ),
-                    )),
+                    ))
+                    .into(),
                 },
-            )),
+            ))
+            .into(),
         };
         let p = Program {
             dialect: Dialect::Basic,
@@ -327,18 +329,20 @@ mod tests {
         let a = s("xa");
         let e = Term::LetRegion {
             rvar: r1,
-            body: std::rc::Rc::new(Term::let_(
+            body: (Term::let_(
                 a,
                 Op::Put(Region::Var(r1), Value::Int(5)),
                 Term::Only {
                     regions: vec![],
-                    body: std::rc::Rc::new(Term::let_(
+                    body: (Term::let_(
                         s("xb"),
                         Op::Get(Value::Var(a)),
                         Term::Halt(Value::Var(s("xb"))),
-                    )),
+                    ))
+                    .into(),
                 },
-            )),
+            ))
+            .into(),
         };
         let p = Program {
             dialect: Dialect::Basic,
@@ -384,9 +388,9 @@ mod tests {
         let tag = crate::syntax::Tag::prod(crate::syntax::Tag::Int, crate::syntax::Tag::Int);
         let e = Term::LetRegion {
             rvar: r1,
-            body: std::rc::Rc::new(Term::LetRegion {
+            body: (Term::LetRegion {
                 rvar: r2,
-                body: std::rc::Rc::new(Term::let_(
+                body: (Term::let_(
                     w0,
                     Op::Put(
                         Region::Var(r1),
@@ -398,13 +402,13 @@ mod tests {
                         to: Region::Var(r2),
                         tag: tag.clone(),
                         v: Value::Var(w0),
-                        body: std::rc::Rc::new(Term::let_(
+                        body: (Term::let_(
                             y,
                             Op::Get(Value::Var(w)),
                             Term::IfLeft {
                                 x: s("fyl"),
                                 scrut: Value::Var(y),
-                                left: std::rc::Rc::new(Term::let_(
+                                left: (Term::let_(
                                     z,
                                     Op::Put(
                                         Region::Var(r2),
@@ -413,18 +417,23 @@ mod tests {
                                     Term::Set {
                                         dst: Value::Var(w),
                                         src: Value::inr(Value::Var(z)),
-                                        body: std::rc::Rc::new(Term::Only {
+                                        body: (Term::Only {
                                             regions: vec![Region::Var(r2)],
-                                            body: std::rc::Rc::new(Term::Halt(Value::Int(0))),
-                                        }),
+                                            body: (Term::Halt(Value::Int(0))).into(),
+                                        })
+                                        .into(),
                                     },
-                                )),
-                                right: std::rc::Rc::new(Term::Halt(Value::Int(1))),
+                                ))
+                                .into(),
+                                right: (Term::Halt(Value::Int(1))).into(),
                             },
-                        )),
+                        ))
+                        .into(),
                     },
-                )),
-            }),
+                ))
+                .into(),
+            })
+            .into(),
         };
         let p = Program {
             dialect: Dialect::Forwarding,
@@ -461,38 +470,42 @@ mod tests {
         let x = s("gx");
         let e = Term::LetRegion {
             rvar: ro,
-            body: std::rc::Rc::new(Term::LetRegion {
+            body: (Term::LetRegion {
                 rvar: ry,
-                body: std::rc::Rc::new(Term::let_(
+                body: (Term::let_(
                     a,
                     Op::Put(Region::Var(ry), Value::Int(3)),
                     Term::let_(
                         pkgv,
                         Op::Val(Value::PackRgn {
                             rvar: r,
-                            bound: std::rc::Rc::from(vec![Region::Var(ry), Region::Var(ro)]),
+                            bound: (vec![Region::Var(ry), Region::Var(ro)]).into(),
                             witness: Region::Var(ry),
-                            val: std::rc::Rc::new(Value::Var(a)),
+                            val: (Value::Var(a)).into(),
                             body_ty: crate::syntax::Ty::Int,
                         }),
                         Term::OpenRgn {
                             pkg: Value::Var(pkgv),
                             rvar: s("gr2"),
                             x,
-                            body: std::rc::Rc::new(Term::IfReg {
+                            body: (Term::IfReg {
                                 r1: Region::Var(s("gr2")),
                                 r2: Region::Var(ro),
-                                eq: std::rc::Rc::new(Term::Halt(Value::Int(1))),
-                                ne: std::rc::Rc::new(Term::let_(
+                                eq: (Term::Halt(Value::Int(1))).into(),
+                                ne: (Term::let_(
                                     s("gy"),
                                     Op::Get(Value::Var(x)),
                                     Term::Halt(Value::Var(s("gy"))),
-                                )),
-                            }),
+                                ))
+                                .into(),
+                            })
+                            .into(),
                         },
                     ),
-                )),
-            }),
+                ))
+                .into(),
+            })
+            .into(),
         };
         let p = Program {
             dialect: Dialect::Generational,

@@ -10,8 +10,6 @@
 //! so every generated program terminates) and runs both machines in
 //! lockstep, checking all three invariants at every single step.
 
-use std::rc::Rc;
-
 use proptest::prelude::*;
 
 use ps_gc_lang::env_machine::EnvMachine;
@@ -79,14 +77,14 @@ fn code_defs() -> Vec<CodeDef> {
             params: vec![(n, Ty::Int)],
             body: Term::Typecase {
                 tag: Tag::Var(t),
-                int_arm: Rc::new(Term::Halt(Value::Var(n))),
-                arrow_arm: Rc::new(Term::Halt(Value::Int(11))),
+                int_arm: (Term::Halt(Value::Var(n))).into(),
+                arrow_arm: (Term::Halt(Value::Int(11))).into(),
                 prod_arm: (
                     Symbol::intern("ba_t1"),
                     Symbol::intern("ba_t2"),
-                    Rc::new(Term::Halt(Value::Int(22))),
+                    (Term::Halt(Value::Int(22))).into(),
                 ),
-                exist_arm: (Symbol::intern("ba_te"), Rc::new(Term::Halt(Value::Int(33)))),
+                exist_arm: (Symbol::intern("ba_te"), (Term::Halt(Value::Int(33))).into()),
             },
         },
     ]
@@ -204,7 +202,7 @@ fn gen_term(tape: &mut Tape, fuel: u32, scope: &mut Scope) -> Term {
             scope.regions.push((r, true));
             Term::LetRegion {
                 rvar: r,
-                body: Rc::new(gen_term(tape, fuel - 1, scope)),
+                body: (gen_term(tape, fuel - 1, scope)).into(),
             }
         }
         3 if !live.is_empty() => {
@@ -242,8 +240,8 @@ fn gen_term(tape: &mut Tape, fuel: u32, scope: &mut Scope) -> Term {
             let nonzero = gen_term(tape, half, scope);
             Term::If0 {
                 scrut: int_value(tape, scope),
-                zero: Rc::new(zero),
-                nonzero: Rc::new(nonzero),
+                zero: (zero).into(),
+                nonzero: (nonzero).into(),
             }
         }
         6 if !live.is_empty() => {
@@ -264,7 +262,7 @@ fn gen_term(tape: &mut Tape, fuel: u32, scope: &mut Scope) -> Term {
             scope.pairs.retain(|&(_, ri)| !dropped.contains(&ri));
             Term::Only {
                 regions: keep,
-                body: Rc::new(gen_term(tape, fuel - 1, scope)),
+                body: (gen_term(tape, fuel - 1, scope)).into(),
             }
         }
         7 if !live.is_empty() => {
@@ -276,8 +274,8 @@ fn gen_term(tape: &mut Tape, fuel: u32, scope: &mut Scope) -> Term {
             Term::IfReg {
                 r1: Region::Var(r1),
                 r2: Region::Var(r2),
-                eq: Rc::new(eq),
-                ne: Rc::new(ne),
+                eq: (eq).into(),
+                ne: (ne).into(),
             }
         }
         8 if !live.is_empty() => {
@@ -287,8 +285,8 @@ fn gen_term(tape: &mut Tape, fuel: u32, scope: &mut Scope) -> Term {
             let cont = gen_term(tape, half, scope);
             Term::IfGc {
                 rho: Region::Var(r),
-                full: Rc::new(full),
-                cont: Rc::new(cont),
+                full: (full).into(),
+                cont: (cont).into(),
             }
         }
         9 => {
@@ -301,10 +299,10 @@ fn gen_term(tape: &mut Tape, fuel: u32, scope: &mut Scope) -> Term {
             let other = gen_term(tape, half, scope);
             Term::Typecase {
                 tag,
-                int_arm: Rc::new(int_arm),
-                arrow_arm: Rc::new(Term::Halt(Value::Int(11))),
-                prod_arm: (gensym("ba_t1"), gensym("ba_t2"), Rc::new(other.clone())),
-                exist_arm: (gensym("ba_te"), Rc::new(other)),
+                int_arm: (int_arm).into(),
+                arrow_arm: (Term::Halt(Value::Int(11))).into(),
+                prod_arm: (gensym("ba_t1"), gensym("ba_t2"), (other.clone()).into()),
+                exist_arm: (gensym("ba_te"), (other).into()),
             }
         }
         _ => gen_terminal(tape, scope),

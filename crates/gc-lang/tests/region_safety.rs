@@ -3,8 +3,6 @@
 //! reject it (the machine-level dynamic failures are covered in the
 //! machine's own tests).
 
-use std::rc::Rc;
-
 use ps_gc_lang::machine::Program;
 use ps_gc_lang::syntax::{Dialect, Kind, Op, Region, Tag, Term, Ty, Value};
 use ps_gc_lang::tyck::{Checker, Ctx};
@@ -27,18 +25,20 @@ fn check_main(dialect: Dialect, main: Term) -> Result<(), ps_gc_lang::error::Lan
 fn use_after_only_rejected() {
     let e = Term::LetRegion {
         rvar: s("ra"),
-        body: Rc::new(Term::let_(
+        body: (Term::let_(
             s("a"),
             Op::Put(Region::Var(s("ra")), Value::Int(1)),
             Term::Only {
                 regions: vec![],
-                body: Rc::new(Term::let_(
+                body: (Term::let_(
                     s("b"),
                     Op::Get(Value::Var(s("a"))),
                     Term::Halt(Value::Var(s("b"))),
-                )),
+                ))
+                .into(),
             },
-        )),
+        ))
+        .into(),
     };
     assert!(check_main(Dialect::Basic, e).is_err());
 }
@@ -52,21 +52,22 @@ fn alpha_package_bound_cannot_lie() {
     // set is empty.
     let e = Term::LetRegion {
         rvar: s("ra"),
-        body: Rc::new(Term::let_(
+        body: (Term::let_(
             s("a"),
             Op::Put(Region::Var(s("ra")), Value::Int(1)),
             Term::let_(
                 s("p"),
                 Op::Val(Value::PackAlpha {
                     avar: s("al"),
-                    regions: Rc::from(vec![]),
+                    regions: (vec![]).into(),
                     witness: Ty::Int.at(Region::Var(s("ra"))),
-                    val: Rc::new(Value::Var(s("a"))),
+                    val: (Value::Var(s("a"))).into(),
                     body_ty: Ty::Alpha(s("al")),
                 }),
                 Term::Halt(Value::Int(0)),
             ),
-        )),
+        ))
+        .into(),
     };
     assert!(check_main(Dialect::Basic, e).is_err());
 }
@@ -77,9 +78,9 @@ fn region_package_bound_must_be_in_scope() {
     let gen = Checker::new(Dialect::Generational);
     let pkg = Value::PackRgn {
         rvar: s("r"),
-        bound: Rc::from(vec![Region::Var(s("ghost"))]),
+        bound: (vec![Region::Var(s("ghost"))]).into(),
         witness: Region::Var(s("ghost")),
-        val: Rc::new(Value::Int(0)),
+        val: (Value::Int(0)).into(),
         body_ty: Ty::Int,
     };
     assert!(gen.synth_value(&Ctx::empty(), &pkg).is_err());
@@ -101,7 +102,7 @@ fn put_into_unbound_region_rejected() {
 fn only_cannot_keep_unknown_regions() {
     let e = Term::Only {
         regions: vec![Region::Var(s("phantom"))],
-        body: Rc::new(Term::Halt(Value::Int(0))),
+        body: (Term::Halt(Value::Int(0))).into(),
     };
     assert!(check_main(Dialect::Basic, e).is_err());
 }
@@ -113,35 +114,38 @@ fn only_drops_alphas_bound_to_dead_regions() {
     // opened value.
     let e = Term::LetRegion {
         rvar: s("ra"),
-        body: Rc::new(Term::let_(
+        body: (Term::let_(
             s("a"),
             Op::Put(Region::Var(s("ra")), Value::Int(1)),
             Term::let_(
                 s("p"),
                 Op::Val(Value::PackAlpha {
                     avar: s("al"),
-                    regions: Rc::from(vec![Region::Var(s("ra"))]),
+                    regions: (vec![Region::Var(s("ra"))]).into(),
                     witness: Ty::Int.at(Region::Var(s("ra"))),
-                    val: Rc::new(Value::Var(s("a"))),
+                    val: (Value::Var(s("a"))).into(),
                     body_ty: Ty::Alpha(s("al")),
                 }),
                 Term::OpenAlpha {
                     pkg: Value::Var(s("p")),
                     avar: s("b"),
                     x: s("xb"),
-                    body: Rc::new(Term::Only {
+                    body: (Term::Only {
                         regions: vec![],
-                        body: Rc::new(Term::let_(
+                        body: (Term::let_(
                             // xb : β, β confined to the reclaimed ra — the
                             // binding must be gone.
                             s("y"),
                             Op::Val(Value::Var(s("xb"))),
                             Term::Halt(Value::Int(0)),
-                        )),
-                    }),
+                        ))
+                        .into(),
+                    })
+                    .into(),
                 },
             ),
-        )),
+        ))
+        .into(),
     };
     assert!(check_main(Dialect::Basic, e).is_err());
 }
@@ -153,9 +157,9 @@ fn only_drops_alphas_bound_to_dead_regions() {
 fn widen_body_cannot_use_outer_bindings() {
     let e = Term::LetRegion {
         rvar: s("r1"),
-        body: Rc::new(Term::LetRegion {
+        body: (Term::LetRegion {
             rvar: s("r2"),
-            body: Rc::new(Term::let_(
+            body: (Term::let_(
                 s("secret"),
                 Op::Val(Value::Int(5)),
                 Term::Widen {
@@ -164,10 +168,12 @@ fn widen_body_cannot_use_outer_bindings() {
                     to: Region::Var(s("r2")),
                     tag: Tag::Int,
                     v: Value::Int(0),
-                    body: Rc::new(Term::Halt(Value::Var(s("secret")))),
+                    body: (Term::Halt(Value::Var(s("secret")))).into(),
                 },
-            )),
-        }),
+            ))
+            .into(),
+        })
+        .into(),
     };
     assert!(check_main(Dialect::Forwarding, e).is_err());
 }
@@ -195,8 +201,8 @@ fn ints_are_not_sums() {
     let e = Term::IfLeft {
         x: s("x"),
         scrut: Value::Var(s("v")),
-        left: Rc::new(Term::Halt(Value::Int(0))),
-        right: Rc::new(Term::Halt(Value::Int(0))),
+        left: (Term::Halt(Value::Int(0))).into(),
+        right: (Term::Halt(Value::Int(0))).into(),
     };
     assert!(fw.check_term(&ctx, &e).is_err());
 }
@@ -213,12 +219,13 @@ fn region_arity_mismatch_rejected() {
     };
     let main = Term::LetRegion {
         rvar: s("r0"),
-        body: Rc::new(Term::app(
+        body: (Term::app(
             Value::Addr(ps_gc_lang::syntax::CD, 0),
             [],
             [Region::Var(s("r0"))],
             [],
-        )),
+        ))
+        .into(),
     };
     let p = Program {
         dialect: Dialect::Basic,

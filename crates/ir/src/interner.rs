@@ -1,4 +1,4 @@
-//! A generic hash-consing arena.
+//! Generic hash-consing arenas.
 //!
 //! [`Interner<T>`] assigns each structurally distinct value of `T` a dense
 //! `u32` id and stores the value once, forever: interned nodes are leaked
@@ -7,11 +7,16 @@
 //! of values, which turns deep structural comparisons into integer
 //! compares and makes ids usable as memo-table keys.
 //!
-//! The interner itself is not synchronized; callers wrap it in an
+//! The plain [`Interner`] is not synchronized; callers wrap it in an
 //! `RwLock` (see the [`crate::Symbol`] interner for the idiom: an
 //! uncontended read-lock probe first, then a write-lock insert on miss).
-//! Hit/miss counters are atomic so the read path can record a hit without
-//! upgrading its lock.
+//! [`ConcurrentInterner<T>`] is the shared-by-many-threads variant: id
+//! dereference ([`ConcurrentInterner::get`]) is entirely lock-free via a
+//! [`ChunkedSlab`] node index, the hash-cons table is sharded so lookups
+//! from different threads rarely touch the same lock word, and hit
+//! counters are striped across padded per-thread cache lines. A single
+//! shared `RwLock` + one hit counter serializes parallel readers through
+//! two hot cache lines; the sharded layout removes exactly that.
 //!
 //! # Examples
 //!
@@ -24,10 +29,101 @@
 //! assert_eq!(arena.get(a), &(1, 2));
 //! assert_eq!(arena.len(), 1);
 //! ```
+//!
+//! ```
+//! use ps_ir::ConcurrentInterner;
+//! static ARENA: ConcurrentInterner<(u32, u32)> = ConcurrentInterner::new();
+//! let a = ARENA.intern((1, 2));
+//! let b = ARENA.intern((1, 2));
+//! assert_eq!(a, b);
+//! assert_eq!(ARENA.get(a), Some(&(1, 2)));
+//! ```
 
+use std::cell::Cell;
 use std::collections::HashMap;
-use std::hash::Hash;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::ptr::null_mut;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::RwLock;
+
+// ----- hashing ------------------------------------------------------------
+
+/// A fast, deterministic multiply-rotate hasher (the `FxHash` scheme) for
+/// the hash-cons tables.
+///
+/// Interned nodes are small trees of `u32` ids and enum discriminants;
+/// SipHash's per-byte mixing dominates the interning hot path on such
+/// keys, while Fx folds a whole word per multiply. The tables never hold
+/// untrusted keys, so HashDoS resistance buys nothing here, and the fixed
+/// seed keeps hashes — and therefore shard assignment — deterministic
+/// across runs.
+#[derive(Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// Knuth's 64-bit multiplicative-hash constant (⌊2⁶⁴/φ⌋, odd).
+const FX_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            // Fold in the tail length so "ab" and "ab\0" differ.
+            word[7] = word[7].wrapping_add(rest.len() as u8);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// A hash-consing arena mapping values of `T` to dense `u32` ids.
 ///
@@ -104,6 +200,262 @@ impl<T: Eq + Hash> Interner<T> {
     }
 }
 
+// ----- lock-free id-indexed storage ---------------------------------------
+
+/// Chunk `c` holds ids `[2^c - 1, 2^{c+1} - 1)`; 33 chunks cover all of
+/// `u32`.
+const SLAB_CHUNKS: usize = 33;
+
+/// A lock-free, append-only table from dense `u32` ids to leaked
+/// `&'static T`s: the node index of [`ConcurrentInterner`] and the backing
+/// store for id-keyed memo tables.
+///
+/// Entries live in doubling chunks so the table grows without ever moving
+/// an entry (a `Vec` resize would invalidate concurrent readers). Readers
+/// take two `Acquire` loads — chunk pointer, then entry pointer — and no
+/// lock. Writers allocate chunks with a CAS (the loser frees its copy) and
+/// publish entries with a `Release` store. Callers must only ever publish
+/// one value per id, or semantically equal values (a memo of a
+/// deterministic function may benignly race on one entry).
+pub struct ChunkedSlab<T> {
+    chunks: [AtomicPtr<AtomicPtr<T>>; SLAB_CHUNKS],
+}
+
+impl<T> ChunkedSlab<T> {
+    /// An empty slab; usable in `static` initializers.
+    #[must_use]
+    pub const fn new() -> ChunkedSlab<T> {
+        ChunkedSlab {
+            chunks: [const { AtomicPtr::new(null_mut()) }; SLAB_CHUNKS],
+        }
+    }
+
+    /// (chunk, offset) of `id`: chunk `c = ⌊log2(id + 1)⌋` has `2^c`
+    /// entries.
+    fn locate(id: u32) -> (usize, usize) {
+        let n = u64::from(id) + 1;
+        let chunk = (63 - n.leading_zeros()) as usize;
+        (chunk, (n - (1u64 << chunk)) as usize)
+    }
+
+    /// The entry published for `id`, if any. Lock-free.
+    pub fn get(&self, id: u32) -> Option<&'static T> {
+        let (c, off) = Self::locate(id);
+        let chunk = self.chunks[c].load(Ordering::Acquire);
+        if chunk.is_null() {
+            return None;
+        }
+        // SAFETY: a non-null chunk pointer is a leaked array of `1 << c`
+        // entries (allocated in `set`), and `off < 1 << c` by `locate`.
+        let entry = unsafe { &*chunk.add(off) };
+        // SAFETY: non-null entries are leaked `&'static T`s.
+        unsafe { entry.load(Ordering::Acquire).as_ref() }
+    }
+
+    /// Publishes the entry for `id`.
+    pub fn set(&self, id: u32, value: &'static T) {
+        let (c, off) = Self::locate(id);
+        let slot = &self.chunks[c];
+        let mut chunk = slot.load(Ordering::Acquire);
+        if chunk.is_null() {
+            let fresh: Box<[AtomicPtr<T>]> = (0..1usize << c)
+                .map(|_| AtomicPtr::new(null_mut()))
+                .collect();
+            let fresh = Box::leak(fresh).as_mut_ptr();
+            match slot.compare_exchange(null_mut(), fresh, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => chunk = fresh,
+                Err(won) => {
+                    // SAFETY: `fresh` was leaked just above from a boxed
+                    // slice of `1 << c` entries and lost the race
+                    // unpublished, so reclaiming it here is exclusive.
+                    drop(unsafe {
+                        Box::from_raw(std::ptr::slice_from_raw_parts_mut(fresh, 1usize << c))
+                    });
+                    chunk = won;
+                }
+            }
+        }
+        // SAFETY: as in `get`; the store publishes a leaked `&'static T`.
+        unsafe { &*chunk.add(off) }.store((value as *const T).cast_mut(), Ordering::Release);
+    }
+
+    /// Number of published entries (for telemetry; walks the whole
+    /// capacity).
+    pub fn count(&self) -> usize {
+        let mut n = 0;
+        for (c, slot) in self.chunks.iter().enumerate() {
+            let chunk = slot.load(Ordering::Acquire);
+            if chunk.is_null() {
+                continue;
+            }
+            for off in 0..1usize << c {
+                // SAFETY: as in `get`.
+                if !unsafe { &*chunk.add(off) }
+                    .load(Ordering::Acquire)
+                    .is_null()
+                {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+impl<T> Default for ChunkedSlab<T> {
+    fn default() -> ChunkedSlab<T> {
+        ChunkedSlab::new()
+    }
+}
+
+// ----- concurrent interner ------------------------------------------------
+
+/// Number of hash-cons table shards. A power of two; the shard of a value
+/// is the low bits of its hash.
+const SHARDS: usize = 16;
+
+/// Number of striped hit counters, each on its own cache line.
+const HIT_STRIPES: usize = 8;
+
+/// A hit counter padded to a cache line so stripes do not false-share.
+#[repr(align(64))]
+struct PaddedCounter(AtomicU64);
+
+/// The stripe this thread bumps: threads are assigned round-robin on
+/// first use, so concurrent certification workers land on distinct cache
+/// lines.
+fn stripe_index() -> usize {
+    thread_local! {
+        static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    STRIPE.with(|c| {
+        let mut i = c.get();
+        if i == usize::MAX {
+            i = NEXT.fetch_add(1, Ordering::Relaxed);
+            c.set(i);
+        }
+        i % HIT_STRIPES
+    })
+}
+
+/// A shared hash-consing arena built for parallel readers.
+///
+/// Functionally [`Interner`] behind synchronization, with the hot paths
+/// restructured so many threads interning and dereferencing concurrently
+/// do not bounce shared cache lines:
+///
+/// * [`get`](Self::get) (id → node) reads a [`ChunkedSlab`] — no lock;
+/// * [`intern`](Self::intern) probes one of [`SHARDS`] independent hash
+///   tables, taking a read lock on only that shard (write lock on miss);
+/// * hit counters are striped over padded per-thread cache lines.
+///
+/// Ids are dense across the whole arena (a shared allocation counter), and
+/// every node is published to the slab *before* its id is returned, so any
+/// id obtained from `intern` can be dereferenced lock-free forever.
+pub struct ConcurrentInterner<T: 'static> {
+    shards: [Shard<T>; SHARDS],
+    nodes: ChunkedSlab<T>,
+    next: AtomicU32,
+    hits: [PaddedCounter; HIT_STRIPES],
+}
+
+/// One hash-cons table shard, allocated lazily on first insert (`None`
+/// until then) so the arena itself can be a `const`-constructed `static`.
+type Shard<T> = RwLock<Option<HashMap<&'static T, u32, FxBuildHasher>>>;
+
+/// Read-locks a shard even if a writer panicked mid-insert: the tables are
+/// append-only caches, so a poisoned shard is still internally consistent.
+fn shard_read<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Write-lock counterpart of [`shard_read`].
+fn shard_write<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl<T: Eq + Hash> ConcurrentInterner<T> {
+    /// An empty arena; usable in `static` initializers.
+    #[must_use]
+    pub const fn new() -> ConcurrentInterner<T> {
+        ConcurrentInterner {
+            shards: [const { RwLock::new(None) }; SHARDS],
+            nodes: ChunkedSlab::new(),
+            next: AtomicU32::new(0),
+            hits: [const { PaddedCounter(AtomicU64::new(0)) }; HIT_STRIPES],
+        }
+    }
+
+    fn shard_of(value: &T) -> usize {
+        let mut h = FxHasher::default();
+        value.hash(&mut h);
+        // The map hasher consumes the same low bits first; take the top
+        // bits for the shard so the two partitions stay independent.
+        (h.finish() >> 60) as usize & (SHARDS - 1)
+    }
+
+    fn note_hit(&self) {
+        self.hits[stripe_index()].0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Interns `value`, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics after `u32::MAX` distinct nodes (unreachable in practice).
+    pub fn intern(&self, value: T) -> u32 {
+        let shard = &self.shards[Self::shard_of(&value)];
+        if let Some(&id) = shard_read(shard).as_ref().and_then(|m| m.get(&value)) {
+            self.note_hit();
+            return id;
+        }
+        let mut guard = shard_write(shard);
+        let map = guard.get_or_insert_with(HashMap::default);
+        if let Some(&id) = map.get(&value) {
+            self.note_hit();
+            return id;
+        }
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        assert!(id != u32::MAX, "interner overflow");
+        let node: &'static T = Box::leak(Box::new(value));
+        // Publish for lock-free deref before the id can escape.
+        self.nodes.set(id, node);
+        map.insert(node, id);
+        id
+    }
+}
+
+impl<T> ConcurrentInterner<T> {
+    /// The node for `id`, if `id` was produced by this arena. Lock-free.
+    pub fn get(&self, id: u32) -> Option<&'static T> {
+        self.nodes.get(id)
+    }
+
+    /// Number of distinct values interned.
+    pub fn len(&self) -> usize {
+        self.next.load(Ordering::Relaxed) as usize
+    }
+
+    /// Is the arena empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of times an intern call found its value already present.
+    pub fn hits(&self) -> u64 {
+        self.hits.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+impl<T: Eq + Hash> Default for ConcurrentInterner<T> {
+    fn default() -> ConcurrentInterner<T> {
+        ConcurrentInterner::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +504,51 @@ mod tests {
             assert_eq!(arena.insert(i), i);
         }
         assert_eq!(arena.len(), 100);
+    }
+
+    #[test]
+    fn slab_round_trips_across_chunk_boundaries() {
+        let slab: ChunkedSlab<u32> = ChunkedSlab::new();
+        assert_eq!(slab.get(0), None);
+        for id in [0u32, 1, 2, 3, 6, 7, 1000, 65_535, 1 << 20] {
+            let v: &'static u32 = Box::leak(Box::new(id * 3 + 1));
+            slab.set(id, v);
+            assert_eq!(slab.get(id), Some(v));
+        }
+        assert_eq!(slab.get(4), None);
+        assert_eq!(slab.count(), 9);
+    }
+
+    #[test]
+    fn concurrent_interning_is_idempotent() {
+        static ARENA: ConcurrentInterner<String> = ConcurrentInterner::new();
+        let a = ARENA.intern("x".to_string());
+        let b = ARENA.intern("x".to_string());
+        assert_eq!(a, b);
+        assert_eq!(ARENA.len(), 1);
+        assert_eq!(ARENA.hits(), 1);
+        assert_eq!(ARENA.get(a).map(String::as_str), Some("x"));
+    }
+
+    #[test]
+    fn concurrent_interning_from_many_threads() {
+        static ARENA: ConcurrentInterner<(u32, u32)> = ConcurrentInterner::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..1000u32 {
+                        let id = ARENA.intern((i, i * 2));
+                        assert_eq!(ARENA.get(id), Some(&(i, i * 2)));
+                    }
+                });
+            }
+        });
+        assert_eq!(ARENA.len(), 1000);
+        // Every value interned once, hit 3999 times in total.
+        assert_eq!(ARENA.hits(), 3000);
+        // Ids are dense: every id below len resolves.
+        for id in 0..1000u32 {
+            assert!(ARENA.get(id).is_some());
+        }
     }
 }

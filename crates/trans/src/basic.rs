@@ -17,8 +17,6 @@
 //! λCLOS rather than as they are translated" (§5): λCLOS types embed
 //! directly into λGC tags via [`tag_of`].
 
-use std::rc::Rc;
-
 use ps_ir::symbol::gensym;
 use ps_ir::Symbol;
 
@@ -99,7 +97,7 @@ impl<'a> Trans<'a> {
                     tvar: *tvar,
                     kind: Kind::Omega,
                     tag: tag_of(witness),
-                    val: Rc::new(pv),
+                    val: (pv).into(),
                     body_ty: Ty::m(self.rv(), tag_of(body_ty)),
                 };
                 binds.push((x, Op::Put(self.rv(), pack)));
@@ -161,7 +159,7 @@ impl<'a> Trans<'a> {
                         pkg: Value::Var(tmp),
                         tvar: *tvar,
                         x: *x,
-                        body: Rc::new(self.exp(body)?),
+                        body: (self.exp(body)?).into(),
                     },
                 );
                 Ok(Self::wrap(binds, rest))
@@ -178,8 +176,8 @@ impl<'a> Trans<'a> {
                     binds,
                     Term::If0 {
                         scrut: gv,
-                        zero: Rc::new(self.exp(zero)?),
-                        nonzero: Rc::new(self.exp(nonzero)?),
+                        zero: (self.exp(zero)?).into(),
+                        nonzero: (self.exp(nonzero)?).into(),
                     },
                 ))
             }
@@ -193,13 +191,14 @@ impl<'a> Trans<'a> {
         // ifgc r (gc[τ][r](cd.ℓ_f, x)) e′
         let guarded = Term::IfGc {
             rho: self.rv(),
-            full: Rc::new(Term::app(
+            full: (Term::app(
                 Value::Addr(CD, self.gc_entry),
                 [tag.clone()],
                 [self.rv()],
                 [Value::Addr(CD, off), Value::Var(f.param)],
-            )),
-            cont: Rc::new(body),
+            ))
+            .into(),
+            cont: (body).into(),
         };
         Ok(CodeDef {
             name: f.name,
@@ -242,7 +241,7 @@ pub fn translate(p: &CProgram, collector: &CollectorImage) -> TResult<Program> {
     // The main term allocates the initial region (Fig. 3's program rule).
     let main = Term::LetRegion {
         rvar: tr.r,
-        body: Rc::new(tr.exp(&p.main)?),
+        body: (tr.exp(&p.main)?).into(),
     };
     Ok(Program {
         dialect: Dialect::Basic,

@@ -7,8 +7,6 @@
 //! directly on `left σ` ("without the `right σ` alternative, to avoid the
 //! need for checks"); only the collector's `ifleft` ever branches on it.
 
-use std::rc::Rc;
-
 use ps_ir::symbol::gensym;
 use ps_ir::Symbol;
 
@@ -64,7 +62,7 @@ impl Trans {
                     tvar: *tvar,
                     kind: Kind::Omega,
                     tag: tag_of(witness),
-                    val: Rc::new(pv),
+                    val: (pv).into(),
                     body_ty: Ty::m(self.rv(), tag_of(body_ty)),
                 };
                 binds.push((x, Op::Put(self.rv(), Value::inl(pack))));
@@ -135,7 +133,7 @@ impl Trans {
                     pkg: Value::Var(sv),
                     tvar,
                     x,
-                    body: Rc::new(body),
+                    body: (body).into(),
                 });
                 Ok(Self::wrap(binds, rest))
             }
@@ -151,8 +149,8 @@ impl Trans {
                     binds,
                     Term::If0 {
                         scrut: gv,
-                        zero: Rc::new(self.exp(zero)?),
-                        nonzero: Rc::new(self.exp(nonzero)?),
+                        zero: (self.exp(zero)?).into(),
+                        nonzero: (self.exp(nonzero)?).into(),
                     },
                 ))
             }
@@ -165,13 +163,14 @@ impl Trans {
         let body = self.exp(&f.body)?;
         let guarded = Term::IfGc {
             rho: self.rv(),
-            full: Rc::new(Term::app(
+            full: (Term::app(
                 Value::Addr(CD, self.gc_entry),
                 [tag.clone()],
                 [self.rv()],
                 [Value::Addr(CD, off), Value::Var(f.param)],
-            )),
-            cont: Rc::new(body),
+            ))
+            .into(),
+            cont: (body).into(),
         };
         Ok(CodeDef {
             name: f.name,
@@ -208,7 +207,7 @@ pub fn translate(p: &CProgram, collector: &CollectorImage) -> TResult<Program> {
     }
     let main = Term::LetRegion {
         rvar: tr.r,
-        body: Rc::new(tr.exp(&p.main)?),
+        body: (tr.exp(&p.main)?).into(),
     };
     Ok(Program {
         dialect: Dialect::Forwarding,

@@ -12,8 +12,6 @@
 //! allocation, so this translation tracks λCLOS types as it goes (via
 //! [`ps_clos::tyck`]'s value inference).
 
-use std::rc::Rc;
-
 use ps_ir::symbol::gensym;
 use ps_ir::Symbol;
 
@@ -78,9 +76,9 @@ impl Trans {
                 let body = Ty::prod(self.mg_at(rp, tag_of(&aty)), self.mg_at(rp, tag_of(&bty)));
                 let pkg = Value::PackRgn {
                     rvar: rp,
-                    bound: Rc::from(self.bound()),
+                    bound: (self.bound()).into(),
                     witness: self.ryv(),
-                    val: Rc::new(Value::Var(x)),
+                    val: (Value::Var(x)).into(),
                     body_ty: body,
                 };
                 let y = gensym("pg");
@@ -98,7 +96,7 @@ impl Trans {
                     tvar: *tvar,
                     kind: Kind::Omega,
                     tag: tag_of(witness),
-                    val: Rc::new(pv),
+                    val: (pv).into(),
                     body_ty: self.mg(tag_of(body_ty)),
                 };
                 let x = gensym("pk");
@@ -106,9 +104,9 @@ impl Trans {
                 let rp = gensym("rp");
                 let pkg = Value::PackRgn {
                     rvar: rp,
-                    bound: Rc::from(self.bound()),
+                    bound: (self.bound()).into(),
                     witness: self.ryv(),
-                    val: Rc::new(Value::Var(x)),
+                    val: (Value::Var(x)).into(),
                     body_ty: Ty::exist_tag(*tvar, Kind::Omega, self.mg_at(rp, tag_of(body_ty))),
                 };
                 let y = gensym("pkg");
@@ -161,11 +159,12 @@ impl Trans {
                     pkg: gv,
                     rvar: rp,
                     x: a,
-                    body: Rc::new(Term::let_(
+                    body: (Term::let_(
                         y,
                         Op::Get(Value::Var(a)),
                         Term::let_(*x, Op::Proj(*i, Value::Var(y)), body),
-                    )),
+                    ))
+                    .into(),
                 };
                 Ok(Self::wrap(binds, rest))
             }
@@ -206,16 +205,17 @@ impl Trans {
                     pkg: pv,
                     rvar: rp,
                     x: a,
-                    body: Rc::new(Term::let_(
+                    body: (Term::let_(
                         y,
                         Op::Get(Value::Var(a)),
                         Term::OpenTag {
                             pkg: Value::Var(y),
                             tvar: *tvar,
                             x: *x,
-                            body: Rc::new(body),
+                            body: (body).into(),
                         },
-                    )),
+                    ))
+                    .into(),
                 };
                 Ok(Self::wrap(binds, rest))
             }
@@ -231,8 +231,8 @@ impl Trans {
                     binds,
                     Term::If0 {
                         scrut: gv,
-                        zero: Rc::new(self.exp(ctx, zero)?),
-                        nonzero: Rc::new(self.exp(ctx, nonzero)?),
+                        zero: (self.exp(ctx, zero)?).into(),
+                        nonzero: (self.exp(ctx, nonzero)?).into(),
                     },
                 ))
             }
@@ -247,13 +247,14 @@ impl Trans {
         let body = self.exp(&ctx, &f.body)?;
         let guarded = Term::IfGc {
             rho: self.ryv(),
-            full: Rc::new(Term::app(
+            full: (Term::app(
                 Value::Addr(CD, self.gc_entry),
                 [tag.clone()],
                 [self.ryv(), self.rov()],
                 [Value::Addr(CD, off), Value::Var(f.param)],
-            )),
-            cont: Rc::new(body),
+            ))
+            .into(),
+            cont: (body).into(),
         };
         Ok(CodeDef {
             name: f.name,
@@ -297,10 +298,11 @@ pub fn translate(p: &CProgram, collector: &CollectorImage) -> TResult<Program> {
     // collections; the young one is recreated by each gc.
     let main = Term::LetRegion {
         rvar: tr.ro,
-        body: Rc::new(Term::LetRegion {
+        body: (Term::LetRegion {
             rvar: tr.ry,
-            body: Rc::new(tr.exp(&top, &p.main)?),
-        }),
+            body: (tr.exp(&top, &p.main)?).into(),
+        })
+        .into(),
     };
     Ok(Program {
         dialect: Dialect::Generational,

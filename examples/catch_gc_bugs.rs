@@ -72,10 +72,10 @@ fn main() {
     {
         blk.body = Term::Typecase {
             tag: tag.clone(),
-            int_arm: int_arm.clone(),
-            arrow_arm: arrow_arm.clone(),
-            prod_arm: (prod_arm.0, prod_arm.1, int_arm.clone()),
-            exist_arm: exist_arm.clone(),
+            int_arm: *int_arm,
+            arrow_arm: *arrow_arm,
+            prod_arm: (prod_arm.0, prod_arm.1, *int_arm),
+            exist_arm: *exist_arm,
         };
     }
     verdict("copy returns from-space pointers for pairs", image.code);

@@ -9,6 +9,10 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+# Certification parallelizes over code blocks by default; exercise the
+# serial path too so both sides of the PS_CERT_THREADS split stay green.
+PS_CERT_THREADS=1 ./target/release/psgc certify --collector generational >/dev/null
+PS_CERT_THREADS=4 ./target/release/psgc certify --collector generational >/dev/null
 cargo clippy --workspace -- -D warnings
 # Panic audit: the language runtime and the collectors must stay free of
 # panicking escape hatches outside tests (clippy.toml relaxes the lints

@@ -193,7 +193,7 @@ fn flag_specs() -> [FlagSpec; 14] {
         FlagSpec {
             name: "--stats-intern",
             metavar: None,
-            help: "print tag/type interner occupancy and memo sizes",
+            help: "print tag/type/term/value interner occupancy, memo sizes, and skip counts",
             apply: |c, _| {
                 c.stats_intern = true;
                 Ok(())

@@ -311,22 +311,71 @@ fn stats_intern_reports_interner_occupancy() {
     for row in [
         "tag nodes",
         "ty nodes",
+        "term nodes",
+        "val nodes",
         "tag norm memo",
         "ty norm memo",
         "tag canon memo",
         "ty canon memo",
         "tag fv memo",
         "ty fv memo",
+        "term fv memo",
+        "val fv memo",
+        "term skips",
+        "val skips",
     ] {
         assert!(stderr.contains(row), "missing row {row:?}: {stderr}");
     }
     // Compiling and certifying any program interns nodes and records hits.
-    let tag_row = stderr.lines().find(|l| l.starts_with("tag nodes")).unwrap();
-    let nodes: u64 = tag_row
-        .split_whitespace()
-        .nth(2)
-        .and_then(|w| w.parse().ok())
-        .expect("tag node count parses");
-    assert!(nodes > 0, "interner must be populated: {tag_row}");
-    assert!(tag_row.contains("(hits "), "hit counter missing: {tag_row}");
+    for prefix in ["tag nodes", "term nodes"] {
+        let row = stderr.lines().find(|l| l.starts_with(prefix)).unwrap();
+        let nodes: u64 = row
+            .split_whitespace()
+            .nth(2)
+            .and_then(|w| w.parse().ok())
+            .expect("node count parses");
+        assert!(nodes > 0, "interner must be populated: {row}");
+        assert!(row.contains("(hits "), "hit counter missing: {row}");
+    }
+}
+
+#[test]
+fn certification_thread_count_never_changes_observable_output() {
+    let prog = write_program("cert_threads.lam");
+    let run = |threads: &str, trace: &PathBuf| {
+        Command::new(env!("CARGO_BIN_EXE_psgc"))
+            .args([
+                "run",
+                prog.to_str().unwrap(),
+                "--stats",
+                "--metrics",
+                "--trace",
+                trace.to_str().unwrap(),
+            ])
+            .env("PS_CERT_THREADS", threads)
+            .output()
+            .expect("psgc runs")
+    };
+    let trace_serial = scratch("cert_threads_serial.jsonl");
+    let serial = run("1", &trace_serial);
+    assert_eq!(exit_code(&serial), 0);
+    for threads in ["2", "4"] {
+        let trace_par = scratch("cert_threads_par.jsonl");
+        let par = run(threads, &trace_par);
+        assert_eq!(exit_code(&par), 0);
+        assert_eq!(
+            serial.stdout, par.stdout,
+            "stats/metrics must be byte-identical at PS_CERT_THREADS={threads}"
+        );
+        assert_eq!(
+            serial.stderr, par.stderr,
+            "diagnostics must be byte-identical at PS_CERT_THREADS={threads}"
+        );
+        let a = std::fs::read(&trace_serial).expect("serial trace");
+        let b = std::fs::read(&trace_par).expect("parallel trace");
+        assert_eq!(
+            a, b,
+            "telemetry event stream must be byte-identical at PS_CERT_THREADS={threads}"
+        );
+    }
 }

@@ -1,6 +1,7 @@
-//! Differential tests for the interned tag/type layer: the memoized,
-//! id-keyed normalizers and equality checks in `tags`/`moper` must agree
-//! with the pre-refactor recursive implementations kept verbatim in
+//! Differential tests for the interned tag/type/term/value layer: the
+//! memoized, id-keyed normalizers and equality checks in `tags`/`moper`,
+//! and the fingerprint-skipping substitution in `subst`, must agree with
+//! the pre-refactor recursive implementations kept verbatim in
 //! `gc_lang::reference`.
 //!
 //! Inputs come from byte-tape generators (the `crates/proptest` shim): a
@@ -13,9 +14,14 @@
 
 use proptest::prelude::*;
 
+use scavenger::gc_lang::machine::{Machine, Outcome, Program};
+use scavenger::gc_lang::memory::{GrowthPolicy, MemConfig};
 use scavenger::gc_lang::moper;
-use scavenger::gc_lang::reference;
-use scavenger::gc_lang::syntax::{Dialect, Kind, Region, RegionName, Tag, Ty};
+use scavenger::gc_lang::reference::{self, RefSubst};
+use scavenger::gc_lang::subst::Subst;
+use scavenger::gc_lang::syntax::{
+    Dialect, Kind, Op, PrimOp, Region, RegionName, Tag, Term, Ty, Value,
+};
 use scavenger::gc_lang::tags::{self, Equiv};
 use scavenger::ir::Symbol;
 
@@ -261,6 +267,475 @@ fn ty_from(bytes: &[u8], prefix: &'static str, mirror: bool) -> Ty {
     )
 }
 
+fn free_val_var(b: u8) -> Symbol {
+    Symbol::intern(["fx!a", "fx!b"][b as usize % 2])
+}
+
+/// Binder environments for all four namespaces, threaded through the
+/// term/value generators.
+#[derive(Default)]
+struct Envs {
+    tenv: Vec<Symbol>,
+    renv: Vec<Symbol>,
+    aenv: Vec<Symbol>,
+    xenv: Vec<Symbol>,
+}
+
+/// A value covering every constructor programs build (packages included;
+/// code literals are load-time-only, so they are not generated).
+fn gen_value(tape: &mut Tape, e: &mut Envs, names: &mut Names, depth: u32) -> Value {
+    if depth == 0 {
+        return match tape.next() % 3 {
+            0 => Value::Int(i64::from(tape.next())),
+            1 if !e.xenv.is_empty() => {
+                let i = tape.next() as usize % e.xenv.len();
+                Value::Var(e.xenv[i])
+            }
+            _ => Value::Var(free_val_var(tape.next())),
+        };
+    }
+    match tape.next() % 10 {
+        0 => Value::Int(i64::from(tape.next())),
+        1 => {
+            if !e.xenv.is_empty() && tape.next().is_multiple_of(2) {
+                let i = tape.next() as usize % e.xenv.len();
+                Value::Var(e.xenv[i])
+            } else {
+                Value::Var(free_val_var(tape.next()))
+            }
+        }
+        2 => Value::Addr(
+            RegionName(1 + tape.next() as u32 % 3),
+            tape.next() as u32 % 4,
+        ),
+        3 => Value::pair(
+            gen_value(tape, e, names, depth - 1),
+            gen_value(tape, e, names, depth - 1),
+        ),
+        4 => {
+            let t = names.fresh("vt");
+            let tag = gen_tag(tape, &mut e.tenv, names, depth - 1);
+            let val = gen_value(tape, e, names, depth - 1).id();
+            e.tenv.push(t);
+            let body_ty = gen_ty(
+                tape,
+                &mut e.tenv,
+                &mut e.renv,
+                &mut e.aenv,
+                names,
+                false,
+                depth - 1,
+            );
+            e.tenv.pop();
+            Value::PackTag {
+                tvar: t,
+                kind: Kind::Omega,
+                tag,
+                val,
+                body_ty,
+            }
+        }
+        5 => {
+            let a = names.fresh("va");
+            let regions = [gen_region(tape, &e.renv), gen_region(tape, &e.renv)];
+            let witness = gen_ty(
+                tape,
+                &mut e.tenv,
+                &mut e.renv,
+                &mut e.aenv,
+                names,
+                false,
+                depth - 1,
+            );
+            let val = gen_value(tape, e, names, depth - 1).id();
+            e.aenv.push(a);
+            let body_ty = gen_ty(
+                tape,
+                &mut e.tenv,
+                &mut e.renv,
+                &mut e.aenv,
+                names,
+                false,
+                depth - 1,
+            );
+            e.aenv.pop();
+            Value::PackAlpha {
+                avar: a,
+                regions: regions.into(),
+                witness,
+                val,
+                body_ty,
+            }
+        }
+        6 => {
+            let r = names.fresh("vr");
+            let bound = [gen_region(tape, &e.renv), gen_region(tape, &e.renv)];
+            let witness = gen_region(tape, &e.renv);
+            let val = gen_value(tape, e, names, depth - 1).id();
+            e.renv.push(r);
+            let body_ty = gen_ty(
+                tape,
+                &mut e.tenv,
+                &mut e.renv,
+                &mut e.aenv,
+                names,
+                false,
+                depth - 1,
+            );
+            e.renv.pop();
+            Value::PackRgn {
+                rvar: r,
+                bound: bound.into(),
+                witness,
+                val,
+                body_ty,
+            }
+        }
+        7 => Value::TagApp(
+            gen_value(tape, e, names, depth - 1).id(),
+            [gen_tag(tape, &mut e.tenv, names, depth - 1)].into(),
+            [gen_region(tape, &e.renv)].into(),
+        ),
+        8 => Value::Inl(gen_value(tape, e, names, depth - 1).id()),
+        _ => Value::Inr(gen_value(tape, e, names, depth - 1).id()),
+    }
+}
+
+fn gen_op(tape: &mut Tape, e: &mut Envs, names: &mut Names, depth: u32) -> Op {
+    match tape.next() % 6 {
+        0 => Op::Val(gen_value(tape, e, names, depth)),
+        1 => Op::Proj(1 + tape.next() % 2, gen_value(tape, e, names, depth)),
+        2 => Op::Put(gen_region(tape, &e.renv), gen_value(tape, e, names, depth)),
+        3 => Op::Get(gen_value(tape, e, names, depth)),
+        4 => Op::Strip(gen_value(tape, e, names, depth)),
+        _ => Op::Prim(
+            PrimOp::Add,
+            gen_value(tape, e, names, depth),
+            gen_value(tape, e, names, depth),
+        ),
+    }
+}
+
+/// A term covering every `Term` constructor, with binders in all four
+/// namespaces drawn from deterministic prefixed names (so one tape yields
+/// α-variant pairs, like [`gen_tag`]/[`gen_ty`]).
+fn gen_term(tape: &mut Tape, e: &mut Envs, names: &mut Names, depth: u32) -> Term {
+    if depth == 0 {
+        return Term::Halt(gen_value(tape, e, names, 1));
+    }
+    let vd = depth - 1;
+    match tape.next() % 15 {
+        0 => Term::App {
+            f: gen_value(tape, e, names, vd),
+            tags: vec![gen_tag(tape, &mut e.tenv, names, vd)],
+            regions: vec![gen_region(tape, &e.renv)],
+            args: vec![gen_value(tape, e, names, vd)],
+        },
+        1 => {
+            let x = names.fresh("v");
+            let op = gen_op(tape, e, names, vd);
+            e.xenv.push(x);
+            let body = gen_term(tape, e, names, depth - 1);
+            e.xenv.pop();
+            Term::let_(x, op, body)
+        }
+        2 => Term::Halt(gen_value(tape, e, names, vd)),
+        3 => Term::IfGc {
+            rho: gen_region(tape, &e.renv),
+            full: gen_term(tape, e, names, depth - 1).id(),
+            cont: gen_term(tape, e, names, depth - 1).id(),
+        },
+        4 => {
+            let pkg = gen_value(tape, e, names, vd);
+            let t = names.fresh("ot");
+            let x = names.fresh("ox");
+            e.tenv.push(t);
+            e.xenv.push(x);
+            let body = gen_term(tape, e, names, depth - 1).id();
+            e.xenv.pop();
+            e.tenv.pop();
+            Term::OpenTag {
+                pkg,
+                tvar: t,
+                x,
+                body,
+            }
+        }
+        5 => {
+            let pkg = gen_value(tape, e, names, vd);
+            let a = names.fresh("oa");
+            let x = names.fresh("ox");
+            e.aenv.push(a);
+            e.xenv.push(x);
+            let body = gen_term(tape, e, names, depth - 1).id();
+            e.xenv.pop();
+            e.aenv.pop();
+            Term::OpenAlpha {
+                pkg,
+                avar: a,
+                x,
+                body,
+            }
+        }
+        6 => {
+            let pkg = gen_value(tape, e, names, vd);
+            let r = names.fresh("or");
+            let x = names.fresh("ox");
+            e.renv.push(r);
+            e.xenv.push(x);
+            let body = gen_term(tape, e, names, depth - 1).id();
+            e.xenv.pop();
+            e.renv.pop();
+            Term::OpenRgn {
+                pkg,
+                rvar: r,
+                x,
+                body,
+            }
+        }
+        7 => {
+            let r = names.fresh("lr");
+            e.renv.push(r);
+            let body = gen_term(tape, e, names, depth - 1).id();
+            e.renv.pop();
+            Term::LetRegion { rvar: r, body }
+        }
+        8 => Term::Only {
+            regions: vec![gen_region(tape, &e.renv), gen_region(tape, &e.renv)],
+            body: gen_term(tape, e, names, depth - 1).id(),
+        },
+        9 => {
+            let tag = gen_tag(tape, &mut e.tenv, names, vd);
+            let int_arm = gen_term(tape, e, names, depth - 1).id();
+            let arrow_arm = gen_term(tape, e, names, depth - 1).id();
+            let (t1, t2) = (names.fresh("tp"), names.fresh("tp"));
+            e.tenv.push(t1);
+            e.tenv.push(t2);
+            let pe = gen_term(tape, e, names, depth - 1).id();
+            e.tenv.pop();
+            e.tenv.pop();
+            let te = names.fresh("te");
+            e.tenv.push(te);
+            let ee = gen_term(tape, e, names, depth - 1).id();
+            e.tenv.pop();
+            Term::Typecase {
+                tag,
+                int_arm,
+                arrow_arm,
+                prod_arm: (t1, t2, pe),
+                exist_arm: (te, ee),
+            }
+        }
+        10 => {
+            let scrut = gen_value(tape, e, names, vd);
+            let x = names.fresh("il");
+            e.xenv.push(x);
+            let left = gen_term(tape, e, names, depth - 1).id();
+            let right = gen_term(tape, e, names, depth - 1).id();
+            e.xenv.pop();
+            Term::IfLeft {
+                x,
+                scrut,
+                left,
+                right,
+            }
+        }
+        11 => Term::Set {
+            dst: gen_value(tape, e, names, vd),
+            src: gen_value(tape, e, names, vd),
+            body: gen_term(tape, e, names, depth - 1).id(),
+        },
+        12 => {
+            let from = gen_region(tape, &e.renv);
+            let to = gen_region(tape, &e.renv);
+            let tag = gen_tag(tape, &mut e.tenv, names, vd);
+            let v = gen_value(tape, e, names, vd);
+            let x = names.fresh("w");
+            e.xenv.push(x);
+            let body = gen_term(tape, e, names, depth - 1).id();
+            e.xenv.pop();
+            Term::Widen {
+                x,
+                from,
+                to,
+                tag,
+                v,
+                body,
+            }
+        }
+        13 => Term::IfReg {
+            r1: gen_region(tape, &e.renv),
+            r2: gen_region(tape, &e.renv),
+            eq: gen_term(tape, e, names, depth - 1).id(),
+            ne: gen_term(tape, e, names, depth - 1).id(),
+        },
+        _ => Term::If0 {
+            scrut: gen_value(tape, e, names, vd),
+            zero: gen_term(tape, e, names, depth - 1).id(),
+            nonzero: gen_term(tape, e, names, depth - 1).id(),
+        },
+    }
+}
+
+fn term_from(bytes: &[u8], prefix: &'static str) -> Term {
+    let mut tape = Tape::new(bytes);
+    let mut names = Names { prefix, counter: 0 };
+    gen_term(&mut tape, &mut Envs::default(), &mut names, 4)
+}
+
+fn value_from(bytes: &[u8], prefix: &'static str) -> Value {
+    let mut tape = Tape::new(bytes);
+    let mut names = Names { prefix, counter: 0 };
+    gen_value(&mut tape, &mut Envs::default(), &mut names, 4)
+}
+
+/// Builds the *same* simultaneous substitution through both paths: the
+/// fingerprint-skipping [`Subst`] and the pre-interning [`RefSubst`]. The
+/// domain targets the free-variable pools the generators draw from, so
+/// hits actually occur; at least one binding is always present.
+fn subs_from(bytes: &[u8]) -> (Subst, RefSubst) {
+    let mut tape = Tape::new(bytes);
+    let mut names = Names {
+        prefix: "s",
+        counter: 0,
+    };
+    let mut e = Envs::default();
+    let mut fast = Subst::new();
+    let mut slow = RefSubst::new();
+    if tape.next().is_multiple_of(2) {
+        let tau = gen_tag(&mut tape, &mut e.tenv, &mut names, 2);
+        let t = free_tag_var(tape.next());
+        fast = fast.with_tag(t, tau.clone());
+        slow = slow.with_tag(t, tau);
+    }
+    if tape.next().is_multiple_of(2) {
+        let rho = gen_region(&mut tape, &[]);
+        let r = Symbol::intern(["fr!a", "fr!b"][tape.next() as usize % 2]);
+        fast = fast.with_rgn(r, rho);
+        slow = slow.with_rgn(r, rho);
+    }
+    if tape.next().is_multiple_of(2) {
+        let sigma = gen_ty(
+            &mut tape,
+            &mut e.tenv,
+            &mut e.renv,
+            &mut e.aenv,
+            &mut names,
+            false,
+            2,
+        );
+        let a = free_alpha_var(tape.next());
+        fast = fast.with_alpha(a, sigma.clone());
+        slow = slow.with_alpha(a, sigma);
+    }
+    let v = gen_value(&mut tape, &mut e, &mut names, 2);
+    let x = free_val_var(tape.next());
+    fast = fast.with_val(x, v.clone());
+    slow = slow.with_val(x, v);
+    (fast, slow)
+}
+
+// ----- runnable α-variant programs ---------------------------------------
+
+/// Variables live during runnable-program generation, by runtime shape.
+#[derive(Default)]
+struct RunScope {
+    /// Bound to integers.
+    ints: Vec<Symbol>,
+    /// Bound to `put` addresses of integer pairs.
+    addrs: Vec<Symbol>,
+    /// Live region binders.
+    rgns: Vec<Symbol>,
+}
+
+fn int_of(tape: &mut Tape, scope: &RunScope) -> Value {
+    if scope.ints.is_empty() || tape.next().is_multiple_of(2) {
+        Value::Int(i64::from(tape.next() % 16))
+    } else {
+        let i = tape.next() as usize % scope.ints.len();
+        Value::Var(scope.ints[i])
+    }
+}
+
+/// A closed, terminating λGC term: `let` chains of arithmetic, region
+/// allocation, `put`/`get`/`proj` round-trips, and `if0` splits, ending in
+/// `halt`. Fuel strictly decreases, so every tape terminates.
+fn gen_run_term(tape: &mut Tape, names: &mut Names, fuel: u32, scope: &mut RunScope) -> Term {
+    if fuel == 0 {
+        return Term::Halt(int_of(tape, scope));
+    }
+    match tape.next() % 6 {
+        0 => {
+            let x = names.fresh("i");
+            let op = Op::Prim(PrimOp::Add, int_of(tape, scope), int_of(tape, scope));
+            scope.ints.push(x);
+            let body = gen_run_term(tape, names, fuel - 1, scope);
+            scope.ints.pop();
+            Term::let_(x, op, body)
+        }
+        1 => {
+            let r = names.fresh("r");
+            scope.rgns.push(r);
+            let body = gen_run_term(tape, names, fuel - 1, scope);
+            scope.rgns.pop();
+            Term::LetRegion {
+                rvar: r,
+                body: body.id(),
+            }
+        }
+        2 if !scope.rgns.is_empty() => {
+            let i = tape.next() as usize % scope.rgns.len();
+            let a = names.fresh("a");
+            let op = Op::Put(
+                Region::Var(scope.rgns[i]),
+                Value::pair(int_of(tape, scope), int_of(tape, scope)),
+            );
+            scope.addrs.push(a);
+            let body = gen_run_term(tape, names, fuel - 1, scope);
+            scope.addrs.pop();
+            Term::let_(a, op, body)
+        }
+        3 if !scope.addrs.is_empty() => {
+            let i = tape.next() as usize % scope.addrs.len();
+            let p = names.fresh("p");
+            let x = names.fresh("i");
+            let proj = 1 + tape.next() % 2;
+            scope.ints.push(x);
+            let body = gen_run_term(tape, names, fuel - 1, scope);
+            scope.ints.pop();
+            Term::let_(
+                p,
+                Op::Get(Value::Var(scope.addrs[i])),
+                Term::let_(x, Op::Proj(proj, Value::Var(p)), body),
+            )
+        }
+        4 => Term::If0 {
+            scrut: int_of(tape, scope),
+            zero: gen_run_term(tape, names, fuel / 2, scope).id(),
+            nonzero: gen_run_term(tape, names, fuel / 2, scope).id(),
+        },
+        _ => {
+            let x = names.fresh("i");
+            let op = Op::Val(int_of(tape, scope));
+            scope.ints.push(x);
+            let body = gen_run_term(tape, names, fuel - 1, scope);
+            scope.ints.pop();
+            Term::let_(x, op, body)
+        }
+    }
+}
+
+fn runnable_from(bytes: &[u8], prefix: &'static str) -> Program {
+    let mut tape = Tape::new(bytes);
+    let mut names = Names { prefix, counter: 0 };
+    let fuel = 3 + u32::from(tape.next() % 8);
+    Program {
+        dialect: Dialect::Basic,
+        code: vec![],
+        main: gen_run_term(&mut tape, &mut names, fuel, &mut RunScope::default()),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(300))]
 
@@ -322,6 +797,93 @@ proptest! {
                 "{dialect:?} normal forms disagree:\n  input: {sigma:?}\n  memo:  {mem:?}\n  ref:   {reference_nf:?}"
             );
         }
+    }
+
+    /// The fingerprint-skipping substitution agrees (up to α) with the
+    /// pre-interning recursive reference substitution, and is itself
+    /// insensitive to α-renaming of its input.
+    #[test]
+    fn term_substitution_agrees(bytes in proptest::collection::vec(any::<u8>(), 0..192)) {
+        let (lo, hi) = bytes.split_at(bytes.len() / 2);
+        let t1 = term_from(lo, "x");
+        let t2 = term_from(lo, "y"); // same tape, renamed binders
+        prop_assert!(
+            reference::term_alpha_eq(&t1, &t2),
+            "α-variant inputs must be α-equal:\n  {t1:?}\n  {t2:?}"
+        );
+        let (fast, slow) = subs_from(hi);
+        let out_fast = fast.term(&t1);
+        let out_slow = slow.term(&t1);
+        prop_assert!(
+            reference::term_alpha_eq(&out_fast, &out_slow),
+            "substitution paths disagree:\n  input: {t1:?}\n  fast:  {out_fast:?}\n  ref:   {out_slow:?}"
+        );
+        let out_variant = fast.term(&t2);
+        prop_assert!(
+            reference::term_alpha_eq(&out_fast, &out_variant),
+            "fast path is α-sensitive:\n  {out_fast:?}\n  {out_variant:?}"
+        );
+    }
+
+    /// Same agreement for values (packages carry tags, types, and regions,
+    /// so all four namespaces are exercised).
+    #[test]
+    fn value_substitution_agrees(bytes in proptest::collection::vec(any::<u8>(), 0..160)) {
+        let (lo, hi) = bytes.split_at(bytes.len() / 2);
+        let v1 = value_from(lo, "x");
+        let v2 = value_from(lo, "y");
+        prop_assert!(reference::value_alpha_eq(&v1, &v2));
+        let (fast, slow) = subs_from(hi);
+        let out_fast = fast.value(&v1);
+        let out_slow = slow.value(&v1);
+        prop_assert!(
+            reference::value_alpha_eq(&out_fast, &out_slow),
+            "substitution paths disagree:\n  input: {v1:?}\n  fast:  {out_fast:?}\n  ref:   {out_slow:?}"
+        );
+        prop_assert!(reference::value_alpha_eq(&out_fast, &fast.value(&v2)));
+    }
+
+    /// A substitution whose domain misses every free variable of the term
+    /// is a fingerprint-checked no-op: the *same* id comes back untouched.
+    #[test]
+    fn fingerprint_miss_returns_same_id(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let t = term_from(&bytes, "x");
+        let v = value_from(&bytes, "x");
+        let sub = Subst::new()
+            .with_tag(Symbol::intern("zz!t"), Tag::Int)
+            .with_rgn(Symbol::intern("zz!r"), Region::cd())
+            .with_alpha(Symbol::intern("zz!a"), Ty::Int)
+            .with_val(Symbol::intern("zz!x"), Value::Int(0));
+        let tid = t.id();
+        let vid = v.id();
+        prop_assert_eq!(sub.term_id(tid), tid, "term id must be skipped unchanged");
+        prop_assert_eq!(sub.value_id(vid), vid, "value id must be skipped unchanged");
+    }
+
+    /// α-renaming a runnable program is invisible to the substitution
+    /// machine: identical results and identical step counts (the skip
+    /// fingerprints are name-sets, so this pins down that skipping never
+    /// depends on *which* bound names a program uses).
+    #[test]
+    fn alpha_variant_programs_run_identically(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let p1 = runnable_from(&bytes, "x");
+        let p2 = runnable_from(&bytes, "y");
+        prop_assert!(reference::term_alpha_eq(&p1.main, &p2.main));
+        let config = MemConfig {
+            region_budget: 4096,
+            growth: GrowthPolicy::Fixed,
+            track_types: false,
+            max_heap_words: None,
+        };
+        let mut m1 = Machine::load(&p1, config);
+        let mut m2 = Machine::load(&p2, config);
+        let o1 = m1.run(10_000).expect("α-variant 1 runs");
+        let o2 = m2.run(10_000).expect("α-variant 2 runs");
+        match (o1, o2) {
+            (Outcome::Halted(a), Outcome::Halted(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "unexpected outcomes: {a:?} vs {b:?}"),
+        }
+        prop_assert_eq!(m1.stats(), m2.stats(), "step counts/stats diverge under α-renaming");
     }
 
     /// α-equivalence (canonical-form ids) and full type equality agree

@@ -11,7 +11,6 @@
 //! accepts a bad program shows up here as a stuck machine.
 
 use proptest::prelude::*;
-use std::rc::Rc;
 
 use ps_gc_lang::env_machine::EnvMachine;
 use ps_gc_lang::faults::{FaultKind, FaultPlan};
@@ -38,7 +37,7 @@ fn mutate_term(e: &Term, tape: &mut impl FnMut() -> u8) -> Term {
                 return Term::Let {
                     x: *x,
                     op: Op::Proj(3 - i, v.clone()),
-                    body: body.clone(),
+                    body: *body,
                 }
             }
             // Retarget a put to another region in scope… approximated by
@@ -54,7 +53,7 @@ fn mutate_term(e: &Term, tape: &mut impl FnMut() -> u8) -> Term {
                 return Term::Let {
                     x: *x,
                     op: Op::Put(Region::cd(), v.clone()),
-                    body: body.clone(),
+                    body: *body,
                 }
             }
             // Perturb an application's tag arguments.
@@ -102,12 +101,12 @@ fn mutate_term(e: &Term, tape: &mut impl FnMut() -> u8) -> Term {
         Term::Let { x, op, body } => Term::Let {
             x: *x,
             op: op.clone(),
-            body: Rc::new(mutate_term(body, tape)),
+            body: (mutate_term(body, tape)).into(),
         },
         Term::IfGc { rho, full, cont } => Term::IfGc {
             rho: *rho,
-            full: Rc::new(mutate_term(full, tape)),
-            cont: Rc::new(mutate_term(cont, tape)),
+            full: (mutate_term(full, tape)).into(),
+            cont: (mutate_term(cont, tape)).into(),
         },
         Term::If0 {
             scrut,
@@ -115,22 +114,22 @@ fn mutate_term(e: &Term, tape: &mut impl FnMut() -> u8) -> Term {
             nonzero,
         } => Term::If0 {
             scrut: scrut.clone(),
-            zero: Rc::new(mutate_term(zero, tape)),
-            nonzero: Rc::new(mutate_term(nonzero, tape)),
+            zero: (mutate_term(zero, tape)).into(),
+            nonzero: (mutate_term(nonzero, tape)).into(),
         },
         Term::OpenTag { pkg, tvar, x, body } => Term::OpenTag {
             pkg: pkg.clone(),
             tvar: *tvar,
             x: *x,
-            body: Rc::new(mutate_term(body, tape)),
+            body: (mutate_term(body, tape)).into(),
         },
         Term::LetRegion { rvar, body } => Term::LetRegion {
             rvar: *rvar,
-            body: Rc::new(mutate_term(body, tape)),
+            body: (mutate_term(body, tape)).into(),
         },
         Term::Only { regions, body } => Term::Only {
             regions: regions.clone(),
-            body: Rc::new(mutate_term(body, tape)),
+            body: (mutate_term(body, tape)).into(),
         },
         other => other.clone(),
     }
