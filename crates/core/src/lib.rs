@@ -46,11 +46,11 @@ pub use ps_trans as trans;
 use ps_collectors::CollectorImage;
 use ps_gc_lang::env_machine::EnvMachine;
 use ps_gc_lang::faults::FaultPlan;
-use ps_gc_lang::machine::{Machine, Outcome, Program, Stats};
+use ps_gc_lang::machine::{Outcome, Program, Stats, SubstMachine};
 use ps_gc_lang::memory::{GrowthPolicy, MemConfig};
 use ps_gc_lang::tyck::Checker;
 
-pub use ps_gc_lang::machine::Backend;
+pub use ps_gc_lang::machine::{Backend, Machine};
 
 pub mod workloads;
 
@@ -176,19 +176,28 @@ impl std::error::Error for PipelineError {}
 /// [`Compiled::run_with`] in the library and by `psgc`'s flag parser, so
 /// the CLI and the API cannot drift apart.
 ///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`RunOptions::builder`] (or [`RunOptions::new`] /
+/// [`RunOptions::default`] plus field assignment), so new backend/VM knobs
+/// can be added without breaking downstream construction sites.
+///
 /// # Examples
 ///
 /// ```
 /// use scavenger::{Collector, RunOptions};
 ///
 /// # fn main() -> Result<(), scavenger::PipelineError> {
-/// let opts = RunOptions { collector: Collector::Forwarding, budget: 96, ..RunOptions::default() };
+/// let opts = RunOptions::builder()
+///     .collector(Collector::Forwarding)
+///     .budget(96)
+///     .build();
 /// let run = opts.compile("fun f (n : int) : int = n + n\n f 21")?.run_with(&opts)?;
 /// assert_eq!(run.result, 42);
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct RunOptions {
     /// Which certified collector to link against.
     pub collector: Collector,
@@ -219,6 +228,10 @@ pub struct RunOptions {
     /// Hard cap on live heap words; an allocation that would exceed it
     /// fails with a typed out-of-memory error (`None` = unbounded).
     pub max_heap_words: Option<usize>,
+    /// Enable superinstruction fusion in the bytecode backend (on by
+    /// default; the toggle exists for A/B measurement). Ignored by the
+    /// other backends.
+    pub superinstructions: bool,
 }
 
 impl Default for RunOptions {
@@ -236,6 +249,7 @@ impl Default for RunOptions {
             verify_every: 0,
             inject: None,
             max_heap_words: None,
+            superinstructions: true,
         }
     }
 }
@@ -247,6 +261,12 @@ impl RunOptions {
             collector,
             ..RunOptions::default()
         }
+    }
+
+    /// A builder over the defaults — the forward-compatible way to
+    /// construct options (the struct is `#[non_exhaustive]`).
+    pub fn builder() -> RunOptionsBuilder {
+        RunOptionsBuilder::default()
     }
 
     /// The memory configuration these options describe.
@@ -297,6 +317,110 @@ impl RunOptions {
             fuel: self.fuel,
             step_interval: self.step_interval,
         }
+    }
+}
+
+/// Chainable constructor for [`RunOptions`], starting from the defaults.
+/// Obtained from [`RunOptions::builder`]; finish with
+/// [`RunOptionsBuilder::build`].
+///
+/// # Examples
+///
+/// ```
+/// use scavenger::{Backend, Collector, RunOptions};
+///
+/// let opts = RunOptions::builder()
+///     .collector(Collector::Generational)
+///     .backend(Backend::Bytecode)
+///     .budget(128)
+///     .verify_every(64)
+///     .build();
+/// assert_eq!(opts.resolved_backend(), Backend::Bytecode);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RunOptionsBuilder {
+    opts: RunOptions,
+}
+
+impl RunOptionsBuilder {
+    /// Which certified collector to link against.
+    pub fn collector(mut self, collector: Collector) -> RunOptionsBuilder {
+        self.opts.collector = collector;
+        self
+    }
+
+    /// Pins the interpreter backend (the default resolves via
+    /// [`Backend::default_for`]).
+    pub fn backend(mut self, backend: Backend) -> RunOptionsBuilder {
+        self.opts.backend = Some(backend);
+        self
+    }
+
+    /// Base region budget in words.
+    pub fn budget(mut self, words: usize) -> RunOptionsBuilder {
+        self.opts.budget = words;
+        self
+    }
+
+    /// Region budget growth policy.
+    pub fn growth(mut self, policy: GrowthPolicy) -> RunOptionsBuilder {
+        self.opts.growth = policy;
+        self
+    }
+
+    /// Step limit for the run.
+    pub fn fuel(mut self, fuel: u64) -> RunOptionsBuilder {
+        self.opts.fuel = fuel;
+        self
+    }
+
+    /// Maintain the memory typing `Ψ` while running.
+    pub fn track_types(mut self, on: bool) -> RunOptionsBuilder {
+        self.opts.track_types = on;
+        self
+    }
+
+    /// Typecheck every intermediate program during compilation.
+    pub fn check_stages(mut self, on: bool) -> RunOptionsBuilder {
+        self.opts.check_stages = on;
+        self
+    }
+
+    /// Attaches a telemetry observer; `step_interval > 0` additionally
+    /// emits periodic heap samples.
+    pub fn observer(mut self, observer: SharedObserver, step_interval: u64) -> RunOptionsBuilder {
+        self.opts.observer = Some(observer);
+        self.opts.step_interval = step_interval;
+        self
+    }
+
+    /// Run the heap auditor every `n` machine steps (0 = never).
+    pub fn verify_every(mut self, n: u64) -> RunOptionsBuilder {
+        self.opts.verify_every = n;
+        self
+    }
+
+    /// Arms a deterministic fault plan (fault-injection machinery).
+    pub fn inject(mut self, plan: FaultPlan) -> RunOptionsBuilder {
+        self.opts.inject = Some(plan);
+        self
+    }
+
+    /// Hard cap on live heap words.
+    pub fn max_heap_words(mut self, words: usize) -> RunOptionsBuilder {
+        self.opts.max_heap_words = Some(words);
+        self
+    }
+
+    /// Enable/disable superinstruction fusion in the bytecode backend.
+    pub fn superinstructions(mut self, on: bool) -> RunOptionsBuilder {
+        self.opts.superinstructions = on;
+        self
+    }
+
+    /// The finished options.
+    pub fn build(self) -> RunOptions {
+        self.opts
     }
 }
 
@@ -483,18 +607,24 @@ impl Compiled {
     }
 
     /// Creates a machine loaded with this program.
-    pub fn machine(&self) -> Machine {
-        Machine::load(&self.program, self.config)
+    pub fn machine(&self) -> SubstMachine {
+        SubstMachine::load(&self.program, self.config)
     }
 
     /// Creates a machine with an explicit memory configuration.
-    pub fn machine_with(&self, config: MemConfig) -> Machine {
-        Machine::load(&self.program, config)
+    pub fn machine_with(&self, config: MemConfig) -> SubstMachine {
+        SubstMachine::load(&self.program, config)
     }
 
     /// Creates an environment-backend machine loaded with this program.
     pub fn env_machine(&self) -> EnvMachine {
         EnvMachine::load(&self.program, self.config)
+    }
+
+    /// Creates a machine on the given backend — the uniform,
+    /// backend-agnostic constructor (see [`Machine`]).
+    pub fn machine_for(&self, backend: Backend) -> Box<dyn Machine> {
+        backend.load(&self.program, self.config)
     }
 
     /// Runs the program to completion on the selected [`Backend`].
@@ -512,6 +642,7 @@ impl Compiled {
             fuel,
             0,
             None,
+            true,
         )
     }
 
@@ -531,6 +662,7 @@ impl Compiled {
             opts.fuel,
             opts.verify_every,
             opts.inject,
+            opts.superinstructions,
         )
     }
 
@@ -544,37 +676,23 @@ impl Compiled {
         fuel: u64,
         verify_every: u64,
         inject: Option<FaultPlan>,
+        superinstructions: bool,
     ) -> Result<Run, PipelineError> {
-        let outcome = match backend {
-            Backend::Subst => {
-                let mut m = Machine::load(&self.program, config);
-                if let Some(obs) = observer {
-                    m.set_observer(obs, step_interval);
-                }
-                m.set_verify_every(verify_every);
-                m.set_fault_plan(inject);
-                (
-                    m.run(fuel).map_err(PipelineError::Runtime)?,
-                    m.stats().clone(),
-                )
-            }
-            Backend::Env => {
-                let mut m = EnvMachine::load(&self.program, config);
-                if let Some(obs) = observer {
-                    m.set_observer(obs, step_interval);
-                }
-                m.set_verify_every(verify_every);
-                m.set_fault_plan(inject);
-                (
-                    m.run(fuel).map_err(PipelineError::Runtime)?,
-                    m.stats().clone(),
-                )
-            }
-        };
+        // One uniform path for every backend, via the `Machine` trait —
+        // no per-backend `match` to extend when a fourth backend lands.
+        let mut m = backend.load(&self.program, config);
+        if let Some(obs) = observer {
+            m.set_observer(obs, step_interval);
+        }
+        m.set_superinstructions(superinstructions);
+        m.set_verify_every(verify_every);
+        m.set_fault_plan(inject);
+        let outcome = m.run(fuel).map_err(PipelineError::Runtime)?;
+        let stats = m.stats().clone();
         match outcome {
-            (Outcome::Halted(result), stats) => Ok(Run { result, stats }),
-            (Outcome::InvariantViolation(e), _) => Err(PipelineError::InvariantViolation(e)),
-            (Outcome::OutOfFuel, _) => Err(PipelineError::OutOfFuel),
+            Outcome::Halted(result) => Ok(Run { result, stats }),
+            Outcome::InvariantViolation(e) => Err(PipelineError::InvariantViolation(e)),
+            Outcome::OutOfFuel => Err(PipelineError::OutOfFuel),
         }
     }
 
@@ -706,12 +824,36 @@ mod tests {
     }
 
     #[test]
+    fn backend_all_is_exhaustive() {
+        // Compile-time gate: adding a `Backend` variant without extending
+        // `Backend::ALL` (and thus every ALL-driven matrix) fails here.
+        fn index_of(b: Backend) -> usize {
+            match b {
+                Backend::Subst => 0,
+                Backend::Env => 1,
+                Backend::Bytecode => 2,
+            }
+        }
+        assert_eq!(Backend::ALL.len(), 3);
+        for (i, b) in Backend::ALL.into_iter().enumerate() {
+            assert_eq!(index_of(b), i, "ALL must list every backend in order");
+            // Display and FromStr round-trip through the canonical name.
+            assert_eq!(b.to_string(), b.name());
+            assert_eq!(b.name().parse::<Backend>().unwrap(), b);
+        }
+        let mut names: Vec<&str> = Backend::ALL.map(Backend::name).to_vec();
+        names.dedup();
+        assert_eq!(names.len(), Backend::ALL.len(), "names must be unique");
+        assert!("jit".parse::<Backend>().is_err());
+        assert_eq!("bc".parse::<Backend>().unwrap(), Backend::Bytecode);
+    }
+
+    #[test]
     fn run_options_compile_and_run() {
-        let opts = RunOptions {
-            collector: Collector::Generational,
-            budget: 128,
-            ..RunOptions::default()
-        };
+        let opts = RunOptions::builder()
+            .collector(Collector::Generational)
+            .budget(128)
+            .build();
         let compiled = opts.compile(FIB).unwrap();
         let run = compiled.run_with(&opts).unwrap();
         assert_eq!(run.result, 144);
@@ -725,12 +867,10 @@ mod tests {
     #[test]
     fn observer_records_a_consistent_event_stream() {
         let recorder = telemetry::Recorder::new().into_shared();
-        let opts = RunOptions {
-            budget: 96,
-            observer: Some(recorder.clone()),
-            step_interval: 64,
-            ..RunOptions::default()
-        };
+        let opts = RunOptions::builder()
+            .budget(96)
+            .observer(recorder.clone(), 64)
+            .build();
         let run = opts.compile(FIB).unwrap().run_with(&opts).unwrap();
         let rec = recorder.borrow();
         // The event stream and Stats are two views of the same run.
@@ -747,16 +887,11 @@ mod tests {
 
     #[test]
     fn disabled_observer_changes_nothing() {
-        let opts = RunOptions {
-            budget: 96,
-            ..RunOptions::default()
-        };
+        let opts = RunOptions::builder().budget(96).build();
         let with = {
             let recorder = telemetry::Recorder::new().into_shared();
-            let opts = RunOptions {
-                observer: Some(recorder.clone()),
-                ..opts.clone()
-            };
+            let mut opts = opts.clone();
+            opts.observer = Some(recorder.clone());
             opts.compile(FIB).unwrap().run_with(&opts).unwrap()
         };
         let without = opts.compile(FIB).unwrap().run_with(&opts).unwrap();

@@ -1,6 +1,6 @@
 //! An environment-based (CEK-style) fast path for the λGC machine.
 //!
-//! [`crate::machine::Machine`] implements Fig. 5 literally: every step
+//! [`crate::machine::SubstMachine`] implements Fig. 5 literally: every step
 //! performs a textual substitution, deep-cloning the entire continuation
 //! term, so one step costs O(|term|). [`EnvMachine`] runs the *same*
 //! operational semantics without ever rewriting the continuation:
@@ -552,10 +552,49 @@ impl EnvMachine {
     }
 }
 
+impl crate::machine::Machine for EnvMachine {
+    fn set_observer(&mut self, observer: SharedObserver, step_interval: u64) {
+        EnvMachine::set_observer(self, observer, step_interval);
+    }
+    fn set_verify_every(&mut self, n: u64) {
+        EnvMachine::set_verify_every(self, n);
+    }
+    fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        EnvMachine::set_fault_plan(self, plan);
+    }
+    fn memory(&self) -> &Memory {
+        EnvMachine::memory(self)
+    }
+    fn memory_mut(&mut self) -> &mut Memory {
+        EnvMachine::memory_mut(self)
+    }
+    fn dialect(&self) -> Dialect {
+        EnvMachine::dialect(self)
+    }
+    fn stats(&self) -> &Stats {
+        EnvMachine::stats(self)
+    }
+    fn halted(&self) -> Option<i64> {
+        EnvMachine::halted(self)
+    }
+    fn resolved_control(&self) -> Term {
+        EnvMachine::resolved_control(self)
+    }
+    fn audit(&self) -> Result<()> {
+        EnvMachine::audit(self)
+    }
+    fn step(&mut self) -> Result<StepOutcome> {
+        EnvMachine::step(self)
+    }
+    fn run(&mut self, fuel: u64) -> Result<Outcome> {
+        EnvMachine::run(self, fuel)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::machine::Machine;
+    use crate::machine::SubstMachine;
     use crate::memory::GrowthPolicy;
     use crate::syntax::{Op, PrimOp, CD};
     use ps_ir::Symbol;
@@ -576,7 +615,7 @@ mod tests {
     /// Runs a program on both backends and asserts identical outcome and
     /// identical statistics.
     fn run_both(p: &Program) -> Outcome {
-        let mut subst = Machine::load(p, config());
+        let mut subst = SubstMachine::load(p, config());
         let mut env = EnvMachine::load(p, config());
         let a = subst.run(100_000).expect("subst backend");
         let b = env.run(100_000).expect("env backend");
@@ -741,7 +780,7 @@ mod tests {
             main: Term::Halt(Value::pair(Value::Int(1), Value::Int(2))),
         };
         assert!(EnvMachine::load(&p, config()).run(10).is_err());
-        assert!(Machine::load(&p, config()).run(10).is_err());
+        assert!(SubstMachine::load(&p, config()).run(10).is_err());
     }
 
     #[test]

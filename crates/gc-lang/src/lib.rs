@@ -31,6 +31,11 @@
 //!   interned [`intern::TermId`]s; observationally identical to
 //!   [`machine`] (including statistics), selected via
 //!   [`machine::Backend`];
+//! * [`bytecode`] — a register-based bytecode VM for the same semantics:
+//!   interned programs compiled once to a flat instruction stream with
+//!   compile-time slot resolution and optional superinstructions; the
+//!   third [`machine::Backend`], observationally identical to the other
+//!   two;
 //! * [`wf`] — machine-state well-formedness (`⊢ (M,e)`, Fig. 7), the
 //!   engine behind the preservation/progress property tests;
 //! * [`verify`] — the runtime heap-invariant auditor: Fig. 7's `⊢ M : Ψ`
@@ -46,7 +51,7 @@
 //! Run a tiny λGC program:
 //!
 //! ```
-//! use ps_gc_lang::machine::{Machine, Outcome, Program};
+//! use ps_gc_lang::machine::{SubstMachine, Outcome, Program};
 //! use ps_gc_lang::memory::MemConfig;
 //! use ps_gc_lang::syntax::{Dialect, Term, Value};
 //!
@@ -55,11 +60,12 @@
 //!     code: vec![],
 //!     main: Term::Halt(Value::Int(42)),
 //! };
-//! let mut m = Machine::load(&program, MemConfig::default());
+//! let mut m = SubstMachine::load(&program, MemConfig::default());
 //! assert_eq!(m.run(10).unwrap(), Outcome::Halted(42));
 //! ```
 
 pub mod ablation;
+pub mod bytecode;
 pub mod env_machine;
 pub mod error;
 pub mod faults;

@@ -44,7 +44,7 @@ pub const MAX_RECLAIM_EVENTS: usize = 1024;
 /// Statistics collected while running.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Stats {
-    /// Machine steps taken.
+    /// SubstMachine steps taken.
     pub steps: u64,
     /// Number of `put` allocations.
     pub allocations: u64,
@@ -107,12 +107,12 @@ impl std::fmt::Display for Stats {
 
 /// Which interpreter backend evaluates λGC terms.
 ///
-/// Both backends implement the same operational semantics and produce
-/// identical results *and identical [`Stats`]* on every program (checked
-/// by the differential test suite). They differ only in how β-reduction
-/// is realised:
+/// Every backend implements the same operational semantics and produces
+/// identical results *and identical [`Stats`] and telemetry* on every
+/// program (checked by the differential test suite). They differ only in
+/// how β-reduction is realised:
 ///
-/// * [`Backend::Subst`] — the literal Fig. 5 machine ([`Machine`]): each
+/// * [`Backend::Subst`] — the literal Fig. 5 machine ([`SubstMachine`]): each
 ///   step textually substitutes into the continuation. O(|term|) per
 ///   step, but the state is always a closed term, which is what the
 ///   well-formedness judgement `⊢ (M, e)` of `crate::wf` consumes. This
@@ -121,19 +121,42 @@ impl std::fmt::Display for Stats {
 ///   ([`crate::env_machine::EnvMachine`]): terms run against a
 ///   value/tag/region environment, continuations are shared via `Rc`,
 ///   and variables are resolved lazily at use sites. O(1) per step
-///   modulo value size; the default for plain runs and benchmarks.
+///   modulo value size.
+/// * [`Backend::Bytecode`] — the register-based bytecode VM
+///   ([`crate::bytecode::BcMachine`]): terms are compiled once to a flat
+///   instruction stream with variable occurrences resolved to register
+///   slots at compile time, then executed by a dispatch loop. The fastest
+///   backend; the default for plain runs and benchmarks is still chosen
+///   by [`Backend::default_for`].
+///
+/// New code should not `match` on `Backend` outside this module: construct
+/// machines through [`Backend::load`] and drive test matrices and CLI
+/// parsing from [`Backend::ALL`], so a future fourth backend is a
+/// one-module change.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Backend {
     /// Fig. 5 substitution semantics (the reference/oracle).
     Subst,
-    /// Environment-based fast path.
+    /// Environment-based interpreter.
     Env,
+    /// Register-based bytecode VM (fast path).
+    Bytecode,
 }
 
 impl Backend {
     /// Every backend, in canonical order (drives CLI metavars and the
     /// exhaustive collector × backend test matrices).
-    pub const ALL: [Backend; 2] = [Backend::Subst, Backend::Env];
+    pub const ALL: [Backend; 3] = [Backend::Subst, Backend::Env, Backend::Bytecode];
+
+    /// The canonical name, as accepted by [`FromStr`] and printed by
+    /// [`Display`](std::fmt::Display).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Subst => "subst",
+            Backend::Env => "env",
+            Backend::Bytecode => "bytecode",
+        }
+    }
 
     /// The backend picked when the caller expresses no preference: the
     /// substitution machine when the memory typing `Ψ` is being tracked
@@ -146,14 +169,22 @@ impl Backend {
             Backend::Env
         }
     }
+
+    /// Loads `program` on this backend, returning it behind the [`Machine`]
+    /// trait. This is the single construction point for all backends —
+    /// callers that used to `match` on `Backend` go through here instead.
+    pub fn load(self, program: &Program, config: MemConfig) -> Box<dyn Machine> {
+        match self {
+            Backend::Subst => Box::new(SubstMachine::load(program, config)),
+            Backend::Env => Box::new(crate::env_machine::EnvMachine::load(program, config)),
+            Backend::Bytecode => Box::new(crate::bytecode::BcMachine::load(program, config)),
+        }
+    }
 }
 
 impl std::fmt::Display for Backend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Backend::Subst => write!(f, "subst"),
-            Backend::Env => write!(f, "env"),
-        }
+        f.write_str(self.name())
     }
 }
 
@@ -163,7 +194,10 @@ impl std::str::FromStr for Backend {
         match s {
             "subst" | "substitution" => Ok(Backend::Subst),
             "env" | "environment" => Ok(Backend::Env),
-            other => Err(format!("unknown backend {other:?} (expected subst|env)")),
+            "bytecode" | "bc" => Ok(Backend::Bytecode),
+            other => Err(format!(
+                "unknown backend {other:?} (expected subst|env|bytecode)"
+            )),
         }
     }
 }
@@ -189,9 +223,74 @@ pub enum StepOutcome {
     Halted(i64),
 }
 
+/// The uniform execution interface every interpreter backend implements.
+///
+/// A `Machine` is a loaded λGC program plus a heap: it can be stepped or
+/// run, observed through telemetry, audited against the heap invariants,
+/// and subjected to fault injection. The contract — enforced by the
+/// lockstep differential suite — is that all implementations are
+/// *observationally identical*: byte-identical [`Stats`], byte-identical
+/// telemetry event streams, identical error messages, and the same
+/// [resolved control term](Machine::resolved_control) before every step.
+///
+/// Obtain one with [`Backend::load`]; the concrete types
+/// ([`SubstMachine`], [`crate::env_machine::EnvMachine`],
+/// [`crate::bytecode::BcMachine`]) remain available for code that needs
+/// backend-specific views (e.g. `crate::wf` consumes the substitution
+/// machine's closed term directly).
+pub trait Machine {
+    /// Attaches a telemetry observer; `step_interval > 0` also emits
+    /// periodic heap samples.
+    fn set_observer(&mut self, observer: SharedObserver, step_interval: u64);
+
+    /// Audits the heap every `n` steps during [`Machine::run`] (0 = never).
+    fn set_verify_every(&mut self, n: u64);
+
+    /// Arms a fault plan; the next [`Machine::run`] injects it as soon as
+    /// the step counter and heap shape allow.
+    fn set_fault_plan(&mut self, plan: Option<FaultPlan>);
+
+    /// Toggles superinstruction fusion (bytecode backend only; the other
+    /// backends ignore this). Must be called before the first step.
+    fn set_superinstructions(&mut self, _on: bool) {}
+
+    /// The machine's memory.
+    fn memory(&self) -> &Memory;
+
+    /// Mutable access to the memory (used by fault-injection tests).
+    fn memory_mut(&mut self) -> &mut Memory;
+
+    /// The dialect the loaded program was compiled for.
+    fn dialect(&self) -> Dialect;
+
+    /// Execution statistics so far.
+    fn stats(&self) -> &Stats;
+
+    /// The halt value, if the machine has halted.
+    fn halted(&self) -> Option<i64>;
+
+    /// The current control term with every environment/register binding
+    /// substituted in — a closed term structurally identical to the
+    /// substitution oracle's state at the same step. This is the view the
+    /// heap auditor and fault injector consume.
+    fn resolved_control(&self) -> Term;
+
+    /// Audits the current state against the heap invariants.
+    fn audit(&self) -> Result<()> {
+        crate::verify::audit_state(self.memory(), self.dialect(), &self.resolved_control())
+    }
+
+    /// Takes a single machine step.
+    fn step(&mut self) -> Result<StepOutcome>;
+
+    /// Runs for at most `fuel` steps, honouring the audit cadence and any
+    /// armed fault plan.
+    fn run(&mut self, fuel: u64) -> Result<Outcome>;
+}
+
 /// A λGC machine state `(M, e)` plus bookkeeping.
 #[derive(Clone, Debug)]
-pub struct Machine {
+pub struct SubstMachine {
     mem: Memory,
     term: Term,
     dialect: Dialect,
@@ -202,16 +301,16 @@ pub struct Machine {
     fault: Option<FaultPlan>,
 }
 
-impl Machine {
+impl SubstMachine {
     /// Loads a program: installs its code blocks in `cd` and sets the main
     /// term as the current redex.
-    pub fn load(program: &Program, config: MemConfig) -> Machine {
+    pub fn load(program: &Program, config: MemConfig) -> SubstMachine {
         let mut mem = Memory::new(config);
         for def in &program.code {
             let ty = def.ty();
             mem.install_code(Value::Code(std::sync::Arc::new(def.clone())), ty);
         }
-        Machine {
+        SubstMachine {
             mem,
             term: program.main.clone(),
             dialect: program.dialect,
@@ -242,13 +341,13 @@ impl Machine {
         &mut self.mem
     }
 
-    /// Audits the current state every `n` steps during [`Machine::run`]
+    /// Audits the current state every `n` steps during [`SubstMachine::run`]
     /// (`0` disables auditing, the default).
     pub fn set_verify_every(&mut self, n: u64) {
         self.verify_every = n;
     }
 
-    /// Arms a deterministic fault to be injected during [`Machine::run`]
+    /// Arms a deterministic fault to be injected during [`SubstMachine::run`]
     /// once the plan's step is reached (**fault-injection machinery**).
     pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
         self.fault = plan;
@@ -284,7 +383,7 @@ impl Machine {
     }
 
     /// Runs until `halt`, an error, or `fuel` steps. If armed (see
-    /// [`Machine::set_fault_plan`]) a fault is injected at its step, and if
+    /// [`SubstMachine::set_fault_plan`]) a fault is injected at its step, and if
     /// `verify_every > 0` the state is audited every that many steps; an
     /// audit failure ends the run with [`Outcome::InvariantViolation`].
     ///
@@ -640,6 +739,46 @@ impl Machine {
     }
 }
 
+impl Machine for SubstMachine {
+    fn set_observer(&mut self, observer: SharedObserver, step_interval: u64) {
+        SubstMachine::set_observer(self, observer, step_interval);
+    }
+    fn set_verify_every(&mut self, n: u64) {
+        SubstMachine::set_verify_every(self, n);
+    }
+    fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        SubstMachine::set_fault_plan(self, plan);
+    }
+    fn memory(&self) -> &Memory {
+        SubstMachine::memory(self)
+    }
+    fn memory_mut(&mut self) -> &mut Memory {
+        SubstMachine::memory_mut(self)
+    }
+    fn dialect(&self) -> Dialect {
+        SubstMachine::dialect(self)
+    }
+    fn stats(&self) -> &Stats {
+        SubstMachine::stats(self)
+    }
+    fn halted(&self) -> Option<i64> {
+        SubstMachine::halted(self)
+    }
+    fn resolved_control(&self) -> Term {
+        // The state *is* the closed control term.
+        self.term.clone()
+    }
+    fn audit(&self) -> Result<()> {
+        SubstMachine::audit(self)
+    }
+    fn step(&mut self) -> Result<StepOutcome> {
+        SubstMachine::step(self)
+    }
+    fn run(&mut self, fuel: u64) -> Result<Outcome> {
+        SubstMachine::run(self, fuel)
+    }
+}
+
 /// Rewrites `Ψ` for a `widen` by walking the live graph from `v` guided
 /// by the tag, applying the `T` operator of Appendix C: every reachable
 /// entry of the from-region changes from its `M`-form to the
@@ -811,7 +950,7 @@ mod tests {
     }
 
     fn run_program(p: Program) -> i64 {
-        let mut m = Machine::load(&p, config());
+        let mut m = SubstMachine::load(&p, config());
         match m.run(100_000).unwrap() {
             Outcome::Halted(n) => n,
             other => panic!("abnormal outcome: {other:?}"),
@@ -1018,7 +1157,7 @@ mod tests {
             code: vec![],
             main: e,
         };
-        let mut m = Machine::load(&p, config());
+        let mut m = SubstMachine::load(&p, config());
         assert_eq!(m.run(1000).unwrap(), Outcome::Halted(0));
         assert_eq!(m.stats().collections, 1);
         assert_eq!(m.stats().words_reclaimed, 1);
@@ -1051,7 +1190,7 @@ mod tests {
             code: vec![],
             main: e,
         };
-        let mut m = Machine::load(&p, config());
+        let mut m = SubstMachine::load(&p, config());
         assert!(m.run(1000).is_err());
     }
 
@@ -1228,7 +1367,7 @@ mod tests {
 
     #[test]
     fn stuck_states_are_reported() {
-        assert!(Machine::load(
+        assert!(SubstMachine::load(
             &Program {
                 dialect: Dialect::Basic,
                 code: vec![],
@@ -1255,7 +1394,7 @@ mod tests {
             code: vec![f],
             main: Term::app(Value::Addr(crate::syntax::CD, 0), [], [], []),
         };
-        let mut m = Machine::load(&p, config());
+        let mut m = SubstMachine::load(&p, config());
         assert_eq!(m.run(100).unwrap(), Outcome::OutOfFuel);
         assert_eq!(m.stats().steps, 100);
     }
@@ -1273,7 +1412,7 @@ mod stats_tests {
             code: vec![],
             main: Term::Halt(Value::Int(1)),
         };
-        let mut m = Machine::load(&p, MemConfig::default());
+        let mut m = SubstMachine::load(&p, MemConfig::default());
         m.run(10).unwrap();
         let text = m.stats().to_string();
         assert!(text.contains("steps"));
@@ -1287,7 +1426,7 @@ mod stats_tests {
             code: vec![],
             main: Term::Halt(Value::Int(7)),
         };
-        let mut m = Machine::load(&p, MemConfig::default());
+        let mut m = SubstMachine::load(&p, MemConfig::default());
         assert_eq!(m.run(10).unwrap(), Outcome::Halted(7));
         assert_eq!(m.halted(), Some(7));
         // Further steps are no-ops reporting the same halt value.

@@ -167,7 +167,12 @@ impl ReclaimReport {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Memory {
-    regions: BTreeMap<RegionName, RegionData>,
+    /// Region table indexed by the (monotonically assigned) region name:
+    /// `regions[n]` is `Some` while region `n` is live. Names are dense —
+    /// `cd` is 0 and `alloc_region` hands out successors — so a flat table
+    /// gives O(1) put/get and iteration in ascending-name order, matching
+    /// the ordered-map semantics telemetry and audits rely on.
+    regions: Vec<Option<RegionData>>,
     psi: BTreeMap<RegionName, BTreeMap<u32, Ty>>,
     next_region: u32,
     config: MemConfig,
@@ -181,15 +186,11 @@ pub struct Memory {
 impl Memory {
     /// Creates an empty memory containing only the code region.
     pub fn new(config: MemConfig) -> Memory {
-        let mut regions = BTreeMap::new();
-        regions.insert(
-            CD,
-            RegionData {
-                slots: Vec::new(),
-                words: 0,
-                budget: usize::MAX,
-            },
-        );
+        let regions = vec![Some(RegionData {
+            slots: Vec::new(),
+            words: 0,
+            budget: usize::MAX,
+        })];
         let mut psi = BTreeMap::new();
         psi.insert(CD, BTreeMap::new());
         Memory {
@@ -211,7 +212,7 @@ impl Memory {
     /// Only used at load time (§4.3: functions are placed into `cd` when
     /// translating code and never directly appear in λGC terms).
     pub fn install_code(&mut self, code: Value, ty: Ty) -> u32 {
-        let cd = self.regions.entry(CD).or_insert_with(|| RegionData {
+        let cd = self.regions[CD.0 as usize].get_or_insert_with(|| RegionData {
             slots: Vec::new(),
             words: 0,
             budget: usize::MAX,
@@ -231,8 +232,9 @@ impl Memory {
                 let max_live = self
                     .regions
                     .iter()
-                    .filter(|(n, _)| !n.is_cd())
-                    .map(|(_, r)| r.words)
+                    .skip(1) // cd
+                    .flatten()
+                    .map(|r| r.words)
                     .max()
                     .unwrap_or(0);
                 self.config.region_budget.max(max_live * 2)
@@ -240,14 +242,15 @@ impl Memory {
         };
         let name = RegionName(self.next_region);
         self.next_region += 1;
-        self.regions.insert(
-            name,
-            RegionData {
-                slots: Vec::new(),
-                words: 0,
-                budget,
-            },
-        );
+        let idx = name.0 as usize;
+        if self.regions.len() <= idx {
+            self.regions.resize_with(idx + 1, || None);
+        }
+        self.regions[idx] = Some(RegionData {
+            slots: Vec::new(),
+            words: 0,
+            budget,
+        });
         if self.config.track_types {
             self.psi.insert(name, BTreeMap::new());
         }
@@ -260,6 +263,17 @@ impl Memory {
     ///
     /// Fails if the region does not exist or is the code region.
     pub fn put(&mut self, nu: RegionName, v: Value) -> Result<u32> {
+        Ok(self.put_counted(nu, v)?.0)
+    }
+
+    /// Like [`Memory::put`], but also returns the stored value's size in
+    /// words, so callers tallying allocation statistics reuse the walk the
+    /// heap-cap check already performed.
+    ///
+    /// # Errors
+    ///
+    /// As [`Memory::put`].
+    pub fn put_counted(&mut self, nu: RegionName, v: Value) -> Result<(u32, usize)> {
         if nu.is_cd() {
             return Err(mem_err("cannot put into the code region"));
         }
@@ -270,7 +284,8 @@ impl Memory {
         };
         let region = self
             .regions
-            .get_mut(&nu)
+            .get_mut(nu.0 as usize)
+            .and_then(Option::as_mut)
             .ok_or_else(|| mem_err(format!("put into missing region {nu}")))?;
         let loc = region.slots.len() as u32;
         let words = value_words(&v);
@@ -289,7 +304,7 @@ impl Memory {
         if let Some(ty) = inferred {
             self.psi.entry(nu).or_default().insert(loc, ty);
         }
-        Ok(loc)
+        Ok((loc, words))
     }
 
     /// Reads the value at `ν.ℓ`.
@@ -298,8 +313,7 @@ impl Memory {
     ///
     /// Fails on dangling addresses (reclaimed region or bad offset).
     pub fn get(&self, nu: RegionName, loc: u32) -> Result<&Value> {
-        self.regions
-            .get(&nu)
+        self.region(nu)
             .ok_or_else(|| mem_err(format!("get from reclaimed region {nu}")))?
             .slots
             .get(loc as usize)
@@ -311,8 +325,7 @@ impl Memory {
     /// location, and `set` is only used at sum type.
     pub fn set(&mut self, nu: RegionName, loc: u32, v: Value) -> Result<()> {
         let region = self
-            .regions
-            .get_mut(&nu)
+            .region_mut(nu)
             .ok_or_else(|| mem_err(format!("set into missing region {nu}")))?;
         let slot = region
             .slots
@@ -329,8 +342,7 @@ impl Memory {
     /// Fails if the region does not exist.
     pub fn is_full(&self, nu: RegionName) -> Result<bool> {
         let r = self
-            .regions
-            .get(&nu)
+            .region(nu)
             .ok_or_else(|| mem_err(format!("ifgc on missing region {nu}")))?;
         Ok(!nu.is_cd() && r.words >= r.budget)
     }
@@ -339,15 +351,17 @@ impl Memory {
     /// (`cd` is always kept). Returns a report of what was dropped.
     pub fn only(&mut self, keep: &[RegionName]) -> ReclaimReport {
         let mut report = ReclaimReport::default();
-        let names: Vec<RegionName> = self.regions.keys().copied().collect();
-        for nu in names {
+        for idx in 0..self.regions.len() {
+            let nu = RegionName(idx as u32);
             if nu.is_cd() || keep.contains(&nu) {
                 if !nu.is_cd() {
-                    report.kept_words += self.regions[&nu].words;
+                    if let Some(r) = &self.regions[idx] {
+                        report.kept_words += r.words;
+                    }
                 }
                 continue;
             }
-            let Some(dropped) = self.regions.remove(&nu) else {
+            let Some(dropped) = self.regions[idx].take() else {
                 continue;
             };
             self.psi.remove(&nu);
@@ -367,7 +381,7 @@ impl Memory {
         if nu.is_cd() {
             return false;
         }
-        match self.regions.remove(&nu) {
+        match self.regions.get_mut(nu.0 as usize).and_then(Option::take) {
             Some(dropped) => {
                 self.psi.remove(&nu);
                 self.data_words -= dropped.words;
@@ -381,7 +395,7 @@ impl Memory {
     /// **fault-injection machinery** (a simulated budget underflow for
     /// [`crate::faults`]). Returns whether the region existed.
     pub fn corrupt_budget(&mut self, nu: RegionName, budget: usize) -> bool {
-        match self.regions.get_mut(&nu) {
+        match self.region_mut(nu) {
             Some(region) => {
                 region.budget = budget;
                 true
@@ -392,7 +406,10 @@ impl Memory {
 
     /// Live region names (including `cd`).
     pub fn region_names(&self) -> impl Iterator<Item = RegionName> + '_ {
-        self.regions.keys().copied()
+        self.regions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|_| RegionName(i as u32)))
     }
 
     /// The id the *next* `alloc_region` will use. Telemetry snapshots this
@@ -404,12 +421,16 @@ impl Memory {
 
     /// Does region `nu` exist?
     pub fn has_region(&self, nu: RegionName) -> bool {
-        self.regions.contains_key(&nu)
+        self.region(nu).is_some()
     }
 
     /// Access a region's data.
     pub fn region(&self, nu: RegionName) -> Option<&RegionData> {
-        self.regions.get(&nu)
+        self.regions.get(nu.0 as usize).and_then(Option::as_ref)
+    }
+
+    fn region_mut(&mut self, nu: RegionName) -> Option<&mut RegionData> {
+        self.regions.get_mut(nu.0 as usize).and_then(Option::as_mut)
     }
 
     /// Total words in data regions. O(1): the total is maintained
@@ -420,8 +441,9 @@ impl Memory {
             self.data_words,
             self.regions
                 .iter()
-                .filter(|(n, _)| !n.is_cd())
-                .map(|(_, r)| r.words)
+                .skip(1) // cd
+                .flatten()
+                .map(|r| r.words)
                 .sum::<usize>(),
             "incremental data-word total out of sync"
         );

@@ -29,7 +29,7 @@
 //! telemetry, so an audited clean run is bit-identical to an unaudited one.
 //!
 //! Both interpreter backends expose it as `audit()` and can run it every N
-//! steps (`verify_every`); see [`crate::machine::Machine::audit`] and
+//! steps (`verify_every`); see [`crate::machine::SubstMachine::audit`] and
 //! [`crate::env_machine::EnvMachine::audit`]. [`crate::faults`] provides the
 //! adversarial counterpart that these checks must catch.
 
@@ -187,7 +187,7 @@ fn audit_psi(mem: &Memory, dialect: Dialect, root: &Term) -> Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::machine::{Machine, Program};
+    use crate::machine::{Program, SubstMachine};
     use crate::memory::{GrowthPolicy, MemConfig};
     use crate::syntax::{Region, Term, Value};
     use ps_ir::Symbol;
@@ -203,7 +203,7 @@ mod tests {
 
     /// A machine paused right after allocating a region and a pair, with
     /// the pair's address still live in the term.
-    fn paused_machine(track: bool) -> Machine {
+    fn paused_machine(track: bool) -> SubstMachine {
         let r = Symbol::intern("vr");
         let x = Symbol::intern("vx");
         let y = Symbol::intern("vy");
@@ -227,7 +227,7 @@ mod tests {
                 .into(),
             },
         };
-        let mut m = Machine::load(&p, config(track));
+        let mut m = SubstMachine::load(&p, config(track));
         m.step().unwrap(); // let region
         m.step().unwrap(); // put
         m

@@ -1,4 +1,4 @@
-//! Machine-state well-formedness: `⊢ (M, e)` (Fig. 7, Definitions 6.3 and
+//! SubstMachine-state well-formedness: `⊢ (M, e)` (Fig. 7, Definitions 6.3 and
 //! 7.1).
 //!
 //! A state is well formed when some memory typing `Ψ` types the store
@@ -17,7 +17,7 @@
 use std::collections::HashSet;
 
 use crate::error::{ErrorKind, LangError, Result};
-use crate::machine::Machine;
+use crate::machine::SubstMachine;
 use crate::syntax::{Dialect, Op, RegionName, Term, Value};
 use crate::tyck::{Checker, Ctx};
 
@@ -38,7 +38,7 @@ pub struct WfOptions {
 /// # Examples
 ///
 /// ```
-/// use ps_gc_lang::machine::{Machine, Program};
+/// use ps_gc_lang::machine::{SubstMachine, Program};
 /// use ps_gc_lang::memory::MemConfig;
 /// use ps_gc_lang::syntax::{Dialect, Term, Value};
 /// use ps_gc_lang::wf::{check_state, WfOptions};
@@ -49,7 +49,7 @@ pub struct WfOptions {
 ///     main: Term::Halt(Value::Int(0)),
 /// };
 /// let config = MemConfig { track_types: true, ..MemConfig::default() };
-/// let machine = Machine::load(&program, config);
+/// let machine = SubstMachine::load(&program, config);
 /// check_state(&machine, WfOptions::default()).unwrap();
 /// ```
 ///
@@ -58,7 +58,7 @@ pub struct WfOptions {
 /// Returns a well-formedness error describing the first slot or the term
 /// judgement that failed. The machine must have been created with
 /// `track_types: true`.
-pub fn check_state(machine: &Machine, opts: WfOptions) -> Result<()> {
+pub fn check_state(machine: &SubstMachine, opts: WfOptions) -> Result<()> {
     if !machine.memory().config().track_types {
         return Err(LangError::new(
             ErrorKind::WellFormedness,
@@ -115,7 +115,7 @@ pub fn check_state(machine: &Machine, opts: WfOptions) -> Result<()> {
 }
 
 /// Computes the set of store slots reachable from the current term.
-fn reachable_slots(machine: &Machine) -> HashSet<(RegionName, u32)> {
+fn reachable_slots(machine: &SubstMachine) -> HashSet<(RegionName, u32)> {
     reachable_slots_in(machine.memory(), machine.term())
 }
 
@@ -248,7 +248,7 @@ pub(crate) fn collect_term_addrs(e: &Term, out: &mut Vec<(RegionName, u32)>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::machine::{Machine, Outcome, Program, StepOutcome};
+    use crate::machine::{Outcome, Program, StepOutcome, SubstMachine};
     use crate::memory::{GrowthPolicy, MemConfig};
     use crate::syntax::{Region, Term, Value};
     use ps_ir::Symbol;
@@ -269,7 +269,7 @@ mod tests {
     /// Steps a machine to completion, checking well-formedness at every
     /// step — a miniature of the preservation property tests.
     fn run_checked(p: Program) -> i64 {
-        let mut m = Machine::load(&p, tracked_config());
+        let mut m = SubstMachine::load(&p, tracked_config());
         check_state(&m, WfOptions::default()).expect("initial state well formed");
         for _ in 0..10_000 {
             match m.step().expect("progress") {
@@ -349,7 +349,7 @@ mod tests {
             code: vec![],
             main: e,
         };
-        let mut m = Machine::load(&p, tracked_config());
+        let mut m = SubstMachine::load(&p, tracked_config());
         // let region; put; only — after the only, the get references a
         // dangling address and the state must be flagged.
         m.step().unwrap();
@@ -365,7 +365,7 @@ mod tests {
             code: vec![],
             main: Term::Halt(Value::Int(0)),
         };
-        let m = Machine::load(
+        let m = SubstMachine::load(
             &p,
             MemConfig {
                 track_types: false,
@@ -443,7 +443,7 @@ mod tests {
         // The whole program typechecks statically...
         Checker::check_program(&p).unwrap();
         // ... and stays well formed through execution.
-        let mut m = Machine::load(&p, tracked_config());
+        let mut m = SubstMachine::load(&p, tracked_config());
         check_state(&m, WfOptions::default()).unwrap();
         loop {
             match m.step().unwrap() {
@@ -513,7 +513,7 @@ mod tests {
             main: e,
         };
         Checker::check_program(&p).unwrap();
-        let mut m = Machine::load(&p, tracked_config());
+        let mut m = SubstMachine::load(&p, tracked_config());
         loop {
             check_state(&m, WfOptions::default()).unwrap();
             if let StepOutcome::Halted(n) = m.step().unwrap() {
@@ -530,7 +530,7 @@ mod tests {
             code: vec![],
             main: Term::Halt(Value::Int(9)),
         };
-        let mut m = Machine::load(&p, tracked_config());
+        let mut m = SubstMachine::load(&p, tracked_config());
         assert_eq!(m.run(10).unwrap(), Outcome::Halted(9));
     }
 }

@@ -1,19 +1,20 @@
-//! Step-for-step agreement of the two interpreter backends.
+//! Step-for-step agreement of every interpreter backend.
 //!
-//! The environment machine promises more than equal final answers: it
+//! The alternative backends promise more than equal final answers: each
 //! claims to simulate the Fig. 5 substitution machine *exactly* — same
 //! rule fired at every step, same statistics after every step, and a
-//! control term that, once the environment is applied, is syntactically
-//! identical to the substitution machine's closed control term.
+//! resolved control view that is syntactically identical to the
+//! substitution machine's closed control term.
 //!
 //! This test generates random closed, runnable λGC programs (tape-driven,
-//! so every generated program terminates) and runs both machines in
-//! lockstep, checking all three invariants at every single step.
+//! so every generated program terminates) and runs all [`Backend::ALL`]
+//! machines in lockstep against the substitution oracle, checking all
+//! three invariants at every single step. A new backend added to `ALL`
+//! joins the matrix with no edits here.
 
 use proptest::prelude::*;
 
-use ps_gc_lang::env_machine::EnvMachine;
-use ps_gc_lang::machine::{Machine, Program, StepOutcome};
+use ps_gc_lang::machine::{Backend, Machine, Program, StepOutcome};
 use ps_gc_lang::memory::{GrowthPolicy, MemConfig};
 use ps_gc_lang::syntax::{CodeDef, Dialect, Kind, Op, PrimOp, Region, Tag, Term, Ty, Value, CD};
 use ps_gc_lang::telemetry::Recorder;
@@ -320,10 +321,11 @@ fn gen_program(bytes: &[u8]) -> Program {
     }
 }
 
-/// Runs both machines in lockstep, asserting after every step that the
-/// statistics agree, that the telemetry event streams agree, and that the
-/// environment machine's resolved control equals the substitution
-/// machine's closed control term.
+/// Runs all backends in lockstep against the substitution oracle (the
+/// first entry of [`Backend::ALL`]), asserting after every step that the
+/// statistics agree, that the telemetry event streams agree, and that
+/// every backend's resolved control equals the oracle's closed control
+/// term.
 fn lockstep(program: &Program) {
     lockstep_with_budget(program, 4096);
 }
@@ -335,55 +337,93 @@ fn lockstep_with_budget(program: &Program, region_budget: usize) {
         track_types: false,
         max_heap_words: None,
     };
-    let mut subst = Machine::load(program, config);
-    let mut env = EnvMachine::load(program, config);
-    // Both machines get a recorder (sampling on, to cover `Step` events);
-    // their event streams must match after every step.
-    let rec_s = Recorder::new().into_shared();
-    let rec_e = Recorder::new().into_shared();
-    subst.set_observer(rec_s.clone(), 7);
-    env.set_observer(rec_e.clone(), 7);
+    assert_eq!(Backend::ALL[0], Backend::Subst, "the oracle leads ALL");
+    // Every machine gets a recorder (sampling on, to cover `Step` events);
+    // the event streams must match after every step.
+    let mut machines: Vec<Box<dyn Machine>> = Vec::new();
+    let mut recorders = Vec::new();
+    for backend in Backend::ALL {
+        let mut m = backend.load(program, config);
+        let rec = Recorder::new().into_shared();
+        m.set_observer(rec.clone(), 7);
+        machines.push(m);
+        recorders.push(rec);
+    }
     let mut seen = 0usize;
     for step in 0..4000u32 {
-        assert_eq!(
-            subst.term(),
-            &env.resolved_control(),
-            "control terms diverge before step {step}"
-        );
-        match (subst.step(), env.step()) {
-            (Ok(a), Ok(b)) => {
-                assert_eq!(a, b, "step outcomes diverge at step {step}");
-                assert_eq!(subst.stats(), env.stats(), "stats diverge at step {step}");
-                assert_eq!(subst.halted(), env.halted(), "halt states diverge");
+        let control = machines[0].resolved_control();
+        for (i, m) in machines.iter().enumerate().skip(1) {
+            assert_eq!(
+                control,
+                m.resolved_control(),
+                "{}: control terms diverge before step {step}",
+                Backend::ALL[i]
+            );
+        }
+        let outcomes: Vec<_> = machines.iter_mut().map(|m| m.step()).collect();
+        match &outcomes[0] {
+            Ok(a) => {
+                for (i, o) in outcomes.iter().enumerate().skip(1) {
+                    let backend = Backend::ALL[i];
+                    let Ok(b) = o else {
+                        panic!("{backend} stuck at step {step}: {a:?} vs {o:?}");
+                    };
+                    assert_eq!(a, b, "{backend}: step outcomes diverge at step {step}");
+                    assert_eq!(
+                        machines[0].stats(),
+                        machines[i].stats(),
+                        "{backend}: stats diverge at step {step}"
+                    );
+                    assert_eq!(
+                        machines[0].halted(),
+                        machines[i].halted(),
+                        "{backend}: halt states diverge"
+                    );
+                }
                 {
-                    let evs_s = &rec_s.borrow().events;
-                    let evs_e = &rec_e.borrow().events;
-                    assert_eq!(
-                        evs_s.len(),
-                        evs_e.len(),
-                        "event counts diverge at step {step}"
-                    );
-                    assert_eq!(
-                        &evs_s[seen..],
-                        &evs_e[seen..],
-                        "events diverge at step {step}"
-                    );
+                    let evs_s = &recorders[0].borrow().events;
+                    for (i, rec) in recorders.iter().enumerate().skip(1) {
+                        let backend = Backend::ALL[i];
+                        let evs = &rec.borrow().events;
+                        assert_eq!(
+                            evs_s.len(),
+                            evs.len(),
+                            "{backend}: event counts diverge at step {step}"
+                        );
+                        assert_eq!(
+                            &evs_s[seen..],
+                            &evs[seen..],
+                            "{backend}: events diverge at step {step}"
+                        );
+                    }
                     seen = evs_s.len();
                 }
                 if matches!(a, StepOutcome::Halted(_)) {
-                    assert_eq!(
-                        rec_s.borrow().metrics,
-                        rec_e.borrow().metrics,
-                        "telemetry metrics diverge at halt"
-                    );
+                    for (i, rec) in recorders.iter().enumerate().skip(1) {
+                        assert_eq!(
+                            recorders[0].borrow().metrics,
+                            rec.borrow().metrics,
+                            "{}: telemetry metrics diverge at halt",
+                            Backend::ALL[i]
+                        );
+                    }
                     return;
                 }
             }
-            (Err(a), Err(b)) => {
-                assert_eq!(a.to_string(), b.to_string(), "error messages diverge");
+            Err(a) => {
+                for (i, o) in outcomes.iter().enumerate().skip(1) {
+                    let backend = Backend::ALL[i];
+                    let Err(b) = o else {
+                        panic!("only the oracle stuck at step {step}: {a:?} vs {o:?} ({backend})");
+                    };
+                    assert_eq!(
+                        a.to_string(),
+                        b.to_string(),
+                        "{backend}: error messages diverge"
+                    );
+                }
                 return;
             }
-            (a, b) => panic!("one backend stuck at step {step}: {a:?} vs {b:?}"),
         }
     }
     panic!("generated program did not terminate within the step bound");
@@ -435,7 +475,7 @@ type AuditedRun = (
 
 fn audited_run(
     program: &Program,
-    env_backend: bool,
+    backend: Backend,
     verify_every: u64,
     plan: Option<ps_gc_lang::faults::FaultPlan>,
 ) -> AuditedRun {
@@ -446,19 +486,11 @@ fn audited_run(
         max_heap_words: None,
     };
     let rec = Recorder::new().into_shared();
-    let (outcome, stats) = if env_backend {
-        let mut m = EnvMachine::load(program, config);
-        m.set_observer(rec.clone(), 7);
-        m.set_verify_every(verify_every);
-        m.set_fault_plan(plan);
-        (m.run(4000), m.stats().clone())
-    } else {
-        let mut m = Machine::load(program, config);
-        m.set_observer(rec.clone(), 7);
-        m.set_verify_every(verify_every);
-        m.set_fault_plan(plan);
-        (m.run(4000), m.stats().clone())
-    };
+    let mut m = backend.load(program, config);
+    m.set_observer(rec.clone(), 7);
+    m.set_verify_every(verify_every);
+    m.set_fault_plan(plan);
+    let (outcome, stats) = (m.run(4000), m.stats().clone());
     let jsonl = rec.borrow().to_jsonl();
     (outcome, stats, jsonl)
 }
@@ -468,13 +500,13 @@ proptest! {
 
     /// The auditor is purely observational: on clean runs, `verify_every`
     /// at full blast never reports a violation and leaves the outcome,
-    /// statistics, and telemetry byte stream identical — on both backends.
+    /// statistics, and telemetry byte stream identical — on every backend.
     #[test]
     fn audited_clean_runs_are_byte_identical(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
         let program = gen_program(&bytes);
-        for env_backend in [false, true] {
-            let (o_plain, s_plain, t_plain) = audited_run(&program, env_backend, 0, None);
-            let (o_audit, s_audit, t_audit) = audited_run(&program, env_backend, 1, None);
+        for backend in Backend::ALL {
+            let (o_plain, s_plain, t_plain) = audited_run(&program, backend, 0, None);
+            let (o_audit, s_audit, t_audit) = audited_run(&program, backend, 1, None);
             prop_assert!(
                 !matches!(
                     o_audit,
@@ -489,10 +521,10 @@ proptest! {
     }
 }
 
-/// Armed with the same fault plan, the two backends must pick the same
+/// Armed with the same fault plan, all backends must pick the same
 /// injection site at the same step and return the same verdict — either
-/// both detect the identical violation or the plan finds no target on
-/// either.
+/// all detect the identical violation or the plan finds no target on
+/// any of them.
 #[test]
 fn backends_agree_under_fault_injection() {
     for kind in ps_gc_lang::faults::FaultKind::ALL {
@@ -506,11 +538,16 @@ fn backends_agree_under_fault_injection() {
                 step: 2,
                 seed,
             };
-            let (o_subst, s_subst, t_subst) = audited_run(&program, false, 1, Some(plan));
-            let (o_env, s_env, t_env) = audited_run(&program, true, 1, Some(plan));
-            assert_eq!(o_subst, o_env, "{kind}@{seed}: outcomes diverge");
-            assert_eq!(s_subst, s_env, "{kind}@{seed}: stats diverge");
-            assert_eq!(t_subst, t_env, "{kind}@{seed}: telemetry diverges");
+            let (o_subst, s_subst, t_subst) = audited_run(&program, Backend::Subst, 1, Some(plan));
+            for backend in Backend::ALL {
+                if backend == Backend::Subst {
+                    continue;
+                }
+                let (o, s, t) = audited_run(&program, backend, 1, Some(plan));
+                assert_eq!(o_subst, o, "{kind}@{seed}/{backend}: outcomes diverge");
+                assert_eq!(s_subst, s, "{kind}@{seed}/{backend}: stats diverge");
+                assert_eq!(t_subst, t, "{kind}@{seed}/{backend}: telemetry diverges");
+            }
         }
     }
 }

@@ -4,7 +4,7 @@
 
 use ps_clos::{cc, cps};
 use ps_collectors::basic;
-use ps_gc_lang::machine::{Machine, Outcome, Program};
+use ps_gc_lang::machine::{Outcome, Program, SubstMachine};
 use ps_gc_lang::memory::{GrowthPolicy, MemConfig};
 use ps_gc_lang::tyck::Checker;
 use ps_gc_lang::wf::{check_state, WfOptions};
@@ -27,7 +27,7 @@ fn expected(src: &str) -> i64 {
 
 /// Run with a given base budget; return (result, collections).
 fn run_with_budget(program: &Program, budget: usize) -> (i64, u64) {
-    let mut m = Machine::load(
+    let mut m = SubstMachine::load(
         program,
         MemConfig {
             region_budget: budget,
@@ -87,7 +87,7 @@ fn results_are_preserved_through_collections() {
 #[test]
 fn collections_reclaim_garbage() {
     let program = compile(CHURN);
-    let mut m = Machine::load(
+    let mut m = SubstMachine::load(
         &program,
         MemConfig {
             region_budget: 128,
@@ -119,7 +119,7 @@ fn preservation_holds_across_a_collection() {
         "fun f (n : int) : int = if0 n then 7 else (let p = (n, n) in snd p + 0 * f (n - 1))\n f 6";
     let want = expected(src);
     let program = compile(src);
-    let mut m = Machine::load(
+    let mut m = SubstMachine::load(
         &program,
         MemConfig {
             region_budget: 24,

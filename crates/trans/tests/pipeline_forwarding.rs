@@ -3,7 +3,7 @@
 
 use ps_clos::{cc, cps};
 use ps_collectors::forwarding;
-use ps_gc_lang::machine::{Machine, Outcome, Program};
+use ps_gc_lang::machine::{Outcome, Program, SubstMachine};
 use ps_gc_lang::memory::{GrowthPolicy, MemConfig};
 use ps_gc_lang::tyck::Checker;
 use ps_gc_lang::wf::{check_state, WfOptions};
@@ -25,7 +25,7 @@ fn expected(src: &str) -> i64 {
 }
 
 fn run_with_budget(program: &Program, budget: usize) -> (i64, ps_gc_lang::machine::Stats) {
-    let mut m = Machine::load(
+    let mut m = SubstMachine::load(
         program,
         MemConfig {
             region_budget: budget,
@@ -89,7 +89,7 @@ fn preservation_through_widen_and_forwarding() {
         "fun f (n : int) : int = if0 n then 3 else (let p = (n, n) in snd p - n + f (n - 1))\n f 5";
     let want = expected(src);
     let program = compile(src);
-    let mut m = Machine::load(
+    let mut m = SubstMachine::load(
         &program,
         MemConfig {
             region_budget: 24,

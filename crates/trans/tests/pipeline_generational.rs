@@ -3,7 +3,7 @@
 
 use ps_clos::{cc, cps};
 use ps_collectors::generational;
-use ps_gc_lang::machine::{Machine, Outcome, Program};
+use ps_gc_lang::machine::{Outcome, Program, SubstMachine};
 use ps_gc_lang::memory::{GrowthPolicy, MemConfig};
 use ps_gc_lang::tyck::Checker;
 use ps_gc_lang::wf::{check_state, WfOptions};
@@ -25,7 +25,7 @@ fn expected(src: &str) -> i64 {
 }
 
 fn run_with_budget(program: &Program, budget: usize) -> (i64, ps_gc_lang::machine::Stats) {
-    let mut m = Machine::load(
+    let mut m = SubstMachine::load(
         program,
         MemConfig {
             region_budget: budget,
@@ -86,7 +86,7 @@ fn minor_collections_do_not_copy_old_data() {
     // collection interferes (the major-collection tests below cover that
     // path).
     let program = compile(CHURN);
-    let mut m = Machine::load(
+    let mut m = SubstMachine::load(
         &program,
         MemConfig {
             region_budget: 512,
@@ -115,7 +115,7 @@ fn preservation_through_a_minor_collection() {
         "fun f (n : int) : int = if0 n then 3 else (let p = (n, n) in snd p - n + f (n - 1))\n f 5";
     let want = expected(src);
     let program = compile(src);
-    let mut m = Machine::load(
+    let mut m = SubstMachine::load(
         &program,
         MemConfig {
             region_budget: 32,
@@ -157,7 +157,7 @@ fn major_collections_run_when_the_old_region_fills() {
     // point the minor gc's `ifgc ro` falls through to the major collector,
     // which evacuates everything into a fresh region and drops the old one.
     let program = compile(LIST_SUM);
-    let mut m = Machine::load(
+    let mut m = SubstMachine::load(
         &program,
         MemConfig {
             region_budget: 64,
@@ -196,7 +196,7 @@ fn preservation_through_a_major_collection() {
         (let rest = build (n - 1) in (n + fst rest, n))\n fst (build 12)";
     let want = expected(src);
     let program = compile(src);
-    let mut m = Machine::load(
+    let mut m = SubstMachine::load(
         &program,
         MemConfig {
             region_budget: 40,

@@ -22,11 +22,13 @@ use scavenger::{Backend, Collector, Compiled, RunOptions};
 /// in all configurations so the bare run pays the same bookkeeping and the
 /// difference is the audit alone.
 fn timed_run(c: &Compiled, budget: usize, backend: Backend, every: u64) -> (u64, f64) {
-    let mut opts = RunOptions::new(Collector::Basic); // collector ignored by run_with
-    opts.budget = budget;
-    opts.backend = Some(backend);
-    opts.track_types = true;
-    opts.verify_every = every;
+    let opts = RunOptions::builder()
+        .collector(Collector::Basic) // collector ignored by run_with
+        .budget(budget)
+        .backend(backend)
+        .track_types(true)
+        .verify_every(every)
+        .build();
     let t0 = Instant::now();
     let run = c.run_with(&opts).expect("runs");
     (run.stats.steps, t0.elapsed().as_secs_f64())
@@ -88,7 +90,7 @@ fn main() {
             )
         }))
         .collect();
-    for backend in [Backend::Subst, Backend::Env] {
+    for backend in Backend::ALL {
         let (mut geo64, mut geo1) = (0.0f64, 0.0f64);
         let mut n = 0u32;
         println!("\nbackend: {backend}");

@@ -1,0 +1,116 @@
+//! E14 — bytecode VM throughput: the register-based bytecode backend
+//! versus the environment machine (and the Fig. 5 substitution oracle as
+//! a baseline), on the E9 workloads.
+//!
+//! The environment machine still walks the interned term graph at every
+//! step and keeps a persistent environment spine; the bytecode VM
+//! pre-resolves every variable to a register slot at compile time and
+//! dispatches over a flat instruction stream, with let-spines and
+//! `put`-pair allocations fused into superinstructions. This example times
+//! complete runs of identical compiled programs on all three backends,
+//! plus the bytecode backend with superinstruction fusion disabled (the
+//! A/B knob), and reports steps/second:
+//!
+//! ```text
+//! cargo run --release --example e14_bytecode_throughput
+//! ```
+//!
+//! Byte-identity of results, statistics, and telemetry across the
+//! backends is asserted by the battery and backend-agreement suites; this
+//! example measures only wall-clock throughput.
+
+use std::time::Instant;
+
+use scavenger::workloads::{compile_ast, live_tree_churn};
+use scavenger::{Backend, Collector, Compiled, RunOptions};
+
+/// Times one full run, returning (steps, seconds).
+fn timed_run(c: &Compiled, backend: Backend, superinstructions: bool) -> (u64, f64) {
+    let opts = RunOptions::builder()
+        .collector(Collector::Basic) // collector ignored by run_with
+        .backend(backend)
+        .superinstructions(superinstructions)
+        .build();
+    let t0 = Instant::now();
+    let run = c.run_with(&opts).expect("runs");
+    (run.stats.steps, t0.elapsed().as_secs_f64())
+}
+
+/// Best-of-n steps/second for each configuration, reps interleaved so all
+/// samples see the same scheduler conditions. Configurations: every
+/// backend in [`Backend::ALL`], plus bytecode without superinstructions.
+fn steps_per_sec(c: &Compiled, reps: u32) -> (u64, Vec<f64>) {
+    let configs: Vec<(Backend, bool)> = Backend::ALL
+        .into_iter()
+        .map(|b| (b, true))
+        .chain([(Backend::Bytecode, false)])
+        .collect();
+    let mut best = vec![0.0f64; configs.len()];
+    let mut steps = 0u64;
+    for _ in 0..reps {
+        for (i, &(backend, fuse)) in configs.iter().enumerate() {
+            let (s, secs) = timed_run(c, backend, fuse);
+            if i == 0 {
+                steps = s;
+            } else {
+                assert_eq!(s, steps, "backends must take identical step counts");
+            }
+            best[i] = best[i].max(s as f64 / secs);
+        }
+    }
+    (steps, best)
+}
+
+fn main() {
+    println!("E14: steps/second, bytecode VM vs environment machine");
+    println!(
+        "{:<26} {:>10} {:>12} {:>12} {:>12} {:>12} {:>7} {:>7}",
+        "workload", "steps", "subst st/s", "env st/s", "bc st/s", "bc -sup", "bc/env", "-sup/bc"
+    );
+    let (mut geo_env, mut geo_fuse) = (0.0f64, 0.0f64);
+    let mut n = 0u32;
+    // E1 rows: live tree of depth d with a tight budget — collection-heavy,
+    // so the control term carries the whole collector continuation.
+    // E4 rows: the same mutator with a large budget — mutator-dominated.
+    let cases: Vec<(String, Compiled)> = [3u32, 5, 7, 9]
+        .iter()
+        .map(|&depth| {
+            let budget = (2usize << depth) + 96;
+            (
+                format!("e1 tree depth {depth} (gc)"),
+                compile_ast(&live_tree_churn(depth, 120), Collector::Basic, budget),
+            )
+        })
+        .chain([6u32, 8].iter().map(|&depth| {
+            (
+                format!("e4 tree depth {depth} (mut)"),
+                compile_ast(
+                    &live_tree_churn(depth, 120),
+                    Collector::Basic,
+                    1 << (depth + 3),
+                ),
+            )
+        }))
+        .collect();
+    for (name, compiled) in &cases {
+        let (steps, best) = steps_per_sec(compiled, 5);
+        let [subst, env, bc, bc_nosuper] = best[..] else {
+            unreachable!("four configurations")
+        };
+        let speedup = bc / env;
+        let fusion = bc_nosuper / bc;
+        geo_env += speedup.ln();
+        geo_fuse += fusion.ln();
+        n += 1;
+        println!(
+            "{name:<26} {steps:>10} {subst:>12.0} {env:>12.0} {bc:>12.0} {bc_nosuper:>12.0} \
+             {speedup:>6.1}x {fusion:>6.2}x"
+        );
+    }
+    println!(
+        "\ngeometric-mean speedup over the environment machine: {:.1}x \
+         (superinstructions off retain {:.0}% of that)",
+        (geo_env / f64::from(n)).exp(),
+        100.0 * (geo_fuse / f64::from(n)).exp()
+    );
+}

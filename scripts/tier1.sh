@@ -8,11 +8,20 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo test -q
+cargo test -q --workspace
 # Certification parallelizes over code blocks by default; exercise the
 # serial path too so both sides of the PS_CERT_THREADS split stay green.
 PS_CERT_THREADS=1 ./target/release/psgc certify --collector generational >/dev/null
 PS_CERT_THREADS=4 ./target/release/psgc certify --collector generational >/dev/null
+# The bytecode VM end-to-end: a program that allocates and collects under
+# a tight budget, audited against Fig. 7 every 64 steps, plus the
+# disassembler over the same source and its golden-file test.
+tmp="$(mktemp --suffix=.lam)"
+trap 'rm -f "$tmp"' EXIT
+printf 'fun build (n : int) : int * int = if0 n then (0, 0) else (let rest = build (n - 1) in (n + fst rest, n))\n fst (build 24)' > "$tmp"
+./target/release/psgc run "$tmp" --backend bytecode --verify-every 64 --budget 64 --stats >/dev/null
+./target/release/psgc disasm "$tmp" >/dev/null
+cargo test -q --test disasm_golden
 cargo clippy --workspace -- -D warnings
 # Panic audit: the language runtime and the collectors must stay free of
 # panicking escape hatches outside tests (clippy.toml relaxes the lints

@@ -34,6 +34,11 @@ const COMMANDS: &[(&str, &str, &str)] = &[
     ("check", "FILE", "compile and certify, but do not run"),
     ("certify", "", "print and typecheck the collector itself"),
     ("eval", "FILE", "run the reference source evaluator only"),
+    (
+        "disasm",
+        "FILE",
+        "compile and print the bytecode instruction stream",
+    ),
 ];
 
 /// Everything the flags configure: the library's [`RunOptions`] plus the
@@ -45,6 +50,7 @@ struct Cli {
     stats_intern: bool,
     metrics: bool,
     trace: Option<String>,
+    dump_bytecode: bool,
 }
 
 /// One flag: its name, value placeholder (`None` for boolean flags), help
@@ -71,7 +77,7 @@ fn parse_number<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> 
         .map_err(|_| format!("invalid value {v:?} for {flag} (expected a number)"))
 }
 
-fn flag_specs() -> [FlagSpec; 14] {
+fn flag_specs() -> [FlagSpec; 16] {
     [
         FlagSpec {
             name: "--collector",
@@ -151,6 +157,24 @@ fn flag_specs() -> [FlagSpec; 14] {
             help: "fail with a typed out-of-memory error past this many live words",
             apply: |c, v| {
                 c.opts.max_heap_words = Some(parse_number(v, "--max-heap-words")?);
+                Ok(())
+            },
+        },
+        FlagSpec {
+            name: "--dump-bytecode",
+            metavar: None,
+            help: "print the compiled bytecode instruction stream before running",
+            apply: |c, _| {
+                c.dump_bytecode = true;
+                Ok(())
+            },
+        },
+        FlagSpec {
+            name: "--no-superinstructions",
+            metavar: None,
+            help: "disable superinstruction fusion in the bytecode backend (A/B knob)",
+            apply: |c, _| {
+                c.opts.superinstructions = false;
                 Ok(())
             },
         },
@@ -301,6 +325,10 @@ fn main() -> ExitCode {
             Ok(src) => cmd_run(&mut cli, &src, cmd == "check"),
             Err(code) => code,
         },
+        "disasm" => match read_source(file) {
+            Ok(src) => cmd_disasm(&cli, &src),
+            Err(code) => code,
+        },
         _ => unreachable!("command validated above"),
     }
 }
@@ -370,6 +398,24 @@ fn cmd_eval(cli: &Cli, src: &str) -> ExitCode {
     }
 }
 
+fn cmd_disasm(cli: &Cli, src: &str) -> ExitCode {
+    let compiled = match cli.opts.compile(src) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("psgc: {e}");
+            return ExitCode::from(pipeline_exit(&e));
+        }
+    };
+    print!(
+        "{}",
+        scavenger::gc_lang::bytecode::disassemble(&compiled.program, cli.opts.superinstructions)
+    );
+    if cli.stats_intern {
+        print_intern_stats();
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_run(cli: &mut Cli, src: &str, check_only: bool) -> ExitCode {
     // A recorder is only attached when some output wants it; a full event
     // log only when a trace file will be written.
@@ -397,6 +443,15 @@ fn cmd_run(cli: &mut Cli, src: &str, check_only: bool) -> ExitCode {
     if let Err(e) = compiled.typecheck() {
         eprintln!("psgc: certification failed: {e}");
         return ExitCode::from(EXIT_COMPILE);
+    }
+    if cli.dump_bytecode {
+        print!(
+            "{}",
+            scavenger::gc_lang::bytecode::disassemble(
+                &compiled.program,
+                cli.opts.superinstructions
+            )
+        );
     }
     if check_only {
         println!("✓ certified ({} collector)", cli.opts.collector);

@@ -95,10 +95,11 @@ const PROGRAMS: &[(&str, &str, i64)] = &[
 
 #[test]
 fn battery_all_collectors_all_budgets() {
-    // Every program/collector/budget combination runs on BOTH interpreter
-    // backends; they must agree with the expected result and with each
-    // other — including the full statistics, which the environment machine
-    // promises to reproduce bit-for-bit.
+    // Every program/collector/budget combination runs on EVERY interpreter
+    // backend (`Backend::ALL`, so a new backend joins the matrix
+    // automatically); all must agree with the expected result and with the
+    // substitution oracle — including the full statistics, which every
+    // backend promises to reproduce bit-for-bit.
     for (name, src, expected) in PROGRAMS {
         for collector in [
             Collector::Basic,
@@ -110,27 +111,35 @@ fn battery_all_collectors_all_budgets() {
                     .region_budget(budget)
                     .compile(src)
                     .unwrap_or_else(|e| panic!("{name}/{collector}: compile failed: {e}"));
-                let env = compiled
+                let oracle = compiled
                     .clone()
-                    .with_backend(Backend::Env)
-                    .run(500_000_000)
-                    .unwrap_or_else(|e| panic!("{name}/{collector}/budget {budget}/env: {e}"));
-                assert_eq!(
-                    env.result, *expected,
-                    "{name}/{collector}/budget {budget}/env"
-                );
-                let subst = compiled
                     .with_backend(Backend::Subst)
                     .run(500_000_000)
                     .unwrap_or_else(|e| panic!("{name}/{collector}/budget {budget}/subst: {e}"));
                 assert_eq!(
-                    subst.result, env.result,
-                    "{name}/{collector}/budget {budget}: backends disagree"
+                    oracle.result, *expected,
+                    "{name}/{collector}/budget {budget}/subst"
                 );
-                assert_eq!(
-                    subst.stats, env.stats,
-                    "{name}/{collector}/budget {budget}: backend stats disagree"
-                );
+                for backend in Backend::ALL {
+                    if backend == Backend::Subst {
+                        continue;
+                    }
+                    let run = compiled
+                        .clone()
+                        .with_backend(backend)
+                        .run(500_000_000)
+                        .unwrap_or_else(|e| {
+                            panic!("{name}/{collector}/budget {budget}/{backend}: {e}")
+                        });
+                    assert_eq!(
+                        run.result, oracle.result,
+                        "{name}/{collector}/budget {budget}/{backend}: result disagrees"
+                    );
+                    assert_eq!(
+                        run.stats, oracle.stats,
+                        "{name}/{collector}/budget {budget}/{backend}: stats disagree"
+                    );
+                }
             }
         }
     }
@@ -182,11 +191,18 @@ fn battery_small_budgets_actually_collect() {
 
 #[test]
 fn battery_audited_runs_are_byte_identical_to_unaudited_runs() {
-    // The heap auditor must be purely observational: with `verify_every`
-    // on, a clean run returns the same result, the same statistics, and a
-    // byte-identical telemetry trace.
+    // Two byte-identity contracts at once, across every backend:
+    //
+    // * the heap auditor must be purely observational — with
+    //   `verify_every` on, a clean run returns the same result, the same
+    //   statistics, and a byte-identical telemetry trace;
+    // * every backend must produce the same statistics and the same
+    //   telemetry event stream as the substitution oracle.
+    //
+    // The recorder carries no meta header here so traces from different
+    // backends are directly comparable byte-for-byte.
     fn traced_run(opts: &RunOptions, src: &str) -> (i64, ps_gc_lang::machine::Stats, String) {
-        let rec = Recorder::new().with_meta(opts.meta()).into_shared();
+        let rec = Recorder::new().into_shared();
         let mut opts = opts.clone();
         opts.observer = Some(rec.clone());
         let compiled = opts.compile(src).expect("compiles");
@@ -217,19 +233,41 @@ fn battery_audited_runs_are_byte_identical_to_unaudited_runs() {
             Collector::Forwarding,
             Collector::Generational,
         ] {
-            let mut opts = RunOptions::new(collector);
-            opts.budget = 64;
-            opts.track_types = true;
-            let (plain_result, plain_stats, plain_trace) = traced_run(&opts, src);
-            assert_eq!(plain_result, *expected, "{name}/{collector}");
-            opts.verify_every = every;
-            let (audited_result, audited_stats, audited_trace) = traced_run(&opts, src);
-            assert_eq!(audited_result, plain_result, "{name}/{collector}");
-            assert_eq!(audited_stats, plain_stats, "{name}/{collector}");
-            assert_eq!(
-                audited_trace, plain_trace,
-                "{name}/{collector}: audited trace must be byte-identical"
-            );
+            // The substitution machine is the oracle: first in ALL.
+            let mut oracle: Option<(i64, ps_gc_lang::machine::Stats, String)> = None;
+            for backend in Backend::ALL {
+                let mut opts = RunOptions::builder()
+                    .collector(collector)
+                    .budget(64)
+                    .track_types(true)
+                    .backend(backend)
+                    .build();
+                let (plain_result, plain_stats, plain_trace) = traced_run(&opts, src);
+                assert_eq!(plain_result, *expected, "{name}/{collector}/{backend}");
+                match &oracle {
+                    None => oracle = Some((plain_result, plain_stats.clone(), plain_trace.clone())),
+                    Some((r, s, t)) => {
+                        assert_eq!(plain_result, *r, "{name}/{collector}/{backend}");
+                        assert_eq!(
+                            &plain_stats, s,
+                            "{name}/{collector}/{backend}: stats differ from the oracle"
+                        );
+                        assert_eq!(
+                            &plain_trace, t,
+                            "{name}/{collector}/{backend}: telemetry must be byte-identical \
+                             to the oracle"
+                        );
+                    }
+                }
+                opts.verify_every = every;
+                let (audited_result, audited_stats, audited_trace) = traced_run(&opts, src);
+                assert_eq!(audited_result, plain_result, "{name}/{collector}/{backend}");
+                assert_eq!(audited_stats, plain_stats, "{name}/{collector}/{backend}");
+                assert_eq!(
+                    audited_trace, plain_trace,
+                    "{name}/{collector}/{backend}: audited trace must be byte-identical"
+                );
+            }
         }
     }
 }

@@ -38,7 +38,7 @@ fn help_is_generated_from_the_flag_and_command_tables() {
     let out = psgc(&["--help"]);
     assert_eq!(exit_code(&out), 0);
     let help = String::from_utf8(out.stdout).unwrap();
-    for cmd in ["run", "check", "certify", "eval"] {
+    for cmd in ["run", "check", "certify", "eval", "disasm"] {
         assert!(help.contains(cmd), "help must list command {cmd}: {help}");
     }
     for flag in [
@@ -51,6 +51,8 @@ fn help_is_generated_from_the_flag_and_command_tables() {
         "--verify-every",
         "--inject",
         "--max-heap-words",
+        "--dump-bytecode",
+        "--no-superinstructions",
         "--trace",
         "--metrics",
         "--sample",
@@ -63,7 +65,7 @@ fn help_is_generated_from_the_flag_and_command_tables() {
     for c in Collector::ALL {
         assert!(help.contains(c.name()), "help must name collector {c}");
     }
-    assert!(help.contains("subst|env"));
+    assert!(help.contains("subst|env|bytecode"));
     assert!(help.contains("fixed|adaptive"));
 }
 

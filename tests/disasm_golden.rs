@@ -1,0 +1,86 @@
+//! Golden-file test for the bytecode disassembler: `psgc disasm` must
+//! print a byte-stable instruction stream for two battery programs, in
+//! both superinstruction modes.
+//!
+//! Symbol names in the listing come from a process-global gensym counter,
+//! so stability is only guaranteed per process; the test therefore goes
+//! through the `psgc` binary (one fresh process per listing), exactly as a
+//! user would. To regenerate after an intentional instruction-set change:
+//!
+//! ```text
+//! cargo run --bin psgc -- disasm <program.lam> [--no-superinstructions]
+//! ```
+//!
+//! and redirect into `tests/golden/<name>.disasm`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const PROGRAMS: &[(&str, &str)] = &[
+    (
+        "factorial",
+        "fun fact (n : int) : int = if0 n then 1 else n * fact (n - 1)\n fact 9",
+    ),
+    (
+        "gc-stress",
+        "fun churn (n : int) : int = if0 n then 0 else \
+           (let p = ((n, n), (n, n)) in fst (fst p) - n + churn (n - 1))\n \
+         churn 60",
+    ),
+];
+
+fn disasm(src_path: &str, extra: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_psgc"))
+        .arg("disasm")
+        .arg(src_path)
+        .args(extra)
+        .output()
+        .expect("psgc runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    String::from_utf8(out.stdout).expect("disassembly is UTF-8")
+}
+
+fn golden(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.disasm"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn write_program(name: &str, src: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("psgc-disasm-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join(name);
+    std::fs::write(&path, src).expect("write program");
+    path
+}
+
+#[test]
+fn disassembly_matches_the_golden_files() {
+    for (name, src) in PROGRAMS {
+        let prog = write_program(&format!("{name}.lam"), src);
+        let prog = prog.to_str().unwrap();
+        let listing = disasm(prog, &[]);
+        assert_eq!(
+            listing,
+            golden(name),
+            "{name}: disassembly drifted from tests/golden/{name}.disasm \
+             (regenerate with `psgc disasm` if the change is intentional)"
+        );
+        // A second fresh process must reproduce the listing byte-for-byte.
+        assert_eq!(listing, disasm(prog, &[]), "{name}: listing not stable");
+    }
+
+    // The superinstruction toggle is part of the stable format: the header
+    // flips and the fused `lets`/`put-pair` forms unfuse.
+    let (name, src) = PROGRAMS[0];
+    let prog = write_program(&format!("{name}-nosuper.lam"), src);
+    let plain = disasm(prog.to_str().unwrap(), &["--no-superinstructions"]);
+    assert_eq!(
+        plain,
+        golden("factorial-nosuper"),
+        "{name}: --no-superinstructions listing drifted"
+    );
+    assert!(plain.contains("superinstructions off"), "{plain}");
+    assert!(!plain.contains("put-pair"), "{plain}");
+}

@@ -14,7 +14,7 @@
 
 use proptest::prelude::*;
 
-use scavenger::gc_lang::machine::{Machine, Outcome, Program};
+use scavenger::gc_lang::machine::{Outcome, Program, SubstMachine};
 use scavenger::gc_lang::memory::{GrowthPolicy, MemConfig};
 use scavenger::gc_lang::moper;
 use scavenger::gc_lang::reference::{self, RefSubst};
@@ -875,8 +875,8 @@ proptest! {
             track_types: false,
             max_heap_words: None,
         };
-        let mut m1 = Machine::load(&p1, config);
-        let mut m2 = Machine::load(&p2, config);
+        let mut m1 = SubstMachine::load(&p1, config);
+        let mut m2 = SubstMachine::load(&p2, config);
         let o1 = m1.run(10_000).expect("α-variant 1 runs");
         let o2 = m2.run(10_000).expect("α-variant 2 runs");
         match (o1, o2) {

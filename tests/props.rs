@@ -186,7 +186,7 @@ proptest! {
                 Collector::Generational => ps_trans::generational::translate(&clos, &image),
             }
             .expect("translate");
-            let mut m = ps_gc_lang::machine::Machine::load(
+            let mut m = ps_gc_lang::machine::SubstMachine::load(
                 &program,
                 ps_gc_lang::memory::MemConfig {
                     region_budget: 48,
@@ -242,7 +242,7 @@ proptest! {
                 Collector::Generational => ps_trans::generational::translate(&clos, &image),
             }
             .expect("translate");
-            let mut m = ps_gc_lang::machine::Machine::load(
+            let mut m = ps_gc_lang::machine::SubstMachine::load(
                 &program,
                 ps_gc_lang::memory::MemConfig {
                     region_budget: 32,
