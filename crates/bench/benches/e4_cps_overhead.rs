@@ -44,6 +44,7 @@ fn bench(c: &mut Criterion) {
                         growth: GrowthPolicy::Fixed,
                         track_types: false,
                         max_heap_words: None,
+                        page_words: 512,
                     });
                     let r = m.alloc_region();
                     let root = meta::synth_tree(&mut m, r, depth).expect("tree");

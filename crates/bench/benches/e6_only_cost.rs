@@ -19,6 +19,7 @@ fn bench(c: &mut Criterion) {
                         growth: GrowthPolicy::Fixed,
                         track_types: false,
                         max_heap_words: None,
+                        page_words: 512,
                     });
                     let mut keep = None;
                     for i in 0..n {

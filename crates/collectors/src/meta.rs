@@ -180,6 +180,7 @@ mod tests {
             growth: GrowthPolicy::Fixed,
             track_types: false,
             max_heap_words: None,
+            page_words: 512,
         })
     }
 
@@ -415,6 +416,7 @@ mod cheney_tests {
             growth: GrowthPolicy::Fixed,
             track_types: false,
             max_heap_words: None,
+            page_words: 512,
         })
     }
 

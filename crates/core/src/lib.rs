@@ -48,9 +48,11 @@ use ps_gc_lang::env_machine::EnvMachine;
 use ps_gc_lang::faults::FaultPlan;
 use ps_gc_lang::machine::{Outcome, Program, Stats, SubstMachine};
 use ps_gc_lang::memory::{GrowthPolicy, MemConfig};
+
+pub use ps_gc_lang::memory::PageStats;
 use ps_gc_lang::tyck::Checker;
 
-pub use ps_gc_lang::machine::{Backend, Machine};
+pub use ps_gc_lang::machine::{AuditMode, Backend, Machine};
 
 pub mod workloads;
 
@@ -227,7 +229,15 @@ pub struct RunOptions {
     pub inject: Option<FaultPlan>,
     /// Hard cap on live heap words; an allocation that would exceed it
     /// fails with a typed out-of-memory error (`None` = unbounded).
+    /// Accounting is page-granular: the cap is charged per page footprint,
+    /// not per object.
     pub max_heap_words: Option<usize>,
+    /// Page size of the BiBOP store, in words (rounded up to a power of
+    /// two by [`MemConfig`]).
+    pub page_words: usize,
+    /// How the periodic heap audit walks the store: incrementally over
+    /// dirtied pages (the default) or as a full walk every time.
+    pub audit: AuditMode,
     /// Enable superinstruction fusion in the bytecode backend (on by
     /// default; the toggle exists for A/B measurement). Ignored by the
     /// other backends.
@@ -249,6 +259,8 @@ impl Default for RunOptions {
             verify_every: 0,
             inject: None,
             max_heap_words: None,
+            page_words: MemConfig::default().page_words,
+            audit: AuditMode::default(),
             superinstructions: true,
         }
     }
@@ -276,6 +288,7 @@ impl RunOptions {
             growth: self.growth,
             track_types: self.track_types,
             max_heap_words: self.max_heap_words,
+            page_words: self.page_words,
         }
     }
 
@@ -409,6 +422,18 @@ impl RunOptionsBuilder {
     /// Hard cap on live heap words.
     pub fn max_heap_words(mut self, words: usize) -> RunOptionsBuilder {
         self.opts.max_heap_words = Some(words);
+        self
+    }
+
+    /// Page size of the BiBOP store, in words.
+    pub fn page_words(mut self, words: usize) -> RunOptionsBuilder {
+        self.opts.page_words = words;
+        self
+    }
+
+    /// Audit strategy for the periodic heap auditor.
+    pub fn audit(mut self, mode: AuditMode) -> RunOptionsBuilder {
+        self.opts.audit = mode;
         self
     }
 
@@ -568,6 +593,8 @@ pub struct Run {
     pub result: i64,
     /// Machine statistics (collections, words reclaimed, …).
     pub stats: Stats,
+    /// BiBOP page-store statistics at halt (`psgc --stats-pages`).
+    pub pages: PageStats,
 }
 
 impl Compiled {
@@ -641,6 +668,7 @@ impl Compiled {
             self.step_interval,
             fuel,
             0,
+            AuditMode::default(),
             None,
             true,
         )
@@ -661,6 +689,7 @@ impl Compiled {
             opts.step_interval,
             opts.fuel,
             opts.verify_every,
+            opts.audit,
             opts.inject,
             opts.superinstructions,
         )
@@ -675,6 +704,7 @@ impl Compiled {
         step_interval: u64,
         fuel: u64,
         verify_every: u64,
+        audit: AuditMode,
         inject: Option<FaultPlan>,
         superinstructions: bool,
     ) -> Result<Run, PipelineError> {
@@ -686,11 +716,17 @@ impl Compiled {
         }
         m.set_superinstructions(superinstructions);
         m.set_verify_every(verify_every);
+        m.set_audit_mode(audit);
         m.set_fault_plan(inject);
         let outcome = m.run(fuel).map_err(PipelineError::Runtime)?;
         let stats = m.stats().clone();
+        let pages = m.memory().page_stats();
         match outcome {
-            Outcome::Halted(result) => Ok(Run { result, stats }),
+            Outcome::Halted(result) => Ok(Run {
+                result,
+                stats,
+                pages,
+            }),
             Outcome::InvariantViolation(e) => Err(PipelineError::InvariantViolation(e)),
             Outcome::OutOfFuel => Err(PipelineError::OutOfFuel),
         }

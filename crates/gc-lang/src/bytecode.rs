@@ -73,7 +73,7 @@ use crate::faults::FaultPlan;
 use crate::intern::{
     intern_term, intern_ty, intern_value, tag_fv, ty_fv, value_fv, TermId, TyId, ValId,
 };
-use crate::machine::{widen_psi, Machine, Outcome, Program, Stats, StepOutcome};
+use crate::machine::{widen_psi, AuditMode, Machine, Outcome, Program, Stats, StepOutcome};
 use crate::memory::{MemConfig, Memory};
 use crate::subst::Subst;
 use crate::syntax::{
@@ -1119,6 +1119,7 @@ pub struct BcMachine {
     telem: Telemetry,
     halted: Option<i64>,
     verify_every: u64,
+    audit_mode: AuditMode,
     fault: Option<FaultPlan>,
     superinstructions: bool,
     cache: Option<Arc<CodeCache>>,
@@ -1182,6 +1183,7 @@ impl BcMachine {
             telem: Telemetry::default(),
             halted: None,
             verify_every: 0,
+            audit_mode: AuditMode::default(),
             fault: None,
             superinstructions: true,
             cache: None,
@@ -1221,6 +1223,11 @@ impl BcMachine {
     /// (`0` disables auditing, the default).
     pub fn set_verify_every(&mut self, n: u64) {
         self.verify_every = n;
+    }
+
+    /// Chooses how periodic audits walk the heap (default: incremental).
+    pub fn set_audit_mode(&mut self, mode: AuditMode) {
+        self.audit_mode = mode;
     }
 
     /// Arms a deterministic fault to be injected during [`BcMachine::run`]
@@ -1330,7 +1337,17 @@ impl BcMachine {
             }
             self.try_inject();
             if self.verify_every > 0 && self.stats.steps.is_multiple_of(self.verify_every) {
-                if let Err(e) = self.audit() {
+                let full = self.audit_mode == AuditMode::Full || self.mem.wants_full_audit();
+                let res = if full {
+                    let r = self.audit();
+                    if r.is_ok() {
+                        self.mem.note_full_audit();
+                    }
+                    r
+                } else {
+                    crate::verify::audit_dirty(&mut self.mem, self.dialect)
+                };
+                if let Err(e) = res {
                     self.telem
                         .on_invariant_violation(self.stats.steps, &e.to_string());
                     return Ok(Outcome::InvariantViolation(e));
@@ -2316,11 +2333,14 @@ impl BcMachine {
     }
 
     fn do_put(&mut self, nu: RegionName, rv: Value) -> Result<Value> {
-        let (loc, words) = self.mem.put_counted(nu, rv)?;
+        let rec = self.mem.put_counted(nu, rv)?;
         self.stats.allocations += 1;
-        self.stats.words_allocated += words as u64;
-        self.telem.on_put(nu, words, self.stats.steps);
-        Ok(Value::Addr(nu, loc))
+        self.stats.words_allocated += rec.words as u64;
+        if let Some(alloc) = rec.page {
+            self.telem.on_page_alloc(nu, alloc, self.stats.steps);
+        }
+        self.telem.on_put(nu, rec.words, self.stats.steps);
+        Ok(Value::Addr(nu, rec.loc))
     }
 }
 
@@ -2330,6 +2350,9 @@ impl Machine for BcMachine {
     }
     fn set_verify_every(&mut self, n: u64) {
         BcMachine::set_verify_every(self, n);
+    }
+    fn set_audit_mode(&mut self, mode: AuditMode) {
+        BcMachine::set_audit_mode(self, mode);
     }
     fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
         BcMachine::set_fault_plan(self, plan);

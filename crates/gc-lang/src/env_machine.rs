@@ -44,7 +44,7 @@ use std::sync::Arc;
 use crate::error::{stuck_err, ErrorKind, LangError, Result};
 use crate::faults::FaultPlan;
 use crate::intern::{intern_term, TermId};
-use crate::machine::{widen_psi, Outcome, Program, Stats, StepOutcome};
+use crate::machine::{widen_psi, AuditMode, Outcome, Program, Stats, StepOutcome};
 use crate::memory::{MemConfig, Memory};
 use crate::subst::Subst;
 use crate::syntax::{CodeDef, Dialect, Op, Region, RegionName, Tag, Term, Value};
@@ -82,6 +82,7 @@ pub struct EnvMachine {
     telem: Telemetry,
     halted: Option<i64>,
     verify_every: u64,
+    audit_mode: AuditMode,
     fault: Option<FaultPlan>,
 }
 
@@ -103,6 +104,7 @@ impl EnvMachine {
             telem: Telemetry::default(),
             halted: None,
             verify_every: 0,
+            audit_mode: AuditMode::default(),
             fault: None,
         }
     }
@@ -132,6 +134,11 @@ impl EnvMachine {
     /// (`0` disables auditing, the default).
     pub fn set_verify_every(&mut self, n: u64) {
         self.verify_every = n;
+    }
+
+    /// Chooses how periodic audits walk the heap (default: incremental).
+    pub fn set_audit_mode(&mut self, mode: AuditMode) {
+        self.audit_mode = mode;
     }
 
     /// Arms a deterministic fault to be injected during [`EnvMachine::run`]
@@ -209,7 +216,17 @@ impl EnvMachine {
             }
             self.try_inject();
             if self.verify_every > 0 && self.stats.steps.is_multiple_of(self.verify_every) {
-                if let Err(e) = self.audit() {
+                let full = self.audit_mode == AuditMode::Full || self.mem.wants_full_audit();
+                let res = if full {
+                    let r = self.audit();
+                    if r.is_ok() {
+                        self.mem.note_full_audit();
+                    }
+                    r
+                } else {
+                    crate::verify::audit_dirty(&mut self.mem, self.dialect)
+                };
+                if let Err(e) = res {
                     self.telem
                         .on_invariant_violation(self.stats.steps, &e.to_string());
                     return Ok(Outcome::InvariantViolation(e));
@@ -529,12 +546,14 @@ impl EnvMachine {
             Op::Put(rho, v) => {
                 let nu = self.resolve_name(rho)?;
                 let rv = self.env.value(v);
-                let words = crate::memory::value_words(&rv);
-                let loc = self.mem.put(nu, rv)?;
+                let rec = self.mem.put_counted(nu, rv)?;
                 self.stats.allocations += 1;
-                self.stats.words_allocated += words as u64;
-                self.telem.on_put(nu, words, self.stats.steps);
-                Ok(Value::Addr(nu, loc))
+                self.stats.words_allocated += rec.words as u64;
+                if let Some(alloc) = rec.page {
+                    self.telem.on_page_alloc(nu, alloc, self.stats.steps);
+                }
+                self.telem.on_put(nu, rec.words, self.stats.steps);
+                Ok(Value::Addr(nu, rec.loc))
             }
             Op::Get(v) => match self.env.value(v) {
                 Value::Addr(nu, loc) => Ok(self.mem.get(nu, loc)?.clone()),
@@ -558,6 +577,9 @@ impl crate::machine::Machine for EnvMachine {
     }
     fn set_verify_every(&mut self, n: u64) {
         EnvMachine::set_verify_every(self, n);
+    }
+    fn set_audit_mode(&mut self, mode: AuditMode) {
+        EnvMachine::set_audit_mode(self, mode);
     }
     fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
         EnvMachine::set_fault_plan(self, plan);
@@ -609,6 +631,7 @@ mod tests {
             growth: GrowthPolicy::Fixed,
             track_types: false,
             max_heap_words: None,
+            page_words: 8,
         }
     }
 

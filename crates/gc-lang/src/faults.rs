@@ -17,7 +17,10 @@
 //! * [`FaultKind::DoubleFree`] — reclaim a region that live data still
 //!   references;
 //! * [`FaultKind::UnderflowBudget`] — wreck a region's word budget (the
-//!   accounting underflow that makes `ifgc` lie).
+//!   accounting underflow that makes `ifgc` lie);
+//! * [`FaultKind::StalePageHeader`] — desynchronize a page header's
+//!   occupancy count from the objects the page actually holds (the BiBOP
+//!   store's version of a corrupted size field).
 //!
 //! A [`FaultPlan`] names the fault, the step at or after which to inject
 //! it, and a seed that picks the victim site deterministically (so a
@@ -51,17 +54,20 @@ pub enum FaultKind {
     DoubleFree,
     /// Drop a region's budget below the configured floor.
     UnderflowBudget,
+    /// Desynchronize a page header's occupancy count from its slots.
+    StalePageHeader,
 }
 
 impl FaultKind {
     /// All fault classes, for test matrices.
-    pub const ALL: [FaultKind; 6] = [
+    pub const ALL: [FaultKind; 7] = [
         FaultKind::RetargetPointer,
         FaultKind::ClobberForward,
         FaultKind::FlipTag,
         FaultKind::TruncateTuple,
         FaultKind::DoubleFree,
         FaultKind::UnderflowBudget,
+        FaultKind::StalePageHeader,
     ];
 
     /// The spec-string name of this fault class.
@@ -73,6 +79,7 @@ impl FaultKind {
             FaultKind::TruncateTuple => "truncate-tuple",
             FaultKind::DoubleFree => "double-free",
             FaultKind::UnderflowBudget => "underflow-budget",
+            FaultKind::StalePageHeader => "stale-page-header",
         }
     }
 }
@@ -186,6 +193,7 @@ pub fn apply(plan: &FaultPlan, mem: &mut Memory, root: &Term) -> Option<String> 
         }
         FaultKind::DoubleFree => double_free(seed, mem, root),
         FaultKind::UnderflowBudget => underflow_budget(seed, mem),
+        FaultKind::StalePageHeader => stale_page_header(seed, mem),
     }
 }
 
@@ -386,6 +394,13 @@ fn underflow_budget(seed: u64, mem: &mut Memory) -> Option<String> {
         .then(|| format!("underflowed the budget of region {nu} to 0"))
 }
 
+fn stale_page_header(seed: u64, mem: &mut Memory) -> Option<String> {
+    let pages = mem.live_page_ids();
+    let pid = pick(&pages, seed)?;
+    mem.corrupt_page_header(pid)
+        .then(|| format!("bumped the occupancy header of page {pid} past its slot count"))
+}
+
 /// The universal fallback: overwrite a reachable non-int slot with a bare
 /// int. Under Ψ tracking this always mismatches the recorded type; in the
 /// exact-accounting dialects it also breaks the word count whenever the
@@ -503,6 +518,24 @@ mod tests {
             let d2 = apply(&plan, &mut m2, &root);
             assert_eq!(d1, d2, "{kind}");
         }
+    }
+
+    #[test]
+    fn stale_page_header_is_caught_by_the_incremental_audit() {
+        let (mut mem, root) = rich_store();
+        audit_state(&mem, Dialect::Forwarding, &root).unwrap();
+        let plan = FaultPlan {
+            kind: FaultKind::StalePageHeader,
+            step: 0,
+            seed: 0,
+        };
+        apply(&plan, &mut mem, &root).expect("a live page exists");
+        let err = crate::verify::audit_dirty(&mut mem, Dialect::Forwarding)
+            .expect_err("the dirty-page audit sees the corrupted header");
+        assert!(
+            err.to_string().contains("occupancy"),
+            "unexpected detail: {err}"
+        );
     }
 
     #[test]

@@ -202,6 +202,46 @@ impl std::str::FromStr for Backend {
     }
 }
 
+/// How the periodic heap audit (`verify_every`) walks the store.
+///
+/// Incremental audits re-check only pages dirtied since the last audit
+/// ([`crate::verify::audit_dirty`]), escalating to a full walk whenever the
+/// memory demands one ([`Memory::wants_full_audit`], raised by region
+/// frees). This keeps per-step auditing within a small constant factor of
+/// an unaudited run while detecting every injected fault at the same step
+/// as the full walk — so it is the default. `Full` forces the exhaustive
+/// [`crate::verify::audit_state`] walk on every audit, as a cross-check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AuditMode {
+    /// Dirty-page audits, with full walks at reclamation boundaries.
+    #[default]
+    Incremental,
+    /// Exhaustive full-heap walk on every audit.
+    Full,
+}
+
+impl std::fmt::Display for AuditMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            AuditMode::Incremental => "incremental",
+            AuditMode::Full => "full",
+        })
+    }
+}
+
+impl std::str::FromStr for AuditMode {
+    type Err = String;
+    fn from_str(s: &str) -> std::result::Result<AuditMode, String> {
+        match s {
+            "incremental" => Ok(AuditMode::Incremental),
+            "full" => Ok(AuditMode::Full),
+            other => Err(format!(
+                "unknown audit mode {other:?} (expected incremental|full)"
+            )),
+        }
+    }
+}
+
 /// The result of running a machine to completion (or out of fuel).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Outcome {
@@ -245,6 +285,10 @@ pub trait Machine {
 
     /// Audits the heap every `n` steps during [`Machine::run`] (0 = never).
     fn set_verify_every(&mut self, n: u64);
+
+    /// Chooses how those periodic audits walk the heap (default:
+    /// [`AuditMode::Incremental`]).
+    fn set_audit_mode(&mut self, mode: AuditMode);
 
     /// Arms a fault plan; the next [`Machine::run`] injects it as soon as
     /// the step counter and heap shape allow.
@@ -298,6 +342,7 @@ pub struct SubstMachine {
     telem: Telemetry,
     halted: Option<i64>,
     verify_every: u64,
+    audit_mode: AuditMode,
     fault: Option<FaultPlan>,
 }
 
@@ -318,6 +363,7 @@ impl SubstMachine {
             telem: Telemetry::default(),
             halted: None,
             verify_every: 0,
+            audit_mode: AuditMode::default(),
             fault: None,
         }
     }
@@ -345,6 +391,11 @@ impl SubstMachine {
     /// (`0` disables auditing, the default).
     pub fn set_verify_every(&mut self, n: u64) {
         self.verify_every = n;
+    }
+
+    /// Chooses how periodic audits walk the heap (default: incremental).
+    pub fn set_audit_mode(&mut self, mode: AuditMode) {
+        self.audit_mode = mode;
     }
 
     /// Arms a deterministic fault to be injected during [`SubstMachine::run`]
@@ -409,7 +460,17 @@ impl SubstMachine {
             }
             self.try_inject();
             if self.verify_every > 0 && self.stats.steps.is_multiple_of(self.verify_every) {
-                if let Err(e) = self.audit() {
+                let full = self.audit_mode == AuditMode::Full || self.mem.wants_full_audit();
+                let res = if full {
+                    let r = self.audit();
+                    if r.is_ok() {
+                        self.mem.note_full_audit();
+                    }
+                    r
+                } else {
+                    crate::verify::audit_dirty(&mut self.mem, self.dialect)
+                };
+                if let Err(e) = res {
                     self.telem
                         .on_invariant_violation(self.stats.steps, &e.to_string());
                     return Ok(Outcome::InvariantViolation(e));
@@ -709,12 +770,14 @@ impl SubstMachine {
             },
             Op::Put(rho, v) => {
                 let nu = self.expect_name(&rho)?;
-                let words = crate::memory::value_words(&v);
-                let loc = self.mem.put(nu, v)?;
+                let rec = self.mem.put_counted(nu, v)?;
                 self.stats.allocations += 1;
-                self.stats.words_allocated += words as u64;
-                self.telem.on_put(nu, words, self.stats.steps);
-                Ok(Value::Addr(nu, loc))
+                self.stats.words_allocated += rec.words as u64;
+                if let Some(alloc) = rec.page {
+                    self.telem.on_page_alloc(nu, alloc, self.stats.steps);
+                }
+                self.telem.on_put(nu, rec.words, self.stats.steps);
+                Ok(Value::Addr(nu, rec.loc))
             }
             Op::Get(v) => match v {
                 Value::Addr(nu, loc) => Ok(self.mem.get(nu, loc)?.clone()),
@@ -745,6 +808,9 @@ impl Machine for SubstMachine {
     }
     fn set_verify_every(&mut self, n: u64) {
         SubstMachine::set_verify_every(self, n);
+    }
+    fn set_audit_mode(&mut self, mode: AuditMode) {
+        SubstMachine::set_audit_mode(self, mode);
     }
     fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
         SubstMachine::set_fault_plan(self, plan);
@@ -938,6 +1004,7 @@ mod tests {
             growth: GrowthPolicy::Fixed,
             track_types: false,
             max_heap_words: None,
+            page_words: 8,
         }
     }
 

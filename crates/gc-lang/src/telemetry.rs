@@ -46,7 +46,7 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-use crate::memory::{Memory, ReclaimReport};
+use crate::memory::{Memory, PageAlloc, ReclaimReport};
 use crate::syntax::RegionName;
 
 /// One data region's occupancy at a snapshot point.
@@ -58,6 +58,8 @@ pub struct RegionSnapshot {
     pub words: usize,
     /// Its word budget.
     pub budget: usize,
+    /// Pages the region currently holds.
+    pub pages: usize,
 }
 
 /// Captures the occupancy of every data region (the code region `cd` is
@@ -70,6 +72,7 @@ fn occupancy(mem: &Memory) -> Vec<RegionSnapshot> {
                 region: nu,
                 words: r.words(),
                 budget: r.budget(),
+                pages: r.page_count(),
             })
         })
         .collect()
@@ -97,6 +100,30 @@ pub enum GcEvent {
         words: usize,
         /// Objects that were allocated in it.
         objects: usize,
+    },
+    /// A `put` did not fit on any of the destination region's open pages,
+    /// so the store gave the region a fresh page.
+    PageAlloc {
+        step: u64,
+        /// The page's owning region.
+        region: RegionName,
+        /// The page's store-wide id.
+        page: u32,
+        /// Its size class in words (0 for a dedicated large-object page).
+        class: usize,
+        /// Its footprint against the heap cap, in words.
+        words: usize,
+    },
+    /// `only ∆` returned a page to the store's free list (one event per
+    /// freed page, emitted just before its owner's [`GcEvent::RegionFree`]).
+    PageFree {
+        step: u64,
+        /// The region that owned the page.
+        region: RegionName,
+        /// The page's store-wide id.
+        page: u32,
+        /// The footprint it gave back, in words.
+        words: usize,
     },
     /// An `ifgc` came back "full" outside an active collection: a
     /// collection is beginning.
@@ -160,6 +187,8 @@ pub enum GcEvent {
         heap_words: usize,
         /// Number of live data regions.
         regions: usize,
+        /// Number of live pages across all data regions.
+        heap_pages: usize,
     },
     /// The machine ran out of fuel.
     FuelExhausted { step: u64 },
@@ -189,6 +218,8 @@ impl GcEvent {
         match self {
             GcEvent::RegionAlloc { .. } => "region_alloc",
             GcEvent::RegionFree { .. } => "region_free",
+            GcEvent::PageAlloc { .. } => "page_alloc",
+            GcEvent::PageFree { .. } => "page_free",
             GcEvent::GcBegin { .. } => "gc_begin",
             GcEvent::Copy { .. } => "copy",
             GcEvent::GcEnd { .. } => "gc_end",
@@ -205,6 +236,8 @@ impl GcEvent {
         match self {
             GcEvent::RegionAlloc { step, .. }
             | GcEvent::RegionFree { step, .. }
+            | GcEvent::PageAlloc { step, .. }
+            | GcEvent::PageFree { step, .. }
             | GcEvent::GcBegin { step, .. }
             | GcEvent::Copy { step, .. }
             | GcEvent::GcEnd { step, .. }
@@ -241,6 +274,28 @@ impl GcEvent {
                 o.int("region", u64::from(region.0));
                 o.int("words", *words as u64);
                 o.int("objects", *objects as u64);
+            }
+            GcEvent::PageAlloc {
+                region,
+                page,
+                class,
+                words,
+                ..
+            } => {
+                o.int("region", u64::from(region.0));
+                o.int("page", u64::from(*page));
+                o.int("class", *class as u64);
+                o.int("words", *words as u64);
+            }
+            GcEvent::PageFree {
+                region,
+                page,
+                words,
+                ..
+            } => {
+                o.int("region", u64::from(region.0));
+                o.int("page", u64::from(*page));
+                o.int("words", *words as u64);
             }
             GcEvent::GcBegin {
                 collection,
@@ -295,10 +350,12 @@ impl GcEvent {
             GcEvent::Step {
                 heap_words,
                 regions,
+                heap_pages,
                 ..
             } => {
                 o.int("heap_words", *heap_words as u64);
                 o.int("regions", *regions as u64);
+                o.int("heap_pages", *heap_pages as u64);
             }
             GcEvent::FuelExhausted { .. } => {}
             GcEvent::InvariantViolation { detail, .. } => {
@@ -398,6 +455,7 @@ impl Telemetry {
                 step,
                 heap_words: mem.data_words(),
                 regions,
+                heap_pages: mem.live_pages(),
             });
         }
     }
@@ -451,6 +509,23 @@ impl Telemetry {
         });
     }
 
+    /// Hook: a `put` overflowed the region's open pages and the store
+    /// handed it a fresh page. Fires just before the `put`'s own
+    /// [`Telemetry::on_put`], from the same rule site in every backend.
+    #[inline]
+    pub fn on_page_alloc(&mut self, region: RegionName, alloc: PageAlloc, step: u64) {
+        if self.observer.is_none() {
+            return;
+        }
+        self.emit(GcEvent::PageAlloc {
+            step,
+            region,
+            page: alloc.page,
+            class: alloc.class,
+            words: alloc.footprint,
+        });
+    }
+
     /// Hook: a `put` stored `words` words into `region`.
     #[inline]
     pub fn on_put(&mut self, region: RegionName, words: usize, step: u64) {
@@ -481,6 +556,16 @@ impl Telemetry {
             return;
         }
         for (region, words, objects) in &report.dropped {
+            for (owner, page, footprint) in &report.freed_pages {
+                if owner == region {
+                    self.emit(GcEvent::PageFree {
+                        step,
+                        region: *owner,
+                        page: *page,
+                        words: *footprint,
+                    });
+                }
+            }
             self.emit(GcEvent::RegionFree {
                 step,
                 region: *region,
@@ -675,6 +760,10 @@ pub struct Metrics {
     pub regions_allocated: u64,
     /// Regions reclaimed (`RegionFree` events).
     pub regions_freed: u64,
+    /// Pages handed out by the store (`PageAlloc` events).
+    pub pages_allocated: u64,
+    /// Pages returned to the store's free list (`PageFree` events).
+    pub pages_freed: u64,
     /// Total words copied during collections.
     pub words_copied: u64,
     /// Total objects copied during collections.
@@ -704,6 +793,8 @@ impl Metrics {
                 self.max_heap_words = self.max_heap_words.max(*heap_words);
             }
             GcEvent::RegionFree { .. } => self.regions_freed += 1,
+            GcEvent::PageAlloc { .. } => self.pages_allocated += 1,
+            GcEvent::PageFree { .. } => self.pages_freed += 1,
             GcEvent::GcBegin { heap_words, .. } => {
                 self.max_heap_words = self.max_heap_words.max(*heap_words);
             }
@@ -748,6 +839,8 @@ impl Metrics {
         o.int("collections", self.collections);
         o.int("regions_allocated", self.regions_allocated);
         o.int("regions_freed", self.regions_freed);
+        o.int("pages_allocated", self.pages_allocated);
+        o.int("pages_freed", self.pages_freed);
         o.int("words_copied", self.words_copied);
         o.int("objects_copied", self.objects_copied);
         o.int("words_promoted", self.words_promoted);
@@ -769,6 +862,11 @@ impl fmt::Display for Metrics {
             f,
             "regions:           {} allocated, {} reclaimed",
             self.regions_allocated, self.regions_freed
+        )?;
+        writeln!(
+            f,
+            "pages:             {} allocated, {} reclaimed",
+            self.pages_allocated, self.pages_freed
         )?;
         writeln!(
             f,
@@ -936,8 +1034,8 @@ impl JsonObj {
             .iter()
             .map(|s| {
                 format!(
-                    "{{\"region\":{},\"words\":{},\"budget\":{}}}",
-                    s.region.0, s.words, s.budget
+                    "{{\"region\":{},\"words\":{},\"budget\":{},\"pages\":{}}}",
+                    s.region.0, s.words, s.budget, s.pages
                 )
             })
             .collect();
@@ -1003,6 +1101,25 @@ fn schema() -> &'static [(&'static str, &'static [(&'static str, FieldKind)])] {
             ],
         ),
         (
+            "page_alloc",
+            &[
+                ("step", Int),
+                ("region", Int),
+                ("page", Int),
+                ("class", Int),
+                ("words", Int),
+            ],
+        ),
+        (
+            "page_free",
+            &[
+                ("step", Int),
+                ("region", Int),
+                ("page", Int),
+                ("words", Int),
+            ],
+        ),
+        (
             "gc_begin",
             &[
                 ("step", Int),
@@ -1041,7 +1158,12 @@ fn schema() -> &'static [(&'static str, &'static [(&'static str, FieldKind)])] {
         ),
         (
             "step",
-            &[("step", Int), ("heap_words", Int), ("regions", Int)],
+            &[
+                ("step", Int),
+                ("heap_words", Int),
+                ("regions", Int),
+                ("heap_pages", Int),
+            ],
         ),
         ("fuel_exhausted", &[("step", Int)]),
         ("invariant_violation", &[("step", Int), ("detail", Str)]),
@@ -1054,6 +1176,8 @@ fn schema() -> &'static [(&'static str, &'static [(&'static str, FieldKind)])] {
                 ("collections", Int),
                 ("regions_allocated", Int),
                 ("regions_freed", Int),
+                ("pages_allocated", Int),
+                ("pages_freed", Int),
                 ("words_copied", Int),
                 ("objects_copied", Int),
                 ("words_promoted", Int),
@@ -1186,8 +1310,8 @@ mod json {
             FieldKind::Occupancy => match v {
                 Value::Arr(items) => items.iter().all(|it| match it {
                     Value::Obj(o) => {
-                        o.len() == 3
-                            && ["region", "words", "budget"]
+                        o.len() == 4
+                            && ["region", "words", "budget", "pages"]
                                 .iter()
                                 .all(|k| matches!(o.get(*k), Some(Value::Int(n)) if *n >= 0))
                     }
@@ -1394,6 +1518,7 @@ mod tests {
             growth: GrowthPolicy::Fixed,
             track_types: false,
             max_heap_words: None,
+            page_words: 8,
         })
     }
 
@@ -1440,11 +1565,13 @@ mod tests {
                 "gc_begin",
                 "region_alloc",
                 "copy",
+                "page_free",
                 "region_free",
                 "gc_end",
                 "halt"
             ]
         );
+        assert_eq!(rec.metrics.pages_freed, 1, "from-space held one page");
         assert_eq!(rec.metrics.collections, 1);
         assert_eq!(rec.metrics.words_copied, 2);
         assert_eq!(rec.metrics.objects_copied, 1);
@@ -1453,7 +1580,7 @@ mod tests {
             "to-space is new: no promotion"
         );
         assert_eq!(rec.metrics.words_reclaimed, 4);
-        match &rec.events[5] {
+        match &rec.events[6] {
             GcEvent::GcEnd {
                 to_space_words,
                 gc_steps,
@@ -1562,6 +1689,35 @@ mod tests {
         let backwards = "{\"event\":\"fuel_exhausted\",\"step\":5}\n\
                          {\"event\":\"fuel_exhausted\",\"step\":4}";
         assert!(validate_jsonl_trace(backwards).is_err());
+    }
+
+    #[test]
+    fn page_events_roundtrip_through_the_validator() {
+        let rec = Recorder::new().into_shared();
+        let mut t = Telemetry::default();
+        t.attach(rec.clone(), 1);
+        let mut m = mem();
+        let r = m.alloc_region();
+        t.on_region_alloc(r, &m, 1);
+        let put = m.put_counted(r, Value::Int(9)).unwrap();
+        let alloc = put.page.expect("first put opens a page");
+        t.on_page_alloc(r, alloc, 2);
+        t.on_step(3, &m);
+        let report = m.only(&[]);
+        t.on_only(&report, &m, 4);
+        t.on_halt(0, 5);
+
+        let trace = rec.borrow().to_jsonl();
+        let summary = validate_jsonl_trace(&trace).expect("trace validates");
+        assert_eq!(summary.count("page_alloc"), 1);
+        assert_eq!(summary.count("page_free"), 1);
+        let rec = rec.borrow();
+        assert_eq!(rec.metrics.pages_allocated, 1);
+        assert_eq!(rec.metrics.pages_freed, 1);
+        assert!(matches!(
+            rec.events.iter().find(|e| e.name() == "step"),
+            Some(GcEvent::Step { heap_pages: 1, .. })
+        ));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! * `let region r` requires `r` not already in scope (the paper assumes
 //!   unique binders, Appendix A).
 
+use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -105,35 +106,38 @@ impl Ctx {
 /// assert!(Checker::check_program(&bad).is_err());
 /// ```
 #[derive(Clone, Debug)]
-pub struct Checker {
+pub struct Checker<'p> {
     dialect: Dialect,
-    psi: PsiTable,
+    psi: Cow<'p, PsiTable>,
 }
 
-impl Checker {
+impl<'p> Checker<'p> {
     /// A checker with an empty `Ψ` (for standalone code).
-    pub fn new(dialect: Dialect) -> Checker {
+    pub fn new(dialect: Dialect) -> Checker<'static> {
         Checker {
             dialect,
-            psi: PsiTable::new(),
+            psi: Cow::Owned(PsiTable::new()),
         }
     }
 
     /// A checker with an explicit `Ψ`.
-    pub fn with_psi(dialect: Dialect, psi: PsiTable) -> Checker {
-        Checker { dialect, psi }
+    pub fn with_psi(dialect: Dialect, psi: PsiTable) -> Checker<'static> {
+        Checker {
+            dialect,
+            psi: Cow::Owned(psi),
+        }
     }
 
-    /// A checker whose `Ψ` is taken from a machine memory (which must have
-    /// been created with type tracking on).
-    pub fn from_memory(dialect: Dialect, mem: &Memory) -> Checker {
-        let mut psi = PsiTable::new();
-        for nu in mem.region_names() {
-            if let Some(entries) = mem.psi_region(nu) {
-                psi.insert(nu, entries.clone());
-            }
+    /// A checker whose `Ψ` is borrowed from a machine memory (which must
+    /// have been created with type tracking on). Borrowing instead of
+    /// cloning is what keeps the incremental heap audit O(dirty work): the
+    /// auditor builds one of these per audit, and a deep `Ψ` copy every
+    /// step would dwarf the checks themselves.
+    pub fn from_memory(dialect: Dialect, mem: &Memory) -> Checker<'_> {
+        Checker {
+            dialect,
+            psi: Cow::Borrowed(mem.psi_table()),
         }
-        Checker { dialect, psi }
     }
 
     /// The dialect being checked.
@@ -151,7 +155,7 @@ impl Checker {
     }
 
     /// `Ψ|∆′` — restrict to the given names plus `cd`.
-    fn restrict_psi(&self, keep: &BTreeSet<Region>) -> Checker {
+    fn restrict_psi(&self, keep: &BTreeSet<Region>) -> Checker<'static> {
         let psi = self
             .psi
             .iter()
@@ -160,7 +164,7 @@ impl Checker {
             .collect();
         Checker {
             dialect: self.dialect,
-            psi,
+            psi: Cow::Owned(psi),
         }
     }
 
@@ -1250,7 +1254,7 @@ mod tests {
         Symbol::intern(x)
     }
 
-    fn basic() -> Checker {
+    fn basic() -> Checker<'static> {
         Checker::new(Dialect::Basic)
     }
 

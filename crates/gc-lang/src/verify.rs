@@ -36,7 +36,7 @@
 use std::collections::HashSet;
 
 use crate::error::{wf_err, Result};
-use crate::memory::{value_words, Memory};
+use crate::memory::{value_words, Memory, PageView};
 use crate::syntax::{Dialect, RegionName, Term, Value, CD};
 use crate::tyck::{Checker, Ctx};
 use crate::wf;
@@ -52,10 +52,149 @@ use crate::wf;
 pub fn audit_state(mem: &Memory, dialect: Dialect, root: &Term) -> Result<()> {
     audit_cd(mem)?;
     audit_budgets(mem)?;
+    audit_pages(mem)?;
     audit_words(mem, dialect)?;
     audit_pointers(mem, root)?;
     if mem.config().track_types {
         audit_psi(mem, dialect, root)?;
+    }
+    Ok(())
+}
+
+/// Incremental audit: re-checks only the pages dirtied since the last
+/// acknowledged audit, then clears the dirty set. Region budgets are always
+/// checked (they live outside pages); header consistency, word accounting,
+/// pointer validity, and `Ψ` conformance are checked per dirty page/slot.
+///
+/// Soundness relies on [`Memory::wants_full_audit`]: region frees raise it,
+/// and callers must run [`audit_state`] (a full walk) before resuming
+/// incremental audits — between full audits no region dies, so a dangling
+/// pointer can only have been *written*, i.e. it sits in a dirty slot.
+///
+/// Unlike the full walk, no reachability root is needed: every dirty slot is
+/// checked unconditionally (a superset of the reachable dirty slots), which
+/// is sound because the C-form `Ψ` types accept forwarding installs.
+///
+/// # Errors
+///
+/// Returns a [`crate::error::ErrorKind::WellFormedness`] error describing
+/// the first violated invariant. On error the dirty set is left intact so
+/// diagnostics can inspect it.
+pub fn audit_dirty(mem: &mut Memory, dialect: Dialect) -> Result<()> {
+    audit_dirty_inner(mem, dialect)?;
+    mem.note_dirty_audit();
+    Ok(())
+}
+
+fn audit_dirty_inner(mem: &Memory, dialect: Dialect) -> Result<()> {
+    audit_budgets(mem)?;
+    let mut typing: Option<(Checker, Ctx)> = None;
+    let mut work: Vec<(RegionName, u32)> = Vec::new();
+    for pid in mem.dirty_page_ids() {
+        let Some(page) = mem.page(pid) else {
+            // Freed since it was dirtied; the pending full audit covers it.
+            continue;
+        };
+        page_header_check(mem, pid, &page)?;
+        page_word_check(pid, &page, dialect)?;
+        let nu = page.owner();
+        for slot in page.dirty_slots() {
+            let Some(stored) = page.slot(slot) else {
+                continue;
+            };
+            let loc = page.loc_of(slot);
+            // Pointer validity: everything a dirty slot references must
+            // resolve to a live slot.
+            work.clear();
+            wf::collect_value_addrs(stored, &mut work);
+            for &(tnu, tloc) in &work {
+                if let Err(e) = mem.get(tnu, tloc) {
+                    return Err(wf_err(format!(
+                        "pointer {tnu}.{tloc} stored in dirty slot {nu}.{loc} \
+                         is dangling: {e}"
+                    )));
+                }
+            }
+            if mem.config().track_types {
+                let (checker, ctx) = typing.get_or_insert_with(|| {
+                    let checker = Checker::from_memory(dialect, mem);
+                    let mut ctx = Ctx::empty();
+                    ctx.delta = checker.psi_domain();
+                    (checker, ctx)
+                });
+                let Some(entry) = mem.psi_entry(nu, loc) else {
+                    // Dead garbage discarded by widen (Def. 7.1) — only the
+                    // forwarding dialect may have Ψ-less slots.
+                    if dialect == Dialect::Forwarding {
+                        continue;
+                    }
+                    return Err(wf_err(format!("slot {nu}.{loc} has no Ψ entry")));
+                };
+                checker.check_value(ctx, stored, entry).map_err(|e| {
+                    wf_err(format!("slot {nu}.{loc} does not match its Ψ type: {e}"))
+                })?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Header consistency over every live page (part of the full walk).
+fn audit_pages(mem: &Memory) -> Result<()> {
+    for pid in mem.live_page_ids() {
+        let Some(page) = mem.page(pid) else {
+            continue;
+        };
+        page_header_check(mem, pid, &page)?;
+    }
+    Ok(())
+}
+
+/// One page's header against its storage and its owner's page list.
+fn page_header_check(mem: &Memory, pid: u32, page: &PageView<'_>) -> Result<()> {
+    let nu = page.owner();
+    let Some(region) = mem.region(nu) else {
+        return Err(wf_err(format!(
+            "page {pid} is owned by reclaimed region {nu}"
+        )));
+    };
+    if region.page_ids().get(page.ordinal() as usize) != Some(&pid) {
+        return Err(wf_err(format!(
+            "page {pid} claims ordinal {} of region {nu}, which does not \
+             point back at it",
+            page.ordinal()
+        )));
+    }
+    if page.len() > page.capacity() as usize {
+        return Err(wf_err(format!(
+            "page {pid} holds {} objects but has capacity {}",
+            page.len(),
+            page.capacity()
+        )));
+    }
+    if page.occupancy() as usize != page.len() {
+        return Err(wf_err(format!(
+            "page {pid} header records occupancy {} but it holds {} objects",
+            page.occupancy(),
+            page.len()
+        )));
+    }
+    Ok(())
+}
+
+/// One page's recorded live words against its slots (the per-page face of
+/// check 3; λGCforw's in-place shrinking `set` makes it an upper bound).
+fn page_word_check(pid: u32, page: &PageView<'_>, dialect: Dialect) -> Result<()> {
+    let recomputed: usize = page.slots().map(value_words).sum();
+    let recorded = page.live_words();
+    let bad = match dialect {
+        Dialect::Forwarding => recomputed > recorded,
+        Dialect::Basic | Dialect::Generational => recomputed != recorded,
+    };
+    if bad {
+        return Err(wf_err(format!(
+            "page {pid} records {recorded} words but its slots hold {recomputed}"
+        )));
     }
     Ok(())
 }
@@ -198,6 +337,7 @@ mod tests {
             growth: GrowthPolicy::Fixed,
             track_types: track,
             max_heap_words: None,
+            page_words: 8,
         }
     }
 
@@ -314,5 +454,108 @@ mod tests {
         mem.set(nu, 0, Value::inr(Value::Addr(nu, 0))).unwrap();
         audit_words(&mem, Dialect::Forwarding).unwrap();
         assert!(audit_words(&mem, Dialect::Basic).is_err());
+    }
+
+    #[test]
+    fn stale_page_header_is_detected_by_full_audit() {
+        let mut mem = Memory::new(config(false));
+        let nu = mem.alloc_region();
+        mem.put(nu, Value::Int(1)).unwrap();
+        let root = Term::Halt(Value::Int(0));
+        audit_state(&mem, Dialect::Basic, &root).unwrap();
+        let pid = mem.live_page_ids()[0];
+        assert!(mem.corrupt_page_header(pid));
+        let err = audit_state(&mem, Dialect::Basic, &root).unwrap_err();
+        assert!(err.to_string().contains("occupancy"), "{err}");
+    }
+
+    #[test]
+    fn dirty_audit_passes_clean_and_detects_stale_header() {
+        let mut mem = Memory::new(config(false));
+        let nu = mem.alloc_region();
+        mem.put(nu, Value::Int(1)).unwrap();
+        audit_dirty(&mut mem, Dialect::Basic).unwrap();
+        assert!(
+            mem.dirty_page_ids().is_empty(),
+            "a passing audit acknowledges"
+        );
+        let pid = mem.live_page_ids()[0];
+        assert!(mem.corrupt_page_header(pid));
+        let err = audit_dirty(&mut mem, Dialect::Basic).unwrap_err();
+        assert!(err.to_string().contains("occupancy"), "{err}");
+        assert_eq!(
+            mem.dirty_page_ids(),
+            vec![pid],
+            "a failing audit leaves the dirty set for diagnostics"
+        );
+    }
+
+    #[test]
+    fn dirty_audit_detects_truncation_in_a_dirty_slot() {
+        let mut mem = Memory::new(config(false));
+        let nu = mem.alloc_region();
+        mem.put(nu, Value::pair(Value::Int(1), Value::Int(2)))
+            .unwrap();
+        audit_dirty(&mut mem, Dialect::Basic).unwrap();
+        mem.set(nu, 0, Value::Int(7)).unwrap();
+        let err = audit_dirty(&mut mem, Dialect::Basic).unwrap_err();
+        assert!(err.to_string().contains("words"), "{err}");
+    }
+
+    #[test]
+    fn dirty_audit_detects_dangling_pointer_written_into_a_slot() {
+        let mut mem = Memory::new(config(false));
+        let nu = mem.alloc_region();
+        mem.put(nu, Value::Int(1)).unwrap();
+        audit_dirty(&mut mem, Dialect::Basic).unwrap();
+        // Write a pointer past the end of the region (word counts stay
+        // right: both values are one word).
+        mem.set(nu, 0, Value::Addr(nu, 77)).unwrap();
+        let err = audit_dirty(&mut mem, Dialect::Basic).unwrap_err();
+        assert!(err.to_string().contains("dangling"), "{err}");
+    }
+
+    #[test]
+    fn dirty_audit_detects_tag_flip_under_psi_tracking() {
+        let mut mem = Memory::new(config(true));
+        let nu = mem.alloc_region();
+        mem.put(nu, Value::inl(Value::Int(3))).unwrap();
+        audit_dirty(&mut mem, Dialect::Forwarding).unwrap();
+        mem.set(nu, 0, Value::inr(Value::Int(3))).unwrap();
+        let err = audit_dirty(&mut mem, Dialect::Forwarding).unwrap_err();
+        assert!(err.to_string().contains("Ψ"), "{err}");
+    }
+
+    #[test]
+    fn dirty_audit_skips_clean_slots() {
+        let mut mem = Memory::new(config(false));
+        let nu = mem.alloc_region();
+        mem.put(nu, Value::pair(Value::Int(1), Value::Int(2)))
+            .unwrap();
+        let loc2 = mem
+            .put(nu, Value::pair(Value::Int(3), Value::Int(4)))
+            .unwrap();
+        audit_dirty(&mut mem, Dialect::Basic).unwrap();
+        // Corrupt slot 0 *without* dirtying it is impossible through the
+        // public API; instead verify that dirtying only slot 2 audits only
+        // slot 2 (the truncation there is found, proving the walk ran).
+        mem.set(nu, loc2, Value::Int(9)).unwrap();
+        let err = audit_dirty(&mut mem, Dialect::Basic).unwrap_err();
+        assert!(err.to_string().contains("words"), "{err}");
+    }
+
+    #[test]
+    fn frees_route_to_the_full_walk() {
+        let mut m = paused_machine(false);
+        let nu = m
+            .memory()
+            .region_names()
+            .find(|n| !n.is_cd())
+            .expect("data region");
+        assert!(m.memory_mut().force_free_region(nu));
+        assert!(m.memory().wants_full_audit());
+        // The full walk sees the dangling address still live in the term.
+        let err = audit_state(m.memory(), Dialect::Basic, m.term()).unwrap_err();
+        assert!(err.to_string().contains("dangling"), "{err}");
     }
 }

@@ -263,6 +263,7 @@ mod tests {
             growth: GrowthPolicy::Fixed,
             track_types: true,
             max_heap_words: None,
+            page_words: 8,
         }
     }
 

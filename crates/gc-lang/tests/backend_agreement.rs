@@ -336,6 +336,7 @@ fn lockstep_with_budget(program: &Program, region_budget: usize) {
         growth: GrowthPolicy::Fixed,
         track_types: false,
         max_heap_words: None,
+        page_words: 512,
     };
     assert_eq!(Backend::ALL[0], Backend::Subst, "the oracle leads ALL");
     // Every machine gets a recorder (sampling on, to cover `Step` events);
@@ -484,6 +485,7 @@ fn audited_run(
         growth: GrowthPolicy::Fixed,
         track_types: true,
         max_heap_words: None,
+        page_words: 512,
     };
     let rec = Recorder::new().into_shared();
     let mut m = backend.load(program, config);

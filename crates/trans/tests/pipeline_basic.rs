@@ -34,6 +34,7 @@ fn run_with_budget(program: &Program, budget: usize) -> (i64, u64) {
             growth: GrowthPolicy::Adaptive,
             track_types: false,
             max_heap_words: None,
+            page_words: 512,
         },
     );
     match m.run(50_000_000).unwrap() {
@@ -94,6 +95,7 @@ fn collections_reclaim_garbage() {
             growth: GrowthPolicy::Adaptive,
             track_types: false,
             max_heap_words: None,
+            page_words: 512,
         },
     );
     assert!(matches!(m.run(50_000_000).unwrap(), Outcome::Halted(0)));
@@ -126,6 +128,7 @@ fn preservation_holds_across_a_collection() {
             growth: GrowthPolicy::Adaptive,
             track_types: true,
             max_heap_words: None,
+            page_words: 512,
         },
     );
     check_state(

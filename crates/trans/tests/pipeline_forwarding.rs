@@ -32,6 +32,7 @@ fn run_with_budget(program: &Program, budget: usize) -> (i64, ps_gc_lang::machin
             growth: GrowthPolicy::Adaptive,
             track_types: false,
             max_heap_words: None,
+            page_words: 512,
         },
     );
     match m.run(50_000_000).unwrap() {
@@ -96,6 +97,7 @@ fn preservation_through_widen_and_forwarding() {
             growth: GrowthPolicy::Adaptive,
             track_types: true,
             max_heap_words: None,
+            page_words: 512,
         },
     );
     check_state(

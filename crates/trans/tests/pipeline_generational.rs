@@ -32,6 +32,7 @@ fn run_with_budget(program: &Program, budget: usize) -> (i64, ps_gc_lang::machin
             growth: GrowthPolicy::Adaptive,
             track_types: false,
             max_heap_words: None,
+            page_words: 512,
         },
     );
     match m.run(100_000_000).unwrap() {
@@ -93,6 +94,7 @@ fn minor_collections_do_not_copy_old_data() {
             growth: GrowthPolicy::Adaptive,
             track_types: false,
             max_heap_words: None,
+            page_words: 512,
         },
     );
     assert!(matches!(m.run(100_000_000).unwrap(), Outcome::Halted(0)));
@@ -122,6 +124,7 @@ fn preservation_through_a_minor_collection() {
             growth: GrowthPolicy::Adaptive,
             track_types: true,
             max_heap_words: None,
+            page_words: 512,
         },
     );
     check_state(
@@ -164,6 +167,7 @@ fn major_collections_run_when_the_old_region_fills() {
             growth: GrowthPolicy::Adaptive,
             track_types: false,
             max_heap_words: None,
+            page_words: 512,
         },
     );
     let Outcome::Halted(n) = m.run(200_000_000).unwrap() else {
@@ -203,6 +207,7 @@ fn preservation_through_a_major_collection() {
             growth: GrowthPolicy::Adaptive,
             track_types: true,
             max_heap_words: None,
+            page_words: 512,
         },
     );
     let mut steps = 0u64;

@@ -68,6 +68,7 @@ fn time_tracked_run(compiled: &Compiled, budget: usize) -> (u64, f64) {
         growth: GrowthPolicy::Adaptive,
         track_types: true,
         max_heap_words: None,
+        page_words: 512,
     };
     let mut best = f64::INFINITY;
     let mut steps = 0;

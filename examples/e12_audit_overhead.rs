@@ -16,11 +16,14 @@
 use std::time::Instant;
 
 use scavenger::workloads::{compile_ast, live_dag_churn, live_tree_churn};
-use scavenger::{Backend, Collector, Compiled, RunOptions};
+use scavenger::{AuditMode, Backend, Collector, Compiled, RunOptions};
 
 /// Times one full run of `c` at the given audit interval. Ψ tracking is on
 /// in all configurations so the bare run pays the same bookkeeping and the
-/// difference is the audit alone.
+/// difference is the audit alone. The audit strategy is pinned to the full
+/// walk: E12 has always measured the exhaustive `⊢ M : Ψ` re-derivation,
+/// and the incremental dirty-page auditor (now the default; measured by
+/// E15) would otherwise replace it silently.
 fn timed_run(c: &Compiled, budget: usize, backend: Backend, every: u64) -> (u64, f64) {
     let opts = RunOptions::builder()
         .collector(Collector::Basic) // collector ignored by run_with
@@ -28,6 +31,7 @@ fn timed_run(c: &Compiled, budget: usize, backend: Backend, every: u64) -> (u64,
         .backend(backend)
         .track_types(true)
         .verify_every(every)
+        .audit(AuditMode::Full)
         .build();
     let t0 = Instant::now();
     let run = c.run_with(&opts).expect("runs");

@@ -1,0 +1,150 @@
+//! E15 — incremental (dirty-page) heap auditing: per-step audit cost with
+//! the BiBOP page store's dirty tracking versus the full walk E12 measures.
+//!
+//! The full auditor re-derives Fig. 7's `⊢ M : Ψ` judgement from scratch:
+//! a reachability walk from the live term plus whole-heap word accounting
+//! and (under `track_types`) a Ψ conformance sweep — hundreds of × at
+//! `--verify-every 1` (E12). The incremental auditor instead checks only
+//! the pages dirtied since the previous audit: header and word accounting
+//! for each dirty page, and dangling-pointer + Ψ conformance for each
+//! dirty slot. Between collection boundaries no region dies, so a dangling
+//! pointer or ill-typed slot can only appear where something was written;
+//! frees schedule one full walk at the next audit. Same faults caught, at
+//! a cost proportional to the write rate instead of the heap.
+//!
+//! This example times identical compiled programs (Ψ tracking on in all
+//! configurations) bare, with the incremental auditor every step, and with
+//! the full walk every step, on E12's workloads plus the battery's
+//! allocation-heavy churn program.
+//!
+//! ```text
+//! cargo run --release --example e15_incremental_audit
+//! ```
+
+use std::time::Instant;
+
+use scavenger::workloads::{compile_ast, live_dag_churn, live_tree_churn};
+use scavenger::{AuditMode, Backend, Collector, Compiled, RunOptions};
+
+/// Times one full run of `c` with the given audit configuration; `every`
+/// 0 is the bare run (the `audit` strategy is then never consulted).
+fn timed_run(
+    c: &Compiled,
+    budget: usize,
+    backend: Backend,
+    every: u64,
+    audit: AuditMode,
+) -> (u64, f64) {
+    let opts = RunOptions::builder()
+        .collector(Collector::Basic) // collector ignored by run_with
+        .budget(budget)
+        .backend(backend)
+        .track_types(true)
+        .verify_every(every)
+        .audit(audit)
+        .build();
+    let t0 = Instant::now();
+    let run = c.run_with(&opts).expect("runs");
+    (run.stats.steps, t0.elapsed().as_secs_f64())
+}
+
+/// Best-of-n wall seconds for bare / incremental n=1 / full n=1, reps
+/// interleaved so all three samples see the same scheduler conditions.
+fn best_times(c: &Compiled, budget: usize, backend: Backend, reps: u32) -> (u64, [f64; 3]) {
+    let configs = [
+        (0u64, AuditMode::Incremental), // bare; strategy unused
+        (1, AuditMode::Incremental),
+        (1, AuditMode::Full),
+    ];
+    let mut best = [f64::INFINITY; 3];
+    let mut steps = 0;
+    for _ in 0..reps {
+        for (i, (every, audit)) in configs.into_iter().enumerate() {
+            let (s, secs) = timed_run(c, budget, backend, every, audit);
+            if i == 0 {
+                steps = s;
+            } else {
+                assert_eq!(s, steps, "the audit must not change the step count");
+            }
+            best[i] = best[i].min(secs);
+        }
+    }
+    (steps, best)
+}
+
+fn main() {
+    println!("E15: incremental dirty-page auditing vs the full walk, verify-every 1");
+    println!(
+        "{:<34} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7}",
+        "workload", "steps", "bare ms", "inc ms", "full ms", "x(inc)", "x(full)"
+    );
+    let churn = "fun churn (n : int) : int = if0 n then 0 else \
+                 (let p = ((n, n), (n, n)) in fst (fst p) - n + churn (n - 1))\n \
+                 churn 60";
+    let mut cases: Vec<(String, Compiled, usize)> = [3u32, 5]
+        .iter()
+        .map(|&depth| {
+            let budget = (2usize << depth) + 96;
+            (
+                format!("tree depth {depth} / basic"),
+                compile_ast(&live_tree_churn(depth, 15), Collector::Basic, budget),
+                budget,
+            )
+        })
+        .chain([4u32].iter().map(|&depth| {
+            let budget = (2usize << depth) + 96;
+            (
+                format!("dag depth {depth} / forwarding"),
+                compile_ast(&live_dag_churn(depth, 15), Collector::Forwarding, budget),
+                budget,
+            )
+        }))
+        .chain([4u32].iter().map(|&depth| {
+            let budget = (2usize << depth) + 96;
+            (
+                format!("tree depth {depth} / generational"),
+                compile_ast(&live_tree_churn(depth, 15), Collector::Generational, budget),
+                budget,
+            )
+        }))
+        .collect();
+    for collector in [Collector::Basic, Collector::Generational] {
+        let compiled = RunOptions::builder()
+            .collector(collector)
+            .budget(64)
+            .build()
+            .compile(churn)
+            .expect("battery churn compiles");
+        cases.push((format!("battery gc-stress / {collector}"), compiled, 64));
+    }
+    for backend in Backend::ALL {
+        let (mut geo_inc, mut geo_full) = (0.0f64, 0.0f64);
+        let mut n = 0u32;
+        println!("\nbackend: {backend}");
+        for (name, compiled, budget) in &cases {
+            let (steps, [bare, inc, full]) = best_times(compiled, *budget, backend, 3);
+            let (xi, xf) = (inc / bare, full / bare);
+            geo_inc += xi.ln();
+            geo_full += xf.ln();
+            n += 1;
+            println!(
+                "{name:<34} {steps:>9} {:>9.2} {:>9.2} {:>9.2} {xi:>7.2} {xf:>7.2}",
+                bare * 1e3,
+                inc * 1e3,
+                full * 1e3
+            );
+        }
+        println!(
+            "geometric-mean slowdown at n=1: {:.2}x incremental, {:.2}x full walk",
+            (geo_inc / f64::from(n)).exp(),
+            (geo_full / f64::from(n)).exp()
+        );
+    }
+    println!(
+        "\nThe byte-identity of incremental-audited, full-audited, and bare\n\
+         runs (results, Stats, telemetry) is asserted by the battery and\n\
+         backend-agreement suites; the fault-injection matrix asserts both\n\
+         strategies catch every fault class at the same step. This example\n\
+         measures only the wall-clock cost."
+    );
+}

@@ -49,6 +49,7 @@ fn main() -> Result<(), PipelineError> {
             growth: GrowthPolicy::Fixed,
             track_types: false,
             max_heap_words: None,
+            page_words: 512,
         };
         // Share-oblivious copy.
         let mut m1 = Memory::new(config);

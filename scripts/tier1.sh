@@ -21,6 +21,19 @@ trap 'rm -f "$tmp"' EXIT
 printf 'fun build (n : int) : int * int = if0 n then (0, 0) else (let rest = build (n - 1) in (n + fst rest, n))\n fst (build 24)' > "$tmp"
 ./target/release/psgc run "$tmp" --backend bytecode --verify-every 64 --budget 64 --stats >/dev/null
 ./target/release/psgc disasm "$tmp" >/dev/null
+# The incremental (dirty-page) auditor at full blast: the same program
+# audited every step must be byte-identical to the unaudited run — stdout,
+# stats, metrics, page counters — on every backend. `cmp` on the whole
+# observable output is the gate.
+for backend in subst env bytecode; do
+  plain="$(./target/release/psgc run "$tmp" --backend "$backend" --budget 64 --stats --stats-pages --metrics 2>&1)"
+  audited="$(./target/release/psgc run "$tmp" --backend "$backend" --budget 64 --verify-every 1 --audit incremental --stats --stats-pages --metrics 2>&1)"
+  if [ "$plain" != "$audited" ]; then
+    echo "tier-1: incremental audit changed observable output on $backend" >&2
+    diff <(printf '%s\n' "$plain") <(printf '%s\n' "$audited") >&2 || true
+    exit 1
+  fi
+done
 cargo test -q --test disasm_golden
 cargo clippy --workspace -- -D warnings
 # Panic audit: the language runtime and the collectors must stay free of

@@ -21,7 +21,7 @@ use std::process::ExitCode;
 use scavenger::gc_lang::faults::FaultPlan;
 use scavenger::gc_lang::memory::GrowthPolicy;
 use scavenger::telemetry::{Recorder, SharedObserver};
-use scavenger::{Backend, Collector, PipelineError, RunOptions};
+use scavenger::{AuditMode, Backend, Collector, PipelineError, RunOptions};
 
 const EXIT_RUNTIME: u8 = 1;
 const EXIT_USAGE: u8 = 2;
@@ -48,6 +48,7 @@ struct Cli {
     opts: RunOptions,
     stats: bool,
     stats_intern: bool,
+    stats_pages: bool,
     metrics: bool,
     trace: Option<String>,
     dump_bytecode: bool,
@@ -77,7 +78,7 @@ fn parse_number<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> 
         .map_err(|_| format!("invalid value {v:?} for {flag} (expected a number)"))
 }
 
-fn flag_specs() -> [FlagSpec; 16] {
+fn flag_specs() -> [FlagSpec; 19] {
     [
         FlagSpec {
             name: "--collector",
@@ -143,6 +144,15 @@ fn flag_specs() -> [FlagSpec; 16] {
             },
         },
         FlagSpec {
+            name: "--audit",
+            metavar: Some(|| alts([AuditMode::Incremental, AuditMode::Full])),
+            help: "audit strategy for --verify-every (default incremental)",
+            apply: |c, v| {
+                c.opts.audit = v.parse()?;
+                Ok(())
+            },
+        },
+        FlagSpec {
             name: "--inject",
             metavar: Some(|| "KIND@STEP[:SEED]".into()),
             help: "inject a deterministic heap fault (e.g. flip-tag@100:7)",
@@ -157,6 +167,15 @@ fn flag_specs() -> [FlagSpec; 16] {
             help: "fail with a typed out-of-memory error past this many live words",
             apply: |c, v| {
                 c.opts.max_heap_words = Some(parse_number(v, "--max-heap-words")?);
+                Ok(())
+            },
+        },
+        FlagSpec {
+            name: "--page-words",
+            metavar: Some(|| "WORDS".into()),
+            help: "page size of the BiBOP store in words (default 512, rounded to a power of two)",
+            apply: |c, v| {
+                c.opts.page_words = parse_number(v, "--page-words")?;
                 Ok(())
             },
         },
@@ -220,6 +239,15 @@ fn flag_specs() -> [FlagSpec; 16] {
             help: "print tag/type/term/value interner occupancy, memo sizes, and skip counts",
             apply: |c, _| {
                 c.stats_intern = true;
+                Ok(())
+            },
+        },
+        FlagSpec {
+            name: "--stats-pages",
+            metavar: None,
+            help: "print BiBOP page-store statistics after the run",
+            apply: |c, _| {
+                c.stats_pages = true;
                 Ok(())
             },
         },
@@ -493,6 +521,16 @@ fn cmd_run(cli: &mut Cli, src: &str, check_only: bool) -> ExitCode {
                 eprintln!("collections:      {}", s.collections);
                 eprintln!("words reclaimed:  {}", s.words_reclaimed);
                 eprintln!("peak live words:  {}", s.peak_data_words);
+            }
+            if cli.stats_pages {
+                let p = &run.pages;
+                eprintln!("page words:       {}", p.page_words);
+                eprintln!(
+                    "pages:            {} allocated, {} freed, {} live (peak {})",
+                    p.allocated, p.freed, p.live, p.peak_live
+                );
+                eprintln!("reserved words:   {}", p.reserved_words);
+                eprintln!("live data words:  {}", p.live_data_words);
             }
             if cli.stats_intern {
                 print_intern_stats();

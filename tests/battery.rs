@@ -9,7 +9,7 @@
 //! named.
 
 use scavenger::telemetry::Recorder;
-use scavenger::{Backend, Collector, Pipeline, RunOptions};
+use scavenger::{AuditMode, Backend, Collector, Pipeline, RunOptions};
 
 const PROGRAMS: &[(&str, &str, i64)] = &[
     ("arith", "1 + 2 * 3 - 4", 3),
@@ -211,8 +211,11 @@ fn battery_audited_runs_are_byte_identical_to_unaudited_runs() {
         (run.result, run.stats, jsonl)
     }
 
-    // Full-strength audit (every step, Ψ tracked) on the quick programs; a
-    // sparse audit on an allocation-heavy one so collections are covered.
+    // The incremental (dirty-page) auditor is cheap enough to run at full
+    // blast on EVERY battery program; the full-walk mode is additionally
+    // compared on the quick programs (every step) and on an
+    // allocation-heavy one (sparsely — the full walk is the expensive
+    // strategy the incremental auditor exists to replace).
     let quick = [
         "arith",
         "pairs",
@@ -221,12 +224,12 @@ fn battery_audited_runs_are_byte_identical_to_unaudited_runs() {
         "curried-add",
     ];
     for (name, src, expected) in PROGRAMS {
-        let every = if quick.contains(name) {
-            1
+        let full_every = if quick.contains(name) {
+            Some(1)
         } else if *name == "gc-stress" {
-            64
+            Some(64)
         } else {
-            continue;
+            None
         };
         for collector in [
             Collector::Basic,
@@ -259,14 +262,28 @@ fn battery_audited_runs_are_byte_identical_to_unaudited_runs() {
                         );
                     }
                 }
-                opts.verify_every = every;
+                opts.verify_every = 1;
+                opts.audit = AuditMode::Incremental;
                 let (audited_result, audited_stats, audited_trace) = traced_run(&opts, src);
                 assert_eq!(audited_result, plain_result, "{name}/{collector}/{backend}");
                 assert_eq!(audited_stats, plain_stats, "{name}/{collector}/{backend}");
                 assert_eq!(
                     audited_trace, plain_trace,
-                    "{name}/{collector}/{backend}: audited trace must be byte-identical"
+                    "{name}/{collector}/{backend}: incremental-audited trace must be \
+                     byte-identical"
                 );
+                if let Some(every) = full_every {
+                    opts.verify_every = every;
+                    opts.audit = AuditMode::Full;
+                    let (full_result, full_stats, full_trace) = traced_run(&opts, src);
+                    assert_eq!(full_result, plain_result, "{name}/{collector}/{backend}");
+                    assert_eq!(full_stats, plain_stats, "{name}/{collector}/{backend}");
+                    assert_eq!(
+                        full_trace, plain_trace,
+                        "{name}/{collector}/{backend}: full-audited trace must be \
+                         byte-identical"
+                    );
+                }
             }
         }
     }

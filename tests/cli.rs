@@ -49,8 +49,10 @@ fn help_is_generated_from_the_flag_and_command_tables() {
         "--fuel",
         "--track-types",
         "--verify-every",
+        "--audit",
         "--inject",
         "--max-heap-words",
+        "--page-words",
         "--dump-bytecode",
         "--no-superinstructions",
         "--trace",
@@ -58,6 +60,7 @@ fn help_is_generated_from_the_flag_and_command_tables() {
         "--sample",
         "--stats",
         "--stats-intern",
+        "--stats-pages",
     ] {
         assert!(help.contains(flag), "help must list flag {flag}: {help}");
     }
@@ -67,6 +70,7 @@ fn help_is_generated_from_the_flag_and_command_tables() {
     }
     assert!(help.contains("subst|env|bytecode"));
     assert!(help.contains("fixed|adaptive"));
+    assert!(help.contains("incremental|full"));
 }
 
 #[test]
@@ -338,6 +342,105 @@ fn stats_intern_reports_interner_occupancy() {
             .expect("node count parses");
         assert!(nodes > 0, "interner must be populated: {row}");
         assert!(row.contains("(hits "), "hit counter missing: {row}");
+    }
+}
+
+#[test]
+fn stats_pages_reports_the_page_store() {
+    let prog = write_program("stats_pages.lam");
+    let out = psgc(&["run", prog.to_str().unwrap(), "--stats-pages"]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    for row in [
+        "page words:",
+        "pages:",
+        "reserved words:",
+        "live data words:",
+    ] {
+        assert!(stderr.contains(row), "missing row {row:?}: {stderr}");
+    }
+    let pages_row = stderr.lines().find(|l| l.starts_with("pages:")).unwrap();
+    let allocated: u64 = pages_row
+        .split_whitespace()
+        .nth(1)
+        .and_then(|w| w.parse().ok())
+        .expect("allocated count parses");
+    assert!(allocated > 0, "a run must allocate pages: {pages_row}");
+}
+
+#[test]
+fn audit_mode_never_changes_observable_output() {
+    // The incremental (default) and full audit strategies must agree on
+    // everything the user can see: result, stats, metrics, and the whole
+    // telemetry stream — on clean runs and on runs that catch a fault.
+    let prog = write_program("audit_modes.lam");
+    let prog = prog.to_str().unwrap();
+    let run = |audit: &str, inject: Option<&str>, trace: &PathBuf| {
+        let mut args = vec![
+            "run",
+            prog,
+            "--track-types",
+            "--verify-every",
+            "1",
+            "--audit",
+            audit,
+            "--stats",
+            "--stats-pages",
+            "--metrics",
+            "--trace",
+        ];
+        let t = trace.to_str().unwrap();
+        args.push(t);
+        if let Some(spec) = inject {
+            args.push("--inject");
+            args.push(spec);
+        }
+        psgc(&args)
+    };
+    // Clean run: everything must be byte-identical.
+    let trace_inc = scratch("audit_inc.jsonl");
+    let trace_full = scratch("audit_full.jsonl");
+    let inc = run("incremental", None, &trace_inc);
+    let full = run("full", None, &trace_full);
+    assert_eq!(exit_code(&inc), 0, "{inc:?}");
+    assert_eq!(exit_code(&full), 0, "{full:?}");
+    assert_eq!(inc.stdout, full.stdout, "results must agree");
+    assert_eq!(
+        inc.stderr, full.stderr,
+        "stats/metrics/diagnostics must be byte-identical"
+    );
+    let a = std::fs::read(&trace_inc).expect("incremental trace");
+    let b = std::fs::read(&trace_full).expect("full trace");
+    assert_eq!(a, b, "traces must be byte-identical");
+
+    // Fault runs: both modes must catch the fault at the same step (the
+    // detail wording may differ — page-level vs region-level diagnosis).
+    let violation_step = |trace: &PathBuf| {
+        let text = std::fs::read_to_string(trace).expect("trace readable");
+        let line = text
+            .lines()
+            .find(|l| l.contains("\"event\":\"invariant_violation\""))
+            .expect("violation recorded")
+            .to_string();
+        let step = line
+            .split("\"step\":")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .expect("step field");
+        step.parse::<u64>().expect("step parses")
+    };
+    for inject in ["truncate-tuple@20:1", "stale-page-header@20:1"] {
+        let trace_inc = scratch("audit_inc_fault.jsonl");
+        let trace_full = scratch("audit_full_fault.jsonl");
+        let inc = run("incremental", Some(inject), &trace_inc);
+        let full = run("full", Some(inject), &trace_full);
+        assert_eq!(exit_code(&inc), 4, "{inject}: {inc:?}");
+        assert_eq!(exit_code(&full), 4, "{inject}: {full:?}");
+        assert_eq!(
+            violation_step(&trace_inc),
+            violation_step(&trace_full),
+            "{inject}: both audit modes must catch the fault at the same step"
+        );
     }
 }
 

@@ -874,6 +874,7 @@ proptest! {
             growth: GrowthPolicy::Fixed,
             track_types: false,
             max_heap_words: None,
+            page_words: 512,
         };
         let mut m1 = SubstMachine::load(&p1, config);
         let mut m2 = SubstMachine::load(&p2, config);

@@ -224,6 +224,7 @@ proptest! {
                     growth: GrowthPolicy::Adaptive,
                     track_types: false,
                     max_heap_words: None,
+                    page_words: 512,
                 };
                 let mut oracle: Box<dyn Machine> = Backend::Subst.load(&program, config);
                 let oracle_outcome = oracle

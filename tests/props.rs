@@ -193,6 +193,7 @@ proptest! {
                     growth: ps_gc_lang::memory::GrowthPolicy::Adaptive,
                     track_types: false,
                     max_heap_words: None,
+                    page_words: 512,
                 },
             );
             match m.run(20_000_000).expect("no stuck states (progress)") {
@@ -249,6 +250,7 @@ proptest! {
                     growth: ps_gc_lang::memory::GrowthPolicy::Adaptive,
                     track_types: true,
                     max_heap_words: None,
+                    page_words: 512,
                 },
             );
             let mut steps = 0u64;
